@@ -1,0 +1,261 @@
+//! The Eyeriss baseline: a row-stationary dataflow accelerator model
+//! (Chen et al., ISCA 2016), configured per Table III of the Bit Fusion
+//! paper: 168 PEs, 16-bit operands, 181.5 KB of on-chip storage, 500 MHz,
+//! 45 nm.
+//!
+//! The row-stationary mapping assigns filter rows to PE-array rows and
+//! output rows to PE columns; PE *sets* replicate across the 12×14 array.
+//! Utilization and the register-file-dominated energy profile follow the
+//! published Eyeriss analysis (per-MAC data movement of roughly four RF
+//! accesses, NoC transfers folded into the buffer category, and a global
+//! buffer in front of DRAM).
+
+use bitfusion_dnn::layer::Layer;
+use bitfusion_dnn::model::Model;
+use bitfusion_energy::{EnergyBreakdown, EyerissEnergy, DRAM_PJ_PER_BIT};
+
+use crate::report::BaselineReport;
+
+/// Eyeriss configuration (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EyerissConfig {
+    /// PE array rows.
+    pub pe_rows: usize,
+    /// PE array columns.
+    pub pe_cols: usize,
+    /// Clock frequency, MHz.
+    pub freq_mhz: u32,
+    /// Global buffer capacity, bytes.
+    pub glb_bytes: usize,
+    /// Off-chip bandwidth in bits per cycle (shared with the Bit Fusion
+    /// configuration for a like-for-like memory system).
+    pub dram_bits_per_cycle: u32,
+    /// Effective fraction of peak DRAM bandwidth.
+    pub dram_efficiency: f64,
+    /// Operand width in bits (Eyeriss computes on 16-bit operands).
+    pub operand_bits: u32,
+}
+
+impl EyerissConfig {
+    /// The paper's configuration: 168 PEs at 500 MHz with 181.5 KB of
+    /// on-chip storage (108 KB of it the global buffer), on the same
+    /// 128 bits/cycle memory interface as Bit Fusion.
+    pub fn isca_45nm() -> Self {
+        EyerissConfig {
+            pe_rows: 12,
+            pe_cols: 14,
+            freq_mhz: 500,
+            glb_bytes: 108 * 1024,
+            dram_bits_per_cycle: 128,
+            dram_efficiency: 0.70,
+            operand_bits: 16,
+        }
+    }
+
+    /// Total processing elements.
+    pub const fn pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+}
+
+/// RF accesses per MAC in the row-stationary dataflow (input read, weight
+/// read, partial-sum read and write, plus spill slack) — RF dominates the
+/// published Eyeriss energy profile at >50%.
+const RF_ACCESSES_PER_MAC: f64 = 5.0;
+/// Inter-PE NoC transfers per MAC (diagonal input reuse plus psum hops).
+const NOC_TRANSFERS_PER_MAC: f64 = 0.15;
+/// Global-buffer 16-bit accesses per MAC; the RS dataflow filters almost
+/// all traffic through the RF hierarchy, leaving the GLB near 1% of energy
+/// in the published breakdown.
+const GLB_ACCESSES_PER_MAC: f64 = 0.02;
+
+/// The Eyeriss simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct EyerissSim {
+    config: EyerissConfig,
+    energy: EyerissEnergy,
+}
+
+impl Default for EyerissSim {
+    fn default() -> Self {
+        EyerissSim::new(EyerissConfig::isca_45nm())
+    }
+}
+
+impl EyerissSim {
+    /// Creates a simulator with the 45 nm energy constants.
+    pub fn new(config: EyerissConfig) -> Self {
+        EyerissSim {
+            config,
+            energy: EyerissEnergy::isca_45nm(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EyerissConfig {
+        &self.config
+    }
+
+    /// Row-stationary PE utilization for a layer.
+    ///
+    /// Convolutions map filter rows × output rows as a PE set and replicate
+    /// it; fully-connected and recurrent layers interleave independent
+    /// output neurons across the array at a fixed published efficiency.
+    pub fn utilization(&self, layer: &Layer) -> f64 {
+        match layer {
+            Layer::Conv2d(c) => {
+                let set_rows = c.kernel.0.min(self.config.pe_rows);
+                let set_cols = c.output_hw().0.min(self.config.pe_cols);
+                let set = set_rows * set_cols;
+                let replicas = (self.config.pes() / set).max(1);
+                ((set * replicas) as f64 / self.config.pes() as f64).min(1.0)
+            }
+            Layer::Dense(_) | Layer::Recurrent(_) => 0.75,
+            _ => 1.0,
+        }
+    }
+
+    /// Off-chip traffic for a MAC layer (bits, whole batch): 16-bit inputs,
+    /// weights and outputs, with reload factors when the working set
+    /// overflows the global buffer.
+    fn layer_dram_bits(&self, layer: &Layer, batch: u64) -> u64 {
+        let ob = self.config.operand_bits as u64;
+        let half_glb_bits = (self.config.glb_bytes as u64) * 8 / 2;
+        match layer {
+            Layer::Conv2d(c) => {
+                let inputs = c.input_elems() * batch * ob;
+                let outputs = c.output_elems() * batch * ob;
+                let weights = c.params() * ob;
+                // Oversized filter sets force ifmap re-reads per filter
+                // chunk.
+                let reload_i = (weights.div_ceil(half_glb_bits)).max(1);
+                inputs * reload_i + outputs + weights
+            }
+            Layer::Dense(d) => {
+                let inputs = d.in_features as u64 * batch * ob;
+                let outputs = d.out_features as u64 * batch * ob;
+                let weights = d.params() * ob;
+                // Batched output-stationary schedule: an input slice of all
+                // batch images plus an output-tile of partials stay in the
+                // GLB while the weights stream exactly once per batch. The
+                // input slice is re-read per output tile.
+                let out_tile = (half_glb_bits / (batch * 32)).max(1);
+                let reload_i = (d.out_features as u64).div_ceil(out_tile).min(16).max(1);
+                inputs * reload_i + outputs + weights
+            }
+            Layer::Recurrent(r) => {
+                let k = (r.input_size + r.hidden_size) as u64;
+                let m = r.cell.gates() * r.hidden_size as u64;
+                let inputs = k * batch * ob;
+                let outputs = m * batch * ob;
+                let weights = r.params() * ob;
+                let out_tile = (half_glb_bits / (batch * 32)).max(1);
+                let reload_i = m.div_ceil(out_tile).min(16).max(1);
+                inputs * reload_i + outputs + weights
+            }
+            Layer::Pool2d(p) => (p.output_elems() + p.ops()) * batch * ob / 4,
+            Layer::Eltwise(e) => 3 * e.elements as u64 * batch * ob,
+            Layer::Activation(a) => 2 * a.elements as u64 * batch * ob,
+        }
+    }
+
+    /// Runs a model at a batch size.
+    pub fn run(&self, model: &Model, batch: u64) -> BaselineReport {
+        let mut cycles: u64 = 0;
+        let mut energy = EnergyBreakdown::default();
+        let bw = self.config.dram_bits_per_cycle as f64 * self.config.dram_efficiency;
+        for named in &model.layers {
+            let layer = &named.layer;
+            let macs = layer.macs() * batch;
+            let dram_bits = self.layer_dram_bits(layer, batch);
+            let compute_cycles = if macs > 0 {
+                (macs as f64 / (self.config.pes() as f64 * self.utilization(layer))).ceil() as u64
+            } else {
+                // Pooling/eltwise run on the fly; charge one op per PE pass.
+                layer.other_ops() * batch / self.config.pes() as u64
+            };
+            let dma_cycles = (dram_bits as f64 / bw).ceil() as u64;
+            cycles += compute_cycles.max(dma_cycles);
+
+            let e = &self.energy;
+            energy += EnergyBreakdown {
+                compute_pj: macs as f64 * e.mac16_pj
+                    + layer.other_ops() as f64 * batch as f64 * e.mac16_pj * 0.25,
+                buffer_pj: macs as f64
+                    * (NOC_TRANSFERS_PER_MAC * e.noc16_pj + GLB_ACCESSES_PER_MAC * e.glb16_pj),
+                rf_pj: macs as f64 * RF_ACCESSES_PER_MAC * e.rf16_pj,
+                dram_pj: dram_bits as f64 * DRAM_PJ_PER_BIT,
+            };
+        }
+        BaselineReport {
+            platform: "eyeriss".into(),
+            model_name: model.name.clone(),
+            batch,
+            cycles,
+            freq_mhz: self.config.freq_mhz,
+            runtime_ms: cycles as f64 / (self.config.freq_mhz as f64 * 1e3),
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitfusion_dnn::zoo::Benchmark;
+
+    #[test]
+    fn config_matches_table_3() {
+        let c = EyerissConfig::isca_45nm();
+        assert_eq!(c.pes(), 168);
+        assert_eq!(c.freq_mhz, 500);
+    }
+
+    #[test]
+    fn conv_utilization_matches_published_range() {
+        // AlexNet conv layers on Eyeriss utilize 76-93% of PEs.
+        let sim = EyerissSim::default();
+        let model = Benchmark::AlexNet.reference_model();
+        for l in model.layers.iter().filter(|l| matches!(l.layer, Layer::Conv2d(_))) {
+            let u = sim.utilization(&l.layer);
+            assert!(u > 0.6 && u <= 1.0, "{}: {u}", l.name);
+        }
+    }
+
+    #[test]
+    fn runs_all_reference_models() {
+        let sim = EyerissSim::default();
+        for b in Benchmark::ALL {
+            let r = sim.run(&b.reference_model(), 16);
+            assert!(r.cycles > 0, "{b}");
+            assert!(r.energy.total_pj() > 0.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn rf_dominates_energy_on_convnets() {
+        // Figure 14: Eyeriss spends ~half its energy in the register files.
+        let sim = EyerissSim::default();
+        let r = sim.run(&Benchmark::Cifar10.reference_model(), 16);
+        let [_, _, rf, _] = r.energy.fractions();
+        assert!(rf > 0.35, "rf fraction {rf}");
+    }
+
+    #[test]
+    fn compute_bound_on_big_convs() {
+        // At 168 16-bit PEs, AlexNet is compute-bound: > 4M cycles/image.
+        let sim = EyerissSim::default();
+        let r = sim.run(&Benchmark::AlexNet.reference_model(), 16);
+        let per_image = r.cycles as f64 / 16.0;
+        assert!(per_image > 4.0e6, "{per_image}");
+    }
+
+    #[test]
+    fn fc_heavy_models_memory_bound_at_batch_1() {
+        let sim = EyerissSim::default();
+        let r1 = sim.run(&Benchmark::Lstm.reference_model(), 1);
+        let r16 = sim.run(&Benchmark::Lstm.reference_model(), 16);
+        // Per-input cycles shrink with batch (weights amortized).
+        assert!(r1.cycles as f64 > r16.cycles as f64 / 16.0 * 2.0);
+    }
+}

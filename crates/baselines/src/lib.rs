@@ -1,0 +1,33 @@
+//! # bitfusion-baselines
+//!
+//! The comparison platforms of the Bit Fusion evaluation (Sharma et al.,
+//! ISCA 2018, §V):
+//!
+//! * [`eyeriss`] — the row-stationary dataflow accelerator (Figures 13/14):
+//!   168 16-bit PEs with an RF/NoC/GLB/DRAM hierarchy;
+//! * [`stripes`] — the bit-serial accelerator (Figure 18): SIP tiles whose
+//!   throughput scales with the *weight* bitwidth only, against 16-bit
+//!   input traffic;
+//! * [`gpu`] — analytic rooflines for the Tegra X2 and Titan Xp
+//!   (Figure 17), substituting for TensorRT measurements per DESIGN.md;
+//! * [`loom`] — the fully-temporal (both-operands-serial) design of the
+//!   §III-C qualitative comparison, made quantitative.
+//!
+//! All baselines share the DRAM energy constant and bandwidth-efficiency
+//! conventions of `bitfusion-energy`/`bitfusion-sim`, so cross-platform
+//! ratios compare like against like.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod eyeriss;
+pub mod gpu;
+pub mod loom;
+pub mod report;
+pub mod stripes;
+
+pub use eyeriss::{EyerissConfig, EyerissSim};
+pub use gpu::{GpuMode, GpuModel};
+pub use loom::{LoomConfig, LoomSim};
+pub use report::BaselineReport;
+pub use stripes::{StripesConfig, StripesSim};

@@ -1,0 +1,191 @@
+//! The Loom baseline: a *fully-temporal* bit-serial accelerator
+//! (Sharify et al.), which serializes **both** operands.
+//!
+//! §III-C of the Bit Fusion paper compares against Loom qualitatively: "a
+//! fully-temporal design ... would consume significantly larger area and
+//! power compared to our spatially composable Fusion Unit. Furthermore, a
+//! fully-temporal design iterates in the form of a nested loop over the
+//! bits of the two operands; hence requiring more accesses to the SRAM."
+//! This model makes that comparison quantitative: per multiply, Loom spends
+//! `input_bits × weight_bits` serial cycles per lane (against Bit Fusion's
+//! single fused cycle at ≤8-bit operands) and re-reads its operand SRAM on
+//! every bit step.
+
+use bitfusion_dnn::model::Model;
+use bitfusion_energy::{EnergyBreakdown, StripesEnergy, DRAM_PJ_PER_BIT};
+
+use crate::report::BaselineReport;
+
+/// Loom configuration (area-matched to the Stripes/Bit Fusion tile).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoomConfig {
+    /// Serial lanes per tile. The temporal design packs fewer lanes per
+    /// area than Fusion Units (Figure 10: 3.5× area per 16-lane group), so
+    /// an area-matched tile carries proportionally fewer lanes than
+    /// Stripes' 4096 SIPs.
+    pub lanes: usize,
+    /// Clock frequency, MHz.
+    pub freq_mhz: u32,
+    /// Off-chip bandwidth in bits per cycle.
+    pub dram_bits_per_cycle: u32,
+    /// Effective fraction of peak DRAM bandwidth.
+    pub dram_efficiency: f64,
+    /// Achieved fraction of the serial peak (same derating family as
+    /// Stripes).
+    pub lane_efficiency: f64,
+}
+
+impl LoomConfig {
+    /// Area-matched tile: the 1.1 mm² budget divided by the temporal
+    /// design's per-16-lane area (Figure 10: 4424 µm² predicted) gives
+    /// ~3980 two-bit lanes; each lane processes one 2-bit × 2-bit step per
+    /// cycle.
+    pub fn area_matched_45nm() -> Self {
+        LoomConfig {
+            lanes: 3980,
+            freq_mhz: 980,
+            dram_bits_per_cycle: 128,
+            dram_efficiency: 0.70,
+            lane_efficiency: 0.45,
+        }
+    }
+}
+
+/// The Loom simulator (one tile).
+#[derive(Debug, Clone, Copy)]
+pub struct LoomSim {
+    config: LoomConfig,
+    energy: StripesEnergy,
+}
+
+impl Default for LoomSim {
+    fn default() -> Self {
+        LoomSim::new(LoomConfig::area_matched_45nm())
+    }
+}
+
+impl LoomSim {
+    /// Creates a simulator.
+    pub fn new(config: LoomConfig) -> Self {
+        LoomSim {
+            config,
+            energy: StripesEnergy::isca_45nm(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LoomConfig {
+        &self.config
+    }
+
+    /// Achieved MACs per cycle at an (input, weight) bit pair: each lane
+    /// iterates the nested bit loop over 2-bit digit pairs.
+    pub fn macs_per_cycle(&self, input_bits: u32, weight_bits: u32) -> f64 {
+        let steps = (input_bits.div_ceil(2) * weight_bits.div_ceil(2)).max(1) as f64;
+        self.config.lanes as f64 / steps * self.config.lane_efficiency
+    }
+
+    /// Runs a model at a batch size. Both operands move at their native
+    /// widths (Loom, unlike Stripes, packs both), but the nested serial
+    /// loop re-reads the operand SRAM every bit step.
+    pub fn run(&self, model: &Model, batch: u64) -> BaselineReport {
+        let mut cycles = 0u64;
+        let mut energy = EnergyBreakdown::default();
+        let bw = self.config.dram_bits_per_cycle as f64 * self.config.dram_efficiency;
+        for named in &model.layers {
+            let layer = &named.layer;
+            let macs = layer.macs() * batch;
+            if macs == 0 {
+                continue;
+            }
+            let p = layer.precision().expect("mac layers carry precision");
+            let (ib, wb) = (p.input.bits(), p.weight.bits());
+            let compute_cycles = (macs as f64 / self.macs_per_cycle(ib, wb)).ceil() as u64;
+            let (in_elems, out_elems, w_elems) = match layer {
+                bitfusion_dnn::layer::Layer::Conv2d(c) => {
+                    (c.input_elems() * batch, c.output_elems() * batch, c.params())
+                }
+                bitfusion_dnn::layer::Layer::Dense(d) => (
+                    d.in_features as u64 * batch,
+                    d.out_features as u64 * batch,
+                    d.params(),
+                ),
+                bitfusion_dnn::layer::Layer::Recurrent(r) => (
+                    (r.input_size + r.hidden_size) as u64 * batch,
+                    r.cell.gates() * r.hidden_size as u64 * batch,
+                    r.params(),
+                ),
+                _ => (0, 0, 0),
+            };
+            let dram_bits =
+                in_elems * ib as u64 + out_elems * 8.max(ib) as u64 + w_elems * wb as u64;
+            let dma_cycles = (dram_bits as f64 / bw).ceil() as u64;
+            cycles += compute_cycles.max(dma_cycles);
+
+            // The nested bit loop's SRAM cost: one operand-buffer access per
+            // serial step (the paper's "more accesses to the SRAM").
+            let steps = (ib.div_ceil(2) * wb.div_ceil(2)).max(1) as u64;
+            let e = &self.energy;
+            energy += EnergyBreakdown {
+                compute_pj: (macs * steps) as f64 * e.sip_cycle_pj / 16.0,
+                buffer_pj: (macs * steps) as f64 * 4.0 * e.sram_pj_per_bit,
+                rf_pj: 0.0,
+                dram_pj: dram_bits as f64 * DRAM_PJ_PER_BIT,
+            };
+        }
+        BaselineReport {
+            platform: "loom".into(),
+            model_name: model.name.clone(),
+            batch,
+            cycles,
+            freq_mhz: self.config.freq_mhz,
+            runtime_ms: cycles as f64 / (self.config.freq_mhz as f64 * 1e3),
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitfusion_dnn::zoo::Benchmark;
+
+    #[test]
+    fn serial_steps_scale_with_both_operands() {
+        let sim = LoomSim::default();
+        // 2/2: one step per lane; 4/4: four; 8/8: sixteen.
+        let r22 = sim.macs_per_cycle(2, 2);
+        let r44 = sim.macs_per_cycle(4, 4);
+        let r88 = sim.macs_per_cycle(8, 8);
+        assert!((r22 / r44 - 4.0).abs() < 1e-9);
+        assert!((r44 / r88 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runs_the_suite() {
+        let sim = LoomSim::default();
+        for b in Benchmark::ALL {
+            let r = sim.run(&b.model(), 16);
+            assert!(r.cycles > 0, "{b}");
+            assert!(r.energy.total_pj() > 0.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn loom_buffer_energy_exceeds_stripes() {
+        // The paper's qualitative claim: the fully-temporal nested bit loop
+        // costs more SRAM energy than Stripes' single-serial design.
+        use crate::stripes::StripesSim;
+        let loom = LoomSim::default();
+        let stripes = StripesSim::default();
+        let b = Benchmark::Lstm; // 4/4: Loom pays 4 steps vs Stripes' 4 weight bits
+        let l = loom.run(&b.model(), 16);
+        let s = stripes.run(&b.model(), 16);
+        assert!(
+            l.energy.buffer_pj > s.energy.buffer_pj,
+            "loom {} vs stripes {}",
+            l.energy.buffer_pj,
+            s.energy.buffer_pj
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Common result type for the baseline accelerator models.
+
+use std::fmt;
+
+use bitfusion_energy::EnergyBreakdown;
+
+/// Performance/energy result of one baseline running one model at one batch
+/// size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Baseline name ("eyeriss", "stripes", "titan-xp", ...).
+    pub platform: String,
+    /// Model name.
+    pub model_name: String,
+    /// Batch size.
+    pub batch: u64,
+    /// Total cycles for the batch (0 for the GPU models, which report time
+    /// directly).
+    pub cycles: u64,
+    /// Clock in MHz.
+    pub freq_mhz: u32,
+    /// Wall-clock milliseconds for the batch.
+    pub runtime_ms: f64,
+    /// Energy for the batch.
+    pub energy: EnergyBreakdown,
+}
+
+impl BaselineReport {
+    /// Latency per input in milliseconds.
+    pub fn latency_ms_per_input(&self) -> f64 {
+        self.runtime_ms / self.batch as f64
+    }
+
+    /// Energy per input.
+    pub fn energy_per_input(&self) -> EnergyBreakdown {
+        self.energy.scaled(1.0 / self.batch as f64)
+    }
+}
+
+impl fmt::Display for BaselineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} (batch {}): {:.3} ms/input, {}",
+            self.model_name,
+            self.platform,
+            self.batch,
+            self.latency_ms_per_input(),
+            self.energy_per_input()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_input_scaling() {
+        let r = BaselineReport {
+            platform: "x".into(),
+            model_name: "m".into(),
+            batch: 4,
+            cycles: 4000,
+            freq_mhz: 500,
+            runtime_ms: 8.0,
+            energy: EnergyBreakdown {
+                compute_pj: 4.0,
+                buffer_pj: 0.0,
+                rf_pj: 0.0,
+                dram_pj: 4.0,
+            },
+        };
+        assert_eq!(r.latency_ms_per_input(), 2.0);
+        assert_eq!(r.energy_per_input().total_pj(), 2.0);
+        assert!(r.to_string().contains("on x"));
+    }
+}

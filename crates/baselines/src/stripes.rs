@@ -1,0 +1,212 @@
+//! The Stripes baseline: a bit-serial DNN accelerator model (Judd et al.,
+//! MICRO 2016), configured per Table III and §V-A of the Bit Fusion paper:
+//! 16 tiles of 4096 Serial Inner-Product units (SIPs), 980 MHz, 2 MB eDRAM
+//! plus 16 KB SRAM per tile, 65 nm numbers scaled to 45 nm.
+//!
+//! Stripes fixes inputs at 16 bits and streams *weight* bits serially: a
+//! multiply-accumulate over a `p`-bit weight takes `p` SIP cycles, so
+//! throughput and (compute) energy scale with the weight bitwidth only —
+//! the contrast Bit Fusion exploits on both operands (Figure 18).
+//!
+//! The head-to-head uses the paper's per-tile framing ("we replace the 4096
+//! SIPs in each tile of Stripes with our proposed Bit Fusion systolic array
+//! with 512 Fusion Units ... and use the same total on-chip memory"): one
+//! Stripes tile against one 512-unit Bit Fusion array on the same memory
+//! interface.
+
+use bitfusion_dnn::model::Model;
+use bitfusion_energy::{EnergyBreakdown, StripesEnergy, DRAM_PJ_PER_BIT};
+
+use crate::report::BaselineReport;
+
+/// Stripes configuration (per tile).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StripesConfig {
+    /// Serial inner-product units per tile.
+    pub sips_per_tile: usize,
+    /// Clock frequency, MHz.
+    pub freq_mhz: u32,
+    /// Per-tile eDRAM capacity in bytes (holds feature maps).
+    pub edram_bytes: usize,
+    /// Off-chip bandwidth in bits per cycle for the tile.
+    pub dram_bits_per_cycle: u32,
+    /// Effective fraction of peak DRAM bandwidth.
+    pub dram_efficiency: f64,
+    /// Input operand width (fixed at 16 bits in Stripes).
+    pub input_bits: u32,
+    /// Achieved fraction of the `sips / weight_bits` peak. The Stripes
+    /// paper's own per-layer results sit at 30–55% of the naïve peak
+    /// (window alignment at feature-map edges, per-precision group
+    /// synchronization, and serial ramp-up); 0.45 reproduces its published
+    /// throughputs.
+    pub sip_efficiency: f64,
+}
+
+impl StripesConfig {
+    /// The Table III per-tile configuration.
+    pub fn isca_45nm() -> Self {
+        StripesConfig {
+            sips_per_tile: 4096,
+            freq_mhz: 980,
+            edram_bytes: 2 * 1024 * 1024,
+            dram_bits_per_cycle: 128,
+            dram_efficiency: 0.70,
+            input_bits: 16,
+            sip_efficiency: 0.45,
+        }
+    }
+}
+
+/// The Stripes simulator (one tile).
+#[derive(Debug, Clone, Copy)]
+pub struct StripesSim {
+    config: StripesConfig,
+    energy: StripesEnergy,
+}
+
+impl Default for StripesSim {
+    fn default() -> Self {
+        StripesSim::new(StripesConfig::isca_45nm())
+    }
+}
+
+impl StripesSim {
+    /// Creates a simulator with the 45 nm-scaled energy constants.
+    pub fn new(config: StripesConfig) -> Self {
+        StripesSim {
+            config,
+            energy: StripesEnergy::isca_45nm(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StripesConfig {
+        &self.config
+    }
+
+    /// Achieved tile throughput in MACs per cycle at a weight bitwidth.
+    pub fn macs_per_cycle(&self, weight_bits: u32) -> f64 {
+        self.config.sips_per_tile as f64 / weight_bits.max(1) as f64
+            * self.config.sip_efficiency
+    }
+
+    /// Runs a model at a batch size.
+    ///
+    /// Per MAC layer: compute takes `weight_bits` serial cycles per MAC
+    /// across the SIP array; traffic moves 16-bit inputs/outputs and
+    /// `weight_bits`-wide weights.
+    pub fn run(&self, model: &Model, batch: u64) -> BaselineReport {
+        let mut cycles = 0u64;
+        let mut energy = EnergyBreakdown::default();
+        let bw = self.config.dram_bits_per_cycle as f64 * self.config.dram_efficiency;
+        let ib = self.config.input_bits as u64;
+        for named in &model.layers {
+            let layer = &named.layer;
+            let macs = layer.macs() * batch;
+            if macs == 0 {
+                continue;
+            }
+            let p = layer
+                .precision()
+                .map_or(16, |pr| pr.weight.bits())
+                .max(1);
+            let compute_cycles = (macs as f64 / self.macs_per_cycle(p)).ceil() as u64;
+
+            // Traffic: inputs/outputs at 16 bits through the eDRAM, weights
+            // at their serial width, amortized over the batch.
+            let (in_elems, out_elems, w_elems) = match layer {
+                bitfusion_dnn::layer::Layer::Conv2d(c) => {
+                    (c.input_elems() * batch, c.output_elems() * batch, c.params())
+                }
+                bitfusion_dnn::layer::Layer::Dense(d) => (
+                    d.in_features as u64 * batch,
+                    d.out_features as u64 * batch,
+                    d.params(),
+                ),
+                bitfusion_dnn::layer::Layer::Recurrent(r) => (
+                    (r.input_size + r.hidden_size) as u64 * batch,
+                    r.cell.gates() * r.hidden_size as u64 * batch,
+                    r.params(),
+                ),
+                _ => (0, 0, 0),
+            };
+            // Stripes consumes weight *bits* serially in compute, but its
+            // memory system is byte-oriented — bit-level packed storage
+            // with variable-width access logic is precisely Bit Fusion's
+            // memory-side contribution (§I). Weights therefore move at
+            // byte-aligned widths.
+            let w_mem_bits = p.max(8) as u64;
+            let dram_bits = in_elems * ib + out_elems * ib + w_elems * w_mem_bits;
+            let dma_cycles = (dram_bits as f64 / bw).ceil() as u64;
+            cycles += compute_cycles.max(dma_cycles);
+
+            // Energy: serial compute scales with weight bits; buffers move
+            // 16-bit data through eDRAM and serial weights through SRAM.
+            let e = &self.energy;
+            energy += EnergyBreakdown {
+                compute_pj: macs as f64 * p as f64 * e.sip_cycle_pj / 16.0,
+                buffer_pj: ((in_elems + out_elems) * ib * 2) as f64 * e.edram_pj_per_bit
+                    + (macs * p as u64) as f64 / 16.0 * e.sram_pj_per_bit,
+                rf_pj: 0.0,
+                dram_pj: dram_bits as f64 * DRAM_PJ_PER_BIT,
+            };
+        }
+        BaselineReport {
+            platform: "stripes".into(),
+            model_name: model.name.clone(),
+            batch,
+            cycles,
+            freq_mhz: self.config.freq_mhz,
+            runtime_ms: cycles as f64 / (self.config.freq_mhz as f64 * 1e3),
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitfusion_dnn::zoo::Benchmark;
+
+    #[test]
+    fn throughput_scales_inversely_with_weight_bits() {
+        let sim = StripesSim::default();
+        let eff = sim.config().sip_efficiency;
+        assert_eq!(sim.macs_per_cycle(1), 4096.0 * eff);
+        assert_eq!(sim.macs_per_cycle(2), 2048.0 * eff);
+        assert_eq!(sim.macs_per_cycle(16), 256.0 * eff);
+    }
+
+    #[test]
+    fn runs_all_benchmarks() {
+        let sim = StripesSim::default();
+        for b in Benchmark::ALL {
+            let r = sim.run(&b.model(), 16);
+            assert!(r.cycles > 0, "{b}");
+            assert!(r.energy.total_pj() > 0.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn binary_weights_run_fastest() {
+        let sim = StripesSim::default();
+        // Same-topology comparison: Cifar-10 (1-bit weights) sustains more
+        // MACs per cycle than LSTM (4-bit weights).
+        let cifar = sim.run(&Benchmark::Cifar10.model(), 16);
+        let lstm = sim.run(&Benchmark::Lstm.model(), 16);
+        let cifar_rate = Benchmark::Cifar10.model().total_macs() as f64 * 16.0 / cifar.cycles as f64;
+        let lstm_rate = Benchmark::Lstm.model().total_macs() as f64 * 16.0 / lstm.cycles as f64;
+        assert!(cifar_rate > lstm_rate);
+    }
+
+    #[test]
+    fn sixteen_bit_input_traffic_hurts() {
+        // Stripes moves 16-bit activations regardless of the model's real
+        // input precision — one of the two effects Figure 18 captures.
+        let sim = StripesSim::default();
+        let r = sim.run(&Benchmark::Svhn.model(), 1);
+        // SVHN inputs/outputs are ~180k elements; at 16 bits that's ~3 Mb
+        // of fmap traffic where Bit Fusion moves ~0.2 Mb.
+        assert!(r.energy.dram_pj > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 10: area and power of the hybrid Fusion Unit vs the temporal
+//! design (16 BitBricks each), from the structural gate model.
+
+use bitfusion::energy::{DesignCost, Figure10};
+use bitfusion_bench::{banner, paper, verdict};
+
+fn row(label: &str, d: &DesignCost, reference: (&str, f64, f64, f64), power: bool) {
+    let split = if power { d.power_nw } else { d.area_um2 };
+    let unit = if power { "nW" } else { "um^2" };
+    println!(
+        "  {label:<12} bitbricks {:7.0} (paper {:5.0})  shift-add {:7.0} (paper {:5.0})  register {:7.0} (paper {:5.0})  total {:7.0} {unit}",
+        split.bit_bricks, reference.1, split.shift_add, reference.2, split.register, reference.3,
+        split.total(),
+    );
+}
+
+fn main() {
+    banner(
+        "Figure 10 — Fusion Unit vs temporal design (area & power, 45 nm)",
+        "Structural gate-count model calibrated on the published Fusion Unit row;\n\
+         the temporal row is a prediction. Paper: 3.5x area and 3.2x power advantage,\n\
+         16.0x register reduction.",
+    );
+    let fig = Figure10::compute();
+
+    println!("Area (um^2):");
+    row("Temporal", &fig.temporal, paper::FIG10_AREA[0], false);
+    row("Fusion Unit", &fig.fusion, paper::FIG10_AREA[1], false);
+    println!();
+    println!("Power (nW):");
+    row("Temporal", &fig.temporal, paper::FIG10_POWER[0], true);
+    row("Fusion Unit", &fig.fusion, paper::FIG10_POWER[1], true);
+
+    println!();
+    verdict("area reduction", fig.area_reduction(), 3.5);
+    verdict("power reduction", fig.power_reduction(), 3.2);
+    verdict("register reduction", fig.register_reduction(), 16.0);
+}

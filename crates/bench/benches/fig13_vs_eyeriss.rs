@@ -1,0 +1,147 @@
+//! Figure 13: Bit Fusion performance and energy improvements over Eyeriss,
+//! plus the §V-B1 AlexNet per-layer-class table.
+//!
+//! Setup per §V-A: same 1.1 mm² compute budget and SRAM capacity, same
+//! 500 MHz, 45 nm; batch 16; Eyeriss runs the regular-width models at
+//! 16-bit, Bit Fusion the quantized (2×-wide where applicable) models.
+
+use bitfusion::baselines::EyerissSim;
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::sim::BitFusionSim;
+use bitfusion_bench::{banner, paper, verdict};
+
+fn main() {
+    banner(
+        "Figure 13 — Improvement over Eyeriss (batch 16, 45 nm, 500 MHz)",
+        "Paper geomeans: 3.9x speedup, 5.1x energy reduction; AlexNet/ResNet-18\n\
+         lowest (wide quantized models do ~2-4x the ops), Cifar-10 highest (binary).",
+    );
+    let bf = BitFusionSim::new(ArchConfig::isca_45nm());
+    let ey = EyerissSim::default();
+
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+    println!(
+        "  {:<10} {:>10} {:>10} | {:>10} {:>10}",
+        "benchmark", "perf", "paper", "energy", "paper"
+    );
+    for b in Benchmark::ALL {
+        let r = bf.run(&b.model(), 16).expect("zoo model compiles");
+        let e = ey.run(&b.reference_model(), 16);
+        let speedup = e.runtime_ms / r.runtime_ms();
+        let energy = e.energy.total_pj() / r.total_energy().total_pj();
+        speedups.push(speedup);
+        energies.push(energy);
+        println!(
+            "  {:<10} {:>9.2}x {:>9.2}x | {:>9.2}x {:>9.2}x",
+            b.name(),
+            speedup,
+            paper::fig13_speedup(b),
+            energy,
+            paper::fig13_energy(b)
+        );
+    }
+    let sp = bitfusion::core::util::geomean(&speedups);
+    let en = bitfusion::core::util::geomean(&energies);
+    println!();
+    verdict("geomean speedup", sp, paper::FIG13_GEOMEAN.0);
+    verdict("geomean energy reduction", en, paper::FIG13_GEOMEAN.1);
+
+    // Shape checks the paper calls out in the text.
+    let by = |b: Benchmark| {
+        let i = Benchmark::ALL.iter().position(|&x| x == b).expect("in suite");
+        speedups[i]
+    };
+    println!();
+    println!("  shape checks:");
+    println!(
+        "    AlexNet is the slowest-improving CNN: {}",
+        if by(Benchmark::AlexNet) <= by(Benchmark::Cifar10)
+            && by(Benchmark::AlexNet) <= by(Benchmark::Svhn)
+            && by(Benchmark::AlexNet) <= by(Benchmark::Vgg7)
+        {
+            "yes (matches paper)"
+        } else {
+            "NO"
+        }
+    );
+    println!(
+        "    Cifar-10 sees the largest speedup: {}",
+        if Benchmark::ALL.iter().all(|&b| by(Benchmark::Cifar10) >= by(b)) {
+            "yes (matches paper)"
+        } else {
+            "NO"
+        }
+    );
+
+    // --- AlexNet per-layer-class table (§V-B1). ---
+    println!();
+    println!("AlexNet per-layer-class improvement over Eyeriss (equal-width models):");
+    let plan_bf = bf.run(&Benchmark::AlexNet.reference_model(), 16);
+    let ey_ref = ey.run(&Benchmark::AlexNet.reference_model(), 16);
+    if let Ok(bf_ref) = plan_bf {
+        // Classes: conv1 (8/8), conv2-5 (4/1), fc6-7 (4/1), fc8 (8/8) — but
+        // the reference model is 16-bit end to end; re-run the quantized
+        // regular-width model per class using the wide model's layer names.
+        let quant = bf.run(&Benchmark::AlexNet.model(), 16).expect("compiles");
+        let class_of = |name: &str| -> Option<usize> {
+            match name {
+                "conv1" => Some(0),
+                "conv2" | "conv3" | "conv4" | "conv5" => Some(1),
+                "fc6" | "fc7" => Some(2),
+                "fc8" => Some(3),
+                _ => None,
+            }
+        };
+        let mut bf_cycles = [0u64; 4];
+        let mut ey_cycles = [0u64; 4];
+        let mut bf_pj = [0f64; 4];
+        let mut ey_pj = [0f64; 4];
+        for l in &quant.layers {
+            if let Some(c) = class_of(&l.name) {
+                bf_cycles[c] += l.cycles;
+                bf_pj[c] += l.energy.total_pj();
+            }
+        }
+        // Eyeriss per-layer numbers come from a layer-wise rerun.
+        let ey_model = Benchmark::AlexNet.reference_model();
+        for named in &ey_model.layers {
+            if let Some(c) = class_of(&named.name) {
+                let single = bitfusion::dnn::model::Model::new(
+                    "layer",
+                    vec![(named.name.as_str(), named.layer.clone())],
+                );
+                let r = ey.run(&single, 16);
+                ey_cycles[c] += r.cycles;
+                ey_pj[c] += r.energy.total_pj();
+            }
+        }
+        // Normalize per equal work: Bit Fusion runs the 2x-wide model
+        // (~3.7x the MACs); scale its per-class cycles to the regular
+        // model's op counts, as the paper's per-layer table does.
+        let wide = Benchmark::AlexNet.model();
+        let regular = Benchmark::AlexNet.reference_model();
+        let mut wide_macs = [0u64; 4];
+        let mut reg_macs = [0u64; 4];
+        for l in &wide.layers {
+            if let Some(c) = class_of(&l.name) {
+                wide_macs[c] += l.layer.macs();
+            }
+        }
+        for l in &regular.layers {
+            if let Some(c) = class_of(&l.name) {
+                reg_macs[c] += l.layer.macs();
+            }
+        }
+        for (c, (label, p_perf, p_energy)) in paper::ALEXNET_PER_LAYER.iter().enumerate() {
+            let work_scale = wide_macs[c] as f64 / reg_macs[c] as f64;
+            let perf = ey_cycles[c] as f64 / (bf_cycles[c] as f64 / work_scale);
+            let energy = ey_pj[c] / (bf_pj[c] / work_scale);
+            println!(
+                "  {label:<22} perf {perf:>6.2}x (paper {p_perf:.2}x)   energy {energy:>6.2}x (paper {p_energy:.2}x)"
+            );
+        }
+        let _ = (bf_ref, ey_ref);
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 15: Bit Fusion performance as off-chip bandwidth scales from
+//! 32 to 512 bits/cycle (speedup relative to the 128 b/cyc default).
+
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::util::geomean;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::sim::BitFusionSim;
+use bitfusion_bench::{banner, paper, verdict};
+
+const BANDWIDTHS: [u32; 5] = [32, 64, 128, 256, 512];
+
+fn main() {
+    banner(
+        "Figure 15 — Sensitivity to off-chip bandwidth (batch 16)",
+        "Speedup per benchmark relative to the default 128 bits/cycle. Paper\n\
+         geomeans: 0.25/0.51/1.00/1.91/2.86; RNN and LSTM scale almost linearly\n\
+         (bandwidth-bound), CNNs saturate.",
+    );
+    // Cycles per benchmark per bandwidth.
+    let mut table: Vec<Vec<f64>> = Vec::new();
+    for b in Benchmark::ALL {
+        let mut row = Vec::new();
+        for bw in BANDWIDTHS {
+            let sim = BitFusionSim::new(ArchConfig::isca_45nm().with_bandwidth(bw));
+            let r = sim.run(&b.model(), 16).expect("zoo model compiles");
+            row.push(r.total_cycles() as f64);
+        }
+        table.push(row);
+    }
+    print!("  {:<10}", "benchmark");
+    for bw in BANDWIDTHS {
+        print!(" {bw:>7}b");
+    }
+    println!("   (relative to 128 b/cyc)");
+    let baseline_idx = 2;
+    for (bi, b) in Benchmark::ALL.iter().enumerate() {
+        print!("  {:<10}", b.name());
+        for wi in 0..BANDWIDTHS.len() {
+            print!(" {:>7.2}x", table[bi][baseline_idx] / table[bi][wi]);
+        }
+        println!();
+    }
+    println!();
+    for (wi, (bw, paper_geo)) in paper::FIG15_GEOMEAN.iter().enumerate() {
+        let speedups: Vec<f64> = (0..Benchmark::ALL.len())
+            .map(|bi| table[bi][baseline_idx] / table[bi][wi])
+            .collect();
+        verdict(&format!("geomean at {bw:>3} b/cyc"), geomean(&speedups), *paper_geo);
+    }
+    // The paper's standout series: the recurrent nets scale linearly.
+    let lstm = Benchmark::ALL.iter().position(|&b| b == Benchmark::Lstm).expect("lstm");
+    let lin = table[lstm][baseline_idx] / table[lstm][4];
+    println!();
+    println!(
+        "  LSTM speedup at 512 b/cyc: {lin:.2}x (paper: 4.0x, near-linear) -> {}",
+        if lin > 2.5 { "bandwidth-bound, matches" } else { "NO" }
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 16: Bit Fusion performance as the batch size grows from 1 to 256
+//! (per-input speedup relative to batch 1).
+
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::util::geomean;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::sim::BitFusionSim;
+use bitfusion_bench::{banner, paper, verdict};
+
+const BATCHES: [u64; 5] = [1, 4, 16, 64, 256];
+
+fn main() {
+    banner(
+        "Figure 16 — Sensitivity to batch size",
+        "Per-input speedup relative to batch 1. Paper geomeans:\n\
+         1.00/1.66/2.43/2.68/2.68; RNN/LSTM reach ~21x (weight reads amortize),\n\
+         CNNs gain modestly; gains flatten past batch 64.",
+    );
+    let sim = BitFusionSim::new(ArchConfig::isca_45nm());
+    let mut per_input: Vec<Vec<f64>> = Vec::new();
+    for b in Benchmark::ALL {
+        let mut row = Vec::new();
+        for batch in BATCHES {
+            let r = sim.run(&b.model(), batch).expect("zoo model compiles");
+            row.push(r.total_cycles() as f64 / batch as f64);
+        }
+        per_input.push(row);
+    }
+    print!("  {:<10}", "benchmark");
+    for batch in BATCHES {
+        print!(" {batch:>8}");
+    }
+    println!("   (speedup vs batch 1)");
+    for (bi, b) in Benchmark::ALL.iter().enumerate() {
+        print!("  {:<10}", b.name());
+        for wi in 0..BATCHES.len() {
+            print!(" {:>7.2}x", per_input[bi][0] / per_input[bi][wi]);
+        }
+        println!();
+    }
+    println!();
+    for (wi, (batch, paper_geo)) in paper::FIG16_GEOMEAN.iter().enumerate() {
+        let speedups: Vec<f64> = (0..Benchmark::ALL.len())
+            .map(|bi| per_input[bi][0] / per_input[bi][wi])
+            .collect();
+        verdict(&format!("geomean at batch {batch:>3}"), geomean(&speedups), *paper_geo);
+    }
+    let rnn = Benchmark::ALL.iter().position(|&b| b == Benchmark::Rnn).expect("rnn");
+    let peak = per_input[rnn][0] / per_input[rnn][4];
+    println!();
+    verdict("RNN peak batching speedup", peak, paper::FIG16_RNN_PEAK);
+    // Saturation check: batch 256 barely improves on batch 64.
+    let geo = |wi: usize| {
+        geomean(
+            &(0..Benchmark::ALL.len())
+                .map(|bi| per_input[bi][0] / per_input[bi][wi])
+                .collect::<Vec<_>>(),
+        )
+    };
+    let saturation = geo(4) / geo(3);
+    println!(
+        "  saturation beyond batch 64: {:.2}x marginal gain (paper: 1.00x) -> {}",
+        saturation,
+        if saturation < 1.15 { "saturates, matches" } else { "NO" }
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 18: Bit Fusion performance and energy improvements over Stripes.
+//!
+//! Per §V-A, the comparison is area/frequency-matched per tile: one Stripes
+//! tile of 4096 SIPs against a 512-Fusion-Unit array at Stripes' 980 MHz,
+//! on the same memory interface.
+
+use bitfusion::baselines::StripesSim;
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::util::geomean;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::sim::BitFusionSim;
+use bitfusion_bench::{banner, paper, verdict};
+
+fn main() {
+    banner(
+        "Figure 18 — Improvement over Stripes (batch 16, 45 nm, 980 MHz)",
+        "Paper geomeans: 2.6x speedup, 3.9x energy. Stripes serializes weight bits\n\
+         only and moves 16-bit inputs; Bit Fusion fuses both operands. LeNet-5\n\
+         (low bits on both operands) peaks; AlexNet (8-bit edges) is the floor.",
+    );
+    let bf = BitFusionSim::new(ArchConfig::stripes_matched());
+    let st = StripesSim::default();
+
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+    println!(
+        "  {:<10} {:>10} {:>10} | {:>10} {:>10}",
+        "benchmark", "perf", "paper", "energy", "paper"
+    );
+    for b in Benchmark::ALL {
+        let r = bf.run(&b.model(), 16).expect("zoo model compiles");
+        let s = st.run(&b.model(), 16);
+        let speedup = s.runtime_ms / r.runtime_ms();
+        let energy = s.energy.total_pj() / r.total_energy().total_pj();
+        speedups.push(speedup);
+        energies.push(energy);
+        let (p_perf, p_energy) = paper::fig18(b);
+        println!(
+            "  {:<10} {:>9.2}x {:>9.2}x | {:>9.2}x {:>9.2}x",
+            b.name(),
+            speedup,
+            p_perf,
+            energy,
+            p_energy
+        );
+    }
+    println!();
+    verdict("geomean speedup", geomean(&speedups), paper::FIG18_GEOMEAN.0);
+    verdict("geomean energy reduction", geomean(&energies), paper::FIG18_GEOMEAN.1);
+
+    println!();
+    println!("  shape checks:");
+    let by = |b: Benchmark| {
+        speedups[Benchmark::ALL.iter().position(|&x| x == b).expect("suite")]
+    };
+    println!(
+        "    Bit Fusion wins on every benchmark: {}",
+        if speedups.iter().all(|&s| s > 1.0) { "yes" } else { "NO" }
+    );
+    println!(
+        "    AlexNet (8-bit edge layers) is at the low end: {}",
+        if by(Benchmark::AlexNet) <= geomean(&speedups) { "yes" } else { "NO" }
+    );
+    println!(
+        "    dual-low-bitwidth nets (LeNet-5/VGG-7/ResNet-18) sit above the \
+         geomean: {}",
+        if by(Benchmark::LeNet5) >= geomean(&speedups)
+            && by(Benchmark::Vgg7) >= geomean(&speedups)
+        {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+}

@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the library's own hot paths: the BitBrick
+//! arithmetic, decomposition, Fusion Unit dot products, functional systolic
+//! GEMM, compilation, and whole-model simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bitfusion::compiler::compile;
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::bitbrick::{BitBrick, BrickOperand, Crumb};
+use bitfusion::core::bitwidth::PairPrecision;
+use bitfusion::core::decompose::decomposed_multiply;
+use bitfusion::core::fusion::FusionUnit;
+use bitfusion::core::systolic::{IntMatrix, SystolicArray};
+use bitfusion::core::util::SplitMix64;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::sim::BitFusionSim;
+
+fn bench_bitbrick(c: &mut Criterion) {
+    let x = BrickOperand::new(Crumb::truncate(0b10), true);
+    let y = BrickOperand::new(Crumb::truncate(0b11), false);
+    c.bench_function("bitbrick/arithmetic", |b| {
+        b.iter(|| BitBrick::multiply(black_box(x), black_box(y)))
+    });
+    c.bench_function("bitbrick/gate_level", |b| {
+        b.iter(|| BitBrick::multiply_gates(black_box(x), black_box(y)))
+    });
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    for (i, w) in [(4u32, 4u32), (8, 8), (16, 16)] {
+        let pair = PairPrecision::from_bits(i, w).expect("supported");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{i}x{w}")),
+            &pair,
+            |b, &pair| {
+                b.iter(|| {
+                    decomposed_multiply(
+                        black_box(pair.input.max_value()),
+                        black_box(pair.weight.min_value()),
+                        pair,
+                    )
+                    .expect("in range")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fusion_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_unit_dot_256");
+    for (i, w) in [(2u32, 2u32), (4, 1), (8, 8)] {
+        let pair = PairPrecision::from_bits(i, w).expect("supported");
+        let unit = FusionUnit::new(pair);
+        let mut rng = SplitMix64::new(1);
+        let pairs: Vec<(i32, i32)> = (0..256)
+            .map(|_| {
+                (
+                    rng.range_i32(pair.input.min_value(), pair.input.max_value()),
+                    rng.range_i32(pair.weight.min_value(), pair.weight.max_value()),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{i}x{w}")),
+            &pairs,
+            |b, pairs| b.iter(|| unit.dot(black_box(pairs), 0).expect("in range")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_systolic(c: &mut Criterion) {
+    let pair = PairPrecision::from_bits(2, 2).expect("supported");
+    let array = SystolicArray::new(8, 8, pair).expect("non-empty");
+    let mut rng = SplitMix64::new(2);
+    let weights = IntMatrix::from_fn(32, 64, |_, _| rng.range_i32(-2, 1));
+    let input: Vec<i32> = (0..64).map(|_| rng.range_i32(0, 3)).collect();
+    c.bench_function("systolic/matvec_32x64_ternary", |b| {
+        b.iter(|| array.matvec(black_box(&weights), black_box(&input)).expect("shapes"))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let arch = ArchConfig::isca_45nm();
+    let model = Benchmark::Cifar10.model();
+    c.bench_function("compiler/cifar10_batch16", |b| {
+        b.iter(|| compile(black_box(&model), &arch, 16).expect("compiles"))
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let sim = BitFusionSim::new(ArchConfig::isca_45nm());
+    let model = Benchmark::AlexNet.model();
+    let plan = compile(&model, sim.arch(), 16).expect("compiles");
+    c.bench_function("sim/alexnet_batch16_from_plan", |b| {
+        b.iter(|| sim.run_plan(black_box(&plan)))
+    });
+    c.bench_function("sim/alexnet_batch16_end_to_end", |b| {
+        b.iter(|| sim.run(black_box(&model), 16).expect("compiles"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bitbrick,
+    bench_decompose,
+    bench_fusion_unit,
+    bench_systolic,
+    bench_compile,
+    bench_simulate
+);
+criterion_main!(benches);

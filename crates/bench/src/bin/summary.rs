@@ -1,0 +1,79 @@
+//! One-screen reproduction summary: every headline geomean of the paper's
+//! evaluation next to this repository's measurements.
+//!
+//! Run with: `cargo run -p bitfusion-bench --bin summary --release`
+//! (The per-figure detail lives in the bench targets; see EXPERIMENTS.md.)
+
+use bitfusion::baselines::{EyerissSim, GpuMode, GpuModel, StripesSim};
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::util::geomean;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::sim::BitFusionSim;
+
+fn main() {
+    let bf = BitFusionSim::new(ArchConfig::isca_45nm());
+    let bf_stripes = BitFusionSim::new(ArchConfig::stripes_matched());
+    let ey = EyerissSim::default();
+    let st = StripesSim::default();
+    let tx2 = GpuModel::tegra_x2();
+    let txp = GpuModel::titan_xp();
+    let bf16 = BitFusionSim::new(ArchConfig::gpu_16nm());
+    let mut sp_ey = vec![];
+    let mut en_ey = vec![];
+    let mut sp_st = vec![];
+    let mut en_st = vec![];
+    let mut sp_txp = vec![];
+    let mut sp_txp8 = vec![];
+    let mut sp_bf16 = vec![];
+    println!(
+        "{:<10} {:>7} {:>7} | {:>7} {:>7} | {:>6} {:>6} {:>6}",
+        "bench", "vEy", "vEyE", "vSt", "vStE", "TXp", "TXp8", "BF16"
+    );
+    for b in Benchmark::ALL {
+        let r = bf.run(&b.model(), 16).expect("zoo model compiles");
+        let rs = bf_stripes.run(&b.model(), 16).expect("zoo model compiles");
+        let e = ey.run(&b.reference_model(), 16);
+        let s = st.run(&b.model(), 16);
+        let perf_ey = e.runtime_ms / r.runtime_ms();
+        let energy_ey = e.energy.total_pj() / r.total_energy().total_pj();
+        let perf_st = s.runtime_ms / rs.runtime_ms();
+        let energy_st = s.energy.total_pj() / rs.total_energy().total_pj();
+        let g_tx2 = tx2.run(&b.reference_model(), 16, GpuMode::Fp32);
+        let g_txp = txp.run(&b.reference_model(), 16, GpuMode::Fp32);
+        let g_txp8 = txp.run(&b.reference_model(), 16, GpuMode::Int8);
+        let r16 = bf16.run(&b.model(), 16).expect("zoo model compiles");
+        let v_txp = g_tx2.runtime_ms / g_txp.runtime_ms;
+        let v_txp8 = g_tx2.runtime_ms / g_txp8.runtime_ms;
+        let v_bf16 = g_tx2.runtime_ms / r16.runtime_ms();
+        sp_ey.push(perf_ey);
+        en_ey.push(energy_ey);
+        sp_st.push(perf_st);
+        en_st.push(energy_st);
+        sp_txp.push(v_txp);
+        sp_txp8.push(v_txp8);
+        sp_bf16.push(v_bf16);
+        println!(
+            "{:<10} {:>7.2} {:>7.2} | {:>7.2} {:>7.2} | {:>6.1} {:>6.1} {:>6.1}",
+            b.name(),
+            perf_ey,
+            energy_ey,
+            perf_st,
+            energy_st,
+            v_txp,
+            v_txp8,
+            v_bf16
+        );
+    }
+    println!(
+        "{:<10} {:>7.2} {:>7.2} | {:>7.2} {:>7.2} | {:>6.1} {:>6.1} {:>6.1}",
+        "geomean",
+        geomean(&sp_ey),
+        geomean(&en_ey),
+        geomean(&sp_st),
+        geomean(&en_st),
+        geomean(&sp_txp),
+        geomean(&sp_txp8),
+        geomean(&sp_bf16)
+    );
+    println!("paper:     vEy 3.90 vEyE 5.10 | vSt 2.61 vStE 3.97 | TXp 12 TXp8 19 BF16 16");
+}

@@ -1,0 +1,174 @@
+//! The GEMM view of DNN layers.
+//!
+//! Every multiply-add layer the accelerator executes reduces to a (possibly
+//! batched) matrix multiplication: output `[M × N] = weights [M × K] ×
+//! inputs [K × N]`. Convolutions take the im2col view (`K` = filter volume,
+//! `N` = output pixels × batch), dense layers are direct, and recurrent
+//! cells stack their gate matrices into `M`.
+
+use bitfusion_core::bitwidth::PairPrecision;
+use bitfusion_dnn::layer::Layer;
+
+/// The GEMM dimensions of one layer at a given batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Output rows (output channels / features).
+    pub m: u64,
+    /// Reduction length.
+    pub k: u64,
+    /// Output columns (output pixels × batch, or batch for dense layers).
+    pub n: u64,
+}
+
+impl GemmShape {
+    /// Total multiply-accumulates.
+    pub const fn macs(&self) -> u64 {
+        self.m * self.k * self.n
+    }
+}
+
+/// A layer lowered to GEMM form plus the memory-relevant element counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmLayer {
+    /// GEMM dimensions (batch folded into `n`).
+    pub shape: GemmShape,
+    /// Operand precisions.
+    pub pair: PairPrecision,
+    /// Unique input elements per batch (feature-map size × batch for convs;
+    /// `k × n` for dense layers). Convolutions re-read each input element
+    /// `R×S` times in the im2col view but buffer windows on chip, so DRAM
+    /// input traffic is charged on unique elements per pass.
+    pub unique_input_elems: u64,
+    /// Output elements per batch.
+    pub output_elems: u64,
+    /// Weight elements (batch-independent).
+    pub weight_elems: u64,
+    /// Output storage bits per element after requantization (the next
+    /// layer's input width, or 32 for raw partial sums).
+    pub output_bits: u32,
+}
+
+/// Lowers a MAC layer to its GEMM view; returns `None` for non-MAC layers
+/// (pooling, activation, elementwise), which the compiler plans separately.
+pub fn layer_to_gemm(layer: &Layer, batch: u64, output_bits: u32) -> Option<GemmLayer> {
+    match layer {
+        Layer::Conv2d(c) => {
+            let (oh, ow) = c.output_hw();
+            // Input traffic per full traversal: the IBUF line-buffers each
+            // tile row, reusing pixels horizontally (factor S) but
+            // re-fetching the R-row window as the output row advances by
+            // the stride — `unique × R / stride_v`, capped by the raw
+            // im2col volume. Perfect two-dimensional reuse would need the
+            // whole feature map resident, which the 32 KB IBUF cannot hold
+            // for the ImageNet-scale layers.
+            let unique = c.input_elems() * batch;
+            let im2col = c.reduction_len() * (oh * ow) as u64 * batch;
+            let windowed = (unique * c.kernel.0 as u64).div_ceil(c.stride.0 as u64);
+            Some(GemmLayer {
+                shape: GemmShape {
+                    m: c.out_channels as u64,
+                    k: c.reduction_len(),
+                    n: (oh * ow) as u64 * batch,
+                },
+                pair: c.precision,
+                unique_input_elems: windowed.min(im2col).max(unique),
+                output_elems: c.output_elems() * batch,
+                weight_elems: c.params(),
+                output_bits,
+            })
+        }
+        Layer::Dense(d) => Some(GemmLayer {
+            shape: GemmShape {
+                m: d.out_features as u64,
+                k: d.in_features as u64,
+                n: batch,
+            },
+            pair: d.precision,
+            unique_input_elems: d.in_features as u64 * batch,
+            output_elems: d.out_features as u64 * batch,
+            weight_elems: d.params(),
+            output_bits,
+        }),
+        Layer::Recurrent(r) => {
+            let k = (r.input_size + r.hidden_size) as u64;
+            let m = r.cell.gates() * r.hidden_size as u64;
+            Some(GemmLayer {
+                shape: GemmShape { m, k, n: batch },
+                pair: r.precision,
+                unique_input_elems: k * batch,
+                output_elems: m * batch,
+                weight_elems: r.params(),
+                output_bits,
+            })
+        }
+        Layer::Pool2d(_) | Layer::Eltwise(_) | Layer::Activation(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitfusion_dnn::layer::{CellKind, Conv2d, Dense, Recurrent};
+
+    fn pp(i: u32, w: u32) -> PairPrecision {
+        PairPrecision::from_bits(i, w).unwrap()
+    }
+
+    #[test]
+    fn conv_gemm_macs_match_layer() {
+        let c = Conv2d {
+            in_channels: 96,
+            out_channels: 256,
+            kernel: (5, 5),
+            stride: (1, 1),
+            padding: (2, 2),
+            input_hw: (27, 27),
+            groups: 2,
+            precision: pp(4, 1),
+        };
+        let layer = Layer::Conv2d(c.clone());
+        let g = layer_to_gemm(&layer, 16, 4).unwrap();
+        assert_eq!(g.shape.macs(), c.macs() * 16);
+        assert_eq!(g.shape.k, c.reduction_len());
+        assert_eq!(g.weight_elems, c.params());
+    }
+
+    #[test]
+    fn dense_gemm() {
+        let d = Dense {
+            in_features: 9216,
+            out_features: 4096,
+            precision: pp(4, 1),
+        };
+        let g = layer_to_gemm(&Layer::Dense(d), 4, 4).unwrap();
+        assert_eq!(g.shape, GemmShape { m: 4096, k: 9216, n: 4 });
+        assert_eq!(g.shape.macs(), 4096 * 9216 * 4);
+    }
+
+    #[test]
+    fn recurrent_stacks_gates() {
+        let r = Recurrent {
+            cell: CellKind::Lstm,
+            input_size: 900,
+            hidden_size: 900,
+            precision: pp(4, 4),
+        };
+        let g = layer_to_gemm(&Layer::Recurrent(r), 1, 4).unwrap();
+        assert_eq!(g.shape, GemmShape { m: 3600, k: 1800, n: 1 });
+    }
+
+    #[test]
+    fn non_mac_layers_skip() {
+        use bitfusion_core::postproc::PoolOp;
+        use bitfusion_dnn::layer::Pool2d;
+        let p = Layer::Pool2d(Pool2d {
+            channels: 64,
+            input_hw: (8, 8),
+            window: (2, 2),
+            stride: (2, 2),
+            padding: (0, 0),
+            op: PoolOp::Max,
+        });
+        assert!(layer_to_gemm(&p, 1, 8).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! # bitfusion-compiler
+//!
+//! The compiler from quantized DNN layers to Fusion-ISA instruction blocks
+//! (§IV of Sharma et al., ISCA 2018), implementing the paper's three code
+//! optimizations (§IV-B):
+//!
+//! * **loop tiling** — buffer-constrained tile-size search ([`tiling`])
+//!   under an off-chip-traffic cost model ([`cost`]);
+//! * **loop ordering** — input/output/weight-stationary dataflow selection
+//!   per layer (the six tile-loop orders of [`tiling::LoopOrder`]);
+//! * **layer fusion** — activation/pooling/elementwise layers absorbed into
+//!   the producing MAC layer's block ([`fuse`]).
+//!
+//! [`plan::compile`] drives the pipeline: fuse → GEMM view ([`gemm`]) →
+//! tile search → block emission ([`lower`]), producing an
+//! [`ExecutionPlan`](plan::ExecutionPlan) whose blocks are valid, encodable
+//! Fusion-ISA and whose [`Mapping`](lower::Mapping) facts feed the
+//! performance simulator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod error;
+pub mod fuse;
+pub mod gemm;
+pub mod lower;
+pub mod plan;
+pub mod tiling;
+
+pub use error::CompileError;
+pub use fuse::{fuse_layers, FusedGroup, PostOp};
+pub use gemm::{layer_to_gemm, GemmLayer, GemmShape};
+pub use lower::Mapping;
+pub use plan::{compile, ExecutionPlan, PlannedLayer};
+pub use tiling::{choose_tiling, LoopOrder, TilePlan, TileSizes};

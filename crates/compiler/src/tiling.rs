@@ -1,0 +1,246 @@
+//! Loop tiling and loop ordering: the buffer-constrained tile search.
+//!
+//! The compiler picks, per layer, tile sizes `(m_t, k_t, n_t)` and a
+//! tile-loop order that (a) fit the on-chip scratchpads — with the input and
+//! weight buffers halved for double buffering, since `ld-mem` is decoupled
+//! from compute (§IV) — and (b) minimize off-chip traffic under the
+//! [`cost`](crate::cost) model. This implements the paper's loop-tiling and
+//! loop-ordering code optimizations (§IV-B), including the
+//! input/output/weight-stationary choice.
+
+use bitfusion_core::arch::ArchConfig;
+
+use crate::cost::{traffic, Traffic};
+use crate::error::CompileError;
+use crate::gemm::GemmLayer;
+
+/// A GEMM tile dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileDim {
+    /// Output rows.
+    M,
+    /// Reduction.
+    K,
+    /// Output columns.
+    N,
+}
+
+/// Order of the three tile loops, outermost first. The name lists dimensions
+/// outer→inner: `Nmk` nests `n { m { k } }` — the output-stationary order of
+/// Figure 12(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopOrder {
+    /// n, m, k — output-stationary (k innermost).
+    Nmk,
+    /// n, k, m.
+    Nkm,
+    /// m, n, k — output-stationary, weights held across n.
+    Mnk,
+    /// m, k, n — weight-stationary (n innermost).
+    Mkn,
+    /// k, m, n — input/psum streaming.
+    Kmn,
+    /// k, n, m.
+    Knm,
+}
+
+impl LoopOrder {
+    /// All six orders.
+    pub const ALL: [LoopOrder; 6] = [
+        LoopOrder::Nmk,
+        LoopOrder::Nkm,
+        LoopOrder::Mnk,
+        LoopOrder::Mkn,
+        LoopOrder::Kmn,
+        LoopOrder::Knm,
+    ];
+
+    /// The dimension sequence, outermost first.
+    pub const fn sequence(self) -> [TileDim; 3] {
+        match self {
+            LoopOrder::Nmk => [TileDim::N, TileDim::M, TileDim::K],
+            LoopOrder::Nkm => [TileDim::N, TileDim::K, TileDim::M],
+            LoopOrder::Mnk => [TileDim::M, TileDim::N, TileDim::K],
+            LoopOrder::Mkn => [TileDim::M, TileDim::K, TileDim::N],
+            LoopOrder::Kmn => [TileDim::K, TileDim::M, TileDim::N],
+            LoopOrder::Knm => [TileDim::K, TileDim::N, TileDim::M],
+        }
+    }
+
+    /// The stationary tensor implied by the order (which operand's reuse the
+    /// innermost loop maximizes), for reporting.
+    pub const fn stationary(self) -> &'static str {
+        match self {
+            LoopOrder::Nmk | LoopOrder::Mnk => "output",
+            LoopOrder::Mkn => "weight",
+            LoopOrder::Knm | LoopOrder::Nkm | LoopOrder::Kmn => "input",
+        }
+    }
+}
+
+/// Tile sizes along (m, k, n).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileSizes {
+    /// Output-row tile.
+    pub m: u64,
+    /// Reduction tile.
+    pub k: u64,
+    /// Output-column tile.
+    pub n: u64,
+}
+
+/// A chosen tiling: sizes, order, and its modelled traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TilePlan {
+    /// Tile sizes.
+    pub tiles: TileSizes,
+    /// Tile-loop order.
+    pub order: LoopOrder,
+    /// Modelled off-chip traffic.
+    pub traffic: Traffic,
+}
+
+/// Whether a tiling fits the scratchpads (inputs and weights double-buffered,
+/// outputs held as 32-bit partials).
+pub fn fits(layer: &GemmLayer, tiles: TileSizes, arch: &ArchConfig) -> bool {
+    let w_bits = tiles.m * tiles.k * layer.pair.weight.bits() as u64;
+    let i_bits = tiles.k * tiles.n * layer.pair.input.bits() as u64;
+    let o_bits = tiles.m * tiles.n * 32;
+    w_bits <= (arch.wbuf_bytes as u64) * 8 / 2
+        && i_bits <= (arch.ibuf_bytes as u64) * 8 / 2
+        && o_bits <= (arch.obuf_bytes as u64) * 8
+}
+
+fn candidates(dim: u64, quantum: u64) -> Vec<u64> {
+    let mut c = Vec::new();
+    let mut v = quantum.max(1);
+    while v < dim {
+        c.push(v);
+        v *= 2;
+    }
+    c.push(dim);
+    c
+}
+
+/// Searches tile sizes and loop orders for the minimum-traffic plan that
+/// fits the buffers.
+///
+/// Tile candidates are powers of two scaled from the array's natural quanta
+/// (columns for `m`, reduction lanes for `k`) plus the full dimensions.
+///
+/// # Errors
+///
+/// Returns [`CompileError::NoFeasibleTiling`] when even the smallest tile
+/// does not fit (pathologically small buffer configuration).
+pub fn choose_tiling(layer: &GemmLayer, arch: &ArchConfig) -> Result<TilePlan, CompileError> {
+    let lanes = (arch.rows as u64) * layer.pair.fused_pes_per_unit() as u64;
+    let cols = arch.cols as u64;
+    let s = layer.shape;
+    let mut best: Option<TilePlan> = None;
+    for &m_t in &candidates(s.m, cols) {
+        for &k_t in &candidates(s.k, lanes) {
+            for &n_t in &candidates(s.n, 1) {
+                let tiles = TileSizes { m: m_t, k: k_t, n: n_t };
+                if !fits(layer, tiles, arch) {
+                    continue;
+                }
+                for order in LoopOrder::ALL {
+                    let t = traffic(layer, tiles, order);
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            t.total_bits() < b.traffic.total_bits()
+                                || (t.total_bits() == b.traffic.total_bits()
+                                    && (tiles.m * tiles.k * tiles.n)
+                                        > (b.tiles.m * b.tiles.k * b.tiles.n))
+                        }
+                    };
+                    if better {
+                        best = Some(TilePlan {
+                            tiles,
+                            order,
+                            traffic: t,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    best.ok_or(CompileError::NoFeasibleTiling {
+        m: s.m,
+        k: s.k,
+        n: s.n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::GemmShape;
+    use bitfusion_core::bitwidth::PairPrecision;
+
+    fn layer(m: u64, k: u64, n: u64, i_bits: u32, w_bits: u32) -> GemmLayer {
+        GemmLayer {
+            shape: GemmShape { m, k, n },
+            pair: PairPrecision::from_bits(i_bits, w_bits).unwrap(),
+            unique_input_elems: k * n,
+            output_elems: m * n,
+            weight_elems: m * k,
+            output_bits: i_bits,
+        }
+    }
+
+    #[test]
+    fn small_gemm_untiled() {
+        let arch = ArchConfig::isca_45nm();
+        let l = layer(64, 512, 16, 8, 8);
+        let p = choose_tiling(&l, &arch).unwrap();
+        // Fits entirely: single tile, minimal traffic.
+        assert_eq!(p.tiles, TileSizes { m: 64, k: 512, n: 16 });
+        assert_eq!(
+            p.traffic.total_bits(),
+            64 * 512 * 8 + 512 * 16 * 8 + 64 * 16 * 8
+        );
+    }
+
+    #[test]
+    fn oversized_weights_get_tiled() {
+        let arch = ArchConfig::isca_45nm();
+        // fc6-like: 8192 x 18432 1-bit weights = 18.9 MB >> 32 KB budget.
+        let l = layer(8192, 18432, 16, 4, 1);
+        let p = choose_tiling(&l, &arch).unwrap();
+        assert!(fits(&l, p.tiles, &arch));
+        assert!(p.tiles.m < 8192 || p.tiles.k < 18432);
+        // Weights dominate: the chosen plan must not reload them.
+        assert_eq!(p.traffic.weight_bits, 8192 * 18432);
+    }
+
+    #[test]
+    fn spilling_avoided_when_possible() {
+        let arch = ArchConfig::isca_45nm();
+        let l = layer(512, 4608, 2916, 1, 1);
+        let p = choose_tiling(&l, &arch).unwrap();
+        assert_eq!(p.traffic.spill_bits, 0, "plan {p:?}");
+    }
+
+    #[test]
+    fn infeasible_when_buffers_absurdly_small() {
+        let mut arch = ArchConfig::isca_45nm();
+        arch.obuf_bytes = 1; // cannot hold even one 32-bit partial
+        let l = layer(512, 512, 16, 8, 8);
+        assert!(matches!(
+            choose_tiling(&l, &arch),
+            Err(CompileError::NoFeasibleTiling { .. })
+        ));
+    }
+
+    #[test]
+    fn orders_have_sequences_and_names() {
+        for o in LoopOrder::ALL {
+            assert_eq!(o.sequence().len(), 3);
+            assert!(!o.stationary().is_empty());
+        }
+        assert_eq!(LoopOrder::Nmk.stationary(), "output");
+        assert_eq!(LoopOrder::Mkn.stationary(), "weight");
+    }
+}

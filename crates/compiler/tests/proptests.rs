@@ -1,0 +1,116 @@
+//! Property tests for the compiler: any reasonable GEMM shape tiles within
+//! the buffers, traffic never beats the cold-miss lower bound, emitted
+//! blocks are valid/encodable, and the walker agrees with the mapping.
+
+use bitfusion_compiler::gemm::{GemmLayer, GemmShape};
+use bitfusion_compiler::lower::{lower_gemm, mapping_for, LowerInput};
+use bitfusion_compiler::tiling::{choose_tiling, fits};
+use bitfusion_core::arch::ArchConfig;
+use bitfusion_core::bitwidth::PairPrecision;
+use bitfusion_isa::encode::{decode_block, encode_block};
+use bitfusion_isa::walker::summarize;
+use bitfusion_isa::ComputeFn;
+use proptest::prelude::*;
+
+fn arb_layer() -> impl Strategy<Value = GemmLayer> {
+    (
+        1u64..4096,
+        1u64..20_000,
+        1u64..4096,
+        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+    )
+        .prop_map(|(m, k, n, i_bits, w_bits)| {
+            let pair = PairPrecision::from_bits(i_bits, w_bits).expect("supported");
+            GemmLayer {
+                shape: GemmShape { m, k, n },
+                pair,
+                unique_input_elems: k * n,
+                output_elems: m * n,
+                weight_elems: m * k,
+                output_bits: i_bits,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chosen_tiling_always_fits(layer in arb_layer()) {
+        let arch = ArchConfig::isca_45nm();
+        let plan = choose_tiling(&layer, &arch).expect("feasible for sane buffers");
+        prop_assert!(fits(&layer, plan.tiles, &arch));
+        // Tiles never exceed the dimensions.
+        prop_assert!(plan.tiles.m <= layer.shape.m.max(plan.tiles.m.min(layer.shape.m)));
+        prop_assert!(plan.tiles.m >= 1 && plan.tiles.k >= 1 && plan.tiles.n >= 1);
+    }
+
+    #[test]
+    fn traffic_at_least_cold_misses(layer in arb_layer()) {
+        // Every plan must move at least each tensor once (cold misses).
+        let arch = ArchConfig::isca_45nm();
+        let plan = choose_tiling(&layer, &arch).expect("feasible");
+        let cold = layer.weight_elems * layer.pair.weight.bits() as u64
+            + layer.unique_input_elems * layer.pair.input.bits() as u64
+            + layer.output_elems * layer.output_bits as u64;
+        prop_assert!(
+            plan.traffic.total_bits() >= cold,
+            "traffic {} below cold-miss bound {cold}",
+            plan.traffic.total_bits()
+        );
+    }
+
+    #[test]
+    fn lowered_block_valid_encodable_and_consistent(layer in arb_layer()) {
+        let arch = ArchConfig::isca_45nm();
+        let plan = choose_tiling(&layer, &arch).expect("feasible");
+        let input = LowerInput {
+            name: "prop",
+            layer: &layer,
+            plan: &plan,
+            postops: &[],
+            next: 0,
+        };
+        let block = lower_gemm(&input, &arch).expect("emits");
+        // Valid block structure is enforced by construction; round-trip it.
+        let words = encode_block(&block).expect("encodes");
+        let decoded = decode_block("prop", &words).expect("decodes");
+        let decoded_canon = decoded.canonicalize();
+        let block_canon = block.canonicalize();
+        prop_assert_eq!(decoded_canon.instructions(), block_canon.instructions());
+        // Walker vs mapping.
+        let mapping = mapping_for(&input, &arch);
+        let summary = summarize(&block);
+        prop_assert_eq!(summary.compute_count(ComputeFn::Mac), mapping.compute_steps);
+        // Compute coverage: steps x lanes x cols covers all MACs.
+        prop_assert!(
+            mapping.compute_steps * mapping.lanes * mapping.cols >= mapping.macs
+        );
+        // Block size stays in a sane static range.
+        prop_assert!(block.len() >= 10 && block.len() <= 86, "{} instrs", block.len());
+    }
+
+    #[test]
+    fn batching_never_increases_weight_traffic_per_input(
+        m in 16u64..2048,
+        k in 16u64..8192,
+    ) {
+        let arch = ArchConfig::isca_45nm();
+        let mk = |n: u64| {
+            let pair = PairPrecision::from_bits(4, 4).expect("supported");
+            GemmLayer {
+                shape: GemmShape { m, k, n },
+                pair,
+                unique_input_elems: k * n,
+                output_elems: m * n,
+                weight_elems: m * k,
+                output_bits: 4,
+            }
+        };
+        let t1 = choose_tiling(&mk(1), &arch).expect("feasible").traffic;
+        let t16 = choose_tiling(&mk(16), &arch).expect("feasible").traffic;
+        // Per-input weight traffic at batch 16 never exceeds batch 1's.
+        prop_assert!(t16.weight_bits as f64 / 16.0 <= t1.weight_bits as f64 * 1.01);
+    }
+}

@@ -1,0 +1,385 @@
+//! The BitBrick: the 2-bit multiply unit at the base of the Bit Fusion
+//! architecture (Figure 5 of the paper).
+//!
+//! A BitBrick takes two 2-bit operands (`x2b`, `y2b`) plus two sign bits
+//! (`sx`, `sy`). According to the sign bits it sign-extends each operand to
+//! 3 bits and multiplies them with a 3-bit signed multiplier, producing a
+//! 6-bit signed product. Signed operands range over -2..=1 and unsigned
+//! operands over 0..=3, so the product ranges over -6..=9 — representable in
+//! 6 bits with headroom.
+//!
+//! Two implementations are provided: [`BitBrick::multiply`], a fast
+//! arithmetic path used by the simulators, and [`BitBrick::multiply_gates`],
+//! a faithful gate-level evaluation of the half-adder/full-adder array shown
+//! in Figure 5, used to cross-validate the arithmetic path and to ground the
+//! area/power model.
+
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::gates::{full_adder, half_adder};
+
+/// A 2-bit raw operand value (a "crumb"), stored in the low two bits.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitbrick::Crumb;
+///
+/// let c = Crumb::new(0b11).unwrap();
+/// assert_eq!(c.interpret(false), 3); // unsigned
+/// assert_eq!(c.interpret(true), -1); // signed (two's complement)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Crumb(u8);
+
+impl Crumb {
+    /// The zero crumb.
+    pub const ZERO: Crumb = Crumb(0);
+
+    /// Creates a crumb from the low two bits of `raw`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] if `raw > 3`.
+    pub fn new(raw: u8) -> Result<Self, CoreError> {
+        if raw <= 3 {
+            Ok(Crumb(raw))
+        } else {
+            Err(CoreError::ValueOutOfRange {
+                value: raw as i32,
+                precision: crate::bitwidth::Precision::unsigned(crate::bitwidth::BitWidth::B2),
+            })
+        }
+    }
+
+    /// Creates a crumb by truncating `raw` to its low two bits.
+    #[inline]
+    pub const fn truncate(raw: u8) -> Self {
+        Crumb(raw & 0b11)
+    }
+
+    /// Raw two-bit pattern (0..=3).
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Bit `i` (0 or 1) of the crumb.
+    #[inline]
+    pub const fn bit(self, i: u32) -> bool {
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// Interprets the crumb as signed (-2..=1) or unsigned (0..=3).
+    #[inline]
+    pub const fn interpret(self, signed: bool) -> i8 {
+        if signed && self.0 >= 2 {
+            self.0 as i8 - 4
+        } else {
+            self.0 as i8
+        }
+    }
+
+    /// Encodes a small integer into a crumb. Signed values must lie in
+    /// -2..=1, unsigned in 0..=3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] when the value does not fit.
+    pub fn encode(value: i8, signed: bool) -> Result<Self, CoreError> {
+        let ok = if signed {
+            (-2..=1).contains(&value)
+        } else {
+            (0..=3).contains(&value)
+        };
+        if !ok {
+            let precision = if signed {
+                crate::bitwidth::Precision::signed(crate::bitwidth::BitWidth::B2)
+            } else {
+                crate::bitwidth::Precision::unsigned(crate::bitwidth::BitWidth::B2)
+            };
+            return Err(CoreError::ValueOutOfRange {
+                value: value as i32,
+                precision,
+            });
+        }
+        Ok(Crumb((value as u8) & 0b11))
+    }
+}
+
+impl fmt::Display for Crumb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02b}", self.0)
+    }
+}
+
+/// One operand of a BitBrick: a crumb plus its sign-mode bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BrickOperand {
+    /// The 2-bit value.
+    pub crumb: Crumb,
+    /// When `true` the crumb is interpreted as a two's-complement signed
+    /// value in -2..=1 (the `sx`/`sy` inputs of Figure 5).
+    pub signed: bool,
+}
+
+impl BrickOperand {
+    /// Creates an operand from a crumb and a sign-mode bit.
+    pub const fn new(crumb: Crumb, signed: bool) -> Self {
+        BrickOperand { crumb, signed }
+    }
+
+    /// Numeric value of the operand.
+    #[inline]
+    pub const fn value(self) -> i8 {
+        self.crumb.interpret(self.signed)
+    }
+
+    /// Sign-extends the operand to three bits (the `x'3b`/`y'3b` values of
+    /// Figure 5), returned as bits `[b0, b1, b2]`.
+    pub const fn extend_to_3_bits(self) -> [bool; 3] {
+        let b0 = self.crumb.bit(0);
+        let b1 = self.crumb.bit(1);
+        let b2 = self.signed && b1;
+        [b0, b1, b2]
+    }
+}
+
+/// The 6-bit signed product of a BitBrick, wrapped to preserve provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BrickProduct(i8);
+
+impl BrickProduct {
+    /// Numeric value of the product (-6..=9).
+    #[inline]
+    pub const fn value(self) -> i8 {
+        self.0
+    }
+
+    /// The product as the raw 6-bit two's-complement pattern `p6b`.
+    #[inline]
+    pub const fn raw_p6b(self) -> u8 {
+        (self.0 as u8) & 0b11_1111
+    }
+}
+
+/// The BitBrick compute unit.
+///
+/// BitBricks are stateless combinational logic; the type exists to namespace
+/// the two evaluation paths and the unit's structural constants.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitbrick::{BitBrick, BrickOperand, Crumb};
+///
+/// // Signed -2 times unsigned 3 = -6 (the widest-magnitude product).
+/// let x = BrickOperand::new(Crumb::truncate(0b10), true);
+/// let y = BrickOperand::new(Crumb::truncate(0b11), false);
+/// assert_eq!(BitBrick::multiply(x, y).value(), -6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BitBrick;
+
+impl BitBrick {
+    /// Fast arithmetic evaluation of the brick product.
+    #[inline]
+    pub fn multiply(x: BrickOperand, y: BrickOperand) -> BrickProduct {
+        BrickProduct(x.value() * y.value())
+    }
+
+    /// Gate-level evaluation of the brick product, following the Figure 5
+    /// microarchitecture: 3-bit sign extension followed by a 3-bit × 3-bit
+    /// signed multiply implemented as a partial-product array reduced with
+    /// half and full adders.
+    ///
+    /// The result is numerically identical to [`BitBrick::multiply`]; the
+    /// gate path exists for microarchitectural fidelity tests and to anchor
+    /// the gate-count area model.
+    pub fn multiply_gates(x: BrickOperand, y: BrickOperand) -> BrickProduct {
+        let xb = x.extend_to_3_bits();
+        let yb = y.extend_to_3_bits();
+
+        // 3-bit two's-complement multiply via sign extension to 6 bits and a
+        // shift-add partial-product reduction; all arithmetic below is pure
+        // boolean gate logic on 6-bit rows.
+        let row = |yi: bool, shift: usize| -> [bool; 6] {
+            let mut r = [false; 6];
+            if yi {
+                for (i, &xi) in xb.iter().enumerate() {
+                    if i + shift < 6 {
+                        r[i + shift] = xi;
+                    }
+                }
+                // Sign-extend the 3-bit x operand within the 6-bit row.
+                let sign = xb[2];
+                for slot in r.iter_mut().take(6).skip(3 + shift) {
+                    *slot = sign;
+                }
+            }
+            r
+        };
+
+        let p0 = row(yb[0], 0);
+        let p1 = row(yb[1], 1);
+        // The y sign row enters negated (two's complement: -x << 2 is
+        // (!x + 1) << 2); implemented with an inverted row plus a carry-in.
+        let mut p2 = row(yb[2], 2);
+        let y_negative = yb[2];
+        if y_negative {
+            for bit in p2.iter_mut() {
+                *bit = !*bit;
+            }
+        }
+
+        let (s01, _) = ripple_add_6(p0, p1, false);
+        // Feed the +1 of the two's-complement negation as carry-in; the
+        // inverted row's low bits below the shift are all ones already, so a
+        // single carry-in at bit 0 completes the negation.
+        let (sum, _) = ripple_add_6(s01, p2, y_negative);
+
+        // Interpret the 6-bit result as two's complement.
+        let mut v: i8 = 0;
+        for (i, &b) in sum.iter().enumerate() {
+            if b {
+                v |= 1 << i;
+            }
+        }
+        if sum[5] {
+            v |= !0b11_1111u8 as i8; // sign-extend bit 5
+        }
+        BrickProduct(v)
+    }
+
+    /// Width in bits of the product port.
+    pub const PRODUCT_BITS: u32 = 6;
+    /// Width in bits of each operand port (excluding the sign-mode bit).
+    pub const OPERAND_BITS: u32 = 2;
+}
+
+/// 6-bit ripple-carry addition built from half/full adders; returns the sum
+/// bits and the carry-out.
+fn ripple_add_6(a: [bool; 6], b: [bool; 6], carry_in: bool) -> ([bool; 6], bool) {
+    let mut sum = [false; 6];
+    let mut carry = carry_in;
+    for i in 0..6 {
+        let (s, c) = if i == 0 && !carry_in {
+            half_adder(a[i], b[i])
+        } else {
+            full_adder(a[i], b[i], carry)
+        };
+        sum[i] = s;
+        carry = c;
+    }
+    (sum, carry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_operands() -> Vec<BrickOperand> {
+        let mut v = Vec::new();
+        for raw in 0..4u8 {
+            for signed in [false, true] {
+                v.push(BrickOperand::new(Crumb::truncate(raw), signed));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn crumb_new_validates() {
+        assert!(Crumb::new(3).is_ok());
+        assert!(Crumb::new(4).is_err());
+    }
+
+    #[test]
+    fn crumb_encode_round_trips() {
+        for v in -2..=1i8 {
+            let c = Crumb::encode(v, true).unwrap();
+            assert_eq!(c.interpret(true), v);
+        }
+        for v in 0..=3i8 {
+            let c = Crumb::encode(v, false).unwrap();
+            assert_eq!(c.interpret(false), v);
+        }
+        assert!(Crumb::encode(2, true).is_err());
+        assert!(Crumb::encode(-1, false).is_err());
+        assert!(Crumb::encode(4, false).is_err());
+    }
+
+    #[test]
+    fn sign_extension_matches_value() {
+        for op in all_operands() {
+            let bits = op.extend_to_3_bits();
+            let mut v: i8 = 0;
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    v |= 1 << i;
+                }
+            }
+            if bits[2] {
+                v |= !0b111u8 as i8;
+            }
+            assert_eq!(v, op.value(), "operand {op:?}");
+        }
+    }
+
+    #[test]
+    fn multiply_covers_full_range() {
+        // Exhaustive: 8 operand states per side.
+        let mut min = i8::MAX;
+        let mut max = i8::MIN;
+        for x in all_operands() {
+            for y in all_operands() {
+                let p = BitBrick::multiply(x, y).value();
+                assert_eq!(p, x.value() * y.value());
+                min = min.min(p);
+                max = max.max(p);
+            }
+        }
+        assert_eq!(min, -6);
+        assert_eq!(max, 9);
+    }
+
+    #[test]
+    fn gate_multiply_matches_arithmetic_exhaustively() {
+        for x in all_operands() {
+            for y in all_operands() {
+                let fast = BitBrick::multiply(x, y);
+                let gates = BitBrick::multiply_gates(x, y);
+                assert_eq!(fast, gates, "x={x:?} y={y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_raw_p6b_is_6_bits() {
+        for x in all_operands() {
+            for y in all_operands() {
+                let p = BitBrick::multiply(x, y);
+                assert!(p.raw_p6b() <= 0b11_1111);
+                // Reconstruct value from the raw pattern.
+                let mut v = p.raw_p6b() as i8;
+                if v & 0b10_0000 != 0 {
+                    v |= !0b11_1111u8 as i8;
+                }
+                assert_eq!(v, p.value());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_and_ternary_fit_one_brick() {
+        // Binary (0, +1): unsigned crumbs 0/1. Ternary (-1, 0, +1): signed.
+        for a in [0i8, 1] {
+            for b in [-1i8, 0, 1] {
+                let x = BrickOperand::new(Crumb::encode(a, false).unwrap(), false);
+                let y = BrickOperand::new(Crumb::encode(b, true).unwrap(), true);
+                assert_eq!(BitBrick::multiply(x, y).value(), a * b);
+            }
+        }
+    }
+}

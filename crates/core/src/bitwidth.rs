@@ -1,0 +1,506 @@
+//! Operand bitwidths and precisions supported by the Bit Fusion architecture.
+//!
+//! The paper's compute fabric composes 2-bit [`BitBrick`](crate::bitbrick::BitBrick)s
+//! into Fused-PEs whose operand bitwidths are powers of two between 2 and 16
+//! bits. Binary (1-bit) operands are additionally supported: a binary or
+//! ternary multiply occupies a single BitBrick (Figure 2(b) of the paper), and
+//! the memory system stores binary values in a single bit.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CoreError;
+
+/// A storage bitwidth supported by Bit Fusion: 1, 2, 4, 8, or 16 bits.
+///
+/// The *storage* width (returned by [`BitWidth::bits`]) determines how many
+/// bits a value occupies in the on-chip buffers and in DRAM, while the
+/// *brick side* (returned by [`BitWidth::brick_side`]) determines how many
+/// 2-bit BitBrick lanes the operand spans: binary operands still occupy one
+/// full brick lane.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::BitWidth;
+///
+/// assert_eq!(BitWidth::B8.bits(), 8);
+/// assert_eq!(BitWidth::B8.brick_side(), 4);
+/// assert_eq!(BitWidth::B1.bits(), 1);
+/// assert_eq!(BitWidth::B1.brick_side(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BitWidth {
+    /// Binary operands (0, +1), stored in one bit.
+    B1,
+    /// 2-bit operands; ternary (-1, 0, +1) when signed.
+    B2,
+    /// 4-bit operands.
+    B4,
+    /// 8-bit operands — the widest purely *spatial* fusion (Figure 2(d)).
+    B8,
+    /// 16-bit operands, executed spatio-temporally over multiple cycles.
+    B16,
+}
+
+impl BitWidth {
+    /// All supported widths in increasing order.
+    pub const ALL: [BitWidth; 5] = [
+        BitWidth::B1,
+        BitWidth::B2,
+        BitWidth::B4,
+        BitWidth::B8,
+        BitWidth::B16,
+    ];
+
+    /// Number of bits a value of this width occupies in memory.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        match self {
+            BitWidth::B1 => 1,
+            BitWidth::B2 => 2,
+            BitWidth::B4 => 4,
+            BitWidth::B8 => 8,
+            BitWidth::B16 => 16,
+        }
+    }
+
+    /// Number of 2-bit crumbs (BitBrick lanes) the operand spans.
+    ///
+    /// This is `ceil(bits / 2)`; a binary operand still occupies one lane.
+    #[inline]
+    pub const fn brick_side(self) -> u32 {
+        match self {
+            BitWidth::B1 | BitWidth::B2 => 1,
+            BitWidth::B4 => 2,
+            BitWidth::B8 => 4,
+            BitWidth::B16 => 8,
+        }
+    }
+
+    /// Constructs a width from a bit count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedBitWidth`] if `bits` is not one of
+    /// 1, 2, 4, 8, or 16.
+    pub fn from_bits(bits: u32) -> Result<Self, CoreError> {
+        match bits {
+            1 => Ok(BitWidth::B1),
+            2 => Ok(BitWidth::B2),
+            4 => Ok(BitWidth::B4),
+            8 => Ok(BitWidth::B8),
+            16 => Ok(BitWidth::B16),
+            other => Err(CoreError::UnsupportedBitWidth(other)),
+        }
+    }
+
+    /// The smallest supported width that can hold `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedBitWidth`] if `bits` is zero or larger
+    /// than 16.
+    pub fn ceil_from_bits(bits: u32) -> Result<Self, CoreError> {
+        match bits {
+            0 => Err(CoreError::UnsupportedBitWidth(0)),
+            1 => Ok(BitWidth::B1),
+            2 => Ok(BitWidth::B2),
+            3..=4 => Ok(BitWidth::B4),
+            5..=8 => Ok(BitWidth::B8),
+            9..=16 => Ok(BitWidth::B16),
+            other => Err(CoreError::UnsupportedBitWidth(other)),
+        }
+    }
+
+    /// The next wider supported width, or `None` for [`BitWidth::B16`].
+    pub const fn widen(self) -> Option<BitWidth> {
+        match self {
+            BitWidth::B1 => Some(BitWidth::B2),
+            BitWidth::B2 => Some(BitWidth::B4),
+            BitWidth::B4 => Some(BitWidth::B8),
+            BitWidth::B8 => Some(BitWidth::B16),
+            BitWidth::B16 => None,
+        }
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.bits())
+    }
+}
+
+impl FromStr for BitWidth {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.trim_end_matches(|c| c == 'b' || c == 'B');
+        let bits: u32 = digits
+            .parse()
+            .map_err(|_| CoreError::UnsupportedBitWidth(0))?;
+        BitWidth::from_bits(bits)
+    }
+}
+
+/// Whether an operand is interpreted as a two's-complement signed value or an
+/// unsigned value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Signedness {
+    /// Two's-complement signed interpretation.
+    #[default]
+    Signed,
+    /// Unsigned interpretation.
+    Unsigned,
+}
+
+impl Signedness {
+    /// Returns `true` for [`Signedness::Signed`].
+    #[inline]
+    pub const fn is_signed(self) -> bool {
+        matches!(self, Signedness::Signed)
+    }
+}
+
+impl fmt::Display for Signedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signedness::Signed => write!(f, "signed"),
+            Signedness::Unsigned => write!(f, "unsigned"),
+        }
+    }
+}
+
+/// A complete operand precision: bitwidth plus signedness.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::{BitWidth, Precision, Signedness};
+///
+/// let p = Precision::new(BitWidth::B4, Signedness::Signed);
+/// assert_eq!(p.min_value(), -8);
+/// assert_eq!(p.max_value(), 7);
+/// assert!(p.contains(-8));
+/// assert!(!p.contains(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Precision {
+    /// The storage bitwidth.
+    pub width: BitWidth,
+    /// The value interpretation.
+    pub signedness: Signedness,
+}
+
+impl Precision {
+    /// Creates a precision from a width and signedness.
+    pub const fn new(width: BitWidth, signedness: Signedness) -> Self {
+        Precision { width, signedness }
+    }
+
+    /// Signed precision of the given width.
+    pub const fn signed(width: BitWidth) -> Self {
+        Precision::new(width, Signedness::Signed)
+    }
+
+    /// Unsigned precision of the given width.
+    pub const fn unsigned(width: BitWidth) -> Self {
+        Precision::new(width, Signedness::Unsigned)
+    }
+
+    /// Number of storage bits.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.width.bits()
+    }
+
+    /// Number of BitBrick lanes along this operand's dimension.
+    #[inline]
+    pub const fn brick_side(self) -> u32 {
+        self.width.brick_side()
+    }
+
+    /// Smallest representable value.
+    pub const fn min_value(self) -> i32 {
+        match self.signedness {
+            Signedness::Signed => -(1 << (self.width.bits() - 1)),
+            Signedness::Unsigned => 0,
+        }
+    }
+
+    /// Largest representable value.
+    pub const fn max_value(self) -> i32 {
+        match self.signedness {
+            Signedness::Signed => (1 << (self.width.bits() - 1)) - 1,
+            Signedness::Unsigned => (1 << self.width.bits()) - 1,
+        }
+    }
+
+    /// Returns `true` if `value` is representable at this precision.
+    pub const fn contains(self, value: i32) -> bool {
+        value >= self.min_value() && value <= self.max_value()
+    }
+
+    /// Clamps `value` into the representable range.
+    pub fn clamp(self, value: i32) -> i32 {
+        value.clamp(self.min_value(), self.max_value())
+    }
+
+    /// Returns an error unless `value` is representable at this precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] when `value` does not fit.
+    pub fn check(self, value: i32) -> Result<(), CoreError> {
+        if self.contains(value) {
+            Ok(())
+        } else {
+            Err(CoreError::ValueOutOfRange {
+                value,
+                precision: self,
+            })
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.signedness {
+            Signedness::Signed => "s",
+            Signedness::Unsigned => "u",
+        };
+        write!(f, "{}{}", tag, self.width.bits())
+    }
+}
+
+/// The (input, weight) precision pair of a DNN layer — the unit at which the
+/// Bit Fusion architecture reconfigures (one `setup` instruction per layer).
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::PairPrecision;
+///
+/// // AlexNet's middle layers: 4-bit inputs, binary weights.
+/// let p = PairPrecision::from_bits(4, 1).unwrap();
+/// assert_eq!(p.bricks_per_product(), 2);
+/// assert_eq!(p.fused_pes_per_unit(), 8);
+/// assert_eq!(p.temporal_cycles(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairPrecision {
+    /// Input (activation) precision.
+    pub input: Precision,
+    /// Weight precision.
+    pub weight: Precision,
+}
+
+/// Number of BitBricks in one Fusion Unit (a 4×4 physical grouping).
+pub const BRICKS_PER_FUSION_UNIT: u32 = 16;
+
+impl PairPrecision {
+    /// Creates a precision pair.
+    pub const fn new(input: Precision, weight: Precision) -> Self {
+        PairPrecision { input, weight }
+    }
+
+    /// Convenience constructor from raw bit counts. Inputs are unsigned
+    /// (post-activation values are non-negative in the quantized networks the
+    /// paper evaluates) and weights are signed, matching the paper's usage —
+    /// except binary (1-bit) weights, which are the unsigned set {0, +1}
+    /// (§II-A: "binary (0, +1) and ternary (-1, 0, +1)").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedBitWidth`] when either count is not a
+    /// supported width.
+    pub fn from_bits(input_bits: u32, weight_bits: u32) -> Result<Self, CoreError> {
+        let weight_width = BitWidth::from_bits(weight_bits)?;
+        let weight = if weight_width == BitWidth::B1 {
+            Precision::unsigned(weight_width)
+        } else {
+            Precision::signed(weight_width)
+        };
+        Ok(PairPrecision {
+            input: Precision::unsigned(BitWidth::from_bits(input_bits)?),
+            weight,
+        })
+    }
+
+    /// Number of BitBrick products required for a single multiply at this
+    /// precision pair (the product of the two brick sides).
+    #[inline]
+    pub const fn bricks_per_product(self) -> u32 {
+        self.input.brick_side() * self.weight.brick_side()
+    }
+
+    /// Number of Fused-PEs a 16-BitBrick Fusion Unit offers at this precision
+    /// (Figure 2); at least 1 even when a product spans multiple cycles.
+    #[inline]
+    pub const fn fused_pes_per_unit(self) -> u32 {
+        let b = self.bricks_per_product();
+        if b >= BRICKS_PER_FUSION_UNIT {
+            1
+        } else {
+            BRICKS_PER_FUSION_UNIT / b
+        }
+    }
+
+    /// Cycles needed per multiply when the product needs more BitBrick
+    /// operations than the unit has bricks (the spatio-temporal hybrid of
+    /// §III-C: 16-bit operands iterate over up to 4 cycles).
+    #[inline]
+    pub const fn temporal_cycles(self) -> u32 {
+        let b = self.bricks_per_product();
+        b.div_ceil(BRICKS_PER_FUSION_UNIT)
+    }
+
+    /// Multiply-accumulate throughput of one Fusion Unit at this precision, in
+    /// operations per cycle, scaled by 1000 to stay integral (16-bit modes
+    /// yield fractional throughput).
+    #[inline]
+    pub const fn products_per_kilocycle(self) -> u64 {
+        (self.fused_pes_per_unit() as u64 * 1000) / self.temporal_cycles() as u64
+    }
+
+    /// Swapped (weight, input) pair; the architecture is symmetric in the two
+    /// operands (Figure 2(c) vs its transpose).
+    pub const fn transposed(self) -> Self {
+        PairPrecision {
+            input: self.weight,
+            weight: self.input,
+        }
+    }
+}
+
+impl fmt::Display for PairPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}bit/{}bit",
+            self.input.width.bits(),
+            self.weight.width.bits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for w in BitWidth::ALL {
+            assert_eq!(BitWidth::from_bits(w.bits()).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn from_bits_rejects_unsupported() {
+        for bits in [0u32, 3, 5, 6, 7, 9, 12, 17, 32] {
+            assert!(BitWidth::from_bits(bits).is_err(), "{bits} accepted");
+        }
+    }
+
+    #[test]
+    fn ceil_from_bits_rounds_up() {
+        assert_eq!(BitWidth::ceil_from_bits(3).unwrap(), BitWidth::B4);
+        assert_eq!(BitWidth::ceil_from_bits(5).unwrap(), BitWidth::B8);
+        assert_eq!(BitWidth::ceil_from_bits(9).unwrap(), BitWidth::B16);
+        assert_eq!(BitWidth::ceil_from_bits(16).unwrap(), BitWidth::B16);
+        assert!(BitWidth::ceil_from_bits(17).is_err());
+        assert!(BitWidth::ceil_from_bits(0).is_err());
+    }
+
+    #[test]
+    fn brick_sides_match_paper() {
+        // Figure 2: binary/ternary use one brick; 8-bit uses four lanes.
+        assert_eq!(BitWidth::B1.brick_side(), 1);
+        assert_eq!(BitWidth::B2.brick_side(), 1);
+        assert_eq!(BitWidth::B4.brick_side(), 2);
+        assert_eq!(BitWidth::B8.brick_side(), 4);
+        assert_eq!(BitWidth::B16.brick_side(), 8);
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        for w in BitWidth::ALL {
+            let s = w.to_string();
+            assert_eq!(s.parse::<BitWidth>().unwrap(), w);
+        }
+        assert!("3b".parse::<BitWidth>().is_err());
+        assert!("x".parse::<BitWidth>().is_err());
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let p = Precision::signed(BitWidth::B2);
+        assert_eq!((p.min_value(), p.max_value()), (-2, 1));
+        let p = Precision::signed(BitWidth::B8);
+        assert_eq!((p.min_value(), p.max_value()), (-128, 127));
+        let p = Precision::signed(BitWidth::B16);
+        assert_eq!((p.min_value(), p.max_value()), (-32768, 32767));
+    }
+
+    #[test]
+    fn unsigned_ranges() {
+        let p = Precision::unsigned(BitWidth::B1);
+        assert_eq!((p.min_value(), p.max_value()), (0, 1));
+        let p = Precision::unsigned(BitWidth::B2);
+        assert_eq!((p.min_value(), p.max_value()), (0, 3));
+        let p = Precision::unsigned(BitWidth::B8);
+        assert_eq!((p.min_value(), p.max_value()), (0, 255));
+    }
+
+    #[test]
+    fn contains_and_check() {
+        let p = Precision::signed(BitWidth::B4);
+        assert!(p.contains(-8));
+        assert!(p.contains(7));
+        assert!(!p.contains(8));
+        assert!(p.check(8).is_err());
+        assert_eq!(p.clamp(100), 7);
+        assert_eq!(p.clamp(-100), -8);
+    }
+
+    #[test]
+    fn fused_pe_counts_match_figure_2() {
+        // Figure 2(b): binary/ternary -> 16 Fused-PEs.
+        assert_eq!(PairPrecision::from_bits(1, 1).unwrap().fused_pes_per_unit(), 16);
+        assert_eq!(PairPrecision::from_bits(2, 2).unwrap().fused_pes_per_unit(), 16);
+        // Figure 2(c): 8-bit inputs x 2-bit weights -> 4 Fused-PEs.
+        assert_eq!(PairPrecision::from_bits(8, 2).unwrap().fused_pes_per_unit(), 4);
+        // Figure 2(d): 8-bit x 8-bit -> 1 Fused-PE.
+        assert_eq!(PairPrecision::from_bits(8, 8).unwrap().fused_pes_per_unit(), 1);
+        // §II-C mixed mode: 8-bit inputs x 2-bit weights quadruples parallelism.
+        assert_eq!(PairPrecision::from_bits(4, 4).unwrap().fused_pes_per_unit(), 4);
+        assert_eq!(PairPrecision::from_bits(4, 1).unwrap().fused_pes_per_unit(), 8);
+    }
+
+    #[test]
+    fn temporal_cycles_for_16_bit() {
+        assert_eq!(PairPrecision::from_bits(16, 16).unwrap().temporal_cycles(), 4);
+        assert_eq!(PairPrecision::from_bits(16, 8).unwrap().temporal_cycles(), 2);
+        assert_eq!(PairPrecision::from_bits(16, 2).unwrap().temporal_cycles(), 1);
+        assert_eq!(PairPrecision::from_bits(8, 8).unwrap().temporal_cycles(), 1);
+    }
+
+    #[test]
+    fn throughput_ordering() {
+        // Lower bitwidth must never decrease throughput.
+        let t = |i, w| PairPrecision::from_bits(i, w).unwrap().products_per_kilocycle();
+        assert!(t(1, 1) >= t(2, 2));
+        assert!(t(2, 2) > t(4, 4));
+        assert!(t(4, 4) > t(8, 8));
+        assert!(t(8, 8) > t(16, 16));
+        assert_eq!(t(16, 16), 250); // one multiply every four cycles
+        assert_eq!(t(2, 2), 16_000);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let p = PairPrecision::from_bits(8, 2).unwrap();
+        assert_eq!(p.transposed().transposed(), p);
+        assert_eq!(p.transposed().fused_pes_per_unit(), p.fused_pes_per_unit());
+    }
+}

@@ -1,0 +1,300 @@
+//! Recursive decomposition of wide multiplies into 2-bit BitBrick products
+//! (Equations 1–3 and Figures 6/7 of the paper).
+//!
+//! A two's-complement `2n`-bit operand `A` splits as
+//! `A = 2^n * A_hi + A_lo`, so
+//! `A * B = 2^2n * A_hi*B_hi + 2^n * (A_hi*B_lo + A_lo*B_hi) + A_lo*B_lo`
+//! (Equation 2). Applying the split recursively down to 2-bit *crumbs* turns
+//! any multiply with power-of-two operand widths into a set of BitBrick
+//! products, each left-shifted by the sum of its crumbs' positional weights.
+//! Only the most-significant crumb of a signed operand carries the sign; all
+//! lower crumbs are unsigned. This module implements that decomposition
+//! exactly and is property-tested against direct integer multiplication.
+
+use crate::bitbrick::{BitBrick, BrickOperand, Crumb};
+use crate::bitwidth::{PairPrecision, Precision};
+use crate::error::CoreError;
+
+/// Splits `value` into 2-bit crumbs, least significant first, with
+/// `precision.brick_side()` entries. For signed precisions the top crumb is
+/// the signed one; for [`BitWidth::B1`](crate::bitwidth::BitWidth::B1) the
+/// single crumb holds the bit.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] when `value` does not fit in
+/// `precision`.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::{BitWidth, Precision};
+/// use bitfusion_core::decompose::to_crumbs;
+///
+/// // 0b1011 (11) decomposes into crumbs 11 and 10 (Figure 6(a)).
+/// let crumbs = to_crumbs(11, Precision::unsigned(BitWidth::B4)).unwrap();
+/// assert_eq!(crumbs[0].raw(), 0b11);
+/// assert_eq!(crumbs[1].raw(), 0b10);
+/// ```
+pub fn to_crumbs(value: i32, precision: Precision) -> Result<Vec<Crumb>, CoreError> {
+    precision.check(value)?;
+    let side = precision.brick_side() as usize;
+    let raw = value as u32; // two's complement bit pattern
+    let mut crumbs = Vec::with_capacity(side);
+    for i in 0..side {
+        crumbs.push(Crumb::truncate((raw >> (2 * i)) as u8));
+    }
+    Ok(crumbs)
+}
+
+/// Reassembles a value from its crumbs (inverse of [`to_crumbs`]).
+///
+/// The top crumb is interpreted as signed when `precision` is signed.
+pub fn from_crumbs(crumbs: &[Crumb], precision: Precision) -> i32 {
+    let top = crumbs.len() - 1;
+    let mut value: i32 = 0;
+    for (i, c) in crumbs.iter().enumerate() {
+        let signed = precision.signedness.is_signed() && i == top;
+        value += (c.interpret(signed) as i32) << (2 * i);
+    }
+    value
+}
+
+/// One decomposed BitBrick operation: the two operands plus the left-shift
+/// applied to the product before summation (Figure 6(c)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecomposedOp {
+    /// First operand (an input crumb).
+    pub x: BrickOperand,
+    /// Second operand (a weight crumb).
+    pub y: BrickOperand,
+    /// Left shift applied to the 6-bit product.
+    pub shift: u32,
+}
+
+impl DecomposedOp {
+    /// Evaluates the operation: `(x * y) << shift`.
+    pub fn evaluate(self) -> i64 {
+        (BitBrick::multiply(self.x, self.y).value() as i64) << self.shift
+    }
+}
+
+/// Decomposes the multiply `a * b` (at precisions `pair.input`, `pair.weight`)
+/// into BitBrick operations.
+///
+/// The number of operations equals [`PairPrecision::bricks_per_product`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] when an operand does not fit its
+/// precision.
+pub fn decompose_multiply(
+    a: i32,
+    b: i32,
+    pair: PairPrecision,
+) -> Result<Vec<DecomposedOp>, CoreError> {
+    let a_crumbs = to_crumbs(a, pair.input)?;
+    let b_crumbs = to_crumbs(b, pair.weight)?;
+    let a_top = a_crumbs.len() - 1;
+    let b_top = b_crumbs.len() - 1;
+    let mut ops = Vec::with_capacity(a_crumbs.len() * b_crumbs.len());
+    for (i, &ac) in a_crumbs.iter().enumerate() {
+        for (j, &bc) in b_crumbs.iter().enumerate() {
+            ops.push(DecomposedOp {
+                x: BrickOperand::new(ac, pair.input.signedness.is_signed() && i == a_top),
+                y: BrickOperand::new(bc, pair.weight.signedness.is_signed() && j == b_top),
+                shift: 2 * (i as u32 + j as u32),
+            });
+        }
+    }
+    Ok(ops)
+}
+
+/// Multiplies `a * b` through the full BitBrick decomposition: decompose,
+/// evaluate every brick, shift, and sum — the complete Figure 6 pipeline.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ValueOutOfRange`] when an operand does not fit.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::PairPrecision;
+/// use bitfusion_core::decompose::decomposed_multiply;
+///
+/// // The paper's worked example: 11 x 6 = 66 via four 2-bit multiplies.
+/// let pair = PairPrecision::from_bits(4, 4).unwrap();
+/// assert_eq!(decomposed_multiply(11, 6, pair).unwrap(), 66);
+/// ```
+pub fn decomposed_multiply(a: i32, b: i32, pair: PairPrecision) -> Result<i64, CoreError> {
+    Ok(decompose_multiply(a, b, pair)?
+        .into_iter()
+        .map(DecomposedOp::evaluate)
+        .sum())
+}
+
+/// The shift amounts used when four BitBricks fuse into a 4-bit × 4-bit
+/// Fused-PE, as enumerated in Figure 6(c): 0, 2, 2, 4.
+pub fn fused_4x4_shifts() -> Vec<u32> {
+    let pair = PairPrecision::from_bits(4, 4).expect("4/4 is a supported pair");
+    decompose_multiply(0, 0, pair)
+        .expect("zero always fits")
+        .into_iter()
+        .map(|op| op.shift)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitwidth::{BitWidth, Signedness};
+
+    fn pair(i_bits: u32, i_sign: Signedness, w_bits: u32, w_sign: Signedness) -> PairPrecision {
+        PairPrecision::new(
+            Precision::new(BitWidth::from_bits(i_bits).unwrap(), i_sign),
+            Precision::new(BitWidth::from_bits(w_bits).unwrap(), w_sign),
+        )
+    }
+
+    #[test]
+    fn crumbs_round_trip_unsigned() {
+        for w in BitWidth::ALL {
+            let p = Precision::unsigned(w);
+            for v in p.min_value()..=p.max_value().min(4096) {
+                let crumbs = to_crumbs(v, p).unwrap();
+                assert_eq!(crumbs.len(), p.brick_side() as usize);
+                assert_eq!(from_crumbs(&crumbs, p), v, "{w} value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn crumbs_round_trip_signed() {
+        for w in BitWidth::ALL {
+            let p = Precision::signed(w);
+            let lo = p.min_value().max(-4096);
+            let hi = p.max_value().min(4096);
+            for v in lo..=hi {
+                let crumbs = to_crumbs(v, p).unwrap();
+                assert_eq!(from_crumbs(&crumbs, p), v, "{w} value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure_6_example() {
+        // 1011 (11) x 0110 (6) = 0100_0010 (66), via four 2-bit multiplies
+        // shifted by 0, 2, 2, 4.
+        let pair = pair(4, Signedness::Unsigned, 4, Signedness::Unsigned);
+        let ops = decompose_multiply(11, 6, pair).unwrap();
+        assert_eq!(ops.len(), 4);
+        let mut shifts: Vec<u32> = ops.iter().map(|o| o.shift).collect();
+        shifts.sort_unstable();
+        assert_eq!(shifts, vec![0, 2, 2, 4]);
+        let total: i64 = ops.into_iter().map(DecomposedOp::evaluate).sum();
+        assert_eq!(total, 66);
+    }
+
+    #[test]
+    fn paper_figure_7_example() {
+        // Two 4-bit x 2-bit multiplies: 15*1 + 10*2 = 35.
+        let pair = pair(4, Signedness::Unsigned, 2, Signedness::Unsigned);
+        let a = decomposed_multiply(15, 1, pair).unwrap();
+        let b = decomposed_multiply(10, 2, pair).unwrap();
+        assert_eq!(a + b, 35);
+        // Each uses exactly two BitBricks.
+        assert_eq!(pair.bricks_per_product(), 2);
+    }
+
+    #[test]
+    fn exhaustive_4x4_all_sign_combinations() {
+        for i_sign in [Signedness::Signed, Signedness::Unsigned] {
+            for w_sign in [Signedness::Signed, Signedness::Unsigned] {
+                let pr = pair(4, i_sign, 4, w_sign);
+                for a in pr.input.min_value()..=pr.input.max_value() {
+                    for b in pr.weight.min_value()..=pr.weight.max_value() {
+                        assert_eq!(
+                            decomposed_multiply(a, b, pr).unwrap(),
+                            (a as i64) * (b as i64),
+                            "{a} * {b} ({i_sign:?} x {w_sign:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_8x8_signed() {
+        let pr = pair(8, Signedness::Signed, 8, Signedness::Signed);
+        for a in (-128..=127).step_by(3) {
+            for b in (-128..=127).step_by(5) {
+                assert_eq!(
+                    decomposed_multiply(a, b, pr).unwrap(),
+                    (a as i64) * (b as i64)
+                );
+            }
+        }
+        // Corners exactly.
+        for a in [-128, -1, 0, 1, 127] {
+            for b in [-128, -1, 0, 1, 127] {
+                assert_eq!(
+                    decomposed_multiply(a, b, pr).unwrap(),
+                    (a as i64) * (b as i64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_width_16x4() {
+        let pr = pair(16, Signedness::Signed, 4, Signedness::Signed);
+        for a in [-32768, -12345, -1, 0, 1, 31000, 32767] {
+            for b in -8..=7 {
+                assert_eq!(
+                    decomposed_multiply(a, b, pr).unwrap(),
+                    (a as i64) * (b as i64)
+                );
+            }
+        }
+        assert_eq!(pr.bricks_per_product(), 16);
+    }
+
+    #[test]
+    fn binary_operand_single_brick() {
+        let pr = pair(1, Signedness::Unsigned, 8, Signedness::Signed);
+        assert_eq!(pr.bricks_per_product(), 4);
+        for a in 0..=1 {
+            for b in [-128, -5, 0, 5, 127] {
+                assert_eq!(
+                    decomposed_multiply(a, b, pr).unwrap(),
+                    (a as i64) * (b as i64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let pr = pair(4, Signedness::Signed, 4, Signedness::Signed);
+        assert!(decomposed_multiply(8, 0, pr).is_err());
+        assert!(decomposed_multiply(0, -9, pr).is_err());
+    }
+
+    #[test]
+    fn op_count_matches_brick_cost() {
+        for (i, w) in [(2u32, 2u32), (4, 2), (4, 4), (8, 2), (8, 4), (8, 8), (16, 16)] {
+            let pr = pair(i, Signedness::Signed, w, Signedness::Signed);
+            let ops = decompose_multiply(1, 1, pr).unwrap();
+            assert_eq!(ops.len() as u32, pr.bricks_per_product(), "{i}x{w}");
+        }
+    }
+
+    #[test]
+    fn fused_shift_pattern() {
+        let mut shifts = fused_4x4_shifts();
+        shifts.sort_unstable();
+        assert_eq!(shifts, vec![0, 2, 2, 4]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fusion Units: dynamically composable groups of 16 BitBricks.
+//!
+//! This module implements the three designs discussed in §III of the paper:
+//!
+//! * [`spatial`] — *spatial fusion* (Figure 9): all decomposed products of a
+//!   multiply are computed by distinct BitBricks in the same cycle and summed
+//!   by a shift-add tree.
+//! * [`temporal`] — the *temporal design* (Figure 8): each BitBrick iterates
+//!   over the decomposed products across cycles, with a private shifter and
+//!   accumulator register. Implemented as the reference point for the
+//!   Figure 10 area/power comparison.
+//! * [`unit`] — the production *Fusion Unit*: spatial fusion up to 8-bit
+//!   operands combined with temporal iteration for 16-bit operands
+//!   (the spatio-temporal hybrid of §III-C).
+
+pub mod spatial;
+pub mod temporal;
+pub mod unit;
+
+pub use spatial::{FusedPe, SpatialStructure};
+pub use temporal::{TemporalRun, TemporalUnit};
+pub use unit::{FusionUnit, MacResult};

@@ -1,0 +1,249 @@
+//! Spatial fusion: the single-cycle shift-add composition of BitBricks
+//! (Figure 9 of the paper).
+
+use crate::bitwidth::{PairPrecision, BRICKS_PER_FUSION_UNIT};
+use crate::decompose::{decompose_multiply, DecomposedOp};
+use crate::error::CoreError;
+use crate::gates::GateCount;
+
+/// One Fused Processing Engine: the set of BitBricks (with their shift
+/// amounts) that jointly compute a single variable-bitwidth multiply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedPe {
+    /// Indices of the BitBricks composing this Fused-PE within the unit
+    /// (0..16).
+    pub brick_indices: Vec<u32>,
+    /// Left-shift applied to each brick's product, aligned with
+    /// `brick_indices`.
+    pub shifts: Vec<u32>,
+}
+
+impl FusedPe {
+    /// Number of BitBricks fused into this engine.
+    pub fn brick_count(&self) -> u32 {
+        self.brick_indices.len() as u32
+    }
+}
+
+/// The static structure of a spatially fused multiplier for a given
+/// precision pair: which bricks belong to which Fused-PE and the shift-add
+/// tree that combines them.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::PairPrecision;
+/// use bitfusion_core::fusion::SpatialStructure;
+///
+/// // Figure 2(c): 8-bit inputs x 2-bit weights -> 4 Fused-PEs of 4 bricks.
+/// let s = SpatialStructure::for_pair(PairPrecision::from_bits(8, 2).unwrap()).unwrap();
+/// assert_eq!(s.fused_pes().len(), 4);
+/// assert!(s.fused_pes().iter().all(|pe| pe.brick_count() == 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialStructure {
+    pair: PairPrecision,
+    fused_pes: Vec<FusedPe>,
+}
+
+impl SpatialStructure {
+    /// Builds the fusion structure for `pair`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedBitWidth`] for 16-bit operands:
+    /// spatial fusion stops at 8 bits (§III-C — wider spatial fusion would
+    /// require 128-bit SRAM ports); 16-bit operands require the
+    /// spatio-temporal [`FusionUnit`](crate::fusion::FusionUnit) instead.
+    pub fn for_pair(pair: PairPrecision) -> Result<Self, CoreError> {
+        let per_product = pair.bricks_per_product();
+        if per_product > BRICKS_PER_FUSION_UNIT
+            || pair.input.width == crate::bitwidth::BitWidth::B16
+            || pair.weight.width == crate::bitwidth::BitWidth::B16
+        {
+            return Err(CoreError::UnsupportedBitWidth(
+                pair.input.bits().max(pair.weight.bits()),
+            ));
+        }
+        // Shifts are the same for every product at this precision; derive
+        // them once from the decomposition of an arbitrary in-range value.
+        let template: Vec<u32> = decompose_multiply(0, 0, pair)
+            .expect("zero fits all precisions")
+            .into_iter()
+            .map(|op| op.shift)
+            .collect();
+        let fpe_count = pair.fused_pes_per_unit();
+        let mut fused_pes = Vec::with_capacity(fpe_count as usize);
+        let mut next_brick = 0u32;
+        for _ in 0..fpe_count {
+            let brick_indices: Vec<u32> =
+                (next_brick..next_brick + per_product).collect();
+            next_brick += per_product;
+            fused_pes.push(FusedPe {
+                brick_indices,
+                shifts: template.clone(),
+            });
+        }
+        Ok(SpatialStructure { pair, fused_pes })
+    }
+
+    /// The precision pair this structure was built for.
+    pub fn pair(&self) -> PairPrecision {
+        self.pair
+    }
+
+    /// The Fused-PEs of the unit.
+    pub fn fused_pes(&self) -> &[FusedPe] {
+        &self.fused_pes
+    }
+
+    /// Evaluates one cycle of the spatially fused unit: each `(input,
+    /// weight)` pair feeds one Fused-PE; the return value is the sum of all
+    /// products (the unit's contribution to the column partial sum,
+    /// Figure 2(a)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] when `pairs.len()` differs from
+    /// the Fused-PE count, or [`CoreError::ValueOutOfRange`] when an operand
+    /// does not fit the configured precision.
+    pub fn evaluate(&self, pairs: &[(i32, i32)]) -> Result<i64, CoreError> {
+        if pairs.len() != self.fused_pes.len() {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.fused_pes.len(),
+                actual: pairs.len(),
+            });
+        }
+        let mut acc: i64 = 0;
+        for &(a, b) in pairs {
+            let ops = decompose_multiply(a, b, self.pair)?;
+            acc += ops.into_iter().map(DecomposedOp::evaluate).sum::<i64>();
+        }
+        Ok(acc)
+    }
+
+    /// Number of shift-add tree levels needed to reduce 16 brick products
+    /// (log4 of the brick count: quads reduce at each level, Figure 9).
+    pub fn shift_add_levels() -> u32 {
+        // 16 bricks -> 4 quad nodes -> 1 root: two levels of 4-input adders.
+        2
+    }
+
+    /// Structural gate counts of the spatial fusion logic (shift units plus
+    /// the adder tree), excluding the BitBricks themselves.
+    ///
+    /// Each tree level has three shift units and one four-input adder per
+    /// node (§III-C); widths grow toward the root. A single shared 32-bit
+    /// accumulator register terminates the tree.
+    pub fn shift_add_gates() -> GateCount {
+        let mut g = GateCount::ZERO;
+        // Level 1: four nodes, each fusing four 6-bit brick products into a
+        // 12-bit partial value: 3 shift units (4-position barrel shifters
+        // over 12 bits) and a 4-input adder (three 12-bit ripple adders).
+        let level1_node =
+            GateCount::barrel_shifter(12, 4) * 3 + GateCount::ripple_adder(12) * 3;
+        g += level1_node * 4;
+        // Level 2: one node fusing four 12-bit values into a 24-bit product:
+        // 3 shift units (4-position over 24 bits) and three 24-bit adders.
+        g += GateCount::barrel_shifter(24, 4) * 3 + GateCount::ripple_adder(24) * 3;
+        // Output accumulate into the 32-bit partial-sum register.
+        g += GateCount::ripple_adder(32);
+        g
+    }
+
+    /// The single shared output register (32-bit partial sums, §II-C).
+    pub fn register_gates() -> GateCount {
+        GateCount::register(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitwidth::{BitWidth, Precision};
+
+    #[test]
+    fn structure_counts_match_figure_2() {
+        let cases = [
+            ((2, 2), 16, 1),
+            ((1, 1), 16, 1),
+            ((8, 2), 4, 4),
+            ((2, 8), 4, 4),
+            ((4, 4), 4, 4),
+            ((4, 1), 8, 2),
+            ((8, 8), 1, 16),
+        ];
+        for ((i, w), fpes, bricks) in cases {
+            let s = SpatialStructure::for_pair(PairPrecision::from_bits(i, w).unwrap()).unwrap();
+            assert_eq!(s.fused_pes().len(), fpes, "{i}/{w} fpes");
+            assert!(
+                s.fused_pes().iter().all(|pe| pe.brick_count() == bricks),
+                "{i}/{w} bricks"
+            );
+        }
+    }
+
+    #[test]
+    fn bricks_never_shared_between_fused_pes() {
+        for (i, w) in [(2, 2), (4, 2), (4, 4), (8, 2), (8, 4), (8, 8)] {
+            let s = SpatialStructure::for_pair(PairPrecision::from_bits(i, w).unwrap()).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for pe in s.fused_pes() {
+                for &b in &pe.brick_indices {
+                    assert!(b < 16);
+                    assert!(seen.insert(b), "brick {b} reused at {i}/{w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_rejected_spatially() {
+        assert!(SpatialStructure::for_pair(PairPrecision::from_bits(16, 4).unwrap()).is_err());
+        assert!(SpatialStructure::for_pair(PairPrecision::from_bits(16, 16).unwrap()).is_err());
+    }
+
+    #[test]
+    fn evaluate_sums_all_fused_pes() {
+        // Figure 7: two 4-bit x 2-bit products summed: 15*1 + 10*2 = 35,
+        // padded with zero pairs to fill the 8 Fused-PEs of the 4/2 config.
+        let pair = PairPrecision::new(
+            Precision::unsigned(BitWidth::B4),
+            Precision::unsigned(BitWidth::B2),
+        );
+        let s = SpatialStructure::for_pair(pair).unwrap();
+        let mut pairs = vec![(15, 1), (10, 2)];
+        pairs.resize(s.fused_pes().len(), (0, 0));
+        assert_eq!(s.evaluate(&pairs).unwrap(), 35);
+    }
+
+    #[test]
+    fn evaluate_rejects_wrong_arity() {
+        let s = SpatialStructure::for_pair(PairPrecision::from_bits(8, 8).unwrap()).unwrap();
+        assert!(matches!(
+            s.evaluate(&[(1, 1), (2, 2)]),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluate_matches_reference_dot_product() {
+        let pair = PairPrecision::from_bits(4, 4).unwrap();
+        let s = SpatialStructure::for_pair(pair).unwrap();
+        let pairs = [(7, -8), (3, 5), (0, 7), (15, -1)];
+        let expected: i64 = pairs.iter().map(|&(a, b)| a as i64 * b as i64).sum();
+        assert_eq!(s.evaluate(&pairs).unwrap(), expected);
+    }
+
+    #[test]
+    fn gates_are_nonzero_and_register_small() {
+        let tree = SpatialStructure::shift_add_gates();
+        assert!(tree.gate_equivalents() > 0.0);
+        let reg = SpatialStructure::register_gates();
+        assert_eq!(reg.flops, 32);
+        // The single shared register must be far smaller than the tree — the
+        // design point Figure 10 highlights (16x register reduction vs the
+        // temporal design).
+        assert!(reg.gate_equivalents() < tree.gate_equivalents());
+    }
+}

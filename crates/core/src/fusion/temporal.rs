@@ -1,0 +1,181 @@
+//! The temporal reference design (Figure 8 of the paper): 16 independent
+//! BitBrick lanes, each iterating over the decomposed products of its
+//! multiply across cycles with a private shifter and accumulator register.
+//!
+//! The paper implements this design only to *compare against* spatial fusion
+//! (Figure 10: the hybrid Fusion Unit is 3.5× smaller and 3.2× lower power at
+//! the same throughput); we reproduce it for the same purpose.
+
+use crate::bitwidth::{PairPrecision, BRICKS_PER_FUSION_UNIT};
+use crate::decompose::{decompose_multiply, DecomposedOp};
+use crate::error::CoreError;
+use crate::gates::GateCount;
+
+/// Result of running a batch of multiplies on the temporal design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalRun {
+    /// Sum of all products (after each lane's accumulation completes).
+    pub total: i64,
+    /// Cycles consumed: the maximum lane occupancy, since lanes run in
+    /// lockstep off a shared sequencer.
+    pub cycles: u64,
+    /// Total BitBrick operations issued.
+    pub brick_ops: u64,
+}
+
+/// The temporal design: [`BRICKS_PER_FUSION_UNIT`] independent single-brick
+/// lanes.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::PairPrecision;
+/// use bitfusion_core::fusion::TemporalUnit;
+///
+/// let unit = TemporalUnit::new(PairPrecision::from_bits(4, 4).unwrap());
+/// // 16 multiplies at 4-bit need 4 decomposed products each -> 4 cycles.
+/// let pairs: Vec<(i32, i32)> = (0..16).map(|i| (i % 8, 7 - (i % 8))).collect();
+/// let run = unit.execute(&pairs).unwrap();
+/// assert_eq!(run.cycles, 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalUnit {
+    pair: PairPrecision,
+}
+
+impl TemporalUnit {
+    /// Creates a temporal unit configured for `pair`.
+    pub const fn new(pair: PairPrecision) -> Self {
+        TemporalUnit { pair }
+    }
+
+    /// The configured precision pair.
+    pub const fn pair(&self) -> PairPrecision {
+        self.pair
+    }
+
+    /// Executes `pairs` across the 16 lanes: multiplies are dealt round-robin
+    /// to lanes; each lane serially evaluates the decomposed 2-bit products
+    /// of its multiplies, shifting and accumulating one product per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] when an operand does not fit
+    /// the configured precision.
+    pub fn execute(&self, pairs: &[(i32, i32)]) -> Result<TemporalRun, CoreError> {
+        let lanes = BRICKS_PER_FUSION_UNIT as usize;
+        let mut lane_cycles = vec![0u64; lanes];
+        let mut total: i64 = 0;
+        let mut brick_ops = 0u64;
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            let ops = decompose_multiply(a, b, self.pair)?;
+            lane_cycles[idx % lanes] += ops.len() as u64;
+            brick_ops += ops.len() as u64;
+            total += ops.into_iter().map(DecomposedOp::evaluate).sum::<i64>();
+        }
+        Ok(TemporalRun {
+            total,
+            cycles: lane_cycles.into_iter().max().unwrap_or(0),
+            brick_ops,
+        })
+    }
+
+    /// Steady-state multiplies per cycle at the configured precision: lanes
+    /// divided by the decomposed-product count per multiply.
+    pub fn throughput_per_kilocycle(&self) -> u64 {
+        BRICKS_PER_FUSION_UNIT as u64 * 1000 / self.pair.bricks_per_product() as u64
+    }
+
+    /// Per-lane shift/accumulate gates. Supporting operands up to 16 bits
+    /// means each lane shifts its 6-bit product by one of 16 even amounts
+    /// (a 16-position barrel shifter over the 32-bit shifted value) and
+    /// accumulates into a private 32-bit register — this is why the temporal
+    /// design spends ~90% of its area on shift-add and registers (§III-C).
+    pub fn lane_shift_add_gates() -> GateCount {
+        GateCount::barrel_shifter(32, 16) + GateCount::ripple_adder(32)
+    }
+
+    /// Total gates of the shift-add logic across all 16 lanes.
+    pub fn shift_add_gates() -> GateCount {
+        Self::lane_shift_add_gates() * BRICKS_PER_FUSION_UNIT as u64
+    }
+
+    /// Total register gates: one 32-bit accumulator per lane.
+    pub fn register_gates() -> GateCount {
+        GateCount::register(32) * BRICKS_PER_FUSION_UNIT as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::unit::FusionUnit;
+
+    #[test]
+    fn result_matches_reference() {
+        let unit = TemporalUnit::new(PairPrecision::from_bits(8, 8).unwrap());
+        let pairs: Vec<(i32, i32)> = (0..32).map(|i| (i * 3 % 256, (i * 7 % 256) - 128)).collect();
+        let expected: i64 = pairs.iter().map(|&(a, b)| a as i64 * b as i64).sum();
+        assert_eq!(unit.execute(&pairs).unwrap().total, expected);
+    }
+
+    #[test]
+    fn four_bit_multiply_takes_four_cycles() {
+        // Figure 8: the temporal design requires 4 cycles for one 4x4
+        // multiply on a single lane.
+        let unit = TemporalUnit::new(PairPrecision::from_bits(4, 4).unwrap());
+        let run = unit.execute(&[(7, -8)]).unwrap();
+        assert_eq!(run.cycles, 4);
+        assert_eq!(run.total, -56);
+    }
+
+    #[test]
+    fn throughput_equals_spatial_fusion() {
+        // §III-C compares the designs *at the same throughput*; verify the
+        // steady-state rates match for every spatially supported pair.
+        for (i, w) in [(2, 2), (4, 2), (4, 4), (8, 2), (8, 4), (8, 8)] {
+            let pair = PairPrecision::from_bits(i, w).unwrap();
+            let temporal = TemporalUnit::new(pair).throughput_per_kilocycle();
+            let spatial = pair.products_per_kilocycle();
+            assert_eq!(temporal, spatial, "{i}/{w}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_fusion_unit_on_random_batches() {
+        let pair = PairPrecision::from_bits(4, 2).unwrap();
+        let unit = TemporalUnit::new(pair);
+        let fusion = FusionUnit::new(pair);
+        let pairs: Vec<(i32, i32)> = (0..64)
+            .map(|i| ((i * 5) % 16, ((i * 11) % 4) - 2))
+            .collect();
+        let t = unit.execute(&pairs).unwrap();
+        let f = fusion.dot(&pairs, 0).unwrap();
+        assert_eq!(t.total, f.psum_out);
+        assert_eq!(t.brick_ops, f.brick_ops);
+    }
+
+    #[test]
+    fn register_area_dominates_vs_spatial() {
+        use crate::fusion::spatial::SpatialStructure;
+        // The temporal design carries 16 private accumulators vs one shared
+        // register: a 16x flop-count gap (the "16.0x" row of Figure 10).
+        let temporal = TemporalUnit::register_gates();
+        let spatial = SpatialStructure::register_gates();
+        assert_eq!(temporal.flops, 16 * spatial.flops);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let unit = TemporalUnit::new(PairPrecision::from_bits(2, 2).unwrap());
+        assert!(unit.execute(&[(4, 0)]).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_zero_cycles() {
+        let unit = TemporalUnit::new(PairPrecision::from_bits(8, 8).unwrap());
+        let run = unit.execute(&[]).unwrap();
+        assert_eq!(run.cycles, 0);
+        assert_eq!(run.total, 0);
+    }
+}

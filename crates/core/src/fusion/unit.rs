@@ -1,0 +1,264 @@
+//! The production Fusion Unit: spatial fusion up to 8-bit operands combined
+//! with temporal iteration for 16-bit operands (§III-C of the paper).
+
+use crate::bitwidth::{BitWidth, PairPrecision, Precision, BRICKS_PER_FUSION_UNIT};
+use crate::decompose::{decompose_multiply, DecomposedOp};
+use crate::error::CoreError;
+use crate::fusion::spatial::SpatialStructure;
+use crate::gates::GateCount;
+
+/// Result of one logical multiply-accumulate step on a Fusion Unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacResult {
+    /// The outgoing partial sum: incoming partial sum plus the sum of all
+    /// products computed this step (`psum forward` in Figure 2(a)).
+    pub psum_out: i64,
+    /// Cycles consumed: 1 for spatially supported precisions, up to 4 for
+    /// 16-bit operands (temporal iteration).
+    pub cycles: u64,
+    /// BitBrick operations issued.
+    pub brick_ops: u64,
+}
+
+/// A Fusion Unit: 16 BitBricks plus shift-add logic, dynamically configured
+/// to a precision pair.
+///
+/// The unit is stateless between steps (partial sums flow systolically, not
+/// through local storage — §II-B: "the systolic organization also eliminates
+/// the need for local buffers ... within Fusion Units").
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::PairPrecision;
+/// use bitfusion_core::fusion::FusionUnit;
+///
+/// // Ternary weights: 16 parallel multiplies in a single cycle.
+/// let unit = FusionUnit::new(PairPrecision::from_bits(2, 2).unwrap());
+/// let pairs: Vec<(i32, i32)> = (0..16).map(|i| (i % 4, (i % 3) - 1)).collect();
+/// let r = unit.mac(&pairs, 100).unwrap();
+/// assert_eq!(r.cycles, 1);
+/// let expected: i64 = 100 + pairs.iter().map(|&(a, b)| (a * b) as i64).sum::<i64>();
+/// assert_eq!(r.psum_out, expected);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FusionUnit {
+    pair: PairPrecision,
+}
+
+impl FusionUnit {
+    /// Creates a unit configured for `pair`. All widths from 1 to 16 bits
+    /// are supported; 16-bit operands engage the temporal path.
+    pub const fn new(pair: PairPrecision) -> Self {
+        FusionUnit { pair }
+    }
+
+    /// The configured precision pair.
+    pub const fn pair(&self) -> PairPrecision {
+        self.pair
+    }
+
+    /// Number of multiplies the unit accepts per step (its Fused-PE count).
+    pub const fn lanes(&self) -> u32 {
+        self.pair.fused_pes_per_unit()
+    }
+
+    /// Executes one step: up to [`FusionUnit::lanes`] `(input, weight)`
+    /// multiplies, summed together with the incoming partial sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] when more pairs than lanes are
+    /// supplied, or [`CoreError::ValueOutOfRange`] when an operand does not
+    /// fit the configured precision.
+    pub fn mac(&self, pairs: &[(i32, i32)], psum_in: i64) -> Result<MacResult, CoreError> {
+        if pairs.len() > self.lanes() as usize {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.lanes() as usize,
+                actual: pairs.len(),
+            });
+        }
+        let mut acc = psum_in;
+        let mut brick_ops = 0u64;
+        for &(a, b) in pairs {
+            let ops = decompose_multiply(a, b, self.pair)?;
+            brick_ops += ops.len() as u64;
+            acc += ops.into_iter().map(DecomposedOp::evaluate).sum::<i64>();
+        }
+        Ok(MacResult {
+            psum_out: acc,
+            cycles: self.pair.temporal_cycles() as u64,
+            brick_ops,
+        })
+    }
+
+    /// Convenience: runs a full dot product through the unit, stepping
+    /// [`FusionUnit::lanes`] elements at a time, and returns the aggregate
+    /// result with total cycles and brick operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`FusionUnit::mac`].
+    pub fn dot(&self, pairs: &[(i32, i32)], psum_in: i64) -> Result<MacResult, CoreError> {
+        let mut acc = psum_in;
+        let mut cycles = 0u64;
+        let mut brick_ops = 0u64;
+        for chunk in pairs.chunks(self.lanes().max(1) as usize) {
+            let r = self.mac(chunk, acc)?;
+            acc = r.psum_out;
+            cycles += r.cycles;
+            brick_ops += r.brick_ops;
+        }
+        Ok(MacResult {
+            psum_out: acc,
+            cycles,
+            brick_ops,
+        })
+    }
+
+    /// Whether the configured precision engages the temporal (multi-cycle)
+    /// path.
+    pub const fn is_spatio_temporal(&self) -> bool {
+        self.pair.temporal_cycles() > 1
+    }
+
+    /// Gate counts of the unit, split the way Figure 10 reports them.
+    pub fn gates() -> FusionUnitGates {
+        FusionUnitGates {
+            bit_bricks: GateCount::multiplier_3x3() * BRICKS_PER_FUSION_UNIT as u64,
+            shift_add: SpatialStructure::shift_add_gates()
+                // Temporal extension for 16-bit: one extra shift stage and
+                // accumulate feedback at the root of the tree.
+                + GateCount::barrel_shifter(32, 4)
+                + GateCount::ripple_adder(32),
+            register: SpatialStructure::register_gates(),
+        }
+    }
+
+    /// The widest precision the unit fuses purely spatially.
+    pub const fn max_spatial_width() -> BitWidth {
+        BitWidth::B8
+    }
+
+    /// Enumerates every precision pair the unit supports (all combinations
+    /// of 1/2/4/8/16-bit inputs and weights), in increasing brick-cost order.
+    pub fn supported_pairs() -> Vec<PairPrecision> {
+        let mut pairs = Vec::new();
+        for iw in BitWidth::ALL {
+            for ww in BitWidth::ALL {
+                pairs.push(PairPrecision::new(
+                    Precision::unsigned(iw),
+                    Precision::signed(ww),
+                ));
+            }
+        }
+        pairs.sort_by_key(|p| p.bricks_per_product());
+        pairs
+    }
+}
+
+/// Gate counts of one Fusion Unit, split into the Figure 10 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionUnitGates {
+    /// The 16 BitBrick multipliers.
+    pub bit_bricks: GateCount,
+    /// Shift units and adder trees.
+    pub shift_add: GateCount,
+    /// Output registers.
+    pub register: GateCount,
+}
+
+impl FusionUnitGates {
+    /// Sum of all three categories.
+    pub fn total(&self) -> GateCount {
+        self.bit_bricks + self.shift_add + self.register
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_configs_single_cycle() {
+        for (i, w) in [(1, 1), (2, 2), (4, 4), (8, 8), (8, 2)] {
+            let unit = FusionUnit::new(PairPrecision::from_bits(i, w).unwrap());
+            assert!(!unit.is_spatio_temporal(), "{i}/{w}");
+            let pairs = vec![(0, 0); unit.lanes() as usize];
+            assert_eq!(unit.mac(&pairs, 0).unwrap().cycles, 1);
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_temporal_cycles() {
+        let unit = FusionUnit::new(PairPrecision::from_bits(16, 16).unwrap());
+        assert!(unit.is_spatio_temporal());
+        // Inputs are unsigned, weights signed (the from_bits convention).
+        let r = unit.mac(&[(60000, -29999)], 0).unwrap();
+        assert_eq!(r.cycles, 4);
+        assert_eq!(r.psum_out, 60000i64 * -29999);
+        assert_eq!(r.brick_ops, 64);
+    }
+
+    #[test]
+    fn mixed_16x8_two_cycles() {
+        let unit = FusionUnit::new(PairPrecision::from_bits(16, 8).unwrap());
+        let r = unit.mac(&[(40000, -100)], 0).unwrap();
+        assert_eq!(r.cycles, 2);
+        assert_eq!(r.psum_out, 40000i64 * -100);
+    }
+
+    #[test]
+    fn dot_matches_reference_for_every_supported_pair() {
+        for pair in FusionUnit::supported_pairs() {
+            let unit = FusionUnit::new(pair);
+            let n = 37usize; // deliberately not a multiple of the lane count
+            let pairs: Vec<(i32, i32)> = (0..n)
+                .map(|k| {
+                    let a = pair.input.min_value()
+                        + (k as i32 * 7) % (pair.input.max_value() - pair.input.min_value() + 1);
+                    let b = pair.weight.min_value()
+                        + (k as i32 * 13) % (pair.weight.max_value() - pair.weight.min_value() + 1);
+                    (a, b)
+                })
+                .collect();
+            let expected: i64 = pairs.iter().map(|&(a, b)| a as i64 * b as i64).sum();
+            let r = unit.dot(&pairs, 0).unwrap();
+            assert_eq!(r.psum_out, expected, "pair {pair}");
+        }
+    }
+
+    #[test]
+    fn mac_rejects_overfull_step() {
+        let unit = FusionUnit::new(PairPrecision::from_bits(8, 8).unwrap());
+        assert!(unit.mac(&[(1, 1), (2, 2)], 0).is_err());
+    }
+
+    #[test]
+    fn partial_sums_thread_through() {
+        let unit = FusionUnit::new(PairPrecision::from_bits(4, 4).unwrap());
+        let r1 = unit.mac(&[(3, 3)], 0).unwrap();
+        let r2 = unit.mac(&[(2, 2)], r1.psum_out).unwrap();
+        assert_eq!(r2.psum_out, 13);
+    }
+
+    #[test]
+    fn gate_totals_follow_figure_10_shape() {
+        let fu = FusionUnit::gates();
+        let total = fu.total().gate_equivalents();
+        assert!(total > 0.0);
+        // Figure 10: in the Fusion Unit, shift-add is the dominant component
+        // and the register is by far the smallest.
+        assert!(fu.shift_add.gate_equivalents() > fu.bit_bricks.gate_equivalents());
+        assert!(fu.register.gate_equivalents() < fu.bit_bricks.gate_equivalents());
+    }
+
+    #[test]
+    fn supported_pairs_covers_25_combinations() {
+        let pairs = FusionUnit::supported_pairs();
+        assert_eq!(pairs.len(), 25);
+        // Sorted by brick cost: first entries single-brick, last 16x16.
+        assert_eq!(pairs.first().unwrap().bricks_per_product(), 1);
+        assert_eq!(pairs.last().unwrap().bricks_per_product(), 64);
+    }
+}

@@ -1,0 +1,250 @@
+//! Boolean gate primitives and structural gate counting.
+//!
+//! The paper reports synthesis results (Figure 10) for the Fusion Unit and a
+//! reference temporal design. We do not have a synthesis flow, so the area
+//! and power model in `bitfusion-energy` is grounded on *gate counts*
+//! produced by the structural constructors here, calibrated against the
+//! published totals. The boolean evaluators double as a fidelity check for
+//! the arithmetic fast paths (see [`crate::bitbrick::BitBrick::multiply_gates`]).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Half adder: returns `(sum, carry)`.
+#[inline]
+pub fn half_adder(a: bool, b: bool) -> (bool, bool) {
+    (a ^ b, a & b)
+}
+
+/// Full adder: returns `(sum, carry)`.
+#[inline]
+pub fn full_adder(a: bool, b: bool, c: bool) -> (bool, bool) {
+    let s1 = a ^ b;
+    (s1 ^ c, (a & b) | (s1 & c))
+}
+
+/// Structural gate/register counts of a hardware block.
+///
+/// Counts use half/full adders, 2:1 muxes, generic 2-input logic gates, and
+/// flip-flops as the unit primitives — the same granularity the paper uses
+/// when it attributes Fusion Unit area to "BitBricks", "Shift-Add" and
+/// "Register" (Figure 10).
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::gates::GateCount;
+///
+/// let adder6 = GateCount::ripple_adder(6);
+/// assert_eq!(adder6.full_adders, 6);
+/// let two = adder6 + adder6;
+/// assert_eq!(two.full_adders, 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct GateCount {
+    /// Half adders.
+    pub half_adders: u64,
+    /// Full adders.
+    pub full_adders: u64,
+    /// 2:1 multiplexers (a k:1 mux counts as k-1 of these).
+    pub muxes: u64,
+    /// Generic 2-input combinational gates (AND/OR/XOR/INV average).
+    pub logic: u64,
+    /// Flip-flops (register bits).
+    pub flops: u64,
+}
+
+impl GateCount {
+    /// The empty count.
+    pub const ZERO: GateCount = GateCount {
+        half_adders: 0,
+        full_adders: 0,
+        muxes: 0,
+        logic: 0,
+        flops: 0,
+    };
+
+    /// An `n`-bit ripple-carry adder (modelled as `n` full adders).
+    pub const fn ripple_adder(n: u64) -> GateCount {
+        GateCount {
+            half_adders: 0,
+            full_adders: n,
+            muxes: 0,
+            logic: 0,
+            flops: 0,
+        }
+    }
+
+    /// An `n`-bit register.
+    pub const fn register(n: u64) -> GateCount {
+        GateCount {
+            half_adders: 0,
+            full_adders: 0,
+            muxes: 0,
+            logic: 0,
+            flops: n,
+        }
+    }
+
+    /// An `n`-bit wide `k`:1 multiplexer bank (a k:1 mux per output bit,
+    /// decomposed into k-1 two-input muxes).
+    pub const fn mux_bank(width: u64, k: u64) -> GateCount {
+        GateCount {
+            half_adders: 0,
+            full_adders: 0,
+            muxes: width * (k - 1),
+            logic: 0,
+            flops: 0,
+        }
+    }
+
+    /// A barrel shifter over `width` bits selecting among `positions` shift
+    /// amounts: `log2(positions)` stages of `width` 2:1 muxes each. This is
+    /// how the shift units of the Fusion Unit and the temporal design are
+    /// modelled (§III-C).
+    pub const fn barrel_shifter(width: u64, positions: u64) -> GateCount {
+        let stages = positions.ilog2() as u64;
+        GateCount {
+            half_adders: 0,
+            full_adders: 0,
+            muxes: width * stages,
+            logic: 0,
+            flops: 0,
+        }
+    }
+
+    /// A 3-bit × 3-bit signed multiplier as drawn in Figure 5: nine AND-gate
+    /// partial products reduced by three half adders and three full adders,
+    /// plus sign-handling logic.
+    pub const fn multiplier_3x3() -> GateCount {
+        GateCount {
+            half_adders: 3,
+            full_adders: 3,
+            muxes: 0,
+            // 9 partial-product ANDs + ~6 gates of sign extension/negation.
+            logic: 15,
+            flops: 0,
+        }
+    }
+
+    /// Weighted total in generic gate equivalents (GE). A full adder is
+    /// counted as 5 GE, a half adder as 2.5 GE (×2 to stay integral we use
+    /// tenths), a 2:1 mux as 2 GE, a flop as 4 GE, a logic gate as 1 GE.
+    /// Returned in tenths of a gate equivalent to avoid floating point.
+    pub const fn gate_equivalents_tenths(self) -> u64 {
+        self.half_adders * 25
+            + self.full_adders * 50
+            + self.muxes * 20
+            + self.logic * 10
+            + self.flops * 40
+    }
+
+    /// Weighted total in gate equivalents as a float.
+    pub fn gate_equivalents(self) -> f64 {
+        self.gate_equivalents_tenths() as f64 / 10.0
+    }
+}
+
+impl Add for GateCount {
+    type Output = GateCount;
+
+    fn add(self, rhs: GateCount) -> GateCount {
+        GateCount {
+            half_adders: self.half_adders + rhs.half_adders,
+            full_adders: self.full_adders + rhs.full_adders,
+            muxes: self.muxes + rhs.muxes,
+            logic: self.logic + rhs.logic,
+            flops: self.flops + rhs.flops,
+        }
+    }
+}
+
+impl AddAssign for GateCount {
+    fn add_assign(&mut self, rhs: GateCount) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for GateCount {
+    type Output = GateCount;
+
+    fn mul(self, k: u64) -> GateCount {
+        GateCount {
+            half_adders: self.half_adders * k,
+            full_adders: self.full_adders * k,
+            muxes: self.muxes * k,
+            logic: self.logic * k,
+            flops: self.flops * k,
+        }
+    }
+}
+
+impl Sum for GateCount {
+    fn sum<I: Iterator<Item = GateCount>>(iter: I) -> GateCount {
+        iter.fold(GateCount::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for GateCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{ha: {}, fa: {}, mux: {}, logic: {}, ff: {}}}",
+            self.half_adders, self.full_adders, self.muxes, self.logic, self.flops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_adder_truth_table() {
+        assert_eq!(half_adder(false, false), (false, false));
+        assert_eq!(half_adder(true, false), (true, false));
+        assert_eq!(half_adder(false, true), (true, false));
+        assert_eq!(half_adder(true, true), (false, true));
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let (s, carry) = full_adder(a, b, c);
+                    let total = a as u8 + b as u8 + c as u8;
+                    assert_eq!(s, total & 1 == 1);
+                    assert_eq!(carry, total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_add_and_scale() {
+        let a = GateCount::ripple_adder(8);
+        let r = GateCount::register(32);
+        let sum = a + r;
+        assert_eq!(sum.full_adders, 8);
+        assert_eq!(sum.flops, 32);
+        let four = sum * 4;
+        assert_eq!(four.full_adders, 32);
+        assert_eq!(four.flops, 128);
+    }
+
+    #[test]
+    fn gate_equivalents_monotone() {
+        let small = GateCount::ripple_adder(4);
+        let big = GateCount::ripple_adder(16);
+        assert!(big.gate_equivalents() > small.gate_equivalents());
+        assert!(GateCount::ZERO.gate_equivalents() == 0.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: GateCount = (0..4).map(|_| GateCount::register(8)).sum();
+        assert_eq!(total.flops, 32);
+    }
+}

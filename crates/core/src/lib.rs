@@ -1,0 +1,60 @@
+//! # bitfusion-core
+//!
+//! Bit-level composable arithmetic for the Bit Fusion accelerator
+//! (Sharma et al., *Bit Fusion: Bit-Level Dynamically Composable Architecture
+//! for Accelerating Deep Neural Networks*, ISCA 2018).
+//!
+//! This crate implements the paper's compute substrate from the gates up:
+//!
+//! * [`bitbrick`] — the 2-bit multiply unit of Figure 5, with both a fast
+//!   arithmetic path and a faithful gate-level evaluation;
+//! * [`decompose`] — the recursive decomposition of wide multiplies into
+//!   2-bit products (Equations 1–3, Figures 6/7);
+//! * [`fusion`] — spatial fusion (Figure 9), the temporal reference design
+//!   (Figure 8), and the production spatio-temporal Fusion Unit (§III-C);
+//! * [`systolic`] — the functional systolic array of Figures 3/4;
+//! * [`postproc`] — per-column activation and pooling units;
+//! * [`arch`] — accelerator configurations (array geometry, buffers,
+//!   bandwidth, frequency) including the paper's 45 nm and 16 nm designs.
+//!
+//! Everything here is *functional and structural*: numerical results are
+//! bit-exact with respect to the decomposition the hardware performs, and
+//! structural gate counts ground the area/power model in `bitfusion-energy`.
+//! Performance simulation lives in `bitfusion-sim`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bitfusion_core::bitwidth::PairPrecision;
+//! use bitfusion_core::fusion::FusionUnit;
+//!
+//! // Configure a Fusion Unit for 4-bit inputs and binary weights
+//! // (AlexNet's middle layers): 8 parallel multiplies per cycle.
+//! let unit = FusionUnit::new(PairPrecision::from_bits(4, 1).unwrap());
+//! assert_eq!(unit.lanes(), 8);
+//! let r = unit.mac(&[(7, 1), (3, 0), (15, 1), (1, 1)], 0).unwrap();
+//! assert_eq!(r.psum_out, 7 + 15 + 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arch;
+pub mod bitbrick;
+pub mod bitwidth;
+pub mod decompose;
+pub mod error;
+pub mod fusion;
+pub mod gates;
+pub mod lut;
+pub mod postproc;
+pub mod recurrent;
+pub mod systolic;
+pub mod util;
+
+pub use arch::ArchConfig;
+pub use bitbrick::{BitBrick, BrickOperand, BrickProduct, Crumb};
+pub use bitwidth::{BitWidth, PairPrecision, Precision, Signedness, BRICKS_PER_FUSION_UNIT};
+pub use error::CoreError;
+pub use fusion::{FusionUnit, MacResult, SpatialStructure, TemporalUnit};
+pub use systolic::{IntMatrix, SystolicArray, SystolicOutput};

@@ -1,0 +1,217 @@
+//! Fixed-point lookup-table nonlinearities for the activation units.
+//!
+//! The recurrent benchmarks (LSTM/RNN) need sigmoid and tanh between their
+//! gate matrix multiplies; hardware activation units implement these as
+//! piecewise lookup tables over the accumulated fixed-point value. This
+//! module provides the LUT generator and evaluator that back the
+//! `compute sigmoid` / `compute tanh` instructions, with an exactness
+//! contract tested against the `f64` reference functions.
+
+use crate::bitwidth::Precision;
+
+/// The nonlinearity a table implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LutFn {
+    /// Logistic sigmoid `1 / (1 + e^-x)`, output in `[0, 1]`.
+    Sigmoid,
+    /// Hyperbolic tangent, output in `[-1, 1]`.
+    Tanh,
+}
+
+impl LutFn {
+    /// The `f64` reference implementation.
+    pub fn reference(self, x: f64) -> f64 {
+        match self {
+            LutFn::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            LutFn::Tanh => x.tanh(),
+        }
+    }
+}
+
+/// A fixed-point lookup table: maps a Q(`in_frac`) fixed-point input to an
+/// output quantized into `output` precision (the full output range of the
+/// function scaled to the precision's range).
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::{BitWidth, Precision};
+/// use bitfusion_core::lut::{ActivationLut, LutFn};
+///
+/// // tanh into signed 8-bit: output +-127 at saturation.
+/// let lut = ActivationLut::new(LutFn::Tanh, 4, Precision::signed(BitWidth::B8), 4096);
+/// assert!(lut.apply(0).abs() <= 1); // bucket-midpoint quantization
+/// assert_eq!(lut.apply(1000), 127); // deep saturation
+/// assert_eq!(lut.apply(-1000), -127);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActivationLut {
+    function: LutFn,
+    in_frac_bits: u32,
+    output: Precision,
+    /// Table over the non-saturated input range, sampled uniformly.
+    table: Vec<i32>,
+    /// Input magnitude (fixed-point units) beyond which output saturates.
+    saturation: i64,
+}
+
+impl ActivationLut {
+    /// Builds a table with `entries` samples across the function's active
+    /// region (|x| ≤ 8 real units — both functions are flat beyond that at
+    /// any practical output precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries < 2` — a configuration bug.
+    pub fn new(function: LutFn, in_frac_bits: u32, output: Precision, entries: usize) -> Self {
+        assert!(entries >= 2, "LUT needs at least two entries");
+        let saturation = 8i64 << in_frac_bits;
+        let out_scale = output.max_value() as f64;
+        let mut table = Vec::with_capacity(entries);
+        for i in 0..entries {
+            // Sample the midpoint of each bucket over [-sat, +sat).
+            let frac = (i as f64 + 0.5) / entries as f64;
+            let x_fixed = -(saturation as f64) + frac * 2.0 * saturation as f64;
+            let x_real = x_fixed / (1i64 << in_frac_bits) as f64;
+            let y = function.reference(x_real);
+            let q = (y * out_scale).round() as i32;
+            table.push(output.clamp(q));
+        }
+        ActivationLut {
+            function,
+            in_frac_bits,
+            output,
+            table,
+            saturation,
+        }
+    }
+
+    /// The function this table implements.
+    pub fn function(&self) -> LutFn {
+        self.function
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Input fractional bits (Q-format).
+    pub fn in_frac_bits(&self) -> u32 {
+        self.in_frac_bits
+    }
+
+    /// Evaluates the table at a fixed-point input.
+    pub fn apply(&self, x_fixed: i64) -> i32 {
+        if x_fixed >= self.saturation {
+            return self.output.clamp(match self.function {
+                LutFn::Sigmoid => self.output.max_value(),
+                LutFn::Tanh => self.output.max_value(),
+            });
+        }
+        if x_fixed < -self.saturation {
+            return self.output.clamp(match self.function {
+                LutFn::Sigmoid => 0,
+                LutFn::Tanh => -self.output.max_value(),
+            });
+        }
+        let span = 2 * self.saturation;
+        let offset = (x_fixed + self.saturation) as u128;
+        let idx = (offset * self.table.len() as u128 / span as u128) as usize;
+        self.table[idx.min(self.table.len() - 1)]
+    }
+
+    /// Maximum absolute quantization error against the `f64` reference over
+    /// a uniform probe of the active region, in output LSBs.
+    pub fn max_error_lsb(&self, probes: usize) -> f64 {
+        let out_scale = self.output.max_value() as f64;
+        let mut worst = 0.0f64;
+        for i in 0..probes {
+            let x_fixed = -self.saturation
+                + (i as i64 * 2 * self.saturation) / probes as i64;
+            let x_real = x_fixed as f64 / (1i64 << self.in_frac_bits) as f64;
+            let exact = self.function.reference(x_real) * out_scale;
+            let got = self.apply(x_fixed) as f64;
+            worst = worst.max((exact - got).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitwidth::BitWidth;
+
+    fn s8() -> Precision {
+        Precision::signed(BitWidth::B8)
+    }
+
+    fn u8p() -> Precision {
+        Precision::unsigned(BitWidth::B8)
+    }
+
+    #[test]
+    fn sigmoid_fixed_points() {
+        let lut = ActivationLut::new(LutFn::Sigmoid, 8, u8p(), 1024);
+        // sigmoid(0) = 0.5 -> ~128 of 255.
+        let mid = lut.apply(0);
+        assert!((mid - 128).abs() <= 1, "{mid}");
+        // Saturations.
+        assert_eq!(lut.apply(100_000), 255);
+        assert_eq!(lut.apply(-100_000), 0);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let lut = ActivationLut::new(LutFn::Tanh, 8, s8(), 2048);
+        for x in [-2000i64, -700, -64, -1, 0, 1, 64, 700, 2000] {
+            let pos = lut.apply(x);
+            let neg = lut.apply(-x);
+            assert!((pos + neg).abs() <= 1, "tanh not odd at {x}: {pos} vs {neg}");
+        }
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        for f in [LutFn::Sigmoid, LutFn::Tanh] {
+            let out = if f == LutFn::Sigmoid { u8p() } else { s8() };
+            let lut = ActivationLut::new(f, 6, out, 512);
+            let mut prev = i32::MIN;
+            for x in (-1000..1000).step_by(7) {
+                let y = lut.apply(x);
+                assert!(y >= prev, "{f:?} decreases at {x}");
+                prev = y;
+            }
+        }
+    }
+
+    #[test]
+    fn error_within_one_lsb_at_1k_entries() {
+        // A 1024-entry table over |x|<=8 keeps quantization within ~1 LSB
+        // of an 8-bit output — the hardware-grade accuracy contract.
+        for f in [LutFn::Sigmoid, LutFn::Tanh] {
+            let out = if f == LutFn::Sigmoid { u8p() } else { s8() };
+            let lut = ActivationLut::new(f, 8, out, 1024);
+            let err = lut.max_error_lsb(10_000);
+            assert!(err <= 1.5, "{f:?} error {err} LSB");
+        }
+    }
+
+    #[test]
+    fn four_bit_output_for_quantized_lstm() {
+        // The 4-bit PTB LSTM routes gate outputs into u4/s4 activations.
+        let sig = ActivationLut::new(LutFn::Sigmoid, 6, Precision::unsigned(BitWidth::B4), 256);
+        assert_eq!(sig.apply(100_000), 15);
+        assert_eq!(sig.apply(-100_000), 0);
+        let th = ActivationLut::new(LutFn::Tanh, 6, Precision::signed(BitWidth::B4), 256);
+        assert_eq!(th.apply(100_000), 7);
+        assert_eq!(th.apply(-100_000), -7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two entries")]
+    fn tiny_table_panics() {
+        ActivationLut::new(LutFn::Sigmoid, 4, u8p(), 1);
+    }
+}

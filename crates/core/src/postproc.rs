@@ -1,0 +1,181 @@
+//! Per-column post-processing units: activation and pooling (Figure 3 shows
+//! one of each ahead of every output buffer).
+//!
+//! The functional behaviour is straightforward; the value of modelling these
+//! units explicitly is (a) layer fusion — the compiler can route a layer's
+//! output through activation/pooling without a round trip to memory
+//! (§IV-B) — and (b) charging their (small) energy in the cost model.
+
+use crate::bitwidth::Precision;
+
+/// Activation function applied by the per-column activation unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Pass values through unchanged.
+    #[default]
+    Identity,
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    /// Clipped ReLU (`min(max(0, x), cap)`), used by the quantized networks
+    /// to bound activations to their storage range.
+    ReluClipped {
+        /// Upper bound applied after rectification.
+        cap: i32,
+    },
+}
+
+impl Activation {
+    /// Applies the activation to a 32-bit accumulated value.
+    #[inline]
+    pub fn apply(self, x: i64) -> i64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0),
+            Activation::ReluClipped { cap } => x.clamp(0, cap as i64),
+        }
+    }
+}
+
+/// The per-column activation unit: applies the activation and requantizes
+/// the 32-bit partial sum to the next layer's input precision with a
+/// rounding right-shift.
+#[derive(Debug, Clone, Copy)]
+pub struct ActivationUnit {
+    /// Activation function.
+    pub activation: Activation,
+    /// Right-shift applied during requantization (a power-of-two scale, the
+    /// common choice in the fixed-point quantization schemes the paper's
+    /// benchmarks use).
+    pub requant_shift: u32,
+    /// Output precision values are clamped into.
+    pub output: Precision,
+}
+
+impl ActivationUnit {
+    /// Creates a unit with the given activation, requantization shift, and
+    /// output precision.
+    pub const fn new(activation: Activation, requant_shift: u32, output: Precision) -> Self {
+        ActivationUnit {
+            activation,
+            requant_shift,
+            output,
+        }
+    }
+
+    /// Processes one accumulated value into an output-precision value.
+    pub fn process(&self, x: i64) -> i32 {
+        let activated = self.activation.apply(x);
+        let shifted = if self.requant_shift == 0 {
+            activated
+        } else {
+            // Round-to-nearest on the discarded bits.
+            let half = 1i64 << (self.requant_shift - 1);
+            (activated + half) >> self.requant_shift
+        };
+        self.output
+            .clamp(shifted.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+}
+
+/// Pooling operator of the per-column pooling unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PoolOp {
+    /// Maximum over the window.
+    #[default]
+    Max,
+    /// Arithmetic mean over the window (truncating division, as a hardware
+    /// average unit would implement for power-of-two windows).
+    Average,
+}
+
+/// The per-column pooling unit: reduces a streamed window of values.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolingUnit {
+    /// The pooling operator.
+    pub op: PoolOp,
+}
+
+impl PoolingUnit {
+    /// Creates a pooling unit.
+    pub const fn new(op: PoolOp) -> Self {
+        PoolingUnit { op }
+    }
+
+    /// Reduces one window of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window` is empty — the compiler never emits empty
+    /// pooling windows.
+    pub fn reduce(&self, window: &[i32]) -> i32 {
+        assert!(!window.is_empty(), "pooling window must be non-empty");
+        match self.op {
+            PoolOp::Max => *window.iter().max().expect("non-empty window"),
+            PoolOp::Average => {
+                let sum: i64 = window.iter().map(|&v| v as i64).sum();
+                (sum / window.len() as i64) as i32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitwidth::BitWidth;
+
+    #[test]
+    fn relu_behaviour() {
+        assert_eq!(Activation::Relu.apply(-5), 0);
+        assert_eq!(Activation::Relu.apply(5), 5);
+        assert_eq!(Activation::Identity.apply(-5), -5);
+        assert_eq!(Activation::ReluClipped { cap: 3 }.apply(7), 3);
+        assert_eq!(Activation::ReluClipped { cap: 3 }.apply(-7), 0);
+    }
+
+    #[test]
+    fn requantization_rounds_and_clamps() {
+        let unit = ActivationUnit::new(
+            Activation::Relu,
+            4,
+            Precision::unsigned(BitWidth::B4),
+        );
+        // 100 >> 4 with rounding = round(6.25) = 6.
+        assert_eq!(unit.process(100), 6);
+        // 1000 >> 4 = 62.5 -> 63, clamped to u4 max 15.
+        assert_eq!(unit.process(1000), 15);
+        // Negative rectified away.
+        assert_eq!(unit.process(-1000), 0);
+    }
+
+    #[test]
+    fn zero_shift_passthrough() {
+        let unit = ActivationUnit::new(
+            Activation::Identity,
+            0,
+            Precision::signed(BitWidth::B8),
+        );
+        assert_eq!(unit.process(-42), -42);
+        assert_eq!(unit.process(4200), 127);
+    }
+
+    #[test]
+    fn max_pool() {
+        let unit = PoolingUnit::new(PoolOp::Max);
+        assert_eq!(unit.reduce(&[3, -1, 7, 2]), 7);
+        assert_eq!(unit.reduce(&[-3, -1, -7]), -1);
+    }
+
+    #[test]
+    fn average_pool() {
+        let unit = PoolingUnit::new(PoolOp::Average);
+        assert_eq!(unit.reduce(&[2, 4, 6, 8]), 5);
+        assert_eq!(unit.reduce(&[1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_panics() {
+        PoolingUnit::new(PoolOp::Max).reduce(&[]);
+    }
+}

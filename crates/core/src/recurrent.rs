@@ -1,0 +1,298 @@
+//! Functional quantized LSTM cell on the fused datapath.
+//!
+//! The recurrent benchmarks run their gate matrices on the systolic array
+//! and their nonlinearities on the per-column activation units
+//! (`compute sigmoid` / `compute tanh` / `compute mul` / `compute add`).
+//! This module assembles those pieces into a complete quantized LSTM cell
+//! step, used by the functional tests and the recurrent examples. The
+//! arithmetic contract: the fused path (BitBrick-decomposed GEMM + LUT
+//! nonlinearities + integer state update) is *bit-exact* against a plain
+//! integer reference of the same quantized recipe.
+
+use crate::bitwidth::{BitWidth, PairPrecision, Precision};
+use crate::error::CoreError;
+use crate::lut::{ActivationLut, LutFn};
+use crate::systolic::{IntMatrix, SystolicArray};
+
+/// Quantized LSTM cell state: hidden values at the input precision, cell
+/// values in a wider fixed-point register (as hardware keeps them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LstmState {
+    /// Hidden state, one value per hidden unit, at the cell's input
+    /// precision.
+    pub h: Vec<i32>,
+    /// Cell state in Q(`frac_bits`) fixed point, 16-bit range.
+    pub c: Vec<i32>,
+}
+
+impl LstmState {
+    /// The all-zero state.
+    pub fn zeros(hidden: usize) -> Self {
+        LstmState {
+            h: vec![0; hidden],
+            c: vec![0; hidden],
+        }
+    }
+}
+
+/// A quantized LSTM cell: gate weights `[4H × (X+H)]` in gate order
+/// (input, forget, candidate, output).
+#[derive(Debug, Clone)]
+pub struct QuantLstmCell {
+    input_size: usize,
+    hidden_size: usize,
+    pair: PairPrecision,
+    weights: IntMatrix,
+    /// Fractional bits of the gate accumulator's fixed-point interpretation.
+    acc_frac_bits: u32,
+    sigmoid: ActivationLut,
+    tanh: ActivationLut,
+    /// Fractional bits of the cell state.
+    cell_frac_bits: u32,
+}
+
+impl QuantLstmCell {
+    /// Creates a cell.
+    ///
+    /// `weights` must be `4*hidden_size` rows by `input_size + hidden_size`
+    /// columns of values within `pair.weight`'s range; gate accumulators
+    /// are interpreted as Q(`acc_frac_bits`) fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] when the weight matrix has the
+    /// wrong shape, or [`CoreError::ValueOutOfRange`] when a weight does
+    /// not fit the precision.
+    pub fn new(
+        input_size: usize,
+        hidden_size: usize,
+        pair: PairPrecision,
+        weights: IntMatrix,
+        acc_frac_bits: u32,
+    ) -> Result<Self, CoreError> {
+        if weights.rows() != 4 * hidden_size || weights.cols() != input_size + hidden_size {
+            return Err(CoreError::ShapeMismatch {
+                expected: 4 * hidden_size * (input_size + hidden_size),
+                actual: weights.rows() * weights.cols(),
+            });
+        }
+        for r in 0..weights.rows() {
+            for &v in weights.row(r) {
+                pair.weight.check(v)?;
+            }
+        }
+        // Nonlinearity outputs: sigmoid gates in unsigned 8-bit Q8 (0..=255
+        // represents 0..1); tanh in signed 8-bit Q7.
+        let sigmoid = ActivationLut::new(
+            LutFn::Sigmoid,
+            acc_frac_bits,
+            Precision::unsigned(BitWidth::B8),
+            2048,
+        );
+        let tanh = ActivationLut::new(
+            LutFn::Tanh,
+            acc_frac_bits,
+            Precision::signed(BitWidth::B8),
+            2048,
+        );
+        Ok(QuantLstmCell {
+            input_size,
+            hidden_size,
+            pair,
+            weights,
+            acc_frac_bits,
+            sigmoid,
+            tanh,
+            cell_frac_bits: 7,
+        })
+    }
+
+    /// Hidden size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// The gate pre-activations for `[x; h]`, computed by `gemm`:
+    /// a closure so the fused and reference paths share everything else.
+    fn gates_with(
+        &self,
+        x: &[i32],
+        h: &[i32],
+        matvec: impl FnOnce(&IntMatrix, &[i32]) -> Result<Vec<i64>, CoreError>,
+    ) -> Result<Vec<i64>, CoreError> {
+        let mut xh = Vec::with_capacity(self.input_size + self.hidden_size);
+        xh.extend_from_slice(x);
+        xh.extend_from_slice(h);
+        for &v in &xh {
+            self.pair.input.check(v)?;
+        }
+        matvec(&self.weights, &xh)
+    }
+
+    fn update(&self, gates: &[i64], state: &LstmState) -> LstmState {
+        let hs = self.hidden_size;
+        let mut next = LstmState::zeros(hs);
+        for u in 0..hs {
+            // LUT-activated gates: i/f/o in Q8 unsigned, g in Q7 signed.
+            let i_g = self.sigmoid.apply(gates[u]) as i64;
+            let f_g = self.sigmoid.apply(gates[hs + u]) as i64;
+            let g_g = self.tanh.apply(gates[2 * hs + u]) as i64;
+            let o_g = self.sigmoid.apply(gates[3 * hs + u]) as i64;
+            // c' = f*c + i*g, all in Q7 (sigmoid Q8 halves to Q7 via >>8
+            // after the product; the elementwise datapath truncates).
+            let c_prev = state.c[u] as i64;
+            let c_new = ((f_g * c_prev) >> 8) + ((i_g * g_g) >> 8);
+            let c_new = c_new.clamp(i16::MIN as i64, i16::MAX as i64);
+            // h' = o * tanh(c'), requantized into the input precision. The
+            // cell state (Q7) re-enters the tanh LUT at its Q(acc) input
+            // format; the shift direction depends on which has more
+            // fractional bits.
+            let q_shift = self.acc_frac_bits as i32 - self.cell_frac_bits as i32;
+            let c_acc = if q_shift >= 0 {
+                c_new << q_shift
+            } else {
+                c_new >> (-q_shift)
+            };
+            let tanh_c = self.tanh.apply(c_acc);
+            let h_q7 = (o_g * tanh_c as i64) >> 8;
+            let shift = 7u32.saturating_sub(self.pair.input.bits() - 1);
+            let h_new = self.pair.input.clamp((h_q7 >> shift) as i32);
+            next.c[u] = c_new as i32;
+            next.h[u] = h_new;
+        }
+        next
+    }
+
+    /// One timestep through the *fused* datapath (systolic BitBrick GEMM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/range errors from the arithmetic layer.
+    pub fn step_fused(
+        &self,
+        array: &SystolicArray,
+        x: &[i32],
+        state: &LstmState,
+    ) -> Result<LstmState, CoreError> {
+        let gates = self.gates_with(x, &state.h, |w, xh| Ok(array.matvec(w, xh)?.values))?;
+        Ok(self.update(&gates, state))
+    }
+
+    /// One timestep through plain integer reference arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors.
+    pub fn step_reference(&self, x: &[i32], state: &LstmState) -> Result<LstmState, CoreError> {
+        let gates = self.gates_with(x, &state.h, |w, xh| {
+            Ok((0..w.rows())
+                .map(|r| {
+                    w.row(r)
+                        .iter()
+                        .zip(xh)
+                        .map(|(&a, &b)| a as i64 * b as i64)
+                        .sum()
+                })
+                .collect())
+        })?;
+        Ok(self.update(&gates, state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    fn cell(seed: u64) -> (QuantLstmCell, SystolicArray) {
+        let pair = PairPrecision::from_bits(4, 4).expect("supported");
+        let (x, h) = (12usize, 10usize);
+        let mut rng = SplitMix64::new(seed);
+        let weights = IntMatrix::from_fn(4 * h, x + h, |_, _| rng.range_i32(-8, 7));
+        let cell = QuantLstmCell::new(x, h, pair, weights, 8).expect("valid");
+        let array = SystolicArray::new(4, 4, pair).expect("non-empty");
+        (cell, array)
+    }
+
+    #[test]
+    fn low_q_format_does_not_underflow() {
+        // Regression: acc_frac_bits below the cell's Q7 used to wrap the
+        // shift amount; the fused and reference paths must still agree and
+        // produce sane state.
+        let pair = PairPrecision::from_bits(4, 4).expect("supported");
+        let mut rng = SplitMix64::new(11);
+        let weights = IntMatrix::from_fn(8, 6, |_, _| rng.range_i32(-8, 7));
+        let cell = QuantLstmCell::new(4, 2, pair, weights, 4).expect("valid");
+        let array = SystolicArray::new(2, 2, pair).expect("non-empty");
+        let mut s = LstmState::zeros(2);
+        for _ in 0..8 {
+            let x: Vec<i32> = (0..4).map(|_| rng.range_i32(0, 15)).collect();
+            let f = cell.step_fused(&array, &x, &s).expect("steps");
+            let r = cell.step_reference(&x, &s).expect("steps");
+            assert_eq!(f, r);
+            s = f;
+            for &c in &s.c {
+                assert!((i16::MIN as i32..=i16::MAX as i32).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_equals_reference_over_a_sequence() {
+        let (cell, array) = cell(0xACE);
+        let mut rng = SplitMix64::new(7);
+        let mut fused = LstmState::zeros(cell.hidden_size());
+        let mut reference = LstmState::zeros(cell.hidden_size());
+        for _ in 0..12 {
+            let x: Vec<i32> = (0..12).map(|_| rng.range_i32(0, 15)).collect();
+            fused = cell.step_fused(&array, &x, &fused).expect("steps");
+            reference = cell.step_reference(&x, &reference).expect("steps");
+            assert_eq!(fused, reference);
+        }
+        // The state must be non-trivial for the equivalence to mean much.
+        assert!(fused.h.iter().any(|&v| v != 0));
+        assert!(fused.c.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn zero_input_zero_state_stays_calm() {
+        let (cell, array) = cell(3);
+        let s = cell
+            .step_fused(&array, &vec![0; 12], &LstmState::zeros(10))
+            .expect("steps");
+        // With zero pre-activations, gates sit at sigmoid(0)=0.5 and the
+        // candidate at tanh(0)=0: the cell stays near zero.
+        assert!(s.c.iter().all(|&c| c.abs() <= 1), "{:?}", s.c);
+    }
+
+    #[test]
+    fn wrong_weight_shape_rejected() {
+        let pair = PairPrecision::from_bits(4, 4).expect("supported");
+        let weights = IntMatrix::zeros(3, 5);
+        assert!(matches!(
+            QuantLstmCell::new(2, 2, pair, weights, 8),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_weight_rejected() {
+        let pair = PairPrecision::from_bits(4, 2).expect("supported");
+        let weights = IntMatrix::from_fn(8, 4, |_, _| 5); // 5 > s2 max
+        assert!(QuantLstmCell::new(2, 2, pair, weights, 8).is_err());
+    }
+
+    #[test]
+    fn hidden_outputs_respect_input_precision() {
+        let (cell, array) = cell(99);
+        let mut rng = SplitMix64::new(5);
+        let mut s = LstmState::zeros(cell.hidden_size());
+        for _ in 0..6 {
+            let x: Vec<i32> = (0..12).map(|_| rng.range_i32(0, 15)).collect();
+            s = cell.step_fused(&array, &x, &s).expect("steps");
+            for &h in &s.h {
+                assert!((0..=15).contains(&h), "h {h} outside u4");
+            }
+        }
+    }
+}

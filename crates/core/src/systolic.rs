@@ -1,0 +1,375 @@
+//! Functional model of the Bit Fusion systolic array (Figures 3 and 4).
+//!
+//! The array is a grid of [`FusionUnit`]s: input values stream in from the
+//! row edges (shared across each row's units), partial sums accumulate down
+//! the columns into 32-bit accumulators, and each column ends in a pooling
+//! and an activation unit before its output buffer. This module computes the
+//! *numerical* result of matrix-vector and matrix-matrix products through the
+//! full BitBrick decomposition path, plus a first-order cycle count; the
+//! detailed performance model (DMA overlap, buffer modelling) lives in
+//! `bitfusion-sim`.
+
+use crate::bitwidth::PairPrecision;
+use crate::error::CoreError;
+use crate::fusion::FusionUnit;
+
+/// A dense row-major integer matrix used by the functional models.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::systolic::IntMatrix;
+///
+/// let m = IntMatrix::from_fn(2, 3, |r, c| (r * 3 + c) as i32);
+/// assert_eq!(m.get(1, 2), 5);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i32>,
+}
+
+impl IntMatrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        IntMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a generator function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        IntMatrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<i32>) -> Result<Self, CoreError> {
+        if data.len() != rows * cols {
+            return Err(CoreError::ShapeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(IntMatrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> i32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut i32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+
+    /// A row as a slice.
+    pub fn row(&self, row: usize) -> &[i32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[i32] {
+        &self.data
+    }
+}
+
+/// Outcome of a systolic operation: numerical outputs plus model counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystolicOutput {
+    /// The output values, one per weight-matrix row.
+    pub values: Vec<i64>,
+    /// First-order cycle count (fill + streaming; see
+    /// [`SystolicArray::matvec_cycles`]).
+    pub cycles: u64,
+    /// BitBrick operations issued.
+    pub brick_ops: u64,
+    /// Multiply-accumulate operations performed.
+    pub macs: u64,
+}
+
+/// The functional systolic array: `rows × cols` Fusion Units configured to a
+/// single precision pair (one `setup` instruction configures the whole array;
+/// §II-B).
+#[derive(Debug, Clone, Copy)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+    unit: FusionUnit,
+}
+
+impl SystolicArray {
+    /// Creates an array of `rows × cols` Fusion Units at precision `pair`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] when either dimension is zero.
+    pub fn new(rows: usize, cols: usize, pair: PairPrecision) -> Result<Self, CoreError> {
+        if rows == 0 || cols == 0 {
+            return Err(CoreError::EmptyArray);
+        }
+        Ok(SystolicArray {
+            rows,
+            cols,
+            unit: FusionUnit::new(pair),
+        })
+    }
+
+    /// Array rows (Fusion Units per column).
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns (Fusion Units per row).
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The configured precision pair.
+    pub const fn pair(&self) -> PairPrecision {
+        self.unit.pair()
+    }
+
+    /// Reduction lanes per column: array rows × Fused-PEs per unit. This is
+    /// how many input elements the array consumes per cycle per column
+    /// (Figure 4: the Fused-PEs within a unit extend the reduction
+    /// dimension).
+    pub const fn reduction_lanes(&self) -> usize {
+        self.rows * self.unit.lanes() as usize
+    }
+
+    /// Multiplies `weights` (`M × K`) by `input` (length `K`), producing `M`
+    /// 32-bit-accumulated outputs, through the full BitBrick decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] when `input.len()` differs from
+    /// the weight matrix's column count, and propagates range errors from
+    /// the arithmetic layer.
+    pub fn matvec(&self, weights: &IntMatrix, input: &[i32]) -> Result<SystolicOutput, CoreError> {
+        if input.len() != weights.cols() {
+            return Err(CoreError::ShapeMismatch {
+                expected: weights.cols(),
+                actual: input.len(),
+            });
+        }
+        let m = weights.rows();
+        let k = weights.cols();
+        let mut values = Vec::with_capacity(m);
+        let mut brick_ops = 0u64;
+        for out in 0..m {
+            let pairs: Vec<(i32, i32)> = (0..k).map(|i| (input[i], weights.get(out, i))).collect();
+            let r = self.unit.dot(&pairs, 0)?;
+            values.push(r.psum_out);
+            brick_ops += r.brick_ops;
+        }
+        Ok(SystolicOutput {
+            values,
+            cycles: self.matvec_cycles(m, k),
+            brick_ops,
+            macs: (m * k) as u64,
+        })
+    }
+
+    /// Multiplies `weights` (`M × K`) by each column of `inputs` (`K × N`),
+    /// producing an `M × N` output matrix of 64-bit accumulations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`SystolicArray::matvec`].
+    pub fn gemm(
+        &self,
+        weights: &IntMatrix,
+        inputs: &IntMatrix,
+    ) -> Result<(Vec<Vec<i64>>, SystolicOutput), CoreError> {
+        if inputs.rows() != weights.cols() {
+            return Err(CoreError::ShapeMismatch {
+                expected: weights.cols(),
+                actual: inputs.rows(),
+            });
+        }
+        let n = inputs.cols();
+        let mut out_cols = Vec::with_capacity(n);
+        let mut cycles = self.fill_cycles();
+        let mut brick_ops = 0u64;
+        let mut macs = 0u64;
+        for j in 0..n {
+            let col: Vec<i32> = (0..inputs.rows()).map(|i| inputs.get(i, j)).collect();
+            let r = self.matvec(weights, &col)?;
+            // Back-to-back vectors pipeline through the array: only the
+            // streaming cycles repeat, not the fill.
+            cycles += r.cycles - self.fill_cycles();
+            brick_ops += r.brick_ops;
+            macs += r.macs;
+            out_cols.push(r.values);
+        }
+        let summary = SystolicOutput {
+            values: Vec::new(),
+            cycles,
+            brick_ops,
+            macs,
+        };
+        Ok((out_cols, summary))
+    }
+
+    /// Pipeline fill/drain latency: one hop per array row plus one per
+    /// column.
+    pub const fn fill_cycles(&self) -> u64 {
+        (self.rows + self.cols) as u64
+    }
+
+    /// First-order cycle count of an `M × K` mat-vec: the reduction walks
+    /// `ceil(K / reduction_lanes)` steps (each `temporal_cycles` long) per
+    /// output pass, and outputs map onto columns in `ceil(M / cols)` passes;
+    /// fill/drain is added once.
+    pub fn matvec_cycles(&self, m: usize, k: usize) -> u64 {
+        let steps = k.div_ceil(self.reduction_lanes()) as u64;
+        let passes = m.div_ceil(self.cols) as u64;
+        let temporal = self.pair().temporal_cycles() as u64;
+        self.fill_cycles() + steps * passes * temporal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::SplitMix64;
+
+    fn reference_matvec(weights: &IntMatrix, input: &[i32]) -> Vec<i64> {
+        (0..weights.rows())
+            .map(|m| {
+                (0..weights.cols())
+                    .map(|k| weights.get(m, k) as i64 * input[k] as i64)
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matrix_from_vec_validates() {
+        assert!(IntMatrix::from_vec(2, 2, vec![1, 2, 3]).is_err());
+        let m = IntMatrix::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(m.get(1, 1), 4);
+        assert_eq!(m.row(0), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn matrix_get_panics_out_of_bounds() {
+        let m = IntMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn empty_array_rejected() {
+        let pair = PairPrecision::from_bits(8, 8).unwrap();
+        assert!(SystolicArray::new(0, 4, pair).is_err());
+        assert!(SystolicArray::new(4, 0, pair).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_reference_all_pairs() {
+        let mut rng = SplitMix64::new(0xb17f);
+        for (i, w) in [(1, 1), (2, 2), (4, 1), (4, 4), (8, 2), (8, 8), (16, 16)] {
+            let pair = PairPrecision::from_bits(i, w).unwrap();
+            let array = SystolicArray::new(4, 4, pair).unwrap();
+            let m = 9;
+            let k = 23;
+            let weights = IntMatrix::from_fn(m, k, |_, _| {
+                rng.range_i32(pair.weight.min_value(), pair.weight.max_value())
+            });
+            let input: Vec<i32> = (0..k)
+                .map(|_| rng.range_i32(pair.input.min_value(), pair.input.max_value()))
+                .collect();
+            let out = array.matvec(&weights, &input).unwrap();
+            assert_eq!(out.values, reference_matvec(&weights, &input), "{i}/{w}");
+            assert_eq!(out.macs, (m * k) as u64);
+        }
+    }
+
+    #[test]
+    fn matvec_shape_mismatch() {
+        let pair = PairPrecision::from_bits(4, 4).unwrap();
+        let array = SystolicArray::new(2, 2, pair).unwrap();
+        let weights = IntMatrix::zeros(3, 5);
+        assert!(array.matvec(&weights, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn gemm_matches_reference() {
+        let mut rng = SplitMix64::new(42);
+        let pair = PairPrecision::from_bits(4, 2).unwrap();
+        let array = SystolicArray::new(3, 5, pair).unwrap();
+        let weights = IntMatrix::from_fn(7, 11, |_, _| rng.range_i32(-2, 1));
+        let inputs = IntMatrix::from_fn(11, 4, |_, _| rng.range_i32(0, 15));
+        let (cols, summary) = array.gemm(&weights, &inputs).unwrap();
+        assert_eq!(cols.len(), 4);
+        for (j, col) in cols.iter().enumerate() {
+            let input: Vec<i32> = (0..11).map(|i| inputs.get(i, j)).collect();
+            assert_eq!(*col, reference_matvec(&weights, &input));
+        }
+        assert_eq!(summary.macs, 7 * 11 * 4);
+    }
+
+    #[test]
+    fn lower_bitwidth_is_faster() {
+        // Identical shape; 2/2 must take fewer cycles than 8/8, which must
+        // beat 16/16 — the architectural point of the paper.
+        let cycles = |i: u32, w: u32| {
+            let pair = PairPrecision::from_bits(i, w).unwrap();
+            SystolicArray::new(8, 8, pair).unwrap().matvec_cycles(64, 512)
+        };
+        assert!(cycles(2, 2) < cycles(4, 4));
+        assert!(cycles(4, 4) < cycles(8, 8));
+        assert!(cycles(8, 8) < cycles(16, 16));
+    }
+
+    #[test]
+    fn reduction_lanes_scale_with_fusion() {
+        let lanes = |i: u32, w: u32| {
+            let pair = PairPrecision::from_bits(i, w).unwrap();
+            SystolicArray::new(8, 8, pair).unwrap().reduction_lanes()
+        };
+        assert_eq!(lanes(8, 8), 8);
+        assert_eq!(lanes(4, 4), 32);
+        assert_eq!(lanes(2, 2), 128);
+        assert_eq!(lanes(8, 2), 32);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the bit-level arithmetic invariants.
+//!
+//! The load-bearing invariant of the whole reproduction: for every supported
+//! precision pair and every in-range operand pair, the BitBrick decomposition
+//! (Equations 1-3 of the paper) produces exactly the same value as direct
+//! integer multiplication.
+
+use bitfusion_core::bitwidth::{BitWidth, PairPrecision, Precision, Signedness};
+use bitfusion_core::decompose::{decomposed_multiply, from_crumbs, to_crumbs};
+use bitfusion_core::fusion::{FusionUnit, TemporalUnit};
+use bitfusion_core::systolic::{IntMatrix, SystolicArray};
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = BitWidth> {
+    prop::sample::select(BitWidth::ALL.to_vec())
+}
+
+fn arb_signedness() -> impl Strategy<Value = Signedness> {
+    prop_oneof![Just(Signedness::Signed), Just(Signedness::Unsigned)]
+}
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    (arb_width(), arb_signedness()).prop_map(|(w, s)| Precision::new(w, s))
+}
+
+fn arb_pair() -> impl Strategy<Value = PairPrecision> {
+    (arb_precision(), arb_precision()).prop_map(|(i, w)| PairPrecision::new(i, w))
+}
+
+/// A pair precision together with in-range operand values.
+fn arb_pair_and_operands() -> impl Strategy<Value = (PairPrecision, i32, i32)> {
+    arb_pair().prop_flat_map(|pair| {
+        let a = pair.input.min_value()..=pair.input.max_value();
+        let b = pair.weight.min_value()..=pair.weight.max_value();
+        (Just(pair), a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn decomposition_equals_direct_multiply((pair, a, b) in arb_pair_and_operands()) {
+        let got = decomposed_multiply(a, b, pair).unwrap();
+        prop_assert_eq!(got, a as i64 * b as i64);
+    }
+
+    #[test]
+    fn crumb_round_trip(p in arb_precision(), seed in any::<i32>()) {
+        let v = p.clamp(seed);
+        let crumbs = to_crumbs(v, p).unwrap();
+        prop_assert_eq!(from_crumbs(&crumbs, p), v);
+        prop_assert_eq!(crumbs.len() as u32, p.brick_side());
+    }
+
+    #[test]
+    fn fusion_unit_dot_equals_reference(
+        pair in arb_pair(),
+        seeds in prop::collection::vec((any::<i32>(), any::<i32>()), 1..64)
+    ) {
+        let pairs: Vec<(i32, i32)> = seeds
+            .into_iter()
+            .map(|(a, b)| (pair.input.clamp(a), pair.weight.clamp(b)))
+            .collect();
+        let expected: i64 = pairs.iter().map(|&(a, b)| a as i64 * b as i64).sum();
+        let unit = FusionUnit::new(pair);
+        let r = unit.dot(&pairs, 0).unwrap();
+        prop_assert_eq!(r.psum_out, expected);
+        // Cycle accounting: a dot of n elements over `lanes` lanes takes
+        // ceil(n / lanes) steps of `temporal_cycles` each.
+        let steps = pairs.len().div_ceil(unit.lanes() as usize) as u64;
+        prop_assert_eq!(r.cycles, steps * pair.temporal_cycles() as u64);
+    }
+
+    #[test]
+    fn temporal_and_fusion_unit_agree(
+        pair in arb_pair(),
+        seeds in prop::collection::vec((any::<i32>(), any::<i32>()), 1..48)
+    ) {
+        let pairs: Vec<(i32, i32)> = seeds
+            .into_iter()
+            .map(|(a, b)| (pair.input.clamp(a), pair.weight.clamp(b)))
+            .collect();
+        let t = TemporalUnit::new(pair).execute(&pairs).unwrap();
+        let f = FusionUnit::new(pair).dot(&pairs, 0).unwrap();
+        prop_assert_eq!(t.total, f.psum_out);
+        prop_assert_eq!(t.brick_ops, f.brick_ops);
+    }
+
+    #[test]
+    fn systolic_matvec_equals_reference(
+        pair in arb_pair(),
+        m in 1usize..8,
+        k in 1usize..24,
+        rows in 1usize..5,
+        cols in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        let mut rng = bitfusion_core::util::SplitMix64::new(seed);
+        let weights = IntMatrix::from_fn(m, k, |_, _| {
+            rng.range_i32(pair.weight.min_value(), pair.weight.max_value())
+        });
+        let input: Vec<i32> = (0..k)
+            .map(|_| rng.range_i32(pair.input.min_value(), pair.input.max_value()))
+            .collect();
+        let array = SystolicArray::new(rows, cols, pair).unwrap();
+        let out = array.matvec(&weights, &input).unwrap();
+        for (mi, &v) in out.values.iter().enumerate() {
+            let expected: i64 = (0..k)
+                .map(|ki| weights.get(mi, ki) as i64 * input[ki] as i64)
+                .sum();
+            prop_assert_eq!(v, expected);
+        }
+    }
+
+    #[test]
+    fn brick_ops_match_structural_cost((pair, a, b) in arb_pair_and_operands()) {
+        let unit = FusionUnit::new(pair);
+        let r = unit.mac(&[(a, b)], 0).unwrap();
+        prop_assert_eq!(r.brick_ops, pair.bricks_per_product() as u64);
+    }
+
+    #[test]
+    fn throughput_monotone_in_width(iw in arb_width(), ww in arb_width()) {
+        // Widening either operand never increases throughput.
+        let pair = PairPrecision::new(Precision::unsigned(iw), Precision::signed(ww));
+        if let Some(wider) = iw.widen() {
+            let wider_pair = PairPrecision::new(Precision::unsigned(wider), Precision::signed(ww));
+            prop_assert!(wider_pair.products_per_kilocycle() <= pair.products_per_kilocycle());
+        }
+        if let Some(wider) = ww.widen() {
+            let wider_pair = PairPrecision::new(Precision::unsigned(iw), Precision::signed(wider));
+            prop_assert!(wider_pair.products_per_kilocycle() <= pair.products_per_kilocycle());
+        }
+    }
+}

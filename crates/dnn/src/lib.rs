@@ -1,0 +1,44 @@
+//! # bitfusion-dnn
+//!
+//! Quantized DNN model IR and the eight-benchmark zoo of the Bit Fusion
+//! paper (Table II and Figure 1 of Sharma et al., ISCA 2018).
+//!
+//! * [`layer`] — layer descriptions (conv/fc/pool/recurrent/eltwise) with
+//!   shapes and per-layer (input, weight) bitwidths;
+//! * [`model`] — whole networks with Table II statistics (MAC counts,
+//!   packed weight sizes);
+//! * [`zoo`] — the eight benchmarks (AlexNet, Cifar-10, LSTM, LeNet-5,
+//!   ResNet-18, RNN, SVHN, VGG-7) reconstructed from the quantization
+//!   literature the paper cites, each module documenting how its shapes
+//!   reproduce the reported op counts;
+//! * [`stats`] — the Figure 1 bitwidth histograms;
+//! * [`quant`] — bit-packed tensor storage at minimal bitwidths.
+//!
+//! ## Example
+//!
+//! ```
+//! use bitfusion_dnn::zoo::Benchmark;
+//! use bitfusion_dnn::stats::BitwidthStats;
+//!
+//! let model = Benchmark::Cifar10.model();
+//! let stats = BitwidthStats::of(&model);
+//! // Figure 1: Cifar-10 is ~99% binary multiply-adds.
+//! assert!(stats.share_at_or_below(1) > 0.98);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod layer;
+pub mod model;
+pub mod quant;
+pub mod stats;
+pub mod synth;
+pub mod zoo;
+
+pub use layer::{ActivationLayer, CellKind, Conv2d, Dense, Eltwise, Layer, Pool2d, Recurrent};
+pub use model::{Model, NamedLayer};
+pub use quant::PackedTensor;
+pub use stats::BitwidthStats;
+pub use synth::{synthesize, SynthConfig};
+pub use zoo::Benchmark;

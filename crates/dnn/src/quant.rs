@@ -1,0 +1,172 @@
+//! Bit-level packing of quantized tensors.
+//!
+//! Bit Fusion "stores and retrieves the values in the lowest required
+//! bitwidth" (§I); this module implements that packed layout so examples and
+//! tests can materialize tensors exactly as the memory system would hold
+//! them, and so storage footprints are computed from first principles.
+
+use bitfusion_core::bitwidth::Precision;
+use bitfusion_core::error::CoreError;
+use bitfusion_core::util::SplitMix64;
+
+/// A densely bit-packed vector of quantized values.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_core::bitwidth::{BitWidth, Precision};
+/// use bitfusion_dnn::quant::PackedTensor;
+///
+/// let p = Precision::signed(BitWidth::B2);
+/// let t = PackedTensor::from_values(&[-2, -1, 0, 1], p).unwrap();
+/// assert_eq!(t.storage_bytes(), 1); // four 2-bit values in one byte
+/// assert_eq!(t.to_values(), vec![-2, -1, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedTensor {
+    precision: Precision,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PackedTensor {
+    /// Packs `values` at the given precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfRange`] when a value does not fit.
+    pub fn from_values(values: &[i32], precision: Precision) -> Result<Self, CoreError> {
+        let bits = precision.bits() as usize;
+        let mut words = vec![0u64; (values.len() * bits).div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            precision.check(v)?;
+            let raw = (v as u32 as u64) & ((1u64 << bits) - 1);
+            let bit_pos = i * bits;
+            let word = bit_pos / 64;
+            let offset = bit_pos % 64;
+            words[word] |= raw << offset;
+            // A value never straddles words: all supported widths divide 64.
+        }
+        Ok(PackedTensor {
+            precision,
+            len: values.len(),
+            words,
+        })
+    }
+
+    /// Generates a packed tensor of `len` uniform random in-range values from
+    /// a seeded generator (the synthetic stand-in for trained weights; see
+    /// DESIGN.md's substitution table).
+    pub fn random(len: usize, precision: Precision, rng: &mut SplitMix64) -> Self {
+        let values: Vec<i32> = (0..len)
+            .map(|_| rng.range_i32(precision.min_value(), precision.max_value()))
+            .collect();
+        PackedTensor::from_values(&values, precision).expect("generated values are in range")
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packing precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Element at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len`.
+    pub fn get(&self, index: usize) -> i32 {
+        assert!(index < self.len, "index out of bounds");
+        let bits = self.precision.bits() as usize;
+        let bit_pos = index * bits;
+        let raw = (self.words[bit_pos / 64] >> (bit_pos % 64)) & ((1u64 << bits) - 1);
+        // Sign-extend if needed.
+        if self.precision.signedness.is_signed() && bits < 32 {
+            let sign_bit = 1u64 << (bits - 1);
+            if raw & sign_bit != 0 {
+                return (raw as i64 - (1i64 << bits)) as i32;
+            }
+        }
+        raw as i32
+    }
+
+    /// Unpacks to a value vector.
+    pub fn to_values(&self) -> Vec<i32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Exact storage footprint in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.len as u64 * self.precision.bits() as u64
+    }
+
+    /// Storage footprint in bytes (rounded up).
+    pub fn storage_bytes(&self) -> u64 {
+        self.storage_bits().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitfusion_core::bitwidth::BitWidth;
+
+    #[test]
+    fn round_trip_every_precision() {
+        let mut rng = SplitMix64::new(77);
+        for w in BitWidth::ALL {
+            for p in [Precision::signed(w), Precision::unsigned(w)] {
+                let values: Vec<i32> = (0..257)
+                    .map(|_| rng.range_i32(p.min_value(), p.max_value()))
+                    .collect();
+                let t = PackedTensor::from_values(&values, p).unwrap();
+                assert_eq!(t.to_values(), values, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn packing_density() {
+        let p = Precision::unsigned(BitWidth::B1);
+        let t = PackedTensor::from_values(&vec![1; 64], p).unwrap();
+        assert_eq!(t.storage_bytes(), 8);
+        let p = Precision::signed(BitWidth::B16);
+        let t = PackedTensor::from_values(&vec![-1; 64], p).unwrap();
+        assert_eq!(t.storage_bytes(), 128);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let p = Precision::signed(BitWidth::B2);
+        assert!(PackedTensor::from_values(&[2], p).is_err());
+    }
+
+    #[test]
+    fn random_respects_range() {
+        let mut rng = SplitMix64::new(3);
+        let p = Precision::signed(BitWidth::B4);
+        let t = PackedTensor::random(1000, p, &mut rng);
+        for v in t.to_values() {
+            assert!(p.contains(v));
+        }
+        assert_eq!(t.len(), 1000);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let p = Precision::unsigned(BitWidth::B8);
+        let t = PackedTensor::from_values(&[1, 2], p).unwrap();
+        t.get(2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Bitwidth statistics over models — the data behind Figure 1 of the paper.
+//!
+//! Figure 1(a) histograms the fraction of multiply-add operations at each
+//! (input, weight) bitwidth pair; Figure 1(b) histograms weight storage by
+//! weight bitwidth; the accompanying table reports the fraction of all
+//! operations that are multiply-adds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bitfusion_core::bitwidth::PairPrecision;
+
+use crate::model::Model;
+
+/// One bucket of the Figure 1(a) histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacBitwidthShare {
+    /// Input bits of the bucket.
+    pub input_bits: u32,
+    /// Weight bits of the bucket.
+    pub weight_bits: u32,
+    /// Fraction of the model's MACs in this bucket (0..=1).
+    pub share: f64,
+}
+
+/// Bitwidth statistics of one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitwidthStats {
+    /// Model name.
+    pub model: String,
+    /// Figure 1(a): MAC share per (input, weight) bitwidth, sorted by
+    /// (input, weight).
+    pub mac_shares: Vec<MacBitwidthShare>,
+    /// Figure 1(b): weight-count share per weight bitwidth.
+    pub weight_shares: BTreeMap<u32, f64>,
+    /// The `% Multiply-Add` figure of the table (0..=1).
+    pub mac_fraction: f64,
+}
+
+impl BitwidthStats {
+    /// Computes the statistics for a model.
+    pub fn of(model: &Model) -> Self {
+        let total_macs = model.total_macs() as f64;
+        let total_params = model.total_params() as f64;
+        let mut mac_by_pair: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut weights_by_bits: BTreeMap<u32, u64> = BTreeMap::new();
+        for l in &model.layers {
+            if let Some(p) = l.layer.precision() {
+                *mac_by_pair
+                    .entry((p.input.bits(), p.weight.bits()))
+                    .or_insert(0) += l.layer.macs();
+                *weights_by_bits.entry(p.weight.bits()).or_insert(0) += l.layer.params();
+            }
+        }
+        BitwidthStats {
+            model: model.name.clone(),
+            mac_shares: mac_by_pair
+                .into_iter()
+                .map(|((i, w), macs)| MacBitwidthShare {
+                    input_bits: i,
+                    weight_bits: w,
+                    share: if total_macs > 0.0 {
+                        macs as f64 / total_macs
+                    } else {
+                        0.0
+                    },
+                })
+                .collect(),
+            weight_shares: weights_by_bits
+                .into_iter()
+                .map(|(bits, count)| {
+                    (
+                        bits,
+                        if total_params > 0.0 {
+                            count as f64 / total_params
+                        } else {
+                            0.0
+                        },
+                    )
+                })
+                .collect(),
+            mac_fraction: model.mac_fraction(),
+        }
+    }
+
+    /// Fraction of MACs whose input *and* weight widths are at most
+    /// `bits` (the paper: on average 97.3% of multiply-adds need four or
+    /// fewer bits).
+    pub fn share_at_or_below(&self, bits: u32) -> f64 {
+        self.mac_shares
+            .iter()
+            .filter(|s| s.input_bits <= bits && s.weight_bits <= bits)
+            .map(|s| s.share)
+            .sum()
+    }
+
+    /// The dominant (highest-share) precision pair of the model.
+    pub fn dominant_pair(&self) -> Option<PairPrecision> {
+        self.mac_shares
+            .iter()
+            .max_by(|a, b| a.share.total_cmp(&b.share))
+            .and_then(|s| PairPrecision::from_bits(s.input_bits, s.weight_bits).ok())
+    }
+}
+
+impl fmt::Display for BitwidthStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.1}% multiply-add",
+            self.model,
+            self.mac_fraction * 100.0
+        )?;
+        for s in &self.mac_shares {
+            writeln!(
+                f,
+                "  {}bit/{}bit: {:5.1}% of MACs",
+                s.input_bits,
+                s.weight_bits,
+                s.share * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Layer, Pool2d};
+    use bitfusion_core::postproc::PoolOp;
+
+    fn model() -> Model {
+        let p41 = PairPrecision::from_bits(4, 1).unwrap();
+        let p88 = PairPrecision::from_bits(8, 8).unwrap();
+        Model::new(
+            "mix",
+            vec![
+                (
+                    "fc1",
+                    Layer::Dense(Dense {
+                        in_features: 100,
+                        out_features: 90, // 9000 MACs at 4/1
+                        precision: p41,
+                    }),
+                ),
+                (
+                    "pool",
+                    Layer::Pool2d(Pool2d {
+                        channels: 1,
+                        input_hw: (10, 10),
+                        window: (2, 2),
+                        stride: (2, 2),
+                        padding: (0, 0),
+                        op: PoolOp::Max,
+                    }),
+                ),
+                (
+                    "fc2",
+                    Layer::Dense(Dense {
+                        in_features: 100,
+                        out_features: 10, // 1000 MACs at 8/8
+                        precision: p88,
+                    }),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let s = BitwidthStats::of(&model());
+        let total: f64 = s.mac_shares.iter().map(|x| x.share).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let wtotal: f64 = s.weight_shares.values().sum();
+        assert!((wtotal - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_values() {
+        let s = BitwidthStats::of(&model());
+        assert_eq!(s.mac_shares.len(), 2);
+        assert!((s.mac_shares[0].share - 0.9).abs() < 1e-12); // 4/1 bucket
+        assert!((s.mac_shares[1].share - 0.1).abs() < 1e-12); // 8/8 bucket
+        assert!((s.share_at_or_below(4) - 0.9).abs() < 1e-12);
+        assert!((s.share_at_or_below(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_pair_is_4_1() {
+        let s = BitwidthStats::of(&model());
+        let p = s.dominant_pair().unwrap();
+        assert_eq!((p.input.bits(), p.weight.bits()), (4, 1));
+    }
+
+    #[test]
+    fn mac_fraction_below_one_with_pooling() {
+        let s = BitwidthStats::of(&model());
+        assert!(s.mac_fraction < 1.0);
+        assert!(s.mac_fraction > 0.97);
+    }
+}

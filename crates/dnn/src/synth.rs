@@ -1,0 +1,166 @@
+//! Synthetic workload generation: seeded random quantized convnets and
+//! MLPs for robustness testing and design-space studies beyond the eight
+//! paper benchmarks.
+//!
+//! Generated models are always *well-formed* (shapes chain, precisions are
+//! supported) but deliberately irregular — odd channel counts, non-dividing
+//! feature maps, mixed precisions — to exercise the compiler's tiling and
+//! the simulator away from the zoo's friendly power-of-two shapes.
+
+use bitfusion_core::bitwidth::PairPrecision;
+use bitfusion_core::util::SplitMix64;
+
+use crate::layer::{Conv2d, Dense, Layer, Pool2d};
+use crate::model::Model;
+use bitfusion_core::postproc::PoolOp;
+
+/// Parameters of the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Convolution stages to emit (each: conv [+ pool]).
+    pub conv_stages: usize,
+    /// Dense layers after the conv stack.
+    pub dense_layers: usize,
+    /// Input image side (height = width).
+    pub input_hw: usize,
+    /// Input channels.
+    pub input_channels: usize,
+    /// Maximum output channels per conv.
+    pub max_channels: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            conv_stages: 3,
+            dense_layers: 2,
+            input_hw: 24,
+            input_channels: 3,
+            max_channels: 96,
+        }
+    }
+}
+
+const WIDTH_CHOICES: [(u32, u32); 6] = [(1, 1), (2, 2), (4, 1), (4, 4), (8, 2), (8, 8)];
+
+/// Generates a random well-formed quantized model from a seed.
+///
+/// The same `(config, seed)` pair always produces the same model.
+pub fn synthesize(config: SynthConfig, seed: u64) -> Model {
+    let mut rng = SplitMix64::new(seed);
+    let mut layers: Vec<(String, Layer)> = Vec::new();
+    let mut hw = config.input_hw;
+    let mut channels = config.input_channels;
+    for stage in 0..config.conv_stages {
+        let out_c = 4 + rng.below(config.max_channels.max(5) as u64 - 4) as usize;
+        let k = [1usize, 3, 5][rng.below(3) as usize].min(hw);
+        let pad = k / 2;
+        let (i_bits, w_bits) = WIDTH_CHOICES[rng.below(WIDTH_CHOICES.len() as u64) as usize];
+        layers.push((
+            format!("conv{stage}"),
+            Layer::Conv2d(Conv2d {
+                in_channels: channels,
+                out_channels: out_c,
+                kernel: (k, k),
+                stride: (1, 1),
+                padding: (pad, pad),
+                input_hw: (hw, hw),
+                groups: 1,
+                precision: PairPrecision::from_bits(i_bits, w_bits)
+                    .expect("generator uses supported widths"),
+            }),
+        ));
+        channels = out_c;
+        // Optionally pool, keeping the map at least 4 pixels wide.
+        if hw >= 8 && rng.below(2) == 1 {
+            layers.push((
+                format!("pool{stage}"),
+                Layer::Pool2d(Pool2d {
+                    channels,
+                    input_hw: (hw, hw),
+                    window: (2, 2),
+                    stride: (2, 2),
+                    padding: (0, 0),
+                    op: PoolOp::Max,
+                }),
+            ));
+            hw /= 2;
+        }
+    }
+    let mut features = channels * hw * hw;
+    for d in 0..config.dense_layers {
+        let out_f = if d + 1 == config.dense_layers {
+            10
+        } else {
+            8 + rng.below(120) as usize
+        };
+        let (i_bits, w_bits) = WIDTH_CHOICES[rng.below(WIDTH_CHOICES.len() as u64) as usize];
+        layers.push((
+            format!("fc{d}"),
+            Layer::Dense(Dense {
+                in_features: features,
+                out_features: out_f,
+                precision: PairPrecision::from_bits(i_bits, w_bits)
+                    .expect("generator uses supported widths"),
+            }),
+        ));
+        features = out_f;
+    }
+    Model::new(
+        format!("synth-{seed:x}"),
+        layers.iter().map(|(n, l)| (n.as_str(), l.clone())).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthConfig::default();
+        assert_eq!(synthesize(cfg, 42), synthesize(cfg, 42));
+        assert_ne!(synthesize(cfg, 42), synthesize(cfg, 43));
+    }
+
+    #[test]
+    fn always_well_formed() {
+        let cfg = SynthConfig::default();
+        for seed in 0..200 {
+            let m = synthesize(cfg, seed);
+            assert!(m.total_macs() > 0, "seed {seed}");
+            assert!(
+                m.shape_chain_mismatches().is_empty(),
+                "seed {seed}: {:?}",
+                m.shape_chain_mismatches()
+            );
+            for l in m.mac_layers() {
+                assert!(l.layer.precision().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn respects_config_knobs() {
+        let cfg = SynthConfig {
+            conv_stages: 5,
+            dense_layers: 3,
+            input_hw: 32,
+            input_channels: 1,
+            max_channels: 32,
+        };
+        let m = synthesize(cfg, 7);
+        let convs = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.layer, Layer::Conv2d(_)))
+            .count();
+        let fcs = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.layer, Layer::Dense(_)))
+            .count();
+        assert_eq!(convs, 5);
+        assert_eq!(fcs, 3);
+    }
+}

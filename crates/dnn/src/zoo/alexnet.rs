@@ -1,0 +1,111 @@
+//! AlexNet: the WRPN 2×-wide quantized variant and the regular reference.
+//!
+//! The paper's per-layer table gives the regular-width class breakdown
+//! (conv1 8/8 = 105 MOps, conv2–5 4/1 = 560 MOps, fc6–7 4/1 = 54 MOps,
+//! fc8 8/8 = 4 MOps — the grouped one-weird-trick topology), and Table II
+//! gives 2,678 MOps for the 2×-wide model Bit Fusion runs. Doubling every
+//! channel (4× MACs in the interior, 2× at the image-facing edges)
+//! reproduces that total exactly:
+//! `210.8 + 895.8 + 598.1 + 448.6 + 299.0 + 151.0 + 67.1 + 8.2 ≈ 2678 MOps`.
+
+use crate::layer::Layer;
+use crate::model::Model;
+use crate::zoo::{conv, fc, maxpool, pp};
+
+fn build(width: usize, quantized: bool) -> Vec<(&'static str, Layer)> {
+    // Regular widths: 96/256/384/384/256 convs, 4096 FCs.
+    let c1 = 96 * width;
+    let c2 = 256 * width;
+    let c3 = 384 * width;
+    let c5 = 256 * width;
+    let f6 = 4096 * width;
+    // Precisions: quantized per the paper's per-layer table, else 16-bit.
+    let p_edge = if quantized { pp(8, 8) } else { pp(16, 16) };
+    let p_mid = if quantized { pp(4, 1) } else { pp(16, 16) };
+    vec![
+        ("conv1", conv(3, c1, 11, 4, 0, (227, 227), 1, p_edge)),
+        ("pool1", maxpool(c1, (55, 55), 3, 2)),
+        ("conv2", conv(c1, c2, 5, 1, 2, (27, 27), 2, p_mid)),
+        ("pool2", maxpool(c2, (27, 27), 3, 2)),
+        ("conv3", conv(c2, c3, 3, 1, 1, (13, 13), 1, p_mid)),
+        ("conv4", conv(c3, c3, 3, 1, 1, (13, 13), 2, p_mid)),
+        ("conv5", conv(c3, c5, 3, 1, 1, (13, 13), 2, p_mid)),
+        ("pool5", maxpool(c5, (13, 13), 3, 2)),
+        ("fc6", fc(c5 * 6 * 6, f6, p_mid)),
+        ("fc7", fc(f6, f6, p_mid)),
+        ("fc8", fc(f6, 1000, p_edge)),
+    ]
+}
+
+/// The 2×-wide WRPN AlexNet that Bit Fusion and Stripes execute
+/// (Table II: 2,678 MOps).
+pub fn alexnet() -> Model {
+    Model::new("AlexNet", build(2, true))
+}
+
+/// The regular-width 16-bit AlexNet the Eyeriss and GPU baselines execute
+/// (~724 MOps).
+pub fn alexnet_regular() -> Model {
+    Model::new("AlexNet-regular", build(1, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_model_matches_table_2() {
+        let m = alexnet();
+        let mops = m.total_macs() as f64 / 1e6;
+        assert!((mops - 2678.0).abs() < 27.0, "{mops}");
+    }
+
+    #[test]
+    fn regular_model_matches_per_layer_table() {
+        let m = alexnet_regular();
+        // conv1 = 105 MOps (paper per-layer table).
+        let conv1 = m.layers.iter().find(|l| l.name == "conv1").unwrap();
+        assert_eq!(conv1.layer.macs(), 105_415_200);
+        // conv2-5 = 560 MOps.
+        let mid: u64 = ["conv2", "conv3", "conv4", "conv5"]
+            .iter()
+            .map(|n| m.layers.iter().find(|l| &l.name == n).unwrap().layer.macs())
+            .sum();
+        assert!((mid as f64 / 1e6 - 560.0).abs() < 2.0);
+        // fc6-7 = 54 MOps; fc8 = 4 MOps.
+        let fcs: u64 = ["fc6", "fc7"]
+            .iter()
+            .map(|n| m.layers.iter().find(|l| &l.name == n).unwrap().layer.macs())
+            .sum();
+        assert!((fcs as f64 / 1e6 - 54.5).abs() < 1.0);
+        let fc8 = m.layers.iter().find(|l| l.name == "fc8").unwrap();
+        assert!((fc8.layer.macs() as f64 / 1e6 - 4.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn wide_is_about_3_7x_regular() {
+        // §V-B1: the regular model "effectively requires 4x less
+        // multiply-add operations" (3.7x exactly, edges scale by 2x).
+        let ratio = alexnet().total_macs() as f64 / alexnet_regular().total_macs() as f64;
+        assert!(ratio > 3.4 && ratio < 4.0, "{ratio}");
+    }
+
+    #[test]
+    fn edge_layers_are_8_bit() {
+        let m = alexnet();
+        let p = |name: &str| {
+            m.layers
+                .iter()
+                .find(|l| l.name == name)
+                .unwrap()
+                .layer
+                .precision()
+                .unwrap()
+        };
+        assert_eq!(p("conv1").input.bits(), 8);
+        assert_eq!(p("conv1").weight.bits(), 8);
+        assert_eq!(p("conv3").input.bits(), 4);
+        assert_eq!(p("conv3").weight.bits(), 1);
+        assert_eq!(p("fc8").weight.bits(), 8);
+    }
+}

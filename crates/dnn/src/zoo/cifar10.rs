@@ -1,0 +1,57 @@
+//! The QNN Cifar-10 convnet (Hubara et al.): binary interior layers.
+//!
+//! Topology: 2×128C3 – MP2 – 2×256C3 – MP2 – 2×512C3 – MP2 – 1024FC –
+//! 1024FC – 10, on 32×32×3 inputs. Shape-derived MACs:
+//! `3.5 + 151.0 + 75.5 + 151.0 + 75.5 + 151.0 + 8.4 + 1.0 + 0.01 ≈ 617 MOps`
+//! — exactly Table II's figure. The first conv and final classifier run at
+//! 8/8; everything else is binary (Figure 1: 99% of MACs at 1bit/1bit).
+
+use crate::model::Model;
+use crate::zoo::{conv, fc, maxpool, pp};
+
+/// The QNN Cifar-10 model (Table II: 617 MOps, binary-dominant).
+pub fn cifar10() -> Model {
+    let p8 = pp(8, 8);
+    let p1 = pp(1, 1);
+    Model::new(
+        "Cifar-10",
+        vec![
+            ("conv1", conv(3, 128, 3, 1, 1, (32, 32), 1, p8)),
+            ("conv2", conv(128, 128, 3, 1, 1, (32, 32), 1, p1)),
+            ("pool1", maxpool(128, (32, 32), 2, 2)),
+            ("conv3", conv(128, 256, 3, 1, 1, (16, 16), 1, p1)),
+            ("conv4", conv(256, 256, 3, 1, 1, (16, 16), 1, p1)),
+            ("pool2", maxpool(256, (16, 16), 2, 2)),
+            ("conv5", conv(256, 512, 3, 1, 1, (8, 8), 1, p1)),
+            ("conv6", conv(512, 512, 3, 1, 1, (8, 8), 1, p1)),
+            ("pool3", maxpool(512, (8, 8), 2, 2)),
+            ("fc1", fc(512 * 4 * 4, 1024, p1)),
+            ("fc2", fc(1024, 1024, p1)),
+            ("fc3", fc(1024, 10, p8)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::BitwidthStats;
+
+    #[test]
+    fn matches_table_2_macs() {
+        let mops = cifar10().total_macs() as f64 / 1e6;
+        assert!((mops - 617.0).abs() < 6.0, "{mops}");
+    }
+
+    #[test]
+    fn binary_share_is_99_percent() {
+        // Figure 1(a): Cifar-10 runs 99% of MACs at 1bit/1bit.
+        let stats = BitwidthStats::of(&cifar10());
+        let binary = stats
+            .mac_shares
+            .iter()
+            .find(|s| s.input_bits == 1 && s.weight_bits == 1)
+            .unwrap();
+        assert!(binary.share > 0.985, "{}", binary.share);
+    }
+}

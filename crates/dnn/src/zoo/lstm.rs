@@ -1,0 +1,47 @@
+//! The QNN LSTM language model (Hubara et al.) on Penn TreeBank.
+//!
+//! Two 900-unit LSTM layers at 4-bit weights and activations, costed per
+//! token (language-model inference is sequential). Shape-derived MACs:
+//! `2 × 4 × 900 × 1800 = 12.96 MOps` per token (Table II: 13), and weights
+//! `13.0M params × 4 bits ≈ 6.5 MB` (Table II: 6.2 MB). The embedding and
+//! softmax layers are omitted, as the paper's op count implies.
+
+use crate::layer::{CellKind, Layer, Recurrent};
+use crate::model::Model;
+use crate::zoo::pp;
+
+/// The QNN PTB LSTM model (Table II: 13 MOps/token, 6.2 MB).
+pub fn lstm() -> Model {
+    let p4 = pp(4, 4);
+    let cell = |input| {
+        Layer::Recurrent(Recurrent {
+            cell: CellKind::Lstm,
+            input_size: input,
+            hidden_size: 900,
+            precision: p4,
+        })
+    };
+    Model::new("LSTM", vec![("lstm1", cell(900)), ("lstm2", cell(900))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_2() {
+        let m = lstm();
+        let mops = m.total_macs() as f64 / 1e6;
+        assert!((mops - 13.0).abs() < 0.5, "{mops}");
+        let mb = m.weight_bytes() as f64 / 1e6;
+        assert!((mb - 6.2).abs() < 0.4, "{mb}");
+    }
+
+    #[test]
+    fn four_bit_everywhere() {
+        for l in lstm().mac_layers() {
+            let p = l.layer.precision().unwrap();
+            assert_eq!((p.input.bits(), p.weight.bits()), (4, 4));
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The eight-benchmark zoo of Table II.
+//!
+//! Each function builds one benchmark's layer list from explicit shapes. The
+//! quantized topologies follow the sources the paper cites: QNN
+//! (Hubara et al.) for Cifar-10/SVHN/LSTM/RNN, ternary weight networks
+//! (Li et al.) for LeNet-5/VGG-7, and WRPN wide reduced-precision models
+//! (Mishra et al.) for AlexNet/ResNet-18. Weight *values* are synthetic
+//! (seeded) since only shapes and bitwidths enter the evaluation; each
+//! module documents how its shapes reproduce the paper's reported
+//! multiply-add counts.
+//!
+//! [`Benchmark`] enumerates the suite and pairs every quantized model with
+//! the 16-bit *reference* variant the Eyeriss and GPU baselines execute
+//! (the paper uses regular-width AlexNet/ResNet-18 there, §V-B1).
+
+mod alexnet;
+mod cifar10;
+mod lenet5;
+mod lstm;
+mod resnet18;
+mod rnn;
+mod svhn;
+mod vgg7;
+
+pub use alexnet::{alexnet, alexnet_regular};
+pub use cifar10::cifar10;
+pub use lenet5::lenet5;
+pub use lstm::lstm;
+pub use resnet18::{resnet18, resnet18_regular};
+pub use rnn::rnn;
+pub use svhn::svhn;
+pub use vgg7::vgg7;
+
+use bitfusion_core::bitwidth::PairPrecision;
+use bitfusion_core::postproc::PoolOp;
+
+use crate::layer::{Conv2d, Dense, Layer, Pool2d};
+use crate::model::Model;
+
+/// Precision pair helper used across the zoo.
+pub(crate) fn pp(input_bits: u32, weight_bits: u32) -> PairPrecision {
+    PairPrecision::from_bits(input_bits, weight_bits)
+        .expect("zoo uses only supported bitwidths")
+}
+
+/// Dense convolution helper.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv(
+    in_channels: usize,
+    out_channels: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    input_hw: (usize, usize),
+    groups: usize,
+    precision: PairPrecision,
+) -> Layer {
+    Layer::Conv2d(Conv2d {
+        in_channels,
+        out_channels,
+        kernel: (k, k),
+        stride: (stride, stride),
+        padding: (pad, pad),
+        input_hw,
+        groups,
+        precision,
+    })
+}
+
+/// Fully-connected helper.
+pub(crate) fn fc(in_features: usize, out_features: usize, precision: PairPrecision) -> Layer {
+    Layer::Dense(Dense {
+        in_features,
+        out_features,
+        precision,
+    })
+}
+
+/// Max-pool helper (no padding).
+pub(crate) fn maxpool(
+    channels: usize,
+    input_hw: (usize, usize),
+    window: usize,
+    stride: usize,
+) -> Layer {
+    Layer::Pool2d(Pool2d {
+        channels,
+        input_hw,
+        window: (window, window),
+        stride: (stride, stride),
+        padding: (0, 0),
+        op: PoolOp::Max,
+    })
+}
+
+/// The benchmark suite of Table II, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// AlexNet (WRPN 2×-wide; ImageNet).
+    AlexNet,
+    /// Cifar-10 convnet (QNN; binary).
+    Cifar10,
+    /// LSTM language model (QNN; Penn TreeBank).
+    Lstm,
+    /// LeNet-5 (ternary; MNIST).
+    LeNet5,
+    /// ResNet-18 (WRPN wide; ImageNet).
+    ResNet18,
+    /// Vanilla RNN language model (QNN; Penn TreeBank).
+    Rnn,
+    /// SVHN convnet (QNN; binary).
+    Svhn,
+    /// VGG-7 (ternary; CIFAR-10).
+    Vgg7,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's presentation order.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::AlexNet,
+        Benchmark::Cifar10,
+        Benchmark::Lstm,
+        Benchmark::LeNet5,
+        Benchmark::ResNet18,
+        Benchmark::Rnn,
+        Benchmark::Svhn,
+        Benchmark::Vgg7,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Benchmark::AlexNet => "AlexNet",
+            Benchmark::Cifar10 => "Cifar-10",
+            Benchmark::Lstm => "LSTM",
+            Benchmark::LeNet5 => "LeNet-5",
+            Benchmark::ResNet18 => "ResNet-18",
+            Benchmark::Rnn => "RNN",
+            Benchmark::Svhn => "SVHN",
+            Benchmark::Vgg7 => "VGG-7",
+        }
+    }
+
+    /// The quantized model Bit Fusion (and Stripes) execute.
+    pub fn model(self) -> Model {
+        match self {
+            Benchmark::AlexNet => alexnet(),
+            Benchmark::Cifar10 => cifar10(),
+            Benchmark::Lstm => lstm(),
+            Benchmark::LeNet5 => lenet5(),
+            Benchmark::ResNet18 => resnet18(),
+            Benchmark::Rnn => rnn(),
+            Benchmark::Svhn => svhn(),
+            Benchmark::Vgg7 => vgg7(),
+        }
+    }
+
+    /// The reference model the 16-bit baselines (Eyeriss) and the GPUs
+    /// execute: regular-width AlexNet/ResNet-18 (§V-B1: "We use the original
+    /// AlexNet and ResNet-18 models on Eyeriss"), and the same topology for
+    /// the remaining benchmarks.
+    pub fn reference_model(self) -> Model {
+        match self {
+            Benchmark::AlexNet => alexnet_regular(),
+            Benchmark::ResNet18 => resnet18_regular(),
+            other => other.model(),
+        }
+    }
+
+    /// Whether the benchmark is recurrent (RNN/LSTM — the bandwidth-bound
+    /// pair in Figures 15/16).
+    pub const fn is_recurrent(self) -> bool {
+        matches!(self, Benchmark::Lstm | Benchmark::Rnn)
+    }
+
+    /// Table II's reported multiply-add count, in millions.
+    pub const fn paper_mops(self) -> u64 {
+        match self {
+            Benchmark::AlexNet => 2678,
+            Benchmark::Cifar10 => 617,
+            Benchmark::Lstm => 13,
+            Benchmark::LeNet5 => 16,
+            Benchmark::ResNet18 => 4269,
+            Benchmark::Rnn => 17,
+            Benchmark::Svhn => 158,
+            Benchmark::Vgg7 => 317,
+        }
+    }
+
+    /// Table II's reported model-weight size, in megabytes.
+    pub const fn paper_weight_mb(self) -> f64 {
+        match self {
+            Benchmark::AlexNet => 116.3,
+            Benchmark::Cifar10 => 3.3,
+            Benchmark::Lstm => 6.2,
+            Benchmark::LeNet5 => 0.5,
+            Benchmark::ResNet18 => 13.0,
+            Benchmark::Rnn => 8.0,
+            Benchmark::Svhn => 0.8,
+            Benchmark::Vgg7 => 2.7,
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shape-derived MAC counts versus Table II. AlexNet, Cifar-10, SVHN,
+    /// LSTM, RNN, and VGG-7 reproduce the paper within 3%; LeNet-5 and
+    /// ResNet-18 within 15% (their exact quantized variants are
+    /// under-specified; each module documents the reconstruction).
+    #[test]
+    fn macs_track_table_2() {
+        let tight = [
+            Benchmark::AlexNet,
+            Benchmark::Cifar10,
+            Benchmark::Svhn,
+            Benchmark::Vgg7,
+            Benchmark::Lstm,
+            Benchmark::Rnn,
+        ];
+        for b in Benchmark::ALL {
+            let measured = b.model().total_macs() as f64 / 1e6;
+            let paper = b.paper_mops() as f64;
+            let rel = (measured - paper).abs() / paper;
+            let bound = if tight.contains(&b) { 0.03 } else { 0.15 };
+            assert!(
+                rel < bound,
+                "{b}: measured {measured:.0}M vs paper {paper:.0}M ({:.1}% off)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn mac_fraction_exceeds_99_percent() {
+        // Figure 1's table: multiply-adds are >99% of operations everywhere.
+        for b in Benchmark::ALL {
+            let f = b.model().mac_fraction();
+            assert!(f > 0.99, "{b}: {f}");
+        }
+    }
+
+    #[test]
+    fn dominant_bitwidths_match_figure_1() {
+        use crate::stats::BitwidthStats;
+        let expect = [
+            (Benchmark::AlexNet, (4, 1)),
+            (Benchmark::Cifar10, (1, 1)),
+            (Benchmark::Lstm, (4, 4)),
+            (Benchmark::LeNet5, (2, 2)),
+            (Benchmark::ResNet18, (2, 2)),
+            (Benchmark::Rnn, (4, 4)),
+            (Benchmark::Svhn, (1, 1)),
+            (Benchmark::Vgg7, (2, 2)),
+        ];
+        for (b, (i, w)) in expect {
+            let stats = BitwidthStats::of(&b.model());
+            let p = stats.dominant_pair().unwrap();
+            assert_eq!(
+                (p.input.bits(), p.weight.bits()),
+                (i, w),
+                "{b} dominant pair"
+            );
+        }
+    }
+
+    #[test]
+    fn low_bitwidth_share_matches_figure_1_average() {
+        // "on average, 97.3% of multiply-adds require four or fewer bits".
+        use crate::stats::BitwidthStats;
+        let mean: f64 = Benchmark::ALL
+            .iter()
+            .map(|b| BitwidthStats::of(&b.model()).share_at_or_below(4))
+            .sum::<f64>()
+            / 8.0;
+        assert!(mean > 0.95, "mean low-bitwidth share {mean}");
+    }
+
+    #[test]
+    fn reference_models_differ_only_for_wide_nets() {
+        assert_ne!(
+            Benchmark::AlexNet.reference_model().total_macs(),
+            Benchmark::AlexNet.model().total_macs()
+        );
+        assert_ne!(
+            Benchmark::ResNet18.reference_model().total_macs(),
+            Benchmark::ResNet18.model().total_macs()
+        );
+        assert_eq!(
+            Benchmark::Vgg7.reference_model().total_macs(),
+            Benchmark::Vgg7.model().total_macs()
+        );
+    }
+
+    #[test]
+    fn recurrent_flags() {
+        assert!(Benchmark::Lstm.is_recurrent());
+        assert!(Benchmark::Rnn.is_recurrent());
+        assert!(!Benchmark::AlexNet.is_recurrent());
+    }
+
+    #[test]
+    fn every_model_nonempty_and_consistent() {
+        for b in Benchmark::ALL {
+            let m = b.model();
+            assert!(!m.is_empty(), "{b}");
+            assert!(m.total_macs() > 0, "{b}");
+            assert!(m.weight_bytes() > 0, "{b}");
+            for l in m.mac_layers() {
+                assert!(l.layer.precision().is_some(), "{b}/{}", l.name);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod shape_chain_tests {
+    use super::*;
+
+    /// Every benchmark's layer list chains shape-consistently; the only
+    /// expected mismatches are ResNet-18's residual-branch downsample
+    /// convolutions, which consume the stage input rather than the previous
+    /// layer's output.
+    #[test]
+    fn zoo_shape_chains_are_consistent() {
+        for b in Benchmark::ALL {
+            for model in [b.model(), b.reference_model()] {
+                let mismatches = model.shape_chain_mismatches();
+                if b == Benchmark::ResNet18 {
+                    assert_eq!(mismatches.len(), 3, "{}: {mismatches:?}", model.name);
+                    for (_, consumer, _, _) in &mismatches {
+                        assert!(
+                            consumer.ends_with("ds"),
+                            "{}: unexpected mismatch into {consumer}",
+                            model.name
+                        );
+                    }
+                } else {
+                    assert!(mismatches.is_empty(), "{}: {mismatches:?}", model.name);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The QNN vanilla RNN language model (Hubara et al.) on Penn TreeBank.
+//!
+//! Two 2048-unit Elman layers at 4-bit weights and activations, costed per
+//! token. Shape-derived MACs: `2 × 2048 × 4096 = 16.8 MOps` per token
+//! (Table II: 17), and weights `16.8M params × 4 bits ≈ 8.4 MB`
+//! (Table II: 8.0 MB).
+
+use crate::layer::{CellKind, Layer, Recurrent};
+use crate::model::Model;
+use crate::zoo::pp;
+
+/// The QNN PTB RNN model (Table II: 17 MOps/token, 8.0 MB).
+pub fn rnn() -> Model {
+    let p4 = pp(4, 4);
+    let cell = |input| {
+        Layer::Recurrent(Recurrent {
+            cell: CellKind::Rnn,
+            input_size: input,
+            hidden_size: 2048,
+            precision: p4,
+        })
+    };
+    Model::new("RNN", vec![("rnn1", cell(2048)), ("rnn2", cell(2048))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_2() {
+        let m = rnn();
+        let mops = m.total_macs() as f64 / 1e6;
+        assert!((mops - 17.0).abs() < 0.8, "{mops}");
+        let mb = m.weight_bytes() as f64 / 1e6;
+        assert!((mb - 8.0).abs() < 0.5, "{mb}");
+    }
+}

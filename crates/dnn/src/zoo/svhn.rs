@@ -1,0 +1,48 @@
+//! The QNN SVHN convnet (Hubara et al.): the half-width sibling of the
+//! Cifar-10 model.
+//!
+//! Topology: 2×64C3 – MP2 – 2×128C3 – MP2 – 2×256C3 – MP2 – 1024FC –
+//! 1024FC – 10, on 32×32×3 house-number crops. Shape-derived MACs:
+//! `1.8 + 37.7 + 18.9 + 37.7 + 18.9 + 37.7 + 4.2 + 1.0 + 0.01 ≈ 158 MOps`
+//! (Table II: 158), with weights `≈ 6.4M params × 1 bit ≈ 0.8 MB` — both
+//! exact matches.
+
+use crate::model::Model;
+use crate::zoo::{conv, fc, maxpool, pp};
+
+/// The QNN SVHN model (Table II: 158 MOps, 0.8 MB).
+pub fn svhn() -> Model {
+    let p8 = pp(8, 8);
+    let p1 = pp(1, 1);
+    Model::new(
+        "SVHN",
+        vec![
+            ("conv1", conv(3, 64, 3, 1, 1, (32, 32), 1, p8)),
+            ("conv2", conv(64, 64, 3, 1, 1, (32, 32), 1, p1)),
+            ("pool1", maxpool(64, (32, 32), 2, 2)),
+            ("conv3", conv(64, 128, 3, 1, 1, (16, 16), 1, p1)),
+            ("conv4", conv(128, 128, 3, 1, 1, (16, 16), 1, p1)),
+            ("pool2", maxpool(128, (16, 16), 2, 2)),
+            ("conv5", conv(128, 256, 3, 1, 1, (8, 8), 1, p1)),
+            ("conv6", conv(256, 256, 3, 1, 1, (8, 8), 1, p1)),
+            ("pool3", maxpool(256, (8, 8), 2, 2)),
+            ("fc1", fc(256 * 4 * 4, 1024, p1)),
+            ("fc2", fc(1024, 1024, p1)),
+            ("fc3", fc(1024, 10, p8)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_2() {
+        let m = svhn();
+        let mops = m.total_macs() as f64 / 1e6;
+        assert!((mops - 158.0).abs() < 2.0, "{mops}");
+        let mb = m.weight_bytes() as f64 / 1e6;
+        assert!((mb - 0.8).abs() < 0.1, "{mb}");
+    }
+}

@@ -1,0 +1,54 @@
+//! VGG-7 with ternary weight networks (Li et al.) on CIFAR-10.
+//!
+//! Topology: 64C3 – 128C3 – MP2 – 128C3 – 256C3 – MP2 – 256C3 – 512C3 –
+//! MP2 – 1024FC – 10 on 32×32×3 inputs. Shape-derived MACs:
+//! `1.8 + 75.5 + 37.7 + 75.5 + 37.7 + 75.5 + 8.4 + 0.01 ≈ 312 MOps`
+//! (Table II: 317, within 2%), and weights
+//! `≈ 10.7M params × 2 bits ≈ 2.7 MB` — an exact match. All layers run at
+//! 2bit/2bit (Figure 1: 100%).
+
+use crate::model::Model;
+use crate::zoo::{conv, fc, maxpool, pp};
+
+/// The ternary VGG-7 model (Table II: 317 MOps, 2.7 MB).
+pub fn vgg7() -> Model {
+    let p2 = pp(2, 2);
+    Model::new(
+        "VGG-7",
+        vec![
+            ("conv1", conv(3, 64, 3, 1, 1, (32, 32), 1, p2)),
+            ("conv2", conv(64, 128, 3, 1, 1, (32, 32), 1, p2)),
+            ("pool1", maxpool(128, (32, 32), 2, 2)),
+            ("conv3", conv(128, 128, 3, 1, 1, (16, 16), 1, p2)),
+            ("conv4", conv(128, 256, 3, 1, 1, (16, 16), 1, p2)),
+            ("pool2", maxpool(256, (16, 16), 2, 2)),
+            ("conv5", conv(256, 256, 3, 1, 1, (8, 8), 1, p2)),
+            ("conv6", conv(256, 512, 3, 1, 1, (8, 8), 1, p2)),
+            ("pool3", maxpool(512, (8, 8), 2, 2)),
+            ("fc1", fc(512 * 4 * 4, 1024, p2)),
+            ("fc2", fc(1024, 10, p2)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_2() {
+        let m = vgg7();
+        let mops = m.total_macs() as f64 / 1e6;
+        assert!((mops - 317.0).abs() < 10.0, "{mops}");
+        let mb = m.weight_bytes() as f64 / 1e6;
+        assert!((mb - 2.7).abs() < 0.1, "{mb}");
+    }
+
+    #[test]
+    fn fully_ternary() {
+        for l in vgg7().mac_layers() {
+            let p = l.layer.precision().unwrap();
+            assert_eq!((p.input.bits(), p.weight.bits()), (2, 2), "{}", l.name);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # bitfusion-energy
+//!
+//! Area, power and energy models for the Bit Fusion evaluation
+//! (Sharma et al., ISCA 2018).
+//!
+//! The paper grounds its numbers in Synopsys synthesis at 45 nm plus
+//! CACTI-P for the SRAM buffers; this crate substitutes a *structural*
+//! model — gate counts from `bitfusion-core` with per-category factors
+//! calibrated once against the published Figure 10 Fusion Unit row — plus a
+//! CACTI-style SRAM curve and literature-anchored component constants (see
+//! each module's docs and DESIGN.md's substitution table).
+//!
+//! * [`tech`] — technology nodes and the paper's 45→16 nm scaling factors;
+//! * [`sram`] — CACTI-style access energy/area for scratchpad macros;
+//! * [`components`] — per-op constants for Bit Fusion, Eyeriss, Stripes and
+//!   DRAM;
+//! * [`fig10`] — the Figure 10 Fusion-Unit-vs-temporal area/power table;
+//! * [`report`] — the Figure 14 per-component energy breakdown type.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod area;
+pub mod components;
+pub mod fig10;
+pub mod report;
+pub mod sram;
+pub mod tech;
+
+pub use area::ChipArea;
+pub use components::{EyerissEnergy, FusionEnergy, StripesEnergy, DRAM_PJ_PER_BIT};
+pub use fig10::{DesignCost, Figure10};
+pub use report::EnergyBreakdown;
+pub use sram::SramMacro;
+pub use tech::TechNode;

@@ -1,0 +1,141 @@
+//! Per-component energy breakdowns (the Figure 14 categories: compute,
+//! on-chip buffers, register file, DRAM).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Energy of one workload run, split into the Figure 14 components, in pJ.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Datapath (MAC units / BitBricks / SIPs).
+    pub compute_pj: f64,
+    /// On-chip SRAM/eDRAM buffers.
+    pub buffer_pj: f64,
+    /// Register files (zero for Bit Fusion — its systolic design has none;
+    /// §V-B1).
+    pub rf_pj: f64,
+    /// Off-chip DRAM.
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.buffer_pj + self.rf_pj + self.dram_pj
+    }
+
+    /// Total energy in µJ.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+
+    /// Component fractions `[compute, buffers, rf, dram]` summing to 1
+    /// (all zeros for an empty breakdown).
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_pj();
+        if t == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.compute_pj / t,
+            self.buffer_pj / t,
+            self.rf_pj / t,
+            self.dram_pj / t,
+        ]
+    }
+
+    /// Scales every component (used for technology scaling and batch
+    /// averaging).
+    pub fn scaled(&self, factor: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj * factor,
+            buffer_pj: self.buffer_pj * factor,
+            rf_pj: self.rf_pj * factor,
+            dram_pj: self.dram_pj * factor,
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + rhs.compute_pj,
+            buffer_pj: self.buffer_pj + rhs.buffer_pj,
+            rf_pj: self.rf_pj + rhs.rf_pj,
+            dram_pj: self.dram_pj + rhs.dram_pj,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.fold(EnergyBreakdown::default(), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [c, b, r, d] = self.fractions();
+        write!(
+            f,
+            "{:.2} uJ (compute {:.0}%, buffers {:.0}%, RF {:.0}%, DRAM {:.0}%)",
+            self.total_uj(),
+            c * 100.0,
+            b * 100.0,
+            r * 100.0,
+            d * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: 10.0,
+            buffer_pj: 20.0,
+            rf_pj: 0.0,
+            dram_pj: 70.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let e = sample();
+        assert_eq!(e.total_pj(), 100.0);
+        let f = e.fractions();
+        assert_eq!(f, [0.1, 0.2, 0.0, 0.7]);
+        assert_eq!(EnergyBreakdown::default().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let two = sample() + sample();
+        assert_eq!(two.total_pj(), 200.0);
+        let many: EnergyBreakdown = (0..5).map(|_| sample()).sum();
+        assert_eq!(many.dram_pj, 350.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let half = sample().scaled(0.5);
+        assert_eq!(half.total_pj(), 50.0);
+    }
+
+    #[test]
+    fn display_shows_fractions() {
+        let s = sample().to_string();
+        assert!(s.contains("DRAM 70%"));
+    }
+}

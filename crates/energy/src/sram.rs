@@ -1,0 +1,129 @@
+//! CACTI-style SRAM access-energy and area model.
+//!
+//! The paper models its on-chip buffers with CACTI-P [48]. We reproduce the
+//! first-order behaviour CACTI exhibits for small scratchpads at 45 nm: a
+//! fixed decode/sense cost plus a component that grows with the square root
+//! of capacity (bitline/wordline length), linear in the access width.
+//! Constants are calibrated to published CACTI-P outputs for the 8–256 KB
+//! range (a 32 KB, 32-bit-wide access costs ≈ 4–5 pJ at 45 nm).
+
+use crate::tech::TechNode;
+
+/// An SRAM macro model at 45 nm.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_energy::sram::SramMacro;
+///
+/// let ibuf = SramMacro::new(32 * 1024, 32);
+/// let small = SramMacro::new(4 * 1024, 32);
+/// assert!(ibuf.access_pj() > small.access_pj()); // bigger arrays cost more
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramMacro {
+    capacity_bytes: usize,
+    access_bits: u32,
+}
+
+/// Fixed per-access decode/sense energy (pJ, 45 nm, per 32-bit access).
+const E_FIXED_PJ: f64 = 0.30;
+/// Capacity-dependent coefficient (pJ per sqrt(byte), 45 nm).
+const E_SQRT_PJ: f64 = 0.045;
+/// SRAM macro density at 45 nm, µm² per byte (6T cell plus array overhead).
+const AREA_UM2_PER_BYTE: f64 = 4.2;
+
+impl SramMacro {
+    /// Creates a macro of the given capacity and physical access width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when capacity or width is zero — configuration bugs.
+    pub fn new(capacity_bytes: usize, access_bits: u32) -> Self {
+        assert!(capacity_bytes > 0 && access_bits > 0, "degenerate SRAM");
+        SramMacro {
+            capacity_bytes,
+            access_bits,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Physical access width in bits.
+    pub fn access_bits(&self) -> u32 {
+        self.access_bits
+    }
+
+    /// Energy of one physical access at 45 nm, in pJ.
+    pub fn access_pj(&self) -> f64 {
+        let per_32 = E_FIXED_PJ + E_SQRT_PJ * (self.capacity_bytes as f64).sqrt();
+        per_32 * self.access_bits as f64 / 32.0
+    }
+
+    /// Energy of one access at another node.
+    pub fn access_pj_at(&self, node: TechNode) -> f64 {
+        node.scale_energy_pj(self.access_pj())
+    }
+
+    /// Energy to move `bits` through the macro, charging whole physical
+    /// accesses (the register + multiplexer staging of Figure 3 means one
+    /// array access serves `access_bits` of payload).
+    pub fn energy_for_bits_pj(&self, bits: u64) -> f64 {
+        let accesses = bits.div_ceil(self.access_bits as u64);
+        accesses as f64 * self.access_pj()
+    }
+
+    /// Macro area at 45 nm in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.capacity_bytes as f64 * AREA_UM2_PER_BYTE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_anchor() {
+        // 32 KB, 32-bit access: ~7-10 pJ at 45 nm (single-ported CACTI-P
+        // range).
+        let m = SramMacro::new(32 * 1024, 32);
+        let pj = m.access_pj();
+        assert!(pj > 7.0 && pj < 10.0, "{pj}");
+    }
+
+    #[test]
+    fn wider_access_costs_proportionally() {
+        let narrow = SramMacro::new(64 * 1024, 32);
+        let wide = SramMacro::new(64 * 1024, 128);
+        assert!((wide.access_pj() / narrow.access_pj() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_for_bits_rounds_up_accesses() {
+        let m = SramMacro::new(1024, 32);
+        let one = m.access_pj();
+        assert!((m.energy_for_bits_pj(1) - one).abs() < 1e-12);
+        assert!((m.energy_for_bits_pj(33) - 2.0 * one).abs() < 1e-12);
+        assert_eq!(m.energy_for_bits_pj(0), 0.0);
+    }
+
+    #[test]
+    fn area_scales_with_capacity() {
+        let a = SramMacro::new(16 * 1024, 32).area_um2();
+        let b = SramMacro::new(32 * 1024, 32).area_um2();
+        assert!((b / a - 2.0).abs() < 1e-9);
+        // 112 KB of buffers lands well under 1 mm^2 (the chip is 5.87 mm^2).
+        let total = SramMacro::new(112 * 1024, 32).area_um2();
+        assert!(total < 1.0e6, "{total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_capacity_panics() {
+        SramMacro::new(0, 32);
+    }
+}

@@ -1,0 +1,288 @@
+//! Textual assembly for Fusion-ISA blocks.
+//!
+//! The format mirrors the paper's Figure 12 listings: one instruction per
+//! line, loop nesting shown by two-space indentation, plus `.block`/`.base`
+//! directives for metadata. [`format_block`] and [`parse_block`] round-trip.
+//!
+//! ```text
+//! .block fc-tiled
+//! .base wbuf 1000
+//! setup u4, s2
+//! loop l0, 3
+//!   gen-addr l0, dram.wbuf, 10
+//!   ld-mem wbuf, 2b, 10
+//!   loop l1, 4
+//!     rd-buf ibuf
+//!     rd-buf wbuf
+//!     compute mac
+//!   wr-buf obuf
+//! block-end 0
+//! ```
+
+use std::fmt::Write as _;
+
+use bitfusion_core::bitwidth::{BitWidth, Precision, Signedness};
+
+use crate::block::{DramBases, InstructionBlock};
+use crate::error::IsaError;
+use crate::instruction::{
+    AddressSpace, ComputeFn, Instruction, LoopId, Scratchpad, TaggedInstruction,
+};
+
+/// Formats a block in the canonical text form.
+pub fn format_block(block: &InstructionBlock) -> String {
+    let mut out = String::new();
+    writeln!(out, ".block {}", block.name).expect("infallible");
+    for buffer in Scratchpad::ALL {
+        let base = block.bases.base(buffer);
+        if base != 0 {
+            writeln!(out, ".base {buffer} {base}").expect("infallible");
+        }
+    }
+    for t in block.instructions() {
+        for _ in 0..t.level {
+            out.push_str("  ");
+        }
+        writeln!(out, "{}", t.instruction).expect("infallible");
+    }
+    out
+}
+
+fn parse_err(line: usize, reason: impl Into<String>) -> IsaError {
+    IsaError::Parse {
+        line,
+        reason: reason.into(),
+    }
+}
+
+fn parse_precision(tok: &str, line: usize) -> Result<Precision, IsaError> {
+    let (sign, rest) = match tok.split_at_checked(1) {
+        Some(("u", rest)) => (Signedness::Unsigned, rest),
+        Some(("s", rest)) => (Signedness::Signed, rest),
+        _ => return Err(parse_err(line, format!("bad precision `{tok}`"))),
+    };
+    let bits: u32 = rest
+        .parse()
+        .map_err(|_| parse_err(line, format!("bad precision bits `{tok}`")))?;
+    let width =
+        BitWidth::from_bits(bits).map_err(|e| parse_err(line, format!("{e} in `{tok}`")))?;
+    Ok(Precision::new(width, sign))
+}
+
+fn parse_scratchpad(tok: &str, line: usize) -> Result<Scratchpad, IsaError> {
+    match tok {
+        "ibuf" => Ok(Scratchpad::Ibuf),
+        "wbuf" => Ok(Scratchpad::Wbuf),
+        "obuf" => Ok(Scratchpad::Obuf),
+        _ => Err(parse_err(line, format!("bad scratchpad `{tok}`"))),
+    }
+}
+
+fn parse_loop_id(tok: &str, line: usize) -> Result<LoopId, IsaError> {
+    let id = tok
+        .strip_prefix('l')
+        .and_then(|n| n.parse::<u8>().ok())
+        .ok_or_else(|| parse_err(line, format!("bad loop id `{tok}`")))?;
+    Ok(LoopId(id))
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, IsaError> {
+    tok.parse()
+        .map_err(|_| parse_err(line, format!("bad number `{tok}`")))
+}
+
+fn parse_compute_fn(tok: &str, line: usize) -> Result<ComputeFn, IsaError> {
+    ComputeFn::ALL
+        .into_iter()
+        .find(|op| op.to_string() == tok)
+        .ok_or_else(|| parse_err(line, format!("bad compute fn `{tok}`")))
+}
+
+/// Parses a block from the canonical text form.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Parse`] with a line number for syntax errors, and the
+/// structural validation errors of [`InstructionBlock::new`].
+pub fn parse_block(text: &str) -> Result<InstructionBlock, IsaError> {
+    let mut name = String::from("unnamed");
+    let mut bases = DramBases::default();
+    let mut instrs: Vec<TaggedInstruction> = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix(".block") {
+            name = rest.trim().to_string();
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix(".base") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() != 2 {
+                return Err(parse_err(lineno, ".base expects `<buffer> <addr>`"));
+            }
+            let buffer = parse_scratchpad(toks[0], lineno)?;
+            bases.set_base(buffer, parse_u64(toks[1], lineno)?);
+            continue;
+        }
+        let indent = line.len() - trimmed.len();
+        if indent % 2 != 0 {
+            return Err(parse_err(lineno, "indentation must be two spaces per level"));
+        }
+        let level = (indent / 2) as u8;
+        let mut toks = trimmed
+            .split([' ', ',', '\t'])
+            .filter(|t| !t.is_empty());
+        let mnemonic = toks.next().expect("non-empty line");
+        let args: Vec<&str> = toks.collect();
+        let arg = |i: usize| -> Result<&str, IsaError> {
+            args.get(i)
+                .copied()
+                .ok_or_else(|| parse_err(lineno, format!("{mnemonic}: missing operand {i}")))
+        };
+        let instruction = match mnemonic {
+            "setup" => Instruction::Setup {
+                input: parse_precision(arg(0)?, lineno)?,
+                weight: parse_precision(arg(1)?, lineno)?,
+            },
+            "loop" => Instruction::Loop {
+                id: parse_loop_id(arg(0)?, lineno)?,
+                iterations: parse_u64(arg(1)?, lineno)? as u32,
+            },
+            "gen-addr" => {
+                let target = arg(1)?;
+                let (space_tok, buf_tok) = target.split_once('.').ok_or_else(|| {
+                    parse_err(lineno, format!("bad gen-addr target `{target}`"))
+                })?;
+                let space = match space_tok {
+                    "dram" => AddressSpace::OffChip,
+                    "chip" => AddressSpace::OnChip,
+                    other => {
+                        return Err(parse_err(lineno, format!("bad address space `{other}`")))
+                    }
+                };
+                Instruction::GenAddr {
+                    loop_id: parse_loop_id(arg(0)?, lineno)?,
+                    space,
+                    buffer: parse_scratchpad(buf_tok, lineno)?,
+                    stride: parse_u64(arg(2)?, lineno)?,
+                }
+            }
+            "ld-mem" | "st-mem" => {
+                let buffer = parse_scratchpad(arg(0)?, lineno)?;
+                let bits_tok = arg(1)?;
+                let bits = bits_tok
+                    .strip_suffix('b')
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .ok_or_else(|| parse_err(lineno, format!("bad bitwidth `{bits_tok}`")))?;
+                let words = parse_u64(arg(2)?, lineno)?;
+                if mnemonic == "ld-mem" {
+                    Instruction::LdMem { buffer, bits, words }
+                } else {
+                    Instruction::StMem { buffer, bits, words }
+                }
+            }
+            "rd-buf" => Instruction::RdBuf {
+                buffer: parse_scratchpad(arg(0)?, lineno)?,
+            },
+            "wr-buf" => Instruction::WrBuf {
+                buffer: parse_scratchpad(arg(0)?, lineno)?,
+            },
+            "compute" => Instruction::Compute {
+                op: parse_compute_fn(arg(0)?, lineno)?,
+            },
+            "block-end" => Instruction::BlockEnd {
+                next: parse_u64(arg(0)?, lineno)? as u16,
+            },
+            other => return Err(parse_err(lineno, format!("unknown mnemonic `{other}`"))),
+        };
+        instrs.push(TaggedInstruction::new(instruction, level));
+    }
+    InstructionBlock::new(name, bases, instrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+    use bitfusion_core::bitwidth::PairPrecision;
+
+    fn sample() -> InstructionBlock {
+        let pair = PairPrecision::from_bits(2, 2).unwrap();
+        let mut b = BlockBuilder::new("asm-sample", pair);
+        b.set_base(Scratchpad::Ibuf, 4096);
+        let t = b.open_loop(5).unwrap();
+        b.gen_addr(t, AddressSpace::OffChip, Scratchpad::Ibuf, 128).unwrap();
+        b.ld_mem(Scratchpad::Ibuf, 2, 128).unwrap();
+        let k = b.open_loop(8).unwrap();
+        b.gen_addr(k, AddressSpace::OnChip, Scratchpad::Ibuf, 16).unwrap();
+        b.rd_buf(Scratchpad::Ibuf);
+        b.rd_buf(Scratchpad::Wbuf);
+        b.compute(ComputeFn::Mac);
+        b.close_loop();
+        b.wr_buf(Scratchpad::Obuf);
+        b.close_loop();
+        b.st_mem(Scratchpad::Obuf, 8, 5).unwrap();
+        b.finish(2).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let block = sample();
+        let text = format_block(&block);
+        let parsed = parse_block(&text).unwrap();
+        assert_eq!(parsed.name, block.name);
+        assert_eq!(parsed.bases, block.bases);
+        assert_eq!(parsed.instructions(), block.instructions());
+    }
+
+    #[test]
+    fn format_shows_nesting() {
+        let text = format_block(&sample());
+        assert!(text.contains("\n  loop l1, 8"));
+        assert!(text.contains("\n    compute mac"));
+        assert!(text.starts_with(".block asm-sample\n.base ibuf 4096\n"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "; a comment\n\n.block c\nsetup u8, s8\n; interior comment\nblock-end 0\n";
+        let block = parse_block(text).unwrap();
+        assert_eq!(block.len(), 2);
+        assert_eq!(block.name, "c");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = ".block x\nsetup u8, s8\nfrobnicate 1\nblock-end 0\n";
+        match parse_block(text) {
+            Err(IsaError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_precision_rejected() {
+        assert!(parse_block(".block x\nsetup q8, s8\nblock-end 0\n").is_err());
+        assert!(parse_block(".block x\nsetup u3, s8\nblock-end 0\n").is_err());
+    }
+
+    #[test]
+    fn odd_indent_rejected() {
+        let text = ".block x\nsetup u8, s8\n compute mac\nblock-end 0\n";
+        assert!(matches!(parse_block(text), Err(IsaError::Parse { .. })));
+    }
+
+    #[test]
+    fn structural_validation_applies() {
+        // Parses fine but violates block structure (no setup).
+        let text = ".block x\ncompute mac\nblock-end 0\n";
+        assert!(matches!(
+            parse_block(text),
+            Err(IsaError::MalformedBlock(_))
+        ));
+    }
+}

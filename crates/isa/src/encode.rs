@@ -1,0 +1,619 @@
+//! Binary encoding of Fusion-ISA instructions.
+//!
+//! Instructions are 32-bit words in the Table I format:
+//!
+//! ```text
+//! [31:27] opcode | [26:21] field1 (6 b) | [20:16] field2 (5 b) | [15:0] immediate
+//! ```
+//!
+//! Wide structured fields are split across multiple words whose semantics
+//! *sum*:
+//!
+//! * `gen-addr` strides wider than 16 bits are emitted as several `gen-addr`
+//!   words for the same stream with a 2-bit chunk selector in field2; the
+//!   contributions add (Equation 4 already sums strides per loop).
+//! * `ld-mem`/`st-mem` word counts wider than 16 bits use the same chunk
+//!   scheme; consecutive DMAs to the same target concatenate.
+//! * `loop` trip counts wider than 16 bits set an extension bit; the
+//!   following word carries the high half.
+//!
+//! The DRAM base addresses travel as six raw words immediately after `setup`
+//! (the paper: "the words after the setup instruction define the memory base
+//! address").
+
+use bitfusion_core::bitwidth::{BitWidth, Precision, Signedness};
+
+use crate::block::{DramBases, InstructionBlock};
+use crate::error::IsaError;
+use crate::instruction::{
+    AddressSpace, ComputeFn, Instruction, LoopId, Scratchpad, TaggedInstruction,
+};
+
+/// Opcode values (5-bit field). Zero is deliberately unused so an all-zero
+/// word is never a valid instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Opcode {
+    Setup = 1,
+    Loop = 2,
+    GenAddr = 3,
+    LdMem = 4,
+    StMem = 5,
+    RdBuf = 6,
+    WrBuf = 7,
+    Compute = 8,
+    BlockEnd = 9,
+}
+
+impl Opcode {
+    fn from_bits(bits: u32) -> Option<Opcode> {
+        Some(match bits {
+            1 => Opcode::Setup,
+            2 => Opcode::Loop,
+            3 => Opcode::GenAddr,
+            4 => Opcode::LdMem,
+            5 => Opcode::StMem,
+            6 => Opcode::RdBuf,
+            7 => Opcode::WrBuf,
+            8 => Opcode::Compute,
+            9 => Opcode::BlockEnd,
+            _ => return None,
+        })
+    }
+}
+
+fn pack(op: Opcode, f1: u32, f2: u32, imm: u32) -> u32 {
+    debug_assert!(f1 < 64 && f2 < 32 && imm < 65536);
+    ((op as u32) << 27) | (f1 << 21) | (f2 << 16) | imm
+}
+
+fn width_code(w: BitWidth) -> u32 {
+    match w {
+        BitWidth::B1 => 0,
+        BitWidth::B2 => 1,
+        BitWidth::B4 => 2,
+        BitWidth::B8 => 3,
+        BitWidth::B16 => 4,
+    }
+}
+
+fn width_from_code(code: u32) -> Option<BitWidth> {
+    Some(match code {
+        0 => BitWidth::B1,
+        1 => BitWidth::B2,
+        2 => BitWidth::B4,
+        3 => BitWidth::B8,
+        4 => BitWidth::B16,
+        _ => return None,
+    })
+}
+
+fn precision_code(p: Precision) -> u32 {
+    (if p.signedness.is_signed() { 1 << 3 } else { 0 }) | width_code(p.width)
+}
+
+fn precision_from_code(code: u32) -> Option<Precision> {
+    let signedness = if code & 0b1000 != 0 {
+        Signedness::Signed
+    } else {
+        Signedness::Unsigned
+    };
+    Some(Precision::new(width_from_code(code & 0b111)?, signedness))
+}
+
+/// Memory bitwidth codes used by `ld-mem`/`st-mem` (`mem.bitwidth` of
+/// Table I); includes 32-bit for partial-sum spills.
+fn mem_bits_code(bits: u32) -> Result<u32, IsaError> {
+    Ok(match bits {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        16 => 4,
+        32 => 5,
+        _ => {
+            return Err(IsaError::FieldOverflow {
+                field: "mem.bitwidth",
+                value: bits as u64,
+            })
+        }
+    })
+}
+
+fn mem_bits_from_code(code: u32) -> Option<u32> {
+    Some(match code {
+        0 => 1,
+        1 => 2,
+        2 => 4,
+        3 => 8,
+        4 => 16,
+        5 => 32,
+        _ => return None,
+    })
+}
+
+const IMM_MASK: u64 = 0xFFFF;
+
+/// Encodes one block to its 32-bit word stream.
+///
+/// # Errors
+///
+/// Returns [`IsaError::FieldOverflow`] when a field cannot be represented
+/// (loop id > 63, level > 15, trip count > 2^32-1, stride needing more than
+/// four 16-bit chunks, etc.).
+pub fn encode_block(block: &InstructionBlock) -> Result<Vec<u32>, IsaError> {
+    let mut words = Vec::with_capacity(block.len() + 6);
+    for (idx, t) in block.instructions().iter().enumerate() {
+        let level = t.level as u32;
+        if level > 15 {
+            return Err(IsaError::FieldOverflow {
+                field: "level",
+                value: level as u64,
+            });
+        }
+        match t.instruction {
+            Instruction::Setup { input, weight } => {
+                words.push(pack(
+                    Opcode::Setup,
+                    precision_code(input),
+                    precision_code(weight),
+                    0,
+                ));
+                // Base-address words follow setup (3 bases × 2 words).
+                for base in [block.bases.ibuf, block.bases.wbuf, block.bases.obuf] {
+                    words.push((base & 0xFFFF_FFFF) as u32);
+                    words.push((base >> 32) as u32);
+                }
+            }
+            Instruction::Loop { id, iterations } => {
+                if id.0 > 63 {
+                    return Err(IsaError::FieldOverflow {
+                        field: "loop-id",
+                        value: id.0 as u64,
+                    });
+                }
+                let lo = iterations as u64 & IMM_MASK;
+                let hi = iterations as u64 >> 16;
+                let ext = if hi != 0 { 1u32 << 4 } else { 0 };
+                words.push(pack(Opcode::Loop, id.0 as u32, ext | level, lo as u32));
+                if hi != 0 {
+                    words.push(pack(Opcode::Loop, id.0 as u32, level, hi as u32));
+                }
+            }
+            Instruction::GenAddr {
+                loop_id,
+                space,
+                buffer,
+                stride,
+            } => {
+                // Any u64 stride is representable as at most four 16-bit
+                // chunks, so no overflow check is needed.
+                let mut emitted = false;
+                for chunk in 0..4u32 {
+                    let part = (stride >> (16 * chunk)) & IMM_MASK;
+                    if part != 0 {
+                        let f2 = (space.code() as u32) << 4
+                            | (buffer.code() as u32) << 2
+                            | chunk;
+                        words.push(pack(Opcode::GenAddr, loop_id.0 as u32, f2, part as u32));
+                        emitted = true;
+                    }
+                }
+                if !emitted {
+                    // Stride zero: emit a single explicit zero-stride word.
+                    let f2 = (space.code() as u32) << 4 | (buffer.code() as u32) << 2;
+                    words.push(pack(Opcode::GenAddr, loop_id.0 as u32, f2, 0));
+                }
+            }
+            Instruction::LdMem { buffer, bits, words: count }
+            | Instruction::StMem { buffer, bits, words: count } => {
+                let op = if matches!(t.instruction, Instruction::LdMem { .. }) {
+                    Opcode::LdMem
+                } else {
+                    Opcode::StMem
+                };
+                if count == 0 {
+                    return Err(IsaError::FieldOverflow {
+                        field: "num-words",
+                        value: 0,
+                    });
+                }
+                if count >= 1 << 32 {
+                    return Err(IsaError::FieldOverflow {
+                        field: "num-words",
+                        value: count,
+                    });
+                }
+                let f1 = (buffer.code() as u32) << 3 | mem_bits_code(bits)?;
+                let lo = count & IMM_MASK;
+                let hi = count >> 16;
+                let ext = if hi != 0 { 1u32 << 4 } else { 0 };
+                words.push(pack(op, f1, ext | level, lo as u32));
+                if hi != 0 {
+                    words.push(pack(op, f1, level, hi as u32));
+                }
+            }
+            Instruction::RdBuf { buffer } => {
+                words.push(pack(Opcode::RdBuf, buffer.code() as u32, level, 0));
+            }
+            Instruction::WrBuf { buffer } => {
+                words.push(pack(Opcode::WrBuf, buffer.code() as u32, level, 0));
+            }
+            Instruction::Compute { op } => {
+                words.push(pack(Opcode::Compute, op.code() as u32, level, 0));
+            }
+            Instruction::BlockEnd { next } => {
+                let _ = idx;
+                words.push(pack(Opcode::BlockEnd, 0, 0, next as u32));
+            }
+        }
+    }
+    Ok(words)
+}
+
+/// Decodes a 32-bit word stream back into a block.
+///
+/// Split instructions (loop extensions, chunked strides, chained DMAs) are
+/// reassembled where the format marks them; independent duplicates are left
+/// as-is (use [`InstructionBlock::canonicalize`] before semantic comparison).
+///
+/// # Errors
+///
+/// Returns [`IsaError::BadEncoding`] for unknown opcodes/field codes or a
+/// truncated stream, and the [`InstructionBlock::new`] validation errors for
+/// structurally invalid blocks.
+pub fn decode_block(name: &str, words: &[u32]) -> Result<InstructionBlock, IsaError> {
+    let mut instrs: Vec<TaggedInstruction> = Vec::new();
+    let mut bases = DramBases::default();
+    let mut i = 0usize;
+    while i < words.len() {
+        let w = words[i];
+        let op = Opcode::from_bits(w >> 27).ok_or(IsaError::BadEncoding {
+            index: i,
+            reason: "unknown opcode",
+        })?;
+        let f1 = (w >> 21) & 0x3F;
+        let f2 = (w >> 16) & 0x1F;
+        let imm = w & 0xFFFF;
+        match op {
+            Opcode::Setup => {
+                let input = precision_from_code(f1).ok_or(IsaError::BadEncoding {
+                    index: i,
+                    reason: "bad input precision",
+                })?;
+                let weight = precision_from_code(f2).ok_or(IsaError::BadEncoding {
+                    index: i,
+                    reason: "bad weight precision",
+                })?;
+                if i + 6 >= words.len() {
+                    return Err(IsaError::BadEncoding {
+                        index: i,
+                        reason: "truncated base-address words",
+                    });
+                }
+                bases.ibuf = words[i + 1] as u64 | (words[i + 2] as u64) << 32;
+                bases.wbuf = words[i + 3] as u64 | (words[i + 4] as u64) << 32;
+                bases.obuf = words[i + 5] as u64 | (words[i + 6] as u64) << 32;
+                i += 6;
+                instrs.push(TaggedInstruction::new(
+                    Instruction::Setup { input, weight },
+                    0,
+                ));
+            }
+            Opcode::Loop => {
+                let level = (f2 & 0xF) as u8;
+                let ext = f2 & 0x10 != 0;
+                let mut iterations = imm;
+                if ext {
+                    i += 1;
+                    let hi = words.get(i).ok_or(IsaError::BadEncoding {
+                        index: i,
+                        reason: "truncated loop extension",
+                    })?;
+                    iterations |= (hi & 0xFFFF) << 16;
+                }
+                instrs.push(TaggedInstruction::new(
+                    Instruction::Loop {
+                        id: LoopId(f1 as u8),
+                        iterations,
+                    },
+                    level,
+                ));
+            }
+            Opcode::GenAddr => {
+                let space = AddressSpace::from_code(((f2 >> 4) & 1) as u8)
+                    .expect("1-bit space code");
+                let buffer =
+                    Scratchpad::from_code(((f2 >> 2) & 0b11) as u8).ok_or(IsaError::BadEncoding {
+                        index: i,
+                        reason: "bad scratchpad code",
+                    })?;
+                let chunk = f2 & 0b11;
+                instrs.push(TaggedInstruction::new(
+                    Instruction::GenAddr {
+                        loop_id: LoopId(f1 as u8),
+                        space,
+                        buffer,
+                        stride: (imm as u64) << (16 * chunk),
+                    },
+                    0,
+                ));
+            }
+            Opcode::LdMem | Opcode::StMem => {
+                let buffer =
+                    Scratchpad::from_code(((f1 >> 3) & 0b11) as u8).ok_or(IsaError::BadEncoding {
+                        index: i,
+                        reason: "bad scratchpad code",
+                    })?;
+                let bits = mem_bits_from_code(f1 & 0b111).ok_or(IsaError::BadEncoding {
+                    index: i,
+                    reason: "bad mem.bitwidth code",
+                })?;
+                let level = (f2 & 0xF) as u8;
+                let ext = f2 & 0x10 != 0;
+                let mut count = imm as u64;
+                if ext {
+                    i += 1;
+                    let hi = words.get(i).ok_or(IsaError::BadEncoding {
+                        index: i,
+                        reason: "truncated dma extension",
+                    })?;
+                    count |= ((hi & 0xFFFF) as u64) << 16;
+                }
+                let instr = if op == Opcode::LdMem {
+                    Instruction::LdMem {
+                        buffer,
+                        bits,
+                        words: count,
+                    }
+                } else {
+                    Instruction::StMem {
+                        buffer,
+                        bits,
+                        words: count,
+                    }
+                };
+                instrs.push(TaggedInstruction::new(instr, level));
+            }
+            Opcode::RdBuf | Opcode::WrBuf => {
+                let buffer =
+                    Scratchpad::from_code((f1 & 0b11) as u8).ok_or(IsaError::BadEncoding {
+                        index: i,
+                        reason: "bad scratchpad code",
+                    })?;
+                let level = (f2 & 0xF) as u8;
+                let instr = if op == Opcode::RdBuf {
+                    Instruction::RdBuf { buffer }
+                } else {
+                    Instruction::WrBuf { buffer }
+                };
+                instrs.push(TaggedInstruction::new(instr, level));
+            }
+            Opcode::Compute => {
+                let op_fn = ComputeFn::from_code(f1 as u8).ok_or(IsaError::BadEncoding {
+                    index: i,
+                    reason: "bad fn code",
+                })?;
+                instrs.push(TaggedInstruction::new(
+                    Instruction::Compute { op: op_fn },
+                    (f2 & 0xF) as u8,
+                ));
+            }
+            Opcode::BlockEnd => {
+                instrs.push(TaggedInstruction::new(
+                    Instruction::BlockEnd { next: imm as u16 },
+                    0,
+                ));
+            }
+        }
+        i += 1;
+    }
+    InstructionBlock::new(name, bases, instrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+    use bitfusion_core::bitwidth::PairPrecision;
+
+    fn sample_block() -> InstructionBlock {
+        let pair = PairPrecision::from_bits(4, 2).unwrap();
+        let mut b = BlockBuilder::new("sample", pair);
+        b.set_base(Scratchpad::Ibuf, 0x1_0000_0000);
+        b.set_base(Scratchpad::Wbuf, 0xDEAD_BEEF);
+        let tic = b.open_loop(70000).unwrap(); // forces the loop extension
+        b.ld_mem(Scratchpad::Ibuf, 4, 100_000).unwrap(); // forces dma chaining
+        b.gen_addr(tic, AddressSpace::OffChip, Scratchpad::Ibuf, 0x1_0002)
+            .unwrap(); // forces stride chunking
+        let ic = b.open_loop(16).unwrap();
+        b.gen_addr(ic, AddressSpace::OnChip, Scratchpad::Wbuf, 0).unwrap();
+        b.rd_buf(Scratchpad::Ibuf);
+        b.rd_buf(Scratchpad::Wbuf);
+        b.compute(ComputeFn::Mac);
+        b.close_loop();
+        b.wr_buf(Scratchpad::Obuf);
+        b.close_loop();
+        b.st_mem(Scratchpad::Obuf, 8, 64).unwrap();
+        b.finish(0).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let block = sample_block();
+        let words = encode_block(&block).unwrap();
+        let decoded = decode_block("sample", &words).unwrap();
+        // The decoded block may split wide fields; canonical forms and all
+        // semantic accessors must agree.
+        assert_eq!(decoded.canonicalize().instructions(), block.canonicalize().instructions());
+        assert_eq!(decoded.bases, block.bases);
+        assert_eq!(decoded.setup_pair(), block.setup_pair());
+        assert_eq!(decoded.stride_table(), block.stride_table());
+        let t1 = block.loop_tree();
+        let t2 = decoded.loop_tree();
+        assert_eq!(t1.dynamic_compute_count(), t2.dynamic_compute_count());
+        assert_eq!(t1.depth(), t2.depth());
+    }
+
+    #[test]
+    fn opcode_zero_rejected() {
+        assert!(matches!(
+            decode_block("z", &[0]),
+            Err(IsaError::BadEncoding { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_setup_rejected() {
+        let block = sample_block();
+        let words = encode_block(&block).unwrap();
+        assert!(matches!(
+            decode_block("t", &words[..3]),
+            Err(IsaError::BadEncoding { .. })
+        ));
+    }
+
+    #[test]
+    fn word_count_reasonable() {
+        // The sample block's static encoding stays compact: Table I blocks
+        // run 30-86 instructions; the encoded form adds only base words and
+        // extension words.
+        let block = sample_block();
+        let words = encode_block(&block).unwrap();
+        assert!(words.len() >= block.len());
+        assert!(words.len() <= block.len() + 12);
+    }
+
+    #[test]
+    fn all_mem_bits_codes_round_trip() {
+        for bits in [1u32, 2, 4, 8, 16, 32] {
+            let code = mem_bits_code(bits).unwrap();
+            assert_eq!(mem_bits_from_code(code), Some(bits));
+        }
+        assert!(mem_bits_code(12).is_err());
+    }
+
+    #[test]
+    fn precision_codes_round_trip() {
+        use bitfusion_core::bitwidth::{BitWidth, Signedness};
+        for w in BitWidth::ALL {
+            for s in [Signedness::Signed, Signedness::Unsigned] {
+                let p = Precision::new(w, s);
+                assert_eq!(precision_from_code(precision_code(p)), Some(p));
+            }
+        }
+    }
+}
+
+/// Encodes a whole program: blocks concatenated in chain order, prefixed by
+/// a word count per block so the decoder can restore block boundaries. The
+/// `block-end.next` chain (§IV-A: "provides the address of the next
+/// instruction") is validated on decode.
+///
+/// # Errors
+///
+/// Propagates per-block encoding failures.
+pub fn encode_program(program: &crate::block::Program) -> Result<Vec<u32>, IsaError> {
+    let mut words = vec![program.blocks.len() as u32];
+    for block in &program.blocks {
+        let body = encode_block(block)?;
+        words.push(body.len() as u32);
+        words.extend(body);
+    }
+    Ok(words)
+}
+
+/// Decodes a program stream produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::BadEncoding`] for truncated streams or broken
+/// `block-end` chains, and propagates per-block decode failures.
+pub fn decode_program(words: &[u32]) -> Result<crate::block::Program, IsaError> {
+    let mut program = crate::block::Program::new();
+    let &count = words.first().ok_or(IsaError::BadEncoding {
+        index: 0,
+        reason: "empty program stream",
+    })?;
+    let mut pos = 1usize;
+    for i in 0..count as usize {
+        let len = *words.get(pos).ok_or(IsaError::BadEncoding {
+            index: pos,
+            reason: "truncated block header",
+        })? as usize;
+        pos += 1;
+        let end = pos + len;
+        let body = words.get(pos..end).ok_or(IsaError::BadEncoding {
+            index: pos,
+            reason: "truncated block body",
+        })?;
+        let block = decode_block(&format!("block{i}"), body)?;
+        // Chain validation: every block but the last must name its
+        // successor; the last wraps to 0.
+        let expected_next = if i + 1 == count as usize { 0 } else { (i + 1) as u16 };
+        if block.next_block() != expected_next {
+            return Err(IsaError::BadEncoding {
+                index: pos,
+                reason: "block-end chain does not match block order",
+            });
+        }
+        program.push(block);
+        pos = end;
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod program_tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+    use bitfusion_core::bitwidth::PairPrecision;
+
+    fn two_block_program() -> crate::block::Program {
+        let pair = PairPrecision::from_bits(2, 2).unwrap();
+        let mut program = crate::block::Program::new();
+        let mut b0 = BlockBuilder::new("first", pair);
+        b0.ld_mem(crate::instruction::Scratchpad::Wbuf, 2, 64).unwrap();
+        program.push(b0.finish(1).unwrap());
+        let mut b1 = BlockBuilder::new("second", pair);
+        b1.st_mem(crate::instruction::Scratchpad::Obuf, 8, 16).unwrap();
+        program.push(b1.finish(0).unwrap());
+        program
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let program = two_block_program();
+        let words = encode_program(&program).unwrap();
+        let decoded = decode_program(&words).unwrap();
+        assert_eq!(decoded.blocks.len(), 2);
+        for (a, b) in decoded.blocks.iter().zip(&program.blocks) {
+            assert_eq!(
+                a.canonicalize().instructions(),
+                b.canonicalize().instructions()
+            );
+        }
+        assert_eq!(decoded.static_instructions(), program.static_instructions());
+    }
+
+    #[test]
+    fn broken_chain_rejected() {
+        let pair = PairPrecision::from_bits(2, 2).unwrap();
+        let mut program = crate::block::Program::new();
+        // First block claims its successor is block 5: chain is broken.
+        program.push(BlockBuilder::new("a", pair).finish(5).unwrap());
+        program.push(BlockBuilder::new("b", pair).finish(0).unwrap());
+        let words = encode_program(&program).unwrap();
+        assert!(matches!(
+            decode_program(&words),
+            Err(IsaError::BadEncoding { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_program_rejected() {
+        let words = encode_program(&two_block_program()).unwrap();
+        assert!(decode_program(&words[..words.len() - 2]).is_err());
+        assert!(decode_program(&[]).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type for the Fusion-ISA crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, encoding, decoding, or parsing Fusion-ISA
+/// blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// Structural rule violation (setup/block-end placement, size).
+    MalformedBlock(&'static str),
+    /// A loop id exceeds the 6-bit field.
+    LoopIdOutOfRange(u8),
+    /// The same loop id declared twice in one block.
+    DuplicateLoop(u8),
+    /// A loop declared with zero iterations.
+    ZeroTripLoop(u8),
+    /// `gen-addr` references a loop that was not declared.
+    UndeclaredLoop(u8),
+    /// An instruction's level exceeds the reachable loop depth.
+    LevelJump {
+        /// Instruction index within the block.
+        index: usize,
+        /// The offending level tag.
+        level: u8,
+        /// The maximum level reachable at that point.
+        depth: u8,
+    },
+    /// A field value does not fit its binary encoding.
+    FieldOverflow {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: u64,
+    },
+    /// An unknown opcode or field code during decoding.
+    BadEncoding {
+        /// Word index in the encoded stream.
+        index: usize,
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// Text assembly parse error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::MalformedBlock(why) => write!(f, "malformed block: {why}"),
+            IsaError::LoopIdOutOfRange(id) => write!(f, "loop id {id} exceeds 6-bit field"),
+            IsaError::DuplicateLoop(id) => write!(f, "loop id {id} declared twice"),
+            IsaError::ZeroTripLoop(id) => write!(f, "loop id {id} has zero iterations"),
+            IsaError::UndeclaredLoop(id) => {
+                write!(f, "gen-addr references undeclared loop id {id}")
+            }
+            IsaError::LevelJump { index, level, depth } => write!(
+                f,
+                "instruction {index} tagged level {level} but only depth {depth} is open"
+            ),
+            IsaError::FieldOverflow { field, value } => {
+                write!(f, "field {field} value {value} does not fit its encoding")
+            }
+            IsaError::BadEncoding { index, reason } => {
+                write!(f, "bad encoding at word {index}: {reason}")
+            }
+            IsaError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errors = [
+            IsaError::MalformedBlock("x"),
+            IsaError::LoopIdOutOfRange(64),
+            IsaError::DuplicateLoop(1),
+            IsaError::ZeroTripLoop(2),
+            IsaError::UndeclaredLoop(3),
+            IsaError::LevelJump {
+                index: 4,
+                level: 5,
+                depth: 2,
+            },
+            IsaError::FieldOverflow {
+                field: "stride",
+                value: u64::MAX,
+            },
+            IsaError::BadEncoding {
+                index: 0,
+                reason: "zero word",
+            },
+            IsaError::Parse {
+                line: 3,
+                reason: "what".into(),
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<IsaError>();
+    }
+}

@@ -1,0 +1,434 @@
+//! Fusion-ISA instruction definitions (Table I of the paper).
+//!
+//! The ISA is block-structured: a `setup` instruction opens a block and fixes
+//! the fusion configuration for every instruction in it; `block-end` closes
+//! the block and names its successor. In between, `loop` instructions declare
+//! iterative scopes, `gen-addr` instructions declare the per-loop address
+//! strides of Equation 4, `ld-mem`/`st-mem` move data between DRAM and the
+//! on-chip scratchpads, `rd-buf`/`wr-buf` move operands between scratchpads
+//! and the datapath, and `compute` performs the configured operation.
+//!
+//! ## Loop levels
+//!
+//! Table I gives `gen-addr` a *loop-level* field but leaves the nesting of
+//! other instructions to the block structure. We concretize this the way an
+//! indentation-based language would: every non-loop instruction carries the
+//! loop depth it executes at ([`TaggedInstruction::level`]); an instruction
+//! tagged shallower than the preceding instruction closes the intervening
+//! loops (it sits in the *post-body* section of its level, like the final
+//! `st-mem` of Figure 12(b)). This makes the linear instruction stream an
+//! unambiguous encoding of a non-perfect loop nest.
+
+use std::fmt;
+
+use bitfusion_core::bitwidth::Precision;
+
+/// On-chip scratchpad buffers (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scratchpad {
+    /// Input buffer, shared across array rows.
+    Ibuf,
+    /// Weight buffer, distributed per Fusion Unit.
+    Wbuf,
+    /// Output buffer, one collector per column.
+    Obuf,
+}
+
+impl Scratchpad {
+    /// All scratchpads.
+    pub const ALL: [Scratchpad; 3] = [Scratchpad::Ibuf, Scratchpad::Wbuf, Scratchpad::Obuf];
+
+    /// Two-bit encoding.
+    pub const fn code(self) -> u8 {
+        match self {
+            Scratchpad::Ibuf => 0,
+            Scratchpad::Wbuf => 1,
+            Scratchpad::Obuf => 2,
+        }
+    }
+
+    /// Decodes a two-bit scratchpad code.
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Scratchpad::Ibuf),
+            1 => Some(Scratchpad::Wbuf),
+            2 => Some(Scratchpad::Obuf),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Scratchpad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scratchpad::Ibuf => write!(f, "ibuf"),
+            Scratchpad::Wbuf => write!(f, "wbuf"),
+            Scratchpad::Obuf => write!(f, "obuf"),
+        }
+    }
+}
+
+/// Address spaces a `gen-addr` stream can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressSpace {
+    /// Off-chip DRAM addresses consumed by `ld-mem`/`st-mem`.
+    OffChip,
+    /// On-chip scratchpad addresses consumed by `rd-buf`/`wr-buf`.
+    OnChip,
+}
+
+impl AddressSpace {
+    /// One-bit encoding.
+    pub const fn code(self) -> u8 {
+        match self {
+            AddressSpace::OffChip => 0,
+            AddressSpace::OnChip => 1,
+        }
+    }
+
+    /// Decodes the one-bit space code.
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(AddressSpace::OffChip),
+            1 => Some(AddressSpace::OnChip),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressSpace::OffChip => write!(f, "dram"),
+            AddressSpace::OnChip => write!(f, "chip"),
+        }
+    }
+}
+
+/// Operation selected by a `compute` instruction (the `fn` field of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComputeFn {
+    /// Multiply-accumulate on the systolic array.
+    Mac,
+    /// Max reduction (pooling unit).
+    Max,
+    /// Average reduction (pooling unit).
+    Avg,
+    /// Elementwise addition (residual connections, LSTM cell state).
+    Add,
+    /// Elementwise multiplication (LSTM gates).
+    Mul,
+    /// Rectified linear activation.
+    Relu,
+    /// Logistic sigmoid (lookup-table activation unit).
+    Sigmoid,
+    /// Hyperbolic tangent (lookup-table activation unit).
+    Tanh,
+}
+
+impl ComputeFn {
+    /// All compute functions.
+    pub const ALL: [ComputeFn; 8] = [
+        ComputeFn::Mac,
+        ComputeFn::Max,
+        ComputeFn::Avg,
+        ComputeFn::Add,
+        ComputeFn::Mul,
+        ComputeFn::Relu,
+        ComputeFn::Sigmoid,
+        ComputeFn::Tanh,
+    ];
+
+    /// Encoding of the `fn` field.
+    pub const fn code(self) -> u8 {
+        match self {
+            ComputeFn::Mac => 0,
+            ComputeFn::Max => 1,
+            ComputeFn::Avg => 2,
+            ComputeFn::Add => 3,
+            ComputeFn::Mul => 4,
+            ComputeFn::Relu => 5,
+            ComputeFn::Sigmoid => 6,
+            ComputeFn::Tanh => 7,
+        }
+    }
+
+    /// Decodes the `fn` field.
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ComputeFn::Mac),
+            1 => Some(ComputeFn::Max),
+            2 => Some(ComputeFn::Avg),
+            3 => Some(ComputeFn::Add),
+            4 => Some(ComputeFn::Mul),
+            5 => Some(ComputeFn::Relu),
+            6 => Some(ComputeFn::Sigmoid),
+            7 => Some(ComputeFn::Tanh),
+            _ => None,
+        }
+    }
+
+    /// Whether the function runs on the systolic array (as opposed to the
+    /// per-column pooling/activation units).
+    pub const fn uses_systolic_array(self) -> bool {
+        matches!(self, ComputeFn::Mac)
+    }
+}
+
+impl fmt::Display for ComputeFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComputeFn::Mac => "mac",
+            ComputeFn::Max => "max",
+            ComputeFn::Avg => "avg",
+            ComputeFn::Add => "add",
+            ComputeFn::Mul => "mul",
+            ComputeFn::Relu => "relu",
+            ComputeFn::Sigmoid => "sigmoid",
+            ComputeFn::Tanh => "tanh",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Identifier of a `loop` instruction within its block (the *Loop
+/// Identifier* field of Table I; 6 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u8);
+
+/// Maximum loop identifier (6-bit field).
+pub const MAX_LOOP_ID: u8 = 63;
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A Fusion-ISA instruction (structured form).
+///
+/// Wide fields (`stride`, `words`) hold full-range values here; the binary
+/// encoder splits values that exceed the 16-bit immediate across multiple
+/// instructions whose contributions sum (for `gen-addr`, Equation 4 already
+/// sums stride contributions per loop; for `ld-mem`/`st-mem`, consecutive
+/// DMAs concatenate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Opens a block and configures the Fusion Units and data-delivery logic
+    /// for the given operand precisions.
+    Setup {
+        /// Input (activation) precision.
+        input: Precision,
+        /// Weight precision.
+        weight: Precision,
+    },
+    /// Declares an iterative scope executed `iterations` times.
+    Loop {
+        /// Identifier referenced by `gen-addr`.
+        id: LoopId,
+        /// Trip count (at least 1).
+        iterations: u32,
+    },
+    /// Declares the address stride of loop `loop_id` for one
+    /// (space, buffer) stream: `address = base + Σ iter[id] × stride[id]`
+    /// (Equation 4). Strides are in elements.
+    GenAddr {
+        /// The loop whose iterator scales this stride.
+        loop_id: LoopId,
+        /// Off-chip (DMA) or on-chip (datapath) stream.
+        space: AddressSpace,
+        /// Which buffer the stream feeds.
+        buffer: Scratchpad,
+        /// Stride in elements.
+        stride: u64,
+    },
+    /// DMA from DRAM into a scratchpad: `words` elements of `bits`-wide data.
+    LdMem {
+        /// Destination scratchpad.
+        buffer: Scratchpad,
+        /// Element bitwidth in memory (`mem.bitwidth` of Table I).
+        bits: u32,
+        /// Element count.
+        words: u64,
+    },
+    /// DMA from a scratchpad to DRAM.
+    StMem {
+        /// Source scratchpad.
+        buffer: Scratchpad,
+        /// Element bitwidth in memory.
+        bits: u32,
+        /// Element count.
+        words: u64,
+    },
+    /// Reads the next operand vector from a scratchpad into the datapath.
+    RdBuf {
+        /// Source scratchpad.
+        buffer: Scratchpad,
+    },
+    /// Writes the datapath result vector into a scratchpad.
+    WrBuf {
+        /// Destination scratchpad.
+        buffer: Scratchpad,
+    },
+    /// Performs the selected operation on the operands staged by `rd-buf`.
+    Compute {
+        /// The operation.
+        op: ComputeFn,
+    },
+    /// Ends the block; `next` is the index of the successor block.
+    BlockEnd {
+        /// Successor block index (0 for the final block).
+        next: u16,
+    },
+}
+
+impl Instruction {
+    /// The Table I mnemonic.
+    pub const fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::Setup { .. } => "setup",
+            Instruction::Loop { .. } => "loop",
+            Instruction::GenAddr { .. } => "gen-addr",
+            Instruction::LdMem { .. } => "ld-mem",
+            Instruction::StMem { .. } => "st-mem",
+            Instruction::RdBuf { .. } => "rd-buf",
+            Instruction::WrBuf { .. } => "wr-buf",
+            Instruction::Compute { .. } => "compute",
+            Instruction::BlockEnd { .. } => "block-end",
+        }
+    }
+
+    /// Whether this is a memory instruction (DMA or buffer access).
+    pub const fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instruction::LdMem { .. }
+                | Instruction::StMem { .. }
+                | Instruction::RdBuf { .. }
+                | Instruction::WrBuf { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Setup { input, weight } => write!(f, "setup {input}, {weight}"),
+            Instruction::Loop { id, iterations } => write!(f, "loop {id}, {iterations}"),
+            Instruction::GenAddr {
+                loop_id,
+                space,
+                buffer,
+                stride,
+            } => write!(f, "gen-addr {loop_id}, {space}.{buffer}, {stride}"),
+            Instruction::LdMem { buffer, bits, words } => {
+                write!(f, "ld-mem {buffer}, {bits}b, {words}")
+            }
+            Instruction::StMem { buffer, bits, words } => {
+                write!(f, "st-mem {buffer}, {bits}b, {words}")
+            }
+            Instruction::RdBuf { buffer } => write!(f, "rd-buf {buffer}"),
+            Instruction::WrBuf { buffer } => write!(f, "wr-buf {buffer}"),
+            Instruction::Compute { op } => write!(f, "compute {op}"),
+            Instruction::BlockEnd { next } => write!(f, "block-end {next}"),
+        }
+    }
+}
+
+/// An instruction plus the loop depth it executes at (see the module docs).
+///
+/// `level` counts enclosing loops: 0 executes once per block, `n` executes
+/// once per iteration of the `n`-th enclosing loop. `Loop` instructions are
+/// tagged with the depth at which they are *declared* (their body is
+/// `level + 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaggedInstruction {
+    /// The instruction.
+    pub instruction: Instruction,
+    /// Loop depth (0 = block scope).
+    pub level: u8,
+}
+
+impl TaggedInstruction {
+    /// Creates a tagged instruction.
+    pub const fn new(instruction: Instruction, level: u8) -> Self {
+        TaggedInstruction { instruction, level }
+    }
+}
+
+impl fmt::Display for TaggedInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for _ in 0..self.level {
+            write!(f, "  ")?;
+        }
+        write!(f, "{}", self.instruction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitfusion_core::bitwidth::BitWidth;
+
+    #[test]
+    fn scratchpad_codes_round_trip() {
+        for s in Scratchpad::ALL {
+            assert_eq!(Scratchpad::from_code(s.code()), Some(s));
+        }
+        assert_eq!(Scratchpad::from_code(3), None);
+    }
+
+    #[test]
+    fn compute_fn_codes_round_trip() {
+        for op in ComputeFn::ALL {
+            assert_eq!(ComputeFn::from_code(op.code()), Some(op));
+        }
+        assert_eq!(ComputeFn::from_code(8), None);
+    }
+
+    #[test]
+    fn address_space_codes_round_trip() {
+        for s in [AddressSpace::OffChip, AddressSpace::OnChip] {
+            assert_eq!(AddressSpace::from_code(s.code()), Some(s));
+        }
+        assert_eq!(AddressSpace::from_code(2), None);
+    }
+
+    #[test]
+    fn only_mac_uses_the_array() {
+        for op in ComputeFn::ALL {
+            assert_eq!(op.uses_systolic_array(), op == ComputeFn::Mac);
+        }
+    }
+
+    #[test]
+    fn display_forms_match_table_1_mnemonics() {
+        let setup = Instruction::Setup {
+            input: Precision::unsigned(BitWidth::B4),
+            weight: Precision::signed(BitWidth::B2),
+        };
+        assert_eq!(setup.to_string(), "setup u4, s2");
+        assert_eq!(setup.mnemonic(), "setup");
+        let ga = Instruction::GenAddr {
+            loop_id: LoopId(3),
+            space: AddressSpace::OffChip,
+            buffer: Scratchpad::Wbuf,
+            stride: 1024,
+        };
+        assert_eq!(ga.to_string(), "gen-addr l3, dram.wbuf, 1024");
+        let ld = Instruction::LdMem {
+            buffer: Scratchpad::Ibuf,
+            bits: 4,
+            words: 256,
+        };
+        assert_eq!(ld.to_string(), "ld-mem ibuf, 4b, 256");
+        assert!(ld.is_memory());
+        assert!(!setup.is_memory());
+    }
+
+    #[test]
+    fn tagged_display_indents() {
+        let t = TaggedInstruction::new(Instruction::Compute { op: ComputeFn::Mac }, 2);
+        assert_eq!(t.to_string(), "    compute mac");
+    }
+}

@@ -1,0 +1,364 @@
+//! Execution semantics of instruction blocks: the event walker and the
+//! analytic summarizer.
+//!
+//! The *walker* executes a block's loop nest instruction by instruction,
+//! computing every address with Equation 4
+//! (`address = base + Σ loop_iterator[id] × stride[id]`) and handing each
+//! dynamic memory/compute operation to a visitor. It is exact and is used by
+//! functional tests and small-scale inspection.
+//!
+//! The *summarizer* computes the same aggregate counts (DMA bits, buffer
+//! accesses, compute steps) analytically by folding the loop tree — O(static
+//! block size) instead of O(dynamic instruction count) — and is what the
+//! performance simulator uses for full networks.
+
+use std::collections::BTreeMap;
+
+use crate::block::{BodyItem, InstructionBlock, LoopNode, LoopTree};
+use crate::instruction::{AddressSpace, ComputeFn, Instruction, LoopId, Scratchpad};
+
+/// A dynamic operation produced by walking a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// DRAM → scratchpad DMA.
+    DmaLoad {
+        /// Destination scratchpad.
+        buffer: Scratchpad,
+        /// Element bitwidth.
+        bits: u32,
+        /// Element count.
+        words: u64,
+        /// DRAM address (elements) from Equation 4.
+        addr: u64,
+    },
+    /// Scratchpad → DRAM DMA.
+    DmaStore {
+        /// Source scratchpad.
+        buffer: Scratchpad,
+        /// Element bitwidth.
+        bits: u32,
+        /// Element count.
+        words: u64,
+        /// DRAM address (elements) from Equation 4.
+        addr: u64,
+    },
+    /// Scratchpad → datapath vector read.
+    BufRead {
+        /// Source scratchpad.
+        buffer: Scratchpad,
+        /// On-chip address (elements) from Equation 4.
+        addr: u64,
+    },
+    /// Datapath → scratchpad vector write.
+    BufWrite {
+        /// Destination scratchpad.
+        buffer: Scratchpad,
+        /// On-chip address (elements) from Equation 4.
+        addr: u64,
+    },
+    /// One dynamic compute step.
+    Compute {
+        /// The operation.
+        op: ComputeFn,
+    },
+}
+
+/// Walks every dynamic instruction of `block`, invoking `visit` per event.
+///
+/// Addresses follow Equation 4: for each (space, buffer) stream, the address
+/// is the stream's base plus the sum over declared strides of
+/// `loop_iterator × stride`. DMA events use the off-chip stream; buffer
+/// events use the on-chip stream.
+pub fn walk(block: &InstructionBlock, visit: &mut impl FnMut(Event)) {
+    let tree = block.loop_tree();
+    let mut iters: BTreeMap<LoopId, u64> = BTreeMap::new();
+    walk_items(&tree, &tree.body, &mut iters, visit);
+}
+
+fn address(
+    tree: &LoopTree,
+    iters: &BTreeMap<LoopId, u64>,
+    space: AddressSpace,
+    buffer: Scratchpad,
+) -> u64 {
+    let base = match space {
+        AddressSpace::OffChip => tree.bases.base(buffer),
+        AddressSpace::OnChip => 0,
+    };
+    let mut addr = base;
+    for (&(sp, buf, id), &stride) in &tree.strides {
+        if sp == space.code() && buf == buffer {
+            if let Some(&it) = iters.get(&id) {
+                addr += it * stride;
+            }
+        }
+    }
+    addr
+}
+
+fn walk_items(
+    tree: &LoopTree,
+    items: &[BodyItem],
+    iters: &mut BTreeMap<LoopId, u64>,
+    visit: &mut impl FnMut(Event),
+) {
+    for item in items {
+        match item {
+            BodyItem::Instr(instr) => match *instr {
+                Instruction::LdMem { buffer, bits, words } => visit(Event::DmaLoad {
+                    buffer,
+                    bits,
+                    words,
+                    addr: address(tree, iters, AddressSpace::OffChip, buffer),
+                }),
+                Instruction::StMem { buffer, bits, words } => visit(Event::DmaStore {
+                    buffer,
+                    bits,
+                    words,
+                    addr: address(tree, iters, AddressSpace::OffChip, buffer),
+                }),
+                Instruction::RdBuf { buffer } => visit(Event::BufRead {
+                    buffer,
+                    addr: address(tree, iters, AddressSpace::OnChip, buffer),
+                }),
+                Instruction::WrBuf { buffer } => visit(Event::BufWrite {
+                    buffer,
+                    addr: address(tree, iters, AddressSpace::OnChip, buffer),
+                }),
+                Instruction::Compute { op } => visit(Event::Compute { op }),
+                _ => {}
+            },
+            BodyItem::Loop(node) => {
+                for i in 0..node.iterations as u64 {
+                    iters.insert(node.id, i);
+                    walk_items(tree, &node.body, iters, visit);
+                }
+                iters.remove(&node.id);
+            }
+        }
+    }
+}
+
+/// Per-scratchpad aggregate access counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferCounts {
+    /// `rd-buf` executions.
+    pub reads: u64,
+    /// `wr-buf` executions.
+    pub writes: u64,
+    /// Bits loaded from DRAM into this scratchpad.
+    pub dma_load_bits: u64,
+    /// Bits stored from this scratchpad to DRAM.
+    pub dma_store_bits: u64,
+}
+
+/// Analytic execution summary of one block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockSummary {
+    /// Counts per scratchpad, indexed by [`Scratchpad::code`].
+    pub buffers: [BufferCounts; 3],
+    /// Dynamic executions per compute function.
+    pub compute: BTreeMap<ComputeFn, u64>,
+    /// Total dynamic instructions (all kinds).
+    pub dynamic_instructions: u64,
+}
+
+impl BlockSummary {
+    /// Counts for a scratchpad.
+    pub fn buffer(&self, buffer: Scratchpad) -> &BufferCounts {
+        &self.buffers[buffer.code() as usize]
+    }
+
+    /// Total DRAM traffic in bits (loads + stores).
+    pub fn dram_bits(&self) -> u64 {
+        self.buffers
+            .iter()
+            .map(|b| b.dma_load_bits + b.dma_store_bits)
+            .sum()
+    }
+
+    /// Total dynamic `compute` executions across all functions.
+    pub fn compute_steps(&self) -> u64 {
+        self.compute.values().sum()
+    }
+
+    /// Dynamic executions of one compute function.
+    pub fn compute_count(&self, op: ComputeFn) -> u64 {
+        self.compute.get(&op).copied().unwrap_or(0)
+    }
+}
+
+/// Computes the aggregate execution counts of a block analytically (without
+/// enumerating loop iterations).
+pub fn summarize(block: &InstructionBlock) -> BlockSummary {
+    let tree = block.loop_tree();
+    let mut summary = BlockSummary::default();
+    fold_items(&tree.body, 1, &mut summary);
+    summary
+}
+
+fn fold_items(items: &[BodyItem], multiplier: u64, summary: &mut BlockSummary) {
+    for item in items {
+        match item {
+            BodyItem::Instr(instr) => {
+                summary.dynamic_instructions += multiplier;
+                match *instr {
+                    Instruction::LdMem { buffer, bits, words } => {
+                        summary.buffers[buffer.code() as usize].dma_load_bits +=
+                            multiplier * words * bits as u64;
+                    }
+                    Instruction::StMem { buffer, bits, words } => {
+                        summary.buffers[buffer.code() as usize].dma_store_bits +=
+                            multiplier * words * bits as u64;
+                    }
+                    Instruction::RdBuf { buffer } => {
+                        summary.buffers[buffer.code() as usize].reads += multiplier;
+                    }
+                    Instruction::WrBuf { buffer } => {
+                        summary.buffers[buffer.code() as usize].writes += multiplier;
+                    }
+                    Instruction::Compute { op } => {
+                        *summary.compute.entry(op).or_insert(0) += multiplier;
+                    }
+                    _ => {}
+                }
+            }
+            BodyItem::Loop(node) => {
+                fold_items(&node.body, multiplier * node.iterations as u64, summary);
+            }
+        }
+    }
+}
+
+/// Finds the innermost loops that directly issue DMA instructions — the tile
+/// loops whose iterations the performance model double-buffers. Returns
+/// `(node, trip_product_of_enclosing_loops)` pairs.
+pub fn dma_loops(block: &InstructionBlock) -> Vec<(LoopNode, u64)> {
+    let tree = block.loop_tree();
+    let mut found = Vec::new();
+    collect_dma_loops(&tree.body, 1, &mut found);
+    found
+}
+
+fn has_direct_dma(node: &LoopNode) -> bool {
+    node.body.iter().any(|item| {
+        matches!(
+            item,
+            BodyItem::Instr(Instruction::LdMem { .. }) | BodyItem::Instr(Instruction::StMem { .. })
+        )
+    })
+}
+
+fn collect_dma_loops(items: &[BodyItem], outer_trips: u64, found: &mut Vec<(LoopNode, u64)>) {
+    for item in items {
+        if let BodyItem::Loop(node) = item {
+            // Recurse first: prefer the innermost DMA loop.
+            let before = found.len();
+            collect_dma_loops(&node.body, outer_trips * node.iterations as u64, found);
+            if found.len() == before && has_direct_dma(node) {
+                found.push((node.clone(), outer_trips));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+    use bitfusion_core::bitwidth::PairPrecision;
+
+    /// A tiled block: 3 tiles, each loading 10 weights then computing 4
+    /// MACs per tile with a weight-buffer walk.
+    fn tiled_block() -> InstructionBlock {
+        let pair = PairPrecision::from_bits(4, 2).unwrap();
+        let mut b = BlockBuilder::new("walk-test", pair);
+        b.set_base(Scratchpad::Wbuf, 1000);
+        let t = b.open_loop(3).unwrap();
+        b.gen_addr(t, AddressSpace::OffChip, Scratchpad::Wbuf, 10).unwrap();
+        b.ld_mem(Scratchpad::Wbuf, 2, 10).unwrap();
+        let k = b.open_loop(4).unwrap();
+        b.gen_addr(k, AddressSpace::OnChip, Scratchpad::Wbuf, 2).unwrap();
+        b.rd_buf(Scratchpad::Ibuf);
+        b.rd_buf(Scratchpad::Wbuf);
+        b.compute(ComputeFn::Mac);
+        b.close_loop();
+        b.wr_buf(Scratchpad::Obuf);
+        b.close_loop();
+        b.st_mem(Scratchpad::Obuf, 8, 3).unwrap();
+        b.finish(0).unwrap()
+    }
+
+    #[test]
+    fn walk_produces_equation_4_addresses() {
+        let block = tiled_block();
+        let mut dma_addrs = Vec::new();
+        let mut wbuf_read_addrs = Vec::new();
+        walk(&block, &mut |e| match e {
+            Event::DmaLoad { buffer: Scratchpad::Wbuf, addr, .. } => dma_addrs.push(addr),
+            Event::BufRead { buffer: Scratchpad::Wbuf, addr } => wbuf_read_addrs.push(addr),
+            _ => {}
+        });
+        // DMA: base 1000 + tile * 10.
+        assert_eq!(dma_addrs, vec![1000, 1010, 1020]);
+        // On-chip weight walk: k * 2, repeating per tile.
+        assert_eq!(wbuf_read_addrs.len(), 12);
+        assert_eq!(&wbuf_read_addrs[0..4], &[0, 2, 4, 6]);
+        assert_eq!(&wbuf_read_addrs[4..8], &[0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn summary_matches_brute_force_walk() {
+        let block = tiled_block();
+        let summary = summarize(&block);
+        let mut compute = 0u64;
+        let mut wbuf_reads = 0u64;
+        let mut load_bits = 0u64;
+        let mut store_bits = 0u64;
+        let mut events = 0u64;
+        walk(&block, &mut |e| {
+            events += 1;
+            match e {
+                Event::Compute { .. } => compute += 1,
+                Event::BufRead { buffer: Scratchpad::Wbuf, .. } => wbuf_reads += 1,
+                Event::DmaLoad { bits, words, .. } => load_bits += bits as u64 * words,
+                Event::DmaStore { bits, words, .. } => store_bits += bits as u64 * words,
+                _ => {}
+            }
+        });
+        assert_eq!(summary.compute_steps(), compute);
+        assert_eq!(summary.compute_count(ComputeFn::Mac), 12);
+        assert_eq!(summary.buffer(Scratchpad::Wbuf).reads, wbuf_reads);
+        assert_eq!(
+            summary.buffers.iter().map(|b| b.dma_load_bits).sum::<u64>(),
+            load_bits
+        );
+        assert_eq!(
+            summary.buffers.iter().map(|b| b.dma_store_bits).sum::<u64>(),
+            store_bits
+        );
+        assert_eq!(summary.dynamic_instructions, events);
+        // DRAM totals: 3 tiles x 10 weights x 2 bits + 3 outputs x 8 bits.
+        assert_eq!(summary.dram_bits(), 3 * 10 * 2 + 3 * 8);
+    }
+
+    #[test]
+    fn dma_loops_finds_tile_loop() {
+        let block = tiled_block();
+        let loops = dma_loops(&block);
+        assert_eq!(loops.len(), 1);
+        let (node, outer) = &loops[0];
+        assert_eq!(node.iterations, 3);
+        assert_eq!(*outer, 1);
+    }
+
+    #[test]
+    fn empty_interior_block_summary_is_zero() {
+        let pair = PairPrecision::from_bits(8, 8).unwrap();
+        let block = BlockBuilder::new("empty", pair).finish(0).unwrap();
+        let s = summarize(&block);
+        assert_eq!(s.compute_steps(), 0);
+        assert_eq!(s.dram_bits(), 0);
+        assert_eq!(s.dynamic_instructions, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # bitfusion-sim
+//!
+//! The cycle-level performance and energy simulator for the Bit Fusion
+//! accelerator (§V-A of Sharma et al., ISCA 2018: "a cycle-accurate
+//! simulator that takes the Fusion-ISA instructions for the given DNN and
+//! simulates the execution to calculate the cycle counts as well as the
+//! number of accesses to on-chip buffers and off-chip memory").
+//!
+//! * [`engine`] — per-layer evaluation: systolic compute timing (steps,
+//!   temporal cycles, fill/drain), double-buffered DMA overlap, bit-granular
+//!   buffer access counting, and the energy model;
+//! * [`accelerator`] — the [`BitFusionSim`] front end (compile + evaluate);
+//! * [`stats`] — [`PerfReport`]/[`LayerPerf`] result types.
+//!
+//! The DMA traffic comes from analytically walking the *actual compiled
+//! instruction blocks* (`bitfusion_isa::walker`), so the performance model
+//! and the ISA semantics cannot drift apart.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accelerator;
+pub mod engine;
+pub mod stats;
+pub mod sweep;
+
+pub use accelerator::BitFusionSim;
+pub use engine::{evaluate_layer, SimOptions};
+pub use stats::{LayerPerf, PerfReport};
+pub use sweep::{bandwidth_sweep, batch_sweep, Sweep, SweepPoint};

@@ -1,0 +1,150 @@
+//! Reusable parameter sweeps: the bandwidth (Figure 15) and batch
+//! (Figure 16) sensitivity studies as library functions, shared by the
+//! bench harnesses, the CLI, and downstream users.
+
+use bitfusion_core::arch::ArchConfig;
+use bitfusion_dnn::model::Model;
+
+use crate::accelerator::BitFusionSim;
+use crate::stats::PerfReport;
+
+/// One point of a sweep: the swept value and the resulting report.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<T> {
+    /// The swept parameter value.
+    pub value: T,
+    /// The simulation result at that value.
+    pub report: PerfReport,
+}
+
+/// Result of a sweep over one model.
+#[derive(Debug, Clone)]
+pub struct Sweep<T> {
+    /// Model name.
+    pub model_name: String,
+    /// Points in sweep order.
+    pub points: Vec<SweepPoint<T>>,
+}
+
+impl<T: Copy + PartialEq> Sweep<T> {
+    /// Speedups relative to the point with value `baseline` (total cycles,
+    /// whole batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `baseline` is not one of the swept values — a caller bug.
+    pub fn speedups_vs(&self, baseline: T) -> Vec<(T, f64)> {
+        let base = self
+            .points
+            .iter()
+            .find(|p| p.value == baseline)
+            .expect("baseline must be a swept value")
+            .report
+            .total_cycles() as f64;
+        self.points
+            .iter()
+            .map(|p| (p.value, base / p.report.total_cycles() as f64))
+            .collect()
+    }
+
+    /// Per-input speedups relative to the point with value `baseline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `baseline` is not one of the swept values.
+    pub fn per_input_speedups_vs(&self, baseline: T) -> Vec<(T, f64)> {
+        let base_point = self
+            .points
+            .iter()
+            .find(|p| p.value == baseline)
+            .expect("baseline must be a swept value");
+        let base = base_point.report.cycles_per_input();
+        self.points
+            .iter()
+            .map(|p| (p.value, base / p.report.cycles_per_input()))
+            .collect()
+    }
+}
+
+/// Sweeps off-chip bandwidth (bits/cycle) at a fixed batch size (Figure 15).
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn bandwidth_sweep(
+    base_arch: &ArchConfig,
+    model: &Model,
+    batch: u64,
+    bandwidths: &[u32],
+) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
+    let mut points = Vec::with_capacity(bandwidths.len());
+    for &bw in bandwidths {
+        let sim = BitFusionSim::new(base_arch.clone().with_bandwidth(bw));
+        points.push(SweepPoint {
+            value: bw,
+            report: sim.run(model, batch)?,
+        });
+    }
+    Ok(Sweep {
+        model_name: model.name.clone(),
+        points,
+    })
+}
+
+/// Sweeps batch size at a fixed architecture (Figure 16).
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn batch_sweep(
+    arch: &ArchConfig,
+    model: &Model,
+    batches: &[u64],
+) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
+    let sim = BitFusionSim::new(arch.clone());
+    let mut points = Vec::with_capacity(batches.len());
+    for &batch in batches {
+        points.push(SweepPoint {
+            value: batch,
+            report: sim.run(model, batch)?,
+        });
+    }
+    Ok(Sweep {
+        model_name: model.name.clone(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitfusion_dnn::zoo::Benchmark;
+
+    #[test]
+    fn bandwidth_sweep_monotone() {
+        let arch = ArchConfig::isca_45nm();
+        let sweep =
+            bandwidth_sweep(&arch, &Benchmark::Rnn.model(), 16, &[32, 128, 512]).unwrap();
+        let speedups = sweep.speedups_vs(128);
+        assert_eq!(speedups.len(), 3);
+        assert!(speedups[0].1 < 1.0); // 32 b/cyc slower
+        assert!((speedups[1].1 - 1.0).abs() < 1e-9);
+        assert!(speedups[2].1 > 1.0); // 512 b/cyc faster
+    }
+
+    #[test]
+    fn batch_sweep_per_input_improves() {
+        let arch = ArchConfig::isca_45nm();
+        let sweep = batch_sweep(&arch, &Benchmark::Lstm.model(), &[1, 16]).unwrap();
+        let speedups = sweep.per_input_speedups_vs(1);
+        assert!(speedups[1].1 > 2.0, "{speedups:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must be a swept value")]
+    fn missing_baseline_panics() {
+        let arch = ArchConfig::isca_45nm();
+        let sweep = batch_sweep(&arch, &Benchmark::Lstm.model(), &[1, 4]).unwrap();
+        let _ = sweep.speedups_vs(999);
+    }
+}

@@ -1,0 +1,62 @@
+//! Design-space exploration: sweep the systolic array geometry and the
+//! off-chip bandwidth, and report throughput per configuration — the kind
+//! of study the Bit Fusion architecture parameters (§V-A) came from.
+//!
+//! Run with: `cargo run --release --example design_space_explorer`
+
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::util::geomean;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::sim::BitFusionSim;
+
+fn throughput_geomean(arch: &ArchConfig) -> f64 {
+    let sim = BitFusionSim::new(arch.clone());
+    let rates: Vec<f64> = Benchmark::ALL
+        .iter()
+        .map(|b| {
+            let r = sim.run(&b.model(), 16).expect("zoo model compiles");
+            r.total_macs() as f64 / r.total_cycles() as f64
+        })
+        .collect();
+    geomean(&rates)
+}
+
+fn main() {
+    println!("Bit Fusion design-space exploration (geomean MACs/cycle over the suite)\n");
+
+    println!("array geometry at 512 Fusion Units, 128 b/cyc:");
+    for (rows, cols) in [(64, 8), (32, 16), (16, 32), (8, 64)] {
+        let mut arch = ArchConfig::isca_45nm();
+        arch.rows = rows;
+        arch.cols = cols;
+        println!(
+            "  {rows:>3} x {cols:<3} -> {:8.0} MACs/cycle",
+            throughput_geomean(&arch)
+        );
+    }
+    println!("  (tall arrays favour long reductions; wide arrays favour many output");
+    println!("   channels — the paper's 32x16 balances the suite)\n");
+
+    println!("off-chip bandwidth at 32x16:");
+    for bw in [32, 64, 128, 256, 512] {
+        let arch = ArchConfig::isca_45nm().with_bandwidth(bw);
+        println!(
+            "  {bw:>4} bits/cycle -> {:8.0} MACs/cycle",
+            throughput_geomean(&arch)
+        );
+    }
+    println!();
+
+    println!("scaling the array (bandwidth fixed at 128 b/cyc):");
+    for (rows, cols, label) in [(16, 16, "256 FUs"), (32, 16, "512 FUs"), (32, 32, "1024 FUs"), (64, 32, "2048 FUs")] {
+        let mut arch = ArchConfig::isca_45nm();
+        arch.rows = rows;
+        arch.cols = cols;
+        println!(
+            "  {label:>9} -> {:8.0} MACs/cycle",
+            throughput_geomean(&arch)
+        );
+    }
+    println!("  (past ~1024 units the fixed bandwidth starves the array: compute");
+    println!("   scales only with matching memory — the Figure 15 lesson)");
+}

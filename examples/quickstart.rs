@@ -1,0 +1,77 @@
+//! Quickstart: define a small quantized network, compile it to Fusion-ISA,
+//! and simulate it on the paper's 45 nm Bit Fusion configuration.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bitfusion::compiler::compile;
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::bitwidth::PairPrecision;
+use bitfusion::dnn::layer::{Conv2d, Dense, Layer};
+use bitfusion::dnn::model::Model;
+use bitfusion::isa::asm::format_block;
+use bitfusion::sim::BitFusionSim;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small ternary convnet: one convolution plus a classifier head.
+    let ternary = PairPrecision::from_bits(2, 2)?;
+    let eight_bit = PairPrecision::from_bits(8, 8)?;
+    let model = Model::new(
+        "quickstart-net",
+        vec![
+            (
+                "conv1",
+                Layer::Conv2d(Conv2d {
+                    in_channels: 3,
+                    out_channels: 32,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: (1, 1),
+                    input_hw: (32, 32),
+                    groups: 1,
+                    precision: ternary,
+                }),
+            ),
+            (
+                "fc",
+                Layer::Dense(Dense {
+                    in_features: 32 * 32 * 32,
+                    out_features: 10,
+                    precision: eight_bit,
+                }),
+            ),
+        ],
+    );
+    println!("{model}");
+
+    // The accelerator: the paper's default 512-Fusion-Unit, 45 nm design.
+    let arch = ArchConfig::isca_45nm();
+    println!("architecture: {arch}");
+    println!(
+        "peak at ternary: {:.0} GMAC/s; at 8-bit: {:.0} GMAC/s",
+        arch.peak_gmacs_per_s(ternary),
+        arch.peak_gmacs_per_s(eight_bit)
+    );
+    println!();
+
+    // Compile: loop tiling + ordering + layer fusion, one block per layer.
+    let plan = compile(&model, &arch, 16)?;
+    println!(
+        "compiled {} blocks, {} static instructions",
+        plan.layers.len(),
+        plan.static_instructions()
+    );
+    println!();
+    println!("the convolution layer's Fusion-ISA block:");
+    println!("{}", format_block(&plan.layers[0].block));
+
+    // Simulate.
+    let sim = BitFusionSim::new(arch);
+    let report = sim.run_plan(&plan);
+    println!("{report}");
+    println!(
+        "energy per input: {} ({} uJ total for the batch)",
+        report.energy_per_input(),
+        report.total_energy().total_uj()
+    );
+    Ok(())
+}

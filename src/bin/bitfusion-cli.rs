@@ -1,0 +1,246 @@
+//! `bitfusion-cli` — drive the Bit Fusion reproduction from the command
+//! line: inspect benchmarks, simulate them on any configuration, compare
+//! against the baselines, dump Fusion-ISA assembly, and run sweeps.
+//!
+//! ```text
+//! bitfusion-cli list
+//! bitfusion-cli report cifar-10 --batch 16 --bandwidth 256
+//! bitfusion-cli compare alexnet
+//! bitfusion-cli asm lstm --layer lstm1
+//! bitfusion-cli sweep rnn --batch
+//! bitfusion-cli sweep vgg-7 --bandwidth
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use bitfusion::baselines::{EyerissSim, GpuMode, GpuModel, StripesSim};
+use bitfusion::compiler::compile;
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::isa::asm::format_block;
+use bitfusion::sim::{bandwidth_sweep, batch_sweep, BitFusionSim};
+
+fn usage() -> &'static str {
+    "bitfusion-cli — Bit Fusion (ISCA 2018) reproduction driver
+
+USAGE:
+  bitfusion-cli list
+  bitfusion-cli report  <benchmark> [--batch N] [--bandwidth BITS] [--arch 45nm|16nm|stripes]
+  bitfusion-cli compare <benchmark> [--batch N]
+  bitfusion-cli asm     <benchmark> [--layer NAME] [--batch N]
+  bitfusion-cli sweep   <benchmark> (--batch | --bandwidth)
+
+BENCHMARKS:
+  alexnet cifar-10 lstm lenet-5 resnet-18 rnn svhn vgg-7 (case-insensitive)"
+}
+
+fn find_benchmark(name: &str) -> Option<Benchmark> {
+    let needle = name.to_lowercase();
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().to_lowercase() == needle)
+}
+
+struct Args {
+    positional: Vec<String>,
+    batch: u64,
+    bandwidth: Option<u32>,
+    arch: String,
+    layer: Option<String>,
+    sweep_batch: bool,
+    sweep_bandwidth: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        batch: 16,
+        bandwidth: None,
+        arch: "45nm".into(),
+        layer: None,
+        sweep_batch: false,
+        sweep_bandwidth: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--batch" => {
+                // Value is optional: bare `--batch` selects the batch sweep.
+                if let Some(v) = it.clone().next() {
+                    if let Ok(n) = v.parse::<u64>() {
+                        args.batch = n;
+                        it.next();
+                    }
+                }
+                args.sweep_batch = true;
+            }
+            "--bandwidth" => {
+                if let Some(v) = it.clone().next() {
+                    if let Ok(bw) = v.parse::<u32>() {
+                        args.bandwidth = Some(bw);
+                        it.next();
+                    }
+                }
+                args.sweep_bandwidth = true;
+            }
+            "--arch" => args.arch = it.next().ok_or("--arch needs a value")?.clone(),
+            "--layer" => args.layer = Some(it.next().ok_or("--layer needs a value")?.clone()),
+            other if !other.starts_with("--") => args.positional.push(other.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn arch_for(args: &Args) -> Result<ArchConfig, String> {
+    let mut arch = match args.arch.as_str() {
+        "45nm" => ArchConfig::isca_45nm(),
+        "16nm" => ArchConfig::gpu_16nm(),
+        "stripes" => ArchConfig::stripes_matched(),
+        other => return Err(format!("unknown arch `{other}` (45nm|16nm|stripes)")),
+    };
+    if let Some(bw) = args.bandwidth {
+        arch = arch.with_bandwidth(bw);
+    }
+    Ok(arch)
+}
+
+fn cmd_list() {
+    println!("benchmarks (Table II):");
+    for b in Benchmark::ALL {
+        let m = b.model();
+        println!(
+            "  {:<10} {:>7.0} MOps  {:>6.2} MB  {} layers",
+            b.name(),
+            m.total_macs() as f64 / 1e6,
+            m.weight_bytes() as f64 / 1e6,
+            m.len()
+        );
+    }
+    println!("\narchitectures:");
+    for arch in [
+        ArchConfig::isca_45nm(),
+        ArchConfig::stripes_matched(),
+        ArchConfig::gpu_16nm(),
+    ] {
+        println!("  {arch}");
+    }
+}
+
+fn cmd_report(b: Benchmark, args: &Args) -> Result<(), String> {
+    let arch = arch_for(args)?;
+    let sim = BitFusionSim::new(arch);
+    let report = sim.run(&b.model(), args.batch).map_err(|e| e.to_string())?;
+    print!("{report}");
+    println!(
+        "dram traffic: {:.2} Mb/input; energy/input: {}",
+        report.total_dram_bits() as f64 / report.batch as f64 / 1e6,
+        report.energy_per_input()
+    );
+    Ok(())
+}
+
+fn cmd_compare(b: Benchmark, args: &Args) -> Result<(), String> {
+    let bf = BitFusionSim::new(ArchConfig::isca_45nm());
+    let r = bf.run(&b.model(), args.batch).map_err(|e| e.to_string())?;
+    println!(
+        "{} (batch {}): BitFusion-45nm {:.3} ms/input, {}",
+        b.name(),
+        args.batch,
+        r.latency_ms_per_input(),
+        r.energy_per_input()
+    );
+    let ey = EyerissSim::default().run(&b.reference_model(), args.batch);
+    println!(
+        "  vs Eyeriss: {:.2}x faster, {:.2}x less energy",
+        ey.latency_ms_per_input() / r.latency_ms_per_input(),
+        ey.energy.total_pj() / r.total_energy().total_pj()
+    );
+    let bf_st = BitFusionSim::new(ArchConfig::stripes_matched());
+    let rs = bf_st.run(&b.model(), args.batch).map_err(|e| e.to_string())?;
+    let st = StripesSim::default().run(&b.model(), args.batch);
+    println!(
+        "  vs Stripes: {:.2}x faster, {:.2}x less energy",
+        st.latency_ms_per_input() / rs.latency_ms_per_input(),
+        st.energy.total_pj() / rs.total_energy().total_pj()
+    );
+    let tx2 = GpuModel::tegra_x2().run(&b.reference_model(), args.batch, GpuMode::Fp32);
+    let bf16 = BitFusionSim::new(ArchConfig::gpu_16nm());
+    let r16 = bf16.run(&b.model(), args.batch).map_err(|e| e.to_string())?;
+    println!(
+        "  vs Tegra X2 (16 nm config): {:.1}x faster at 0.895 W",
+        tx2.latency_ms_per_input() / r16.latency_ms_per_input()
+    );
+    Ok(())
+}
+
+fn cmd_asm(b: Benchmark, args: &Args) -> Result<(), String> {
+    let arch = arch_for(args)?;
+    let plan = compile(&b.model(), &arch, args.batch).map_err(|e| e.to_string())?;
+    for l in &plan.layers {
+        if let Some(want) = &args.layer {
+            if &l.name != want {
+                continue;
+            }
+        }
+        println!("{}", format_block(&l.block));
+    }
+    Ok(())
+}
+
+fn cmd_sweep(b: Benchmark, args: &Args) -> Result<(), String> {
+    let arch = ArchConfig::isca_45nm();
+    if args.sweep_bandwidth {
+        let sweep = bandwidth_sweep(&arch, &b.model(), 16, &[32, 64, 128, 256, 512])
+            .map_err(|e| e.to_string())?;
+        println!("{} bandwidth sweep (batch 16, vs 128 b/cyc):", b.name());
+        for (bw, s) in sweep.speedups_vs(128) {
+            println!("  {bw:>4} bits/cycle: {s:5.2}x");
+        }
+        return Ok(());
+    }
+    let sweep =
+        batch_sweep(&arch, &b.model(), &[1, 4, 16, 64, 256]).map_err(|e| e.to_string())?;
+    println!("{} batch sweep (per-input speedup vs batch 1):", b.name());
+    for (batch, s) in sweep.per_input_speedups_vs(1) {
+        println!("  batch {batch:>3}: {s:5.2}x");
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = env::args().skip(1).collect();
+    if argv.is_empty() {
+        return Err(usage().to_string());
+    }
+    let command = argv[0].clone();
+    let args = parse_args(&argv[1..])?;
+    if command == "list" {
+        cmd_list();
+        return Ok(());
+    }
+    let bench_name = args
+        .positional
+        .first()
+        .ok_or_else(|| format!("`{command}` needs a benchmark name\n\n{}", usage()))?;
+    let b = find_benchmark(bench_name)
+        .ok_or_else(|| format!("unknown benchmark `{bench_name}`\n\n{}", usage()))?;
+    match command.as_str() {
+        "report" => cmd_report(b, &args),
+        "compare" => cmd_compare(b, &args),
+        "asm" => cmd_asm(b, &args),
+        "sweep" => cmd_sweep(b, &args),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # bitfusion
+//!
+//! A from-scratch reproduction of **Bit Fusion: Bit-Level Dynamically
+//! Composable Architecture for Accelerating Deep Neural Networks**
+//! (Sharma, Park, Suda, Lai, Chau, Chandra, Esmaeilzadeh — ISCA 2018).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`core`] — BitBricks, Fusion Units, and the functional systolic array;
+//! * [`isa`] — the Fusion-ISA (Table I): encoding, assembly, execution
+//!   semantics;
+//! * [`dnn`] — the quantized DNN model IR and the eight-benchmark zoo;
+//! * [`compiler`] — lowering from layers to instruction blocks with loop
+//!   tiling/ordering and layer fusion;
+//! * [`sim`] — the cycle-level performance simulator;
+//! * [`energy`] — area/power/energy models and technology scaling;
+//! * [`baselines`] — Eyeriss, Stripes, and GPU comparison models.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
+//! figure.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use bitfusion_baselines as baselines;
+pub use bitfusion_compiler as compiler;
+pub use bitfusion_core as core;
+pub use bitfusion_dnn as dnn;
+pub use bitfusion_energy as energy;
+pub use bitfusion_isa as isa;
+pub use bitfusion_sim as sim;

@@ -1,0 +1,204 @@
+//! End-to-end integration: every zoo benchmark compiles and simulates, and
+//! the whole-system invariants the paper's evaluation relies on hold.
+
+use bitfusion::baselines::{EyerissSim, StripesSim};
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::sim::BitFusionSim;
+
+#[test]
+fn every_benchmark_simulates_at_multiple_batches() {
+    let sim = BitFusionSim::new(ArchConfig::isca_45nm());
+    for b in Benchmark::ALL {
+        for batch in [1u64, 4, 16] {
+            let r = sim.run(&b.model(), batch).expect("compiles");
+            assert!(r.total_cycles() > 0, "{b} batch {batch}");
+            assert_eq!(
+                r.total_macs(),
+                b.model().total_macs() * batch,
+                "{b} batch {batch}: MACs must be conserved"
+            );
+            assert!(r.total_energy().total_pj() > 0.0);
+            assert!(r.total_dram_bits() > 0);
+        }
+    }
+}
+
+#[test]
+fn batching_never_hurts_per_input_latency() {
+    let sim = BitFusionSim::new(ArchConfig::isca_45nm());
+    for b in Benchmark::ALL {
+        let mut prev = f64::INFINITY;
+        for batch in [1u64, 4, 16, 64] {
+            let r = sim.run(&b.model(), batch).expect("compiles");
+            let per_input = r.total_cycles() as f64 / batch as f64;
+            assert!(
+                per_input <= prev * 1.02, // 2% slack for tile rounding
+                "{b}: per-input cycles rose from {prev} to {per_input} at batch {batch}"
+            );
+            prev = per_input;
+        }
+    }
+}
+
+#[test]
+fn more_bandwidth_never_hurts() {
+    for b in Benchmark::ALL {
+        let mut prev = u64::MAX;
+        for bw in [32u32, 64, 128, 256, 512] {
+            let sim = BitFusionSim::new(ArchConfig::isca_45nm().with_bandwidth(bw));
+            let cycles = sim.run(&b.model(), 16).expect("compiles").total_cycles();
+            assert!(
+                cycles <= prev,
+                "{b}: cycles rose from {prev} to {cycles} at {bw} b/cyc"
+            );
+            prev = cycles;
+        }
+    }
+}
+
+#[test]
+fn lower_precision_is_never_slower() {
+    // The same topology at lower bitwidths must run at least as fast: use
+    // VGG-7's shapes at 2/2 (native) vs forced 8/8 vs forced 16/16.
+    use bitfusion::core::bitwidth::PairPrecision;
+    use bitfusion::dnn::layer::Layer;
+    let sim = BitFusionSim::new(ArchConfig::isca_45nm());
+    let at_bits = |bits: u32| {
+        let mut model = Benchmark::Vgg7.model();
+        for l in &mut model.layers {
+            let p = PairPrecision::from_bits(bits, bits).expect("supported");
+            match &mut l.layer {
+                Layer::Conv2d(c) => c.precision = p,
+                Layer::Dense(d) => d.precision = p,
+                Layer::Recurrent(r) => r.precision = p,
+                _ => {}
+            }
+        }
+        sim.run(&model, 16).expect("compiles").total_cycles()
+    };
+    let c2 = at_bits(2);
+    let c8 = at_bits(8);
+    let c16 = at_bits(16);
+    assert!(c2 < c8, "2-bit {c2} vs 8-bit {c8}");
+    assert!(c8 < c16, "8-bit {c8} vs 16-bit {c16}");
+    // And the 8->2 bit step buys at least 4x on this compute-bound net.
+    assert!(c8 as f64 / c2 as f64 > 3.0, "only {}x", c8 as f64 / c2 as f64);
+}
+
+#[test]
+fn bitfusion_beats_both_accelerator_baselines_everywhere() {
+    // Figure 13 / Figure 18 headline: Bit Fusion wins on every benchmark.
+    let bf = BitFusionSim::new(ArchConfig::isca_45nm());
+    let bf_st = BitFusionSim::new(ArchConfig::stripes_matched());
+    let ey = EyerissSim::default();
+    let st = StripesSim::default();
+    for b in Benchmark::ALL {
+        let r = bf.run(&b.model(), 16).expect("compiles");
+        let e = ey.run(&b.reference_model(), 16);
+        assert!(
+            e.runtime_ms > r.runtime_ms(),
+            "{b}: Eyeriss {} <= BitFusion {}",
+            e.runtime_ms,
+            r.runtime_ms()
+        );
+        assert!(
+            e.energy.total_pj() > r.total_energy().total_pj(),
+            "{b}: Eyeriss energy should exceed BitFusion's"
+        );
+        let rs = bf_st.run(&b.model(), 16).expect("compiles");
+        let s = st.run(&b.model(), 16);
+        assert!(
+            s.runtime_ms > rs.runtime_ms(),
+            "{b}: Stripes {} <= BitFusion {}",
+            s.runtime_ms,
+            rs.runtime_ms()
+        );
+    }
+}
+
+#[test]
+fn per_benchmark_speedup_ordering_matches_paper() {
+    // Figure 13's qualitative ordering: binary nets top, wide 8-bit-edged
+    // nets bottom, recurrent nets in the lower half (bandwidth-bound).
+    let bf = BitFusionSim::new(ArchConfig::isca_45nm());
+    let ey = EyerissSim::default();
+    let speedup = |b: Benchmark| {
+        let r = bf.run(&b.model(), 16).expect("compiles");
+        let e = ey.run(&b.reference_model(), 16);
+        e.runtime_ms / r.runtime_ms()
+    };
+    let alexnet = speedup(Benchmark::AlexNet);
+    let cifar = speedup(Benchmark::Cifar10);
+    let svhn = speedup(Benchmark::Svhn);
+    let lstm = speedup(Benchmark::Lstm);
+    assert!(cifar > svhn, "cifar {cifar} vs svhn {svhn}");
+    assert!(svhn > alexnet, "svhn {svhn} vs alexnet {alexnet}");
+    assert!(cifar > lstm, "cifar {cifar} vs lstm {lstm}");
+    assert!(alexnet < lstm, "alexnet must be the floor");
+}
+
+#[test]
+fn gpu_comparison_shape() {
+    use bitfusion::baselines::{GpuMode, GpuModel};
+    let tx2 = GpuModel::tegra_x2();
+    let txp = GpuModel::titan_xp();
+    let bf16 = BitFusionSim::new(ArchConfig::gpu_16nm());
+    for b in Benchmark::ALL {
+        let m = b.reference_model();
+        let base = tx2.run(&m, 16, GpuMode::Fp32);
+        let fp32 = txp.run(&m, 16, GpuMode::Fp32);
+        let int8 = txp.run(&m, 16, GpuMode::Int8);
+        // Titan beats TX2; INT8 beats FP32; Bit Fusion beats TX2.
+        assert!(fp32.runtime_ms < base.runtime_ms, "{b}");
+        assert!(int8.runtime_ms < fp32.runtime_ms, "{b}");
+        let r = bf16.run(&b.model(), 16).expect("compiles");
+        assert!(r.runtime_ms() < base.runtime_ms, "{b}: must beat TX2");
+    }
+}
+
+#[test]
+fn sixteen_nm_power_brackets_the_papers_895_mw() {
+    // §V-A: "The scaled Bit Fusion architecture ... consumes 895 milliwatts
+    // of power." Average power = energy / runtime at the 16 nm node must
+    // bracket that figure across the suite — an emergent check, since the
+    // energy model was never calibrated to power.
+    use bitfusion::energy::TechNode;
+    use bitfusion::sim::SimOptions;
+    let opts = SimOptions {
+        node: TechNode::Nm16,
+        ..SimOptions::default()
+    };
+    let sim = BitFusionSim::new(ArchConfig::gpu_16nm()).with_options(opts);
+    for b in Benchmark::ALL {
+        let r = sim.run(&b.model(), 16).expect("compiles");
+        let watts = r.total_energy().total_pj() / 1e12 / (r.runtime_ms() / 1e3);
+        assert!(
+            (0.2..=2.0).contains(&watts),
+            "{b}: {watts:.3} W is far from the paper's 0.895 W"
+        );
+    }
+}
+
+#[test]
+fn synthetic_workloads_compile_and_simulate() {
+    // Robustness beyond the zoo: irregular seeded models (odd channel
+    // counts, mixed precisions, non-dividing shapes) must flow through the
+    // whole stack — compile, encode, simulate — without error.
+    use bitfusion::dnn::synth::{synthesize, SynthConfig};
+    use bitfusion::isa::encode::{decode_block, encode_block};
+    let sim = BitFusionSim::new(ArchConfig::isca_45nm());
+    let cfg = SynthConfig::default();
+    for seed in 0..24 {
+        let model = synthesize(cfg, seed);
+        let plan = bitfusion::compiler::compile(&model, sim.arch(), 4)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        for l in &plan.layers {
+            let words = encode_block(&l.block).expect("encodes");
+            decode_block(&l.name, &words).expect("decodes");
+        }
+        let report = sim.run_plan(&plan);
+        assert!(report.total_cycles() > 0, "seed {seed}");
+        assert_eq!(report.total_macs(), model.total_macs() * 4, "seed {seed}");
+    }
+}

@@ -1,0 +1,113 @@
+//! ISA integration: every block the compiler emits for every benchmark
+//! survives binary encode/decode and text assemble/parse, and its walked
+//! semantics agree with the compiler's analytic mapping.
+
+use bitfusion::compiler::compile;
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::isa::asm::{format_block, parse_block};
+use bitfusion::isa::encode::{decode_block, encode_block};
+use bitfusion::isa::walker::summarize;
+use bitfusion::isa::ComputeFn;
+
+#[test]
+fn binary_round_trip_all_compiled_blocks() {
+    let arch = ArchConfig::isca_45nm();
+    for b in Benchmark::ALL {
+        let plan = compile(&b.model(), &arch, 16).expect("compiles");
+        for l in &plan.layers {
+            let words = encode_block(&l.block).expect("encodes");
+            let decoded = decode_block(&l.name, &words).expect("decodes");
+            assert_eq!(
+                decoded.canonicalize().instructions(),
+                l.block.canonicalize().instructions(),
+                "{b}/{}",
+                l.name
+            );
+            assert_eq!(decoded.bases, l.block.bases, "{b}/{}", l.name);
+        }
+    }
+}
+
+#[test]
+fn text_round_trip_all_compiled_blocks() {
+    let arch = ArchConfig::isca_45nm();
+    for b in Benchmark::ALL {
+        let plan = compile(&b.model(), &arch, 4).expect("compiles");
+        for l in &plan.layers {
+            let text = format_block(&l.block);
+            let parsed = parse_block(&text).expect("parses");
+            assert_eq!(parsed.instructions(), l.block.instructions(), "{b}/{}", l.name);
+        }
+    }
+}
+
+#[test]
+fn walked_mac_count_matches_mapping_everywhere() {
+    let arch = ArchConfig::isca_45nm();
+    for b in Benchmark::ALL {
+        let plan = compile(&b.model(), &arch, 16).expect("compiles");
+        for l in &plan.layers {
+            let s = summarize(&l.block);
+            assert_eq!(
+                s.compute_count(ComputeFn::Mac),
+                l.mapping.compute_steps,
+                "{b}/{}: walker vs mapping",
+                b.name()
+            );
+            // Every MAC step is preceded by operand reads: rd-buf counts
+            // match compute steps for both operand buffers.
+            assert_eq!(
+                s.buffer(bitfusion::isa::Scratchpad::Ibuf).reads,
+                l.mapping.compute_steps,
+                "{b}/{}",
+                b.name()
+            );
+            assert_eq!(
+                s.buffer(bitfusion::isa::Scratchpad::Wbuf).reads,
+                l.mapping.compute_steps,
+                "{b}/{}",
+                b.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn compute_steps_cover_macs_with_reasonable_utilization() {
+    let arch = ArchConfig::isca_45nm();
+    for b in Benchmark::ALL {
+        let plan = compile(&b.model(), &arch, 16).expect("compiles");
+        let mut peak = 0u64;
+        let mut macs = 0u64;
+        for l in &plan.layers {
+            peak += l.mapping.compute_steps * l.mapping.lanes * l.mapping.cols;
+            macs += l.mapping.macs;
+        }
+        assert!(peak >= macs, "{b}: steps cannot cover the MACs");
+        let util = macs as f64 / peak as f64;
+        assert!(
+            util > 0.25,
+            "{b}: array utilization {util:.2} suspiciously low"
+        );
+    }
+}
+
+#[test]
+fn setup_precisions_span_the_paper_range() {
+    // Across the suite the compiler must emit every precision the paper's
+    // Figure 1 distribution contains: 1, 2, 4, and 8-bit operands.
+    use std::collections::BTreeSet;
+    let arch = ArchConfig::isca_45nm();
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for b in Benchmark::ALL {
+        let plan = compile(&b.model(), &arch, 1).expect("compiles");
+        for l in &plan.layers {
+            let p = l.block.setup_pair();
+            seen.insert((p.input.bits(), p.weight.bits()));
+        }
+    }
+    for expected in [(1, 1), (2, 2), (4, 1), (4, 4), (8, 8)] {
+        assert!(seen.contains(&expected), "missing {expected:?}; saw {seen:?}");
+    }
+}
