@@ -140,7 +140,7 @@ impl EyerissSim {
                 // GLB while the weights stream exactly once per batch. The
                 // input slice is re-read per output tile.
                 let out_tile = (half_glb_bits / (batch * 32)).max(1);
-                let reload_i = (d.out_features as u64).div_ceil(out_tile).min(16).max(1);
+                let reload_i = (d.out_features as u64).div_ceil(out_tile).clamp(1, 16);
                 inputs * reload_i + outputs + weights
             }
             Layer::Recurrent(r) => {
@@ -150,7 +150,7 @@ impl EyerissSim {
                 let outputs = m * batch * ob;
                 let weights = r.params() * ob;
                 let out_tile = (half_glb_bits / (batch * 32)).max(1);
-                let reload_i = m.div_ceil(out_tile).min(16).max(1);
+                let reload_i = m.div_ceil(out_tile).clamp(1, 16);
                 inputs * reload_i + outputs + weights
             }
             Layer::Pool2d(p) => (p.output_elems() + p.ops()) * batch * ob / 4,

@@ -92,6 +92,77 @@ proptest! {
     }
 
     #[test]
+    fn tiles_cover_the_gemm_iteration_space_exactly(layer in arb_layer()) {
+        // The tile grid must partition [0,m)×[0,k)×[0,n): edge tiles clamp to
+        // the dimension, interior tiles are full-size, nothing overlaps and
+        // nothing is missed. Checked per dimension (the grid is a cross
+        // product) and cross-checked against the mapping's tile counts.
+        let arch = ArchConfig::isca_45nm();
+        let plan = choose_tiling(&layer, &arch).expect("feasible");
+        let t = plan.tiles;
+        let dims = [
+            (layer.shape.m, t.m),
+            (layer.shape.k, t.k),
+            (layer.shape.n, t.n),
+        ];
+        for (dim, tile) in dims {
+            prop_assert!(tile >= 1, "degenerate tile");
+            prop_assert!(tile <= dim, "tile {tile} exceeds dimension {dim}");
+            let mut covered = 0u64;
+            let mut tiles_seen = 0u64;
+            let mut start = 0u64;
+            while start < dim {
+                let extent = tile.min(dim - start);
+                // Tiles are contiguous ([start, start+extent)): no overlap by
+                // construction, so coverage == sum of extents.
+                covered += extent;
+                tiles_seen += 1;
+                start += extent;
+            }
+            prop_assert_eq!(covered, dim, "dimension not exactly covered");
+            prop_assert_eq!(tiles_seen, dim.div_ceil(tile), "tile-count mismatch");
+        }
+        // The emitted mapping must schedule at least one compute step per
+        // lane-covered slice of that space, and padding never exceeds one
+        // tile quantum per dimension.
+        let input = LowerInput {
+            name: "prop",
+            layer: &layer,
+            plan: &plan,
+            postops: &[],
+            next: 0,
+        };
+        let mapping = mapping_for(&input, &arch);
+        prop_assert_eq!(mapping.macs, layer.shape.m * layer.shape.k * layer.shape.n);
+        prop_assert!(mapping.compute_steps * mapping.lanes * mapping.cols >= mapping.macs);
+    }
+
+    #[test]
+    fn traffic_monotone_under_growing_buffers(layer in arb_layer()) {
+        // Cost-model monotonicity: enlarging every scratchpad only grows the
+        // feasible tiling set, so the chosen plan's modelled traffic can
+        // never increase.
+        let base = ArchConfig::isca_45nm();
+        let mut prev = u64::MAX;
+        for scale in [1usize, 2, 4, 8] {
+            let arch = ArchConfig {
+                ibuf_bytes: base.ibuf_bytes * scale,
+                wbuf_bytes: base.wbuf_bytes * scale,
+                obuf_bytes: base.obuf_bytes * scale,
+                ..base
+            };
+            let plan = choose_tiling(&layer, &arch).expect("feasible");
+            prop_assert!(fits(&layer, plan.tiles, &arch));
+            prop_assert!(
+                plan.traffic.total_bits() <= prev,
+                "traffic rose from {prev} to {} at {scale}x buffers",
+                plan.traffic.total_bits()
+            );
+            prev = plan.traffic.total_bits();
+        }
+    }
+
+    #[test]
     fn batching_never_increases_weight_traffic_per_input(
         m in 16u64..2048,
         k in 16u64..8192,

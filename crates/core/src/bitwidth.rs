@@ -135,7 +135,7 @@ impl FromStr for BitWidth {
     type Err = CoreError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let digits = s.trim_end_matches(|c| c == 'b' || c == 'B');
+        let digits = s.trim_end_matches(['b', 'B']);
         let bits: u32 = digits
             .parse()
             .map_err(|_| CoreError::UnsupportedBitWidth(0))?;

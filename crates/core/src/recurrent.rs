@@ -258,7 +258,7 @@ mod tests {
     fn zero_input_zero_state_stays_calm() {
         let (cell, array) = cell(3);
         let s = cell
-            .step_fused(&array, &vec![0; 12], &LstmState::zeros(10))
+            .step_fused(&array, &[0; 12], &LstmState::zeros(10))
             .expect("steps");
         // With zero pre-activations, gates sit at sigmoid(0)=0.5 and the
         // candidate at tanh(0)=0: the cell stays near zero.

@@ -7,12 +7,18 @@
 
 use bitfusion_core::bitwidth::{BitWidth, PairPrecision, Precision, Signedness};
 use bitfusion_core::decompose::{decomposed_multiply, from_crumbs, to_crumbs};
-use bitfusion_core::fusion::{FusionUnit, TemporalUnit};
+use bitfusion_core::fusion::{FusionUnit, SpatialStructure, TemporalUnit};
 use bitfusion_core::systolic::{IntMatrix, SystolicArray};
 use proptest::prelude::*;
 
 fn arb_width() -> impl Strategy<Value = BitWidth> {
     prop::sample::select(BitWidth::ALL.to_vec())
+}
+
+/// The multi-bit widths of the paper's evaluation (Table 2 uses 2–16 bits;
+/// 1-bit is covered separately by [`arb_width`]-based tests).
+fn arb_multi_bit_width() -> impl Strategy<Value = BitWidth> {
+    prop::sample::select(vec![BitWidth::B2, BitWidth::B4, BitWidth::B8, BitWidth::B16])
 }
 
 fn arb_signedness() -> impl Strategy<Value = Signedness> {
@@ -116,6 +122,48 @@ proptest! {
         let unit = FusionUnit::new(pair);
         let r = unit.mac(&[(a, b)], 0).unwrap();
         prop_assert_eq!(r.brick_ops, pair.bricks_per_product() as u64);
+    }
+
+    #[test]
+    fn all_fusion_organizations_are_bit_exact(
+        iw in arb_multi_bit_width(),
+        ww in arb_multi_bit_width(),
+        is in arb_signedness(),
+        ws in arb_signedness(),
+        seeds in prop::collection::vec((any::<i32>(), any::<i32>()), 64usize)
+    ) {
+        // §III: the spatial design (Figure 9), the temporal reference design
+        // (Figure 8), and the production spatio-temporal Fusion Unit must all
+        // produce the exact i64 reference result for every supported
+        // (2, 4, 8, 16)-bit signed/unsigned precision pair.
+        let pair = PairPrecision::new(Precision::new(iw, is), Precision::new(ww, ws));
+        let pairs: Vec<(i32, i32)> = seeds
+            .into_iter()
+            .map(|(a, b)| (pair.input.clamp(a), pair.weight.clamp(b)))
+            .collect();
+        let expected: i64 = pairs.iter().map(|&(a, b)| a as i64 * b as i64).sum();
+
+        // Spatio-temporal (the shipping Fusion Unit).
+        let unit = FusionUnit::new(pair);
+        let f = unit.dot(&pairs, 0).unwrap();
+        prop_assert_eq!(f.psum_out, expected);
+
+        // Temporal (bit-serial reference).
+        let t = TemporalUnit::new(pair).execute(&pairs).unwrap();
+        prop_assert_eq!(t.total, expected);
+
+        // Spatial (stops at 8 bits: §III-C). One step of exactly the
+        // structure's Fused-PE count.
+        if iw != BitWidth::B16 && ww != BitWidth::B16 {
+            let s = SpatialStructure::for_pair(pair).unwrap();
+            let lanes = s.fused_pes().len();
+            let step: Vec<(i32, i32)> = pairs.iter().copied().take(lanes).collect();
+            let step_expected: i64 = step.iter().map(|&(a, b)| a as i64 * b as i64).sum();
+            prop_assert_eq!(s.evaluate(&step).unwrap(), step_expected);
+        } else {
+            // 16-bit operands must be rejected by the spatial-only design.
+            prop_assert!(SpatialStructure::for_pair(pair).is_err());
+        }
     }
 
     #[test]

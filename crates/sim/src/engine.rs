@@ -267,8 +267,10 @@ mod tests {
         let plan = compile(&Benchmark::Svhn.model(), &arch, 4).unwrap();
         let e = FusionEnergy::isca_45nm();
         let e45 = evaluate_layer(&plan.layers[0], &arch, &e, &SimOptions::default());
-        let mut o16 = SimOptions::default();
-        o16.node = TechNode::Nm16;
+        let o16 = SimOptions {
+            node: TechNode::Nm16,
+            ..SimOptions::default()
+        };
         let e16 = evaluate_layer(&plan.layers[0], &arch, &e, &o16);
         let ratio = e16.energy.total_pj() / e45.energy.total_pj();
         assert!((ratio - 0.31).abs() < 0.01, "{ratio}");

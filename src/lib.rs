@@ -16,9 +16,8 @@
 //! * [`energy`] — area/power/energy models and technology scaling;
 //! * [`baselines`] — Eyeriss, Stripes, and GPU comparison models.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for the paper-vs-measured record of every table and
-//! figure.
+//! See `README.md` for a workspace tour, the quickstart, and how to run the
+//! test tiers and paper-figure benches.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

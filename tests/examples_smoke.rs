@@ -1,0 +1,47 @@
+//! Smoke tests for the workspace example targets: the two entry-point
+//! examples must build, run to completion, and print their headline output.
+//! (The remaining examples are compiled by `cargo build --examples` / CI but
+//! not executed here — they sweep the whole zoo and take longer.)
+
+use std::process::Command;
+
+/// Run one example via the same cargo that is running this test.
+fn run_example(name: &str) -> (bool, String) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let out = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.success(), format!("{stdout}\n{stderr}"))
+}
+
+#[test]
+fn quickstart_runs() {
+    let (ok, output) = run_example("quickstart");
+    assert!(ok, "quickstart exited nonzero:\n{output}");
+    assert!(
+        output.contains("quickstart-net"),
+        "missing model banner:\n{output}"
+    );
+    assert!(
+        output.contains("setup"),
+        "missing Fusion-ISA block dump:\n{output}"
+    );
+}
+
+#[test]
+fn isa_playground_runs() {
+    let (ok, output) = run_example("isa_playground");
+    assert!(ok, "isa_playground exited nonzero:\n{output}");
+    assert!(
+        output.contains(".block hand-matvec"),
+        "missing assembly dump:\n{output}"
+    );
+    assert!(
+        output.contains("ld-mem"),
+        "missing DMA instructions:\n{output}"
+    );
+}

@@ -1,0 +1,301 @@
+//! Cross-crate golden-figure regression wall.
+//!
+//! Every zoo network flows through the full stack — DNN IR → compiler →
+//! Fusion-ISA (encode/decode round trip) → cycle-level simulator → energy
+//! report — and the resulting cycle counts, MAC counts, DRAM traffic,
+//! scratchpad access counts, dynamic/static instruction counts, and energy
+//! totals are pinned against golden values. Any future change to the
+//! compiler's tiling, the ISA's semantics, or the simulator's timing/energy
+//! models that shifts these numbers must update this table *consciously*.
+//!
+//! The harness also pins the bit-exactness invariant (Equations 1–3 of the
+//! paper): for every network, every layer's fused multiply-accumulate result
+//! is identical to a plain `i64` reference.
+//!
+//! Regenerate the table after an intentional model change with:
+//!
+//! ```text
+//! cargo test --test golden_figures -- --ignored --nocapture print_golden_table
+//! ```
+
+use bitfusion::compiler::compile;
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::fusion::FusionUnit;
+use bitfusion::core::util::SplitMix64;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::isa::encode::{decode_block, encode_block};
+use bitfusion::isa::walker::summarize;
+use bitfusion::sim::BitFusionSim;
+
+/// The batch size every golden row is pinned at (the paper's evaluation
+/// batch).
+const BATCH: u64 = 16;
+
+/// One pinned end-to-end result: ISCA 45 nm configuration, batch 16.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Golden {
+    name: &'static str,
+    /// Fused layer groups in the compiled plan.
+    layers: usize,
+    /// Static Fusion-ISA instructions across the plan.
+    static_instructions: usize,
+    /// Dynamic instructions (walker summary) across the plan.
+    dynamic_instructions: u64,
+    /// Scratchpad accesses: `rd-buf` executions across all buffers.
+    buf_reads: u64,
+    /// Scratchpad accesses: `wr-buf` executions across all buffers.
+    buf_writes: u64,
+    /// Simulated cycles for the whole batch.
+    cycles: u64,
+    /// Multiply-accumulates (must equal model MACs × batch).
+    macs: u64,
+    /// Off-chip traffic in bits.
+    dram_bits: u64,
+    /// Total energy in pJ.
+    energy_pj: f64,
+}
+
+/// Golden values, regenerated with `print_golden_table` (see module docs).
+const GOLDEN: [Golden; 8] = [
+    Golden {
+        name: "AlexNet",
+        layers: 8,
+        static_instructions: 219,
+        dynamic_instructions: 55412613,
+        buf_reads: 34444800,
+        buf_writes: 2637760,
+        cycles: 30893926,
+        macs: 42857677824,
+        dram_bits: 1756654904,
+        energy_pj: 43681933522.45572,
+    },
+    Golden {
+        name: "Cifar-10",
+        layers: 9,
+        static_instructions: 246,
+        dynamic_instructions: 5275261,
+        buf_reads: 3052544,
+        buf_writes: 460816,
+        cycles: 2773513,
+        macs: 9871458304,
+        dram_bits: 73789696,
+        energy_pj: 2262145423.533023,
+    },
+    Golden {
+        name: "LSTM",
+        layers: 2,
+        static_instructions: 62,
+        dynamic_instructions: 360902,
+        buf_reads: 216000,
+        buf_writes: 7200,
+        cycles: 594002,
+        macs: 207360000,
+        dram_bits: 52761600,
+        energy_pj: 1111880554.7466285,
+    },
+    Golden {
+        name: "LeNet-5",
+        layers: 4,
+        static_instructions: 110,
+        dynamic_instructions: 248796,
+        buf_reads: 114752,
+        buf_writes: 38672,
+        cycles: 161274,
+        macs: 222142464,
+        dram_bits: 8144192,
+        energy_pj: 211180483.87859634,
+    },
+    Golden {
+        name: "ResNet-18",
+        layers: 21,
+        static_instructions: 585,
+        dynamic_instructions: 39187569,
+        buf_reads: 20085184,
+        buf_writes: 5475568,
+        cycles: 24542653,
+        macs: 63884328960,
+        dram_bits: 1402598256,
+        energy_pj: 37249882856.678185,
+    },
+    Golden {
+        name: "RNN",
+        layers: 2,
+        static_instructions: 62,
+        dynamic_instructions: 721424,
+        buf_reads: 262144,
+        buf_writes: 65536,
+        cycles: 806401,
+        macs: 268435456,
+        dram_bits: 71696384,
+        energy_pj: 1516598291.2092762,
+    },
+    Golden {
+        name: "SVHN",
+        layers: 9,
+        static_instructions: 246,
+        dynamic_instructions: 1854919,
+        buf_reads: 1004544,
+        buf_writes: 231440,
+        cycles: 948750,
+        macs: 2528280576,
+        dram_bits: 19753728,
+        energy_pj: 643948369.9333004,
+    },
+    Golden {
+        name: "VGG-7",
+        layers: 8,
+        static_instructions: 219,
+        dynamic_instructions: 3250455,
+        buf_reads: 1769536,
+        buf_writes: 360464,
+        cycles: 1880289,
+        macs: 4994531328,
+        dram_bits: 91202176,
+        energy_pj: 2590077357.4979696,
+    },
+];
+
+/// Run one benchmark through the whole stack and collect its fingerprint.
+///
+/// Along the way, every compiled block must survive the binary round trip
+/// (compiler → encode → decode), pinning the ISA layer of the pipeline too.
+fn observe(b: Benchmark) -> Golden {
+    let arch = ArchConfig::isca_45nm();
+    let sim = BitFusionSim::new(arch.clone());
+    let model = b.model();
+    let plan = compile(&model, &arch, BATCH).expect("zoo model compiles");
+
+    let mut dynamic_instructions = 0u64;
+    let mut buf_reads = 0u64;
+    let mut buf_writes = 0u64;
+    for l in &plan.layers {
+        let words = encode_block(&l.block).expect("block encodes");
+        let decoded = decode_block(&l.name, &words).expect("block decodes");
+        assert_eq!(
+            decoded.canonicalize().instructions(),
+            l.block.canonicalize().instructions(),
+            "{b}/{}: binary round trip must be lossless",
+            l.name
+        );
+        let s = summarize(&l.block);
+        dynamic_instructions += s.dynamic_instructions;
+        for counts in &s.buffers {
+            buf_reads += counts.reads;
+            buf_writes += counts.writes;
+        }
+    }
+
+    let report = sim.run_plan(&plan);
+    assert_eq!(
+        report.total_macs(),
+        model.total_macs() * BATCH,
+        "{b}: MACs must be conserved through the stack"
+    );
+
+    Golden {
+        name: b.name(),
+        layers: plan.layers.len(),
+        static_instructions: plan.static_instructions(),
+        dynamic_instructions,
+        buf_reads,
+        buf_writes,
+        cycles: report.total_cycles(),
+        macs: report.total_macs(),
+        dram_bits: report.total_dram_bits(),
+        energy_pj: report.total_energy().total_pj(),
+    }
+}
+
+#[test]
+fn golden_end_to_end_fingerprints() {
+    // zip would silently truncate if the zoo grew: force the table to grow
+    // with it.
+    assert_eq!(
+        Benchmark::ALL.len(),
+        GOLDEN.len(),
+        "a zoo network has no golden row — regenerate with print_golden_table"
+    );
+    for (b, golden) in Benchmark::ALL.into_iter().zip(GOLDEN) {
+        let got = observe(b);
+        assert_eq!(got.name, golden.name, "table order must match Benchmark::ALL");
+        assert_eq!(got.layers, golden.layers, "{b}: compiled layer-group count");
+        assert_eq!(
+            got.static_instructions, golden.static_instructions,
+            "{b}: static instruction count"
+        );
+        assert_eq!(
+            got.dynamic_instructions, golden.dynamic_instructions,
+            "{b}: dynamic instruction count"
+        );
+        assert_eq!(got.buf_reads, golden.buf_reads, "{b}: rd-buf access count");
+        assert_eq!(got.buf_writes, golden.buf_writes, "{b}: wr-buf access count");
+        assert_eq!(got.cycles, golden.cycles, "{b}: simulated cycles");
+        assert_eq!(got.macs, golden.macs, "{b}: MAC count");
+        assert_eq!(got.dram_bits, golden.dram_bits, "{b}: DRAM traffic");
+        let rel = (got.energy_pj - golden.energy_pj).abs() / golden.energy_pj.max(1.0);
+        assert!(
+            rel < 1e-9,
+            "{b}: energy drifted: golden {} pJ, got {} pJ",
+            golden.energy_pj,
+            got.energy_pj
+        );
+    }
+}
+
+/// Every layer of every network computes bit-exactly: the Fusion Unit's
+/// decomposed multiply-accumulate over each layer's actual precision pair
+/// equals a plain `i64` dot product, including at the operand range extremes.
+#[test]
+fn golden_bit_exactness_per_network() {
+    for b in Benchmark::ALL {
+        let model = b.model();
+        let mut rng = SplitMix64::new(0xB17F_0051 ^ b.name().len() as u64);
+        for layer in model.mac_layers() {
+            let pair = layer
+                .layer
+                .precision()
+                .expect("mac_layers yields only MAC layers");
+            let unit = FusionUnit::new(pair);
+            let (ilo, ihi) = (pair.input.min_value(), pair.input.max_value());
+            let (wlo, whi) = (pair.weight.min_value(), pair.weight.max_value());
+            // Random in-range operands plus the four range-extreme corners.
+            let mut pairs: Vec<(i32, i32)> = (0..128)
+                .map(|_| (rng.range_i32(ilo, ihi), rng.range_i32(wlo, whi)))
+                .collect();
+            pairs.extend([(ilo, wlo), (ilo, whi), (ihi, wlo), (ihi, whi)]);
+            let expected: i64 = pairs.iter().map(|&(a, w)| a as i64 * w as i64).sum();
+            let r = unit
+                .dot(&pairs, 0)
+                .expect("in-range operands always evaluate");
+            assert_eq!(
+                r.psum_out, expected,
+                "{b}/{}: fused result must equal i64 reference at {pair:?}",
+                layer.name
+            );
+        }
+    }
+}
+
+/// Regenerates the `GOLDEN` table (see module docs). Ignored by default so
+/// `cargo test` never depends on its output.
+#[test]
+#[ignore = "regeneration helper, run with --ignored --nocapture"]
+fn print_golden_table() {
+    println!("const GOLDEN: [Golden; 8] = [");
+    for b in Benchmark::ALL {
+        let g = observe(b);
+        println!("    Golden {{");
+        println!("        name: {:?},", g.name);
+        println!("        layers: {},", g.layers);
+        println!("        static_instructions: {},", g.static_instructions);
+        println!("        dynamic_instructions: {},", g.dynamic_instructions);
+        println!("        buf_reads: {},", g.buf_reads);
+        println!("        buf_writes: {},", g.buf_writes);
+        println!("        cycles: {},", g.cycles);
+        println!("        macs: {},", g.macs);
+        println!("        dram_bits: {},", g.dram_bits);
+        println!("        energy_pj: {:?},", g.energy_pj);
+        println!("    }},");
+    }
+    println!("];");
+}

@@ -1,0 +1,192 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this in-tree shim
+//! provides the slice of criterion's 0.5 API the workspace benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timing is a simple min-of-N wall-clock
+//! measurement; passing `--test` (as `cargo bench -- --test` does) runs each
+//! benchmark body exactly once as a smoke test.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+
+impl Criterion {
+    /// Build from the process arguments, honoring `--test` and a name filter.
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(id) {
+            let mut b = Bencher { test_mode: self.test_mode, measured: None };
+            f(&mut b);
+            b.report(id, self.test_mode);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.enabled(&full) {
+            let mut b = Bencher {
+                test_mode: self.criterion.test_mode,
+                measured: None,
+            };
+            f(&mut b, input);
+            b.report(&full, self.criterion.test_mode);
+        }
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    test_mode: bool,
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the fastest observed iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up once, then take the minimum over a short fixed budget.
+        black_box(routine());
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        let mut best: Option<Duration> = None;
+        let mut iters = 0u32;
+        while started.elapsed() < budget && iters < 10_000 {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            if best.is_none_or(|b| dt < b) {
+                best = Some(dt);
+            }
+            iters += 1;
+        }
+        self.measured = best;
+    }
+
+    fn report(&self, id: &str, test_mode: bool) {
+        if test_mode {
+            println!("{id}: ok (smoke)");
+        } else if let Some(best) = self.measured {
+            println!("{id}: {:.1} ns/iter (min)", best.as_nanos() as f64);
+        } else {
+            println!("{id}: no measurement (Bencher::iter never called)");
+        }
+    }
+}
+
+/// Group benchmark functions under one callable, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
