@@ -15,7 +15,10 @@
 //!
 //! All baselines share the DRAM energy constant and bandwidth-efficiency
 //! conventions of `bitfusion-energy`/`bitfusion-sim`, so cross-platform
-//! ratios compare like against like.
+//! ratios compare like against like. The Bit Fusion side of every
+//! comparison runs the analytic `SimBackend` (cross-validated against the
+//! trace-driven one — see DESIGN.md's backend contract), so baseline ratios
+//! inherit the same fidelity guarantees.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

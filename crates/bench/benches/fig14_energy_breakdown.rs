@@ -21,8 +21,9 @@ fn print_row(label: &str, measured: [f64; 4], reference: [f64; 4]) {
 fn main() {
     banner(
         "Figure 14 — Energy breakdown of Bit Fusion and Eyeriss (paper values in parentheses)",
-        "Paper shape: both spend >80% on memory; Bit Fusion has no register file\n\
-         (systolic sharing) and is DRAM-dominated; Eyeriss is RF-dominated.",
+        "Paper shape: both spend >80% on memory; Bit Fusion has only a sliver of\n\
+         register energy (systolic sharing) and is DRAM-dominated; Eyeriss is\n\
+         RF-dominated.",
     );
     let bf = BitFusionSim::new(ArchConfig::isca_45nm());
     let ey = EyerissSim::default();
@@ -42,25 +43,26 @@ fn main() {
     }
     println!();
     println!("  shape checks:");
-    let mut ok_rf = true;
-    let mut ok_mem = true;
+    let mut ok_bf = true;
+    let mut ok_ey_rf = true;
     for b in Benchmark::ALL {
         let r = bf.run(&b.model(), 16).expect("compiles");
         let [_, bufs, rf, dram] = r.total_energy().fractions();
-        ok_rf &= rf == 0.0;
-        ok_mem &= bufs + dram > 0.6;
+        // The Fusion Units' output registers are a small RF sliver; the
+        // per-PE register *files* of Eyeriss do not exist here.
+        ok_bf &= rf < 0.05 && bufs + dram > 0.6;
         let e = ey.run(&b.reference_model(), 16);
         let [ey_compute, ey_bufs, ey_rf, _] = e.energy.fractions();
         // RF must be Eyeriss's largest on-chip component everywhere (the
         // paper's own RF shares dip to ~22% on the DRAM-bound benchmarks).
-        ok_rf &= ey_rf > ey_compute && ey_rf > ey_bufs && ey_rf > 0.2;
+        ok_ey_rf &= ey_rf > ey_compute && ey_rf > ey_bufs && ey_rf > 0.2;
     }
     println!(
-        "    Bit Fusion has zero RF energy and is memory-dominated: {}",
-        if ok_mem { "yes" } else { "NO" }
+        "    Bit Fusion RF energy is a sliver and it is memory-dominated: {}",
+        if ok_bf { "yes" } else { "NO" }
     );
     println!(
         "    Eyeriss is register-file-heavy: {}",
-        if ok_rf { "yes" } else { "NO" }
+        if ok_ey_rf { "yes" } else { "NO" }
     );
 }

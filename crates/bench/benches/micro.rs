@@ -101,6 +101,13 @@ fn bench_simulate(c: &mut Criterion) {
     c.bench_function("sim/alexnet_batch16_end_to_end", |b| {
         b.iter(|| sim.run(black_box(&model), 16).expect("compiles"))
     });
+    // The trace-driven backend walks every tile segment: this pins its cost
+    // multiplier over the closed form (the reason AnalyticBackend stays the
+    // sweep default).
+    let event = BitFusionSim::event(ArchConfig::isca_45nm());
+    c.bench_function("sim/alexnet_batch16_event_backend", |b| {
+        b.iter(|| event.run_plan(black_box(&plan)))
+    });
 }
 
 criterion_group!(

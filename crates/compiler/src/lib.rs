@@ -13,9 +13,9 @@
 //!
 //! [`plan::compile`] drives the pipeline: fuse → GEMM view ([`gemm`]) →
 //! tile search → block emission ([`lower`]), producing an
-//! [`ExecutionPlan`](plan::ExecutionPlan) whose blocks are valid, encodable
-//! Fusion-ISA and whose [`Mapping`](lower::Mapping) facts feed the
-//! performance simulator.
+//! [`ExecutionPlan`] whose blocks are valid, encodable Fusion-ISA and whose
+//! [`Mapping`] facts (whole-layer and per-segment) feed the performance
+//! simulator.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +31,6 @@ pub mod tiling;
 pub use error::CompileError;
 pub use fuse::{fuse_layers, FusedGroup, PostOp};
 pub use gemm::{layer_to_gemm, GemmLayer, GemmShape};
-pub use lower::Mapping;
+pub use lower::{Mapping, SegmentFacts};
 pub use plan::{compile, ExecutionPlan, PlannedLayer};
 pub use tiling::{choose_tiling, LoopOrder, TilePlan, TileSizes};

@@ -221,6 +221,26 @@ pub fn lower_gemm(input: &LowerInput<'_>, arch: &ArchConfig) -> Result<Instructi
     Ok(b.finish(input.next)?)
 }
 
+/// Per-segment mapping facts: what one iteration of the innermost tile loop
+/// (one [`bitfusion_isa::walker::Segment`] of the emitted block) costs on
+/// the array. The trace-driven simulation backend uses these to convert a
+/// segment's compute-step count into systolic passes and fill/drain charges
+/// without re-deriving the tiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentFacts {
+    /// Tile iterations in the block (`tm × tk × tn`) — the expected number
+    /// of DMA-carrying segments.
+    pub tiles: u64,
+    /// MAC compute steps per tile iteration.
+    pub compute_steps: u64,
+    /// Systolic passes (weight refills into the array) per tile iteration.
+    pub fill_passes: u64,
+    /// MAC compute steps in one systolic pass (`n_t × k_steps`): segments
+    /// with fewer steps (edge tiles, drain segments) still pay fill/drain
+    /// once per started pass.
+    pub steps_per_pass: u64,
+}
+
 /// Analytic mapping facts the performance simulator consumes, derived from
 /// the same quantities the lowering used.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -248,6 +268,8 @@ pub struct Mapping {
     pub postop_ops: u64,
     /// Total multiply-accumulates (unpadded).
     pub macs: u64,
+    /// Per-tile-iteration facts for the segment-driven backend.
+    pub per_tile: SegmentFacts,
 }
 
 /// Computes the mapping facts for a lowered group.
@@ -299,6 +321,12 @@ pub fn mapping_for(input: &LowerInput<'_>, arch: &ArchConfig) -> Mapping {
         obuf_read_bits,
         postop_ops,
         macs: s.macs(),
+        per_tile: SegmentFacts {
+            tiles,
+            compute_steps: m_passes * plan.tiles.n * k_steps,
+            fill_passes: m_passes,
+            steps_per_pass: plan.tiles.n * k_steps,
+        },
     }
 }
 
@@ -420,5 +448,27 @@ mod tests {
         let l = layer(64, 256, 64, 16, 16);
         let (_, mapping, _) = lower(&l, &[]);
         assert_eq!(mapping.temporal_cycles, 4);
+    }
+
+    #[test]
+    fn segment_facts_tile_the_whole_layer() {
+        let l = layer(512, 2400, 729, 4, 1);
+        let (block, mapping, _) = lower(&l, &[PostOp::Relu]);
+        let t = mapping.per_tile;
+        // Per-tile facts scale back up to the whole-layer aggregates.
+        assert_eq!(t.tiles * t.compute_steps, mapping.compute_steps);
+        assert_eq!(t.tiles * t.fill_passes, mapping.fill_passes);
+        assert_eq!(t.steps_per_pass * t.fill_passes, t.compute_steps);
+        // The emitted block's MAC-carrying segments are exactly the tiles,
+        // each carrying the per-tile compute steps.
+        let segs = walker::segments(&block);
+        let mac_segs: Vec<_> = segs
+            .iter()
+            .filter(|s| s.compute_count(bitfusion_isa::ComputeFn::Mac) > 0)
+            .collect();
+        assert_eq!(mac_segs.len() as u64, t.tiles);
+        for s in &mac_segs {
+            assert_eq!(s.compute_count(bitfusion_isa::ComputeFn::Mac), t.compute_steps);
+        }
     }
 }

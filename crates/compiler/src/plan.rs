@@ -8,7 +8,7 @@ use bitfusion_isa::{InstructionBlock, Program};
 use crate::error::CompileError;
 use crate::fuse::{fuse_layers, FusedGroup, PostOp};
 use crate::gemm::{layer_to_gemm, GemmLayer};
-use crate::lower::{lower_gemm, mapping_for, LowerInput, Mapping};
+use crate::lower::{lower_gemm, mapping_for, LowerInput, Mapping, SegmentFacts};
 use crate::tiling::{choose_tiling, TilePlan};
 
 /// One compiled (fused) layer group.
@@ -26,6 +26,15 @@ pub struct PlannedLayer {
     pub tile_plan: TilePlan,
     /// Fused post-ops.
     pub postops: Vec<PostOp>,
+}
+
+impl PlannedLayer {
+    /// Per-tile-iteration mapping facts: the cost of one DMA segment of
+    /// [`Self::block`] (see `bitfusion_isa::walker::segments`), consumed by
+    /// the trace-driven simulation backend.
+    pub fn segment_facts(&self) -> SegmentFacts {
+        self.mapping.per_tile
+    }
 }
 
 /// A compiled model: blocks in execution order plus per-layer mappings.

@@ -9,7 +9,7 @@
 //!   over the decomposed products across cycles, with a private shifter and
 //!   accumulator register. Implemented as the reference point for the
 //!   Figure 10 area/power comparison.
-//! * [`unit`] — the production *Fusion Unit*: spatial fusion up to 8-bit
+//! * [`mod@unit`] — the production *Fusion Unit*: spatial fusion up to 8-bit
 //!   operands combined with temporal iteration for 16-bit operands
 //!   (the spatio-temporal hybrid of §III-C).
 

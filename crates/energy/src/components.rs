@@ -36,15 +36,33 @@ impl FusionEnergy {
         }
     }
 
-    /// Energy of one Fusion Unit cycle at full occupancy (all 16 bricks).
+    /// Energy of one Fusion Unit cycle at full occupancy (all 16 bricks),
+    /// including the output register.
     pub fn unit_cycle_pj(&self) -> f64 {
         16.0 * self.bitbrick_op_pj + self.tree_pj_per_cycle + self.register_pj_per_cycle
     }
 
     /// Energy per multiply-accumulate at a precision pair: the unit cycle
     /// cost divided by the parallel MACs, times the temporal cycle count.
+    /// Equals [`Self::compute_mac_pj`] + [`Self::rf_mac_pj`].
     pub fn mac_pj(&self, pair: PairPrecision) -> f64 {
         self.unit_cycle_pj() * pair.temporal_cycles() as f64 / pair.fused_pes_per_unit() as f64
+    }
+
+    /// Datapath share of one MAC (BitBricks + shift-add tree) — the
+    /// Figure 14 "compute" category.
+    pub fn compute_mac_pj(&self, pair: PairPrecision) -> f64 {
+        (16.0 * self.bitbrick_op_pj + self.tree_pj_per_cycle) * pair.temporal_cycles() as f64
+            / pair.fused_pes_per_unit() as f64
+    }
+
+    /// Register share of one MAC — the Figure 14 "RF" category. Bit Fusion
+    /// has no per-PE register *file* (operands stream systolically), but
+    /// each Fusion Unit's output/pipeline register is charged per MAC, which
+    /// is the small RF sliver Figure 14 attributes to Bit Fusion.
+    pub fn rf_mac_pj(&self, pair: PairPrecision) -> f64 {
+        self.register_pj_per_cycle * pair.temporal_cycles() as f64
+            / pair.fused_pes_per_unit() as f64
     }
 }
 
@@ -112,6 +130,14 @@ impl StripesEnergy {
 /// ≈ 20 pJ/bit including I/O and activation amortization).
 pub const DRAM_PJ_PER_BIT: f64 = 20.0;
 
+/// Energy of one fused post-processing operation (ReLU clamp, pooling
+/// comparator, residual add) on the per-column activation/pooling units of
+/// Figure 3, pJ at 45 nm. These are register-scale operations — a compare
+/// or add on one output word — so they are charged like a register access
+/// rather than a full MAC; the value keeps post-ops a sub-percent slice of
+/// layer energy, consistent with Figure 14 not breaking them out.
+pub const POSTOP_OP_PJ: f64 = 0.05;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +158,18 @@ mod tests {
         let e = FusionEnergy::isca_45nm();
         let pj = e.mac_pj(PairPrecision::from_bits(8, 8).unwrap());
         assert!(pj > 0.25 && pj < 0.45, "{pj}");
+    }
+
+    #[test]
+    fn mac_splits_into_compute_and_rf() {
+        let e = FusionEnergy::isca_45nm();
+        for (i, w) in [(8, 8), (4, 2), (16, 16), (1, 1)] {
+            let pair = PairPrecision::from_bits(i, w).unwrap();
+            let total = e.compute_mac_pj(pair) + e.rf_mac_pj(pair);
+            assert!((total - e.mac_pj(pair)).abs() < 1e-12, "{i}/{w}");
+            // The register is a small minority of the unit (69 nW of 539).
+            assert!(e.rf_mac_pj(pair) < 0.2 * e.mac_pj(pair), "{i}/{w}");
+        }
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod sram;
 pub mod tech;
 
 pub use area::ChipArea;
-pub use components::{EyerissEnergy, FusionEnergy, StripesEnergy, DRAM_PJ_PER_BIT};
+pub use components::{
+    EyerissEnergy, FusionEnergy, StripesEnergy, DRAM_PJ_PER_BIT, POSTOP_OP_PJ,
+};
 pub use fig10::{DesignCost, Figure10};
 pub use report::EnergyBreakdown;
 pub use sram::SramMacro;

@@ -12,8 +12,10 @@ pub struct EnergyBreakdown {
     pub compute_pj: f64,
     /// On-chip SRAM/eDRAM buffers.
     pub buffer_pj: f64,
-    /// Register files (zero for Bit Fusion — its systolic design has none;
-    /// §V-B1).
+    /// Register files. For Bit Fusion this is the Fusion Units' output/
+    /// pipeline registers (a small sliver — the systolic design has no
+    /// per-PE register file; §V-B1). For Eyeriss it is the dominant
+    /// component.
     pub rf_pj: f64,
     /// Off-chip DRAM.
     pub dram_pj: f64,

@@ -1,6 +1,6 @@
 //! CACTI-style SRAM access-energy and area model.
 //!
-//! The paper models its on-chip buffers with CACTI-P [48]. We reproduce the
+//! The paper models its on-chip buffers with CACTI-P \[48\]. We reproduce the
 //! first-order behaviour CACTI exhibits for small scratchpads at 45 nm: a
 //! fixed decode/sense cost plus a component that grows with the square root
 //! of capacity (bitline/wordline length), linear in the access width.

@@ -2,7 +2,7 @@
 //!
 //! [`BlockBuilder`] manages loop nesting and level tags so compiler passes
 //! (and humans writing kernels by hand) never deal with raw
-//! [`TaggedInstruction`](crate::instruction::TaggedInstruction) levels.
+//! [`TaggedInstruction`] levels.
 //!
 //! # Examples
 //!

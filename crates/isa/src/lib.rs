@@ -18,8 +18,9 @@
 //! * [`encode`] — the 32-bit binary format of Table I
 //!   (`opcode | field1 | field2 | immediate`);
 //! * [`asm`] — textual assembly in the style of the paper's Figure 12;
-//! * [`walker`] — execution semantics: the Equation 4 address walker and the
-//!   analytic summarizer the performance simulator consumes.
+//! * [`walker`] — execution semantics: the Equation 4 address walker, the
+//!   analytic summarizer, and the tile-segment iterator the simulation
+//!   backends consume.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,4 +39,7 @@ pub use error::IsaError;
 pub use instruction::{
     AddressSpace, ComputeFn, Instruction, LoopId, Scratchpad, TaggedInstruction,
 };
-pub use walker::{dma_loops, summarize, walk, BlockSummary, BufferCounts, Event};
+pub use walker::{
+    dma_loops, for_each_segment, segments, summarize, walk, BlockSummary, BufferCounts, Event,
+    Segment,
+};

@@ -1,5 +1,5 @@
-//! Execution semantics of instruction blocks: the event walker and the
-//! analytic summarizer.
+//! Execution semantics of instruction blocks: the event walker, the
+//! analytic summarizer, and the segment iterator.
 //!
 //! The *walker* executes a block's loop nest instruction by instruction,
 //! computing every address with Equation 4
@@ -10,7 +10,16 @@
 //! The *summarizer* computes the same aggregate counts (DMA bits, buffer
 //! accesses, compute steps) analytically by folding the loop tree — O(static
 //! block size) instead of O(dynamic instruction count) — and is what the
-//! performance simulator uses for full networks.
+//! analytic performance model uses for full networks.
+//!
+//! The *segment iterator* ([`segments`]/[`for_each_segment`]) sits between
+//! the two: it cuts the dynamic instruction stream at the iteration
+//! boundaries of the DMA-issuing tile loops, yielding one [`Segment`] per
+//! tile iteration with that slice's DMA bits, buffer accesses, and compute
+//! steps (the interior compute nest is folded analytically). Concatenating
+//! all segments reproduces [`summarize`] exactly; the trace-driven timing
+//! backend consumes the segment stream to model double-buffered DMA/compute
+//! overlap without enumerating inner-loop iterations.
 
 use std::collections::BTreeMap;
 
@@ -186,6 +195,27 @@ impl BlockSummary {
     pub fn compute_count(&self, op: ComputeFn) -> u64 {
         self.compute.get(&op).copied().unwrap_or(0)
     }
+
+    /// Whether the summary records no dynamic instructions.
+    pub fn is_empty(&self) -> bool {
+        self.dynamic_instructions == 0
+    }
+
+    /// Accumulates another summary into this one. Merging every [`Segment`]
+    /// of a block reproduces the block's [`summarize`] result exactly — the
+    /// segmentation invariant the simulation backends rely on.
+    pub fn merge(&mut self, other: &BlockSummary) {
+        for (a, b) in self.buffers.iter_mut().zip(&other.buffers) {
+            a.reads += b.reads;
+            a.writes += b.writes;
+            a.dma_load_bits += b.dma_load_bits;
+            a.dma_store_bits += b.dma_store_bits;
+        }
+        for (&op, &n) in &other.compute {
+            *self.compute.entry(op).or_insert(0) += n;
+        }
+        self.dynamic_instructions += other.dynamic_instructions;
+    }
 }
 
 /// Computes the aggregate execution counts of a block analytically (without
@@ -197,37 +227,117 @@ pub fn summarize(block: &InstructionBlock) -> BlockSummary {
     summary
 }
 
+fn fold_instr(instr: &Instruction, multiplier: u64, summary: &mut BlockSummary) {
+    summary.dynamic_instructions += multiplier;
+    match *instr {
+        Instruction::LdMem { buffer, bits, words } => {
+            summary.buffers[buffer.code() as usize].dma_load_bits +=
+                multiplier * words * bits as u64;
+        }
+        Instruction::StMem { buffer, bits, words } => {
+            summary.buffers[buffer.code() as usize].dma_store_bits +=
+                multiplier * words * bits as u64;
+        }
+        Instruction::RdBuf { buffer } => {
+            summary.buffers[buffer.code() as usize].reads += multiplier;
+        }
+        Instruction::WrBuf { buffer } => {
+            summary.buffers[buffer.code() as usize].writes += multiplier;
+        }
+        Instruction::Compute { op } => {
+            *summary.compute.entry(op).or_insert(0) += multiplier;
+        }
+        _ => {}
+    }
+}
+
 fn fold_items(items: &[BodyItem], multiplier: u64, summary: &mut BlockSummary) {
     for item in items {
         match item {
-            BodyItem::Instr(instr) => {
-                summary.dynamic_instructions += multiplier;
-                match *instr {
-                    Instruction::LdMem { buffer, bits, words } => {
-                        summary.buffers[buffer.code() as usize].dma_load_bits +=
-                            multiplier * words * bits as u64;
-                    }
-                    Instruction::StMem { buffer, bits, words } => {
-                        summary.buffers[buffer.code() as usize].dma_store_bits +=
-                            multiplier * words * bits as u64;
-                    }
-                    Instruction::RdBuf { buffer } => {
-                        summary.buffers[buffer.code() as usize].reads += multiplier;
-                    }
-                    Instruction::WrBuf { buffer } => {
-                        summary.buffers[buffer.code() as usize].writes += multiplier;
-                    }
-                    Instruction::Compute { op } => {
-                        *summary.compute.entry(op).or_insert(0) += multiplier;
-                    }
-                    _ => {}
-                }
-            }
+            BodyItem::Instr(instr) => fold_instr(instr, multiplier, summary),
             BodyItem::Loop(node) => {
                 fold_items(&node.body, multiplier * node.iterations as u64, summary);
             }
         }
     }
+}
+
+/// One double-buffering segment of a block's execution: the access counts of
+/// the dynamic instruction slice between two tile-iteration boundaries (see
+/// [`for_each_segment`]).
+pub type Segment = BlockSummary;
+
+fn subtree_has_dma(items: &[BodyItem]) -> bool {
+    items.iter().any(|item| match item {
+        BodyItem::Instr(instr) => matches!(
+            instr,
+            Instruction::LdMem { .. } | Instruction::StMem { .. }
+        ),
+        BodyItem::Loop(node) => subtree_has_dma(&node.body),
+    })
+}
+
+fn collect_segments(
+    items: &[BodyItem],
+    cur: &mut Segment,
+    visit: &mut impl FnMut(&Segment),
+) {
+    for item in items {
+        match item {
+            BodyItem::Instr(instr) => fold_instr(instr, 1, cur),
+            BodyItem::Loop(node) if subtree_has_dma(&node.body) => {
+                // A DMA-carrying loop is *enumerated*: each iteration closes
+                // a segment (tile loads issued at shallower depths were
+                // accumulated into `cur` and ride the iteration's first
+                // segment; post-body stores ride its last).
+                for _ in 0..node.iterations {
+                    collect_segments(&node.body, cur, visit);
+                    if !cur.is_empty() {
+                        visit(cur);
+                        *cur = Segment::default();
+                    }
+                }
+            }
+            BodyItem::Loop(node) => {
+                // DMA-free subtrees (the inner compute nest) fold
+                // analytically into the current segment.
+                fold_items(&node.body, node.iterations as u64, cur);
+            }
+        }
+    }
+}
+
+/// Streams the block's [`Segment`]s in execution order.
+///
+/// Segmentation rule: every loop whose subtree issues DMA (`ld-mem` /
+/// `st-mem`) is enumerated, and each iteration of the *innermost* such loop
+/// ends a segment; loops without DMA below them (the `m/n/k` compute nest)
+/// are folded analytically into the enclosing segment. Instructions that
+/// execute outside any DMA loop land in the segment being built when they
+/// run — outer-tile loads prefetch with the first inner segment of their
+/// iteration, and a tile loop's post-body `st-mem` drains with its last.
+///
+/// Cost is O(total tile iterations × static block size) — independent of
+/// inner-loop trip counts — and the visitor borrows a reused accumulator, so
+/// arbitrarily long segment streams need no allocation per segment.
+///
+/// Invariant: merging every visited segment equals [`summarize`]
+/// (see [`BlockSummary::merge`]); the ISA property tests pin this.
+pub fn for_each_segment(block: &InstructionBlock, visit: &mut impl FnMut(&Segment)) {
+    let tree = block.loop_tree();
+    let mut cur = Segment::default();
+    collect_segments(&tree.body, &mut cur, visit);
+    if !cur.is_empty() {
+        visit(&cur);
+    }
+}
+
+/// Collects the block's [`Segment`]s into a vector (see
+/// [`for_each_segment`]; prefer the streaming form for large blocks).
+pub fn segments(block: &InstructionBlock) -> Vec<Segment> {
+    let mut out = Vec::new();
+    for_each_segment(block, &mut |s| out.push(s.clone()));
+    out
 }
 
 /// Finds the innermost loops that directly issue DMA instructions — the tile
@@ -350,6 +460,68 @@ mod tests {
         let (node, outer) = &loops[0];
         assert_eq!(node.iterations, 3);
         assert_eq!(*outer, 1);
+    }
+
+    #[test]
+    fn segments_cut_at_tile_iterations() {
+        let block = tiled_block();
+        let segs = segments(&block);
+        // 3 tile iterations plus the trailing top-level st-mem drain.
+        assert_eq!(segs.len(), 4);
+        for seg in &segs[0..3] {
+            assert_eq!(seg.buffer(Scratchpad::Wbuf).dma_load_bits, 10 * 2);
+            assert_eq!(seg.compute_count(ComputeFn::Mac), 4);
+            assert_eq!(seg.buffer(Scratchpad::Obuf).writes, 1);
+        }
+        assert_eq!(segs[3].buffer(Scratchpad::Obuf).dma_store_bits, 3 * 8);
+        assert_eq!(segs[3].compute_steps(), 0);
+    }
+
+    #[test]
+    fn segments_merge_back_to_summary() {
+        let block = tiled_block();
+        let mut merged = BlockSummary::default();
+        for_each_segment(&block, &mut |s| merged.merge(s));
+        assert_eq!(merged, summarize(&block));
+    }
+
+    #[test]
+    fn dma_free_block_is_one_segment() {
+        let pair = PairPrecision::from_bits(2, 2).unwrap();
+        let mut b = BlockBuilder::new("no-dma", pair);
+        b.open_loop(5).unwrap();
+        b.rd_buf(Scratchpad::Ibuf);
+        b.compute(ComputeFn::Mac);
+        b.close_loop();
+        let block = b.finish(0).unwrap();
+        let segs = segments(&block);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0], summarize(&block));
+    }
+
+    #[test]
+    fn nested_dma_loops_segment_at_the_innermost() {
+        // Outer loop loads IBUF, inner loop loads WBUF: segments cut at the
+        // inner loop, outer loads riding each outer iteration's first
+        // segment.
+        let pair = PairPrecision::from_bits(4, 2).unwrap();
+        let mut b = BlockBuilder::new("nested", pair);
+        b.open_loop(2).unwrap();
+        b.ld_mem(Scratchpad::Ibuf, 4, 100).unwrap();
+        b.open_loop(3).unwrap();
+        b.ld_mem(Scratchpad::Wbuf, 2, 10).unwrap();
+        b.compute(ComputeFn::Mac);
+        b.close_loop();
+        b.close_loop();
+        let block = b.finish(0).unwrap();
+        let segs = segments(&block);
+        assert_eq!(segs.len(), 2 * 3);
+        for (i, seg) in segs.iter().enumerate() {
+            let expect_ibuf = if i % 3 == 0 { 400 } else { 0 };
+            assert_eq!(seg.buffer(Scratchpad::Ibuf).dma_load_bits, expect_ibuf, "{i}");
+            assert_eq!(seg.buffer(Scratchpad::Wbuf).dma_load_bits, 20, "{i}");
+            assert_eq!(seg.compute_count(ComputeFn::Mac), 1, "{i}");
+        }
     }
 
     #[test]

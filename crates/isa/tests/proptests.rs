@@ -1,14 +1,14 @@
 //! Property tests for the Fusion-ISA: randomly generated valid blocks
 //! survive binary and text round trips, the analytic summarizer always
-//! agrees with brute-force walking, and the binary decoder never panics on
-//! arbitrary words.
+//! agrees with brute-force walking, the segment iterator concatenates back
+//! to the summary, and the binary decoder never panics on arbitrary words.
 
 use bitfusion_core::bitwidth::PairPrecision;
 use bitfusion_isa::asm::{format_block, parse_block};
 use bitfusion_isa::builder::BlockBuilder;
 use bitfusion_isa::encode::{decode_block, encode_block};
 use bitfusion_isa::instruction::{AddressSpace, ComputeFn, Scratchpad};
-use bitfusion_isa::walker::{summarize, walk, Event};
+use bitfusion_isa::walker::{for_each_segment, summarize, walk, BlockSummary, Event};
 use bitfusion_isa::InstructionBlock;
 use proptest::prelude::*;
 
@@ -144,6 +144,33 @@ proptest! {
         prop_assert_eq!(s.dram_bits(), dma_bits);
         prop_assert_eq!(s.dynamic_instructions, events);
         prop_assert_eq!(tree.dynamic_compute_count(), computes);
+    }
+
+    #[test]
+    fn segments_concatenate_to_the_summary(recipe in arb_recipe()) {
+        // The segmentation invariant the simulation backends rely on:
+        // merging every segment of a block reproduces `summarize` exactly —
+        // same DMA bits, buffer accesses, compute steps, and dynamic
+        // instruction count.
+        let block = build(&recipe);
+        let summary = summarize(&block);
+        // Segment enumeration is O(tile iterations); skip the pathological
+        // deep-DMA nests the generator can produce (same guard as the
+        // brute-force walk above).
+        if summary.dynamic_instructions > 200_000 {
+            return Ok(());
+        }
+        let mut merged = BlockSummary::default();
+        let mut count = 0u64;
+        let mut all_non_empty = true;
+        for_each_segment(&block, &mut |seg| {
+            all_non_empty &= !seg.is_empty();
+            count += 1;
+            merged.merge(seg);
+        });
+        prop_assert!(count > 0, "a non-empty block yields at least one segment");
+        prop_assert!(all_non_empty, "the iterator never yields empty segments");
+        prop_assert_eq!(merged, summary);
     }
 
     #[test]

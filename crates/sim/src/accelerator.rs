@@ -1,14 +1,22 @@
-//! The top-level Bit Fusion simulator: compile + evaluate in one call.
+//! The top-level Bit Fusion simulator: compile + evaluate in one call,
+//! generic over the [`SimBackend`] that models timing.
 
 use bitfusion_compiler::{compile, CompileError, ExecutionPlan};
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_dnn::model::Model;
 use bitfusion_energy::FusionEnergy;
 
-use crate::engine::{evaluate_layer, SimOptions};
+use crate::backend::{AnalyticBackend, SimBackend};
+use crate::engine::SimOptions;
+use crate::event::EventBackend;
 use crate::stats::PerfReport;
 
 /// A configured Bit Fusion accelerator simulation.
+///
+/// The backend type parameter selects the performance model:
+/// [`AnalyticBackend`] (the default — closed-form, cheap, used for sweeps)
+/// or [`EventBackend`] (trace-driven, with stall attribution and buffer
+/// occupancy). Both report identical DRAM traffic, MACs, and energy.
 ///
 /// # Examples
 ///
@@ -21,24 +29,45 @@ use crate::stats::PerfReport;
 /// let sim = BitFusionSim::new(ArchConfig::isca_45nm());
 /// let report = sim.run(&Benchmark::Lstm.model(), 16)?;
 /// assert!(report.total_cycles() > 0);
+///
+/// // The trace-driven backend sees the same traffic, cycle by cycle.
+/// let ev = BitFusionSim::event(ArchConfig::isca_45nm());
+/// let detailed = ev.run(&Benchmark::Lstm.model(), 16)?;
+/// assert_eq!(detailed.total_dram_bits(), report.total_dram_bits());
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct BitFusionSim {
+pub struct BitFusionSim<B: SimBackend = AnalyticBackend> {
     arch: ArchConfig,
     energy: FusionEnergy,
     options: SimOptions,
+    backend: B,
 }
 
-impl BitFusionSim {
-    /// Creates a simulator for an architecture with default calibration and
-    /// the 45 nm energy model.
+impl BitFusionSim<AnalyticBackend> {
+    /// Creates a simulator for an architecture with default calibration,
+    /// the 45 nm energy model, and the closed-form analytic backend.
     pub fn new(arch: ArchConfig) -> Self {
+        BitFusionSim::with_backend(arch, AnalyticBackend)
+    }
+}
+
+impl BitFusionSim<EventBackend> {
+    /// Creates a simulator driven by the trace-driven [`EventBackend`].
+    pub fn event(arch: ArchConfig) -> Self {
+        BitFusionSim::with_backend(arch, EventBackend)
+    }
+}
+
+impl<B: SimBackend> BitFusionSim<B> {
+    /// Creates a simulator with an explicit backend.
+    pub fn with_backend(arch: ArchConfig, backend: B) -> Self {
         BitFusionSim {
             arch,
             energy: FusionEnergy::isca_45nm(),
             options: SimOptions::default(),
+            backend,
         }
     }
 
@@ -56,6 +85,11 @@ impl BitFusionSim {
     /// The calibration options.
     pub fn options(&self) -> &SimOptions {
         &self.options
+    }
+
+    /// The performance-model backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Compiles and evaluates a model at a batch size.
@@ -77,7 +111,10 @@ impl BitFusionSim {
             layers: plan
                 .layers
                 .iter()
-                .map(|l| evaluate_layer(l, &self.arch, &self.energy, &self.options))
+                .map(|l| {
+                    self.backend
+                        .evaluate_layer(l, &self.arch, &self.energy, &self.options)
+                })
                 .collect(),
         }
     }
@@ -122,5 +159,16 @@ mod tests {
         let a = sim.run(&model, 4).unwrap();
         let b = sim.run_plan(&plan);
         assert_eq!(a.total_cycles(), b.total_cycles());
+    }
+
+    #[test]
+    fn event_front_end_runs_and_reports_stalls() {
+        let sim = BitFusionSim::event(ArchConfig::isca_45nm());
+        assert_eq!(sim.backend().name(), "event");
+        let report = sim.run(&Benchmark::Rnn.model(), 1).unwrap();
+        let stalls = report.total_stalls();
+        // RNN at batch 1 is weight-bandwidth-bound: the timeline must show
+        // the array starving on DMA.
+        assert!(stalls.bandwidth_starved > 0, "{stalls:?}");
     }
 }

@@ -1,4 +1,5 @@
-//! The performance/energy evaluation of compiled blocks.
+//! The closed-form (analytic) performance/energy evaluation of compiled
+//! blocks — the fast path behind [`AnalyticBackend`](crate::AnalyticBackend).
 //!
 //! For each layer group the engine combines two sources of truth:
 //!
@@ -11,17 +12,23 @@
 //! Timing follows the decoupled-access model of §IV: `ld-mem`/`st-mem` DMA
 //! is double-buffered against compute, so a layer costs
 //! `max(compute, dma) + prologue + fill/drain`. This is what produces the
-//! bandwidth (Figure 15) and batch (Figure 16) sensitivities.
+//! bandwidth (Figure 15) and batch (Figure 16) sensitivities. The
+//! trace-driven [`EventBackend`](crate::EventBackend) models the same
+//! machine segment by segment; the two are cross-validated against each
+//! other (see `DESIGN.md`, "Simulation backends").
+//!
+//! The energy model ([`energy_for_layer`]) is shared by both backends, so
+//! backend choice affects timing detail only.
 
 use bitfusion_compiler::PlannedLayer;
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_energy::{
-    EnergyBreakdown, FusionEnergy, SramMacro, TechNode, DRAM_PJ_PER_BIT,
+    EnergyBreakdown, FusionEnergy, SramMacro, TechNode, DRAM_PJ_PER_BIT, POSTOP_OP_PJ,
 };
-use bitfusion_isa::walker::summarize;
+use bitfusion_isa::walker::{summarize, BlockSummary};
 use bitfusion_isa::Scratchpad;
 
-use crate::stats::LayerPerf;
+use crate::stats::{LayerPerf, StallBreakdown};
 
 /// Calibration knobs of the performance model, documented in DESIGN.md.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,45 +59,25 @@ fn postop_cycles(ops: u64, cols: u64) -> u64 {
     ops.div_ceil(cols.max(1))
 }
 
-/// Evaluates one compiled layer group on an architecture.
-pub fn evaluate_layer(
+/// The energy model shared by both simulation backends: datapath + RF from
+/// the mapping facts, buffer traffic from the mapping plus the block's DMA
+/// counts, DRAM from the summary. Backends differ in *timing* only, so the
+/// same block summary always yields the same energy.
+pub fn energy_for_layer(
     layer: &PlannedLayer,
     arch: &ArchConfig,
     energy_model: &FusionEnergy,
     opts: &SimOptions,
-) -> LayerPerf {
+    summary: &BlockSummary,
+) -> EnergyBreakdown {
     let m = &layer.mapping;
-    let summary = summarize(&layer.block);
-
-    // --- Compute timing. ---
-    let mac_cycles = m.compute_steps * m.temporal_cycles
-        + m.fill_passes * (arch.rows as u64 + arch.cols as u64);
-    let post_cycles = postop_cycles(m.postop_ops, m.cols);
-    // Post-processing units run concurrently with the array; the layer's
-    // compute time is whichever pipe is longer.
-    let compute_cycles =
-        ((mac_cycles.max(post_cycles)) as f64 / opts.systolic_efficiency).ceil() as u64;
-
-    // --- DMA timing. ---
-    let dram_bits = summary.dram_bits();
-    let effective_bw = arch.dram_bits_per_cycle as f64 * opts.dram_efficiency;
-    let dma_cycles = (dram_bits as f64 / effective_bw).ceil() as u64;
-
-    // Prologue: the first weight and input tiles cannot overlap with
-    // compute (nothing to compute yet).
-    let first_tiles_bits = layer.tile_plan.tiles.m * layer.tile_plan.tiles.k
-        * layer.gemm.pair.weight.bits() as u64
-        + layer.tile_plan.tiles.k * layer.tile_plan.tiles.n * layer.gemm.pair.input.bits() as u64;
-    let prologue = (first_tiles_bits as f64 / effective_bw).ceil() as u64;
-
-    let cycles = compute_cycles.max(dma_cycles) + prologue;
-
-    // --- Energy. ---
     let scale = opts.node.energy_scale_from_45();
-    let compute_pj = (m.macs as f64 * energy_model.mac_pj(layer.gemm.pair)
+    let compute_pj = (m.macs as f64 * energy_model.compute_mac_pj(layer.gemm.pair)
         // Post-op units: charge a register-scale op each.
-        + m.postop_ops as f64 * 0.05)
+        + m.postop_ops as f64 * POSTOP_OP_PJ)
         * scale;
+    // Fusion Unit output/pipeline registers: the Figure 14 "RF" category.
+    let rf_pj = m.macs as f64 * energy_model.rf_mac_pj(layer.gemm.pair) * scale;
 
     // Buffer energy: datapath reads plus DMA fill/drain traffic, charged at
     // whole physical accesses on each macro. The weight buffer is
@@ -115,7 +102,57 @@ pub fn evaluate_layer(
         + obuf.energy_for_bits_pj(obuf_bits))
         * scale;
 
-    let dram_pj = dram_bits as f64 * DRAM_PJ_PER_BIT * scale;
+    let dram_pj = summary.dram_bits() as f64 * DRAM_PJ_PER_BIT * scale;
+
+    EnergyBreakdown {
+        compute_pj,
+        buffer_pj,
+        rf_pj,
+        dram_pj,
+    }
+}
+
+/// Evaluates one compiled layer group on an architecture with the
+/// closed-form model (the [`AnalyticBackend`](crate::AnalyticBackend) path).
+pub fn evaluate_layer(
+    layer: &PlannedLayer,
+    arch: &ArchConfig,
+    energy_model: &FusionEnergy,
+    opts: &SimOptions,
+) -> LayerPerf {
+    let m = &layer.mapping;
+    let summary = summarize(&layer.block);
+
+    // --- Compute timing. ---
+    let fill_drain = m.fill_passes * (arch.rows as u64 + arch.cols as u64);
+    let mac_cycles = m.compute_steps * m.temporal_cycles + fill_drain;
+    let post_cycles = postop_cycles(m.postop_ops, m.cols);
+    // Post-processing units run concurrently with the array; the layer's
+    // compute time is whichever pipe is longer.
+    let compute_cycles =
+        ((mac_cycles.max(post_cycles)) as f64 / opts.systolic_efficiency).ceil() as u64;
+
+    // --- DMA timing. ---
+    let dram_bits = summary.dram_bits();
+    let effective_bw = arch.dram_bits_per_cycle as f64 * opts.dram_efficiency;
+    let dma_cycles = (dram_bits as f64 / effective_bw).ceil() as u64;
+
+    // Prologue: the first weight and input tiles cannot overlap with
+    // compute (nothing to compute yet).
+    let first_tiles_bits = layer.tile_plan.tiles.m * layer.tile_plan.tiles.k
+        * layer.gemm.pair.weight.bits() as u64
+        + layer.tile_plan.tiles.k * layer.tile_plan.tiles.n * layer.gemm.pair.input.bits() as u64;
+    let prologue = (first_tiles_bits as f64 / effective_bw).ceil() as u64;
+
+    let cycles = compute_cycles.max(dma_cycles) + prologue;
+
+    // Whole-layer stall estimate from the closed form: the slower pipe
+    // covers the faster one; the array also idles through the prologue.
+    let stalls = StallBreakdown {
+        bandwidth_starved: dma_cycles.saturating_sub(compute_cycles) + prologue,
+        compute_starved: compute_cycles.saturating_sub(dma_cycles),
+        fill_drain,
+    };
 
     LayerPerf {
         name: layer.name.clone(),
@@ -124,12 +161,9 @@ pub fn evaluate_layer(
         dma_cycles,
         dram_bits,
         macs: m.macs,
-        energy: EnergyBreakdown {
-            compute_pj,
-            buffer_pj,
-            rf_pj: 0.0,
-            dram_pj,
-        },
+        energy: energy_for_layer(layer, arch, energy_model, opts, &summary),
+        stalls,
+        occupancy: Default::default(),
     }
 }
 
@@ -214,7 +248,9 @@ mod tests {
             .sum();
         let [compute, buffers, rf, dram] = total.fractions();
         assert!(buffers + dram > 0.7, "buffers {buffers} dram {dram}");
-        assert_eq!(rf, 0.0);
+        // The Fusion Unit output registers are a small but nonzero RF
+        // sliver (Figure 14).
+        assert!(rf > 0.0 && rf < 0.05, "rf {rf}");
         assert!(compute < 0.3);
     }
 

@@ -1,0 +1,349 @@
+//! The trace-driven simulation backend.
+//!
+//! [`EventBackend`] consumes a compiled block as the segment stream of
+//! [`bitfusion_isa::walker::for_each_segment`] — one segment per iteration
+//! of the DMA-issuing tile loops — and advances explicit pipeline state
+//! across three engines of the §IV decoupled-access machine:
+//!
+//! * a **DMA engine** shared by `ld-mem`/`st-mem`: one transfer at a time
+//!   at the derated off-chip bandwidth, double-buffered per scratchpad — a
+//!   segment's loads may start while the *previous* segment computes, but
+//!   not before the segment-before-last released its buffer half;
+//! * the **systolic array**: a segment's MAC steps run back to back at the
+//!   block's temporal-cycle count, paying one fill/drain
+//!   (`rows + cols` cycles) per started pass, derated by
+//!   [`SimOptions::systolic_efficiency`];
+//! * the **post-op pipe**: the per-column activation/pooling units of
+//!   Figure 3, overlapping the array's next segment.
+//!
+//! Along the way it measures what the closed-form model can only estimate:
+//! per-layer stall attribution (bandwidth-starved vs compute-starved
+//! cycles) and double-buffered scratchpad occupancy highwater marks.
+//!
+//! DRAM traffic, MAC counts, and energy come from merging the very segments
+//! that drive the timing, so they are *identical* to the analytic backend's
+//! by construction — the cross-validation suite pins this, and pins cycle
+//! agreement within the `DESIGN.md` tolerance band.
+
+use bitfusion_compiler::PlannedLayer;
+use bitfusion_core::arch::ArchConfig;
+use bitfusion_energy::FusionEnergy;
+use bitfusion_isa::walker::{for_each_segment, BlockSummary, Segment};
+use bitfusion_isa::{ComputeFn, Scratchpad};
+
+use crate::backend::SimBackend;
+use crate::engine::{energy_for_layer, SimOptions};
+use crate::stats::{BufferOccupancy, LayerPerf, StallBreakdown};
+
+/// The trace-driven (segment-timeline) performance model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventBackend;
+
+/// Mutable pipeline state advanced one segment at a time.
+struct Timeline {
+    /// Cycle the DMA engine finishes its queued transfers.
+    dma_free: u64,
+    /// Cycle the array finished the previous segment's MACs.
+    compute_done_prev: u64,
+    /// Cycle the array finished the segment before last (when its double
+    /// buffer half became free for overwriting).
+    compute_done_prev2: u64,
+    /// Cycle the post-op pipe drains.
+    post_free: u64,
+    /// When the most recent produced outputs became store-ready.
+    data_ready: u64,
+    /// A store waiting to drain: `(cycles, ready_at)`. Stores are issued
+    /// one segment late so the next tile's load prefetch keeps priority on
+    /// the shared DMA engine (no head-of-line blocking behind data that is
+    /// still being computed).
+    pending_store: Option<(u64, u64)>,
+    /// Busy-cycle accumulators for the report.
+    dma_busy: u64,
+    compute_busy: u64,
+    stalls: StallBreakdown,
+    /// Per-scratchpad bits of the most recent DMA transfer (the other
+    /// double-buffer half, resident until the next transfer replaces it).
+    prev_resident: [u64; 3],
+    occupancy: BufferOccupancy,
+}
+
+impl Timeline {
+    fn new() -> Self {
+        Timeline {
+            dma_free: 0,
+            compute_done_prev: 0,
+            compute_done_prev2: 0,
+            post_free: 0,
+            data_ready: 0,
+            pending_store: None,
+            dma_busy: 0,
+            compute_busy: 0,
+            stalls: StallBreakdown::default(),
+            prev_resident: [0; 3],
+            occupancy: BufferOccupancy::default(),
+        }
+    }
+
+    /// Drains a deferred store through the DMA engine.
+    fn drain_pending_store(&mut self) {
+        if let Some((cycles, ready_at)) = self.pending_store.take() {
+            let start = self.dma_free.max(ready_at);
+            self.stalls.compute_starved += start - self.dma_free;
+            self.dma_busy += cycles;
+            self.dma_free = start + cycles;
+        }
+    }
+
+    /// End of the layer: all three pipes drained.
+    fn finish(&mut self) -> u64 {
+        self.drain_pending_store();
+        self.dma_free.max(self.compute_done_prev).max(self.post_free)
+    }
+}
+
+/// Static per-layer costs the timeline applies to every segment.
+struct SegmentCosts {
+    effective_bw: f64,
+    temporal_cycles: u64,
+    steps_per_pass: u64,
+    fill_cost: u64,
+    systolic_efficiency: f64,
+}
+
+impl SegmentCosts {
+    fn dma_cycles(&self, bits: u64) -> u64 {
+        if bits == 0 {
+            0
+        } else {
+            (bits as f64 / self.effective_bw).ceil() as u64
+        }
+    }
+
+    /// Array cycles for a segment's MAC steps: temporal cycles per step
+    /// plus one fill/drain per started systolic pass, derated by the
+    /// steady-state efficiency. Returns `(cycles, raw_fill_cycles)`.
+    fn compute_cycles(&self, mac_steps: u64) -> (u64, u64) {
+        if mac_steps == 0 {
+            return (0, 0);
+        }
+        let passes = mac_steps.div_ceil(self.steps_per_pass);
+        let fill = passes * self.fill_cost;
+        let raw = mac_steps * self.temporal_cycles + fill;
+        ((raw as f64 / self.systolic_efficiency).ceil() as u64, fill)
+    }
+
+    /// Post-op pipe cycles: one vector operation per cycle per column unit,
+    /// same steady-state derating as the array it is slaved to.
+    fn post_cycles(&self, post_steps: u64) -> u64 {
+        if post_steps == 0 {
+            0
+        } else {
+            (post_steps as f64 / self.systolic_efficiency).ceil() as u64
+        }
+    }
+}
+
+fn advance(t: &mut Timeline, seg: &Segment, costs: &SegmentCosts) {
+    let load_bits: u64 = seg.buffers.iter().map(|b| b.dma_load_bits).sum();
+    let store_bits: u64 = seg.buffers.iter().map(|b| b.dma_store_bits).sum();
+    let mac_steps = seg.compute_count(ComputeFn::Mac);
+    let post_steps = seg.compute_steps() - mac_steps;
+
+    // --- DMA engine: this segment's tile loads. The double buffer half
+    // being overwritten frees when the segment-before-last finished
+    // computing, so loads overlap the previous segment's compute only.
+    // Loads go ahead of the previous segment's deferred store: prefetch is
+    // latency-critical, the store is not.
+    let load_cycles = costs.dma_cycles(load_bits);
+    let load_done = if load_cycles > 0 {
+        let start = t.dma_free.max(t.compute_done_prev2);
+        t.stalls.compute_starved += start - t.dma_free;
+        t.dma_busy += load_cycles;
+        t.dma_free = start + load_cycles;
+        t.dma_free
+    } else {
+        0
+    };
+
+    // --- DMA engine: drain the previous segment's store behind this
+    // segment's prefetch (its data is ready by now).
+    t.drain_pending_store();
+
+    // --- Systolic array + post-op pipe.
+    if mac_steps > 0 || post_steps > 0 {
+        let (compute_cycles, fill) = costs.compute_cycles(mac_steps);
+        let start = load_done.max(t.compute_done_prev);
+        t.stalls.bandwidth_starved += start - t.compute_done_prev;
+        t.stalls.fill_drain += fill;
+        let compute_done = start + compute_cycles;
+        t.compute_busy += compute_cycles;
+        // Post-ops stream the finished vectors; the pipe may still be
+        // draining the previous segment.
+        let post_done = t.post_free.max(compute_done) + costs.post_cycles(post_steps);
+        t.post_free = post_done;
+        t.compute_done_prev2 = t.compute_done_prev;
+        t.compute_done_prev = compute_done;
+        t.data_ready = compute_done.max(post_done);
+    }
+
+    // --- Queue this segment's stores; they drain once its data is ready,
+    // behind the next segment's prefetch.
+    let store_cycles = costs.dma_cycles(store_bits);
+    if store_cycles > 0 {
+        t.pending_store = Some((store_cycles, t.data_ready));
+    }
+
+    // --- Occupancy: under double buffering, a tile stays resident until
+    // the *next* transfer into the same scratchpad replaces it — which may
+    // be many segments later when the load sits at an outer tile depth —
+    // so the peak pairs each transfer with the previous one into that
+    // buffer, not merely the previous segment.
+    for buffer in [Scratchpad::Ibuf, Scratchpad::Wbuf, Scratchpad::Obuf] {
+        let i = buffer.code() as usize;
+        let counts = seg.buffer(buffer);
+        // Outputs accumulate in OBUF until their `st-mem` drains them.
+        let resident = counts.dma_load_bits + counts.dma_store_bits;
+        if resident > 0 {
+            let peak = t.prev_resident[i] + resident;
+            t.occupancy.highwater_bits[i] = t.occupancy.highwater_bits[i].max(peak);
+            t.prev_resident[i] = resident;
+        }
+    }
+}
+
+impl SimBackend for EventBackend {
+    fn name(&self) -> &'static str {
+        "event"
+    }
+
+    fn evaluate_layer(
+        &self,
+        layer: &PlannedLayer,
+        arch: &ArchConfig,
+        energy: &FusionEnergy,
+        opts: &SimOptions,
+    ) -> LayerPerf {
+        let m = &layer.mapping;
+        let facts = layer.segment_facts();
+        let costs = SegmentCosts {
+            effective_bw: arch.dram_bits_per_cycle as f64 * opts.dram_efficiency,
+            temporal_cycles: m.temporal_cycles,
+            steps_per_pass: facts.steps_per_pass.max(1),
+            fill_cost: arch.rows as u64 + arch.cols as u64,
+            systolic_efficiency: opts.systolic_efficiency,
+        };
+
+        let mut timeline = Timeline::new();
+        let mut merged = BlockSummary::default();
+        for_each_segment(&layer.block, &mut |seg| {
+            advance(&mut timeline, seg, &costs);
+            merged.merge(seg);
+        });
+        debug_assert_eq!(
+            merged.compute_count(ComputeFn::Mac),
+            m.compute_steps,
+            "segment MAC steps must cover the mapping"
+        );
+
+        LayerPerf {
+            name: layer.name.clone(),
+            cycles: timeline.finish(),
+            compute_cycles: timeline.compute_busy,
+            dma_cycles: timeline.dma_busy,
+            dram_bits: merged.dram_bits(),
+            macs: m.macs,
+            energy: energy_for_layer(layer, arch, energy, opts, &merged),
+            stalls: timeline.stalls,
+            occupancy: timeline.occupancy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use bitfusion_compiler::compile;
+    use bitfusion_dnn::zoo::Benchmark;
+
+    fn eval_both(b: Benchmark, batch: u64) -> Vec<(LayerPerf, LayerPerf)> {
+        let arch = ArchConfig::isca_45nm();
+        let plan = compile(&b.model(), &arch, batch).unwrap();
+        let e = FusionEnergy::isca_45nm();
+        let o = SimOptions::default();
+        plan.layers
+            .iter()
+            .map(|l| {
+                (
+                    EventBackend.evaluate_layer(l, &arch, &e, &o),
+                    AnalyticBackend.evaluate_layer(l, &arch, &e, &o),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn traffic_macs_and_energy_match_analytic_exactly() {
+        for (ev, an) in eval_both(Benchmark::Svhn, 4) {
+            assert_eq!(ev.dram_bits, an.dram_bits, "{}", ev.name);
+            assert_eq!(ev.macs, an.macs, "{}", ev.name);
+            assert_eq!(ev.energy, an.energy, "{}", ev.name);
+        }
+    }
+
+    #[test]
+    fn stall_attribution_is_consistent() {
+        for (ev, _) in eval_both(Benchmark::Lstm, 1) {
+            // LSTM at batch 1 is bandwidth-bound: the array must wait on
+            // DMA far longer than the DMA waits on compute.
+            assert!(
+                ev.stalls.bandwidth_starved > ev.stalls.compute_starved,
+                "{}: {:?}",
+                ev.name,
+                ev.stalls
+            );
+            // Stall cycles never exceed the layer's total.
+            assert!(ev.stalls.bandwidth_starved <= ev.cycles, "{}", ev.name);
+        }
+    }
+
+    #[test]
+    fn occupancy_fits_the_scratchpads() {
+        let arch = ArchConfig::isca_45nm();
+        for b in [Benchmark::Cifar10, Benchmark::Lstm] {
+            let plan = compile(&b.model(), &arch, 16).unwrap();
+            let e = FusionEnergy::isca_45nm();
+            let o = SimOptions::default();
+            for l in &plan.layers {
+                let perf = EventBackend.evaluate_layer(l, &arch, &e, &o);
+                let occ = perf.occupancy;
+                assert!(occ.bits(Scratchpad::Ibuf) > 0, "{b}/{}", l.name);
+                assert!(occ.bits(Scratchpad::Wbuf) > 0, "{b}/{}", l.name);
+                assert!(
+                    occ.bits(Scratchpad::Ibuf) <= 8 * arch.ibuf_bytes as u64,
+                    "{b}/{}: {} bits in IBUF",
+                    l.name,
+                    occ.bits(Scratchpad::Ibuf)
+                );
+                assert!(
+                    occ.bits(Scratchpad::Wbuf) <= 8 * arch.wbuf_bytes as u64,
+                    "{b}/{}: {} bits in WBUF",
+                    l.name,
+                    occ.bits(Scratchpad::Wbuf)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_cycles_track_analytic_within_band() {
+        for b in [Benchmark::Svhn, Benchmark::Rnn] {
+            let (ev_total, an_total) = eval_both(b, 16).iter().fold(
+                (0u64, 0u64),
+                |(e, a), (ev, an)| (e + ev.cycles, a + an.cycles),
+            );
+            let rel = (ev_total as f64 - an_total as f64).abs() / an_total as f64;
+            assert!(rel < 0.25, "{b}: event {ev_total} vs analytic {an_total}");
+        }
+    }
+}

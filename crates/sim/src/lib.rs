@@ -6,25 +6,44 @@
 //! simulates the execution to calculate the cycle counts as well as the
 //! number of accesses to on-chip buffers and off-chip memory").
 //!
-//! * [`engine`] — per-layer evaluation: systolic compute timing (steps,
-//!   temporal cycles, fill/drain), double-buffered DMA overlap, bit-granular
-//!   buffer access counting, and the energy model;
-//! * [`accelerator`] — the [`BitFusionSim`] front end (compile + evaluate);
-//! * [`stats`] — [`PerfReport`]/[`LayerPerf`] result types.
+//! * [`backend`] — the pluggable [`SimBackend`] interface and the
+//!   closed-form [`AnalyticBackend`];
+//! * [`engine`] — the analytic per-layer evaluation: systolic compute
+//!   timing (steps, temporal cycles, fill/drain), double-buffered DMA
+//!   overlap, bit-granular buffer access counting, and the energy model
+//!   shared by all backends;
+//! * [`event`] — the trace-driven [`EventBackend`]: explicit
+//!   DMA/systolic/post-op pipeline state advanced over the block's tile
+//!   segments, with stall attribution and occupancy highwater marks;
+//! * [`accelerator`] — the [`BitFusionSim`] front end (compile + evaluate),
+//!   generic over the backend;
+//! * [`stats`] — [`PerfReport`]/[`LayerPerf`] result types plus
+//!   [`StallBreakdown`]/[`BufferOccupancy`];
+//! * [`sweep`] — the Figure 15/16 sensitivity sweeps, generic over the
+//!   backend.
 //!
-//! The DMA traffic comes from analytically walking the *actual compiled
-//! instruction blocks* (`bitfusion_isa::walker`), so the performance model
-//! and the ISA semantics cannot drift apart.
+//! The DMA traffic comes from walking the *actual compiled instruction
+//! blocks* (`bitfusion_isa::walker`) — summarized analytically for the
+//! analytic backend, streamed as tile segments for the event backend — so
+//! the performance models and the ISA semantics cannot drift apart, and the
+//! two backends are cross-validated bit-exactly on traffic and MACs (see
+//! `DESIGN.md`, "Simulation backends").
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod accelerator;
+pub mod backend;
 pub mod engine;
+pub mod event;
 pub mod stats;
 pub mod sweep;
 
 pub use accelerator::BitFusionSim;
-pub use engine::{evaluate_layer, SimOptions};
-pub use stats::{LayerPerf, PerfReport};
-pub use sweep::{bandwidth_sweep, batch_sweep, Sweep, SweepPoint};
+pub use backend::{AnalyticBackend, SimBackend, BACKEND_CYCLE_TOLERANCE};
+pub use engine::{energy_for_layer, evaluate_layer, SimOptions};
+pub use event::EventBackend;
+pub use stats::{BufferOccupancy, LayerPerf, PerfReport, StallBreakdown};
+pub use sweep::{
+    bandwidth_sweep, bandwidth_sweep_with, batch_sweep, batch_sweep_with, Sweep, SweepPoint,
+};

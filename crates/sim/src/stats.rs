@@ -1,8 +1,49 @@
-//! Simulation results: per-layer and whole-model performance/energy.
+//! Simulation results: per-layer and whole-model performance/energy, with
+//! stall attribution and buffer-occupancy detail from the trace-driven
+//! backend.
 
 use std::fmt;
 
 use bitfusion_energy::EnergyBreakdown;
+use bitfusion_isa::Scratchpad;
+
+/// Attribution of a layer's cycles to pipeline conditions.
+///
+/// The trace-driven backend measures these from the segment timeline; the
+/// analytic backend derives coarse whole-layer estimates from its closed
+/// form (see `DESIGN.md`, "Simulation backends").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StallBreakdown {
+    /// Cycles the systolic array sat idle waiting for off-chip data
+    /// (bandwidth-starved).
+    pub bandwidth_starved: u64,
+    /// Cycles the DMA engine sat idle with nothing to transfer because the
+    /// double buffers were still in use by compute (compute-starved).
+    pub compute_starved: u64,
+    /// Cycles spent filling/draining the systolic array between passes
+    /// (before efficiency derating).
+    pub fill_drain: u64,
+}
+
+/// Peak scratchpad residency over a layer's execution, in bits, under the
+/// double-buffered DMA model: per scratchpad, a tile stays resident until
+/// the next DMA transfer into that scratchpad replaces it, so the peak is
+/// the largest sum of two consecutive transfers.
+///
+/// Only the trace-driven backend fills this; the analytic model reports
+/// zeros (it never materializes per-tile state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferOccupancy {
+    /// Highwater bits per scratchpad, indexed by [`Scratchpad::code`].
+    pub highwater_bits: [u64; 3],
+}
+
+impl BufferOccupancy {
+    /// Highwater residency of one scratchpad.
+    pub fn bits(&self, buffer: Scratchpad) -> u64 {
+        self.highwater_bits[buffer.code() as usize]
+    }
+}
 
 /// Performance and energy of one compiled layer group (whole batch).
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +62,11 @@ pub struct LayerPerf {
     pub macs: u64,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
+    /// Stall attribution (measured by the event backend, estimated by the
+    /// analytic one).
+    pub stalls: StallBreakdown,
+    /// Peak scratchpad residency (event backend only).
+    pub occupancy: BufferOccupancy,
 }
 
 impl LayerPerf {
@@ -97,6 +143,15 @@ impl PerfReport {
     pub fn macs_per_cycle(&self) -> f64 {
         self.total_macs() as f64 / self.total_cycles() as f64
     }
+
+    /// Total stall attribution across layers.
+    pub fn total_stalls(&self) -> StallBreakdown {
+        self.layers.iter().fold(StallBreakdown::default(), |a, l| StallBreakdown {
+            bandwidth_starved: a.bandwidth_starved + l.stalls.bandwidth_starved,
+            compute_starved: a.compute_starved + l.stalls.compute_starved,
+            fill_drain: a.fill_drain + l.stalls.fill_drain,
+        })
+    }
 }
 
 impl fmt::Display for PerfReport {
@@ -143,6 +198,12 @@ mod tests {
                 rf_pj: 0.0,
                 dram_pj: 7.0,
             },
+            stalls: StallBreakdown {
+                bandwidth_starved: 10,
+                compute_starved: 5,
+                fill_drain: 2,
+            },
+            occupancy: BufferOccupancy::default(),
         }
     }
 
@@ -165,6 +226,25 @@ mod tests {
         assert!((r.runtime_ms() - 400.0 / 500e3).abs() < 1e-12);
         assert!((r.total_energy().total_pj() - 20.0).abs() < 1e-12);
         assert!((r.energy_per_input().total_pj() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_totals_sum_layers() {
+        let r = report();
+        let s = r.total_stalls();
+        assert_eq!(s.bandwidth_starved, 20);
+        assert_eq!(s.compute_starved, 10);
+        assert_eq!(s.fill_drain, 4);
+    }
+
+    #[test]
+    fn occupancy_indexes_by_scratchpad() {
+        let o = BufferOccupancy {
+            highwater_bits: [10, 20, 30],
+        };
+        assert_eq!(o.bits(Scratchpad::Ibuf), 10);
+        assert_eq!(o.bits(Scratchpad::Wbuf), 20);
+        assert_eq!(o.bits(Scratchpad::Obuf), 30);
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Reusable parameter sweeps: the bandwidth (Figure 15) and batch
 //! (Figure 16) sensitivity studies as library functions, shared by the
 //! bench harnesses, the CLI, and downstream users.
+//!
+//! Every sweep is generic over the [`SimBackend`]; the plain functions run
+//! the cheap [`AnalyticBackend`] (a sweep multiplies simulation count by
+//! its point count), and the `*_with` variants accept any backend — e.g.
+//! the trace-driven [`EventBackend`](crate::EventBackend) for a
+//! high-fidelity pass over the interesting points.
 
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_dnn::model::Model;
 
 use crate::accelerator::BitFusionSim;
+use crate::backend::{AnalyticBackend, SimBackend};
 use crate::stats::PerfReport;
 
 /// One point of a sweep: the swept value and the resulting report.
@@ -66,12 +73,14 @@ impl<T: Copy + PartialEq> Sweep<T> {
     }
 }
 
-/// Sweeps off-chip bandwidth (bits/cycle) at a fixed batch size (Figure 15).
+/// Sweeps off-chip bandwidth (bits/cycle) at a fixed batch size (Figure 15)
+/// on an explicit backend.
 ///
 /// # Errors
 ///
 /// Propagates compilation failures.
-pub fn bandwidth_sweep(
+pub fn bandwidth_sweep_with<B: SimBackend + Clone>(
+    backend: &B,
     base_arch: &ArchConfig,
     model: &Model,
     batch: u64,
@@ -79,7 +88,8 @@ pub fn bandwidth_sweep(
 ) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
     let mut points = Vec::with_capacity(bandwidths.len());
     for &bw in bandwidths {
-        let sim = BitFusionSim::new(base_arch.clone().with_bandwidth(bw));
+        let sim =
+            BitFusionSim::with_backend(base_arch.clone().with_bandwidth(bw), backend.clone());
         points.push(SweepPoint {
             value: bw,
             report: sim.run(model, batch)?,
@@ -91,17 +101,33 @@ pub fn bandwidth_sweep(
     })
 }
 
-/// Sweeps batch size at a fixed architecture (Figure 16).
+/// Sweeps off-chip bandwidth on the analytic backend (the fast default).
 ///
 /// # Errors
 ///
 /// Propagates compilation failures.
-pub fn batch_sweep(
+pub fn bandwidth_sweep(
+    base_arch: &ArchConfig,
+    model: &Model,
+    batch: u64,
+    bandwidths: &[u32],
+) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
+    bandwidth_sweep_with(&AnalyticBackend, base_arch, model, batch, bandwidths)
+}
+
+/// Sweeps batch size at a fixed architecture (Figure 16) on an explicit
+/// backend.
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn batch_sweep_with<B: SimBackend + Clone>(
+    backend: &B,
     arch: &ArchConfig,
     model: &Model,
     batches: &[u64],
 ) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
-    let sim = BitFusionSim::new(arch.clone());
+    let sim = BitFusionSim::with_backend(arch.clone(), backend.clone());
     let mut points = Vec::with_capacity(batches.len());
     for &batch in batches {
         points.push(SweepPoint {
@@ -113,6 +139,19 @@ pub fn batch_sweep(
         model_name: model.name.clone(),
         points,
     })
+}
+
+/// Sweeps batch size on the analytic backend (the fast default).
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn batch_sweep(
+    arch: &ArchConfig,
+    model: &Model,
+    batches: &[u64],
+) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
+    batch_sweep_with(&AnalyticBackend, arch, model, batches)
 }
 
 #[cfg(test)]
@@ -146,5 +185,22 @@ mod tests {
         let arch = ArchConfig::isca_45nm();
         let sweep = batch_sweep(&arch, &Benchmark::Lstm.model(), &[1, 4]).unwrap();
         let _ = sweep.speedups_vs(999);
+    }
+
+    #[test]
+    fn event_backend_sweep_shows_the_same_sensitivity() {
+        use crate::event::EventBackend;
+        let arch = ArchConfig::isca_45nm();
+        let sweep = bandwidth_sweep_with(
+            &EventBackend,
+            &arch,
+            &Benchmark::Rnn.model(),
+            16,
+            &[32, 128, 512],
+        )
+        .unwrap();
+        let speedups = sweep.speedups_vs(128);
+        assert!(speedups[0].1 < 1.0, "{speedups:?}");
+        assert!(speedups[2].1 > 1.0, "{speedups:?}");
     }
 }

@@ -17,9 +17,13 @@ use std::process::ExitCode;
 use bitfusion::baselines::{EyerissSim, GpuMode, GpuModel, StripesSim};
 use bitfusion::compiler::compile;
 use bitfusion::core::arch::ArchConfig;
+use bitfusion::dnn::model::Model;
 use bitfusion::dnn::zoo::Benchmark;
 use bitfusion::isa::asm::format_block;
-use bitfusion::sim::{bandwidth_sweep, batch_sweep, BitFusionSim};
+use bitfusion::sim::{
+    bandwidth_sweep_with, batch_sweep_with, AnalyticBackend, BitFusionSim, EventBackend,
+    PerfReport,
+};
 
 fn usage() -> &'static str {
     "bitfusion-cli — Bit Fusion (ISCA 2018) reproduction driver
@@ -27,9 +31,14 @@ fn usage() -> &'static str {
 USAGE:
   bitfusion-cli list
   bitfusion-cli report  <benchmark> [--batch N] [--bandwidth BITS] [--arch 45nm|16nm|stripes]
-  bitfusion-cli compare <benchmark> [--batch N]
+                        [--backend analytic|event]
+  bitfusion-cli compare <benchmark> [--batch N] [--backend analytic|event]
   bitfusion-cli asm     <benchmark> [--layer NAME] [--batch N]
-  bitfusion-cli sweep   <benchmark> (--batch | --bandwidth)
+  bitfusion-cli sweep   <benchmark> (--batch | --bandwidth) [--backend analytic|event]
+
+The `event` backend runs the trace-driven timing model on the Bit Fusion
+side of each command; `report` additionally prints its stall attribution
+(bandwidth- vs compute-starved cycles).
 
 BENCHMARKS:
   alexnet cifar-10 lstm lenet-5 resnet-18 rnn svhn vgg-7 (case-insensitive)"
@@ -47,6 +56,7 @@ struct Args {
     batch: u64,
     bandwidth: Option<u32>,
     arch: String,
+    backend: String,
     layer: Option<String>,
     sweep_batch: bool,
     sweep_bandwidth: bool,
@@ -58,6 +68,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         batch: 16,
         bandwidth: None,
         arch: "45nm".into(),
+        backend: "analytic".into(),
         layer: None,
         sweep_batch: false,
         sweep_bandwidth: false,
@@ -85,12 +96,28 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.sweep_bandwidth = true;
             }
             "--arch" => args.arch = it.next().ok_or("--arch needs a value")?.clone(),
+            "--backend" => args.backend = it.next().ok_or("--backend needs a value")?.clone(),
             "--layer" => args.layer = Some(it.next().ok_or("--layer needs a value")?.clone()),
             other if !other.starts_with("--") => args.positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if !matches!(args.backend.as_str(), "analytic" | "event") {
+        return Err(format!(
+            "unknown backend `{}` (analytic|event)",
+            args.backend
+        ));
+    }
     Ok(args)
+}
+
+/// Runs a model on the Bit Fusion simulator with the selected backend.
+fn run_sim(arch: ArchConfig, model: &Model, batch: u64, backend: &str) -> Result<PerfReport, String> {
+    match backend {
+        "event" => BitFusionSim::event(arch).run(model, batch),
+        _ => BitFusionSim::new(arch).run(model, batch),
+    }
+    .map_err(|e| e.to_string())
 }
 
 fn arch_for(args: &Args) -> Result<ArchConfig, String> {
@@ -130,20 +157,25 @@ fn cmd_list() {
 
 fn cmd_report(b: Benchmark, args: &Args) -> Result<(), String> {
     let arch = arch_for(args)?;
-    let sim = BitFusionSim::new(arch);
-    let report = sim.run(&b.model(), args.batch).map_err(|e| e.to_string())?;
+    let report = run_sim(arch, &b.model(), args.batch, &args.backend)?;
     print!("{report}");
     println!(
         "dram traffic: {:.2} Mb/input; energy/input: {}",
         report.total_dram_bits() as f64 / report.batch as f64 / 1e6,
         report.energy_per_input()
     );
+    if args.backend == "event" {
+        let s = report.total_stalls();
+        println!(
+            "stalls: {} cycles bandwidth-starved, {} compute-starved, {} fill/drain",
+            s.bandwidth_starved, s.compute_starved, s.fill_drain
+        );
+    }
     Ok(())
 }
 
 fn cmd_compare(b: Benchmark, args: &Args) -> Result<(), String> {
-    let bf = BitFusionSim::new(ArchConfig::isca_45nm());
-    let r = bf.run(&b.model(), args.batch).map_err(|e| e.to_string())?;
+    let r = run_sim(ArchConfig::isca_45nm(), &b.model(), args.batch, &args.backend)?;
     println!(
         "{} (batch {}): BitFusion-45nm {:.3} ms/input, {}",
         b.name(),
@@ -157,8 +189,12 @@ fn cmd_compare(b: Benchmark, args: &Args) -> Result<(), String> {
         ey.latency_ms_per_input() / r.latency_ms_per_input(),
         ey.energy.total_pj() / r.total_energy().total_pj()
     );
-    let bf_st = BitFusionSim::new(ArchConfig::stripes_matched());
-    let rs = bf_st.run(&b.model(), args.batch).map_err(|e| e.to_string())?;
+    let rs = run_sim(
+        ArchConfig::stripes_matched(),
+        &b.model(),
+        args.batch,
+        &args.backend,
+    )?;
     let st = StripesSim::default().run(&b.model(), args.batch);
     println!(
         "  vs Stripes: {:.2}x faster, {:.2}x less energy",
@@ -166,8 +202,7 @@ fn cmd_compare(b: Benchmark, args: &Args) -> Result<(), String> {
         st.energy.total_pj() / rs.total_energy().total_pj()
     );
     let tx2 = GpuModel::tegra_x2().run(&b.reference_model(), args.batch, GpuMode::Fp32);
-    let bf16 = BitFusionSim::new(ArchConfig::gpu_16nm());
-    let r16 = bf16.run(&b.model(), args.batch).map_err(|e| e.to_string())?;
+    let r16 = run_sim(ArchConfig::gpu_16nm(), &b.model(), args.batch, &args.backend)?;
     println!(
         "  vs Tegra X2 (16 nm config): {:.1}x faster at 0.895 W",
         tx2.latency_ms_per_input() / r16.latency_ms_per_input()
@@ -191,18 +226,37 @@ fn cmd_asm(b: Benchmark, args: &Args) -> Result<(), String> {
 
 fn cmd_sweep(b: Benchmark, args: &Args) -> Result<(), String> {
     let arch = ArchConfig::isca_45nm();
+    let event = args.backend == "event";
     if args.sweep_bandwidth {
-        let sweep = bandwidth_sweep(&arch, &b.model(), 16, &[32, 64, 128, 256, 512])
-            .map_err(|e| e.to_string())?;
-        println!("{} bandwidth sweep (batch 16, vs 128 b/cyc):", b.name());
+        let bws = [32, 64, 128, 256, 512];
+        let sweep = if event {
+            bandwidth_sweep_with(&EventBackend, &arch, &b.model(), 16, &bws)
+        } else {
+            bandwidth_sweep_with(&AnalyticBackend, &arch, &b.model(), 16, &bws)
+        }
+        .map_err(|e| e.to_string())?;
+        println!(
+            "{} bandwidth sweep (batch 16, {} backend, vs 128 b/cyc):",
+            b.name(),
+            args.backend
+        );
         for (bw, s) in sweep.speedups_vs(128) {
             println!("  {bw:>4} bits/cycle: {s:5.2}x");
         }
         return Ok(());
     }
-    let sweep =
-        batch_sweep(&arch, &b.model(), &[1, 4, 16, 64, 256]).map_err(|e| e.to_string())?;
-    println!("{} batch sweep (per-input speedup vs batch 1):", b.name());
+    let batches = [1, 4, 16, 64, 256];
+    let sweep = if event {
+        batch_sweep_with(&EventBackend, &arch, &b.model(), &batches)
+    } else {
+        batch_sweep_with(&AnalyticBackend, &arch, &b.model(), &batches)
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{} batch sweep (per-input speedup vs batch 1, {} backend):",
+        b.name(),
+        args.backend
+    );
     for (batch, s) in sweep.per_input_speedups_vs(1) {
         println!("  batch {batch:>3}: {s:5.2}x");
     }

@@ -2,11 +2,17 @@
 //!
 //! Every zoo network flows through the full stack — DNN IR → compiler →
 //! Fusion-ISA (encode/decode round trip) → cycle-level simulator → energy
-//! report — and the resulting cycle counts, MAC counts, DRAM traffic,
-//! scratchpad access counts, dynamic/static instruction counts, and energy
-//! totals are pinned against golden values. Any future change to the
-//! compiler's tiling, the ISA's semantics, or the simulator's timing/energy
-//! models that shifts these numbers must update this table *consciously*.
+//! report — and the resulting cycle counts (from *both* simulation
+//! backends), MAC counts, DRAM traffic, scratchpad access counts,
+//! dynamic/static instruction counts, and energy totals are pinned against
+//! golden values. Any future change to the compiler's tiling, the ISA's
+//! semantics, or the simulator's timing/energy models that shifts these
+//! numbers must update this table *consciously*.
+//!
+//! The harness runs the analytic and the trace-driven backend side by side:
+//! their DRAM traffic, MACs, and energy must agree bit-exactly, and their
+//! cycle totals within the documented tolerance band (see `DESIGN.md` and
+//! `tests/backend_cross_validation.rs`).
 //!
 //! The harness also pins the bit-exactness invariant (Equations 1–3 of the
 //! paper): for every network, every layer's fused multiply-accumulate result
@@ -25,7 +31,7 @@ use bitfusion::core::util::SplitMix64;
 use bitfusion::dnn::zoo::Benchmark;
 use bitfusion::isa::encode::{decode_block, encode_block};
 use bitfusion::isa::walker::summarize;
-use bitfusion::sim::BitFusionSim;
+use bitfusion::sim::{BitFusionSim, BACKEND_CYCLE_TOLERANCE};
 
 /// The batch size every golden row is pinned at (the paper's evaluation
 /// batch).
@@ -45,8 +51,10 @@ struct Golden {
     buf_reads: u64,
     /// Scratchpad accesses: `wr-buf` executions across all buffers.
     buf_writes: u64,
-    /// Simulated cycles for the whole batch.
+    /// Simulated cycles for the whole batch (analytic backend).
     cycles: u64,
+    /// Simulated cycles for the whole batch (trace-driven event backend).
+    event_cycles: u64,
     /// Multiply-accumulates (must equal model MACs × batch).
     macs: u64,
     /// Off-chip traffic in bits.
@@ -65,6 +73,7 @@ const GOLDEN: [Golden; 8] = [
         buf_reads: 34444800,
         buf_writes: 2637760,
         cycles: 30893926,
+        event_cycles: 30912032,
         macs: 42857677824,
         dram_bits: 1756654904,
         energy_pj: 43681933522.45572,
@@ -77,6 +86,7 @@ const GOLDEN: [Golden; 8] = [
         buf_reads: 3052544,
         buf_writes: 460816,
         cycles: 2773513,
+        event_cycles: 2798654,
         macs: 9871458304,
         dram_bits: 73789696,
         energy_pj: 2262145423.533023,
@@ -89,6 +99,7 @@ const GOLDEN: [Golden; 8] = [
         buf_reads: 216000,
         buf_writes: 7200,
         cycles: 594002,
+        event_cycles: 589942,
         macs: 207360000,
         dram_bits: 52761600,
         energy_pj: 1111880554.7466285,
@@ -101,6 +112,7 @@ const GOLDEN: [Golden; 8] = [
         buf_reads: 114752,
         buf_writes: 38672,
         cycles: 161274,
+        event_cycles: 157600,
         macs: 222142464,
         dram_bits: 8144192,
         energy_pj: 211180483.87859634,
@@ -113,6 +125,7 @@ const GOLDEN: [Golden; 8] = [
         buf_reads: 20085184,
         buf_writes: 5475568,
         cycles: 24542653,
+        event_cycles: 24605436,
         macs: 63884328960,
         dram_bits: 1402598256,
         energy_pj: 37249882856.678185,
@@ -125,6 +138,7 @@ const GOLDEN: [Golden; 8] = [
         buf_reads: 262144,
         buf_writes: 65536,
         cycles: 806401,
+        event_cycles: 805718,
         macs: 268435456,
         dram_bits: 71696384,
         energy_pj: 1516598291.2092762,
@@ -137,6 +151,7 @@ const GOLDEN: [Golden; 8] = [
         buf_reads: 1004544,
         buf_writes: 231440,
         cycles: 948750,
+        event_cycles: 946023,
         macs: 2528280576,
         dram_bits: 19753728,
         energy_pj: 643948369.9333004,
@@ -149,6 +164,7 @@ const GOLDEN: [Golden; 8] = [
         buf_reads: 1769536,
         buf_writes: 360464,
         cycles: 1880289,
+        event_cycles: 1920124,
         macs: 4994531328,
         dram_bits: 91202176,
         energy_pj: 2590077357.4979696,
@@ -162,6 +178,7 @@ const GOLDEN: [Golden; 8] = [
 fn observe(b: Benchmark) -> Golden {
     let arch = ArchConfig::isca_45nm();
     let sim = BitFusionSim::new(arch.clone());
+    let event_sim = BitFusionSim::event(arch.clone());
     let model = b.model();
     let plan = compile(&model, &arch, BATCH).expect("zoo model compiles");
 
@@ -192,6 +209,18 @@ fn observe(b: Benchmark) -> Golden {
         "{b}: MACs must be conserved through the stack"
     );
 
+    // Both backends over the same plan. The bit-exact traffic/MAC/energy
+    // contract is owned by tests/backend_cross_validation.rs; here we pin
+    // both cycle totals and check the shared tolerance band.
+    let event_report = event_sim.run_plan(&plan);
+    let rel = (event_report.total_cycles() as f64 - report.total_cycles() as f64).abs()
+        / report.total_cycles() as f64;
+    assert!(
+        rel <= BACKEND_CYCLE_TOLERANCE,
+        "{b}: backend cycle models diverge {:.1}%",
+        rel * 100.0
+    );
+
     Golden {
         name: b.name(),
         layers: plan.layers.len(),
@@ -200,6 +229,7 @@ fn observe(b: Benchmark) -> Golden {
         buf_reads,
         buf_writes,
         cycles: report.total_cycles(),
+        event_cycles: event_report.total_cycles(),
         macs: report.total_macs(),
         dram_bits: report.total_dram_bits(),
         energy_pj: report.total_energy().total_pj(),
@@ -229,7 +259,11 @@ fn golden_end_to_end_fingerprints() {
         );
         assert_eq!(got.buf_reads, golden.buf_reads, "{b}: rd-buf access count");
         assert_eq!(got.buf_writes, golden.buf_writes, "{b}: wr-buf access count");
-        assert_eq!(got.cycles, golden.cycles, "{b}: simulated cycles");
+        assert_eq!(got.cycles, golden.cycles, "{b}: simulated cycles (analytic)");
+        assert_eq!(
+            got.event_cycles, golden.event_cycles,
+            "{b}: simulated cycles (event backend)"
+        );
         assert_eq!(got.macs, golden.macs, "{b}: MAC count");
         assert_eq!(got.dram_bits, golden.dram_bits, "{b}: DRAM traffic");
         let rel = (got.energy_pj - golden.energy_pj).abs() / golden.energy_pj.max(1.0);
@@ -281,6 +315,9 @@ fn golden_bit_exactness_per_network() {
 #[test]
 #[ignore = "regeneration helper, run with --ignored --nocapture"]
 fn print_golden_table() {
+    // Leading newline: the libtest harness prints "test ... " without a
+    // newline first, and the CI drift check greps for `^const GOLDEN`.
+    println!();
     println!("const GOLDEN: [Golden; 8] = [");
     for b in Benchmark::ALL {
         let g = observe(b);
@@ -292,6 +329,7 @@ fn print_golden_table() {
         println!("        buf_reads: {},", g.buf_reads);
         println!("        buf_writes: {},", g.buf_writes);
         println!("        cycles: {},", g.cycles);
+        println!("        event_cycles: {},", g.event_cycles);
         println!("        macs: {},", g.macs);
         println!("        dram_bits: {},", g.dram_bits);
         println!("        energy_pj: {:?},", g.energy_pj);
