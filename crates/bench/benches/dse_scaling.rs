@@ -1,0 +1,111 @@
+//! DSE engine scaling: the sharded explorer vs its own sequential path.
+//!
+//! Runs the same design-space exploration twice — `workers = 1` (the
+//! sequential baseline: no threads, no queue) and `workers = all cores` —
+//! over a geometry × bandwidth grid crossed with four zoo networks, and
+//! reports the wall-clock speedup. On a ≥4-core runner the sharded engine
+//! must beat the sequential path by ≥2×; the run also cross-checks that
+//! both worker counts produce the identical Pareto frontier (the engine's
+//! determinism contract).
+//!
+//! `cargo bench -p bitfusion-bench --bench dse_scaling` (add `-- --test`
+//! for the CI smoke run, which shrinks the grid and skips the assertion).
+
+use std::time::Instant;
+
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::grid::ArchGrid;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::sim::pool::default_workers;
+use bitfusion::sim::{explore, AnalyticBackend, DseResult, DseSpec, SimOptions};
+
+fn spec(test_mode: bool) -> DseSpec {
+    let grid = if test_mode {
+        ArchGrid {
+            rows: vec![16, 32],
+            dram_bits_per_cycle: vec![64, 128],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        }
+    } else {
+        ArchGrid {
+            rows: vec![16, 32],
+            cols: vec![8, 16],
+            dram_bits_per_cycle: vec![64, 128, 256, 512],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        }
+    };
+    let networks = if test_mode {
+        vec![Benchmark::Lstm, Benchmark::Rnn]
+    } else {
+        vec![
+            Benchmark::Svhn,
+            Benchmark::Cifar10,
+            Benchmark::Lstm,
+            Benchmark::Rnn,
+        ]
+    };
+    DseSpec {
+        grid,
+        models: networks.iter().map(|b| b.model()).collect(),
+        batches: vec![16],
+        options: SimOptions::default(),
+    }
+}
+
+fn timed(spec: &DseSpec, workers: usize, iterations: u32) -> (f64, DseResult) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        let r = explore(spec, &AnalyticBackend, workers);
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (best, result.expect("at least one iteration"))
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let cores = default_workers();
+    let spec = spec(test_mode);
+    let iterations = if test_mode { 1 } else { 2 };
+
+    println!(
+        "DSE scaling: {} archs x {} networks = {} points on {cores} core(s)",
+        spec.grid.len(),
+        spec.models.len(),
+        spec.len()
+    );
+
+    let (t_seq, r_seq) = timed(&spec, 1, iterations);
+    let (t_par, r_par) = timed(&spec, cores, iterations);
+
+    // Determinism contract: any worker count, identical frontier.
+    let f_seq = r_seq.pareto_frontier();
+    let f_par = r_par.pareto_frontier();
+    assert_eq!(f_seq.len(), f_par.len(), "frontier size diverged");
+    for (a, b) in f_seq.iter().zip(&f_par) {
+        assert_eq!(a.arch, b.arch, "frontier membership diverged");
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    let speedup = t_seq / t_par;
+    println!(
+        "  sequential (1 worker):   {:8.1} ms  ({} compiles, {} cached points)",
+        t_seq * 1e3,
+        r_seq.compile_misses,
+        r_seq.compile_hits
+    );
+    println!("  sharded ({cores:>2} workers):   {:8.1} ms", t_par * 1e3);
+    println!("  speedup: {speedup:.2}x (frontier: {} architectures, identical)", f_seq.len());
+
+    if !test_mode && cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "sharded DSE must be >=2x the sequential path on {cores} cores, got {speedup:.2}x"
+        );
+        println!("  PASS: >=2x on {cores} cores");
+    } else {
+        println!("  (2x assertion requires >=4 cores and a full run; skipped)");
+    }
+}

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use bitfusion_core::error::CoreError;
 use bitfusion_isa::IsaError;
 
 /// Errors produced while compiling a model to Fusion-ISA blocks.
@@ -25,6 +26,9 @@ pub enum CompileError {
     Emit(IsaError),
     /// Batch size must be at least one.
     ZeroBatch,
+    /// The target architecture fails [`bitfusion_core::arch::ArchConfig::validate`]
+    /// (zero geometry, zero buffers, non-power-of-two access width).
+    InvalidArch(CoreError),
 }
 
 impl fmt::Display for CompileError {
@@ -36,6 +40,7 @@ impl fmt::Display for CompileError {
             CompileError::EmptyModel => write!(f, "model has no multiply-add layers"),
             CompileError::Emit(e) => write!(f, "block emission failed: {e}"),
             CompileError::ZeroBatch => write!(f, "batch size must be at least 1"),
+            CompileError::InvalidArch(e) => write!(f, "invalid target architecture: {e}"),
         }
     }
 }
@@ -44,6 +49,7 @@ impl Error for CompileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CompileError::Emit(e) => Some(e),
+            CompileError::InvalidArch(e) => Some(e),
             _ => None,
         }
     }
@@ -65,6 +71,9 @@ mod tests {
         assert!(e.to_string().contains("1x2x3"));
         assert!(e.source().is_none());
         let e = CompileError::from(IsaError::ZeroTripLoop(4));
+        assert!(e.source().is_some());
+        let e = CompileError::InvalidArch(CoreError::EmptyArray);
+        assert!(e.to_string().contains("invalid target architecture"));
         assert!(e.source().is_some());
     }
 }

@@ -354,7 +354,7 @@ mod tests {
         postops: &[PostOp],
     ) -> (InstructionBlock, Mapping, ArchConfig) {
         let arch = ArchConfig::isca_45nm();
-        let plan = choose_tiling(l, &arch).unwrap();
+        let plan = choose_tiling(l, &arch, 0).unwrap();
         let input = LowerInput {
             name: "test",
             layer: l,
@@ -394,7 +394,7 @@ mod tests {
     fn walker_dram_bits_match_cost_model() {
         let arch = ArchConfig::isca_45nm();
         let l = layer(512, 4608, 2916, 2, 2);
-        let plan = choose_tiling(&l, &arch).unwrap();
+        let plan = choose_tiling(&l, &arch, 0).unwrap();
         let input = LowerInput {
             name: "t",
             layer: &l,

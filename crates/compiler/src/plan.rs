@@ -107,7 +107,10 @@ pub fn compile(
         let mac = &model.layers[group.mac_index].layer;
         let gemm = layer_to_gemm(mac, batch, output_bits_of(gi))
             .expect("fused groups are headed by MAC layers");
-        let tile_plan: TilePlan = choose_tiling(&gemm, arch)?;
+        // Fused residual streams ride the input buffer: reserve IBUF
+        // headroom for them when picking tiles (see `choose_tiling`).
+        let residual_bits: u64 = group.postops.iter().map(PostOp::extra_input_bits).sum();
+        let tile_plan: TilePlan = choose_tiling(&gemm, arch, residual_bits)?;
         let next = if gi + 1 == groups.len() { 0 } else { (gi + 1) as u16 };
         let input = LowerInput {
             name: &group.name,

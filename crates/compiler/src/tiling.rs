@@ -100,11 +100,31 @@ pub struct TilePlan {
     pub traffic: Traffic,
 }
 
+/// Bits a fused residual stream adds to each IBUF-carrying tile iteration.
+///
+/// Residual-add groups stream a second input tensor through IBUF alongside
+/// the regular input tile: `residual_bits` total bits, loaded at the layer's
+/// input precision, spread evenly over the `tk × tn` input-tile iterations
+/// (the same split the lowering emits). Returns 0 when the group carries no
+/// residual.
+pub fn residual_tile_bits(layer: &GemmLayer, tiles: TileSizes, residual_bits: u64) -> u64 {
+    if residual_bits == 0 {
+        return 0;
+    }
+    let i_bits = layer.pair.input.bits() as u64;
+    let tk = layer.shape.k.div_ceil(tiles.k);
+    let tn = layer.shape.n.div_ceil(tiles.n);
+    residual_bits.div_ceil(i_bits).div_ceil(tk * tn).max(1) * i_bits
+}
+
 /// Whether a tiling fits the scratchpads (inputs and weights double-buffered,
-/// outputs held as 32-bit partials).
-pub fn fits(layer: &GemmLayer, tiles: TileSizes, arch: &ArchConfig) -> bool {
+/// outputs held as 32-bit partials). `residual_bits` is the total size of any
+/// fused residual stream, which rides the input buffer and must share its
+/// double-buffered halves with the regular input tiles.
+pub fn fits(layer: &GemmLayer, tiles: TileSizes, arch: &ArchConfig, residual_bits: u64) -> bool {
     let w_bits = tiles.m * tiles.k * layer.pair.weight.bits() as u64;
-    let i_bits = tiles.k * tiles.n * layer.pair.input.bits() as u64;
+    let i_bits = tiles.k * tiles.n * layer.pair.input.bits() as u64
+        + residual_tile_bits(layer, tiles, residual_bits);
     let o_bits = tiles.m * tiles.n * 32;
     w_bits <= (arch.wbuf_bytes as u64) * 8 / 2
         && i_bits <= (arch.ibuf_bytes as u64) * 8 / 2
@@ -127,12 +147,20 @@ fn candidates(dim: u64, quantum: u64) -> Vec<u64> {
 ///
 /// Tile candidates are powers of two scaled from the array's natural quanta
 /// (columns for `m`, reduction lanes for `k`) plus the full dimensions.
+/// `residual_bits` reserves IBUF headroom for a fused residual stream (the
+/// second input tensor of residual-add groups) so the chosen tiles leave
+/// room for both streams in the double-buffered input scratchpad; pass 0
+/// for residual-free groups.
 ///
 /// # Errors
 ///
 /// Returns [`CompileError::NoFeasibleTiling`] when even the smallest tile
 /// does not fit (pathologically small buffer configuration).
-pub fn choose_tiling(layer: &GemmLayer, arch: &ArchConfig) -> Result<TilePlan, CompileError> {
+pub fn choose_tiling(
+    layer: &GemmLayer,
+    arch: &ArchConfig,
+    residual_bits: u64,
+) -> Result<TilePlan, CompileError> {
     let lanes = (arch.rows as u64) * layer.pair.fused_pes_per_unit() as u64;
     let cols = arch.cols as u64;
     let s = layer.shape;
@@ -141,7 +169,7 @@ pub fn choose_tiling(layer: &GemmLayer, arch: &ArchConfig) -> Result<TilePlan, C
         for &k_t in &candidates(s.k, lanes) {
             for &n_t in &candidates(s.n, 1) {
                 let tiles = TileSizes { m: m_t, k: k_t, n: n_t };
-                if !fits(layer, tiles, arch) {
+                if !fits(layer, tiles, arch, residual_bits) {
                     continue;
                 }
                 for order in LoopOrder::ALL {
@@ -194,7 +222,7 @@ mod tests {
     fn small_gemm_untiled() {
         let arch = ArchConfig::isca_45nm();
         let l = layer(64, 512, 16, 8, 8);
-        let p = choose_tiling(&l, &arch).unwrap();
+        let p = choose_tiling(&l, &arch, 0).unwrap();
         // Fits entirely: single tile, minimal traffic.
         assert_eq!(p.tiles, TileSizes { m: 64, k: 512, n: 16 });
         assert_eq!(
@@ -208,8 +236,8 @@ mod tests {
         let arch = ArchConfig::isca_45nm();
         // fc6-like: 8192 x 18432 1-bit weights = 18.9 MB >> 32 KB budget.
         let l = layer(8192, 18432, 16, 4, 1);
-        let p = choose_tiling(&l, &arch).unwrap();
-        assert!(fits(&l, p.tiles, &arch));
+        let p = choose_tiling(&l, &arch, 0).unwrap();
+        assert!(fits(&l, p.tiles, &arch, 0));
         assert!(p.tiles.m < 8192 || p.tiles.k < 18432);
         // Weights dominate: the chosen plan must not reload them.
         assert_eq!(p.traffic.weight_bits, 8192 * 18432);
@@ -219,7 +247,7 @@ mod tests {
     fn spilling_avoided_when_possible() {
         let arch = ArchConfig::isca_45nm();
         let l = layer(512, 4608, 2916, 1, 1);
-        let p = choose_tiling(&l, &arch).unwrap();
+        let p = choose_tiling(&l, &arch, 0).unwrap();
         assert_eq!(p.traffic.spill_bits, 0, "plan {p:?}");
     }
 
@@ -229,9 +257,41 @@ mod tests {
         arch.obuf_bytes = 1; // cannot hold even one 32-bit partial
         let l = layer(512, 512, 16, 8, 8);
         assert!(matches!(
-            choose_tiling(&l, &arch),
+            choose_tiling(&l, &arch, 0),
             Err(CompileError::NoFeasibleTiling { .. })
         ));
+    }
+
+    #[test]
+    fn residual_headroom_reserved_in_ibuf_budget() {
+        // A downsample-style residual group: the residual stream is as large
+        // as the whole output and must share IBUF with the input tiles. The
+        // residual-aware search must keep both streams within the
+        // double-buffered capacity; the residual-blind search may not.
+        let arch = ArchConfig::isca_45nm();
+        let l = layer(128, 4608, 3136, 8, 8);
+        let residual_bits = l.output_elems * 8;
+        let p = choose_tiling(&l, &arch, residual_bits).unwrap();
+        let i_budget = (arch.ibuf_bytes as u64) * 8 / 2;
+        let i_tile = p.tiles.k * p.tiles.n * 8;
+        let r_tile = residual_tile_bits(&l, p.tiles, residual_bits);
+        assert!(r_tile > 0);
+        assert!(
+            i_tile + r_tile <= i_budget,
+            "input {i_tile} + residual {r_tile} bits exceed the {i_budget}-bit half-buffer"
+        );
+        assert!(fits(&l, p.tiles, &arch, residual_bits));
+    }
+
+    #[test]
+    fn residual_free_layers_unchanged_by_headroom_argument() {
+        let arch = ArchConfig::isca_45nm();
+        let l = layer(512, 4608, 2916, 1, 1);
+        assert_eq!(
+            choose_tiling(&l, &arch, 0).unwrap(),
+            choose_tiling(&l, &arch, 0).unwrap()
+        );
+        assert_eq!(residual_tile_bits(&l, TileSizes { m: 16, k: 32, n: 1 }, 0), 0);
     }
 
     #[test]

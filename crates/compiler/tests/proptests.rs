@@ -2,14 +2,15 @@
 //! the buffers, traffic never beats the cold-miss lower bound, emitted
 //! blocks are valid/encodable, and the walker agrees with the mapping.
 
+use bitfusion_compiler::fuse::PostOp;
 use bitfusion_compiler::gemm::{GemmLayer, GemmShape};
 use bitfusion_compiler::lower::{lower_gemm, mapping_for, LowerInput};
 use bitfusion_compiler::tiling::{choose_tiling, fits};
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_core::bitwidth::PairPrecision;
 use bitfusion_isa::encode::{decode_block, encode_block};
-use bitfusion_isa::walker::summarize;
-use bitfusion_isa::ComputeFn;
+use bitfusion_isa::walker::{segments, summarize};
+use bitfusion_isa::{ComputeFn, Scratchpad};
 use proptest::prelude::*;
 
 fn arb_layer() -> impl Strategy<Value = GemmLayer> {
@@ -39,18 +40,58 @@ proptest! {
     #[test]
     fn chosen_tiling_always_fits(layer in arb_layer()) {
         let arch = ArchConfig::isca_45nm();
-        let plan = choose_tiling(&layer, &arch).expect("feasible for sane buffers");
-        prop_assert!(fits(&layer, plan.tiles, &arch));
+        let plan = choose_tiling(&layer, &arch, 0).expect("feasible for sane buffers");
+        prop_assert!(fits(&layer, plan.tiles, &arch, 0));
         // Tiles never exceed the dimensions.
         prop_assert!(plan.tiles.m <= layer.shape.m.max(plan.tiles.m.min(layer.shape.m)));
         prop_assert!(plan.tiles.m >= 1 && plan.tiles.k >= 1 && plan.tiles.n >= 1);
     }
 
     #[test]
+    fn residual_plans_fit_scratchpads_including_the_second_stream(layer in arb_layer()) {
+        // Residual-add groups stream a second input tensor (the size of the
+        // output) through IBUF. The residual-aware tile search must leave
+        // headroom for it: replay the emitted block's DMA segments and
+        // check the double-buffered occupancy peak — the largest sum of two
+        // consecutive IBUF transfers (a tile stays resident until the next
+        // transfer into the same scratchpad replaces it) — never exceeds
+        // the physical capacity.
+        let arch = ArchConfig::isca_45nm();
+        let residual = PostOp::Residual {
+            elems: layer.output_elems,
+            bits: layer.pair.input.bits(),
+        };
+        let residual_bits = residual.extra_input_bits();
+        let plan = choose_tiling(&layer, &arch, residual_bits).expect("feasible");
+        prop_assert!(fits(&layer, plan.tiles, &arch, residual_bits));
+        let input = LowerInput {
+            name: "prop-residual",
+            layer: &layer,
+            plan: &plan,
+            postops: &[residual],
+            next: 0,
+        };
+        let block = lower_gemm(&input, &arch).expect("emits");
+        let mut prev = 0u64;
+        let mut peak = 0u64;
+        for seg in segments(&block) {
+            let bits = seg.buffer(Scratchpad::Ibuf).dma_load_bits;
+            if bits > 0 {
+                peak = peak.max(prev + bits);
+                prev = bits;
+            }
+        }
+        prop_assert!(
+            peak <= 8 * arch.ibuf_bytes as u64,
+            "IBUF occupancy peak {peak} bits exceeds capacity with a residual stream"
+        );
+    }
+
+    #[test]
     fn traffic_at_least_cold_misses(layer in arb_layer()) {
         // Every plan must move at least each tensor once (cold misses).
         let arch = ArchConfig::isca_45nm();
-        let plan = choose_tiling(&layer, &arch).expect("feasible");
+        let plan = choose_tiling(&layer, &arch, 0).expect("feasible");
         let cold = layer.weight_elems * layer.pair.weight.bits() as u64
             + layer.unique_input_elems * layer.pair.input.bits() as u64
             + layer.output_elems * layer.output_bits as u64;
@@ -64,7 +105,7 @@ proptest! {
     #[test]
     fn lowered_block_valid_encodable_and_consistent(layer in arb_layer()) {
         let arch = ArchConfig::isca_45nm();
-        let plan = choose_tiling(&layer, &arch).expect("feasible");
+        let plan = choose_tiling(&layer, &arch, 0).expect("feasible");
         let input = LowerInput {
             name: "prop",
             layer: &layer,
@@ -98,7 +139,7 @@ proptest! {
         // nothing is missed. Checked per dimension (the grid is a cross
         // product) and cross-checked against the mapping's tile counts.
         let arch = ArchConfig::isca_45nm();
-        let plan = choose_tiling(&layer, &arch).expect("feasible");
+        let plan = choose_tiling(&layer, &arch, 0).expect("feasible");
         let t = plan.tiles;
         let dims = [
             (layer.shape.m, t.m),
@@ -151,8 +192,8 @@ proptest! {
                 obuf_bytes: base.obuf_bytes * scale,
                 ..base
             };
-            let plan = choose_tiling(&layer, &arch).expect("feasible");
-            prop_assert!(fits(&layer, plan.tiles, &arch));
+            let plan = choose_tiling(&layer, &arch, 0).expect("feasible");
+            prop_assert!(fits(&layer, plan.tiles, &arch, 0));
             prop_assert!(
                 plan.traffic.total_bits() <= prev,
                 "traffic rose from {prev} to {} at {scale}x buffers",
@@ -179,8 +220,8 @@ proptest! {
                 output_bits: 4,
             }
         };
-        let t1 = choose_tiling(&mk(1), &arch).expect("feasible").traffic;
-        let t16 = choose_tiling(&mk(16), &arch).expect("feasible").traffic;
+        let t1 = choose_tiling(&mk(1), &arch, 0).expect("feasible").traffic;
+        let t16 = choose_tiling(&mk(16), &arch, 0).expect("feasible").traffic;
         // Per-input weight traffic at batch 16 never exceeds batch 1's.
         prop_assert!(t16.weight_bits as f64 / 16.0 <= t1.weight_bits as f64 * 1.01);
     }

@@ -15,7 +15,9 @@
 //! * [`systolic`] — the functional systolic array of Figures 3/4;
 //! * [`postproc`] — per-column activation and pooling units;
 //! * [`arch`] — accelerator configurations (array geometry, buffers,
-//!   bandwidth, frequency) including the paper's 45 nm and 16 nm designs.
+//!   bandwidth, frequency) including the paper's 45 nm and 16 nm designs;
+//! * [`grid`] — cartesian grids over those configurations, the
+//!   architecture axis of design-space exploration.
 //!
 //! Everything here is *functional and structural*: numerical results are
 //! bit-exact with respect to the decomposition the hardware performs, and
@@ -46,6 +48,7 @@ pub mod decompose;
 pub mod error;
 pub mod fusion;
 pub mod gates;
+pub mod grid;
 pub mod lut;
 pub mod postproc;
 pub mod recurrent;
@@ -56,5 +59,6 @@ pub use arch::ArchConfig;
 pub use bitbrick::{BitBrick, BrickOperand, BrickProduct, Crumb};
 pub use bitwidth::{BitWidth, PairPrecision, Precision, Signedness, BRICKS_PER_FUSION_UNIT};
 pub use error::CoreError;
+pub use grid::ArchGrid;
 pub use fusion::{FusionUnit, MacResult, SpatialStructure, TemporalUnit};
 pub use systolic::{IntMatrix, SystolicArray, SystolicOutput};

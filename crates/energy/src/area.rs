@@ -68,6 +68,19 @@ impl ChipArea {
     }
 }
 
+impl std::fmt::Display for ChipArea {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2} mm² ({:.2} compute + {:.2} SRAM, ×{PERIPHERY_FACTOR} periphery, {:?})",
+            self.chip_mm2(),
+            self.compute_mm2,
+            self.sram_mm2,
+            self.node
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +110,14 @@ mod tests {
         let a = ChipArea::of(&ArchConfig::gpu_16nm(), TechNode::Nm16);
         let chip = a.chip_mm2();
         assert!((chip - 5.93).abs() / 5.93 < 0.20, "{chip}");
+    }
+
+    #[test]
+    fn display_summarizes_the_breakdown() {
+        let a = ChipArea::of(&ArchConfig::isca_45nm(), TechNode::Nm45);
+        let text = a.to_string();
+        assert!(text.contains("mm²"), "{text}");
+        assert!(text.contains("compute"), "{text}");
     }
 
     #[test]

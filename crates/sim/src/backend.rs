@@ -4,8 +4,8 @@
 //! Two implementations ship with the crate:
 //!
 //! * [`AnalyticBackend`] — the closed-form model of [`crate::engine`]:
-//!   `max(compute, dma) + prologue`, O(static block size) per layer. The
-//!   fast path for sweeps and design-space exploration.
+//!   `prologue + max(compute, dma − prologue)`, O(static block size) per
+//!   layer. The fast path for sweeps and design-space exploration.
 //! * [`EventBackend`](crate::EventBackend) — the trace-driven model of
 //!   [`crate::event`]: advances explicit double-buffered DMA, systolic, and
 //!   post-op pipeline state over the block's tile segments, producing stall
@@ -29,11 +29,13 @@ use crate::stats::LayerPerf;
 /// The documented tolerance band between the backends' per-network cycle
 /// totals (see `DESIGN.md`, "Simulation backends"): the two timing models
 /// describe the same double-buffered machine at different granularity and
-/// must agree within this relative bound on every zoo network. Empirically
-/// the gap is under 2.2% at batch 16; the band leaves room for small-layer
-/// divergence, where the analytic prologue double-counts the first tile of
-/// few-tile layers.
-pub const BACKEND_CYCLE_TOLERANCE: f64 = 0.10;
+/// must agree within this relative bound on every zoo network. With the
+/// analytic prologue no longer double-counting the first tile (a one-tile
+/// layer costs plain `load + compute + store` in both models), the gap is
+/// empirically under 2.6% at batch 16 on all eight networks; the band
+/// leaves a small margin for store-serialization detail the closed form
+/// folds into `max(compute, dma − prologue)`.
+pub const BACKEND_CYCLE_TOLERANCE: f64 = 0.04;
 
 /// A performance model that evaluates compiled layer groups.
 pub trait SimBackend {
@@ -52,7 +54,7 @@ pub trait SimBackend {
 
 /// The closed-form performance model (the original engine): exact DMA
 /// traffic from the block summary, systolic-step arithmetic from the
-/// mapping facts, and `max(compute, dma) + prologue` timing.
+/// mapping facts, and `prologue + max(compute, dma − prologue)` timing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AnalyticBackend;
 

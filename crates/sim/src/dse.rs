@@ -1,0 +1,599 @@
+//! Sharded design-space exploration (DSE): a cartesian
+//! [`ArchGrid`] × network × batch sweep, sharded across `std::thread`
+//! workers, reduced into Pareto frontiers over (cycles, energy, area).
+//!
+//! The paper's own evaluation is a design-space walk — array geometry
+//! (Figure 10), off-chip bandwidth (Figure 15), and batch size (Figure 16)
+//! all swept to locate the 16×16 Fusion Unit sweet spot — and the
+//! composability design space is large enough that follow-on work explores
+//! it systematically. This module makes that exploration a first-class,
+//! parallel operation:
+//!
+//! * **grid semantics** — a [`DseSpec`] crosses an [`ArchGrid`] (rows ×
+//!   cols × scratchpad capacities × DRAM bandwidth) with a model list and
+//!   batch sizes. Points are enumerated in a deterministic nested order
+//!   (models, then batches, then grid configurations with bandwidth
+//!   innermost);
+//! * **memoized compilation** — compilation depends only on
+//!   `(model, batch, geometry, buffers)`, *not* on bandwidth or frequency,
+//!   and dominates sweep cost. The engine hash-keys compilations on exactly
+//!   those fields and compiles each unique key once, so e.g. a 5-point
+//!   bandwidth axis costs one compilation, not five
+//!   ([`DseResult::compile_hits`] counts the points served from cache);
+//! * **worker model** — unique compilations, then per-point evaluations,
+//!   are each sharded across a [`crate::pool`] scoped thread pool. Results
+//!   land in point-index order, so the output — and every Pareto frontier
+//!   derived from it — is bit-identical for any worker count;
+//! * **reduction** — per-architecture aggregation over the whole workload
+//!   suite ([`DseResult::arch_summaries`]) and the non-dominated subset
+//!   ([`DseResult::pareto_frontier`]) over minimized
+//!   (total cycles, total energy, chip area), with per-point stall
+//!   attribution from whichever [`SimBackend`] ran the evaluation.
+//!
+//! The Figure 15/16 sweeps in [`crate::sweep`] are thin views over this
+//! engine. See `DESIGN.md`, "Design-space exploration".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bitfusion_compiler::{compile, CompileError, ExecutionPlan};
+use bitfusion_core::arch::ArchConfig;
+use bitfusion_core::grid::ArchGrid;
+use bitfusion_dnn::model::Model;
+use bitfusion_dnn::zoo::Benchmark;
+use bitfusion_energy::{ChipArea, FusionEnergy};
+
+use crate::backend::SimBackend;
+use crate::engine::SimOptions;
+use crate::pool::map_indexed;
+use crate::stats::{PerfReport, StallBreakdown};
+
+/// The workload × architecture space one exploration covers.
+#[derive(Debug, Clone)]
+pub struct DseSpec {
+    /// Architectural grid (cartesian product of candidate lists).
+    pub grid: ArchGrid,
+    /// Networks to run at every grid point.
+    pub models: Vec<Model>,
+    /// Batch sizes to run each network at.
+    pub batches: Vec<u64>,
+    /// Calibration knobs shared by every evaluation.
+    pub options: SimOptions,
+}
+
+impl DseSpec {
+    /// A spec covering the full eight-network zoo on `grid` at `batches`.
+    pub fn zoo(grid: ArchGrid, batches: Vec<u64>) -> Self {
+        DseSpec {
+            grid,
+            models: Benchmark::ALL.iter().map(|b| b.model()).collect(),
+            batches,
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Total points (grid size × models × batches).
+    pub fn len(&self) -> usize {
+        self.grid.len() * self.models.len() * self.batches.len()
+    }
+
+    /// Whether the spec enumerates no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Workloads (model × batch combinations) per architecture.
+    pub fn workloads(&self) -> usize {
+        self.models.len() * self.batches.len()
+    }
+}
+
+/// One evaluated point of the exploration.
+#[derive(Debug, Clone)]
+pub struct DsePoint {
+    /// The architecture of this grid point.
+    pub arch: ArchConfig,
+    /// Network name.
+    pub model_name: String,
+    /// Batch size.
+    pub batch: u64,
+    /// Full simulation result (per-layer detail, stall attribution).
+    pub report: PerfReport,
+    /// Whole-chip area of the architecture at the evaluated node, in mm².
+    pub area_mm2: f64,
+}
+
+impl DsePoint {
+    /// Total cycles for the workload at this point.
+    pub fn cycles(&self) -> u64 {
+        self.report.total_cycles()
+    }
+
+    /// Total energy for the workload at this point, in pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.report.total_energy().total_pj()
+    }
+}
+
+/// A point the engine could not evaluate: the configuration failed
+/// validation or the network does not compile onto it (e.g. scratchpads too
+/// small for any tiling).
+#[derive(Debug, Clone)]
+pub struct InfeasiblePoint {
+    /// The architecture of the failed point.
+    pub arch: ArchConfig,
+    /// Network name.
+    pub model_name: String,
+    /// Batch size.
+    pub batch: u64,
+    /// Why the point is infeasible.
+    pub error: PointError,
+}
+
+/// Why a DSE point could not be evaluated.
+#[derive(Debug, Clone)]
+pub enum PointError {
+    /// The grid point fails [`ArchConfig::validate`].
+    InvalidConfig(bitfusion_core::error::CoreError),
+    /// The network does not compile onto the configuration.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PointError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            PointError::Compile(e) => write!(f, "compilation failed: {e}"),
+        }
+    }
+}
+
+/// Aggregate of one architecture over every workload in the spec.
+#[derive(Debug, Clone)]
+pub struct ArchSummary {
+    /// The architecture.
+    pub arch: ArchConfig,
+    /// Whole-chip area in mm².
+    pub area_mm2: f64,
+    /// Cycles summed over all workloads.
+    pub total_cycles: u64,
+    /// Energy summed over all workloads, in pJ.
+    pub total_energy_pj: f64,
+    /// Stall attribution summed over all workloads.
+    pub stalls: StallBreakdown,
+    /// Workloads evaluated on this architecture (summaries with fewer than
+    /// the spec's full workload count are excluded from the frontier — an
+    /// architecture that cannot run the whole suite is not comparable).
+    pub workloads: usize,
+}
+
+impl ArchSummary {
+    /// Whether `self` Pareto-dominates `other`: no worse on every minimized
+    /// axis (cycles, energy, area) and strictly better on at least one.
+    pub fn dominates(&self, other: &ArchSummary) -> bool {
+        let no_worse = self.total_cycles <= other.total_cycles
+            && self.total_energy_pj <= other.total_energy_pj
+            && self.area_mm2 <= other.area_mm2;
+        let better = self.total_cycles < other.total_cycles
+            || self.total_energy_pj < other.total_energy_pj
+            || self.area_mm2 < other.area_mm2;
+        no_worse && better
+    }
+}
+
+/// The outcome of one exploration.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// Backend that ran the evaluations.
+    pub backend: &'static str,
+    /// Evaluated points, in deterministic spec order.
+    pub points: Vec<DsePoint>,
+    /// Points that failed validation or compilation, in spec order.
+    pub infeasible: Vec<InfeasiblePoint>,
+    /// Workloads per architecture the spec asked for.
+    pub workloads_expected: usize,
+    /// Points whose compilation was served from the memo cache.
+    pub compile_hits: u64,
+    /// Unique compilations actually performed.
+    pub compile_misses: u64,
+}
+
+impl DseResult {
+    /// Per-architecture aggregates over the workload suite, in grid order.
+    pub fn arch_summaries(&self) -> Vec<ArchSummary> {
+        let mut order: Vec<ArchSummary> = Vec::new();
+        let mut index: HashMap<ArchKey, usize> = HashMap::new();
+        for p in &self.points {
+            let key = ArchKey::of(&p.arch);
+            let i = *index.entry(key).or_insert_with(|| {
+                order.push(ArchSummary {
+                    arch: p.arch.clone(),
+                    area_mm2: p.area_mm2,
+                    total_cycles: 0,
+                    total_energy_pj: 0.0,
+                    stalls: StallBreakdown::default(),
+                    workloads: 0,
+                });
+                order.len() - 1
+            });
+            let s = &mut order[i];
+            s.total_cycles += p.cycles();
+            s.total_energy_pj += p.energy_pj();
+            let st = p.report.total_stalls();
+            s.stalls.bandwidth_starved += st.bandwidth_starved;
+            s.stalls.compute_starved += st.compute_starved;
+            s.stalls.fill_drain += st.fill_drain;
+            s.workloads += 1;
+        }
+        order
+    }
+
+    /// The Pareto frontier over (total cycles, total energy, area):
+    /// non-dominated architectures that completed the full workload suite,
+    /// in grid order.
+    pub fn pareto_frontier(&self) -> Vec<ArchSummary> {
+        let complete: Vec<ArchSummary> = self
+            .arch_summaries()
+            .into_iter()
+            .filter(|s| s.workloads == self.workloads_expected)
+            .collect();
+        complete
+            .iter()
+            .filter(|candidate| !complete.iter().any(|other| other.dominates(candidate)))
+            .cloned()
+            .collect()
+    }
+}
+
+/// The fields compilation actually depends on: geometry and scratchpad
+/// capacities (plus the access width), but *not* bandwidth or frequency —
+/// excluding them is what lets a whole bandwidth axis share one
+/// compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CompileKey {
+    model: usize,
+    batch: u64,
+    rows: usize,
+    cols: usize,
+    ibuf_bytes: usize,
+    wbuf_bytes: usize,
+    obuf_bytes: usize,
+    buffer_access_bits: u32,
+}
+
+impl CompileKey {
+    fn of(model: usize, batch: u64, arch: &ArchConfig) -> Self {
+        CompileKey {
+            model,
+            batch,
+            rows: arch.rows,
+            cols: arch.cols,
+            ibuf_bytes: arch.ibuf_bytes,
+            wbuf_bytes: arch.wbuf_bytes,
+            obuf_bytes: arch.obuf_bytes,
+            buffer_access_bits: arch.buffer_access_bits,
+        }
+    }
+}
+
+/// Architecture identity for aggregation (every `ArchConfig` field that can
+/// vary across a grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ArchKey {
+    rows: usize,
+    cols: usize,
+    ibuf_bytes: usize,
+    wbuf_bytes: usize,
+    obuf_bytes: usize,
+    buffer_access_bits: u32,
+    dram_bits_per_cycle: u32,
+    freq_mhz: u32,
+}
+
+impl ArchKey {
+    fn of(arch: &ArchConfig) -> Self {
+        ArchKey {
+            rows: arch.rows,
+            cols: arch.cols,
+            ibuf_bytes: arch.ibuf_bytes,
+            wbuf_bytes: arch.wbuf_bytes,
+            obuf_bytes: arch.obuf_bytes,
+            buffer_access_bits: arch.buffer_access_bits,
+            dram_bits_per_cycle: arch.dram_bits_per_cycle,
+            freq_mhz: arch.freq_mhz,
+        }
+    }
+}
+
+/// Explores the spec on `backend`, sharded across `workers` threads
+/// (`0` = use [`crate::pool::default_workers`]; `1` = the sequential
+/// baseline).
+///
+/// Two sharded phases: every *unique* compilation first (each exactly once,
+/// whatever the worker count), then every point evaluation against the
+/// cached plans. Invalid configurations and compile failures become
+/// [`InfeasiblePoint`]s rather than aborting the sweep — a wide grid is
+/// expected to contain corners no tiling fits.
+pub fn explore<B: SimBackend + Sync>(spec: &DseSpec, backend: &B, workers: usize) -> DseResult {
+    let workers = if workers == 0 {
+        crate::pool::default_workers()
+    } else {
+        workers
+    };
+    let archs: Vec<ArchConfig> = spec.grid.configs().collect();
+    let energy = FusionEnergy::isca_45nm();
+    let opts = spec.options;
+
+    // Point enumeration, deterministic: models → batches → grid order.
+    struct PointRef {
+        model: usize,
+        batch: u64,
+        arch: usize,
+    }
+    let mut point_refs: Vec<PointRef> = Vec::with_capacity(spec.len());
+    for model in 0..spec.models.len() {
+        for &batch in &spec.batches {
+            for arch in 0..archs.len() {
+                point_refs.push(PointRef { model, batch, arch });
+            }
+        }
+    }
+
+    // Phase 1: compile each unique (model, batch, compile-relevant arch
+    // fields) key exactly once, sharded across the pool. Invalid configs
+    // are filtered here so compilation never sees them.
+    let mut key_index: HashMap<CompileKey, usize> = HashMap::new();
+    let mut unique: Vec<(CompileKey, usize)> = Vec::new(); // key + an arch index
+    for p in &point_refs {
+        let arch = &archs[p.arch];
+        if arch.validate().is_err() {
+            continue;
+        }
+        let key = CompileKey::of(p.model, p.batch, arch);
+        key_index.entry(key).or_insert_with(|| {
+            unique.push((key, p.arch));
+            unique.len() - 1
+        });
+    }
+    let plans: Vec<Arc<Result<ExecutionPlan, CompileError>>> =
+        map_indexed(unique.len(), workers, |i| {
+            let (key, arch_idx) = unique[i];
+            Arc::new(compile(
+                &spec.models[key.model],
+                &archs[arch_idx],
+                key.batch,
+            ))
+        });
+    let compile_misses = unique.len() as u64;
+    let compile_hits = point_refs
+        .iter()
+        .filter(|p| archs[p.arch].validate().is_ok())
+        .count() as u64
+        - compile_misses;
+
+    // Phase 2: evaluate every point against its cached plan.
+    enum Outcome {
+        Ok(Box<DsePoint>),
+        Infeasible(Box<InfeasiblePoint>),
+    }
+    let outcomes = map_indexed(point_refs.len(), workers, |i| {
+        let p = &point_refs[i];
+        let arch = &archs[p.arch];
+        let model = &spec.models[p.model];
+        if let Err(e) = arch.validate() {
+            return Outcome::Infeasible(Box::new(InfeasiblePoint {
+                arch: arch.clone(),
+                model_name: model.name.clone(),
+                batch: p.batch,
+                error: PointError::InvalidConfig(e),
+            }));
+        }
+        let key = CompileKey::of(p.model, p.batch, arch);
+        let plan = &plans[key_index[&key]];
+        match plan.as_ref() {
+            Err(e) => Outcome::Infeasible(Box::new(InfeasiblePoint {
+                arch: arch.clone(),
+                model_name: model.name.clone(),
+                batch: p.batch,
+                error: PointError::Compile(e.clone()),
+            })),
+            Ok(plan) => {
+                let report = PerfReport {
+                    model_name: model.name.clone(),
+                    batch: p.batch,
+                    freq_mhz: arch.freq_mhz,
+                    layers: plan
+                        .layers
+                        .iter()
+                        .map(|l| backend.evaluate_layer(l, arch, &energy, &opts))
+                        .collect(),
+                };
+                let area_mm2 = ChipArea::of(arch, opts.node).chip_mm2();
+                Outcome::Ok(Box::new(DsePoint {
+                    arch: arch.clone(),
+                    model_name: model.name.clone(),
+                    batch: p.batch,
+                    report,
+                    area_mm2,
+                }))
+            }
+        }
+    });
+
+    let mut points = Vec::new();
+    let mut infeasible = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Outcome::Ok(p) => points.push(*p),
+            Outcome::Infeasible(p) => infeasible.push(*p),
+        }
+    }
+    DseResult {
+        backend: backend.name(),
+        points,
+        infeasible,
+        workloads_expected: spec.workloads(),
+        compile_hits,
+        compile_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use crate::event::EventBackend;
+
+    fn small_spec() -> DseSpec {
+        let grid = ArchGrid {
+            rows: vec![16, 32],
+            cols: vec![8, 16],
+            dram_bits_per_cycle: vec![64, 128, 256],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        };
+        DseSpec {
+            grid,
+            models: vec![Benchmark::Lstm.model(), Benchmark::Rnn.model()],
+            batches: vec![1, 16],
+            options: SimOptions::default(),
+        }
+    }
+
+    #[test]
+    fn explore_covers_every_point() {
+        let spec = small_spec();
+        let result = explore(&spec, &AnalyticBackend, 1);
+        assert_eq!(result.points.len() + result.infeasible.len(), spec.len());
+        assert_eq!(result.points.len(), spec.len(), "zoo nets fit every config");
+        assert_eq!(result.backend, "analytic");
+        // 12 archs × 2 models × 2 batches = 48 points, but the 3-point
+        // bandwidth axis shares compilations: 4 geometry keys × 4
+        // model-batch pairs = 16 compiles.
+        assert_eq!(result.compile_misses, 16);
+        assert_eq!(result.compile_hits, 48 - 16);
+    }
+
+    #[test]
+    fn frontier_is_identical_for_any_worker_count() {
+        let spec = small_spec();
+        let sequential = explore(&spec, &AnalyticBackend, 1);
+        for workers in [2, 4, 8] {
+            let parallel = explore(&spec, &AnalyticBackend, workers);
+            assert_eq!(sequential.points.len(), parallel.points.len());
+            for (a, b) in sequential.points.iter().zip(&parallel.points) {
+                assert_eq!(a.arch, b.arch, "{workers} workers");
+                assert_eq!(a.model_name, b.model_name);
+                assert_eq!(a.batch, b.batch);
+                assert_eq!(a.report, b.report, "{}/{}", a.model_name, a.batch);
+            }
+            let fa = sequential.pareto_frontier();
+            let fb = parallel.pareto_frontier();
+            assert_eq!(fa.len(), fb.len(), "{workers} workers");
+            for (a, b) in fa.iter().zip(&fb) {
+                assert_eq!(a.arch, b.arch);
+                assert_eq!(a.total_cycles, b.total_cycles);
+                assert_eq!(a.total_energy_pj, b.total_energy_pj);
+                assert_eq!(a.area_mm2, b.area_mm2);
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_nonempty_and_nondominated() {
+        let result = explore(&small_spec(), &AnalyticBackend, 0);
+        let frontier = result.pareto_frontier();
+        assert!(!frontier.is_empty());
+        for a in &frontier {
+            assert_eq!(a.workloads, result.workloads_expected);
+            for b in &frontier {
+                assert!(!a.dominates(b) || a.arch == b.arch);
+            }
+        }
+        // Every non-frontier complete summary is dominated by someone.
+        let summaries = result.arch_summaries();
+        for s in &summaries {
+            let on_frontier = frontier.iter().any(|f| f.arch == s.arch);
+            if !on_frontier {
+                assert!(summaries.iter().any(|o| o.dominates(s)), "{}", s.arch);
+            }
+        }
+    }
+
+    #[test]
+    fn event_backend_attributes_stalls_per_point() {
+        let grid = ArchGrid {
+            dram_bits_per_cycle: vec![32, 512],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        };
+        let spec = DseSpec {
+            grid,
+            models: vec![Benchmark::Rnn.model()],
+            batches: vec![1],
+            options: SimOptions::default(),
+        };
+        let result = explore(&spec, &EventBackend, 2);
+        assert_eq!(result.backend, "event");
+        assert_eq!(result.points.len(), 2);
+        // Starved-for-bandwidth at 32 b/cyc; the 512 b/cyc point must stall
+        // strictly less.
+        let narrow = result.points[0].report.total_stalls();
+        let wide = result.points[1].report.total_stalls();
+        assert!(narrow.bandwidth_starved > wide.bandwidth_starved);
+    }
+
+    #[test]
+    fn infeasible_corners_are_reported_not_fatal() {
+        let grid = ArchGrid {
+            // 16-byte scratchpads: no tiling fits.
+            obuf_bytes: vec![16 * 1024, 1],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        };
+        let spec = DseSpec {
+            grid,
+            models: vec![Benchmark::Svhn.model()],
+            batches: vec![4],
+            options: SimOptions::default(),
+        };
+        let result = explore(&spec, &AnalyticBackend, 1);
+        assert_eq!(result.points.len(), 1);
+        assert_eq!(result.infeasible.len(), 1);
+        assert!(matches!(
+            result.infeasible[0].error,
+            PointError::Compile(CompileError::NoFeasibleTiling { .. })
+        ));
+        // The surviving arch still forms a frontier.
+        assert_eq!(result.pareto_frontier().len(), 1);
+    }
+
+    #[test]
+    fn invalid_grid_points_are_reported() {
+        let grid = ArchGrid {
+            rows: vec![32, 0],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        };
+        let spec = DseSpec {
+            grid,
+            models: vec![Benchmark::Lstm.model()],
+            batches: vec![1],
+            options: SimOptions::default(),
+        };
+        let result = explore(&spec, &AnalyticBackend, 1);
+        assert_eq!(result.points.len(), 1);
+        assert_eq!(result.infeasible.len(), 1);
+        assert!(matches!(
+            result.infeasible[0].error,
+            PointError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn zoo_spec_covers_all_networks() {
+        let spec = DseSpec::zoo(
+            ArchGrid::from_base(ArchConfig::isca_45nm()),
+            vec![16],
+        );
+        assert_eq!(spec.models.len(), 8);
+        assert_eq!(spec.workloads(), 8);
+        assert!(!spec.is_empty());
+    }
+}

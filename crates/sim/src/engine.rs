@@ -11,7 +11,9 @@
 //!
 //! Timing follows the decoupled-access model of §IV: `ld-mem`/`st-mem` DMA
 //! is double-buffered against compute, so a layer costs
-//! `max(compute, dma) + prologue + fill/drain`. This is what produces the
+//! `prologue + max(compute, dma − prologue) + fill/drain` — the first
+//! tiles serialize in front, the rest of the traffic overlaps compute.
+//! This is what produces the
 //! bandwidth (Figure 15) and batch (Figure 16) sensitivities. The
 //! trace-driven [`EventBackend`](crate::EventBackend) models the same
 //! machine segment by segment; the two are cross-validated against each
@@ -20,7 +22,8 @@
 //! The energy model ([`energy_for_layer`]) is shared by both backends, so
 //! backend choice affects timing detail only.
 
-use bitfusion_compiler::PlannedLayer;
+use bitfusion_compiler::tiling::residual_tile_bits;
+use bitfusion_compiler::{PlannedLayer, PostOp};
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_energy::{
     EnergyBreakdown, FusionEnergy, SramMacro, TechNode, DRAM_PJ_PER_BIT, POSTOP_OP_PJ,
@@ -137,20 +140,28 @@ pub fn evaluate_layer(
     let effective_bw = arch.dram_bits_per_cycle as f64 * opts.dram_efficiency;
     let dma_cycles = (dram_bits as f64 / effective_bw).ceil() as u64;
 
-    // Prologue: the first weight and input tiles cannot overlap with
-    // compute (nothing to compute yet).
+    // Prologue: the first weight and input tiles (plus any fused residual
+    // stream's first slice — it rides IBUF too) cannot overlap with compute
+    // (nothing to compute yet). These bits are part of `dma_cycles` already,
+    // so the total is `prologue + max(compute, dma - prologue)`: the
+    // prologue serializes in front, and only the *remaining* DMA
+    // double-buffers against compute. (A one-tile layer thus costs plain
+    // `load + compute + store`, matching the event backend.)
+    let residual_bits: u64 = layer.postops.iter().map(PostOp::extra_input_bits).sum();
     let first_tiles_bits = layer.tile_plan.tiles.m * layer.tile_plan.tiles.k
         * layer.gemm.pair.weight.bits() as u64
-        + layer.tile_plan.tiles.k * layer.tile_plan.tiles.n * layer.gemm.pair.input.bits() as u64;
+        + layer.tile_plan.tiles.k * layer.tile_plan.tiles.n * layer.gemm.pair.input.bits() as u64
+        + residual_tile_bits(&layer.gemm, layer.tile_plan.tiles, residual_bits);
     let prologue = (first_tiles_bits as f64 / effective_bw).ceil() as u64;
+    let dma_after_prologue = dma_cycles.saturating_sub(prologue);
 
-    let cycles = compute_cycles.max(dma_cycles) + prologue;
+    let cycles = prologue + compute_cycles.max(dma_after_prologue);
 
     // Whole-layer stall estimate from the closed form: the slower pipe
     // covers the faster one; the array also idles through the prologue.
     let stalls = StallBreakdown {
-        bandwidth_starved: dma_cycles.saturating_sub(compute_cycles) + prologue,
-        compute_starved: compute_cycles.saturating_sub(dma_cycles),
+        bandwidth_starved: dma_after_prologue.saturating_sub(compute_cycles) + prologue,
+        compute_starved: compute_cycles.saturating_sub(dma_after_prologue),
         fill_drain,
     };
 

@@ -19,8 +19,12 @@
 //!   generic over the backend;
 //! * [`stats`] — [`PerfReport`]/[`LayerPerf`] result types plus
 //!   [`StallBreakdown`]/[`BufferOccupancy`];
-//! * [`sweep`] — the Figure 15/16 sensitivity sweeps, generic over the
-//!   backend.
+//! * [`sweep`] — the Figure 15/16 sensitivity sweeps, thin views over the
+//!   DSE engine, generic over the backend;
+//! * [`dse`] — sharded design-space exploration: an
+//!   architecture-grid × network × batch sweep with a memoized compile
+//!   cache, `std::thread` workers ([`pool`]), and Pareto-frontier
+//!   reduction over (cycles, energy, area).
 //!
 //! The DMA traffic comes from walking the *actual compiled instruction
 //! blocks* (`bitfusion_isa::walker`) — summarized analytically for the
@@ -34,8 +38,10 @@
 
 pub mod accelerator;
 pub mod backend;
+pub mod dse;
 pub mod engine;
 pub mod event;
+pub mod pool;
 pub mod stats;
 pub mod sweep;
 
@@ -44,6 +50,9 @@ pub use backend::{AnalyticBackend, SimBackend, BACKEND_CYCLE_TOLERANCE};
 pub use engine::{energy_for_layer, evaluate_layer, SimOptions};
 pub use event::EventBackend;
 pub use stats::{BufferOccupancy, LayerPerf, PerfReport, StallBreakdown};
+pub use dse::{
+    explore, ArchSummary, DsePoint, DseResult, DseSpec, InfeasiblePoint, PointError,
+};
 pub use sweep::{
     bandwidth_sweep, bandwidth_sweep_with, batch_sweep, batch_sweep_with, Sweep, SweepPoint,
 };

@@ -1,0 +1,102 @@
+//! A minimal scoped thread pool: shard an indexed job list across
+//! `std::thread` workers with a shared atomic work queue.
+//!
+//! The build is offline (no rayon), so this module provides the one
+//! primitive the DSE engine needs: [`map_indexed`], a deterministic
+//! parallel map. Workers claim job indices from a shared atomic counter
+//! (dynamic load balancing — a worker stuck on an expensive point does not
+//! hold up the rest of the queue) and results are reassembled in index
+//! order, so the output is identical for any worker count or interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Runs `job(0..jobs)` across up to `workers` threads and returns the
+/// results in index order.
+///
+/// `workers == 0` or `workers == 1` (or a single job) runs inline on the
+/// calling thread — the sequential path, with no thread or synchronization
+/// overhead, used as the baseline in the scaling bench. The worker count is
+/// clamped to the job count; `job` must be safe to call concurrently from
+/// multiple threads.
+///
+/// # Panics
+///
+/// Propagates a panic from any `job` invocation (the pool joins every
+/// worker before returning).
+pub fn map_indexed<T, F>(jobs: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(jobs).max(1);
+    if workers == 1 {
+        return (0..jobs).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(jobs);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            return claimed;
+                        }
+                        claimed.push((i, job(i)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            tagged.extend(handle.join().expect("DSE worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), jobs);
+    tagged.into_iter().map(|(_, value)| value).collect()
+}
+
+/// The machine's available parallelism, defaulting to 1 when unknown.
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order_for_any_worker_count() {
+        for workers in [0, 1, 2, 3, 7, 64] {
+            let out = map_indexed(23, workers, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let out = map_indexed(100, 4, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = map_indexed(0, 8, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -2,6 +2,12 @@
 //! (Figure 16) sensitivity studies as library functions, shared by the
 //! bench harnesses, the CLI, and downstream users.
 //!
+//! Both sweeps are thin views over the design-space exploration engine
+//! ([`crate::dse`]): each builds a one-axis [`DseSpec`] and projects the
+//! resulting points back into a [`Sweep`]. The bandwidth sweep inherits the
+//! engine's compile memoization for free — tiling does not depend on
+//! bandwidth, so the whole axis shares a single compilation.
+//!
 //! Every sweep is generic over the [`SimBackend`]; the plain functions run
 //! the cheap [`AnalyticBackend`] (a sweep multiplies simulation count by
 //! its point count), and the `*_with` variants accept any backend — e.g.
@@ -9,10 +15,12 @@
 //! high-fidelity pass over the interesting points.
 
 use bitfusion_core::arch::ArchConfig;
+use bitfusion_core::grid::ArchGrid;
 use bitfusion_dnn::model::Model;
 
-use crate::accelerator::BitFusionSim;
 use crate::backend::{AnalyticBackend, SimBackend};
+use crate::dse::{explore, DseSpec, PointError};
+use crate::engine::SimOptions;
 use crate::stats::PerfReport;
 
 /// One point of a sweep: the swept value and the resulting report.
@@ -35,42 +43,72 @@ pub struct Sweep<T> {
 
 impl<T: Copy + PartialEq> Sweep<T> {
     /// Speedups relative to the point with value `baseline` (total cycles,
-    /// whole batch).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `baseline` is not one of the swept values — a caller bug.
-    pub fn speedups_vs(&self, baseline: T) -> Vec<(T, f64)> {
+    /// whole batch), or `None` when `baseline` is not one of the swept
+    /// values.
+    pub fn speedups_vs(&self, baseline: T) -> Option<Vec<(T, f64)>> {
         let base = self
             .points
             .iter()
-            .find(|p| p.value == baseline)
-            .expect("baseline must be a swept value")
+            .find(|p| p.value == baseline)?
             .report
             .total_cycles() as f64;
-        self.points
-            .iter()
-            .map(|p| (p.value, base / p.report.total_cycles() as f64))
-            .collect()
+        Some(
+            self.points
+                .iter()
+                .map(|p| (p.value, base / p.report.total_cycles() as f64))
+                .collect(),
+        )
     }
 
-    /// Per-input speedups relative to the point with value `baseline`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `baseline` is not one of the swept values.
-    pub fn per_input_speedups_vs(&self, baseline: T) -> Vec<(T, f64)> {
-        let base_point = self
+    /// Per-input speedups relative to the point with value `baseline`, or
+    /// `None` when `baseline` is not one of the swept values.
+    pub fn per_input_speedups_vs(&self, baseline: T) -> Option<Vec<(T, f64)>> {
+        let base = self
             .points
             .iter()
-            .find(|p| p.value == baseline)
-            .expect("baseline must be a swept value");
-        let base = base_point.report.cycles_per_input();
-        self.points
-            .iter()
-            .map(|p| (p.value, base / p.report.cycles_per_input()))
-            .collect()
+            .find(|p| p.value == baseline)?
+            .report
+            .cycles_per_input();
+        Some(
+            self.points
+                .iter()
+                .map(|p| (p.value, base / p.report.cycles_per_input()))
+                .collect(),
+        )
     }
+}
+
+/// Projects a one-axis exploration back into a sweep, propagating the
+/// first infeasible point as an error (a compile failure, or an invalid
+/// swept configuration such as a zero bandwidth).
+fn sweep_view<B: SimBackend + Sync, T>(
+    backend: &B,
+    spec: &DseSpec,
+    value_of: impl Fn(&crate::dse::DsePoint) -> T,
+) -> Result<Sweep<T>, bitfusion_compiler::CompileError> {
+    let result = explore(spec, backend, 1);
+    if let Some(bad) = result.infeasible.first() {
+        return Err(match &bad.error {
+            PointError::Compile(e) => e.clone(),
+            PointError::InvalidConfig(e) => {
+                bitfusion_compiler::CompileError::InvalidArch(e.clone())
+            }
+        });
+    }
+    Ok(Sweep {
+        model_name: spec.models[0].name.clone(),
+        points: result
+            .points
+            .into_iter()
+            .map(|p| {
+                let value = value_of(&p);
+                SweepPoint {
+                    value,
+                    report: p.report,
+                }
+            })
+            .collect(),
+    })
 }
 
 /// Sweeps off-chip bandwidth (bits/cycle) at a fixed batch size (Figure 15)
@@ -78,27 +116,26 @@ impl<T: Copy + PartialEq> Sweep<T> {
 ///
 /// # Errors
 ///
-/// Propagates compilation failures.
-pub fn bandwidth_sweep_with<B: SimBackend + Clone>(
+/// Propagates compilation failures, and rejects invalid swept
+/// configurations (e.g. a zero bandwidth) as
+/// [`CompileError::InvalidArch`](bitfusion_compiler::CompileError).
+pub fn bandwidth_sweep_with<B: SimBackend + Sync>(
     backend: &B,
     base_arch: &ArchConfig,
     model: &Model,
     batch: u64,
     bandwidths: &[u32],
 ) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
-    let mut points = Vec::with_capacity(bandwidths.len());
-    for &bw in bandwidths {
-        let sim =
-            BitFusionSim::with_backend(base_arch.clone().with_bandwidth(bw), backend.clone());
-        points.push(SweepPoint {
-            value: bw,
-            report: sim.run(model, batch)?,
-        });
-    }
-    Ok(Sweep {
-        model_name: model.name.clone(),
-        points,
-    })
+    let spec = DseSpec {
+        grid: ArchGrid {
+            dram_bits_per_cycle: bandwidths.to_vec(),
+            ..ArchGrid::from_base(base_arch.clone())
+        },
+        models: vec![model.clone()],
+        batches: vec![batch],
+        options: SimOptions::default(),
+    };
+    sweep_view(backend, &spec, |p| p.arch.dram_bits_per_cycle)
 }
 
 /// Sweeps off-chip bandwidth on the analytic backend (the fast default).
@@ -121,24 +158,19 @@ pub fn bandwidth_sweep(
 /// # Errors
 ///
 /// Propagates compilation failures.
-pub fn batch_sweep_with<B: SimBackend + Clone>(
+pub fn batch_sweep_with<B: SimBackend + Sync>(
     backend: &B,
     arch: &ArchConfig,
     model: &Model,
     batches: &[u64],
 ) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
-    let sim = BitFusionSim::with_backend(arch.clone(), backend.clone());
-    let mut points = Vec::with_capacity(batches.len());
-    for &batch in batches {
-        points.push(SweepPoint {
-            value: batch,
-            report: sim.run(model, batch)?,
-        });
-    }
-    Ok(Sweep {
-        model_name: model.name.clone(),
-        points,
-    })
+    let spec = DseSpec {
+        grid: ArchGrid::from_base(arch.clone()),
+        models: vec![model.clone()],
+        batches: batches.to_vec(),
+        options: SimOptions::default(),
+    };
+    sweep_view(backend, &spec, |p| p.batch)
 }
 
 /// Sweeps batch size on the analytic backend (the fast default).
@@ -164,7 +196,7 @@ mod tests {
         let arch = ArchConfig::isca_45nm();
         let sweep =
             bandwidth_sweep(&arch, &Benchmark::Rnn.model(), 16, &[32, 128, 512]).unwrap();
-        let speedups = sweep.speedups_vs(128);
+        let speedups = sweep.speedups_vs(128).expect("128 is swept");
         assert_eq!(speedups.len(), 3);
         assert!(speedups[0].1 < 1.0); // 32 b/cyc slower
         assert!((speedups[1].1 - 1.0).abs() < 1e-9);
@@ -175,16 +207,33 @@ mod tests {
     fn batch_sweep_per_input_improves() {
         let arch = ArchConfig::isca_45nm();
         let sweep = batch_sweep(&arch, &Benchmark::Lstm.model(), &[1, 16]).unwrap();
-        let speedups = sweep.per_input_speedups_vs(1);
+        let speedups = sweep.per_input_speedups_vs(1).expect("1 is swept");
         assert!(speedups[1].1 > 2.0, "{speedups:?}");
     }
 
     #[test]
-    #[should_panic(expected = "baseline must be a swept value")]
-    fn missing_baseline_panics() {
+    fn missing_baseline_is_none_not_a_panic() {
         let arch = ArchConfig::isca_45nm();
         let sweep = batch_sweep(&arch, &Benchmark::Lstm.model(), &[1, 4]).unwrap();
-        let _ = sweep.speedups_vs(999);
+        assert!(sweep.speedups_vs(999).is_none());
+        assert!(sweep.per_input_speedups_vs(999).is_none());
+    }
+
+    #[test]
+    fn invalid_swept_bandwidth_is_an_error_not_a_panic() {
+        use bitfusion_compiler::CompileError;
+        let arch = ArchConfig::isca_45nm();
+        let result = bandwidth_sweep(&arch, &Benchmark::Rnn.model(), 1, &[0, 128]);
+        assert!(matches!(result, Err(CompileError::InvalidArch(_))), "{result:?}");
+    }
+
+    #[test]
+    fn sweep_points_follow_input_order() {
+        let arch = ArchConfig::isca_45nm();
+        let bws = [512, 32, 128];
+        let sweep = bandwidth_sweep(&arch, &Benchmark::Lstm.model(), 4, &bws).unwrap();
+        let got: Vec<u32> = sweep.points.iter().map(|p| p.value).collect();
+        assert_eq!(got, bws);
     }
 
     #[test]
@@ -199,7 +248,7 @@ mod tests {
             &[32, 128, 512],
         )
         .unwrap();
-        let speedups = sweep.speedups_vs(128);
+        let speedups = sweep.speedups_vs(128).expect("128 is swept");
         assert!(speedups[0].1 < 1.0, "{speedups:?}");
         assert!(speedups[2].1 > 1.0, "{speedups:?}");
     }

@@ -9,6 +9,7 @@
 //! bitfusion-cli asm lstm --layer lstm1
 //! bitfusion-cli sweep rnn --batch
 //! bitfusion-cli sweep vgg-7 --bandwidth
+//! bitfusion-cli dse --rows 16,32 --cols 8,16 --bandwidth 64,128,256
 //! ```
 
 use std::env;
@@ -17,12 +18,13 @@ use std::process::ExitCode;
 use bitfusion::baselines::{EyerissSim, GpuMode, GpuModel, StripesSim};
 use bitfusion::compiler::compile;
 use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::grid::ArchGrid;
 use bitfusion::dnn::model::Model;
 use bitfusion::dnn::zoo::Benchmark;
 use bitfusion::isa::asm::format_block;
 use bitfusion::sim::{
-    bandwidth_sweep_with, batch_sweep_with, AnalyticBackend, BitFusionSim, EventBackend,
-    PerfReport,
+    bandwidth_sweep_with, batch_sweep_with, explore, AnalyticBackend, BitFusionSim, DseResult,
+    DseSpec, EventBackend, PerfReport,
 };
 
 fn usage() -> &'static str {
@@ -35,10 +37,20 @@ USAGE:
   bitfusion-cli compare <benchmark> [--batch N] [--backend analytic|event]
   bitfusion-cli asm     <benchmark> [--layer NAME] [--batch N]
   bitfusion-cli sweep   <benchmark> (--batch | --bandwidth) [--backend analytic|event]
+  bitfusion-cli dse     [--rows LIST] [--cols LIST] [--ibuf-kb LIST] [--wbuf-kb LIST]
+                        [--obuf-kb LIST] [--bandwidth LIST] [--batch LIST]
+                        [--networks all|name,name] [--workers N]
+                        [--backend analytic|event] [--json]
 
 The `event` backend runs the trace-driven timing model on the Bit Fusion
 side of each command; `report` additionally prints its stall attribution
 (bandwidth- vs compute-starved cycles).
+
+`dse` explores the cartesian architecture grid (comma-separated candidate
+lists per dimension) crossed with the selected networks and batch sizes,
+sharded across worker threads with a memoized compile cache, and prints
+the Pareto frontier over (cycles, energy, area). `--json` emits the
+frontier as machine-readable JSON instead of the table.
 
 BENCHMARKS:
   alexnet cifar-10 lstm lenet-5 resnet-18 rnn svhn vgg-7 (case-insensitive)"
@@ -240,7 +252,10 @@ fn cmd_sweep(b: Benchmark, args: &Args) -> Result<(), String> {
             b.name(),
             args.backend
         );
-        for (bw, s) in sweep.speedups_vs(128) {
+        let speedups = sweep
+            .speedups_vs(128)
+            .ok_or("128 b/cyc baseline missing from the sweep")?;
+        for (bw, s) in speedups {
             println!("  {bw:>4} bits/cycle: {s:5.2}x");
         }
         return Ok(());
@@ -257,8 +272,224 @@ fn cmd_sweep(b: Benchmark, args: &Args) -> Result<(), String> {
         b.name(),
         args.backend
     );
-    for (batch, s) in sweep.per_input_speedups_vs(1) {
+    let speedups = sweep
+        .per_input_speedups_vs(1)
+        .ok_or("batch-1 baseline missing from the sweep")?;
+    for (batch, s) in speedups {
         println!("  batch {batch:>3}: {s:5.2}x");
+    }
+    Ok(())
+}
+
+/// Parses a comma-separated candidate list.
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, _> = value.split(',').map(str::parse).collect();
+    match items {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(format!("{flag} needs a comma-separated list, got `{value}`")),
+    }
+}
+
+/// Arguments of the `dse` subcommand (its lists need their own parser).
+struct DseArgs {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    ibuf_kb: Vec<usize>,
+    wbuf_kb: Vec<usize>,
+    obuf_kb: Vec<usize>,
+    bandwidth: Vec<u32>,
+    batches: Vec<u64>,
+    networks: Vec<Benchmark>,
+    workers: usize,
+    backend: String,
+    json: bool,
+}
+
+fn parse_dse_args(argv: &[String]) -> Result<DseArgs, String> {
+    let base = ArchConfig::isca_45nm();
+    let mut args = DseArgs {
+        rows: vec![16, 32],
+        cols: vec![8, 16],
+        ibuf_kb: vec![base.ibuf_bytes / 1024],
+        wbuf_kb: vec![base.wbuf_bytes / 1024],
+        obuf_kb: vec![base.obuf_bytes / 1024],
+        bandwidth: vec![64, 128, 256],
+        batches: vec![16],
+        networks: Benchmark::ALL.to_vec(),
+        workers: 0,
+        backend: "analytic".into(),
+        json: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let value = || {
+            it.clone()
+                .next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--rows" => args.rows = parse_list(flag, &value()?)?,
+            "--cols" => args.cols = parse_list(flag, &value()?)?,
+            "--ibuf-kb" => args.ibuf_kb = parse_list(flag, &value()?)?,
+            "--wbuf-kb" => args.wbuf_kb = parse_list(flag, &value()?)?,
+            "--obuf-kb" => args.obuf_kb = parse_list(flag, &value()?)?,
+            "--bandwidth" => args.bandwidth = parse_list(flag, &value()?)?,
+            "--batch" => args.batches = parse_list(flag, &value()?)?,
+            "--workers" => {
+                args.workers = value()?
+                    .parse()
+                    .map_err(|_| "--workers needs a number".to_string())?
+            }
+            "--backend" => args.backend = value()?,
+            "--networks" => {
+                let v = value()?;
+                if v != "all" {
+                    args.networks = v
+                        .split(',')
+                        .map(|name| {
+                            find_benchmark(name)
+                                .ok_or_else(|| format!("unknown benchmark `{name}`"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            "--json" => {
+                args.json = true;
+                continue; // no value to consume
+            }
+            other => return Err(format!("unknown dse flag {other}\n\n{}", usage())),
+        }
+        it.next(); // consume the value every remaining arm peeked
+
+    }
+    if !matches!(args.backend.as_str(), "analytic" | "event") {
+        return Err(format!("unknown backend `{}` (analytic|event)", args.backend));
+    }
+    Ok(args)
+}
+
+fn dse_explore(spec: &DseSpec, backend: &str, workers: usize) -> DseResult {
+    match backend {
+        "event" => explore(spec, &EventBackend, workers),
+        _ => explore(spec, &AnalyticBackend, workers),
+    }
+}
+
+/// Emits the frontier as a JSON document (hand-rolled: the build is
+/// offline, no serde).
+fn dse_json(result: &DseResult, grid_points: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"backend\": \"{}\",\n", result.backend));
+    out.push_str(&format!("  \"grid_points\": {grid_points},\n"));
+    out.push_str(&format!("  \"points\": {},\n", result.points.len()));
+    out.push_str(&format!("  \"infeasible\": {},\n", result.infeasible.len()));
+    out.push_str(&format!(
+        "  \"compile\": {{ \"hits\": {}, \"misses\": {} }},\n",
+        result.compile_hits, result.compile_misses
+    ));
+    out.push_str("  \"frontier\": [\n");
+    let frontier = result.pareto_frontier();
+    for (i, s) in frontier.iter().enumerate() {
+        let a = &s.arch;
+        out.push_str(&format!(
+            "    {{ \"rows\": {}, \"cols\": {}, \"ibuf_kb\": {}, \"wbuf_kb\": {}, \
+             \"obuf_kb\": {}, \"bandwidth_bits_per_cycle\": {}, \"cycles\": {}, \
+             \"energy_pj\": {:.1}, \"area_mm2\": {:.3}, \"bandwidth_starved\": {}, \
+             \"compute_starved\": {} }}{}\n",
+            a.rows,
+            a.cols,
+            a.ibuf_bytes / 1024,
+            a.wbuf_bytes / 1024,
+            a.obuf_bytes / 1024,
+            a.dram_bits_per_cycle,
+            s.total_cycles,
+            s.total_energy_pj,
+            s.area_mm2,
+            s.stalls.bandwidth_starved,
+            s.stalls.compute_starved,
+            if i + 1 == frontier.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+fn cmd_dse(argv: &[String]) -> Result<(), String> {
+    let args = parse_dse_args(argv)?;
+    let grid = ArchGrid {
+        rows: args.rows,
+        cols: args.cols,
+        ibuf_bytes: args.ibuf_kb.iter().map(|kb| kb * 1024).collect(),
+        wbuf_bytes: args.wbuf_kb.iter().map(|kb| kb * 1024).collect(),
+        obuf_bytes: args.obuf_kb.iter().map(|kb| kb * 1024).collect(),
+        dram_bits_per_cycle: args.bandwidth,
+        ..ArchGrid::from_base(ArchConfig::isca_45nm())
+    };
+    let grid_points = grid.len();
+    let spec = DseSpec {
+        grid,
+        models: args.networks.iter().map(|b| b.model()).collect(),
+        batches: args.batches,
+        options: Default::default(),
+    };
+    if spec.is_empty() {
+        return Err("empty design space (a dimension has no candidates)".into());
+    }
+    let result = dse_explore(&spec, &args.backend, args.workers);
+    if args.json {
+        println!("{}", dse_json(&result, grid_points));
+        return Ok(());
+    }
+    println!(
+        "design space: {grid_points} architectures x {} networks x {} batch sizes = {} points ({} backend)",
+        spec.models.len(),
+        spec.batches.len(),
+        spec.len(),
+        result.backend
+    );
+    println!(
+        "evaluated {} points ({} infeasible); compile cache: {} unique compilations, {} points served from cache",
+        result.points.len(),
+        result.infeasible.len(),
+        result.compile_misses,
+        result.compile_hits
+    );
+    let frontier = result.pareto_frontier();
+    println!("\nPareto frontier over (cycles, energy, area), {} of {} architectures:", frontier.len(), grid_points);
+    println!(
+        "  {:>4} {:>4} {:>5} {:>5} {:>5} {:>5} | {:>14} {:>11} {:>9} {:>8}",
+        "rows", "cols", "ibuf", "wbuf", "obuf", "bw", "cycles", "energy(mJ)", "area(mm2)", "bw-stall"
+    );
+    for s in &frontier {
+        let a = &s.arch;
+        let total_stall = s.stalls.bandwidth_starved + s.stalls.compute_starved;
+        let bw_frac = if total_stall == 0 {
+            0.0
+        } else {
+            s.stalls.bandwidth_starved as f64 / total_stall as f64
+        };
+        println!(
+            "  {:>4} {:>4} {:>4}K {:>4}K {:>4}K {:>5} | {:>14} {:>11.2} {:>9.2} {:>7.0}%",
+            a.rows,
+            a.cols,
+            a.ibuf_bytes / 1024,
+            a.wbuf_bytes / 1024,
+            a.obuf_bytes / 1024,
+            a.dram_bits_per_cycle,
+            s.total_cycles,
+            s.total_energy_pj / 1e9,
+            s.area_mm2,
+            bw_frac * 100.0
+        );
+    }
+    if !result.infeasible.is_empty() {
+        let show = result.infeasible.len().min(3);
+        println!("\ninfeasible corners (first {show}):");
+        for p in result.infeasible.iter().take(show) {
+            println!("  {} @ {}: {}", p.model_name, p.arch, p.error);
+        }
     }
     Ok(())
 }
@@ -269,6 +500,10 @@ fn run() -> Result<(), String> {
         return Err(usage().to_string());
     }
     let command = argv[0].clone();
+    if command == "dse" {
+        // The grid flags take comma-separated lists: dedicated parser.
+        return cmd_dse(&argv[1..]);
+    }
     let args = parse_args(&argv[1..])?;
     if command == "list" {
         cmd_list();
