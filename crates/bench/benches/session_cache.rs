@@ -1,0 +1,100 @@
+//! Session artifact-cache effectiveness: warm requests vs cold requests.
+//!
+//! Issues the same `report` request twice — once against a fresh session
+//! (cold: the compile-once artifact must be built) and once against a
+//! session that has already served it (warm: the plan comes from the
+//! shared [`ArtifactCache`], only evaluation runs) — across several
+//! benchmarks, and reports the speedup. The warm path must be ≥2× faster:
+//! compilation (the tile-size search) dominates a one-shot evaluation,
+//! which is exactly why the cache is promoted to a first-class, shared
+//! object in the service layer.
+//!
+//! `cargo bench -p bitfusion-bench --bench session_cache` (add `-- --test`
+//! for the CI smoke run, which shrinks the workload and skips the
+//! assertion).
+
+use std::time::Instant;
+
+use bitfusion::service::{Request, Response, Session};
+
+fn report_request(benchmark: &str) -> Request {
+    Request::parse(&format!(
+        "{{\"cmd\":\"report\",\"benchmark\":\"{benchmark}\",\"batch\":16}}"
+    ))
+    .expect("valid request")
+}
+
+/// Best-of-N wall-clock for one `handle` call on `session`.
+fn timed(session: &Session, request: &Request, iterations: u32) -> (f64, Response) {
+    let mut best = f64::INFINITY;
+    let mut response = None;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        let r = session.handle(request);
+        best = best.min(start.elapsed().as_secs_f64());
+        response = Some(r);
+    }
+    (best, response.expect("at least one iteration"))
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let benchmarks: &[&str] = if test_mode {
+        &["rnn"]
+    } else {
+        &["alexnet", "vgg-7", "lstm", "rnn"]
+    };
+
+    println!("session artifact cache: cold (fresh session) vs warm (cached plan)\n");
+    println!(
+        "  {:<10} {:>12} {:>12} {:>9}",
+        "benchmark", "cold (ms)", "warm (ms)", "speedup"
+    );
+
+    let mut worst = f64::INFINITY;
+    for name in benchmarks {
+        let request = report_request(name);
+        // Cold: a fresh session per measurement, like a one-shot CLI call.
+        let mut cold = f64::INFINITY;
+        let mut cold_resp = None;
+        for _ in 0..3 {
+            let session = Session::new();
+            let (t, r) = timed(&session, &request, 1);
+            cold = cold.min(t);
+            cold_resp = Some(r);
+        }
+        // Warm: one session, first call pays the compile, the rest reuse it.
+        let session = Session::new();
+        let (_, _) = timed(&session, &request, 1);
+        let (warm, warm_resp) = timed(&session, &request, if test_mode { 2 } else { 5 });
+        assert_eq!(
+            cold_resp.unwrap().encode(),
+            warm_resp.encode(),
+            "{name}: cache warmth must never change response bytes"
+        );
+        assert!(
+            session.cache_stats().hits > 0,
+            "{name}: warm requests must hit the cache"
+        );
+        let speedup = cold / warm;
+        worst = worst.min(speedup);
+        println!(
+            "  {:<10} {:>12.3} {:>12.3} {:>8.1}x",
+            name,
+            cold * 1e3,
+            warm * 1e3,
+            speedup
+        );
+    }
+
+    if test_mode {
+        println!("\n(test mode: speedup assertion skipped)");
+        return;
+    }
+    println!("\nworst-case warm speedup: {worst:.1}x");
+    assert!(
+        worst >= 2.0,
+        "shared artifact cache must make warm requests >=2x faster (got {worst:.2}x)"
+    );
+    println!("OK: warm requests are >=2x faster than cold ones");
+}

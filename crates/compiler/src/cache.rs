@@ -1,0 +1,434 @@
+//! The shared compiled-artifact cache: a thread-safe, capacity-bounded
+//! memo of [`compile`] results keyed on exactly the fields compilation
+//! depends on.
+//!
+//! Compilation — the buffer-constrained tile-size search plus block
+//! emission — dominates the cost of every evaluation path (a single
+//! `report` spends most of its time here, and a design-space sweep
+//! re-visits the same geometry at every bandwidth point). The paper's
+//! toolchain reflects the same split: the Fusion-ISA binary is produced
+//! once per (network, accelerator organization) and then evaluated many
+//! times (§IV–V of Sharma et al., ISCA 2018). This module makes that
+//! compile-once artifact a first-class, shared object:
+//!
+//! * **key** — [`ArtifactKey`] captures `(model, batch, geometry,
+//!   buffers)`: the model identity (name plus a structural fingerprint, so
+//!   a mutated model under a reused name cannot alias a stale plan), the
+//!   batch size, and the compile-relevant [`ArchConfig`] fields. Off-chip
+//!   bandwidth and clock frequency are deliberately **excluded** — tiling
+//!   never depends on them, which is what lets a whole bandwidth axis
+//!   share one compilation;
+//! * **storage** — [`ArtifactCache`] holds `Arc`-shared compile results
+//!   (including failures, so an infeasible corner is not re-searched)
+//!   behind a mutex, with least-recently-used eviction at a fixed
+//!   capacity;
+//! * **stats** — [`CacheStats`] exposes hits/misses/evictions so callers
+//!   (the session facade, the DSE engine) can report cache effectiveness.
+//!
+//! Failed compilations are cached too, but an eviction pass prefers
+//! evicting failures first: they are cheap to reproduce relative to a
+//! successful plan's tile search.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use bitfusion_core::arch::ArchConfig;
+use bitfusion_dnn::model::Model;
+
+use crate::error::CompileError;
+use crate::plan::{compile, ExecutionPlan};
+
+/// A cached compile result: the plan, or the error the compiler produced.
+pub type CachedPlan = Arc<Result<ExecutionPlan, CompileError>>;
+
+/// The identity of one compiled artifact: every input [`compile`] actually
+/// reads, and nothing else.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// Model name.
+    pub model: String,
+    /// Structural fingerprint of the model (layer topology, shapes,
+    /// precisions), guarding against two different models sharing a name.
+    pub fingerprint: u64,
+    /// Batch size compiled for.
+    pub batch: u64,
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Input-buffer capacity in bytes.
+    pub ibuf_bytes: usize,
+    /// Weight-buffer capacity in bytes.
+    pub wbuf_bytes: usize,
+    /// Output-buffer capacity in bytes.
+    pub obuf_bytes: usize,
+    /// Bits per SRAM data-array access.
+    pub buffer_access_bits: u32,
+}
+
+impl ArtifactKey {
+    /// Builds the key for compiling `model` at `batch` onto `arch`.
+    pub fn of(model: &Model, arch: &ArchConfig, batch: u64) -> Self {
+        ArtifactKey::with_fingerprint(&model.name, fingerprint(model), arch, batch)
+    }
+
+    /// Builds the key from a precomputed [`fingerprint`] — for callers
+    /// (like the DSE engine) that key many architectures against the same
+    /// model and should hash it once, not once per geometry.
+    pub fn with_fingerprint(
+        model: &str,
+        fingerprint: u64,
+        arch: &ArchConfig,
+        batch: u64,
+    ) -> Self {
+        ArtifactKey {
+            model: model.to_string(),
+            fingerprint,
+            batch,
+            rows: arch.rows,
+            cols: arch.cols,
+            ibuf_bytes: arch.ibuf_bytes,
+            wbuf_bytes: arch.wbuf_bytes,
+            obuf_bytes: arch.obuf_bytes,
+            buffer_access_bits: arch.buffer_access_bits,
+        }
+    }
+}
+
+/// FNV-1a over the model's debug representation: layer names, shapes, and
+/// precisions all land in the stream, so any structural edit changes the
+/// fingerprint. Cheap relative to a tile search (microseconds vs
+/// milliseconds) and deterministic across runs.
+pub fn fingerprint(model: &Model) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{model:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Snapshot of a cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh compilation.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups so far (0 when the cache is untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: CachedPlan,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<ArtifactKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe, capacity-bounded, least-recently-used cache of compiled
+/// execution plans.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_compiler::cache::ArtifactCache;
+/// use bitfusion_core::arch::ArchConfig;
+/// use bitfusion_dnn::zoo::Benchmark;
+///
+/// let cache = ArtifactCache::new(8);
+/// let arch = ArchConfig::isca_45nm();
+/// let model = Benchmark::Rnn.model();
+/// let cold = cache.get_or_compile(&model, &arch, 16);
+/// let warm = cache.get_or_compile(&model, &arch, 16);
+/// assert!(std::sync::Arc::ptr_eq(&cold, &warm));
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+/// Default capacity: comfortably holds the whole zoo at several batch
+/// sizes and a modest geometry grid without unbounded growth.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("ArtifactCache")
+            .field("len", &s.len)
+            .field("capacity", &s.capacity)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+impl ArtifactCache {
+    /// Creates a cache holding at most `capacity` compiled plans
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss, and refreshing recency on a
+    /// hit.
+    pub fn lookup(&self, key: &ArtifactKey) -> Option<CachedPlan> {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let plan = entry.plan.clone();
+                inner.hits += 1;
+                Some(plan)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is resident, without touching counters or recency.
+    pub fn contains(&self, key: &ArtifactKey) -> bool {
+        self.inner
+            .lock()
+            .expect("artifact cache poisoned")
+            .map
+            .contains_key(key)
+    }
+
+    /// Inserts a compile result, evicting the least-recently-used entry
+    /// when full (failed plans are evicted before successful ones — they
+    /// are cheap to reproduce).
+    pub fn insert(&self, key: ArtifactKey, plan: CachedPlan) {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.plan.is_ok(), e.last_used))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Returns the cached plan for `(model, arch, batch)`, compiling and
+    /// inserting it on a miss.
+    ///
+    /// The compilation itself runs *outside* the cache lock, so concurrent
+    /// misses on different keys compile in parallel. Two threads racing on
+    /// the same cold key may both compile it; the plans are identical
+    /// (compilation is deterministic), the last insert wins, and the
+    /// duplicated work is bounded by one compilation.
+    pub fn get_or_compile(&self, model: &Model, arch: &ArchConfig, batch: u64) -> CachedPlan {
+        let key = ArtifactKey::of(model, arch, batch);
+        if let Some(plan) = self.lookup(&key) {
+            return plan;
+        }
+        let plan: CachedPlan = Arc::new(compile(model, arch, batch));
+        self.insert(key, plan.clone());
+        plan
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("artifact cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("artifact cache poisoned")
+            .map
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitfusion_dnn::zoo::Benchmark;
+
+    fn key(tag: u64) -> ArtifactKey {
+        ArtifactKey {
+            model: format!("m{tag}"),
+            fingerprint: tag,
+            batch: 1,
+            rows: 32,
+            cols: 16,
+            ibuf_bytes: 1,
+            wbuf_bytes: 1,
+            obuf_bytes: 1,
+            buffer_access_bits: 32,
+        }
+    }
+
+    fn ok_plan() -> CachedPlan {
+        let arch = ArchConfig::isca_45nm();
+        Arc::new(compile(&Benchmark::Rnn.model(), &arch, 1))
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let cache = ArtifactCache::new(2);
+        let plan = ok_plan();
+        cache.insert(key(1), plan.clone());
+        cache.insert(key(2), plan.clone());
+        // Touch key 1 so key 2 is the least recently used.
+        assert!(cache.lookup(&key(1)).is_some());
+        cache.insert(key(3), plan.clone());
+        let stats = cache.stats();
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.contains(&key(1)), "recently used survives");
+        assert!(!cache.contains(&key(2)), "LRU entry evicted");
+        assert!(cache.contains(&key(3)));
+    }
+
+    #[test]
+    fn hit_rate_counts_lookups() {
+        let cache = ArtifactCache::new(4);
+        let arch = ArchConfig::isca_45nm();
+        let model = Benchmark::Lstm.model();
+        assert!(cache.get_or_compile(&model, &arch, 4).is_ok());
+        for _ in 0..3 {
+            assert!(cache.get_or_compile(&model, &arch, 4).is_ok());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn bandwidth_and_frequency_share_an_artifact() {
+        let cache = ArtifactCache::default();
+        let model = Benchmark::Rnn.model();
+        let a = cache.get_or_compile(&model, &ArchConfig::isca_45nm(), 16);
+        let b = cache.get_or_compile(
+            &model,
+            &ArchConfig::isca_45nm().with_bandwidth(512).with_frequency(980),
+            16,
+        );
+        assert!(Arc::ptr_eq(&a, &b), "bandwidth/frequency are not key fields");
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn mutated_model_with_same_name_is_a_different_artifact() {
+        let cache = ArtifactCache::default();
+        let model = Benchmark::Rnn.model();
+        let mut mutated = model.clone();
+        mutated.layers.pop();
+        let arch = ArchConfig::isca_45nm();
+        let a = cache.get_or_compile(&model, &arch, 1);
+        let b = cache.get_or_compile(&mutated, &arch, 1);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn failed_compiles_are_cached_and_evicted_first() {
+        let cache = ArtifactCache::new(2);
+        let mut tiny = ArchConfig::isca_45nm();
+        tiny.obuf_bytes = 1;
+        let model = Benchmark::Svhn.model();
+        let failed = cache.get_or_compile(&model, &tiny, 4);
+        assert!(failed.is_err());
+        // Second lookup of the failure is a hit, not a fresh search.
+        assert!(cache.get_or_compile(&model, &tiny, 4).is_err());
+        assert_eq!(cache.stats().hits, 1);
+
+        // Fill past capacity: the failure goes before the newest success
+        // even though the success is older by recency.
+        let plan = ok_plan();
+        cache.insert(key(7), plan.clone());
+        cache.insert(key(8), plan);
+        assert!(!cache.contains(&ArtifactKey::of(&model, &tiny, 4)));
+        assert!(cache.contains(&key(7)));
+        assert!(cache.contains(&key(8)));
+    }
+
+    #[test]
+    fn concurrent_get_or_compile_is_safe() {
+        let cache = ArtifactCache::default();
+        let arch = ArchConfig::isca_45nm();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for b in [Benchmark::Rnn, Benchmark::Lstm] {
+                        let plan = cache.get_or_compile(&b.model(), &arch, 2);
+                        assert!(plan.is_ok());
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.hits + stats.misses, 8);
+    }
+}

@@ -15,11 +15,15 @@
 //! tile search → block emission ([`lower`]), producing an
 //! [`ExecutionPlan`] whose blocks are valid, encodable Fusion-ISA and whose
 //! [`Mapping`] facts (whole-layer and per-segment) feed the performance
-//! simulator.
+//! simulator. Compiled plans are memoizable in the shared, thread-safe
+//! [`cache::ArtifactCache`], keyed on exactly the inputs compilation reads
+//! (model, batch, array geometry, buffer capacities — *not* bandwidth or
+//! frequency).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod cost;
 pub mod error;
 pub mod fuse;
@@ -28,6 +32,7 @@ pub mod lower;
 pub mod plan;
 pub mod tiling;
 
+pub use cache::{ArtifactCache, ArtifactKey, CacheStats, CachedPlan};
 pub use error::CompileError;
 pub use fuse::{fuse_layers, FusedGroup, PostOp};
 pub use gemm::{layer_to_gemm, GemmLayer, GemmShape};

@@ -1,0 +1,1344 @@
+//! The typed request/response protocol every evaluation path speaks.
+//!
+//! A [`Request`] names one operation the reproduction can perform —
+//! the same six the CLI exposes (`list`, `report`, `compare`, `asm`,
+//! `sweep`, `dse`) — and a [`Response`] carries its full machine-readable
+//! result. Both sides round-trip through the deterministic JSON layer
+//! ([`crate::json`]): `encode ∘ parse ∘ encode` is a fixed point for every
+//! variant (property-tested), and the wire form is a single line, so the
+//! `serve` loop's JSON-lines framing and the one-shot `--json` flag emit
+//! byte-identical documents.
+//!
+//! Wire shape: requests are objects with a `"cmd"` discriminant
+//! (`{"cmd":"report","benchmark":"LSTM",...}`), responses with a
+//! `"reply"` discriminant mirroring the request that produced them, plus
+//! `{"reply":"error","message":...}` for failures. Optional fields are
+//! omitted when absent; absent fields parse to their documented defaults,
+//! so hand-written requests can stay terse.
+
+use crate::json::{parse as parse_json, Json};
+
+/// Which simulation backend evaluates a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The closed-form analytic model (the default: cheap, sweep-friendly).
+    Analytic,
+    /// The trace-driven event model (stall attribution, occupancy).
+    Event,
+}
+
+impl BackendChoice {
+    /// Wire / CLI spelling.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            BackendChoice::Analytic => "analytic",
+            BackendChoice::Event => "event",
+        }
+    }
+
+    /// Parses the wire / CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "analytic" => Ok(BackendChoice::Analytic),
+            "event" => Ok(BackendChoice::Event),
+            other => Err(format!("unknown backend `{other}` (analytic|event)")),
+        }
+    }
+}
+
+/// Which preset architecture a `report`/`asm` request runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArchPreset {
+    /// The paper's 45 nm, 512-Fusion-Unit configuration.
+    #[default]
+    Isca45nm,
+    /// The 16 nm GPU-comparison configuration.
+    Gpu16nm,
+    /// The Stripes-matched configuration (980 MHz).
+    StripesMatched,
+}
+
+impl ArchPreset {
+    /// Wire / CLI spelling.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ArchPreset::Isca45nm => "45nm",
+            ArchPreset::Gpu16nm => "16nm",
+            ArchPreset::StripesMatched => "stripes",
+        }
+    }
+
+    /// Parses the wire / CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "45nm" => Ok(ArchPreset::Isca45nm),
+            "16nm" => Ok(ArchPreset::Gpu16nm),
+            "stripes" => Ok(ArchPreset::StripesMatched),
+            other => Err(format!("unknown arch `{other}` (45nm|16nm|stripes)")),
+        }
+    }
+}
+
+/// Which axis a `sweep` request walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepAxis {
+    /// Batch size at fixed architecture (Figure 16).
+    Batch,
+    /// Off-chip bandwidth at fixed batch (Figure 15).
+    Bandwidth,
+}
+
+impl SweepAxis {
+    /// Wire / CLI spelling.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SweepAxis::Batch => "batch",
+            SweepAxis::Bandwidth => "bandwidth",
+        }
+    }
+
+    /// Parses the wire / CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "batch" => Ok(SweepAxis::Batch),
+            "bandwidth" => Ok(SweepAxis::Bandwidth),
+            other => Err(format!("unknown sweep axis `{other}` (batch|bandwidth)")),
+        }
+    }
+}
+
+/// Parameters of a `dse` request: the architecture grid (comma lists on
+/// the CLI, arrays on the wire) crossed with networks and batch sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseParams {
+    /// Array-row candidates.
+    pub rows: Vec<u64>,
+    /// Array-column candidates.
+    pub cols: Vec<u64>,
+    /// IBUF capacities in KB.
+    pub ibuf_kb: Vec<u64>,
+    /// WBUF capacities in KB.
+    pub wbuf_kb: Vec<u64>,
+    /// OBUF capacities in KB.
+    pub obuf_kb: Vec<u64>,
+    /// Off-chip bandwidths in bits/cycle.
+    pub bandwidth: Vec<u64>,
+    /// Batch sizes.
+    pub batches: Vec<u64>,
+    /// Benchmark names, or `None` for the whole zoo.
+    pub networks: Option<Vec<String>>,
+    /// Worker threads (0 = all cores).
+    pub workers: u64,
+    /// Backend override (session default when absent).
+    pub backend: Option<BackendChoice>,
+}
+
+impl Default for DseParams {
+    fn default() -> Self {
+        DseParams {
+            rows: vec![16, 32],
+            cols: vec![8, 16],
+            ibuf_kb: vec![32],
+            wbuf_kb: vec![64],
+            obuf_kb: vec![16],
+            bandwidth: vec![64, 128, 256],
+            batches: vec![16],
+            networks: None,
+            workers: 0,
+            backend: None,
+        }
+    }
+}
+
+/// One operation the service can perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enumerate the benchmark zoo and preset architectures.
+    List,
+    /// Simulate one benchmark on one architecture.
+    Report {
+        /// Benchmark name (case-insensitive).
+        benchmark: String,
+        /// Batch size.
+        batch: u64,
+        /// Off-chip bandwidth override in bits/cycle.
+        bandwidth: Option<u32>,
+        /// Preset architecture.
+        arch: ArchPreset,
+        /// Backend override (session default when absent).
+        backend: Option<BackendChoice>,
+    },
+    /// Compare one benchmark against the Eyeriss/Stripes/GPU baselines.
+    Compare {
+        /// Benchmark name (case-insensitive).
+        benchmark: String,
+        /// Batch size.
+        batch: u64,
+        /// Backend override (session default when absent).
+        backend: Option<BackendChoice>,
+    },
+    /// Dump the compiled Fusion-ISA assembly.
+    Asm {
+        /// Benchmark name (case-insensitive).
+        benchmark: String,
+        /// Batch size.
+        batch: u64,
+        /// Preset architecture the code is compiled for.
+        arch: ArchPreset,
+        /// Restrict output to one layer.
+        layer: Option<String>,
+    },
+    /// Walk one sensitivity axis (Figure 15/16).
+    Sweep {
+        /// Benchmark name (case-insensitive).
+        benchmark: String,
+        /// The swept axis.
+        axis: SweepAxis,
+        /// Backend override (session default when absent).
+        backend: Option<BackendChoice>,
+    },
+    /// Explore an architecture grid and reduce to a Pareto frontier.
+    Dse(DseParams),
+}
+
+impl Request {
+    /// The request's `cmd` discriminant (also the CLI subcommand name).
+    pub const fn cmd(&self) -> &'static str {
+        match self {
+            Request::List => "list",
+            Request::Report { .. } => "report",
+            Request::Compare { .. } => "compare",
+            Request::Asm { .. } => "asm",
+            Request::Sweep { .. } => "sweep",
+            Request::Dse(_) => "dse",
+        }
+    }
+
+    /// Converts to the wire document.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = vec![("cmd", Json::Str(self.cmd().to_string()))];
+        match self {
+            Request::List => {}
+            Request::Report {
+                benchmark,
+                batch,
+                bandwidth,
+                arch,
+                backend,
+            } => {
+                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+                pairs.push(("batch", Json::uint(*batch)));
+                if let Some(bw) = bandwidth {
+                    pairs.push(("bandwidth", Json::uint(*bw as u64)));
+                }
+                pairs.push(("arch", Json::Str(arch.as_str().to_string())));
+                if let Some(b) = backend {
+                    pairs.push(("backend", Json::Str(b.as_str().to_string())));
+                }
+            }
+            Request::Compare {
+                benchmark,
+                batch,
+                backend,
+            } => {
+                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+                pairs.push(("batch", Json::uint(*batch)));
+                if let Some(b) = backend {
+                    pairs.push(("backend", Json::Str(b.as_str().to_string())));
+                }
+            }
+            Request::Asm {
+                benchmark,
+                batch,
+                arch,
+                layer,
+            } => {
+                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+                pairs.push(("batch", Json::uint(*batch)));
+                pairs.push(("arch", Json::Str(arch.as_str().to_string())));
+                if let Some(l) = layer {
+                    pairs.push(("layer", Json::Str(l.clone())));
+                }
+            }
+            Request::Sweep {
+                benchmark,
+                axis,
+                backend,
+            } => {
+                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+                pairs.push(("axis", Json::Str(axis.as_str().to_string())));
+                if let Some(b) = backend {
+                    pairs.push(("backend", Json::Str(b.as_str().to_string())));
+                }
+            }
+            Request::Dse(p) => {
+                pairs.push(("rows", uint_arr(&p.rows)));
+                pairs.push(("cols", uint_arr(&p.cols)));
+                pairs.push(("ibuf_kb", uint_arr(&p.ibuf_kb)));
+                pairs.push(("wbuf_kb", uint_arr(&p.wbuf_kb)));
+                pairs.push(("obuf_kb", uint_arr(&p.obuf_kb)));
+                pairs.push(("bandwidth", uint_arr(&p.bandwidth)));
+                pairs.push(("batches", uint_arr(&p.batches)));
+                if let Some(networks) = &p.networks {
+                    pairs.push((
+                        "networks",
+                        Json::Arr(networks.iter().map(|n| Json::Str(n.clone())).collect()),
+                    ));
+                }
+                pairs.push(("workers", Json::uint(p.workers)));
+                if let Some(b) = p.backend {
+                    pairs.push(("backend", Json::Str(b.as_str().to_string())));
+                }
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Encodes to the single-line wire form.
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Reads a request back from a wire document.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing or ill-typed field.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let cmd = str_field(doc, "cmd")?;
+        // Reject unrecognized keys: a typo'd field (`bacth`) must be an
+        // error, not a silently applied default, mirroring the CLI's
+        // unknown-flag behaviour.
+        let allowed: &[&str] = match cmd.as_str() {
+            "list" => &[],
+            "report" => &["benchmark", "batch", "bandwidth", "arch", "backend"],
+            "compare" => &["benchmark", "batch", "backend"],
+            "asm" => &["benchmark", "batch", "arch", "layer"],
+            "sweep" => &["benchmark", "axis", "backend"],
+            "dse" => &[
+                "rows", "cols", "ibuf_kb", "wbuf_kb", "obuf_kb", "bandwidth", "batches",
+                "networks", "workers", "backend",
+            ],
+            other => {
+                return Err(format!(
+                    "unknown cmd `{other}` (list|report|compare|asm|sweep|dse)"
+                ))
+            }
+        };
+        if let Json::Obj(pairs) = doc {
+            for (k, _) in pairs {
+                if k != "cmd" && !allowed.contains(&k.as_str()) {
+                    return Err(if allowed.is_empty() {
+                        format!("unknown field `{k}` for `{cmd}` (takes no fields)")
+                    } else {
+                        format!(
+                            "unknown field `{k}` for `{cmd}` (allowed: {})",
+                            allowed.join(", ")
+                        )
+                    });
+                }
+            }
+        }
+        match cmd.as_str() {
+            "list" => Ok(Request::List),
+            "report" => Ok(Request::Report {
+                benchmark: str_field(doc, "benchmark")?,
+                batch: opt_u64_field(doc, "batch")?.unwrap_or(16),
+                bandwidth: match opt_u64_field(doc, "bandwidth")? {
+                    Some(bw) => Some(
+                        u32::try_from(bw).map_err(|_| "bandwidth out of range".to_string())?,
+                    ),
+                    None => None,
+                },
+                arch: match opt_str_field(doc, "arch")? {
+                    Some(s) => ArchPreset::parse(&s)?,
+                    None => ArchPreset::default(),
+                },
+                backend: opt_backend(doc)?,
+            }),
+            "compare" => Ok(Request::Compare {
+                benchmark: str_field(doc, "benchmark")?,
+                batch: opt_u64_field(doc, "batch")?.unwrap_or(16),
+                backend: opt_backend(doc)?,
+            }),
+            "asm" => Ok(Request::Asm {
+                benchmark: str_field(doc, "benchmark")?,
+                batch: opt_u64_field(doc, "batch")?.unwrap_or(16),
+                arch: match opt_str_field(doc, "arch")? {
+                    Some(s) => ArchPreset::parse(&s)?,
+                    None => ArchPreset::default(),
+                },
+                layer: opt_str_field(doc, "layer")?,
+            }),
+            "sweep" => Ok(Request::Sweep {
+                benchmark: str_field(doc, "benchmark")?,
+                axis: SweepAxis::parse(&str_field(doc, "axis")?)?,
+                backend: opt_backend(doc)?,
+            }),
+            "dse" => {
+                let d = DseParams::default();
+                Ok(Request::Dse(DseParams {
+                    rows: opt_uint_arr(doc, "rows")?.unwrap_or(d.rows),
+                    cols: opt_uint_arr(doc, "cols")?.unwrap_or(d.cols),
+                    ibuf_kb: opt_uint_arr(doc, "ibuf_kb")?.unwrap_or(d.ibuf_kb),
+                    wbuf_kb: opt_uint_arr(doc, "wbuf_kb")?.unwrap_or(d.wbuf_kb),
+                    obuf_kb: opt_uint_arr(doc, "obuf_kb")?.unwrap_or(d.obuf_kb),
+                    bandwidth: opt_uint_arr(doc, "bandwidth")?.unwrap_or(d.bandwidth),
+                    batches: opt_uint_arr(doc, "batches")?.unwrap_or(d.batches),
+                    networks: match doc.get("networks") {
+                        None => None,
+                        Some(v) => Some(
+                            v.as_arr()
+                                .ok_or("networks must be an array")?
+                                .iter()
+                                .map(|n| {
+                                    n.as_str()
+                                        .map(str::to_string)
+                                        .ok_or_else(|| "networks entries must be strings".to_string())
+                                })
+                                .collect::<Result<_, _>>()?,
+                        ),
+                    },
+                    workers: opt_u64_field(doc, "workers")?.unwrap_or(0),
+                    backend: opt_backend(doc)?,
+                }))
+            }
+            other => Err(format!(
+                "unknown cmd `{other}` (list|report|compare|asm|sweep|dse)"
+            )),
+        }
+    }
+
+    /// Parses a request from its wire text.
+    ///
+    /// # Errors
+    ///
+    /// Reports JSON syntax errors with a byte offset, and protocol errors
+    /// naming the offending field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = parse_json(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        Request::from_json(&doc)
+    }
+}
+
+/// An architecture as the protocol reports it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchInfo {
+    /// Configuration name.
+    pub name: String,
+    /// Array rows.
+    pub rows: u64,
+    /// Array columns.
+    pub cols: u64,
+    /// IBUF capacity in KB.
+    pub ibuf_kb: u64,
+    /// WBUF capacity in KB.
+    pub wbuf_kb: u64,
+    /// OBUF capacity in KB.
+    pub obuf_kb: u64,
+    /// Off-chip bandwidth in bits/cycle.
+    pub bandwidth_bits_per_cycle: u64,
+    /// Clock frequency in MHz.
+    pub freq_mhz: u64,
+}
+
+impl ArchInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("rows", Json::uint(self.rows)),
+            ("cols", Json::uint(self.cols)),
+            ("ibuf_kb", Json::uint(self.ibuf_kb)),
+            ("wbuf_kb", Json::uint(self.wbuf_kb)),
+            ("obuf_kb", Json::uint(self.obuf_kb)),
+            (
+                "bandwidth_bits_per_cycle",
+                Json::uint(self.bandwidth_bits_per_cycle),
+            ),
+            ("freq_mhz", Json::uint(self.freq_mhz)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(ArchInfo {
+            name: str_field(doc, "name")?,
+            rows: u64_field(doc, "rows")?,
+            cols: u64_field(doc, "cols")?,
+            ibuf_kb: u64_field(doc, "ibuf_kb")?,
+            wbuf_kb: u64_field(doc, "wbuf_kb")?,
+            obuf_kb: u64_field(doc, "obuf_kb")?,
+            bandwidth_bits_per_cycle: u64_field(doc, "bandwidth_bits_per_cycle")?,
+            freq_mhz: u64_field(doc, "freq_mhz")?,
+        })
+    }
+}
+
+/// An energy breakdown on the wire (the Figure 14 categories, in pJ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyInfo {
+    /// Datapath energy.
+    pub compute_pj: f64,
+    /// On-chip buffer energy.
+    pub buffer_pj: f64,
+    /// Register/pipeline-register energy.
+    pub rf_pj: f64,
+    /// Off-chip DRAM energy.
+    pub dram_pj: f64,
+}
+
+impl EnergyInfo {
+    /// Total across the four categories.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.buffer_pj + self.rf_pj + self.dram_pj
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("compute_pj", Json::float(self.compute_pj)),
+            ("buffer_pj", Json::float(self.buffer_pj)),
+            ("rf_pj", Json::float(self.rf_pj)),
+            ("dram_pj", Json::float(self.dram_pj)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(EnergyInfo {
+            compute_pj: f64_field(doc, "compute_pj")?,
+            buffer_pj: f64_field(doc, "buffer_pj")?,
+            rf_pj: f64_field(doc, "rf_pj")?,
+            dram_pj: f64_field(doc, "dram_pj")?,
+        })
+    }
+}
+
+/// Stall attribution on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StallInfo {
+    /// Cycles the array starved for off-chip data.
+    pub bandwidth_starved: u64,
+    /// Cycles the DMA engine waited on compute.
+    pub compute_starved: u64,
+    /// Systolic fill/drain cycles.
+    pub fill_drain: u64,
+}
+
+impl StallInfo {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("bandwidth_starved", Json::uint(self.bandwidth_starved)),
+            ("compute_starved", Json::uint(self.compute_starved)),
+            ("fill_drain", Json::uint(self.fill_drain)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(StallInfo {
+            bandwidth_starved: u64_field(doc, "bandwidth_starved")?,
+            compute_starved: u64_field(doc, "compute_starved")?,
+            fill_drain: u64_field(doc, "fill_drain")?,
+        })
+    }
+}
+
+/// One layer's result inside a [`Response::Report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerInfo {
+    /// Layer/group name.
+    pub name: String,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Compute-model cycles.
+    pub compute_cycles: u64,
+    /// DMA-model cycles.
+    pub dma_cycles: u64,
+    /// Multiply-accumulates.
+    pub macs: u64,
+    /// Off-chip bits moved.
+    pub dram_bits: u64,
+    /// Whether the layer was bandwidth-bound.
+    pub bandwidth_bound: bool,
+}
+
+impl LayerInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("cycles", Json::uint(self.cycles)),
+            ("compute_cycles", Json::uint(self.compute_cycles)),
+            ("dma_cycles", Json::uint(self.dma_cycles)),
+            ("macs", Json::uint(self.macs)),
+            ("dram_bits", Json::uint(self.dram_bits)),
+            ("bandwidth_bound", Json::Bool(self.bandwidth_bound)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(LayerInfo {
+            name: str_field(doc, "name")?,
+            cycles: u64_field(doc, "cycles")?,
+            compute_cycles: u64_field(doc, "compute_cycles")?,
+            dma_cycles: u64_field(doc, "dma_cycles")?,
+            macs: u64_field(doc, "macs")?,
+            dram_bits: u64_field(doc, "dram_bits")?,
+            bandwidth_bound: doc
+                .get("bandwidth_bound")
+                .and_then(Json::as_bool)
+                .ok_or("missing field `bandwidth_bound`")?,
+        })
+    }
+}
+
+/// One zoo entry inside a [`Response::Benchmarks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkInfo {
+    /// Display name.
+    pub name: String,
+    /// Layer count.
+    pub layers: u64,
+    /// MACs per input.
+    pub macs: u64,
+    /// Weight storage in bytes.
+    pub weight_bytes: u64,
+}
+
+impl BenchmarkInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("layers", Json::uint(self.layers)),
+            ("macs", Json::uint(self.macs)),
+            ("weight_bytes", Json::uint(self.weight_bytes)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(BenchmarkInfo {
+            name: str_field(doc, "name")?,
+            layers: u64_field(doc, "layers")?,
+            macs: u64_field(doc, "macs")?,
+            weight_bytes: u64_field(doc, "weight_bytes")?,
+        })
+    }
+}
+
+/// The full result of a `report` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportReply {
+    /// Benchmark display name.
+    pub benchmark: String,
+    /// Batch size simulated.
+    pub batch: u64,
+    /// Backend that ran.
+    pub backend: BackendChoice,
+    /// The architecture simulated.
+    pub arch: ArchInfo,
+    /// Total cycles for the batch.
+    pub cycles: u64,
+    /// Total MACs.
+    pub macs: u64,
+    /// Total off-chip bits.
+    pub dram_bits: u64,
+    /// Latency per input in milliseconds.
+    pub latency_ms_per_input: f64,
+    /// Achieved MACs per cycle.
+    pub macs_per_cycle: f64,
+    /// Energy per input.
+    pub energy_per_input: EnergyInfo,
+    /// Whole-run stall attribution.
+    pub stalls: StallInfo,
+    /// Per-layer results in execution order.
+    pub layers: Vec<LayerInfo>,
+}
+
+/// One baseline entry inside a [`Response::Compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineComparison {
+    /// Baseline name.
+    pub name: String,
+    /// Bit Fusion's speedup over the baseline.
+    pub speedup: f64,
+    /// Baseline-energy / BitFusion-energy, when the baseline has an energy
+    /// model.
+    pub energy_ratio: Option<f64>,
+}
+
+impl BaselineComparison {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("speedup", Json::float(self.speedup)),
+        ];
+        if let Some(r) = self.energy_ratio {
+            pairs.push(("energy_ratio", Json::float(r)));
+        }
+        Json::obj(pairs)
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(BaselineComparison {
+            name: str_field(doc, "name")?,
+            speedup: f64_field(doc, "speedup")?,
+            energy_ratio: match doc.get("energy_ratio") {
+                None => None,
+                Some(v) => Some(v.as_f64().ok_or("energy_ratio must be a number")?),
+            },
+        })
+    }
+}
+
+/// The full result of a `compare` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReply {
+    /// Benchmark display name.
+    pub benchmark: String,
+    /// Batch size.
+    pub batch: u64,
+    /// Backend that ran the Bit Fusion side.
+    pub backend: BackendChoice,
+    /// Bit Fusion latency per input, 45 nm configuration, in ms.
+    pub latency_ms_per_input: f64,
+    /// Bit Fusion energy per input, 45 nm configuration.
+    pub energy_per_input: EnergyInfo,
+    /// Per-baseline comparisons.
+    pub baselines: Vec<BaselineComparison>,
+}
+
+/// One disassembled block inside a [`Response::Asm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmBlock {
+    /// Layer/group name the block implements.
+    pub layer: String,
+    /// Fusion-ISA assembly text.
+    pub text: String,
+}
+
+/// The full result of an `asm` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmReply {
+    /// Benchmark display name.
+    pub benchmark: String,
+    /// Batch size compiled for.
+    pub batch: u64,
+    /// Blocks in execution order (filtered when the request named a layer).
+    pub blocks: Vec<AsmBlock>,
+}
+
+/// One point inside a [`Response::Sweep`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPointInfo {
+    /// The swept value (batch size or bits/cycle).
+    pub value: u64,
+    /// Total cycles at that value.
+    pub cycles: u64,
+    /// Cycles per input at that value.
+    pub cycles_per_input: f64,
+    /// Speedup vs the axis baseline (total for bandwidth, per-input for
+    /// batch).
+    pub speedup: f64,
+}
+
+impl SweepPointInfo {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("value", Json::uint(self.value)),
+            ("cycles", Json::uint(self.cycles)),
+            ("cycles_per_input", Json::float(self.cycles_per_input)),
+            ("speedup", Json::float(self.speedup)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(SweepPointInfo {
+            value: u64_field(doc, "value")?,
+            cycles: u64_field(doc, "cycles")?,
+            cycles_per_input: f64_field(doc, "cycles_per_input")?,
+            speedup: f64_field(doc, "speedup")?,
+        })
+    }
+}
+
+/// The full result of a `sweep` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReply {
+    /// Benchmark display name.
+    pub benchmark: String,
+    /// The swept axis.
+    pub axis: SweepAxis,
+    /// Backend that ran.
+    pub backend: BackendChoice,
+    /// The baseline value speedups are relative to.
+    pub baseline: u64,
+    /// Points in sweep order.
+    pub points: Vec<SweepPointInfo>,
+}
+
+/// One Pareto-frontier entry inside a [`Response::Dse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The architecture.
+    pub arch: ArchInfo,
+    /// Cycles summed over the workload suite.
+    pub cycles: u64,
+    /// Energy summed over the workload suite, in pJ.
+    pub energy_pj: f64,
+    /// Chip area in mm².
+    pub area_mm2: f64,
+    /// Bandwidth-starved stall cycles over the suite.
+    pub bandwidth_starved: u64,
+    /// Compute-starved stall cycles over the suite.
+    pub compute_starved: u64,
+}
+
+impl FrontierPoint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("arch", self.arch.to_json()),
+            ("cycles", Json::uint(self.cycles)),
+            ("energy_pj", Json::float(self.energy_pj)),
+            ("area_mm2", Json::float(self.area_mm2)),
+            ("bandwidth_starved", Json::uint(self.bandwidth_starved)),
+            ("compute_starved", Json::uint(self.compute_starved)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(FrontierPoint {
+            arch: ArchInfo::from_json(doc.get("arch").ok_or("missing field `arch`")?)?,
+            cycles: u64_field(doc, "cycles")?,
+            energy_pj: f64_field(doc, "energy_pj")?,
+            area_mm2: f64_field(doc, "area_mm2")?,
+            bandwidth_starved: u64_field(doc, "bandwidth_starved")?,
+            compute_starved: u64_field(doc, "compute_starved")?,
+        })
+    }
+}
+
+/// One infeasible corner reported inside a [`Response::Dse`] (the reply
+/// carries a bounded sample; the count covers the rest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfeasibleInfo {
+    /// Network that failed at this corner.
+    pub model: String,
+    /// The architecture, in its display form.
+    pub arch: String,
+    /// Why the point is infeasible.
+    pub error: String,
+}
+
+impl InfeasibleInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("model", Json::Str(self.model.clone())),
+            ("arch", Json::Str(self.arch.clone())),
+            ("error", Json::Str(self.error.clone())),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(InfeasibleInfo {
+            model: str_field(doc, "model")?,
+            arch: str_field(doc, "arch")?,
+            error: str_field(doc, "error")?,
+        })
+    }
+}
+
+/// The full result of a `dse` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseReply {
+    /// Backend that ran the evaluations.
+    pub backend: BackendChoice,
+    /// Architectures in the grid.
+    pub grid_points: u64,
+    /// Points evaluated.
+    pub points: u64,
+    /// Points that failed validation or compilation.
+    pub infeasible: u64,
+    /// The first few infeasible corners with their reasons (spec order,
+    /// bounded sample).
+    pub infeasible_sample: Vec<InfeasibleInfo>,
+    /// Compilable points served by an artifact another point of the same
+    /// spec also resolves to. Spec-level and warmth-independent (not a
+    /// cache counter): the same request always reports the same number,
+    /// whatever the session's cache already holds.
+    pub compile_hits: u64,
+    /// Unique compilation artifacts the spec resolves to — the
+    /// compilations a cold session would perform. Also spec-level; a warm
+    /// session may compile fewer, but the reply does not change (see the
+    /// determinism contract in `bitfusion_service::session`).
+    pub compile_misses: u64,
+    /// The Pareto frontier over (cycles, energy, area), in grid order.
+    pub frontier: Vec<FrontierPoint>,
+}
+
+/// The result of one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to `list`.
+    Benchmarks {
+        /// The zoo, in paper order.
+        benchmarks: Vec<BenchmarkInfo>,
+        /// Preset architecture descriptions.
+        architectures: Vec<String>,
+    },
+    /// Answer to `report`.
+    Report(ReportReply),
+    /// Answer to `compare`.
+    Compare(CompareReply),
+    /// Answer to `asm`.
+    Asm(AsmReply),
+    /// Answer to `sweep`.
+    Sweep(SweepReply),
+    /// Answer to `dse`.
+    Dse(DseReply),
+    /// The request could not be served.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The response's `reply` discriminant.
+    pub const fn reply(&self) -> &'static str {
+        match self {
+            Response::Benchmarks { .. } => "list",
+            Response::Report(_) => "report",
+            Response::Compare(_) => "compare",
+            Response::Asm(_) => "asm",
+            Response::Sweep(_) => "sweep",
+            Response::Dse(_) => "dse",
+            Response::Error { .. } => "error",
+        }
+    }
+
+    /// Converts to the wire document.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = vec![("reply", Json::Str(self.reply().to_string()))];
+        match self {
+            Response::Benchmarks {
+                benchmarks,
+                architectures,
+            } => {
+                pairs.push((
+                    "benchmarks",
+                    Json::Arr(benchmarks.iter().map(BenchmarkInfo::to_json).collect()),
+                ));
+                pairs.push((
+                    "architectures",
+                    Json::Arr(
+                        architectures
+                            .iter()
+                            .map(|a| Json::Str(a.clone()))
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::Report(r) => {
+                pairs.push(("benchmark", Json::Str(r.benchmark.clone())));
+                pairs.push(("batch", Json::uint(r.batch)));
+                pairs.push(("backend", Json::Str(r.backend.as_str().to_string())));
+                pairs.push(("arch", r.arch.to_json()));
+                pairs.push(("cycles", Json::uint(r.cycles)));
+                pairs.push(("macs", Json::uint(r.macs)));
+                pairs.push(("dram_bits", Json::uint(r.dram_bits)));
+                pairs.push(("latency_ms_per_input", Json::float(r.latency_ms_per_input)));
+                pairs.push(("macs_per_cycle", Json::float(r.macs_per_cycle)));
+                pairs.push(("energy_per_input", r.energy_per_input.to_json()));
+                pairs.push(("stalls", r.stalls.to_json()));
+                pairs.push((
+                    "layers",
+                    Json::Arr(r.layers.iter().map(LayerInfo::to_json).collect()),
+                ));
+            }
+            Response::Compare(r) => {
+                pairs.push(("benchmark", Json::Str(r.benchmark.clone())));
+                pairs.push(("batch", Json::uint(r.batch)));
+                pairs.push(("backend", Json::Str(r.backend.as_str().to_string())));
+                pairs.push(("latency_ms_per_input", Json::float(r.latency_ms_per_input)));
+                pairs.push(("energy_per_input", r.energy_per_input.to_json()));
+                pairs.push((
+                    "baselines",
+                    Json::Arr(r.baselines.iter().map(BaselineComparison::to_json).collect()),
+                ));
+            }
+            Response::Asm(r) => {
+                pairs.push(("benchmark", Json::Str(r.benchmark.clone())));
+                pairs.push(("batch", Json::uint(r.batch)));
+                pairs.push((
+                    "blocks",
+                    Json::Arr(
+                        r.blocks
+                            .iter()
+                            .map(|b| {
+                                Json::obj(vec![
+                                    ("layer", Json::Str(b.layer.clone())),
+                                    ("text", Json::Str(b.text.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Response::Sweep(r) => {
+                pairs.push(("benchmark", Json::Str(r.benchmark.clone())));
+                pairs.push(("axis", Json::Str(r.axis.as_str().to_string())));
+                pairs.push(("backend", Json::Str(r.backend.as_str().to_string())));
+                pairs.push(("baseline", Json::uint(r.baseline)));
+                pairs.push((
+                    "points",
+                    Json::Arr(r.points.iter().map(|p| p.to_json()).collect()),
+                ));
+            }
+            Response::Dse(r) => {
+                pairs.push(("backend", Json::Str(r.backend.as_str().to_string())));
+                pairs.push(("grid_points", Json::uint(r.grid_points)));
+                pairs.push(("points", Json::uint(r.points)));
+                pairs.push(("infeasible", Json::uint(r.infeasible)));
+                if !r.infeasible_sample.is_empty() {
+                    pairs.push((
+                        "infeasible_sample",
+                        Json::Arr(r.infeasible_sample.iter().map(InfeasibleInfo::to_json).collect()),
+                    ));
+                }
+                pairs.push((
+                    "compile",
+                    Json::obj(vec![
+                        ("hits", Json::uint(r.compile_hits)),
+                        ("misses", Json::uint(r.compile_misses)),
+                    ]),
+                ));
+                pairs.push((
+                    "frontier",
+                    Json::Arr(r.frontier.iter().map(FrontierPoint::to_json).collect()),
+                ));
+            }
+            Response::Error { message } => {
+                pairs.push(("message", Json::Str(message.clone())));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Encodes to the single-line wire form — exactly what `--json` prints
+    /// and the `serve` loop writes per response.
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Reads a response back from a wire document.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing or ill-typed field.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let reply = str_field(doc, "reply")?;
+        match reply.as_str() {
+            "list" => Ok(Response::Benchmarks {
+                benchmarks: doc
+                    .get("benchmarks")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing field `benchmarks`")?
+                    .iter()
+                    .map(BenchmarkInfo::from_json)
+                    .collect::<Result<_, _>>()?,
+                architectures: doc
+                    .get("architectures")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing field `architectures`")?
+                    .iter()
+                    .map(|a| {
+                        a.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "architectures entries must be strings".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+            }),
+            "report" => Ok(Response::Report(ReportReply {
+                benchmark: str_field(doc, "benchmark")?,
+                batch: u64_field(doc, "batch")?,
+                backend: BackendChoice::parse(&str_field(doc, "backend")?)?,
+                arch: ArchInfo::from_json(doc.get("arch").ok_or("missing field `arch`")?)?,
+                cycles: u64_field(doc, "cycles")?,
+                macs: u64_field(doc, "macs")?,
+                dram_bits: u64_field(doc, "dram_bits")?,
+                latency_ms_per_input: f64_field(doc, "latency_ms_per_input")?,
+                macs_per_cycle: f64_field(doc, "macs_per_cycle")?,
+                energy_per_input: EnergyInfo::from_json(
+                    doc.get("energy_per_input")
+                        .ok_or("missing field `energy_per_input`")?,
+                )?,
+                stalls: StallInfo::from_json(
+                    doc.get("stalls").ok_or("missing field `stalls`")?,
+                )?,
+                layers: doc
+                    .get("layers")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing field `layers`")?
+                    .iter()
+                    .map(LayerInfo::from_json)
+                    .collect::<Result<_, _>>()?,
+            })),
+            "compare" => Ok(Response::Compare(CompareReply {
+                benchmark: str_field(doc, "benchmark")?,
+                batch: u64_field(doc, "batch")?,
+                backend: BackendChoice::parse(&str_field(doc, "backend")?)?,
+                latency_ms_per_input: f64_field(doc, "latency_ms_per_input")?,
+                energy_per_input: EnergyInfo::from_json(
+                    doc.get("energy_per_input")
+                        .ok_or("missing field `energy_per_input`")?,
+                )?,
+                baselines: doc
+                    .get("baselines")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing field `baselines`")?
+                    .iter()
+                    .map(BaselineComparison::from_json)
+                    .collect::<Result<_, _>>()?,
+            })),
+            "asm" => Ok(Response::Asm(AsmReply {
+                benchmark: str_field(doc, "benchmark")?,
+                batch: u64_field(doc, "batch")?,
+                blocks: doc
+                    .get("blocks")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing field `blocks`")?
+                    .iter()
+                    .map(|b| {
+                        Ok(AsmBlock {
+                            layer: str_field(b, "layer")?,
+                            text: str_field(b, "text")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            })),
+            "sweep" => Ok(Response::Sweep(SweepReply {
+                benchmark: str_field(doc, "benchmark")?,
+                axis: SweepAxis::parse(&str_field(doc, "axis")?)?,
+                backend: BackendChoice::parse(&str_field(doc, "backend")?)?,
+                baseline: u64_field(doc, "baseline")?,
+                points: doc
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing field `points`")?
+                    .iter()
+                    .map(SweepPointInfo::from_json)
+                    .collect::<Result<_, _>>()?,
+            })),
+            "dse" => {
+                let compile = doc.get("compile").ok_or("missing field `compile`")?;
+                Ok(Response::Dse(DseReply {
+                    backend: BackendChoice::parse(&str_field(doc, "backend")?)?,
+                    grid_points: u64_field(doc, "grid_points")?,
+                    points: u64_field(doc, "points")?,
+                    infeasible: u64_field(doc, "infeasible")?,
+                    infeasible_sample: match doc.get("infeasible_sample") {
+                        None => Vec::new(),
+                        Some(v) => v
+                            .as_arr()
+                            .ok_or("infeasible_sample must be an array")?
+                            .iter()
+                            .map(InfeasibleInfo::from_json)
+                            .collect::<Result<_, _>>()?,
+                    },
+                    compile_hits: u64_field(compile, "hits")?,
+                    compile_misses: u64_field(compile, "misses")?,
+                    frontier: doc
+                        .get("frontier")
+                        .and_then(Json::as_arr)
+                        .ok_or("missing field `frontier`")?
+                        .iter()
+                        .map(FrontierPoint::from_json)
+                        .collect::<Result<_, _>>()?,
+                }))
+            }
+            "error" => Ok(Response::Error {
+                message: str_field(doc, "message")?,
+            }),
+            other => Err(format!("unknown reply `{other}`")),
+        }
+    }
+
+    /// Parses a response from its wire text.
+    ///
+    /// # Errors
+    ///
+    /// Reports JSON syntax errors with a byte offset, and protocol errors
+    /// naming the offending field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = parse_json(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        Response::from_json(&doc)
+    }
+}
+
+fn uint_arr(values: &[u64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::uint(v)).collect())
+}
+
+fn opt_uint_arr(doc: &Json, key: &str) -> Result<Option<Vec<u64>>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_arr()
+            .ok_or(format!("{key} must be an array"))?
+            .iter()
+            .map(|x| x.as_u64().ok_or(format!("{key} entries must be non-negative integers")))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+    }
+}
+
+fn str_field(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or(format!("missing string field `{key}`"))
+}
+
+fn opt_str_field(doc: &Json, key: &str) -> Result<Option<String>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or(format!("field `{key}` must be a string")),
+    }
+}
+
+fn u64_field(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or(format!("missing integer field `{key}`"))
+}
+
+fn opt_u64_field(doc: &Json, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or(format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn f64_field(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or(format!("missing number field `{key}`"))
+}
+
+fn opt_backend(doc: &Json) -> Result<Option<BackendChoice>, String> {
+    match opt_str_field(doc, "backend")? {
+        None => Ok(None),
+        Some(s) => BackendChoice::parse(&s).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_wire_round_trip() {
+        let requests = vec![
+            Request::List,
+            Request::Report {
+                benchmark: "LSTM".into(),
+                batch: 16,
+                bandwidth: Some(256),
+                arch: ArchPreset::Isca45nm,
+                backend: Some(BackendChoice::Event),
+            },
+            Request::Compare {
+                benchmark: "AlexNet".into(),
+                batch: 4,
+                backend: None,
+            },
+            Request::Asm {
+                benchmark: "RNN".into(),
+                batch: 1,
+                arch: ArchPreset::StripesMatched,
+                layer: Some("fc1".into()),
+            },
+            Request::Sweep {
+                benchmark: "VGG-7".into(),
+                axis: SweepAxis::Bandwidth,
+                backend: None,
+            },
+            Request::Dse(DseParams::default()),
+        ];
+        for req in requests {
+            let wire = req.encode();
+            let back = Request::parse(&wire).unwrap();
+            assert_eq!(back, req, "{wire}");
+            assert_eq!(back.encode(), wire);
+        }
+    }
+
+    #[test]
+    fn terse_requests_fill_defaults() {
+        let req = Request::parse(r#"{"cmd":"report","benchmark":"lstm"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Report {
+                benchmark: "lstm".into(),
+                batch: 16,
+                bandwidth: None,
+                arch: ArchPreset::Isca45nm,
+                backend: None,
+            }
+        );
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"dse"}"#).unwrap(),
+            Request::Dse(p) if p == DseParams::default()
+        ));
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert!(Request::parse("not json").unwrap_err().contains("invalid JSON"));
+        assert!(Request::parse(r#"{"cmd":"frobnicate"}"#)
+            .unwrap_err()
+            .contains("frobnicate"));
+        assert!(Request::parse(r#"{"cmd":"report"}"#)
+            .unwrap_err()
+            .contains("benchmark"));
+        assert!(Request::parse(r#"{"cmd":"report","benchmark":"lstm","backend":"x"}"#)
+            .unwrap_err()
+            .contains("backend"));
+    }
+
+    #[test]
+    fn misspelled_fields_are_rejected_not_defaulted() {
+        // A typo'd field must error (like an unknown CLI flag), never fall
+        // back to the default value silently.
+        let e = Request::parse(r#"{"cmd":"report","benchmark":"rnn","bacth":8}"#).unwrap_err();
+        assert!(e.contains("bacth") && e.contains("report"), "{e}");
+        let e = Request::parse(r#"{"cmd":"sweep","benchmark":"rnn","axis":"batch","workers":2}"#)
+            .unwrap_err();
+        assert!(e.contains("workers") && e.contains("sweep"), "{e}");
+        assert!(Request::parse(r#"{"cmd":"list","extra":1}"#).is_err());
+    }
+
+    #[test]
+    fn error_response_round_trip() {
+        let resp = Response::Error {
+            message: "unknown benchmark `nope`".into(),
+        };
+        let wire = resp.encode();
+        assert_eq!(Response::parse(&wire).unwrap(), resp);
+        assert!(wire.starts_with(r#"{"reply":"error""#));
+    }
+}

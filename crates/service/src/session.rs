@@ -1,0 +1,816 @@
+//! The [`Session`] facade: one stable object through which every
+//! evaluation flows.
+//!
+//! A session owns the three things that parameterize evaluation —
+//! calibration knobs ([`SimOptions`]), the default backend choice, and the
+//! shared compiled-artifact cache ([`ArtifactCache`]) — and turns typed
+//! [`Request`]s into typed [`Response`]s. Every entry point (the one-shot
+//! CLI, the `serve` loop, tests, benches) goes through [`Session::handle`],
+//! so `report`, `compare`, `sweep`, and `dse` all reuse compilations, and
+//! the same request always produces the same response bytes.
+//!
+//! # Determinism contract
+//!
+//! For a fixed session configuration, `handle` is a pure function of the
+//! request: responses never depend on cache warmth (the cache changes
+//! *wall-clock time*, never *bytes* — `dse` responses report spec-level
+//! compile sharing, not cache-state-dependent counters), on worker counts
+//! (the underlying engines reassemble results in deterministic order), or
+//! on request interleaving in `serve`. This is what makes the JSON-lines
+//! server's output byte-identical to the corresponding one-shot
+//! invocations.
+
+use bitfusion_baselines::{EyerissSim, GpuMode, GpuModel, StripesSim};
+use bitfusion_compiler::{ArtifactCache, CacheStats};
+use bitfusion_core::arch::ArchConfig;
+use bitfusion_core::grid::ArchGrid;
+use bitfusion_dnn::zoo::Benchmark;
+use bitfusion_energy::{ChipArea, EnergyBreakdown};
+use bitfusion_isa::asm::format_block;
+use bitfusion_sim::{
+    bandwidth_sweep_cached, batch_sweep_cached, explore_with_cache, AnalyticBackend,
+    BitFusionSim, DseResult, DseSpec, EventBackend, PerfReport, SimOptions, Sweep,
+};
+
+use crate::protocol::{
+    ArchInfo, ArchPreset, AsmBlock, AsmReply, BackendChoice, BaselineComparison, BenchmarkInfo,
+    CompareReply, DseParams, DseReply, EnergyInfo, FrontierPoint, InfeasibleInfo, LayerInfo,
+    ReportReply, Request, Response, StallInfo, SweepAxis, SweepPointInfo, SweepReply,
+};
+
+/// Batch sizes the `sweep --batch` axis walks (Figure 16).
+pub const SWEEP_BATCHES: [u64; 5] = [1, 4, 16, 64, 256];
+/// The batch the batch axis normalizes against.
+pub const SWEEP_BATCH_BASELINE: u64 = 1;
+/// Bandwidths the `sweep --bandwidth` axis walks (Figure 15), bits/cycle.
+pub const SWEEP_BANDWIDTHS: [u32; 5] = [32, 64, 128, 256, 512];
+/// The bandwidth the bandwidth axis normalizes against.
+pub const SWEEP_BANDWIDTH_BASELINE: u32 = 128;
+/// The batch size the bandwidth axis runs at.
+pub const SWEEP_BANDWIDTH_BATCH: u64 = 16;
+
+/// A configured evaluation session: calibration + backend + shared
+/// artifact cache.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_service::protocol::{Request, Response};
+/// use bitfusion_service::session::Session;
+///
+/// let session = Session::new();
+/// let req = Request::parse(r#"{"cmd":"report","benchmark":"rnn","batch":4}"#).unwrap();
+/// match session.handle(&req) {
+///     Response::Report(r) => assert!(r.cycles > 0),
+///     other => panic!("{other:?}"),
+/// }
+/// // The same request again is answered from the artifact cache.
+/// assert!(session.cache_stats().hits > 0 || session.cache_stats().misses > 0);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    options: SimOptions,
+    backend: BackendChoice,
+    cache: ArtifactCache,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session with default calibration, the analytic backend, and a
+    /// default-capacity cache.
+    pub fn new() -> Self {
+        Session {
+            options: SimOptions::default(),
+            backend: BackendChoice::Analytic,
+            cache: ArtifactCache::default(),
+        }
+    }
+
+    /// Overrides the calibration knobs.
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the default backend (requests may still override
+    /// per-request).
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replaces the artifact cache with one of the given capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = ArtifactCache::new(capacity);
+        self
+    }
+
+    /// The session's calibration knobs.
+    pub fn options(&self) -> SimOptions {
+        self.options
+    }
+
+    /// The session's default backend.
+    pub fn backend(&self) -> BackendChoice {
+        self.backend
+    }
+
+    /// Counters of the shared artifact cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves one request. Never panics on bad input: failures come back
+    /// as [`Response::Error`].
+    pub fn handle(&self, request: &Request) -> Response {
+        let result = match request {
+            Request::List => Ok(self.list()),
+            Request::Report {
+                benchmark,
+                batch,
+                bandwidth,
+                arch,
+                backend,
+            } => self.report(benchmark, *batch, *bandwidth, *arch, *backend),
+            Request::Compare {
+                benchmark,
+                batch,
+                backend,
+            } => self.compare(benchmark, *batch, *backend),
+            Request::Asm {
+                benchmark,
+                batch,
+                arch,
+                layer,
+            } => self.asm(benchmark, *batch, *arch, layer.as_deref()),
+            Request::Sweep {
+                benchmark,
+                axis,
+                backend,
+            } => self.sweep(benchmark, *axis, *backend),
+            Request::Dse(params) => self.dse(params),
+        };
+        result.unwrap_or_else(|message| Response::Error { message })
+    }
+
+    fn list(&self) -> Response {
+        Response::Benchmarks {
+            benchmarks: Benchmark::ALL
+                .into_iter()
+                .map(|b| {
+                    let m = b.model();
+                    BenchmarkInfo {
+                        name: b.name().to_string(),
+                        layers: m.len() as u64,
+                        macs: m.total_macs(),
+                        weight_bytes: m.weight_bytes(),
+                    }
+                })
+                .collect(),
+            architectures: [
+                ArchConfig::isca_45nm(),
+                ArchConfig::stripes_matched(),
+                ArchConfig::gpu_16nm(),
+            ]
+            .iter()
+            .map(ArchConfig::to_string)
+            .collect(),
+        }
+    }
+
+    fn report(
+        &self,
+        benchmark: &str,
+        batch: u64,
+        bandwidth: Option<u32>,
+        arch: ArchPreset,
+        backend: Option<BackendChoice>,
+    ) -> Result<Response, String> {
+        let b = find_benchmark(benchmark)?;
+        let backend = backend.unwrap_or(self.backend);
+        let mut arch = arch_config(arch);
+        if let Some(bw) = bandwidth {
+            arch = arch.with_bandwidth(bw);
+        }
+        arch.validate().map_err(|e| e.to_string())?;
+        let report = self.simulate(b, &arch, batch, backend)?;
+        let stalls = report.total_stalls();
+        Ok(Response::Report(ReportReply {
+            benchmark: b.name().to_string(),
+            batch,
+            backend,
+            arch: arch_info(&arch),
+            cycles: report.total_cycles(),
+            macs: report.total_macs(),
+            dram_bits: report.total_dram_bits(),
+            latency_ms_per_input: report.latency_ms_per_input(),
+            macs_per_cycle: report.macs_per_cycle(),
+            energy_per_input: energy_info(report.energy_per_input()),
+            stalls: StallInfo {
+                bandwidth_starved: stalls.bandwidth_starved,
+                compute_starved: stalls.compute_starved,
+                fill_drain: stalls.fill_drain,
+            },
+            layers: report
+                .layers
+                .iter()
+                .map(|l| LayerInfo {
+                    name: l.name.clone(),
+                    cycles: l.cycles,
+                    compute_cycles: l.compute_cycles,
+                    dma_cycles: l.dma_cycles,
+                    macs: l.macs,
+                    dram_bits: l.dram_bits,
+                    bandwidth_bound: l.is_bandwidth_bound(),
+                })
+                .collect(),
+        }))
+    }
+
+    fn compare(
+        &self,
+        benchmark: &str,
+        batch: u64,
+        backend: Option<BackendChoice>,
+    ) -> Result<Response, String> {
+        let b = find_benchmark(benchmark)?;
+        let backend = backend.unwrap_or(self.backend);
+        let r = self.simulate(b, &ArchConfig::isca_45nm(), batch, backend)?;
+        let ey = EyerissSim::default().run(&b.reference_model(), batch);
+        let rs = self.simulate(b, &ArchConfig::stripes_matched(), batch, backend)?;
+        let st = StripesSim::default().run(&b.model(), batch);
+        let r16 = self.simulate(b, &ArchConfig::gpu_16nm(), batch, backend)?;
+        let tx2 = GpuModel::tegra_x2().run(&b.reference_model(), batch, GpuMode::Fp32);
+        Ok(Response::Compare(CompareReply {
+            benchmark: b.name().to_string(),
+            batch,
+            backend,
+            latency_ms_per_input: r.latency_ms_per_input(),
+            energy_per_input: energy_info(r.energy_per_input()),
+            baselines: vec![
+                BaselineComparison {
+                    name: "eyeriss".to_string(),
+                    speedup: ey.latency_ms_per_input() / r.latency_ms_per_input(),
+                    energy_ratio: Some(ey.energy.total_pj() / r.total_energy().total_pj()),
+                },
+                BaselineComparison {
+                    name: "stripes".to_string(),
+                    speedup: st.latency_ms_per_input() / rs.latency_ms_per_input(),
+                    energy_ratio: Some(st.energy.total_pj() / rs.total_energy().total_pj()),
+                },
+                BaselineComparison {
+                    name: "tegra-x2".to_string(),
+                    speedup: tx2.latency_ms_per_input() / r16.latency_ms_per_input(),
+                    energy_ratio: None,
+                },
+            ],
+        }))
+    }
+
+    fn asm(
+        &self,
+        benchmark: &str,
+        batch: u64,
+        arch: ArchPreset,
+        layer: Option<&str>,
+    ) -> Result<Response, String> {
+        let b = find_benchmark(benchmark)?;
+        let cached = self.compiled(b, &arch_config(arch), batch)?;
+        let plan = cached.as_ref().as_ref().expect("checked by compiled()");
+        let blocks: Vec<AsmBlock> = plan
+            .layers
+            .iter()
+            .filter(|l| layer.is_none_or(|want| l.name == want))
+            .map(|l| AsmBlock {
+                layer: l.name.clone(),
+                text: format_block(&l.block),
+            })
+            .collect();
+        if blocks.is_empty() {
+            if let Some(want) = layer {
+                let names: Vec<&str> = plan.layers.iter().map(|l| l.name.as_str()).collect();
+                return Err(format!(
+                    "unknown layer `{want}` in {} (layers: {})",
+                    b.name(),
+                    names.join(", ")
+                ));
+            }
+        }
+        Ok(Response::Asm(AsmReply {
+            benchmark: b.name().to_string(),
+            batch,
+            blocks,
+        }))
+    }
+
+    fn sweep(
+        &self,
+        benchmark: &str,
+        axis: SweepAxis,
+        backend: Option<BackendChoice>,
+    ) -> Result<Response, String> {
+        let b = find_benchmark(benchmark)?;
+        let backend = backend.unwrap_or(self.backend);
+        let arch = ArchConfig::isca_45nm();
+        let model = b.model();
+        let (baseline, points) = match axis {
+            SweepAxis::Bandwidth => {
+                let sweep = self
+                    .dispatch_bandwidth_sweep(backend, &arch, &model)
+                    .map_err(|e| e.to_string())?;
+                let speedups = sweep
+                    .speedups_vs(SWEEP_BANDWIDTH_BASELINE)
+                    .ok_or("baseline bandwidth missing from the sweep")?;
+                let points = sweep
+                    .points
+                    .iter()
+                    .zip(&speedups)
+                    .map(|(p, (_, s))| SweepPointInfo {
+                        value: p.value as u64,
+                        cycles: p.report.total_cycles(),
+                        cycles_per_input: p.report.cycles_per_input(),
+                        speedup: *s,
+                    })
+                    .collect();
+                (SWEEP_BANDWIDTH_BASELINE as u64, points)
+            }
+            SweepAxis::Batch => {
+                let sweep = self
+                    .dispatch_batch_sweep(backend, &arch, &model)
+                    .map_err(|e| e.to_string())?;
+                let speedups = sweep
+                    .per_input_speedups_vs(SWEEP_BATCH_BASELINE)
+                    .ok_or("baseline batch missing from the sweep")?;
+                let points = sweep
+                    .points
+                    .iter()
+                    .zip(&speedups)
+                    .map(|(p, (_, s))| SweepPointInfo {
+                        value: p.value,
+                        cycles: p.report.total_cycles(),
+                        cycles_per_input: p.report.cycles_per_input(),
+                        speedup: *s,
+                    })
+                    .collect();
+                (SWEEP_BATCH_BASELINE, points)
+            }
+        };
+        Ok(Response::Sweep(SweepReply {
+            benchmark: b.name().to_string(),
+            axis,
+            backend,
+            baseline,
+            points,
+        }))
+    }
+
+    fn dse(&self, params: &DseParams) -> Result<Response, String> {
+        let backend = params.backend.unwrap_or(self.backend);
+        let networks: Vec<Benchmark> = match &params.networks {
+            None => Benchmark::ALL.to_vec(),
+            Some(names) => names
+                .iter()
+                .map(|n| find_benchmark(n))
+                .collect::<Result<_, _>>()?,
+        };
+        let to_usize = |values: &[u64], what: &str| -> Result<Vec<usize>, String> {
+            if values.is_empty() {
+                return Err(format!("{what} has no candidates"));
+            }
+            values
+                .iter()
+                .map(|&v| usize::try_from(v).map_err(|_| format!("{what} value out of range")))
+                .collect()
+        };
+        let kb_to_bytes = |values: &[u64], what: &str| -> Result<Vec<usize>, String> {
+            to_usize(values, what)?
+                .into_iter()
+                .map(|kb| {
+                    kb.checked_mul(1024)
+                        .ok_or_else(|| format!("{what} value out of range"))
+                })
+                .collect()
+        };
+        let grid = ArchGrid {
+            rows: to_usize(&params.rows, "rows")?,
+            cols: to_usize(&params.cols, "cols")?,
+            ibuf_bytes: kb_to_bytes(&params.ibuf_kb, "ibuf_kb")?,
+            wbuf_bytes: kb_to_bytes(&params.wbuf_kb, "wbuf_kb")?,
+            obuf_bytes: kb_to_bytes(&params.obuf_kb, "obuf_kb")?,
+            dram_bits_per_cycle: params
+                .bandwidth
+                .iter()
+                .map(|&bw| u32::try_from(bw).map_err(|_| "bandwidth value out of range"))
+                .collect::<Result<_, _>>()?,
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        };
+        let grid_points = grid.len();
+        let spec = DseSpec {
+            grid,
+            models: networks.iter().map(|b| b.model()).collect(),
+            batches: params.batches.clone(),
+            options: self.options,
+        };
+        if spec.is_empty() {
+            return Err("empty design space (a dimension has no candidates)".to_string());
+        }
+        let workers = usize::try_from(params.workers).unwrap_or(0);
+        let result = match backend {
+            BackendChoice::Analytic => {
+                explore_with_cache(&spec, &AnalyticBackend, workers, &self.cache)
+            }
+            BackendChoice::Event => {
+                explore_with_cache(&spec, &EventBackend, workers, &self.cache)
+            }
+        };
+        Ok(Response::Dse(dse_reply(&result, grid_points, backend)))
+    }
+
+    /// Compiles through the shared cache (or reports the compile failure).
+    fn compiled(
+        &self,
+        b: Benchmark,
+        arch: &ArchConfig,
+        batch: u64,
+    ) -> Result<bitfusion_compiler::CachedPlan, String> {
+        arch.validate().map_err(|e| e.to_string())?;
+        let cached = self.cache.get_or_compile(&b.model(), arch, batch);
+        match cached.as_ref() {
+            Ok(_) => Ok(cached),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Compile (via the cache) + evaluate on the chosen backend, reusing
+    /// the simulator's own report assembly so the service path can never
+    /// diverge from the library path.
+    fn simulate(
+        &self,
+        b: Benchmark,
+        arch: &ArchConfig,
+        batch: u64,
+        backend: BackendChoice,
+    ) -> Result<PerfReport, String> {
+        let cached = self.compiled(b, arch, batch)?;
+        let plan = cached.as_ref().as_ref().expect("checked by compiled()");
+        Ok(match backend {
+            BackendChoice::Analytic => BitFusionSim::with_backend(arch.clone(), AnalyticBackend)
+                .with_options(self.options)
+                .run_plan(plan),
+            BackendChoice::Event => BitFusionSim::with_backend(arch.clone(), EventBackend)
+                .with_options(self.options)
+                .run_plan(plan),
+        })
+    }
+
+    fn dispatch_bandwidth_sweep(
+        &self,
+        backend: BackendChoice,
+        arch: &ArchConfig,
+        model: &bitfusion_dnn::model::Model,
+    ) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
+        match backend {
+            BackendChoice::Analytic => bandwidth_sweep_cached(
+                &AnalyticBackend,
+                arch,
+                model,
+                SWEEP_BANDWIDTH_BATCH,
+                &SWEEP_BANDWIDTHS,
+                self.options,
+                &self.cache,
+            ),
+            BackendChoice::Event => bandwidth_sweep_cached(
+                &EventBackend,
+                arch,
+                model,
+                SWEEP_BANDWIDTH_BATCH,
+                &SWEEP_BANDWIDTHS,
+                self.options,
+                &self.cache,
+            ),
+        }
+    }
+
+    fn dispatch_batch_sweep(
+        &self,
+        backend: BackendChoice,
+        arch: &ArchConfig,
+        model: &bitfusion_dnn::model::Model,
+    ) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
+        match backend {
+            BackendChoice::Analytic => batch_sweep_cached(
+                &AnalyticBackend,
+                arch,
+                model,
+                &SWEEP_BATCHES,
+                self.options,
+                &self.cache,
+            ),
+            BackendChoice::Event => batch_sweep_cached(
+                &EventBackend,
+                arch,
+                model,
+                &SWEEP_BATCHES,
+                self.options,
+                &self.cache,
+            ),
+        }
+    }
+}
+
+/// Resolves a benchmark name case-insensitively, or names every valid
+/// choice in the error.
+pub fn find_benchmark(name: &str) -> Result<Benchmark, String> {
+    let needle = name.to_lowercase();
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().to_lowercase() == needle)
+        .ok_or_else(|| {
+            let names: Vec<String> = Benchmark::ALL
+                .iter()
+                .map(|b| b.name().to_lowercase())
+                .collect();
+            format!("unknown benchmark `{name}` (expected one of: {})", names.join(", "))
+        })
+}
+
+/// The [`ArchConfig`] a preset names.
+pub fn arch_config(preset: ArchPreset) -> ArchConfig {
+    match preset {
+        ArchPreset::Isca45nm => ArchConfig::isca_45nm(),
+        ArchPreset::Gpu16nm => ArchConfig::gpu_16nm(),
+        ArchPreset::StripesMatched => ArchConfig::stripes_matched(),
+    }
+}
+
+fn arch_info(arch: &ArchConfig) -> ArchInfo {
+    ArchInfo {
+        name: arch.name.to_string(),
+        rows: arch.rows as u64,
+        cols: arch.cols as u64,
+        ibuf_kb: (arch.ibuf_bytes / 1024) as u64,
+        wbuf_kb: (arch.wbuf_bytes / 1024) as u64,
+        obuf_kb: (arch.obuf_bytes / 1024) as u64,
+        bandwidth_bits_per_cycle: arch.dram_bits_per_cycle as u64,
+        freq_mhz: arch.freq_mhz as u64,
+    }
+}
+
+fn energy_info(e: EnergyBreakdown) -> EnergyInfo {
+    EnergyInfo {
+        compute_pj: e.compute_pj,
+        buffer_pj: e.buffer_pj,
+        rf_pj: e.rf_pj,
+        dram_pj: e.dram_pj,
+    }
+}
+
+fn dse_reply(result: &DseResult, grid_points: usize, backend: BackendChoice) -> DseReply {
+    DseReply {
+        backend,
+        grid_points: grid_points as u64,
+        points: result.points.len() as u64,
+        infeasible: result.infeasible.len() as u64,
+        infeasible_sample: result
+            .infeasible
+            .iter()
+            .take(3)
+            .map(|p| InfeasibleInfo {
+                model: p.model_name.clone(),
+                arch: p.arch.to_string(),
+                error: p.error.to_string(),
+            })
+            .collect(),
+        // Spec-level sharing (deterministic), not cache-state counters: a
+        // serve session with a warm cache must answer byte-identically to a
+        // cold one-shot invocation.
+        compile_hits: result.spec_compile_hits(),
+        compile_misses: result.compile_unique,
+        frontier: result
+            .pareto_frontier()
+            .iter()
+            .map(|s| FrontierPoint {
+                arch: arch_info(&s.arch),
+                cycles: s.total_cycles,
+                energy_pj: s.total_energy_pj,
+                area_mm2: s.area_mm2,
+                bandwidth_starved: s.stalls.bandwidth_starved,
+                compute_starved: s.stalls.compute_starved,
+            })
+            .collect(),
+    }
+}
+
+/// Chip area of an architecture under the session's node — re-exported
+/// convenience for renderers.
+pub fn chip_area_mm2(arch: &ArchConfig, options: &SimOptions) -> f64 {
+    ChipArea::of(arch, options.node).chip_mm2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_matches_direct_simulation() {
+        let session = Session::new();
+        let resp = session.handle(&Request::Report {
+            benchmark: "lstm".into(),
+            batch: 16,
+            bandwidth: None,
+            arch: ArchPreset::Isca45nm,
+            backend: None,
+        });
+        let direct = BitFusionSim::new(ArchConfig::isca_45nm())
+            .run(&Benchmark::Lstm.model(), 16)
+            .unwrap();
+        match resp {
+            Response::Report(r) => {
+                assert_eq!(r.cycles, direct.total_cycles());
+                assert_eq!(r.macs, direct.total_macs());
+                assert_eq!(r.dram_bits, direct.total_dram_bits());
+                assert_eq!(r.benchmark, "LSTM");
+                assert_eq!(r.layers.len(), direct.layers.len());
+                assert!(
+                    (r.energy_per_input.total_pj()
+                        - direct.energy_per_input().total_pj())
+                    .abs()
+                        < 1e-9
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_requests_are_byte_identical_and_warm() {
+        let session = Session::new();
+        let req = Request::Report {
+            benchmark: "rnn".into(),
+            batch: 4,
+            bandwidth: Some(256),
+            arch: ArchPreset::Isca45nm,
+            backend: Some(BackendChoice::Event),
+        };
+        let first = session.handle(&req).encode();
+        let misses_after_first = session.cache_stats().misses;
+        let second = session.handle(&req).encode();
+        assert_eq!(first, second);
+        assert_eq!(session.cache_stats().misses, misses_after_first, "no recompile");
+        assert!(session.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn commands_share_one_artifact() {
+        // report, asm, and the dse corner at the same key compile once.
+        let session = Session::new();
+        session.handle(&Request::Report {
+            benchmark: "rnn".into(),
+            batch: 16,
+            bandwidth: None,
+            arch: ArchPreset::Isca45nm,
+            backend: None,
+        });
+        assert_eq!(session.cache_stats().misses, 1);
+        session.handle(&Request::Asm {
+            benchmark: "rnn".into(),
+            batch: 16,
+            arch: ArchPreset::Isca45nm,
+            layer: None,
+        });
+        assert_eq!(session.cache_stats().misses, 1, "asm reused the report's plan");
+        // The bandwidth sweep shares the same geometry key too.
+        session.handle(&Request::Sweep {
+            benchmark: "rnn".into(),
+            axis: SweepAxis::Bandwidth,
+            backend: None,
+        });
+        assert_eq!(
+            session.cache_stats().misses,
+            1,
+            "bandwidth axis reused the same artifact"
+        );
+    }
+
+    #[test]
+    fn errors_are_responses_not_panics() {
+        let session = Session::new();
+        for req in [
+            Request::Report {
+                benchmark: "nope".into(),
+                batch: 16,
+                bandwidth: None,
+                arch: ArchPreset::Isca45nm,
+                backend: None,
+            },
+            Request::Asm {
+                benchmark: "rnn".into(),
+                batch: 1,
+                arch: ArchPreset::Isca45nm,
+                layer: Some("no-such-layer".into()),
+            },
+        ] {
+            match session.handle(&req) {
+                Response::Error { message } => {
+                    assert!(!message.is_empty());
+                }
+                other => panic!("expected error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn compare_beats_the_baselines() {
+        let session = Session::new();
+        match session.handle(&Request::Compare {
+            benchmark: "cifar-10".into(),
+            batch: 16,
+            backend: None,
+        }) {
+            Response::Compare(r) => {
+                assert_eq!(r.baselines.len(), 3);
+                for b in &r.baselines {
+                    assert!(b.speedup > 1.0, "{}: {}", b.name, b.speedup);
+                }
+                assert!(r.baselines[0].energy_ratio.unwrap() > 1.0);
+                assert!(r.baselines[2].energy_ratio.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dse_reply_reports_spec_level_sharing() {
+        let session = Session::new();
+        let params = DseParams {
+            rows: vec![16, 32],
+            cols: vec![16],
+            bandwidth: vec![64, 128],
+            batches: vec![16],
+            networks: Some(vec!["lstm".into(), "rnn".into()]),
+            workers: 1,
+            ..DseParams::default()
+        };
+        let first = session.handle(&Request::Dse(params.clone())).encode();
+        // Warm cache: the reply must not change.
+        let second = session.handle(&Request::Dse(params)).encode();
+        assert_eq!(first, second);
+        // 4 archs × 2 nets = 8 points; 2 geometries × 2 nets = 4 compiles.
+        assert!(first.contains(r#""compile":{"hits":4,"misses":4}"#), "{first}");
+    }
+
+    #[test]
+    fn dse_reply_names_infeasible_corners() {
+        let session = Session::new();
+        let params = DseParams {
+            // A 512x512 array with 3 KB of SRAM: no tiling fits.
+            rows: vec![512],
+            cols: vec![512],
+            ibuf_kb: vec![1],
+            wbuf_kb: vec![1],
+            obuf_kb: vec![1],
+            bandwidth: vec![128],
+            batches: vec![4],
+            networks: Some(vec!["svhn".into()]),
+            workers: 1,
+            ..DseParams::default()
+        };
+        match session.handle(&Request::Dse(params)) {
+            Response::Dse(r) => {
+                assert_eq!(r.infeasible, 1);
+                assert_eq!(r.infeasible_sample.len(), 1);
+                let p = &r.infeasible_sample[0];
+                assert_eq!(p.model, "SVHN");
+                assert!(!p.arch.is_empty());
+                assert!(p.error.contains("no tiling"), "{p:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn options_thread_through_reports() {
+        let slow = Session::new().with_options(SimOptions {
+            systolic_efficiency: 0.5,
+            ..SimOptions::default()
+        });
+        let fast = Session::new();
+        let req = Request::Report {
+            benchmark: "vgg-7".into(),
+            batch: 4,
+            bandwidth: None,
+            arch: ArchPreset::Isca45nm,
+            backend: None,
+        };
+        let (Response::Report(a), Response::Report(b)) = (slow.handle(&req), fast.handle(&req))
+        else {
+            panic!("expected reports");
+        };
+        assert!(a.cycles > b.cycles, "lower efficiency must cost cycles");
+    }
+}

@@ -1,0 +1,452 @@
+//! Protocol round-trip property tests: for every `Request` and `Response`
+//! variant, `encode → parse` recovers the value exactly and
+//! `encode → parse → encode` is a fixed point on the wire bytes — the
+//! property the serve loop's byte-identity contract stands on.
+
+use bitfusion_service::protocol::{
+    ArchInfo, ArchPreset, AsmBlock, AsmReply, BackendChoice, BaselineComparison, BenchmarkInfo,
+    CompareReply, DseParams, DseReply, EnergyInfo, FrontierPoint, InfeasibleInfo, LayerInfo,
+    ReportReply, Request, Response, StallInfo, SweepAxis, SweepPointInfo, SweepReply,
+};
+use proptest::prelude::*;
+
+/// Names with every class of character the encoder must escape.
+fn arb_name() -> impl Strategy<Value = String> {
+    (
+        prop::sample::select(vec![
+            "plain",
+            "with \"quotes\"",
+            "line\nbreak\ttab",
+            "ünïcödé 😀",
+            "back\\slash",
+            "ctrl\u{1}char",
+            "",
+        ]),
+        0u32..1000,
+    )
+        .prop_map(|(base, n)| format!("{base}-{n}"))
+}
+
+/// Finite floats across magnitudes, including negatives, zero, and values
+/// that encode as integer literals.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (any::<i32>(), prop::sample::select(vec![1e-9, 1e-3, 1.0, 1e3, 1e12]))
+        .prop_map(|(m, scale)| m as f64 * scale)
+}
+
+fn arb_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..1000,
+        (1u64 << 40)..(1u64 << 41), // beyond f64-exact-u32 territory
+        prop::sample::select(vec![0u64, 1, u64::from(u32::MAX)]),
+    ]
+}
+
+fn arb_backend() -> impl Strategy<Value = BackendChoice> {
+    prop::sample::select(vec![BackendChoice::Analytic, BackendChoice::Event])
+}
+
+fn arb_opt_backend() -> impl Strategy<Value = Option<BackendChoice>> {
+    prop::option::of(arb_backend())
+}
+
+fn arb_axis() -> impl Strategy<Value = SweepAxis> {
+    prop::sample::select(vec![SweepAxis::Batch, SweepAxis::Bandwidth])
+}
+
+fn arb_arch_preset() -> impl Strategy<Value = ArchPreset> {
+    prop::sample::select(vec![
+        ArchPreset::Isca45nm,
+        ArchPreset::Gpu16nm,
+        ArchPreset::StripesMatched,
+    ])
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    let report = (
+        arb_name(),
+        arb_u64(),
+        prop::option::of(1u32..4096),
+        arb_arch_preset(),
+        arb_opt_backend(),
+    )
+        .prop_map(|(benchmark, batch, bandwidth, arch, backend)| Request::Report {
+            benchmark,
+            batch,
+            bandwidth,
+            arch,
+            backend,
+        });
+    let compare = (arb_name(), arb_u64(), arb_opt_backend()).prop_map(
+        |(benchmark, batch, backend)| Request::Compare {
+            benchmark,
+            batch,
+            backend,
+        },
+    );
+    let asm = (
+        arb_name(),
+        arb_u64(),
+        arb_arch_preset(),
+        prop::option::of(arb_name()),
+    )
+        .prop_map(|(benchmark, batch, arch, layer)| Request::Asm {
+            benchmark,
+            batch,
+            arch,
+            layer,
+        });
+    let sweep = (arb_name(), arb_axis(), arb_opt_backend()).prop_map(
+        |(benchmark, axis, backend)| Request::Sweep {
+            benchmark,
+            axis,
+            backend,
+        },
+    );
+    let dse = (
+        (
+            prop::collection::vec(1u64..128, 1..4),
+            prop::collection::vec(1u64..128, 1..4),
+            prop::collection::vec(1u64..512, 1..3),
+            prop::collection::vec(1u64..512, 1..3),
+            prop::collection::vec(1u64..512, 1..3),
+            prop::collection::vec(1u64..1024, 1..4),
+            prop::collection::vec(1u64..256, 1..3),
+        ),
+        prop::option::of(prop::collection::vec(arb_name(), 1..4)),
+        0u64..16,
+        arb_opt_backend(),
+    )
+        .prop_map(
+            |((rows, cols, ibuf_kb, wbuf_kb, obuf_kb, bandwidth, batches), networks, workers, backend)| {
+                Request::Dse(DseParams {
+                    rows,
+                    cols,
+                    ibuf_kb,
+                    wbuf_kb,
+                    obuf_kb,
+                    bandwidth,
+                    batches,
+                    networks,
+                    workers,
+                    backend,
+                })
+            },
+        );
+    prop_oneof![
+        prop::sample::select(vec![Request::List]),
+        report,
+        compare,
+        asm,
+        sweep,
+        dse,
+    ]
+}
+
+fn arb_arch_info() -> impl Strategy<Value = ArchInfo> {
+    (
+        arb_name(),
+        1u64..256,
+        1u64..256,
+        1u64..1024,
+        1u64..1024,
+        1u64..1024,
+        1u64..4096,
+        1u64..4096,
+    )
+        .prop_map(
+            |(name, rows, cols, ibuf_kb, wbuf_kb, obuf_kb, bandwidth_bits_per_cycle, freq_mhz)| {
+                ArchInfo {
+                    name,
+                    rows,
+                    cols,
+                    ibuf_kb,
+                    wbuf_kb,
+                    obuf_kb,
+                    bandwidth_bits_per_cycle,
+                    freq_mhz,
+                }
+            },
+        )
+}
+
+fn arb_energy() -> impl Strategy<Value = EnergyInfo> {
+    (arb_f64(), arb_f64(), arb_f64(), arb_f64()).prop_map(
+        |(compute_pj, buffer_pj, rf_pj, dram_pj)| EnergyInfo {
+            compute_pj,
+            buffer_pj,
+            rf_pj,
+            dram_pj,
+        },
+    )
+}
+
+fn arb_stalls() -> impl Strategy<Value = StallInfo> {
+    (arb_u64(), arb_u64(), arb_u64()).prop_map(
+        |(bandwidth_starved, compute_starved, fill_drain)| StallInfo {
+            bandwidth_starved,
+            compute_starved,
+            fill_drain,
+        },
+    )
+}
+
+fn arb_layer() -> impl Strategy<Value = LayerInfo> {
+    (
+        arb_name(),
+        arb_u64(),
+        arb_u64(),
+        arb_u64(),
+        arb_u64(),
+        arb_u64(),
+        prop::sample::select(vec![true, false]),
+    )
+        .prop_map(
+            |(name, cycles, compute_cycles, dma_cycles, macs, dram_bits, bandwidth_bound)| {
+                LayerInfo {
+                    name,
+                    cycles,
+                    compute_cycles,
+                    dma_cycles,
+                    macs,
+                    dram_bits,
+                    bandwidth_bound,
+                }
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    let benchmarks = (
+        prop::collection::vec(
+            (arb_name(), arb_u64(), arb_u64(), arb_u64()).prop_map(
+                |(name, layers, macs, weight_bytes)| BenchmarkInfo {
+                    name,
+                    layers,
+                    macs,
+                    weight_bytes,
+                },
+            ),
+            0..4,
+        ),
+        prop::collection::vec(arb_name(), 0..4),
+    )
+        .prop_map(|(benchmarks, architectures)| Response::Benchmarks {
+            benchmarks,
+            architectures,
+        });
+    let report = (
+        (arb_name(), arb_u64(), arb_backend(), arb_arch_info()),
+        (arb_u64(), arb_u64(), arb_u64()),
+        (arb_f64(), arb_f64()),
+        arb_energy(),
+        arb_stalls(),
+        prop::collection::vec(arb_layer(), 0..4),
+    )
+        .prop_map(
+            |(
+                (benchmark, batch, backend, arch),
+                (cycles, macs, dram_bits),
+                (latency_ms_per_input, macs_per_cycle),
+                energy_per_input,
+                stalls,
+                layers,
+            )| {
+                Response::Report(ReportReply {
+                    benchmark,
+                    batch,
+                    backend,
+                    arch,
+                    cycles,
+                    macs,
+                    dram_bits,
+                    latency_ms_per_input,
+                    macs_per_cycle,
+                    energy_per_input,
+                    stalls,
+                    layers,
+                })
+            },
+        );
+    let compare = (
+        (arb_name(), arb_u64(), arb_backend()),
+        arb_f64(),
+        arb_energy(),
+        prop::collection::vec(
+            (arb_name(), arb_f64(), prop::option::of(arb_f64())).prop_map(
+                |(name, speedup, energy_ratio)| BaselineComparison {
+                    name,
+                    speedup,
+                    energy_ratio,
+                },
+            ),
+            0..4,
+        ),
+    )
+        .prop_map(
+            |((benchmark, batch, backend), latency_ms_per_input, energy_per_input, baselines)| {
+                Response::Compare(CompareReply {
+                    benchmark,
+                    batch,
+                    backend,
+                    latency_ms_per_input,
+                    energy_per_input,
+                    baselines,
+                })
+            },
+        );
+    let asm = (
+        arb_name(),
+        arb_u64(),
+        prop::collection::vec(
+            (arb_name(), arb_name()).prop_map(|(layer, text)| AsmBlock { layer, text }),
+            0..4,
+        ),
+    )
+        .prop_map(|(benchmark, batch, blocks)| {
+            Response::Asm(AsmReply {
+                benchmark,
+                batch,
+                blocks,
+            })
+        });
+    let sweep = (
+        (arb_name(), arb_axis(), arb_backend(), arb_u64()),
+        prop::collection::vec(
+            (arb_u64(), arb_u64(), arb_f64(), arb_f64()).prop_map(
+                |(value, cycles, cycles_per_input, speedup)| SweepPointInfo {
+                    value,
+                    cycles,
+                    cycles_per_input,
+                    speedup,
+                },
+            ),
+            0..6,
+        ),
+    )
+        .prop_map(|((benchmark, axis, backend, baseline), points)| {
+            Response::Sweep(SweepReply {
+                benchmark,
+                axis,
+                backend,
+                baseline,
+                points,
+            })
+        });
+    let dse = (
+        (arb_backend(), arb_u64(), arb_u64(), arb_u64()),
+        (arb_u64(), arb_u64()),
+        prop::collection::vec(
+            (arb_name(), arb_name(), arb_name()).prop_map(|(model, arch, error)| {
+                InfeasibleInfo { model, arch, error }
+            }),
+            0..3,
+        ),
+        prop::collection::vec(
+            (
+                arb_arch_info(),
+                arb_u64(),
+                arb_f64(),
+                arb_f64(),
+                arb_u64(),
+                arb_u64(),
+            )
+                .prop_map(
+                    |(arch, cycles, energy_pj, area_mm2, bandwidth_starved, compute_starved)| {
+                        FrontierPoint {
+                            arch,
+                            cycles,
+                            energy_pj,
+                            area_mm2,
+                            bandwidth_starved,
+                            compute_starved,
+                        }
+                    },
+                ),
+            0..3,
+        ),
+    )
+        .prop_map(
+            |(
+                (backend, grid_points, points, infeasible),
+                (compile_hits, compile_misses),
+                infeasible_sample,
+                frontier,
+            )| {
+                Response::Dse(DseReply {
+                    backend,
+                    grid_points,
+                    points,
+                    infeasible,
+                    infeasible_sample,
+                    compile_hits,
+                    compile_misses,
+                    frontier,
+                })
+            },
+        );
+    let error = arb_name().prop_map(|message| Response::Error { message });
+    prop_oneof![benchmarks, report, compare, asm, sweep, dse, error]
+}
+
+proptest! {
+    #[test]
+    fn request_encode_parse_encode_is_a_fixed_point(req in arb_request()) {
+        let wire = req.encode();
+        let back = Request::parse(&wire).expect("own encoding parses");
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(back.encode(), wire);
+    }
+
+    #[test]
+    fn response_encode_parse_encode_is_a_fixed_point(resp in arb_response()) {
+        let wire = resp.encode();
+        let back = Response::parse(&wire).expect("own encoding parses");
+        prop_assert_eq!(&back, &resp);
+        prop_assert_eq!(back.encode(), wire.clone());
+        // The wire form is one line: serve's framing can never split it.
+        prop_assert!(!wire.contains('\n'), "{}", wire);
+    }
+}
+
+#[test]
+fn every_request_variant_is_exercised() {
+    // The strategies above must cover all six commands; pin the
+    // discriminants so a new variant cannot silently skip the round-trip.
+    let mut seen = std::collections::BTreeSet::new();
+    for req in [
+        Request::List,
+        Request::Report {
+            benchmark: "x".into(),
+            batch: 1,
+            bandwidth: None,
+            arch: ArchPreset::Isca45nm,
+            backend: None,
+        },
+        Request::Compare {
+            benchmark: "x".into(),
+            batch: 1,
+            backend: None,
+        },
+        Request::Asm {
+            benchmark: "x".into(),
+            batch: 1,
+            arch: ArchPreset::Isca45nm,
+            layer: None,
+        },
+        Request::Sweep {
+            benchmark: "x".into(),
+            axis: SweepAxis::Batch,
+            backend: None,
+        },
+        Request::Dse(DseParams::default()),
+    ] {
+        seen.insert(req.cmd());
+        let wire = req.encode();
+        assert_eq!(Request::parse(&wire).unwrap(), req);
+    }
+    assert_eq!(
+        seen.into_iter().collect::<Vec<_>>(),
+        vec!["asm", "compare", "dse", "list", "report", "sweep"]
+    );
+}

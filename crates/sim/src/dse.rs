@@ -16,10 +16,14 @@
 //!   innermost);
 //! * **memoized compilation** — compilation depends only on
 //!   `(model, batch, geometry, buffers)`, *not* on bandwidth or frequency,
-//!   and dominates sweep cost. The engine hash-keys compilations on exactly
-//!   those fields and compiles each unique key once, so e.g. a 5-point
-//!   bandwidth axis costs one compilation, not five
-//!   ([`DseResult::compile_hits`] counts the points served from cache);
+//!   and dominates sweep cost. The engine resolves each unique key through
+//!   the shared [`ArtifactCache`] (compiling it at most once per run), so
+//!   e.g. a 5-point bandwidth axis costs one compilation, not five
+//!   ([`DseResult::compile_hits`] counts the points served without a fresh
+//!   compilation). [`explore_with_cache`] accepts a caller-owned cache —
+//!   the session facade passes its own, so repeated explorations (and
+//!   `report`/`compare`/`sweep` requests touching the same keys) skip
+//!   compilation entirely;
 //! * **worker model** — unique compilations, then per-point evaluations,
 //!   are each sharded across a [`crate::pool`] scoped thread pool. Results
 //!   land in point-index order, so the output — and every Pareto frontier
@@ -34,9 +38,8 @@
 //! engine. See `DESIGN.md`, "Design-space exploration".
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
-use bitfusion_compiler::{compile, CompileError, ExecutionPlan};
+use bitfusion_compiler::{ArtifactCache, ArtifactKey, CachedPlan, CompileError};
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_core::grid::ArchGrid;
 use bitfusion_dnn::model::Model;
@@ -192,10 +195,16 @@ pub struct DseResult {
     pub infeasible: Vec<InfeasiblePoint>,
     /// Workloads per architecture the spec asked for.
     pub workloads_expected: usize,
-    /// Points whose compilation was served from the memo cache.
+    /// Points served without a fresh compilation — shared within the run
+    /// (e.g. a bandwidth axis) or already resident in the artifact cache.
     pub compile_hits: u64,
-    /// Unique compilations actually performed.
+    /// Compilations actually performed during this run.
     pub compile_misses: u64,
+    /// Unique compilation keys the spec resolves to. Deterministic for a
+    /// given spec — unlike `compile_misses`, which shrinks as the shared
+    /// cache warms (`compile_misses == compile_unique` on a cold cache) —
+    /// so protocol responses report sharing in terms of this.
+    pub compile_unique: u64,
 }
 
 impl DseResult {
@@ -228,6 +237,27 @@ impl DseResult {
         order
     }
 
+    /// Points that reached the compiler: evaluated points plus
+    /// compile-failed corners (invalid configurations are filtered before
+    /// compilation and never get that far).
+    pub fn compilable_points(&self) -> u64 {
+        self.points.len() as u64
+            + self
+                .infeasible
+                .iter()
+                .filter(|p| matches!(p.error, PointError::Compile(_)))
+                .count() as u64
+    }
+
+    /// Spec-level compile sharing, independent of cache warmth: compilable
+    /// points served by an artifact another point of the same run also
+    /// resolves to. The typed protocol reports this (not the
+    /// warmth-dependent [`DseResult::compile_hits`]) so responses stay
+    /// byte-identical between cold and warm sessions.
+    pub fn spec_compile_hits(&self) -> u64 {
+        self.compilable_points() - self.compile_unique
+    }
+
     /// The Pareto frontier over (total cycles, total energy, area):
     /// non-dominated architectures that completed the full workload suite,
     /// in grid order.
@@ -245,12 +275,12 @@ impl DseResult {
     }
 }
 
-/// The fields compilation actually depends on: geometry and scratchpad
-/// capacities (plus the access width), but *not* bandwidth or frequency —
-/// excluding them is what lets a whole bandwidth axis share one
-/// compilation.
+/// In-run compile identity: the same fields as
+/// [`ArtifactKey`] but with the model as a spec index, so
+/// per-point dedup never re-fingerprints a model. Only the unique keys are
+/// promoted to full [`ArtifactKey`]s when they touch the shared cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CompileKey {
+struct LocalKey {
     model: usize,
     batch: u64,
     rows: usize,
@@ -261,9 +291,9 @@ struct CompileKey {
     buffer_access_bits: u32,
 }
 
-impl CompileKey {
+impl LocalKey {
     fn of(model: usize, batch: u64, arch: &ArchConfig) -> Self {
-        CompileKey {
+        LocalKey {
             model,
             batch,
             rows: arch.rows,
@@ -305,16 +335,34 @@ impl ArchKey {
     }
 }
 
+/// Explores the spec on `backend` with a private, throwaway artifact cache
+/// — see [`explore_with_cache`], which this delegates to, for the shared
+/// (session-owned) variant.
+pub fn explore<B: SimBackend + Sync>(spec: &DseSpec, backend: &B, workers: usize) -> DseResult {
+    explore_with_cache(spec, backend, workers, &ArtifactCache::default())
+}
+
 /// Explores the spec on `backend`, sharded across `workers` threads
 /// (`0` = use [`crate::pool::default_workers`]; `1` = the sequential
-/// baseline).
+/// baseline), resolving compilations through `cache`.
 ///
-/// Two sharded phases: every *unique* compilation first (each exactly once,
-/// whatever the worker count), then every point evaluation against the
-/// cached plans. Invalid configurations and compile failures become
-/// [`InfeasiblePoint`]s rather than aborting the sweep — a wide grid is
-/// expected to contain corners no tiling fits.
-pub fn explore<B: SimBackend + Sync>(spec: &DseSpec, backend: &B, workers: usize) -> DseResult {
+/// Two sharded phases: every unique compilation not already resident in
+/// `cache` first (each exactly once, whatever the worker count), then every
+/// point evaluation against the resolved plans. Invalid configurations and
+/// compile failures become [`InfeasiblePoint`]s rather than aborting the
+/// sweep — a wide grid is expected to contain corners no tiling fits.
+///
+/// Results do not depend on the cache's warmth: plans are pinned in a local
+/// table for the duration of the run (eviction cannot drop a plan mid-run),
+/// and compilation is deterministic. Only [`DseResult::compile_hits`] /
+/// [`DseResult::compile_misses`] — and wall-clock time — change between a
+/// cold and a warm cache.
+pub fn explore_with_cache<B: SimBackend + Sync>(
+    spec: &DseSpec,
+    backend: &B,
+    workers: usize,
+    cache: &ArtifactCache,
+) -> DseResult {
     let workers = if workers == 0 {
         crate::pool::default_workers()
     } else {
@@ -339,32 +387,77 @@ pub fn explore<B: SimBackend + Sync>(spec: &DseSpec, backend: &B, workers: usize
         }
     }
 
-    // Phase 1: compile each unique (model, batch, compile-relevant arch
-    // fields) key exactly once, sharded across the pool. Invalid configs
-    // are filtered here so compilation never sees them.
-    let mut key_index: HashMap<CompileKey, usize> = HashMap::new();
-    let mut unique: Vec<(CompileKey, usize)> = Vec::new(); // key + an arch index
+    // Phase 1: resolve each unique (model, batch, compile-relevant arch
+    // fields) key — from the shared cache when resident, compiling exactly
+    // once otherwise, sharded across the pool. Invalid configs are filtered
+    // here so compilation never sees them.
+    let mut key_index: HashMap<LocalKey, usize> = HashMap::new();
+    let mut unique: Vec<(LocalKey, usize)> = Vec::new(); // key + an arch index
     for p in &point_refs {
         let arch = &archs[p.arch];
         if arch.validate().is_err() {
             continue;
         }
-        let key = CompileKey::of(p.model, p.batch, arch);
+        let key = LocalKey::of(p.model, p.batch, arch);
         key_index.entry(key).or_insert_with(|| {
             unique.push((key, p.arch));
             unique.len() - 1
         });
     }
-    let plans: Vec<Arc<Result<ExecutionPlan, CompileError>>> =
-        map_indexed(unique.len(), workers, |i| {
-            let (key, arch_idx) = unique[i];
-            Arc::new(compile(
-                &spec.models[key.model],
-                &archs[arch_idx],
-                key.batch,
-            ))
-        });
-    let compile_misses = unique.len() as u64;
+    // One fingerprint per model, not one per (model, geometry) key.
+    let fingerprints: Vec<u64> = spec
+        .models
+        .iter()
+        .map(bitfusion_compiler::cache::fingerprint)
+        .collect();
+    let mut plans: Vec<Option<CachedPlan>> = vec![None; unique.len()];
+    let mut akeys: Vec<ArtifactKey> = Vec::with_capacity(unique.len());
+    let mut canonical: HashMap<ArtifactKey, usize> = HashMap::new();
+    let mut aliases: Vec<(usize, usize)> = Vec::new(); // (duplicate, canonical)
+    let mut missing: Vec<usize> = Vec::new(); // indices into `unique`
+    for (i, (key, arch_idx)) in unique.iter().enumerate() {
+        let akey = ArtifactKey::with_fingerprint(
+            &spec.models[key.model].name,
+            fingerprints[key.model],
+            &archs[*arch_idx],
+            key.batch,
+        );
+        akeys.push(akey.clone());
+        match canonical.entry(akey) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                // Two spec entries resolving to one artifact (e.g. the same
+                // model listed twice): alias, never compile it twice.
+                aliases.push((i, *e.get()));
+                continue;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+            }
+        }
+        plans[i] = cache.lookup(&akeys[i]);
+        if plans[i].is_none() {
+            missing.push(i);
+        }
+    }
+    // Compile outside the cache lock (sharded), then publish each result.
+    let compiled: Vec<CachedPlan> = map_indexed(missing.len(), workers, |m| {
+        let (key, arch_idx) = unique[missing[m]];
+        CachedPlan::new(bitfusion_compiler::compile(
+            &spec.models[key.model],
+            &archs[arch_idx],
+            key.batch,
+        ))
+    });
+    for (&m, plan) in missing.iter().zip(compiled) {
+        cache.insert(akeys[m].clone(), plan.clone());
+        plans[m] = Some(plan);
+    }
+    for (duplicate, canon) in aliases {
+        plans[duplicate] = plans[canon].clone();
+    }
+    let compile_unique = canonical.len() as u64;
+    let plans: Vec<CachedPlan> = plans.into_iter().map(|p| p.expect("resolved")).collect();
+    let compile_misses = missing.len() as u64;
     let compile_hits = point_refs
         .iter()
         .filter(|p| archs[p.arch].validate().is_ok())
@@ -388,7 +481,7 @@ pub fn explore<B: SimBackend + Sync>(spec: &DseSpec, backend: &B, workers: usize
                 error: PointError::InvalidConfig(e),
             }));
         }
-        let key = CompileKey::of(p.model, p.batch, arch);
+        let key = LocalKey::of(p.model, p.batch, arch);
         let plan = &plans[key_index[&key]];
         match plan.as_ref() {
             Err(e) => Outcome::Infeasible(Box::new(InfeasiblePoint {
@@ -435,6 +528,7 @@ pub fn explore<B: SimBackend + Sync>(spec: &DseSpec, backend: &B, workers: usize
         workloads_expected: spec.workloads(),
         compile_hits,
         compile_misses,
+        compile_unique,
     }
 }
 
@@ -471,6 +565,44 @@ mod tests {
         // model-batch pairs = 16 compiles.
         assert_eq!(result.compile_misses, 16);
         assert_eq!(result.compile_hits, 48 - 16);
+    }
+
+    #[test]
+    fn warm_cache_skips_every_compilation_with_identical_results() {
+        let spec = small_spec();
+        let cache = ArtifactCache::default();
+        let cold = explore_with_cache(&spec, &AnalyticBackend, 2, &cache);
+        assert_eq!(cold.compile_misses, 16);
+        assert_eq!(cold.compile_hits, 48 - 16);
+        let warm = explore_with_cache(&spec, &AnalyticBackend, 2, &cache);
+        assert_eq!(warm.compile_misses, 0, "every key resident");
+        assert_eq!(warm.compile_hits, 48);
+        assert_eq!(warm.compile_unique, 16, "spec-level sharing is warmth-independent");
+        assert_eq!(cold.compile_unique, 16);
+        assert_eq!(cold.points.len(), warm.points.len());
+        for (a, b) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(a.report, b.report, "{}/{}", a.model_name, a.batch);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.len, 16);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn duplicate_models_share_one_artifact() {
+        let grid = ArchGrid::from_base(ArchConfig::isca_45nm());
+        let spec = DseSpec {
+            grid,
+            models: vec![Benchmark::Rnn.model(), Benchmark::Rnn.model()],
+            batches: vec![4],
+            options: SimOptions::default(),
+        };
+        let result = explore(&spec, &AnalyticBackend, 1);
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.compile_misses, 1, "identical models compile once");
+        assert_eq!(result.compile_unique, 1);
+        assert_eq!(result.spec_compile_hits(), 1);
+        assert_eq!(result.points[0].report, result.points[1].report);
     }
 
     #[test]

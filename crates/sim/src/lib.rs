@@ -51,8 +51,10 @@ pub use engine::{energy_for_layer, evaluate_layer, SimOptions};
 pub use event::EventBackend;
 pub use stats::{BufferOccupancy, LayerPerf, PerfReport, StallBreakdown};
 pub use dse::{
-    explore, ArchSummary, DsePoint, DseResult, DseSpec, InfeasiblePoint, PointError,
+    explore, explore_with_cache, ArchSummary, DsePoint, DseResult, DseSpec, InfeasiblePoint,
+    PointError,
 };
 pub use sweep::{
-    bandwidth_sweep, bandwidth_sweep_with, batch_sweep, batch_sweep_with, Sweep, SweepPoint,
+    bandwidth_sweep, bandwidth_sweep_cached, bandwidth_sweep_with, batch_sweep,
+    batch_sweep_cached, batch_sweep_with, Sweep, SweepPoint,
 };

@@ -1,14 +1,24 @@
 //! A minimal scoped thread pool: shard an indexed job list across
 //! `std::thread` workers with a shared atomic work queue.
 //!
-//! The build is offline (no rayon), so this module provides the one
-//! primitive the DSE engine needs: [`map_indexed`], a deterministic
-//! parallel map. Workers claim job indices from a shared atomic counter
-//! (dynamic load balancing — a worker stuck on an expensive point does not
-//! hold up the rest of the queue) and results are reassembled in index
-//! order, so the output is identical for any worker count or interleaving.
+//! The build is offline (no rayon), so this module provides the two
+//! primitives the engines need:
+//!
+//! * [`map_indexed`] — a deterministic parallel map over a known job
+//!   count (the DSE engine's batch phases). Workers claim job indices
+//!   from a shared atomic counter (dynamic load balancing — a worker
+//!   stuck on an expensive point does not hold up the rest of the queue)
+//!   and results are reassembled in index order, so the output is
+//!   identical for any worker count or interleaving;
+//! * [`for_each_ordered`] — a deterministic streaming pipeline over an
+//!   iterator of unknown length (the `serve` loop's stdin requests).
+//!   Workers process items concurrently, a reorder buffer hands results
+//!   to the sink strictly in input order, and backpressure bounds how far
+//!   the pipeline reads ahead of the sink.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::thread;
 
 /// Runs `job(0..jobs)` across up to `workers` threads and returns the
@@ -65,6 +75,170 @@ pub fn default_workers() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Streams `items` through `job` on up to `workers` threads and hands every
+/// result to `sink` **strictly in input order** — the deterministic
+/// pipeline behind `bitfusion-cli serve`.
+///
+/// Unlike [`map_indexed`] the input length need not be known up front: the
+/// iterator is pulled lazily (at most `2 × workers` results are buffered
+/// ahead of the sink, so a slow consumer applies backpressure instead of
+/// letting the pipeline read arbitrarily far ahead), and each result is
+/// delivered as soon as every earlier result has been delivered, not at the
+/// end of the batch.
+///
+/// `workers <= 1` runs everything inline on the calling thread — the
+/// sequential baseline with identical observable behaviour.
+///
+/// # Panics
+///
+/// Propagates a panic from any `job` or `sink` invocation (remaining
+/// workers are released, never left blocked on the reorder buffer).
+pub fn for_each_ordered<I, T, F, S>(items: I, workers: usize, job: F, mut sink: S)
+where
+    I: Iterator + Send,
+    I::Item: Send,
+    T: Send,
+    F: Fn(usize, I::Item) -> T + Sync,
+    S: FnMut(usize, T),
+{
+    if workers <= 1 {
+        for (i, item) in items.enumerate() {
+            let out = job(i, item);
+            sink(i, out);
+        }
+        return;
+    }
+
+    struct State<T> {
+        /// Results waiting for every earlier index to be emitted.
+        buf: BTreeMap<usize, T>,
+        /// The next index the sink will receive.
+        next_emit: usize,
+        /// Workers still running (tracked via a drop guard so a panicking
+        /// job cannot leave the consumer waiting forever).
+        active: usize,
+        /// A job panicked: its index will never insert, so everyone bails
+        /// out and the scope join re-raises the panic.
+        panicked: bool,
+    }
+
+    /// Locks a mutex, tolerating poisoning (a panicked worker must not
+    /// wedge the consumer — the panic is re-raised by the scope join).
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    let window = 2 * workers;
+    let source = Mutex::new(items.enumerate());
+    let state = Mutex::new(State::<T> {
+        buf: BTreeMap::new(),
+        next_emit: 0,
+        active: workers,
+        panicked: false,
+    });
+    let ready = Condvar::new(); // result inserted, or a worker retired
+    let slots = Condvar::new(); // the sink drained a buffered result
+
+    struct Retire<'a, T> {
+        state: &'a Mutex<State<T>>,
+        ready: &'a Condvar,
+        slots: &'a Condvar,
+    }
+    impl<T> Drop for Retire<'_, T> {
+        fn drop(&mut self) {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.active -= 1;
+            if thread::panicking() {
+                // The claimed index will never insert: wake the consumer
+                // (stuck on `ready`) and any workers gated on `slots` so
+                // nobody waits for it.
+                st.panicked = true;
+            }
+            self.ready.notify_all();
+            self.slots.notify_all();
+        }
+    }
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _retire = Retire {
+                    state: &state,
+                    ready: &ready,
+                    slots: &slots,
+                };
+                loop {
+                    // Backpressure: claim new work only while the reorder
+                    // buffer has room. In-flight items always complete and
+                    // insert, so the worker holding `next_emit` is never
+                    // gated here and the sink always makes progress.
+                    {
+                        let mut st = lock(&state);
+                        while st.buf.len() >= window && !st.panicked {
+                            st = slots.wait(st).unwrap_or_else(|e| e.into_inner());
+                        }
+                        if st.panicked {
+                            return;
+                        }
+                    }
+                    let claimed = lock(&source).next();
+                    let Some((i, item)) = claimed else { break };
+                    let out = job(i, item);
+                    let mut st = lock(&state);
+                    st.buf.insert(i, out);
+                    ready.notify_all();
+                }
+            });
+        }
+
+        // The calling thread is the consumer: emit results in index order
+        // as they arrive, until every worker has retired and the buffer is
+        // drained. The guard mirrors Retire for the sink: if `sink` panics,
+        // workers gated on `slots` must wake and bail rather than wait for
+        // a drain that will never come (the scope join would deadlock).
+        struct Abort<'a, T> {
+            state: &'a Mutex<State<T>>,
+            slots: &'a Condvar,
+        }
+        impl<T> Drop for Abort<'_, T> {
+            fn drop(&mut self) {
+                if thread::panicking() {
+                    self.state
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .panicked = true;
+                    self.slots.notify_all();
+                }
+            }
+        }
+        let _abort = Abort {
+            state: &state,
+            slots: &slots,
+        };
+        let mut st = lock(&state);
+        loop {
+            let i = st.next_emit;
+            if let Some(out) = st.buf.remove(&i) {
+                st.next_emit += 1;
+                slots.notify_all();
+                drop(st);
+                sink(i, out);
+                st = lock(&state);
+                continue;
+            }
+            if st.panicked || st.active == 0 {
+                // Indices are claimed contiguously and every claimed item
+                // inserts before its worker retires, so a drained pool with
+                // `next_emit` absent means the input is exhausted — or a
+                // job panicked, in which case that index never arrives and
+                // the scope join below re-raises the panic.
+                break;
+            }
+            st = ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +272,107 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn ordered_pipeline_emits_in_input_order_for_any_worker_count() {
+        for workers in [0, 1, 2, 3, 8] {
+            let mut seen = Vec::new();
+            for_each_ordered(0..37usize, workers, |i, x| (i, x * 2), |i, (ji, out)| {
+                assert_eq!(i, ji);
+                seen.push(out);
+            });
+            assert_eq!(
+                seen,
+                (0..37).map(|x| x * 2).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_pipeline_handles_uneven_job_times() {
+        // Early items are the slowest: the reorder buffer must hold the
+        // fast late results until the slow early ones arrive.
+        let mut seen = Vec::new();
+        for_each_ordered(
+            0..16usize,
+            4,
+            |_, x| {
+                if x < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(20 - 4 * x as u64));
+                }
+                x
+            },
+            |_, out| seen.push(out),
+        );
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_pipeline_empty_input() {
+        let mut calls = 0;
+        for_each_ordered(std::iter::empty::<u32>(), 4, |_, x| x, |_, _| calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn ordered_pipeline_propagates_a_panic_even_with_a_full_buffer() {
+        // Job 0 panics while the other workers race far ahead and fill the
+        // reorder buffer to the backpressure window: the pipeline must
+        // panic, not deadlock (regression: workers used to block on
+        // `slots` forever while the consumer waited for index 0).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for_each_ordered(
+                0..1000usize,
+                4,
+                |_, x| {
+                    if x == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("job 0 failed");
+                    }
+                    x
+                },
+                |_, _| {},
+            );
+        }));
+        assert!(result.is_err(), "the job panic must propagate");
+    }
+
+    #[test]
+    fn ordered_pipeline_propagates_a_sink_panic_without_hanging() {
+        // Only the consumer calls the sink; when it unwinds, workers gated
+        // on the backpressure window must be released so the scope join
+        // can complete and re-raise the panic.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for_each_ordered(
+                0..1000usize,
+                4,
+                |_, x| x,
+                |_, x| {
+                    if x == 3 {
+                        panic!("sink failed");
+                    }
+                },
+            );
+        }));
+        assert!(result.is_err(), "the sink panic must propagate");
+    }
+
+    #[test]
+    fn ordered_pipeline_runs_every_job_once() {
+        let hits = AtomicU64::new(0);
+        let mut emitted = 0u64;
+        for_each_ordered(
+            0..100usize,
+            7,
+            |_, x| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                x
+            },
+            |_, _| emitted += 1,
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(emitted, 100);
     }
 }

@@ -14,12 +14,13 @@
 //! the trace-driven [`EventBackend`](crate::EventBackend) for a
 //! high-fidelity pass over the interesting points.
 
+use bitfusion_compiler::ArtifactCache;
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_core::grid::ArchGrid;
 use bitfusion_dnn::model::Model;
 
 use crate::backend::{AnalyticBackend, SimBackend};
-use crate::dse::{explore, DseSpec, PointError};
+use crate::dse::{explore_with_cache, DseSpec, PointError};
 use crate::engine::SimOptions;
 use crate::stats::PerfReport;
 
@@ -84,9 +85,10 @@ impl<T: Copy + PartialEq> Sweep<T> {
 fn sweep_view<B: SimBackend + Sync, T>(
     backend: &B,
     spec: &DseSpec,
+    cache: &ArtifactCache,
     value_of: impl Fn(&crate::dse::DsePoint) -> T,
 ) -> Result<Sweep<T>, bitfusion_compiler::CompileError> {
-    let result = explore(spec, backend, 1);
+    let result = explore_with_cache(spec, backend, 1, cache);
     if let Some(bad) = result.infeasible.first() {
         return Err(match &bad.error {
             PointError::Compile(e) => e.clone(),
@@ -126,6 +128,36 @@ pub fn bandwidth_sweep_with<B: SimBackend + Sync>(
     batch: u64,
     bandwidths: &[u32],
 ) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
+    bandwidth_sweep_cached(
+        backend,
+        base_arch,
+        model,
+        batch,
+        bandwidths,
+        SimOptions::default(),
+        &ArtifactCache::default(),
+    )
+}
+
+/// [`bandwidth_sweep_with`] with explicit calibration options and a shared
+/// artifact cache — the session facade's path. The whole axis resolves to
+/// one artifact key (tiling ignores bandwidth), so a warm cache makes the
+/// sweep compilation-free.
+///
+/// # Errors
+///
+/// Propagates compilation failures, and rejects invalid swept
+/// configurations (e.g. a zero bandwidth) as
+/// [`CompileError::InvalidArch`](bitfusion_compiler::CompileError).
+pub fn bandwidth_sweep_cached<B: SimBackend + Sync>(
+    backend: &B,
+    base_arch: &ArchConfig,
+    model: &Model,
+    batch: u64,
+    bandwidths: &[u32],
+    options: SimOptions,
+    cache: &ArtifactCache,
+) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
     let spec = DseSpec {
         grid: ArchGrid {
             dram_bits_per_cycle: bandwidths.to_vec(),
@@ -133,9 +165,9 @@ pub fn bandwidth_sweep_with<B: SimBackend + Sync>(
         },
         models: vec![model.clone()],
         batches: vec![batch],
-        options: SimOptions::default(),
+        options,
     };
-    sweep_view(backend, &spec, |p| p.arch.dram_bits_per_cycle)
+    sweep_view(backend, &spec, cache, |p| p.arch.dram_bits_per_cycle)
 }
 
 /// Sweeps off-chip bandwidth on the analytic backend (the fast default).
@@ -164,13 +196,37 @@ pub fn batch_sweep_with<B: SimBackend + Sync>(
     model: &Model,
     batches: &[u64],
 ) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
+    batch_sweep_cached(
+        backend,
+        arch,
+        model,
+        batches,
+        SimOptions::default(),
+        &ArtifactCache::default(),
+    )
+}
+
+/// [`batch_sweep_with`] with explicit calibration options and a shared
+/// artifact cache — the session facade's path.
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn batch_sweep_cached<B: SimBackend + Sync>(
+    backend: &B,
+    arch: &ArchConfig,
+    model: &Model,
+    batches: &[u64],
+    options: SimOptions,
+    cache: &ArtifactCache,
+) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
     let spec = DseSpec {
         grid: ArchGrid::from_base(arch.clone()),
         models: vec![model.clone()],
         batches: batches.to_vec(),
-        options: SimOptions::default(),
+        options,
     };
-    sweep_view(backend, &spec, |p| p.batch)
+    sweep_view(backend, &spec, cache, |p| p.batch)
 }
 
 /// Sweeps batch size on the analytic backend (the fast default).

@@ -1,0 +1,72 @@
+//! The service-layer API in-process: build typed requests, hand them to a
+//! [`Session`], and consume typed responses — the same path the CLI's
+//! one-shot subcommands and the `serve` loop use, including the shared
+//! compiled-artifact cache.
+//!
+//! Run with: `cargo run --release --example session_api`
+
+use bitfusion::service::protocol::{ArchPreset, SweepAxis};
+use bitfusion::service::{Request, Response, Session};
+
+fn main() {
+    let session = Session::new();
+
+    // A typed request, built directly...
+    let report = Request::Report {
+        benchmark: "lstm".into(),
+        batch: 16,
+        bandwidth: None,
+        arch: ArchPreset::Isca45nm,
+        backend: None,
+    };
+    // ...or parsed from the same wire form `serve` reads from stdin.
+    assert_eq!(
+        Request::parse(r#"{"cmd":"report","benchmark":"lstm","batch":16}"#).unwrap(),
+        report
+    );
+
+    println!("session API: report -> sweep -> report, one shared artifact cache\n");
+    match session.handle(&report) {
+        Response::Report(r) => println!(
+            "report  {} (batch {}): {} cycles, {:.3} ms/input, {:.1} uJ/input",
+            r.benchmark,
+            r.batch,
+            r.cycles,
+            r.latency_ms_per_input,
+            r.energy_per_input.total_pj() / 1e6
+        ),
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // The bandwidth sweep reuses the report's compiled artifact: tiling
+    // does not depend on bandwidth, so the whole axis is compilation-free.
+    match session.handle(&Request::Sweep {
+        benchmark: "lstm".into(),
+        axis: SweepAxis::Bandwidth,
+        backend: None,
+    }) {
+        Response::Sweep(s) => {
+            print!("sweep   {} vs {} b/cyc:", s.benchmark, s.baseline);
+            for p in &s.points {
+                print!(" {}b/cyc={:.2}x", p.value, p.speedup);
+            }
+            println!();
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // Repeating the report is answered straight from the cache.
+    let again = session.handle(&report);
+    println!("repeat  byte-identical: {}", again.encode().len());
+
+    let stats = session.cache_stats();
+    println!(
+        "\nartifact cache: {} hits, {} misses ({:.0}% hit rate), {}/{} resident",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.len,
+        stats.capacity
+    );
+    assert!(stats.hits >= 2, "sweep and repeat must reuse the artifact");
+}

@@ -1,535 +1,571 @@
 //! `bitfusion-cli` — drive the Bit Fusion reproduction from the command
-//! line: inspect benchmarks, simulate them on any configuration, compare
-//! against the baselines, dump Fusion-ISA assembly, and run sweeps.
+//! line.
+//!
+//! This binary is a thin adapter over the service layer: every subcommand
+//! parses argv into a typed [`Request`], hands it to a [`Session`], and
+//! prints either the human-readable rendering or (with `--json`) the
+//! response's single-line wire form. `serve` runs the long-running
+//! JSON-lines loop over stdin/stdout with the same session machinery, so
+//! one-shot `--json` output and serve responses are byte-identical.
 //!
 //! ```text
 //! bitfusion-cli list
-//! bitfusion-cli report cifar-10 --batch 16 --bandwidth 256
+//! bitfusion-cli report cifar-10 --batch 16 --bandwidth 256 --json
 //! bitfusion-cli compare alexnet
 //! bitfusion-cli asm lstm --layer lstm1
 //! bitfusion-cli sweep rnn --batch
 //! bitfusion-cli sweep vgg-7 --bandwidth
-//! bitfusion-cli dse --rows 16,32 --cols 8,16 --bandwidth 64,128,256
+//! bitfusion-cli dse --rows 16,32 --cols 8,16 --bandwidth 64,128,256 --json
+//! echo '{"cmd":"report","benchmark":"lstm"}' | bitfusion-cli serve
 //! ```
 
 use std::env;
+use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use bitfusion::baselines::{EyerissSim, GpuMode, GpuModel, StripesSim};
-use bitfusion::compiler::compile;
-use bitfusion::core::arch::ArchConfig;
-use bitfusion::core::grid::ArchGrid;
-use bitfusion::dnn::model::Model;
-use bitfusion::dnn::zoo::Benchmark;
-use bitfusion::isa::asm::format_block;
-use bitfusion::sim::{
-    bandwidth_sweep_with, batch_sweep_with, explore, AnalyticBackend, BitFusionSim, DseResult,
-    DseSpec, EventBackend, PerfReport,
-};
+use bitfusion::energy::TechNode;
+use bitfusion::service::protocol::{ArchPreset, BackendChoice, DseParams, SweepAxis};
+use bitfusion::service::{render, serve, Request, Response, Session};
+use bitfusion::sim::SimOptions;
 
 fn usage() -> &'static str {
     "bitfusion-cli — Bit Fusion (ISCA 2018) reproduction driver
 
 USAGE:
-  bitfusion-cli list
+  bitfusion-cli list    [--json]
   bitfusion-cli report  <benchmark> [--batch N] [--bandwidth BITS] [--arch 45nm|16nm|stripes]
-                        [--backend analytic|event]
-  bitfusion-cli compare <benchmark> [--batch N] [--backend analytic|event]
-  bitfusion-cli asm     <benchmark> [--layer NAME] [--batch N]
+                        [--backend analytic|event] [--json] [calibration]
+  bitfusion-cli compare <benchmark> [--batch N] [--backend analytic|event] [--json] [calibration]
+  bitfusion-cli asm     <benchmark> [--layer NAME] [--batch N] [--arch 45nm|16nm|stripes] [--json]
   bitfusion-cli sweep   <benchmark> (--batch | --bandwidth) [--backend analytic|event]
+                        [--json] [calibration]
   bitfusion-cli dse     [--rows LIST] [--cols LIST] [--ibuf-kb LIST] [--wbuf-kb LIST]
                         [--obuf-kb LIST] [--bandwidth LIST] [--batch LIST]
                         [--networks all|name,name] [--workers N]
-                        [--backend analytic|event] [--json]
+                        [--backend analytic|event] [--json] [calibration]
+  bitfusion-cli serve   [--workers N] [--cache-capacity N] [--backend analytic|event]
+                        [calibration]
 
-The `event` backend runs the trace-driven timing model on the Bit Fusion
-side of each command; `report` additionally prints its stall attribution
-(bandwidth- vs compute-starved cycles).
+calibration (threaded through the session's SimOptions):
+  --systolic-efficiency F   fraction of peak systolic throughput (default 0.85)
+  --dram-efficiency F       fraction of peak DRAM bandwidth (default 0.70)
+  --node 45nm|16nm|65nm     technology node energies are reported at (default 45nm)
 
-`dse` explores the cartesian architecture grid (comma-separated candidate
-lists per dimension) crossed with the selected networks and batch sizes,
-sharded across worker threads with a memoized compile cache, and prints
-the Pareto frontier over (cycles, energy, area). `--json` emits the
-frontier as machine-readable JSON instead of the table.
+`--json` prints the response as one line of JSON — the same bytes `serve`
+writes for the equivalent request. `serve` reads one JSON request per stdin
+line ({\"cmd\":\"report\",\"benchmark\":\"lstm\",...}) and writes one
+response per stdout line, in request order, dispatching concurrently.
 
 BENCHMARKS:
   alexnet cifar-10 lstm lenet-5 resnet-18 rnn svhn vgg-7 (case-insensitive)"
 }
 
-fn find_benchmark(name: &str) -> Option<Benchmark> {
-    let needle = name.to_lowercase();
-    Benchmark::ALL
-        .into_iter()
-        .find(|b| b.name().to_lowercase() == needle)
+/// A usage error: which subcommand, which flag, what went wrong.
+#[derive(Debug)]
+struct UsageError {
+    subcommand: String,
+    message: String,
 }
 
-struct Args {
-    positional: Vec<String>,
-    batch: u64,
-    bandwidth: Option<u32>,
-    arch: String,
-    backend: String,
-    layer: Option<String>,
-    sweep_batch: bool,
-    sweep_bandwidth: bool,
+impl UsageError {
+    fn new(subcommand: &str, message: impl Into<String>) -> Self {
+        UsageError {
+            subcommand: subcommand.to_string(),
+            message: message.into(),
+        }
+    }
 }
 
-fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args {
-        positional: Vec::new(),
-        batch: 16,
-        bandwidth: None,
-        arch: "45nm".into(),
-        backend: "analytic".into(),
-        layer: None,
-        sweep_batch: false,
-        sweep_bandwidth: false,
-    };
-    let mut it = argv.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--batch" => {
-                // Value is optional: bare `--batch` selects the batch sweep.
-                if let Some(v) = it.clone().next() {
-                    if let Ok(n) = v.parse::<u64>() {
-                        args.batch = n;
-                        it.next();
-                    }
-                }
-                args.sweep_batch = true;
+/// Cursor over argv with subcommand-aware error messages.
+struct Flags<'a> {
+    subcommand: &'a str,
+    argv: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn new(subcommand: &'a str, argv: &'a [String]) -> Self {
+        Flags {
+            subcommand,
+            argv,
+            pos: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let arg = self.argv.get(self.pos)?;
+        self.pos += 1;
+        Some(arg)
+    }
+
+    fn err(&self, message: impl Into<String>) -> UsageError {
+        UsageError::new(self.subcommand, message)
+    }
+
+    /// The value following `flag`, or an error naming flag + subcommand.
+    fn value(&mut self, flag: &str) -> Result<&'a str, UsageError> {
+        // A following token that is itself a flag is not a value.
+        match self.argv.get(self.pos) {
+            Some(v) if !v.starts_with("--") => {
+                self.pos += 1;
+                Ok(v)
             }
-            "--bandwidth" => {
-                if let Some(v) = it.clone().next() {
-                    if let Ok(bw) = v.parse::<u32>() {
-                        args.bandwidth = Some(bw);
-                        it.next();
-                    }
-                }
-                args.sweep_bandwidth = true;
-            }
-            "--arch" => args.arch = it.next().ok_or("--arch needs a value")?.clone(),
-            "--backend" => args.backend = it.next().ok_or("--backend needs a value")?.clone(),
-            "--layer" => args.layer = Some(it.next().ok_or("--layer needs a value")?.clone()),
-            other if !other.starts_with("--") => args.positional.push(other.to_string()),
-            other => return Err(format!("unknown flag {other}")),
+            _ => Err(self.err(format!("{flag} needs a value"))),
         }
     }
-    if !matches!(args.backend.as_str(), "analytic" | "event") {
-        return Err(format!(
-            "unknown backend `{}` (analytic|event)",
-            args.backend
-        ));
-    }
-    Ok(args)
-}
 
-/// Runs a model on the Bit Fusion simulator with the selected backend.
-fn run_sim(arch: ArchConfig, model: &Model, batch: u64, backend: &str) -> Result<PerfReport, String> {
-    match backend {
-        "event" => BitFusionSim::event(arch).run(model, batch),
-        _ => BitFusionSim::new(arch).run(model, batch),
+    /// Parses `flag`'s value, or an error naming flag, value, and
+    /// subcommand.
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, UsageError> {
+        let v = self.value(flag)?;
+        v.parse()
+            .map_err(|_| self.err(format!("{flag}: invalid value `{v}`")))
     }
-    .map_err(|e| e.to_string())
-}
 
-fn arch_for(args: &Args) -> Result<ArchConfig, String> {
-    let mut arch = match args.arch.as_str() {
-        "45nm" => ArchConfig::isca_45nm(),
-        "16nm" => ArchConfig::gpu_16nm(),
-        "stripes" => ArchConfig::stripes_matched(),
-        other => return Err(format!("unknown arch `{other}` (45nm|16nm|stripes)")),
-    };
-    if let Some(bw) = args.bandwidth {
-        arch = arch.with_bandwidth(bw);
-    }
-    Ok(arch)
-}
-
-fn cmd_list() {
-    println!("benchmarks (Table II):");
-    for b in Benchmark::ALL {
-        let m = b.model();
-        println!(
-            "  {:<10} {:>7.0} MOps  {:>6.2} MB  {} layers",
-            b.name(),
-            m.total_macs() as f64 / 1e6,
-            m.weight_bytes() as f64 / 1e6,
-            m.len()
-        );
-    }
-    println!("\narchitectures:");
-    for arch in [
-        ArchConfig::isca_45nm(),
-        ArchConfig::stripes_matched(),
-        ArchConfig::gpu_16nm(),
-    ] {
-        println!("  {arch}");
-    }
-}
-
-fn cmd_report(b: Benchmark, args: &Args) -> Result<(), String> {
-    let arch = arch_for(args)?;
-    let report = run_sim(arch, &b.model(), args.batch, &args.backend)?;
-    print!("{report}");
-    println!(
-        "dram traffic: {:.2} Mb/input; energy/input: {}",
-        report.total_dram_bits() as f64 / report.batch as f64 / 1e6,
-        report.energy_per_input()
-    );
-    if args.backend == "event" {
-        let s = report.total_stalls();
-        println!(
-            "stalls: {} cycles bandwidth-starved, {} compute-starved, {} fill/drain",
-            s.bandwidth_starved, s.compute_starved, s.fill_drain
-        );
-    }
-    Ok(())
-}
-
-fn cmd_compare(b: Benchmark, args: &Args) -> Result<(), String> {
-    let r = run_sim(ArchConfig::isca_45nm(), &b.model(), args.batch, &args.backend)?;
-    println!(
-        "{} (batch {}): BitFusion-45nm {:.3} ms/input, {}",
-        b.name(),
-        args.batch,
-        r.latency_ms_per_input(),
-        r.energy_per_input()
-    );
-    let ey = EyerissSim::default().run(&b.reference_model(), args.batch);
-    println!(
-        "  vs Eyeriss: {:.2}x faster, {:.2}x less energy",
-        ey.latency_ms_per_input() / r.latency_ms_per_input(),
-        ey.energy.total_pj() / r.total_energy().total_pj()
-    );
-    let rs = run_sim(
-        ArchConfig::stripes_matched(),
-        &b.model(),
-        args.batch,
-        &args.backend,
-    )?;
-    let st = StripesSim::default().run(&b.model(), args.batch);
-    println!(
-        "  vs Stripes: {:.2}x faster, {:.2}x less energy",
-        st.latency_ms_per_input() / rs.latency_ms_per_input(),
-        st.energy.total_pj() / rs.total_energy().total_pj()
-    );
-    let tx2 = GpuModel::tegra_x2().run(&b.reference_model(), args.batch, GpuMode::Fp32);
-    let r16 = run_sim(ArchConfig::gpu_16nm(), &b.model(), args.batch, &args.backend)?;
-    println!(
-        "  vs Tegra X2 (16 nm config): {:.1}x faster at 0.895 W",
-        tx2.latency_ms_per_input() / r16.latency_ms_per_input()
-    );
-    Ok(())
-}
-
-fn cmd_asm(b: Benchmark, args: &Args) -> Result<(), String> {
-    let arch = arch_for(args)?;
-    let plan = compile(&b.model(), &arch, args.batch).map_err(|e| e.to_string())?;
-    for l in &plan.layers {
-        if let Some(want) = &args.layer {
-            if &l.name != want {
-                continue;
-            }
+    /// Parses `flag`'s comma-separated list value.
+    fn list<T: std::str::FromStr>(&mut self, flag: &str) -> Result<Vec<T>, UsageError> {
+        let v = self.value(flag)?;
+        let items: Result<Vec<T>, _> = v.split(',').map(str::parse).collect();
+        match items {
+            Ok(items) if !items.is_empty() => Ok(items),
+            _ => Err(self.err(format!("{flag} needs a comma-separated list, got `{v}`"))),
         }
-        println!("{}", format_block(&l.block));
     }
-    Ok(())
-}
 
-fn cmd_sweep(b: Benchmark, args: &Args) -> Result<(), String> {
-    let arch = ArchConfig::isca_45nm();
-    let event = args.backend == "event";
-    if args.sweep_bandwidth {
-        let bws = [32, 64, 128, 256, 512];
-        let sweep = if event {
-            bandwidth_sweep_with(&EventBackend, &arch, &b.model(), 16, &bws)
-        } else {
-            bandwidth_sweep_with(&AnalyticBackend, &arch, &b.model(), 16, &bws)
-        }
-        .map_err(|e| e.to_string())?;
-        println!(
-            "{} bandwidth sweep (batch 16, {} backend, vs 128 b/cyc):",
-            b.name(),
-            args.backend
-        );
-        let speedups = sweep
-            .speedups_vs(128)
-            .ok_or("128 b/cyc baseline missing from the sweep")?;
-        for (bw, s) in speedups {
-            println!("  {bw:>4} bits/cycle: {s:5.2}x");
-        }
-        return Ok(());
-    }
-    let batches = [1, 4, 16, 64, 256];
-    let sweep = if event {
-        batch_sweep_with(&EventBackend, &arch, &b.model(), &batches)
-    } else {
-        batch_sweep_with(&AnalyticBackend, &arch, &b.model(), &batches)
-    }
-    .map_err(|e| e.to_string())?;
-    println!(
-        "{} batch sweep (per-input speedup vs batch 1, {} backend):",
-        b.name(),
-        args.backend
-    );
-    let speedups = sweep
-        .per_input_speedups_vs(1)
-        .ok_or("batch-1 baseline missing from the sweep")?;
-    for (batch, s) in speedups {
-        println!("  batch {batch:>3}: {s:5.2}x");
-    }
-    Ok(())
-}
-
-/// Parses a comma-separated candidate list.
-fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String> {
-    let items: Result<Vec<T>, _> = value.split(',').map(str::parse).collect();
-    match items {
-        Ok(v) if !v.is_empty() => Ok(v),
-        _ => Err(format!("{flag} needs a comma-separated list, got `{value}`")),
+    fn unknown(&self, flag: &str) -> UsageError {
+        self.err(format!("unknown flag `{flag}`"))
     }
 }
 
-/// Arguments of the `dse` subcommand (its lists need their own parser).
-struct DseArgs {
-    rows: Vec<usize>,
-    cols: Vec<usize>,
-    ibuf_kb: Vec<usize>,
-    wbuf_kb: Vec<usize>,
-    obuf_kb: Vec<usize>,
-    bandwidth: Vec<u32>,
-    batches: Vec<u64>,
-    networks: Vec<Benchmark>,
-    workers: usize,
-    backend: String,
+/// Everything a parsed invocation needs to run.
+#[derive(Debug)]
+struct Invocation {
+    mode: Mode,
     json: bool,
+    options: SimOptions,
+    /// `--backend`: a per-request override for one-shot commands, the
+    /// session default for `serve`.
+    backend: Option<BackendChoice>,
 }
 
-fn parse_dse_args(argv: &[String]) -> Result<DseArgs, String> {
-    let base = ArchConfig::isca_45nm();
-    let mut args = DseArgs {
-        rows: vec![16, 32],
-        cols: vec![8, 16],
-        ibuf_kb: vec![base.ibuf_bytes / 1024],
-        wbuf_kb: vec![base.wbuf_bytes / 1024],
-        obuf_kb: vec![base.obuf_bytes / 1024],
-        bandwidth: vec![64, 128, 256],
-        batches: vec![16],
-        networks: Benchmark::ALL.to_vec(),
-        workers: 0,
-        backend: "analytic".into(),
-        json: false,
-    };
-    let mut it = argv.iter();
-    while let Some(flag) = it.next() {
-        let value = || {
-            it.clone()
-                .next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--rows" => args.rows = parse_list(flag, &value()?)?,
-            "--cols" => args.cols = parse_list(flag, &value()?)?,
-            "--ibuf-kb" => args.ibuf_kb = parse_list(flag, &value()?)?,
-            "--wbuf-kb" => args.wbuf_kb = parse_list(flag, &value()?)?,
-            "--obuf-kb" => args.obuf_kb = parse_list(flag, &value()?)?,
-            "--bandwidth" => args.bandwidth = parse_list(flag, &value()?)?,
-            "--batch" => args.batches = parse_list(flag, &value()?)?,
-            "--workers" => {
-                args.workers = value()?
-                    .parse()
-                    .map_err(|_| "--workers needs a number".to_string())?
+#[derive(Debug)]
+enum Mode {
+    OneShot(Request),
+    Serve { workers: usize, cache_capacity: Option<usize> },
+}
+
+/// Tries to consume one shared flag (`--json`, `--backend`, calibration
+/// knobs). Returns whether the flag was recognized.
+#[allow(clippy::too_many_arguments)]
+fn shared_flag(
+    flags: &mut Flags<'_>,
+    arg: &str,
+    json: &mut bool,
+    backend: &mut Option<BackendChoice>,
+    options: &mut SimOptions,
+) -> Result<bool, UsageError> {
+    match arg {
+        "--json" => *json = true,
+        "--backend" => {
+            let v = flags.value("--backend")?;
+            *backend = Some(BackendChoice::parse(v).map_err(|e| flags.err(e))?);
+        }
+        "--systolic-efficiency" => {
+            let v: f64 = flags.parse("--systolic-efficiency")?;
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(flags.err(format!(
+                    "--systolic-efficiency must be in (0, 1], got `{v}`"
+                )));
             }
-            "--backend" => args.backend = value()?,
-            "--networks" => {
-                let v = value()?;
-                if v != "all" {
-                    args.networks = v
-                        .split(',')
-                        .map(|name| {
-                            find_benchmark(name)
-                                .ok_or_else(|| format!("unknown benchmark `{name}`"))
-                        })
-                        .collect::<Result<_, _>>()?;
+            options.systolic_efficiency = v;
+        }
+        "--dram-efficiency" => {
+            let v: f64 = flags.parse("--dram-efficiency")?;
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(flags.err(format!("--dram-efficiency must be in (0, 1], got `{v}`")));
+            }
+            options.dram_efficiency = v;
+        }
+        "--node" => {
+            options.node = match flags.value("--node")? {
+                "45nm" => TechNode::Nm45,
+                "16nm" => TechNode::Nm16,
+                "65nm" => TechNode::Nm65,
+                other => {
+                    return Err(flags.err(format!("--node: unknown node `{other}` (45nm|16nm|65nm)")))
                 }
-            }
-            "--json" => {
-                args.json = true;
-                continue; // no value to consume
-            }
-            other => return Err(format!("unknown dse flag {other}\n\n{}", usage())),
+            };
         }
-        it.next(); // consume the value every remaining arm peeked
-
+        _ => return Ok(false),
     }
-    if !matches!(args.backend.as_str(), "analytic" | "event") {
-        return Err(format!("unknown backend `{}` (analytic|event)", args.backend));
-    }
-    Ok(args)
+    Ok(true)
 }
 
-fn dse_explore(spec: &DseSpec, backend: &str, workers: usize) -> DseResult {
-    match backend {
-        "event" => explore(spec, &EventBackend, workers),
-        _ => explore(spec, &AnalyticBackend, workers),
-    }
-}
-
-/// Emits the frontier as a JSON document (hand-rolled: the build is
-/// offline, no serde).
-fn dse_json(result: &DseResult, grid_points: usize) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"backend\": \"{}\",\n", result.backend));
-    out.push_str(&format!("  \"grid_points\": {grid_points},\n"));
-    out.push_str(&format!("  \"points\": {},\n", result.points.len()));
-    out.push_str(&format!("  \"infeasible\": {},\n", result.infeasible.len()));
-    out.push_str(&format!(
-        "  \"compile\": {{ \"hits\": {}, \"misses\": {} }},\n",
-        result.compile_hits, result.compile_misses
-    ));
-    out.push_str("  \"frontier\": [\n");
-    let frontier = result.pareto_frontier();
-    for (i, s) in frontier.iter().enumerate() {
-        let a = &s.arch;
-        out.push_str(&format!(
-            "    {{ \"rows\": {}, \"cols\": {}, \"ibuf_kb\": {}, \"wbuf_kb\": {}, \
-             \"obuf_kb\": {}, \"bandwidth_bits_per_cycle\": {}, \"cycles\": {}, \
-             \"energy_pj\": {:.1}, \"area_mm2\": {:.3}, \"bandwidth_starved\": {}, \
-             \"compute_starved\": {} }}{}\n",
-            a.rows,
-            a.cols,
-            a.ibuf_bytes / 1024,
-            a.wbuf_bytes / 1024,
-            a.obuf_bytes / 1024,
-            a.dram_bits_per_cycle,
-            s.total_cycles,
-            s.total_energy_pj,
-            s.area_mm2,
-            s.stalls.bandwidth_starved,
-            s.stalls.compute_starved,
-            if i + 1 == frontier.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}");
-    out
-}
-
-fn cmd_dse(argv: &[String]) -> Result<(), String> {
-    let args = parse_dse_args(argv)?;
-    let grid = ArchGrid {
-        rows: args.rows,
-        cols: args.cols,
-        ibuf_bytes: args.ibuf_kb.iter().map(|kb| kb * 1024).collect(),
-        wbuf_bytes: args.wbuf_kb.iter().map(|kb| kb * 1024).collect(),
-        obuf_bytes: args.obuf_kb.iter().map(|kb| kb * 1024).collect(),
-        dram_bits_per_cycle: args.bandwidth,
-        ..ArchGrid::from_base(ArchConfig::isca_45nm())
+fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
+    let Some(subcommand) = argv.first() else {
+        return Err(UsageError::new("", usage()));
     };
-    let grid_points = grid.len();
-    let spec = DseSpec {
-        grid,
-        models: args.networks.iter().map(|b| b.model()).collect(),
-        batches: args.batches,
-        options: Default::default(),
-    };
-    if spec.is_empty() {
-        return Err("empty design space (a dimension has no candidates)".into());
-    }
-    let result = dse_explore(&spec, &args.backend, args.workers);
-    if args.json {
-        println!("{}", dse_json(&result, grid_points));
-        return Ok(());
-    }
-    println!(
-        "design space: {grid_points} architectures x {} networks x {} batch sizes = {} points ({} backend)",
-        spec.models.len(),
-        spec.batches.len(),
-        spec.len(),
-        result.backend
-    );
-    println!(
-        "evaluated {} points ({} infeasible); compile cache: {} unique compilations, {} points served from cache",
-        result.points.len(),
-        result.infeasible.len(),
-        result.compile_misses,
-        result.compile_hits
-    );
-    let frontier = result.pareto_frontier();
-    println!("\nPareto frontier over (cycles, energy, area), {} of {} architectures:", frontier.len(), grid_points);
-    println!(
-        "  {:>4} {:>4} {:>5} {:>5} {:>5} {:>5} | {:>14} {:>11} {:>9} {:>8}",
-        "rows", "cols", "ibuf", "wbuf", "obuf", "bw", "cycles", "energy(mJ)", "area(mm2)", "bw-stall"
-    );
-    for s in &frontier {
-        let a = &s.arch;
-        let total_stall = s.stalls.bandwidth_starved + s.stalls.compute_starved;
-        let bw_frac = if total_stall == 0 {
-            0.0
-        } else {
-            s.stalls.bandwidth_starved as f64 / total_stall as f64
-        };
-        println!(
-            "  {:>4} {:>4} {:>4}K {:>4}K {:>4}K {:>5} | {:>14} {:>11.2} {:>9.2} {:>7.0}%",
-            a.rows,
-            a.cols,
-            a.ibuf_bytes / 1024,
-            a.wbuf_bytes / 1024,
-            a.obuf_bytes / 1024,
-            a.dram_bits_per_cycle,
-            s.total_cycles,
-            s.total_energy_pj / 1e9,
-            s.area_mm2,
-            bw_frac * 100.0
-        );
-    }
-    if !result.infeasible.is_empty() {
-        let show = result.infeasible.len().min(3);
-        println!("\ninfeasible corners (first {show}):");
-        for p in result.infeasible.iter().take(show) {
-            println!("  {} @ {}: {}", p.model_name, p.arch, p.error);
+    let subcommand = subcommand.as_str();
+    let rest = &argv[1..];
+    let mut flags = Flags::new(subcommand, rest);
+    let mut json = false;
+    let mut backend: Option<BackendChoice> = None;
+    let mut options = SimOptions::default();
+    let mut positional: Vec<&str> = Vec::new();
+
+    // Subcommand-specific state.
+    let mut batch: Option<u64> = None;
+    let mut bandwidth: Option<u32> = None;
+    let mut arch = ArchPreset::default();
+    let mut layer: Option<String> = None;
+    let mut sweep_axis: Option<SweepAxis> = None;
+    let mut dse = DseParams::default();
+    let mut workers: usize = 0;
+    let mut cache_capacity: Option<usize> = None;
+
+    while let Some(arg) = flags.next() {
+        if !arg.starts_with("--") {
+            positional.push(arg);
+            continue;
+        }
+        if shared_flag(&mut flags, arg, &mut json, &mut backend, &mut options)? {
+            let calibration = matches!(
+                arg,
+                "--systolic-efficiency" | "--dram-efficiency" | "--node"
+            );
+            let takes_backend = matches!(
+                subcommand,
+                "report" | "compare" | "sweep" | "dse" | "serve"
+            );
+            if arg == "--backend" && !takes_backend {
+                return Err(flags.err(format!("`{subcommand}` does not take --backend")));
+            }
+            if calibration && !takes_backend {
+                return Err(flags.err(format!("`{subcommand}` does not take {arg}")));
+            }
+            if arg == "--json" && subcommand == "serve" {
+                return Err(flags.err("`serve` always speaks JSON; drop --json"));
+            }
+            continue;
+        }
+        match (subcommand, arg) {
+            ("report", "--batch") | ("compare", "--batch") | ("asm", "--batch") => {
+                batch = Some(flags.parse("--batch")?);
+            }
+            ("report", "--bandwidth") => bandwidth = Some(flags.parse("--bandwidth")?),
+            ("report", "--arch") | ("asm", "--arch") => {
+                let v = flags.value("--arch")?;
+                arch = ArchPreset::parse(v).map_err(|e| flags.err(e))?;
+            }
+            ("asm", "--layer") => layer = Some(flags.value("--layer")?.to_string()),
+            ("sweep", "--batch") => sweep_axis = Some(SweepAxis::Batch),
+            ("sweep", "--bandwidth") => sweep_axis = Some(SweepAxis::Bandwidth),
+            ("dse", "--rows") => dse.rows = flags.list("--rows")?,
+            ("dse", "--cols") => dse.cols = flags.list("--cols")?,
+            ("dse", "--ibuf-kb") => dse.ibuf_kb = flags.list("--ibuf-kb")?,
+            ("dse", "--wbuf-kb") => dse.wbuf_kb = flags.list("--wbuf-kb")?,
+            ("dse", "--obuf-kb") => dse.obuf_kb = flags.list("--obuf-kb")?,
+            ("dse", "--bandwidth") => dse.bandwidth = flags.list("--bandwidth")?,
+            ("dse", "--batch") => dse.batches = flags.list("--batch")?,
+            ("dse", "--networks") => {
+                let v = flags.value("--networks")?;
+                dse.networks = if v == "all" {
+                    None
+                } else {
+                    Some(v.split(',').map(str::to_string).collect())
+                };
+            }
+            ("dse", "--workers") => dse.workers = flags.parse("--workers")?,
+            ("serve", "--workers") => workers = flags.parse("--workers")?,
+            ("serve", "--cache-capacity") => {
+                cache_capacity = Some(flags.parse("--cache-capacity")?)
+            }
+            _ => return Err(flags.unknown(arg)),
         }
     }
-    Ok(())
+
+    let benchmark = |positional: &[&str]| -> Result<String, UsageError> {
+        match positional {
+            [name] => Ok(name.to_string()),
+            [] => Err(UsageError::new(
+                subcommand,
+                format!("`{subcommand}` needs a benchmark name"),
+            )),
+            more => Err(UsageError::new(
+                subcommand,
+                format!("unexpected argument `{}`", more[1]),
+            )),
+        }
+    };
+    let no_positional = |positional: &[&str]| -> Result<(), UsageError> {
+        match positional.first() {
+            None => Ok(()),
+            Some(extra) => Err(UsageError::new(
+                subcommand,
+                format!("unexpected argument `{extra}`"),
+            )),
+        }
+    };
+
+    let mode = match subcommand {
+        "list" => {
+            no_positional(&positional)?;
+            Mode::OneShot(Request::List)
+        }
+        "report" => Mode::OneShot(Request::Report {
+            benchmark: benchmark(&positional)?,
+            batch: batch.unwrap_or(16),
+            bandwidth,
+            arch,
+            backend,
+        }),
+        "compare" => Mode::OneShot(Request::Compare {
+            benchmark: benchmark(&positional)?,
+            batch: batch.unwrap_or(16),
+            backend,
+        }),
+        "asm" => Mode::OneShot(Request::Asm {
+            benchmark: benchmark(&positional)?,
+            batch: batch.unwrap_or(16),
+            arch,
+            layer,
+        }),
+        "sweep" => Mode::OneShot(Request::Sweep {
+            benchmark: benchmark(&positional)?,
+            axis: sweep_axis.ok_or_else(|| {
+                UsageError::new(subcommand, "`sweep` needs an axis: --batch or --bandwidth")
+            })?,
+            backend,
+        }),
+        "dse" => {
+            no_positional(&positional)?;
+            dse.backend = backend;
+            Mode::OneShot(Request::Dse(dse))
+        }
+        "serve" => {
+            no_positional(&positional)?;
+            Mode::Serve {
+                workers,
+                cache_capacity,
+            }
+        }
+        other => {
+            return Err(UsageError::new(
+                other,
+                format!("unknown command `{other}`"),
+            ))
+        }
+    };
+    Ok(Invocation {
+        mode,
+        json,
+        options,
+        backend,
+    })
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, UsageError> {
     let argv: Vec<String> = env::args().skip(1).collect();
-    if argv.is_empty() {
-        return Err(usage().to_string());
-    }
-    let command = argv[0].clone();
-    if command == "dse" {
-        // The grid flags take comma-separated lists: dedicated parser.
-        return cmd_dse(&argv[1..]);
-    }
-    let args = parse_args(&argv[1..])?;
-    if command == "list" {
-        cmd_list();
-        return Ok(());
-    }
-    let bench_name = args
-        .positional
-        .first()
-        .ok_or_else(|| format!("`{command}` needs a benchmark name\n\n{}", usage()))?;
-    let b = find_benchmark(bench_name)
-        .ok_or_else(|| format!("unknown benchmark `{bench_name}`\n\n{}", usage()))?;
-    match command.as_str() {
-        "report" => cmd_report(b, &args),
-        "compare" => cmd_compare(b, &args),
-        "asm" => cmd_asm(b, &args),
-        "sweep" => cmd_sweep(b, &args),
-        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    let inv = parse_invocation(&argv)?;
+    match inv.mode {
+        Mode::Serve {
+            workers,
+            cache_capacity,
+        } => {
+            let mut session = Session::new()
+                .with_options(inv.options)
+                .with_backend(inv.backend.unwrap_or(BackendChoice::Analytic));
+            if let Some(capacity) = cache_capacity {
+                session = session.with_cache_capacity(capacity);
+            }
+            let stdout = std::io::stdout();
+            let summary = match serve(
+                &session,
+                BufReader::new(std::io::stdin()),
+                BufWriter::new(stdout.lock()),
+                workers,
+            ) {
+                Ok(summary) => summary,
+                // A dead client (EPIPE) or failed reader is a runtime
+                // failure, not a usage error: no banner, exit 1.
+                Err(e) => {
+                    eprintln!("serve: I/O error: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            let stats = session.cache_stats();
+            eprintln!(
+                "serve: {} responses ({} errors); artifact cache: {} hits, {} misses, {} evictions, {}/{} resident",
+                summary.responses,
+                summary.errors,
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.len,
+                stats.capacity
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Mode::OneShot(request) => {
+            let session = Session::new().with_options(inv.options);
+            let response = session.handle(&request);
+            let failed = matches!(response, Response::Error { .. });
+            if inv.json {
+                println!("{}", response.encode());
+            } else if failed {
+                eprintln!("{}", render(&response));
+            } else {
+                println!("{}", render(&response));
+            }
+            Ok(if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
     }
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Ok(code) => code,
+        Err(e) => {
+            if e.subcommand.is_empty() {
+                eprintln!("{}", e.message);
+            } else {
+                eprintln!("bitfusion-cli {}: {}\n\n{}", e.subcommand, e.message, usage());
+            }
+            // Usage errors exit 2, runtime failures exit 1 — scripts can
+            // tell a typo from an infeasible configuration.
+            ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn report_flags_build_the_request() {
+        let inv = parse_invocation(&argv(&[
+            "report", "lstm", "--batch", "4", "--bandwidth", "256", "--arch", "16nm",
+            "--backend", "event", "--json",
+        ]))
+        .unwrap();
+        assert!(inv.json);
+        let Mode::OneShot(Request::Report {
+            benchmark,
+            batch,
+            bandwidth,
+            arch,
+            backend,
+        }) = inv.mode
+        else {
+            panic!("expected report");
+        };
+        assert_eq!(benchmark, "lstm");
+        assert_eq!(batch, 4);
+        assert_eq!(bandwidth, Some(256));
+        assert_eq!(arch, ArchPreset::Gpu16nm);
+        assert_eq!(backend, Some(BackendChoice::Event));
+    }
+
+    #[test]
+    fn errors_name_flag_and_subcommand() {
+        let e = parse_invocation(&argv(&["report", "lstm", "--bogus"])).unwrap_err();
+        assert_eq!(e.subcommand, "report");
+        assert!(e.message.contains("--bogus"), "{}", e.message);
+
+        let e = parse_invocation(&argv(&["report", "lstm", "--batch"])).unwrap_err();
+        assert!(e.message.contains("--batch needs a value"), "{}", e.message);
+
+        let e = parse_invocation(&argv(&["report", "lstm", "--batch", "abc"])).unwrap_err();
+        assert!(e.message.contains("--batch") && e.message.contains("abc"), "{}", e.message);
+
+        let e = parse_invocation(&argv(&["sweep", "rnn"])).unwrap_err();
+        assert!(e.message.contains("--batch or --bandwidth"), "{}", e.message);
+
+        let e = parse_invocation(&argv(&["asm", "rnn", "--backend", "event"])).unwrap_err();
+        assert!(e.message.contains("--backend"), "{}", e.message);
+
+        let e = parse_invocation(&argv(&["frobnicate"])).unwrap_err();
+        assert!(e.message.contains("frobnicate"), "{}", e.message);
+    }
+
+    #[test]
+    fn calibration_knobs_thread_into_options() {
+        let inv = parse_invocation(&argv(&[
+            "report",
+            "rnn",
+            "--systolic-efficiency",
+            "0.9",
+            "--dram-efficiency",
+            "0.5",
+            "--node",
+            "16nm",
+        ]))
+        .unwrap();
+        assert_eq!(inv.options.systolic_efficiency, 0.9);
+        assert_eq!(inv.options.dram_efficiency, 0.5);
+        assert_eq!(inv.options.node, TechNode::Nm16);
+
+        let e = parse_invocation(&argv(&["report", "rnn", "--systolic-efficiency", "1.5"]))
+            .unwrap_err();
+        assert!(e.message.contains("(0, 1]"), "{}", e.message);
+    }
+
+    #[test]
+    fn sweep_axis_flags_are_valueless() {
+        let inv = parse_invocation(&argv(&["sweep", "rnn", "--bandwidth"])).unwrap();
+        let Mode::OneShot(Request::Sweep { axis, .. }) = inv.mode else {
+            panic!("expected sweep");
+        };
+        assert_eq!(axis, SweepAxis::Bandwidth);
+    }
+
+    #[test]
+    fn dse_lists_parse() {
+        let inv = parse_invocation(&argv(&[
+            "dse", "--rows", "16,32", "--bandwidth", "64,128", "--networks", "lstm,rnn",
+            "--workers", "2", "--backend", "event",
+        ]))
+        .unwrap();
+        let Mode::OneShot(Request::Dse(p)) = inv.mode else {
+            panic!("expected dse");
+        };
+        assert_eq!(p.rows, vec![16, 32]);
+        assert_eq!(p.bandwidth, vec![64, 128]);
+        assert_eq!(p.networks, Some(vec!["lstm".to_string(), "rnn".to_string()]));
+        assert_eq!(p.workers, 2);
+        assert_eq!(p.backend, Some(BackendChoice::Event));
+    }
+
+    #[test]
+    fn serve_parses_its_flags() {
+        let inv = parse_invocation(&argv(&[
+            "serve",
+            "--workers",
+            "3",
+            "--cache-capacity",
+            "64",
+            "--dram-efficiency",
+            "0.6",
+        ]))
+        .unwrap();
+        let Mode::Serve {
+            workers,
+            cache_capacity,
+        } = inv.mode
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(workers, 3);
+        assert_eq!(cache_capacity, Some(64));
+        assert_eq!(inv.options.dram_efficiency, 0.6);
     }
 }

@@ -14,7 +14,10 @@
 //!   tiling/ordering and layer fusion;
 //! * [`sim`] — the cycle-level performance simulator;
 //! * [`energy`] — area/power/energy models and technology scaling;
-//! * [`baselines`] — Eyeriss, Stripes, and GPU comparison models.
+//! * [`baselines`] — Eyeriss, Stripes, and GPU comparison models;
+//! * [`service`] — the [`Session`](service::Session) facade, the typed
+//!   request/response protocol, and the JSON-lines `serve` loop every
+//!   entry point (CLI, benches, tests) goes through.
 //!
 //! See `README.md` for a workspace tour, the quickstart, and how to run the
 //! test tiers and paper-figure benches.
@@ -28,4 +31,5 @@ pub use bitfusion_core as core;
 pub use bitfusion_dnn as dnn;
 pub use bitfusion_energy as energy;
 pub use bitfusion_isa as isa;
+pub use bitfusion_service as service;
 pub use bitfusion_sim as sim;

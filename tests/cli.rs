@@ -1,0 +1,202 @@
+//! Integration tests for the `bitfusion-cli` binary: argument errors name
+//! the offending flag and subcommand with a non-zero exit code, `--json`
+//! output parses through the protocol, and `serve` answers a mixed request
+//! script with responses byte-identical to the corresponding one-shot
+//! `--json` invocations (the service layer's determinism contract).
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+use bitfusion::service::Response;
+
+const BIN: &str = env!("CARGO_BIN_EXE_bitfusion-cli");
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn unknown_flag_names_flag_and_subcommand() {
+    let out = run(&["report", "lstm", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("report"), "{err}");
+    assert!(err.contains("--frobnicate"), "{err}");
+}
+
+#[test]
+fn missing_flag_value_is_a_usage_error() {
+    let out = run(&["report", "lstm", "--batch"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("--batch needs a value"), "{err}");
+
+    let out = run(&["sweep", "rnn"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--batch or --bandwidth"));
+}
+
+#[test]
+fn unknown_benchmark_fails_nonzero_and_names_it() {
+    let out = run(&["report", "resnet-99"]);
+    assert_eq!(out.status.code(), Some(1), "runtime error, not usage error");
+    let err = stderr_of(&out);
+    assert!(err.contains("resnet-99"), "{err}");
+    assert!(err.contains("alexnet"), "suggests valid names: {err}");
+
+    // In --json mode the error is still machine-readable on stdout.
+    let out = run(&["report", "resnet-99", "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    match Response::parse(stdout_of(&out).trim()) {
+        Ok(Response::Error { message }) => assert!(message.contains("resnet-99")),
+        other => panic!("expected error response, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = run(&["transmogrify"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("transmogrify"));
+}
+
+#[test]
+fn json_flag_works_on_every_subcommand() {
+    let invocations: &[&[&str]] = &[
+        &["list", "--json"],
+        &["report", "rnn", "--batch", "1", "--json"],
+        &["compare", "rnn", "--batch", "1", "--json"],
+        &["asm", "rnn", "--batch", "1", "--json"],
+        &["sweep", "rnn", "--batch", "--json"],
+        &[
+            "dse", "--rows", "16", "--cols", "16", "--bandwidth", "64,128", "--networks", "rnn",
+            "--workers", "1", "--json",
+        ],
+    ];
+    for args in invocations {
+        let out = run(args);
+        assert!(out.status.success(), "{args:?}: {}", stderr_of(&out));
+        let text = stdout_of(&out);
+        let line = text.trim();
+        assert!(!line.contains('\n'), "{args:?}: --json is one line");
+        let resp = Response::parse(line).unwrap_or_else(|e| panic!("{args:?}: {e}"));
+        assert!(
+            !matches!(resp, Response::Error { .. }),
+            "{args:?} answered an error"
+        );
+    }
+}
+
+#[test]
+fn calibration_knobs_change_the_report() {
+    let fast = stdout_of(&run(&["report", "vgg-7", "--batch", "1", "--json"]));
+    let slow = stdout_of(&run(&[
+        "report", "vgg-7", "--batch", "1", "--systolic-efficiency", "0.4", "--json",
+    ]));
+    let cycles = |text: &str| match Response::parse(text.trim()).unwrap() {
+        Response::Report(r) => r.cycles,
+        other => panic!("{other:?}"),
+    };
+    assert!(cycles(&slow) > cycles(&fast));
+
+    let out = run(&["report", "rnn", "--systolic-efficiency", "2.0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--systolic-efficiency"));
+}
+
+#[test]
+fn serve_responses_are_byte_identical_to_one_shot_json() {
+    // The acceptance scenario: a mixed script covering report, compare,
+    // sweep, and dse, plus a malformed line that must answer an error
+    // without derailing the loop.
+    let one_shots: &[&[&str]] = &[
+        &["report", "rnn", "--batch", "16", "--json"],
+        &["compare", "lstm", "--batch", "4", "--json"],
+        &["sweep", "rnn", "--bandwidth", "--json"],
+        &[
+            "dse", "--rows", "16,32", "--cols", "16", "--bandwidth", "64,128", "--networks",
+            "lstm,rnn", "--workers", "2", "--json",
+        ],
+        &["report", "rnn", "--batch", "16", "--backend", "event", "--json"],
+    ];
+    let script = "\
+{\"cmd\":\"report\",\"benchmark\":\"rnn\",\"batch\":16}\n\
+{\"cmd\":\"compare\",\"benchmark\":\"lstm\",\"batch\":4}\n\
+{\"cmd\":\"sweep\",\"benchmark\":\"rnn\",\"axis\":\"bandwidth\"}\n\
+{\"cmd\":\"dse\",\"rows\":[16,32],\"cols\":[16],\"bandwidth\":[64,128],\"networks\":[\"lstm\",\"rnn\"],\"workers\":2}\n\
+{\"cmd\":\"report\",\"benchmark\":\"rnn\",\"batch\":16,\"backend\":\"event\"}\n\
+this is not json\n";
+
+    let mut child = Command::new(BIN)
+        .args(["serve", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    let stdout = stdout_of(&out);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "one response per request line:\n{stdout}");
+
+    for (i, args) in one_shots.iter().enumerate() {
+        let one_shot = run(args);
+        assert!(one_shot.status.success(), "{args:?}");
+        let expected = stdout_of(&one_shot);
+        assert_eq!(
+            lines[i],
+            expected.trim_end(),
+            "serve line {i} differs from one-shot {args:?}"
+        );
+    }
+    match Response::parse(lines[5]) {
+        Ok(Response::Error { .. }) => {}
+        other => panic!("malformed line must answer an error, got {other:?}"),
+    }
+    // The serve summary reports the artifact cache's effectiveness.
+    let err = stderr_of(&out);
+    assert!(err.contains("artifact cache"), "{err}");
+}
+
+#[test]
+fn serve_and_one_shot_asm_agree() {
+    let one_shot = run(&["asm", "lenet-5", "--batch", "1", "--layer", "conv1", "--json"]);
+    assert!(one_shot.status.success(), "{}", stderr_of(&one_shot));
+    let mut child = Command::new(BIN)
+        .args(["serve", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"cmd\":\"asm\",\"benchmark\":\"lenet-5\",\"batch\":1,\"layer\":\"conv1\"}\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(
+        stdout_of(&out).trim_end(),
+        stdout_of(&one_shot).trim_end()
+    );
+}
