@@ -16,6 +16,7 @@ use std::time::Instant;
 use bitfusion::core::arch::ArchConfig;
 use bitfusion::core::grid::ArchGrid;
 use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::dnn::QuantSpec;
 use bitfusion::sim::pool::default_workers;
 use bitfusion::sim::{explore, AnalyticBackend, DseResult, DseSpec, SimOptions};
 
@@ -47,6 +48,7 @@ fn spec(test_mode: bool) -> DseSpec {
     DseSpec {
         grid,
         models: networks.iter().map(|b| b.model()).collect(),
+        quant_specs: vec![QuantSpec::paper()],
         batches: vec![16],
         options: SimOptions::default(),
     }

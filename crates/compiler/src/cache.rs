@@ -379,6 +379,40 @@ mod tests {
     }
 
     #[test]
+    fn quantizations_of_one_model_never_alias() {
+        // The cache-aliasing guard for precision as an axis: two different
+        // QuantSpecs applied to the same-named network must produce
+        // distinct keys (the fingerprint covers per-layer precisions), so
+        // a mixed-precision what-if can never be answered with the paper
+        // assignment's plan.
+        use bitfusion_dnn::quantspec::QuantSpec;
+        let base = Benchmark::Lstm.model();
+        let u8m = QuantSpec::parse("uniform8").unwrap().apply(&base).unwrap();
+        let u16m = QuantSpec::parse("uniform16").unwrap().apply(&base).unwrap();
+        assert_eq!(base.name, u8m.name, "apply keeps the name");
+        let arch = ArchConfig::isca_45nm();
+        let keys = [
+            ArtifactKey::of(&base, &arch, 4),
+            ArtifactKey::of(&u8m, &arch, 4),
+            ArtifactKey::of(&u16m, &arch, 4),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "quantizations alias one artifact");
+            }
+        }
+        // And end-to-end: three compilations, three distinct plans.
+        let cache = ArtifactCache::default();
+        let p0 = cache.get_or_compile(&base, &arch, 4);
+        let p1 = cache.get_or_compile(&u8m, &arch, 4);
+        let p2 = cache.get_or_compile(&u16m, &arch, 4);
+        assert!(!Arc::ptr_eq(&p0, &p1));
+        assert!(!Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().len, 3);
+    }
+
+    #[test]
     fn mutated_model_with_same_name_is_a_different_artifact() {
         let cache = ArtifactCache::default();
         let model = Benchmark::Rnn.model();

@@ -371,6 +371,37 @@ impl PairPrecision {
             weight: self.input,
         }
     }
+
+    /// Compact `input/weight` spelling (`4/1`), the inverse of
+    /// [`PairPrecision::from_str`]. Signedness is implied by the
+    /// [`PairPrecision::from_bits`] convention, which is the only way
+    /// quantization specs construct pairs.
+    pub fn compact(self) -> String {
+        format!("{}/{}", self.input.bits(), self.weight.bits())
+    }
+}
+
+impl FromStr for PairPrecision {
+    type Err = CoreError;
+
+    /// Parses the compact spelling: `4/1` (input/weight bits), a bare `8`
+    /// (shorthand for `8/8`), or the display form `4bit/1bit`. Signedness
+    /// follows [`PairPrecision::from_bits`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parse_side = |side: &str| -> Result<u32, CoreError> {
+            side.trim()
+                .trim_end_matches("bit")
+                .parse()
+                .map_err(|_| CoreError::UnsupportedBitWidth(0))
+        };
+        match s.split_once('/') {
+            Some((i, w)) => PairPrecision::from_bits(parse_side(i)?, parse_side(w)?),
+            None => {
+                let bits = parse_side(s)?;
+                PairPrecision::from_bits(bits, bits)
+            }
+        }
+    }
 }
 
 impl fmt::Display for PairPrecision {
@@ -495,6 +526,27 @@ mod tests {
         assert!(t(8, 8) > t(16, 16));
         assert_eq!(t(16, 16), 250); // one multiply every four cycles
         assert_eq!(t(2, 2), 16_000);
+    }
+
+    #[test]
+    fn compact_parse_round_trip() {
+        for i in [1u32, 2, 4, 8, 16] {
+            for w in [1u32, 2, 4, 8, 16] {
+                let p = PairPrecision::from_bits(i, w).unwrap();
+                assert_eq!(p.compact().parse::<PairPrecision>().unwrap(), p);
+            }
+        }
+        assert_eq!(
+            "8".parse::<PairPrecision>().unwrap(),
+            PairPrecision::from_bits(8, 8).unwrap()
+        );
+        assert_eq!(
+            "4bit/1bit".parse::<PairPrecision>().unwrap(),
+            PairPrecision::from_bits(4, 1).unwrap()
+        );
+        for bad in ["", "x", "3/3", "4/", "/4", "4/1/2", "17"] {
+            assert!(bad.parse::<PairPrecision>().is_err(), "{bad} accepted");
+        }
     }
 
     #[test]

@@ -273,6 +273,19 @@ impl Layer {
         }
     }
 
+    /// Replaces the operand precisions on layers that multiply; a no-op on
+    /// pool/eltwise/activation layers. Returns whether the layer carries a
+    /// precision (i.e. whether the write landed).
+    pub fn set_precision(&mut self, precision: PairPrecision) -> bool {
+        match self {
+            Layer::Conv2d(c) => c.precision = precision,
+            Layer::Dense(d) => d.precision = precision,
+            Layer::Recurrent(r) => r.precision = precision,
+            Layer::Pool2d(_) | Layer::Eltwise(_) | Layer::Activation(_) => return false,
+        }
+        true
+    }
+
     /// Short kind tag for reports.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -12,7 +12,10 @@
 //!   literature the paper cites, each module documenting how its shapes
 //!   reproduce the reported op counts;
 //! * [`stats`] — the Figure 1 bitwidth histograms;
-//! * [`quant`] — bit-packed tensor storage at minimal bitwidths.
+//! * [`quant`] — bit-packed tensor storage at minimal bitwidths;
+//! * [`quantspec`] — [`QuantSpec`] precision-assignment policies (paper
+//!   Table II, `uniformN`, per-kind/per-layer overrides) that rewrite a
+//!   network's per-layer bitwidths.
 //!
 //! ## Example
 //!
@@ -32,6 +35,7 @@
 pub mod layer;
 pub mod model;
 pub mod quant;
+pub mod quantspec;
 pub mod stats;
 pub mod synth;
 pub mod zoo;
@@ -39,6 +43,7 @@ pub mod zoo;
 pub use layer::{ActivationLayer, CellKind, Conv2d, Dense, Eltwise, Layer, Pool2d, Recurrent};
 pub use model::{Model, NamedLayer};
 pub use quant::PackedTensor;
+pub use quantspec::QuantSpec;
 pub use stats::BitwidthStats;
 pub use synth::{synthesize, SynthConfig};
 pub use zoo::Benchmark;

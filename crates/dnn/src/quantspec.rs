@@ -1,0 +1,384 @@
+//! Quantization specifications: precision as a first-class, composable
+//! axis.
+//!
+//! Bit Fusion's headline result is that *per-layer* bitwidth selection
+//! beats any fixed datapath, so the per-layer (input, weight) assignment
+//! must be something callers can vary, not a constant baked into the zoo.
+//! A [`QuantSpec`] describes one assignment policy as a small set of
+//! override rules applied on top of a network's paper (Table II)
+//! assignment:
+//!
+//! * **default** — replace every multiplying layer's pair;
+//! * **kind overrides** — replace the pair for one layer kind
+//!   (`conv`, `fc`, `lstm`, `rnn`);
+//! * **layer overrides** — replace the pair for one named layer.
+//!
+//! Precedence is specificity, not order: layer > kind > default > the
+//! paper assignment. Named presets cover the interesting corners:
+//! `paper` (no overrides — the Table II heterogeneous assignment),
+//! `uniform8` / `uniform16` (what a fixed 8- or 16-bit datapath would
+//! force), and `uniformN` generally.
+//!
+//! Specs have a canonical compact spelling — `paper`, `uniform8`, or a
+//! clause list like `default=4/1,conv=2/2,layer:fc8=8/8` — and
+//! [`QuantSpec::parse`] ∘ [`Display`](std::fmt::Display) is a fixed
+//! point, which is what lets the service protocol carry specs as plain
+//! strings. Signedness follows the paper's convention via
+//! [`PairPrecision::from_bits`] (unsigned activations, signed weights,
+//! binary weights unsigned).
+
+use std::fmt;
+
+use bitfusion_core::bitwidth::PairPrecision;
+
+use crate::model::Model;
+
+/// Layer kinds a [`QuantSpec`] can override (the multiplying kinds of
+/// [`crate::layer::Layer::kind`]).
+pub const QUANT_KINDS: [&str; 4] = ["conv", "fc", "lstm", "rnn"];
+
+/// A per-layer precision assignment policy. See the module docs for the
+/// override semantics and the compact spelling.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_dnn::quantspec::QuantSpec;
+/// use bitfusion_dnn::zoo::Benchmark;
+///
+/// let spec = QuantSpec::parse("uniform8").unwrap();
+/// let m = spec.apply(&Benchmark::Lstm.model()).unwrap();
+/// for l in m.mac_layers() {
+///     assert_eq!(l.layer.precision().unwrap().compact(), "8/8");
+/// }
+/// assert_eq!(spec.to_string(), "uniform8");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QuantSpec {
+    /// Pair applied to every multiplying layer (`None` = keep the paper
+    /// assignment). Signedness beyond the widths is not part of a spec:
+    /// application canonicalizes every override through
+    /// [`PairPrecision::from_bits`] (see [`QuantSpec::pair_for`]), which
+    /// is all the compact/JSON spellings can express.
+    pub default: Option<PairPrecision>,
+    /// Overrides by layer kind (`conv`, `fc`, `lstm`, `rnn`), in spec
+    /// order; within the list, a later entry for the same kind wins.
+    pub kinds: Vec<(String, PairPrecision)>,
+    /// Overrides by exact layer name, highest precedence; a later entry
+    /// for the same name wins.
+    pub layers: Vec<(String, PairPrecision)>,
+}
+
+impl QuantSpec {
+    /// The identity spec: every network keeps its paper (Table II)
+    /// per-layer assignment.
+    pub fn paper() -> Self {
+        QuantSpec::default()
+    }
+
+    /// The uniform spec forcing every multiplying layer to `bits`/`bits`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unsupported bit counts.
+    pub fn uniform(bits: u32) -> Result<Self, String> {
+        Ok(QuantSpec {
+            default: Some(
+                PairPrecision::from_bits(bits, bits).map_err(|e| e.to_string())?,
+            ),
+            ..QuantSpec::default()
+        })
+    }
+
+    /// Whether the spec is the identity (the `paper` preset).
+    pub fn is_paper(&self) -> bool {
+        self.default.is_none() && self.kinds.is_empty() && self.layers.is_empty()
+    }
+
+    /// Parses the compact spelling: `paper`, `uniformN`, or a comma list
+    /// of clauses (`default=4/1`, `conv=2/2`, `layer:fc8=8/8`).
+    ///
+    /// # Errors
+    ///
+    /// Names the offending clause, kind, or precision.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Err("empty quantization spec".to_string());
+        }
+        if text == "paper" {
+            return Ok(QuantSpec::paper());
+        }
+        if let Some(bits) = text.strip_prefix("uniform") {
+            if let Ok(bits) = bits.parse::<u32>() {
+                return QuantSpec::uniform(bits)
+                    .map_err(|_| format!("unsupported uniform width `{text}` (1|2|4|8|16)"));
+            }
+        }
+        let mut spec = QuantSpec::default();
+        for clause in text.split(',') {
+            let clause = clause.trim();
+            let Some((key, value)) = clause.split_once('=') else {
+                return Err(format!(
+                    "bad quant clause `{clause}` (expected `default=I/W`, `<kind>=I/W`, \
+                     or `layer:<name>=I/W`)"
+                ));
+            };
+            let precision: PairPrecision = value
+                .parse()
+                .map_err(|_| format!("bad precision `{value}` in `{clause}` (e.g. `4/1`)"))?;
+            let key = key.trim();
+            if key == "default" {
+                spec.default = Some(precision);
+            } else if let Some(layer) = key.strip_prefix("layer:") {
+                if layer.is_empty() {
+                    return Err(format!("empty layer name in `{clause}`"));
+                }
+                spec.layers.push((layer.to_string(), precision));
+            } else if QUANT_KINDS.contains(&key) {
+                spec.kinds.push((key.to_string(), precision));
+            } else {
+                return Err(format!(
+                    "unknown quant target `{key}` in `{clause}` (default, {}, or layer:<name>)",
+                    QUANT_KINDS.join(", ")
+                ));
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The precision the spec assigns to a layer, given its name, kind
+    /// tag, and paper assignment.
+    ///
+    /// Override pairs are canonicalized through
+    /// [`PairPrecision::from_bits`]'s signedness convention, the only one
+    /// the compact and JSON spellings can express — so a spec built
+    /// through the public fields with an off-convention signedness
+    /// applies exactly what its `Display` form says (the paper
+    /// assignment, when no rule matches, is passed through untouched).
+    pub fn pair_for(&self, name: &str, kind: &str, paper: PairPrecision) -> PairPrecision {
+        let canonical = |p: &PairPrecision| {
+            PairPrecision::from_bits(p.input.bits(), p.weight.bits())
+                .expect("stored widths are supported")
+        };
+        if let Some((_, p)) = self.layers.iter().rev().find(|(n, _)| n == name) {
+            return canonical(p);
+        }
+        if let Some((_, p)) = self.kinds.iter().rev().find(|(k, _)| k == kind) {
+            return canonical(p);
+        }
+        self.default.as_ref().map_or(paper, canonical)
+    }
+
+    /// Applies the spec to a model, rewriting every multiplying layer's
+    /// precision. The model's name and shapes are untouched; pooling,
+    /// eltwise, and activation layers are precision-free and skipped.
+    ///
+    /// # Errors
+    ///
+    /// Rejects layer overrides that match no multiplying layer of the
+    /// model (a typo'd name must not silently no-op). Kind overrides are
+    /// allowed to match nothing, so one spec can span a heterogeneous
+    /// network list (e.g. `fc=8/8` over the whole zoo).
+    pub fn apply(&self, model: &Model) -> Result<Model, String> {
+        for (name, _) in &self.layers {
+            let hit = model
+                .layers
+                .iter()
+                .any(|l| &l.name == name && l.layer.precision().is_some());
+            if !hit {
+                return Err(format!(
+                    "quant spec names layer `{name}`, which is not a multiplying layer of {}",
+                    model.name
+                ));
+            }
+        }
+        let mut out = model.clone();
+        for l in &mut out.layers {
+            if let Some(paper) = l.layer.precision() {
+                l.layer
+                    .set_precision(self.pair_for(&l.name, l.layer.kind(), paper));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for QuantSpec {
+    /// The canonical compact spelling; [`QuantSpec::parse`] of the output
+    /// reproduces the spec exactly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_paper() {
+            return write!(f, "paper");
+        }
+        if self.kinds.is_empty() && self.layers.is_empty() {
+            if let Some(p) = self.default {
+                if let Ok(uniform) = PairPrecision::from_bits(p.input.bits(), p.input.bits()) {
+                    if p == uniform {
+                        return write!(f, "uniform{}", p.input.bits());
+                    }
+                }
+            }
+        }
+        let mut clauses: Vec<String> = Vec::new();
+        if let Some(p) = self.default {
+            clauses.push(format!("default={}", p.compact()));
+        }
+        for (kind, p) in &self.kinds {
+            clauses.push(format!("{kind}={}", p.compact()));
+        }
+        for (layer, p) in &self.layers {
+            clauses.push(format!("layer:{layer}={}", p.compact()));
+        }
+        write!(f, "{}", clauses.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::Benchmark;
+
+    #[test]
+    fn presets_parse() {
+        assert!(QuantSpec::parse("paper").unwrap().is_paper());
+        let u8spec = QuantSpec::parse("uniform8").unwrap();
+        assert_eq!(u8spec.default, Some(PairPrecision::from_bits(8, 8).unwrap()));
+        assert!(u8spec.kinds.is_empty() && u8spec.layers.is_empty());
+        for bits in [1u32, 2, 4, 16] {
+            assert!(QuantSpec::parse(&format!("uniform{bits}")).is_ok());
+        }
+        assert!(QuantSpec::parse("uniform3").is_err());
+        assert!(QuantSpec::parse("").is_err());
+    }
+
+    #[test]
+    fn clause_lists_parse_and_display_canonically() {
+        let spec = QuantSpec::parse("default=4/1, conv=2/2 ,layer:fc8=8/8").unwrap();
+        assert_eq!(spec.default, Some(PairPrecision::from_bits(4, 1).unwrap()));
+        assert_eq!(spec.kinds.len(), 1);
+        assert_eq!(spec.layers.len(), 1);
+        assert_eq!(spec.to_string(), "default=4/1,conv=2/2,layer:fc8=8/8");
+    }
+
+    #[test]
+    fn parse_display_is_a_fixed_point() {
+        for text in [
+            "paper",
+            "uniform1",
+            "uniform8",
+            "uniform16",
+            "default=4/1",
+            "conv=2/2,fc=8/8",
+            "default=8/8,lstm=4/4,rnn=4/4,layer:conv1=16/16",
+            "layer:fc8=8/8,layer:fc8=4/4",
+        ] {
+            let spec = QuantSpec::parse(text).unwrap();
+            let shown = spec.to_string();
+            assert_eq!(QuantSpec::parse(&shown).unwrap(), spec, "{text}");
+            assert_eq!(QuantSpec::parse(&shown).unwrap().to_string(), shown);
+        }
+        // A lone non-uniform default canonicalizes to itself, not a preset.
+        assert_eq!(QuantSpec::parse("default=4/1").unwrap().to_string(), "default=4/1");
+        // A uniform default written longhand canonicalizes to the preset.
+        assert_eq!(QuantSpec::parse("default=8/8").unwrap().to_string(), "uniform8");
+    }
+
+    #[test]
+    fn errors_name_the_clause() {
+        for (text, needle) in [
+            ("bogus=4/4", "bogus"),
+            ("default", "default"),
+            ("default=3/3", "3/3"),
+            ("layer:=4/4", "layer name"),
+            ("pool=4/4", "pool"),
+        ] {
+            let e = QuantSpec::parse(text).unwrap_err();
+            assert!(e.contains(needle), "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn precedence_is_layer_kind_default_paper() {
+        let spec = QuantSpec::parse("default=8/8,fc=4/4,layer:fc2=2/2").unwrap();
+        let pp = |i, w| PairPrecision::from_bits(i, w).unwrap();
+        assert_eq!(spec.pair_for("conv1", "conv", pp(1, 1)), pp(8, 8));
+        assert_eq!(spec.pair_for("fc1", "fc", pp(1, 1)), pp(4, 4));
+        assert_eq!(spec.pair_for("fc2", "fc", pp(1, 1)), pp(2, 2));
+        // No default: the paper assignment survives.
+        let kinds_only = QuantSpec::parse("fc=4/4").unwrap();
+        assert_eq!(kinds_only.pair_for("conv1", "conv", pp(1, 1)), pp(1, 1));
+        // Later entries of equal specificity win.
+        let dup = QuantSpec::parse("layer:fc2=2/2,layer:fc2=8/8").unwrap();
+        assert_eq!(dup.pair_for("fc2", "fc", pp(1, 1)), pp(8, 8));
+    }
+
+    #[test]
+    fn off_convention_signedness_is_canonicalized_on_apply() {
+        use bitfusion_core::bitwidth::{BitWidth, Precision};
+        // A spec built through the public fields with a signedness the
+        // spellings cannot express must apply what its Display says.
+        let odd = QuantSpec {
+            default: Some(PairPrecision::new(
+                Precision::signed(BitWidth::B8),
+                Precision::signed(BitWidth::B8),
+            )),
+            ..QuantSpec::default()
+        };
+        // The spelling only carries widths ("8/8"), and application
+        // canonicalizes to the same from_bits pair the spelling denotes.
+        assert_eq!(odd.to_string(), "default=8/8");
+        let applied = odd.apply(&Benchmark::Lstm.model()).unwrap();
+        let expected = QuantSpec::parse(&odd.to_string())
+            .unwrap()
+            .apply(&Benchmark::Lstm.model())
+            .unwrap();
+        assert_eq!(applied, expected, "Display and apply must agree");
+        assert_eq!(
+            applied,
+            QuantSpec::parse("uniform8")
+                .unwrap()
+                .apply(&Benchmark::Lstm.model())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn apply_rewrites_only_mac_layers() {
+        let model = Benchmark::Cifar10.model();
+        let spec = QuantSpec::parse("uniform8").unwrap();
+        let out = spec.apply(&model).unwrap();
+        assert_eq!(out.name, model.name);
+        assert_eq!(out.len(), model.len());
+        for (a, b) in model.layers.iter().zip(&out.layers) {
+            assert_eq!(a.name, b.name);
+            match b.layer.precision() {
+                Some(p) => assert_eq!(p.compact(), "8/8", "{}", b.name),
+                None => assert_eq!(a.layer, b.layer, "non-MAC layer untouched"),
+            }
+        }
+        // Same shapes, different storage: 8-bit weights octuple binary.
+        assert_eq!(out.total_macs(), model.total_macs());
+        assert!(out.weight_bytes() > model.weight_bytes());
+    }
+
+    #[test]
+    fn paper_spec_is_identity() {
+        for b in Benchmark::ALL {
+            let m = b.model();
+            assert_eq!(QuantSpec::paper().apply(&m).unwrap(), m, "{b}");
+        }
+    }
+
+    #[test]
+    fn unknown_layer_override_is_an_error() {
+        let model = Benchmark::Lstm.model();
+        let e = QuantSpec::parse("layer:conv7=4/4")
+            .unwrap()
+            .apply(&model)
+            .unwrap_err();
+        assert!(e.contains("conv7") && e.contains("LSTM"), "{e}");
+        // Kind overrides may match nothing (specs span network lists).
+        assert!(QuantSpec::parse("conv=4/4").unwrap().apply(&model).is_ok());
+    }
+}

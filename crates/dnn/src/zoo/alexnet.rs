@@ -10,43 +10,59 @@
 
 use crate::layer::Layer;
 use crate::model::Model;
+use crate::quantspec::QuantSpec;
 use crate::zoo::{conv, fc, maxpool, pp};
 
-fn build(width: usize, quantized: bool) -> Vec<(&'static str, Layer)> {
-    // Regular widths: 96/256/384/384/256 convs, 4096 FCs.
+fn build(width: usize) -> Vec<(&'static str, Layer)> {
+    // Regular widths: 96/256/384/384/256 convs, 4096 FCs. Topology carries
+    // shapes only — every layer at the 16-bit reference precision; the
+    // paper assignment arrives via [`paper_quant`].
     let c1 = 96 * width;
     let c2 = 256 * width;
     let c3 = 384 * width;
     let c5 = 256 * width;
     let f6 = 4096 * width;
-    // Precisions: quantized per the paper's per-layer table, else 16-bit.
-    let p_edge = if quantized { pp(8, 8) } else { pp(16, 16) };
-    let p_mid = if quantized { pp(4, 1) } else { pp(16, 16) };
+    let p = pp(16, 16);
     vec![
-        ("conv1", conv(3, c1, 11, 4, 0, (227, 227), 1, p_edge)),
+        ("conv1", conv(3, c1, 11, 4, 0, (227, 227), 1, p)),
         ("pool1", maxpool(c1, (55, 55), 3, 2)),
-        ("conv2", conv(c1, c2, 5, 1, 2, (27, 27), 2, p_mid)),
+        ("conv2", conv(c1, c2, 5, 1, 2, (27, 27), 2, p)),
         ("pool2", maxpool(c2, (27, 27), 3, 2)),
-        ("conv3", conv(c2, c3, 3, 1, 1, (13, 13), 1, p_mid)),
-        ("conv4", conv(c3, c3, 3, 1, 1, (13, 13), 2, p_mid)),
-        ("conv5", conv(c3, c5, 3, 1, 1, (13, 13), 2, p_mid)),
+        ("conv3", conv(c2, c3, 3, 1, 1, (13, 13), 1, p)),
+        ("conv4", conv(c3, c3, 3, 1, 1, (13, 13), 2, p)),
+        ("conv5", conv(c3, c5, 3, 1, 1, (13, 13), 2, p)),
         ("pool5", maxpool(c5, (13, 13), 3, 2)),
-        ("fc6", fc(c5 * 6 * 6, f6, p_mid)),
-        ("fc7", fc(f6, f6, p_mid)),
-        ("fc8", fc(f6, 1000, p_edge)),
+        ("fc6", fc(c5 * 6 * 6, f6, p)),
+        ("fc7", fc(f6, f6, p)),
+        ("fc8", fc(f6, 1000, p)),
     ]
+}
+
+/// The 2×-wide topology at reference precision (shapes of Table II's
+/// AlexNet, before quantization).
+pub(crate) fn topology() -> Model {
+    Model::new("AlexNet", build(2))
+}
+
+/// The paper's per-layer assignment: the image-facing edges (conv1, fc8)
+/// at 8/8, everything between at 4-bit activations × binary weights.
+pub(crate) fn paper_quant() -> QuantSpec {
+    QuantSpec::parse("default=4/1,layer:conv1=8/8,layer:fc8=8/8")
+        .expect("static spec parses")
 }
 
 /// The 2×-wide WRPN AlexNet that Bit Fusion and Stripes execute
 /// (Table II: 2,678 MOps).
 pub fn alexnet() -> Model {
-    Model::new("AlexNet", build(2, true))
+    paper_quant()
+        .apply(&topology())
+        .expect("paper spec matches the topology")
 }
 
 /// The regular-width 16-bit AlexNet the Eyeriss and GPU baselines execute
 /// (~724 MOps).
 pub fn alexnet_regular() -> Model {
-    Model::new("AlexNet-regular", build(1, false))
+    Model::new("AlexNet-regular", build(1))
 }
 
 #[cfg(test)]

@@ -7,29 +7,43 @@
 //! 8/8; everything else is binary (Figure 1: 99% of MACs at 1bit/1bit).
 
 use crate::model::Model;
+use crate::quantspec::QuantSpec;
 use crate::zoo::{conv, fc, maxpool, pp};
 
-/// The QNN Cifar-10 model (Table II: 617 MOps, binary-dominant).
-pub fn cifar10() -> Model {
-    let p8 = pp(8, 8);
-    let p1 = pp(1, 1);
+/// The topology at reference precision (shapes only).
+pub(crate) fn topology() -> Model {
+    let p = pp(16, 16);
     Model::new(
         "Cifar-10",
         vec![
-            ("conv1", conv(3, 128, 3, 1, 1, (32, 32), 1, p8)),
-            ("conv2", conv(128, 128, 3, 1, 1, (32, 32), 1, p1)),
+            ("conv1", conv(3, 128, 3, 1, 1, (32, 32), 1, p)),
+            ("conv2", conv(128, 128, 3, 1, 1, (32, 32), 1, p)),
             ("pool1", maxpool(128, (32, 32), 2, 2)),
-            ("conv3", conv(128, 256, 3, 1, 1, (16, 16), 1, p1)),
-            ("conv4", conv(256, 256, 3, 1, 1, (16, 16), 1, p1)),
+            ("conv3", conv(128, 256, 3, 1, 1, (16, 16), 1, p)),
+            ("conv4", conv(256, 256, 3, 1, 1, (16, 16), 1, p)),
             ("pool2", maxpool(256, (16, 16), 2, 2)),
-            ("conv5", conv(256, 512, 3, 1, 1, (8, 8), 1, p1)),
-            ("conv6", conv(512, 512, 3, 1, 1, (8, 8), 1, p1)),
+            ("conv5", conv(256, 512, 3, 1, 1, (8, 8), 1, p)),
+            ("conv6", conv(512, 512, 3, 1, 1, (8, 8), 1, p)),
             ("pool3", maxpool(512, (8, 8), 2, 2)),
-            ("fc1", fc(512 * 4 * 4, 1024, p1)),
-            ("fc2", fc(1024, 1024, p1)),
-            ("fc3", fc(1024, 10, p8)),
+            ("fc1", fc(512 * 4 * 4, 1024, p)),
+            ("fc2", fc(1024, 1024, p)),
+            ("fc3", fc(1024, 10, p)),
         ],
     )
+}
+
+/// The paper's assignment: binary interior, 8/8 at the first conv and the
+/// classifier.
+pub(crate) fn paper_quant() -> QuantSpec {
+    QuantSpec::parse("default=1/1,layer:conv1=8/8,layer:fc3=8/8")
+        .expect("static spec parses")
+}
+
+/// The QNN Cifar-10 model (Table II: 617 MOps, binary-dominant).
+pub fn cifar10() -> Model {
+    paper_quant()
+        .apply(&topology())
+        .expect("paper spec matches the topology")
 }
 
 #[cfg(test)]

@@ -9,22 +9,35 @@
 //! at 2bit/2bit (Figure 1: 100%).
 
 use crate::model::Model;
+use crate::quantspec::QuantSpec;
 use crate::zoo::{conv, fc, maxpool, pp};
 
-/// The ternary LeNet-5 model (Table II: 16 MOps).
-pub fn lenet5() -> Model {
-    let p2 = pp(2, 2);
+/// The topology at reference precision (shapes only).
+pub(crate) fn topology() -> Model {
+    let p = pp(16, 16);
     Model::new(
         "LeNet-5",
         vec![
-            ("conv1", conv(1, 32, 5, 1, 2, (28, 28), 1, p2)),
+            ("conv1", conv(1, 32, 5, 1, 2, (28, 28), 1, p)),
             ("pool1", maxpool(32, (28, 28), 2, 2)),
-            ("conv2", conv(32, 64, 5, 1, 2, (14, 14), 1, p2)),
+            ("conv2", conv(32, 64, 5, 1, 2, (14, 14), 1, p)),
             ("pool2", maxpool(64, (14, 14), 2, 2)),
-            ("fc1", fc(64 * 7 * 7, 1024, p2)),
-            ("fc2", fc(1024, 10, p2)),
+            ("fc1", fc(64 * 7 * 7, 1024, p)),
+            ("fc2", fc(1024, 10, p)),
         ],
     )
+}
+
+/// The paper's assignment: ternary (2/2) everywhere.
+pub(crate) fn paper_quant() -> QuantSpec {
+    QuantSpec::parse("default=2/2").expect("static spec parses")
+}
+
+/// The ternary LeNet-5 model (Table II: 16 MOps).
+pub fn lenet5() -> Model {
+    paper_quant()
+        .apply(&topology())
+        .expect("paper spec matches the topology")
 }
 
 #[cfg(test)]

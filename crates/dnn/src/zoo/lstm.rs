@@ -8,20 +8,33 @@
 
 use crate::layer::{CellKind, Layer, Recurrent};
 use crate::model::Model;
+use crate::quantspec::QuantSpec;
 use crate::zoo::pp;
 
-/// The QNN PTB LSTM model (Table II: 13 MOps/token, 6.2 MB).
-pub fn lstm() -> Model {
-    let p4 = pp(4, 4);
+/// The topology at reference precision (shapes only).
+pub(crate) fn topology() -> Model {
+    let p = pp(16, 16);
     let cell = |input| {
         Layer::Recurrent(Recurrent {
             cell: CellKind::Lstm,
             input_size: input,
             hidden_size: 900,
-            precision: p4,
+            precision: p,
         })
     };
     Model::new("LSTM", vec![("lstm1", cell(900)), ("lstm2", cell(900))])
+}
+
+/// The paper's assignment: 4-bit weights and activations throughout.
+pub(crate) fn paper_quant() -> QuantSpec {
+    QuantSpec::parse("default=4/4").expect("static spec parses")
+}
+
+/// The QNN PTB LSTM model (Table II: 13 MOps/token, 6.2 MB).
+pub fn lstm() -> Model {
+    paper_quant()
+        .apply(&topology())
+        .expect("paper spec matches the topology")
 }
 
 #[cfg(test)]

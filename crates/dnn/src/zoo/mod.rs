@@ -12,6 +12,12 @@
 //! [`Benchmark`] enumerates the suite and pairs every quantized model with
 //! the 16-bit *reference* variant the Eyeriss and GPU baselines execute
 //! (the paper uses regular-width AlexNet/ResNet-18 there, §V-B1).
+//!
+//! Precisions are not baked into the builders: every network is a
+//! *topology* (shapes at the 16-bit reference precision,
+//! [`Benchmark::topology`]) plus a [`QuantSpec`] — the paper's Table II
+//! assignment ([`Benchmark::paper_quant`]) by default, or any caller
+//! supplied policy via [`Benchmark::model_with`].
 
 mod alexnet;
 mod cifar10;
@@ -36,6 +42,7 @@ use bitfusion_core::postproc::PoolOp;
 
 use crate::layer::{Conv2d, Dense, Layer, Pool2d};
 use crate::model::Model;
+use crate::quantspec::QuantSpec;
 
 /// Precision pair helper used across the zoo.
 pub(crate) fn pp(input_bits: u32, weight_bits: u32) -> PairPrecision {
@@ -141,7 +148,8 @@ impl Benchmark {
         }
     }
 
-    /// The quantized model Bit Fusion (and Stripes) execute.
+    /// The quantized model Bit Fusion (and Stripes) execute: the paper's
+    /// Table II assignment applied to the topology.
     pub fn model(self) -> Model {
         match self {
             Benchmark::AlexNet => alexnet(),
@@ -153,6 +161,49 @@ impl Benchmark {
             Benchmark::Svhn => svhn(),
             Benchmark::Vgg7 => vgg7(),
         }
+    }
+
+    /// The benchmark's topology: the quantized variant's shapes with every
+    /// multiplying layer at the 16-bit reference precision.
+    pub fn topology(self) -> Model {
+        match self {
+            Benchmark::AlexNet => alexnet::topology(),
+            Benchmark::Cifar10 => cifar10::topology(),
+            Benchmark::Lstm => lstm::topology(),
+            Benchmark::LeNet5 => lenet5::topology(),
+            Benchmark::ResNet18 => resnet18::topology(),
+            Benchmark::Rnn => rnn::topology(),
+            Benchmark::Svhn => svhn::topology(),
+            Benchmark::Vgg7 => vgg7::topology(),
+        }
+    }
+
+    /// The paper's Table II per-layer bitwidth assignment, as a
+    /// [`QuantSpec`] over the topology.
+    pub fn paper_quant(self) -> QuantSpec {
+        match self {
+            Benchmark::AlexNet => alexnet::paper_quant(),
+            Benchmark::Cifar10 => cifar10::paper_quant(),
+            Benchmark::Lstm => lstm::paper_quant(),
+            Benchmark::LeNet5 => lenet5::paper_quant(),
+            Benchmark::ResNet18 => resnet18::paper_quant(),
+            Benchmark::Rnn => rnn::paper_quant(),
+            Benchmark::Svhn => svhn::paper_quant(),
+            Benchmark::Vgg7 => vgg7::paper_quant(),
+        }
+    }
+
+    /// The benchmark quantized under `spec`. Overrides act on top of the
+    /// paper assignment: [`QuantSpec::paper`] reproduces
+    /// [`Benchmark::model`] exactly, and e.g. `fc=8/8` keeps every other
+    /// layer at its Table II precision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuantSpec::apply`] failures (a layer override naming
+    /// no multiplying layer of this network).
+    pub fn model_with(self, spec: &QuantSpec) -> Result<Model, String> {
+        spec.apply(&self.model())
     }
 
     /// The reference model the 16-bit baselines (Eyeriss) and the GPUs
@@ -298,6 +349,36 @@ mod tests {
             Benchmark::Vgg7.reference_model().total_macs(),
             Benchmark::Vgg7.model().total_macs()
         );
+    }
+
+    #[test]
+    fn topology_plus_paper_spec_is_the_model() {
+        for b in Benchmark::ALL {
+            let topo = b.topology();
+            // Topologies are shapes only: every MAC layer at 16/16.
+            for l in topo.mac_layers() {
+                let p = l.layer.precision().unwrap();
+                assert_eq!((p.input.bits(), p.weight.bits()), (16, 16), "{b}/{}", l.name);
+            }
+            let built = b.paper_quant().apply(&topo).unwrap();
+            assert_eq!(built, b.model(), "{b}");
+            // And the paper spec over the model itself is the identity.
+            assert_eq!(b.model_with(&QuantSpec::paper()).unwrap(), b.model(), "{b}");
+        }
+    }
+
+    #[test]
+    fn model_with_rewrites_every_mac_layer() {
+        let spec = QuantSpec::parse("uniform16").unwrap();
+        for b in Benchmark::ALL {
+            let m = b.model_with(&spec).unwrap();
+            assert_eq!(m.total_macs(), b.model().total_macs(), "{b}: shapes unchanged");
+            for l in m.mac_layers() {
+                assert_eq!(l.layer.precision().unwrap().compact(), "16/16", "{b}/{}", l.name);
+            }
+            // 16-bit weights never shrink storage vs the paper assignment.
+            assert!(m.weight_bytes() >= b.model().weight_bytes(), "{b}");
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use bitfusion_core::postproc::PoolOp;
 
 use crate::layer::{Eltwise, Layer, Pool2d};
 use crate::model::Model;
+use crate::quantspec::QuantSpec;
 use crate::zoo::{conv, fc, pp};
 
 /// One residual stage: `blocks` basic blocks of two 3×3 convolutions, the
@@ -70,9 +71,10 @@ fn stage(
     ));
 }
 
-fn build(width_x10: usize, quantized: bool) -> Vec<(&'static str, Layer)> {
+fn build(width_x10: usize) -> Vec<(&'static str, Layer)> {
     let w = |base: usize| base * width_x10 / 10;
-    let p = if quantized { pp(2, 2) } else { pp(16, 16) };
+    // Topology carries shapes only, at the 16-bit reference precision.
+    let p = pp(16, 16);
     let mut layers: Vec<(&'static str, Layer)> = Vec::new();
     layers.push(("conv1", conv(3, w(64), 7, 2, 3, (224, 224), 1, p)));
     layers.push((
@@ -137,16 +139,29 @@ fn build(width_x10: usize, quantized: bool) -> Vec<(&'static str, Layer)> {
     layers
 }
 
+/// The 1.5×-wide topology at reference precision (shapes of Table II's
+/// ResNet-18, before quantization).
+pub(crate) fn topology() -> Model {
+    Model::new("ResNet-18", build(15))
+}
+
+/// The paper's assignment: 2/2 on every multiplying layer (Figure 1).
+pub(crate) fn paper_quant() -> QuantSpec {
+    QuantSpec::parse("default=2/2").expect("static spec parses")
+}
+
 /// The WRPN wide ResNet-18 Bit Fusion executes (Table II: 4,269 MOps;
 /// reconstructed at 1.5× width ≈ 3,993 MOps).
 pub fn resnet18() -> Model {
-    Model::new("ResNet-18", build(15, true))
+    paper_quant()
+        .apply(&topology())
+        .expect("paper spec matches the topology")
 }
 
 /// The regular 16-bit ResNet-18 for the Eyeriss and GPU baselines
 /// (~1.8 GMACs).
 pub fn resnet18_regular() -> Model {
-    Model::new("ResNet-18-regular", build(10, false))
+    Model::new("ResNet-18-regular", build(10))
 }
 
 #[cfg(test)]

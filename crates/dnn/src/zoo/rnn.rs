@@ -7,20 +7,33 @@
 
 use crate::layer::{CellKind, Layer, Recurrent};
 use crate::model::Model;
+use crate::quantspec::QuantSpec;
 use crate::zoo::pp;
 
-/// The QNN PTB RNN model (Table II: 17 MOps/token, 8.0 MB).
-pub fn rnn() -> Model {
-    let p4 = pp(4, 4);
+/// The topology at reference precision (shapes only).
+pub(crate) fn topology() -> Model {
+    let p = pp(16, 16);
     let cell = |input| {
         Layer::Recurrent(Recurrent {
             cell: CellKind::Rnn,
             input_size: input,
             hidden_size: 2048,
-            precision: p4,
+            precision: p,
         })
     };
     Model::new("RNN", vec![("rnn1", cell(2048)), ("rnn2", cell(2048))])
+}
+
+/// The paper's assignment: 4-bit weights and activations throughout.
+pub(crate) fn paper_quant() -> QuantSpec {
+    QuantSpec::parse("default=4/4").expect("static spec parses")
+}
+
+/// The QNN PTB RNN model (Table II: 17 MOps/token, 8.0 MB).
+pub fn rnn() -> Model {
+    paper_quant()
+        .apply(&topology())
+        .expect("paper spec matches the topology")
 }
 
 #[cfg(test)]

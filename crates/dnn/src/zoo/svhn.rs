@@ -8,29 +8,43 @@
 //! exact matches.
 
 use crate::model::Model;
+use crate::quantspec::QuantSpec;
 use crate::zoo::{conv, fc, maxpool, pp};
 
-/// The QNN SVHN model (Table II: 158 MOps, 0.8 MB).
-pub fn svhn() -> Model {
-    let p8 = pp(8, 8);
-    let p1 = pp(1, 1);
+/// The topology at reference precision (shapes only).
+pub(crate) fn topology() -> Model {
+    let p = pp(16, 16);
     Model::new(
         "SVHN",
         vec![
-            ("conv1", conv(3, 64, 3, 1, 1, (32, 32), 1, p8)),
-            ("conv2", conv(64, 64, 3, 1, 1, (32, 32), 1, p1)),
+            ("conv1", conv(3, 64, 3, 1, 1, (32, 32), 1, p)),
+            ("conv2", conv(64, 64, 3, 1, 1, (32, 32), 1, p)),
             ("pool1", maxpool(64, (32, 32), 2, 2)),
-            ("conv3", conv(64, 128, 3, 1, 1, (16, 16), 1, p1)),
-            ("conv4", conv(128, 128, 3, 1, 1, (16, 16), 1, p1)),
+            ("conv3", conv(64, 128, 3, 1, 1, (16, 16), 1, p)),
+            ("conv4", conv(128, 128, 3, 1, 1, (16, 16), 1, p)),
             ("pool2", maxpool(128, (16, 16), 2, 2)),
-            ("conv5", conv(128, 256, 3, 1, 1, (8, 8), 1, p1)),
-            ("conv6", conv(256, 256, 3, 1, 1, (8, 8), 1, p1)),
+            ("conv5", conv(128, 256, 3, 1, 1, (8, 8), 1, p)),
+            ("conv6", conv(256, 256, 3, 1, 1, (8, 8), 1, p)),
             ("pool3", maxpool(256, (8, 8), 2, 2)),
-            ("fc1", fc(256 * 4 * 4, 1024, p1)),
-            ("fc2", fc(1024, 1024, p1)),
-            ("fc3", fc(1024, 10, p8)),
+            ("fc1", fc(256 * 4 * 4, 1024, p)),
+            ("fc2", fc(1024, 1024, p)),
+            ("fc3", fc(1024, 10, p)),
         ],
     )
+}
+
+/// The paper's assignment: binary interior, 8/8 at the edges — the same
+/// shape as the Cifar-10 sibling's.
+pub(crate) fn paper_quant() -> QuantSpec {
+    QuantSpec::parse("default=1/1,layer:conv1=8/8,layer:fc3=8/8")
+        .expect("static spec parses")
+}
+
+/// The QNN SVHN model (Table II: 158 MOps, 0.8 MB).
+pub fn svhn() -> Model {
+    paper_quant()
+        .apply(&topology())
+        .expect("paper spec matches the topology")
 }
 
 #[cfg(test)]

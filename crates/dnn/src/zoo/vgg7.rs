@@ -8,27 +8,40 @@
 //! 2bit/2bit (Figure 1: 100%).
 
 use crate::model::Model;
+use crate::quantspec::QuantSpec;
 use crate::zoo::{conv, fc, maxpool, pp};
 
-/// The ternary VGG-7 model (Table II: 317 MOps, 2.7 MB).
-pub fn vgg7() -> Model {
-    let p2 = pp(2, 2);
+/// The topology at reference precision (shapes only).
+pub(crate) fn topology() -> Model {
+    let p = pp(16, 16);
     Model::new(
         "VGG-7",
         vec![
-            ("conv1", conv(3, 64, 3, 1, 1, (32, 32), 1, p2)),
-            ("conv2", conv(64, 128, 3, 1, 1, (32, 32), 1, p2)),
+            ("conv1", conv(3, 64, 3, 1, 1, (32, 32), 1, p)),
+            ("conv2", conv(64, 128, 3, 1, 1, (32, 32), 1, p)),
             ("pool1", maxpool(128, (32, 32), 2, 2)),
-            ("conv3", conv(128, 128, 3, 1, 1, (16, 16), 1, p2)),
-            ("conv4", conv(128, 256, 3, 1, 1, (16, 16), 1, p2)),
+            ("conv3", conv(128, 128, 3, 1, 1, (16, 16), 1, p)),
+            ("conv4", conv(128, 256, 3, 1, 1, (16, 16), 1, p)),
             ("pool2", maxpool(256, (16, 16), 2, 2)),
-            ("conv5", conv(256, 256, 3, 1, 1, (8, 8), 1, p2)),
-            ("conv6", conv(256, 512, 3, 1, 1, (8, 8), 1, p2)),
+            ("conv5", conv(256, 256, 3, 1, 1, (8, 8), 1, p)),
+            ("conv6", conv(256, 512, 3, 1, 1, (8, 8), 1, p)),
             ("pool3", maxpool(512, (8, 8), 2, 2)),
-            ("fc1", fc(512 * 4 * 4, 1024, p2)),
-            ("fc2", fc(1024, 10, p2)),
+            ("fc1", fc(512 * 4 * 4, 1024, p)),
+            ("fc2", fc(1024, 10, p)),
         ],
     )
+}
+
+/// The paper's assignment: ternary (2/2) everywhere.
+pub(crate) fn paper_quant() -> QuantSpec {
+    QuantSpec::parse("default=2/2").expect("static spec parses")
+}
+
+/// The ternary VGG-7 model (Table II: 317 MOps, 2.7 MB).
+pub fn vgg7() -> Model {
+    paper_quant()
+        .apply(&topology())
+        .expect("paper spec matches the topology")
 }
 
 #[cfg(test)]

@@ -11,9 +11,12 @@
 //! [`Session`], and get a [`Response`]:
 //!
 //! * [`protocol`] — [`Request`]/[`Response`] enums covering
-//!   `list`/`report`/`compare`/`asm`/`sweep`/`dse`, with a deterministic
-//!   single-line JSON wire form (`encode ∘ parse ∘ encode` is a fixed
-//!   point, property-tested);
+//!   `list`/`report`/`compare`/`asm`/`sweep`/`dse`/`quantize`, with a
+//!   deterministic single-line JSON wire form (`encode ∘ parse ∘ encode`
+//!   is a fixed point, property-tested). `report`, `compare`, `sweep`,
+//!   and `dse` carry optional quantization overrides
+//!   ([`QuantSpec`](bitfusion_dnn::quantspec::QuantSpec) spellings), and
+//!   `dse` explores lists of them as a design-space axis;
 //! * [`json`] — the hand-rolled JSON layer beneath it (the workspace is
 //!   offline — no serde);
 //! * [`session`] — the facade: owns the calibration knobs

@@ -1,9 +1,9 @@
 //! The typed request/response protocol every evaluation path speaks.
 //!
 //! A [`Request`] names one operation the reproduction can perform —
-//! the same six the CLI exposes (`list`, `report`, `compare`, `asm`,
-//! `sweep`, `dse`) — and a [`Response`] carries its full machine-readable
-//! result. Both sides round-trip through the deterministic JSON layer
+//! the same seven the CLI exposes (`list`, `report`, `compare`, `asm`,
+//! `sweep`, `dse`, `quantize`) — and a [`Response`] carries its full
+//! machine-readable result. Both sides round-trip through the deterministic JSON layer
 //! ([`crate::json`]): `encode ∘ parse ∘ encode` is a fixed point for every
 //! variant (property-tested), and the wire form is a single line, so the
 //! `serve` loop's JSON-lines framing and the one-shot `--json` flag emit
@@ -16,7 +16,128 @@
 //! omitted when absent; absent fields parse to their documented defaults,
 //! so hand-written requests can stay terse.
 
+use bitfusion_dnn::quantspec::QuantSpec;
+
 use crate::json::{parse as parse_json, Json};
+
+/// Converts a [`QuantSpec`] to its JSON document: `{"preset":"uniform8"}`
+/// for named presets, or the explicit
+/// `{"default":"4/1","kinds":[{"kind":"conv","precision":"2/2"}],
+/// "layers":[{"layer":"fc8","precision":"8/8"}]}` form (absent fields
+/// omitted). `encode ∘ parse ∘ encode` is a fixed point (property-tested
+/// in `tests/protocol_roundtrip.rs`).
+pub fn quant_spec_to_json(spec: &QuantSpec) -> Json {
+    let text = spec.to_string();
+    if !text.contains('=') {
+        // The canonical spelling is a preset name (`paper`, `uniformN`).
+        return Json::obj(vec![("preset", Json::Str(text))]);
+    }
+    let mut pairs: Vec<(&str, Json)> = Vec::new();
+    if let Some(p) = spec.default {
+        pairs.push(("default", Json::Str(p.compact())));
+    }
+    if !spec.kinds.is_empty() {
+        pairs.push((
+            "kinds",
+            Json::Arr(
+                spec.kinds
+                    .iter()
+                    .map(|(kind, p)| {
+                        Json::obj(vec![
+                            ("kind", Json::Str(kind.clone())),
+                            ("precision", Json::Str(p.compact())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if !spec.layers.is_empty() {
+        pairs.push((
+            "layers",
+            Json::Arr(
+                spec.layers
+                    .iter()
+                    .map(|(layer, p)| {
+                        Json::obj(vec![
+                            ("layer", Json::Str(layer.clone())),
+                            ("precision", Json::Str(p.compact())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+/// Reads a [`QuantSpec`] back from its JSON document (either form
+/// [`quant_spec_to_json`] emits). This is also the format of the
+/// `--quant <spec.json>` files the CLI accepts.
+///
+/// # Errors
+///
+/// Names the missing or ill-typed field, or the invalid precision/kind.
+pub fn quant_spec_from_json(doc: &Json) -> Result<QuantSpec, String> {
+    if let Some(preset) = doc.get("preset") {
+        let preset = preset.as_str().ok_or("preset must be a string")?;
+        if doc.get("default").is_some()
+            || doc.get("kinds").is_some()
+            || doc.get("layers").is_some()
+        {
+            return Err("a quant spec is either a preset or explicit fields, not both".into());
+        }
+        return QuantSpec::parse(preset);
+    }
+    let precision_of = |entry: &Json, clause: &str| -> Result<_, String> {
+        let p = entry
+            .get("precision")
+            .and_then(Json::as_str)
+            .ok_or(format!("{clause} entry needs a string `precision`"))?;
+        p.parse()
+            .map_err(|_| format!("bad precision `{p}` in {clause} entry (e.g. `4/1`)"))
+    };
+    let mut spec = QuantSpec::default();
+    if let Some(d) = doc.get("default") {
+        let d = d.as_str().ok_or("default must be a string like `4/1`")?;
+        spec.default =
+            Some(d.parse().map_err(|_| format!("bad default precision `{d}` (e.g. `4/1`)"))?);
+    }
+    if let Some(kinds) = doc.get("kinds") {
+        for entry in kinds.as_arr().ok_or("kinds must be an array")? {
+            let kind = entry
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("kinds entry needs a string `kind`")?;
+            if !bitfusion_dnn::quantspec::QUANT_KINDS.contains(&kind) {
+                return Err(format!(
+                    "unknown kind `{kind}` (expected one of: {})",
+                    bitfusion_dnn::quantspec::QUANT_KINDS.join(", ")
+                ));
+            }
+            spec.kinds.push((kind.to_string(), precision_of(entry, "kinds")?));
+        }
+    }
+    if let Some(layers) = doc.get("layers") {
+        for entry in layers.as_arr().ok_or("layers must be an array")? {
+            let layer = entry
+                .get("layer")
+                .and_then(Json::as_str)
+                .ok_or("layers entry needs a string `layer`")?;
+            if layer.is_empty() {
+                return Err("layers entry has an empty layer name".into());
+            }
+            spec.layers
+                .push((layer.to_string(), precision_of(entry, "layers")?));
+        }
+    }
+    if spec.is_paper() {
+        return Err(
+            "empty quant spec (use {\"preset\":\"paper\"} for the identity assignment)".into(),
+        );
+    }
+    Ok(spec)
+}
 
 /// Which simulation backend evaluates a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +258,9 @@ pub struct DseParams {
     pub bandwidth: Vec<u64>,
     /// Batch sizes.
     pub batches: Vec<u64>,
+    /// Quantization policies (compact spellings: presets or clause
+    /// lists), crossed with every network.
+    pub quants: Vec<String>,
     /// Benchmark names, or `None` for the whole zoo.
     pub networks: Option<Vec<String>>,
     /// Worker threads (0 = all cores).
@@ -155,6 +279,7 @@ impl Default for DseParams {
             obuf_kb: vec![16],
             bandwidth: vec![64, 128, 256],
             batches: vec![16],
+            quants: vec!["paper".to_string()],
             networks: None,
             workers: 0,
             backend: None,
@@ -179,6 +304,9 @@ pub enum Request {
         arch: ArchPreset,
         /// Backend override (session default when absent).
         backend: Option<BackendChoice>,
+        /// Quantization override (compact spelling; paper assignment when
+        /// absent).
+        quant: Option<String>,
     },
     /// Compare one benchmark against the Eyeriss/Stripes/GPU baselines.
     Compare {
@@ -188,6 +316,9 @@ pub enum Request {
         batch: u64,
         /// Backend override (session default when absent).
         backend: Option<BackendChoice>,
+        /// Quantization override for the Bit Fusion and Stripes sides
+        /// (the 16-bit Eyeriss/GPU references are precision-blind).
+        quant: Option<String>,
     },
     /// Dump the compiled Fusion-ISA assembly.
     Asm {
@@ -208,9 +339,19 @@ pub enum Request {
         axis: SweepAxis,
         /// Backend override (session default when absent).
         backend: Option<BackendChoice>,
+        /// Quantization override (paper assignment when absent).
+        quant: Option<String>,
     },
     /// Explore an architecture grid and reduce to a Pareto frontier.
     Dse(DseParams),
+    /// Show what a quantization policy assigns to one benchmark's layers.
+    Quantize {
+        /// Benchmark name (case-insensitive).
+        benchmark: String,
+        /// Quantization policy (compact spelling; paper assignment when
+        /// absent).
+        quant: Option<String>,
+    },
 }
 
 impl Request {
@@ -223,6 +364,7 @@ impl Request {
             Request::Asm { .. } => "asm",
             Request::Sweep { .. } => "sweep",
             Request::Dse(_) => "dse",
+            Request::Quantize { .. } => "quantize",
         }
     }
 
@@ -237,6 +379,7 @@ impl Request {
                 bandwidth,
                 arch,
                 backend,
+                quant,
             } => {
                 pairs.push(("benchmark", Json::Str(benchmark.clone())));
                 pairs.push(("batch", Json::uint(*batch)));
@@ -247,16 +390,23 @@ impl Request {
                 if let Some(b) = backend {
                     pairs.push(("backend", Json::Str(b.as_str().to_string())));
                 }
+                if let Some(q) = quant {
+                    pairs.push(("quant", Json::Str(q.clone())));
+                }
             }
             Request::Compare {
                 benchmark,
                 batch,
                 backend,
+                quant,
             } => {
                 pairs.push(("benchmark", Json::Str(benchmark.clone())));
                 pairs.push(("batch", Json::uint(*batch)));
                 if let Some(b) = backend {
                     pairs.push(("backend", Json::Str(b.as_str().to_string())));
+                }
+                if let Some(q) = quant {
+                    pairs.push(("quant", Json::Str(q.clone())));
                 }
             }
             Request::Asm {
@@ -276,11 +426,15 @@ impl Request {
                 benchmark,
                 axis,
                 backend,
+                quant,
             } => {
                 pairs.push(("benchmark", Json::Str(benchmark.clone())));
                 pairs.push(("axis", Json::Str(axis.as_str().to_string())));
                 if let Some(b) = backend {
                     pairs.push(("backend", Json::Str(b.as_str().to_string())));
+                }
+                if let Some(q) = quant {
+                    pairs.push(("quant", Json::Str(q.clone())));
                 }
             }
             Request::Dse(p) => {
@@ -291,6 +445,10 @@ impl Request {
                 pairs.push(("obuf_kb", uint_arr(&p.obuf_kb)));
                 pairs.push(("bandwidth", uint_arr(&p.bandwidth)));
                 pairs.push(("batches", uint_arr(&p.batches)));
+                pairs.push((
+                    "quants",
+                    Json::Arr(p.quants.iter().map(|q| Json::Str(q.clone())).collect()),
+                ));
                 if let Some(networks) = &p.networks {
                     pairs.push((
                         "networks",
@@ -300,6 +458,12 @@ impl Request {
                 pairs.push(("workers", Json::uint(p.workers)));
                 if let Some(b) = p.backend {
                     pairs.push(("backend", Json::Str(b.as_str().to_string())));
+                }
+            }
+            Request::Quantize { benchmark, quant } => {
+                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+                if let Some(q) = quant {
+                    pairs.push(("quant", Json::Str(q.clone())));
                 }
             }
         }
@@ -323,17 +487,18 @@ impl Request {
         // unknown-flag behaviour.
         let allowed: &[&str] = match cmd.as_str() {
             "list" => &[],
-            "report" => &["benchmark", "batch", "bandwidth", "arch", "backend"],
-            "compare" => &["benchmark", "batch", "backend"],
+            "report" => &["benchmark", "batch", "bandwidth", "arch", "backend", "quant"],
+            "compare" => &["benchmark", "batch", "backend", "quant"],
             "asm" => &["benchmark", "batch", "arch", "layer"],
-            "sweep" => &["benchmark", "axis", "backend"],
+            "sweep" => &["benchmark", "axis", "backend", "quant"],
             "dse" => &[
                 "rows", "cols", "ibuf_kb", "wbuf_kb", "obuf_kb", "bandwidth", "batches",
-                "networks", "workers", "backend",
+                "quants", "networks", "workers", "backend",
             ],
+            "quantize" => &["benchmark", "quant"],
             other => {
                 return Err(format!(
-                    "unknown cmd `{other}` (list|report|compare|asm|sweep|dse)"
+                    "unknown cmd `{other}` (list|report|compare|asm|sweep|dse|quantize)"
                 ))
             }
         };
@@ -367,11 +532,13 @@ impl Request {
                     None => ArchPreset::default(),
                 },
                 backend: opt_backend(doc)?,
+                quant: opt_str_field(doc, "quant")?,
             }),
             "compare" => Ok(Request::Compare {
                 benchmark: str_field(doc, "benchmark")?,
                 batch: opt_u64_field(doc, "batch")?.unwrap_or(16),
                 backend: opt_backend(doc)?,
+                quant: opt_str_field(doc, "quant")?,
             }),
             "asm" => Ok(Request::Asm {
                 benchmark: str_field(doc, "benchmark")?,
@@ -386,6 +553,7 @@ impl Request {
                 benchmark: str_field(doc, "benchmark")?,
                 axis: SweepAxis::parse(&str_field(doc, "axis")?)?,
                 backend: opt_backend(doc)?,
+                quant: opt_str_field(doc, "quant")?,
             }),
             "dse" => {
                 let d = DseParams::default();
@@ -397,6 +565,19 @@ impl Request {
                     obuf_kb: opt_uint_arr(doc, "obuf_kb")?.unwrap_or(d.obuf_kb),
                     bandwidth: opt_uint_arr(doc, "bandwidth")?.unwrap_or(d.bandwidth),
                     batches: opt_uint_arr(doc, "batches")?.unwrap_or(d.batches),
+                    quants: match doc.get("quants") {
+                        None => d.quants,
+                        Some(v) => v
+                            .as_arr()
+                            .ok_or("quants must be an array")?
+                            .iter()
+                            .map(|q| {
+                                q.as_str()
+                                    .map(str::to_string)
+                                    .ok_or_else(|| "quants entries must be strings".to_string())
+                            })
+                            .collect::<Result<_, _>>()?,
+                    },
                     networks: match doc.get("networks") {
                         None => None,
                         Some(v) => Some(
@@ -415,8 +596,12 @@ impl Request {
                     backend: opt_backend(doc)?,
                 }))
             }
+            "quantize" => Ok(Request::Quantize {
+                benchmark: str_field(doc, "benchmark")?,
+                quant: opt_str_field(doc, "quant")?,
+            }),
             other => Err(format!(
-                "unknown cmd `{other}` (list|report|compare|asm|sweep|dse)"
+                "unknown cmd `{other}` (list|report|compare|asm|sweep|dse|quantize)"
             )),
         }
     }
@@ -642,6 +827,9 @@ pub struct ReportReply {
     pub batch: u64,
     /// Backend that ran.
     pub backend: BackendChoice,
+    /// Quantization override the request named (canonical spelling),
+    /// absent for the paper default.
+    pub quant: Option<String>,
     /// The architecture simulated.
     pub arch: ArchInfo,
     /// Total cycles for the batch.
@@ -707,6 +895,9 @@ pub struct CompareReply {
     pub batch: u64,
     /// Backend that ran the Bit Fusion side.
     pub backend: BackendChoice,
+    /// Quantization override applied to the Bit Fusion and Stripes sides,
+    /// absent for the paper default.
+    pub quant: Option<String>,
     /// Bit Fusion latency per input, 45 nm configuration, in ms.
     pub latency_ms_per_input: f64,
     /// Bit Fusion energy per input, 45 nm configuration.
@@ -778,6 +969,9 @@ pub struct SweepReply {
     pub axis: SweepAxis,
     /// Backend that ran.
     pub backend: BackendChoice,
+    /// Quantization override the request named, absent for the paper
+    /// default.
+    pub quant: Option<String>,
     /// The baseline value speedups are relative to.
     pub baseline: u64,
     /// Points in sweep order.
@@ -789,6 +983,8 @@ pub struct SweepReply {
 pub struct FrontierPoint {
     /// The architecture.
     pub arch: ArchInfo,
+    /// Quantization policy of the candidate (canonical spelling).
+    pub quant: String,
     /// Cycles summed over the workload suite.
     pub cycles: u64,
     /// Energy summed over the workload suite, in pJ.
@@ -805,6 +1001,7 @@ impl FrontierPoint {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("arch", self.arch.to_json()),
+            ("quant", Json::Str(self.quant.clone())),
             ("cycles", Json::uint(self.cycles)),
             ("energy_pj", Json::float(self.energy_pj)),
             ("area_mm2", Json::float(self.area_mm2)),
@@ -816,6 +1013,7 @@ impl FrontierPoint {
     fn from_json(doc: &Json) -> Result<Self, String> {
         Ok(FrontierPoint {
             arch: ArchInfo::from_json(doc.get("arch").ok_or("missing field `arch`")?)?,
+            quant: str_field(doc, "quant")?,
             cycles: u64_field(doc, "cycles")?,
             energy_pj: f64_field(doc, "energy_pj")?,
             area_mm2: f64_field(doc, "area_mm2")?,
@@ -855,11 +1053,55 @@ impl InfeasibleInfo {
     }
 }
 
+/// One entry of a `dse` reply's quantization comparison: how one policy
+/// fares against the baseline on one network, summed over every
+/// architecture and batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSpeedupInfo {
+    /// Network name.
+    pub model: String,
+    /// The candidate quantization policy.
+    pub quant: String,
+    /// `baseline cycles / candidate cycles` (> 1 means faster).
+    pub speedup: f64,
+    /// `baseline energy / candidate energy` (> 1 means less energy).
+    pub energy_ratio: f64,
+}
+
+impl QuantSpeedupInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("model", Json::Str(self.model.clone())),
+            ("quant", Json::Str(self.quant.clone())),
+            ("speedup", Json::float(self.speedup)),
+            ("energy_ratio", Json::float(self.energy_ratio)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(QuantSpeedupInfo {
+            model: str_field(doc, "model")?,
+            quant: str_field(doc, "quant")?,
+            speedup: f64_field(doc, "speedup")?,
+            energy_ratio: f64_field(doc, "energy_ratio")?,
+        })
+    }
+}
+
 /// The full result of a `dse` request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DseReply {
     /// Backend that ran the evaluations.
     pub backend: BackendChoice,
+    /// Quantization policies explored (canonical spellings, spec order).
+    pub quants: Vec<String>,
+    /// The policy [`DseReply::quant_speedups`] is measured against
+    /// (`uniform8` when explored, the first policy otherwise); absent when
+    /// only one policy was explored.
+    pub speedup_baseline: Option<String>,
+    /// Per-network speedup/energy of every non-baseline policy vs the
+    /// baseline; empty when only one policy was explored.
+    pub quant_speedups: Vec<QuantSpeedupInfo>,
     /// Architectures in the grid.
     pub grid_points: u64,
     /// Points evaluated.
@@ -883,6 +1125,64 @@ pub struct DseReply {
     pub frontier: Vec<FrontierPoint>,
 }
 
+/// One multiplying layer's assignment inside a [`Response::Quantize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantLayerInfo {
+    /// Layer name.
+    pub name: String,
+    /// Layer kind tag (`conv`, `fc`, `lstm`, `rnn`).
+    pub kind: String,
+    /// Assigned input (activation) bits.
+    pub input_bits: u64,
+    /// Assigned weight bits.
+    pub weight_bits: u64,
+    /// Multiply-accumulates the layer performs per input.
+    pub macs: u64,
+}
+
+impl QuantLayerInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("kind", Json::Str(self.kind.clone())),
+            ("input_bits", Json::uint(self.input_bits)),
+            ("weight_bits", Json::uint(self.weight_bits)),
+            ("macs", Json::uint(self.macs)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(QuantLayerInfo {
+            name: str_field(doc, "name")?,
+            kind: str_field(doc, "kind")?,
+            input_bits: u64_field(doc, "input_bits")?,
+            weight_bits: u64_field(doc, "weight_bits")?,
+            macs: u64_field(doc, "macs")?,
+        })
+    }
+}
+
+/// The full result of a `quantize` request: the per-layer assignment a
+/// policy produces on one benchmark, plus its storage footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizeReply {
+    /// Benchmark display name.
+    pub benchmark: String,
+    /// The resolved policy (canonical spelling).
+    pub quant: String,
+    /// Total multiply-accumulates per input (shape-derived, policy
+    /// independent).
+    pub total_macs: u64,
+    /// Weight storage in bytes at the assigned widths.
+    pub weight_bytes: u64,
+    /// Fraction of MACs whose input and weight widths are ≤ 4 bits (the
+    /// paper's Figure 1 statistic).
+    pub share_le_4bit: f64,
+    /// Per-layer assignments in execution order (multiplying layers
+    /// only).
+    pub layers: Vec<QuantLayerInfo>,
+}
+
 /// The result of one [`Request`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -903,6 +1203,8 @@ pub enum Response {
     Sweep(SweepReply),
     /// Answer to `dse`.
     Dse(DseReply),
+    /// Answer to `quantize`.
+    Quantize(QuantizeReply),
     /// The request could not be served.
     Error {
         /// What went wrong.
@@ -920,6 +1222,7 @@ impl Response {
             Response::Asm(_) => "asm",
             Response::Sweep(_) => "sweep",
             Response::Dse(_) => "dse",
+            Response::Quantize(_) => "quantize",
             Response::Error { .. } => "error",
         }
     }
@@ -950,6 +1253,9 @@ impl Response {
                 pairs.push(("benchmark", Json::Str(r.benchmark.clone())));
                 pairs.push(("batch", Json::uint(r.batch)));
                 pairs.push(("backend", Json::Str(r.backend.as_str().to_string())));
+                if let Some(q) = &r.quant {
+                    pairs.push(("quant", Json::Str(q.clone())));
+                }
                 pairs.push(("arch", r.arch.to_json()));
                 pairs.push(("cycles", Json::uint(r.cycles)));
                 pairs.push(("macs", Json::uint(r.macs)));
@@ -967,6 +1273,9 @@ impl Response {
                 pairs.push(("benchmark", Json::Str(r.benchmark.clone())));
                 pairs.push(("batch", Json::uint(r.batch)));
                 pairs.push(("backend", Json::Str(r.backend.as_str().to_string())));
+                if let Some(q) = &r.quant {
+                    pairs.push(("quant", Json::Str(q.clone())));
+                }
                 pairs.push(("latency_ms_per_input", Json::float(r.latency_ms_per_input)));
                 pairs.push(("energy_per_input", r.energy_per_input.to_json()));
                 pairs.push((
@@ -996,6 +1305,9 @@ impl Response {
                 pairs.push(("benchmark", Json::Str(r.benchmark.clone())));
                 pairs.push(("axis", Json::Str(r.axis.as_str().to_string())));
                 pairs.push(("backend", Json::Str(r.backend.as_str().to_string())));
+                if let Some(q) = &r.quant {
+                    pairs.push(("quant", Json::Str(q.clone())));
+                }
                 pairs.push(("baseline", Json::uint(r.baseline)));
                 pairs.push((
                     "points",
@@ -1004,6 +1316,24 @@ impl Response {
             }
             Response::Dse(r) => {
                 pairs.push(("backend", Json::Str(r.backend.as_str().to_string())));
+                pairs.push((
+                    "quants",
+                    Json::Arr(r.quants.iter().map(|q| Json::Str(q.clone())).collect()),
+                ));
+                if let Some(b) = &r.speedup_baseline {
+                    pairs.push(("speedup_baseline", Json::Str(b.clone())));
+                }
+                if !r.quant_speedups.is_empty() {
+                    pairs.push((
+                        "quant_speedups",
+                        Json::Arr(
+                            r.quant_speedups
+                                .iter()
+                                .map(QuantSpeedupInfo::to_json)
+                                .collect(),
+                        ),
+                    ));
+                }
                 pairs.push(("grid_points", Json::uint(r.grid_points)));
                 pairs.push(("points", Json::uint(r.points)));
                 pairs.push(("infeasible", Json::uint(r.infeasible)));
@@ -1023,6 +1353,17 @@ impl Response {
                 pairs.push((
                     "frontier",
                     Json::Arr(r.frontier.iter().map(FrontierPoint::to_json).collect()),
+                ));
+            }
+            Response::Quantize(r) => {
+                pairs.push(("benchmark", Json::Str(r.benchmark.clone())));
+                pairs.push(("quant", Json::Str(r.quant.clone())));
+                pairs.push(("total_macs", Json::uint(r.total_macs)));
+                pairs.push(("weight_bytes", Json::uint(r.weight_bytes)));
+                pairs.push(("share_le_4bit", Json::float(r.share_le_4bit)));
+                pairs.push((
+                    "layers",
+                    Json::Arr(r.layers.iter().map(QuantLayerInfo::to_json).collect()),
                 ));
             }
             Response::Error { message } => {
@@ -1070,6 +1411,7 @@ impl Response {
                 benchmark: str_field(doc, "benchmark")?,
                 batch: u64_field(doc, "batch")?,
                 backend: BackendChoice::parse(&str_field(doc, "backend")?)?,
+                quant: opt_str_field(doc, "quant")?,
                 arch: ArchInfo::from_json(doc.get("arch").ok_or("missing field `arch`")?)?,
                 cycles: u64_field(doc, "cycles")?,
                 macs: u64_field(doc, "macs")?,
@@ -1095,6 +1437,7 @@ impl Response {
                 benchmark: str_field(doc, "benchmark")?,
                 batch: u64_field(doc, "batch")?,
                 backend: BackendChoice::parse(&str_field(doc, "backend")?)?,
+                quant: opt_str_field(doc, "quant")?,
                 latency_ms_per_input: f64_field(doc, "latency_ms_per_input")?,
                 energy_per_input: EnergyInfo::from_json(
                     doc.get("energy_per_input")
@@ -1128,6 +1471,7 @@ impl Response {
                 benchmark: str_field(doc, "benchmark")?,
                 axis: SweepAxis::parse(&str_field(doc, "axis")?)?,
                 backend: BackendChoice::parse(&str_field(doc, "backend")?)?,
+                quant: opt_str_field(doc, "quant")?,
                 baseline: u64_field(doc, "baseline")?,
                 points: doc
                     .get("points")
@@ -1141,6 +1485,27 @@ impl Response {
                 let compile = doc.get("compile").ok_or("missing field `compile`")?;
                 Ok(Response::Dse(DseReply {
                     backend: BackendChoice::parse(&str_field(doc, "backend")?)?,
+                    quants: doc
+                        .get("quants")
+                        .and_then(Json::as_arr)
+                        .ok_or("missing field `quants`")?
+                        .iter()
+                        .map(|q| {
+                            q.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "quants entries must be strings".to_string())
+                        })
+                        .collect::<Result<_, _>>()?,
+                    speedup_baseline: opt_str_field(doc, "speedup_baseline")?,
+                    quant_speedups: match doc.get("quant_speedups") {
+                        None => Vec::new(),
+                        Some(v) => v
+                            .as_arr()
+                            .ok_or("quant_speedups must be an array")?
+                            .iter()
+                            .map(QuantSpeedupInfo::from_json)
+                            .collect::<Result<_, _>>()?,
+                    },
                     grid_points: u64_field(doc, "grid_points")?,
                     points: u64_field(doc, "points")?,
                     infeasible: u64_field(doc, "infeasible")?,
@@ -1164,6 +1529,20 @@ impl Response {
                         .collect::<Result<_, _>>()?,
                 }))
             }
+            "quantize" => Ok(Response::Quantize(QuantizeReply {
+                benchmark: str_field(doc, "benchmark")?,
+                quant: str_field(doc, "quant")?,
+                total_macs: u64_field(doc, "total_macs")?,
+                weight_bytes: u64_field(doc, "weight_bytes")?,
+                share_le_4bit: f64_field(doc, "share_le_4bit")?,
+                layers: doc
+                    .get("layers")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing field `layers`")?
+                    .iter()
+                    .map(QuantLayerInfo::from_json)
+                    .collect::<Result<_, _>>()?,
+            })),
             "error" => Ok(Response::Error {
                 message: str_field(doc, "message")?,
             }),
@@ -1260,11 +1639,13 @@ mod tests {
                 bandwidth: Some(256),
                 arch: ArchPreset::Isca45nm,
                 backend: Some(BackendChoice::Event),
+                quant: Some("uniform8".into()),
             },
             Request::Compare {
                 benchmark: "AlexNet".into(),
                 batch: 4,
                 backend: None,
+                quant: None,
             },
             Request::Asm {
                 benchmark: "RNN".into(),
@@ -1276,8 +1657,16 @@ mod tests {
                 benchmark: "VGG-7".into(),
                 axis: SweepAxis::Bandwidth,
                 backend: None,
+                quant: Some("default=4/1,conv=2/2".into()),
             },
-            Request::Dse(DseParams::default()),
+            Request::Dse(DseParams {
+                quants: vec!["paper".into(), "uniform8".into(), "uniform16".into()],
+                ..DseParams::default()
+            }),
+            Request::Quantize {
+                benchmark: "Cifar-10".into(),
+                quant: Some("uniform16".into()),
+            },
         ];
         for req in requests {
             let wire = req.encode();
@@ -1298,12 +1687,20 @@ mod tests {
                 bandwidth: None,
                 arch: ArchPreset::Isca45nm,
                 backend: None,
+                quant: None,
             }
         );
         assert!(matches!(
             Request::parse(r#"{"cmd":"dse"}"#).unwrap(),
             Request::Dse(p) if p == DseParams::default()
         ));
+        assert_eq!(
+            Request::parse(r#"{"cmd":"quantize","benchmark":"svhn"}"#).unwrap(),
+            Request::Quantize {
+                benchmark: "svhn".into(),
+                quant: None,
+            }
+        );
     }
 
     #[test]
@@ -1330,6 +1727,32 @@ mod tests {
             .unwrap_err();
         assert!(e.contains("workers") && e.contains("sweep"), "{e}");
         assert!(Request::parse(r#"{"cmd":"list","extra":1}"#).is_err());
+    }
+
+    #[test]
+    fn quant_spec_json_forms() {
+        let preset = QuantSpec::parse("uniform8").unwrap();
+        let j = quant_spec_to_json(&preset);
+        assert_eq!(j.encode(), r#"{"preset":"uniform8"}"#);
+        assert_eq!(quant_spec_from_json(&j).unwrap(), preset);
+
+        let custom = QuantSpec::parse("default=4/1,conv=2/2,layer:fc8=8/8").unwrap();
+        let j = quant_spec_to_json(&custom);
+        assert_eq!(quant_spec_from_json(&j).unwrap(), custom);
+        assert!(j.encode().contains(r#""default":"4/1""#), "{}", j.encode());
+
+        for bad in [
+            r#"{"kinds":[{"kind":"pool","precision":"4/4"}]}"#,
+            r#"{"default":"3/3"}"#,
+            r#"{"preset":"uniform9"}"#,
+            r#"{"preset":"paper","default":"4/4"}"#,
+            r#"{}"#,
+        ] {
+            assert!(
+                quant_spec_from_json(&parse_json(bad).unwrap()).is_err(),
+                "{bad} accepted"
+            );
+        }
     }
 
     #[test]

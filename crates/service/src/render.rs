@@ -49,10 +49,16 @@ pub fn render(response: &Response) -> String {
             out.trim_end().to_string()
         }
         Response::Report(r) => {
+            let quant = r
+                .quant
+                .as_ref()
+                .map(|q| format!(", quant {q}"))
+                .unwrap_or_default();
             let mut out = format!(
-                "{} (batch {}): {:.3} ms/input, {} cycles, {:.1} MACs/cycle, {}\n",
+                "{} (batch {}{}): {:.3} ms/input, {} cycles, {:.1} MACs/cycle, {}\n",
                 r.benchmark,
                 r.batch,
+                quant,
                 r.latency_ms_per_input,
                 r.cycles,
                 r.macs_per_cycle,
@@ -86,10 +92,16 @@ pub fn render(response: &Response) -> String {
             out
         }
         Response::Compare(r) => {
+            let quant = r
+                .quant
+                .as_ref()
+                .map(|q| format!(", quant {q}"))
+                .unwrap_or_default();
             let mut out = format!(
-                "{} (batch {}): BitFusion-45nm {:.3} ms/input, {}",
+                "{} (batch {}{}): BitFusion-45nm {:.3} ms/input, {}",
                 r.benchmark,
                 r.batch,
+                quant,
                 r.latency_ms_per_input,
                 energy_text(&r.energy_per_input)
             );
@@ -115,7 +127,11 @@ pub fn render(response: &Response) -> String {
             blocks.join("\n")
         }
         Response::Sweep(r) => {
-            let mut out = match r.axis {
+            let mut out = match &r.quant {
+                Some(q) => format!("quant {q}\n"),
+                None => String::new(),
+            };
+            out += &match r.axis {
                 SweepAxis::Bandwidth => format!(
                     "{} bandwidth sweep (batch 16, {} backend, vs {} b/cyc):",
                     r.benchmark,
@@ -154,14 +170,17 @@ pub fn render(response: &Response) -> String {
                 "compile sharing: {} unique compilations, {} points served from cache\n",
                 r.compile_misses, r.compile_hits
             ));
+            if r.quants.len() > 1 {
+                out.push_str(&format!("quantizations: {}\n", r.quants.join(", ")));
+            }
             out.push_str(&format!(
-                "\nPareto frontier over (cycles, energy, area), {} of {} architectures:\n",
+                "\nPareto frontier over (cycles, energy, area), {} of {} candidates:\n",
                 r.frontier.len(),
-                r.grid_points
+                r.grid_points as usize * r.quants.len().max(1)
             ));
             out.push_str(&format!(
-                "  {:>4} {:>4} {:>5} {:>5} {:>5} {:>5} | {:>14} {:>11} {:>9} {:>8}\n",
-                "rows", "cols", "ibuf", "wbuf", "obuf", "bw", "cycles", "energy(mJ)", "area(mm2)", "bw-stall"
+                "  {:>4} {:>4} {:>5} {:>5} {:>5} {:>5} {:>10} | {:>14} {:>11} {:>9} {:>8}\n",
+                "rows", "cols", "ibuf", "wbuf", "obuf", "bw", "quant", "cycles", "energy(mJ)", "area(mm2)", "bw-stall"
             ));
             for s in &r.frontier {
                 let total_stall = s.bandwidth_starved + s.compute_starved;
@@ -171,18 +190,30 @@ pub fn render(response: &Response) -> String {
                     s.bandwidth_starved as f64 / total_stall as f64
                 };
                 out.push_str(&format!(
-                    "  {:>4} {:>4} {:>4}K {:>4}K {:>4}K {:>5} | {:>14} {:>11.2} {:>9.2} {:>7.0}%\n",
+                    "  {:>4} {:>4} {:>4}K {:>4}K {:>4}K {:>5} {:>10} | {:>14} {:>11.2} {:>9.2} {:>7.0}%\n",
                     s.arch.rows,
                     s.arch.cols,
                     s.arch.ibuf_kb,
                     s.arch.wbuf_kb,
                     s.arch.obuf_kb,
                     s.arch.bandwidth_bits_per_cycle,
+                    s.quant,
                     s.cycles,
                     s.energy_pj / 1e9,
                     s.area_mm2,
                     bw_frac * 100.0
                 ));
+            }
+            if let Some(baseline) = &r.speedup_baseline {
+                out.push_str(&format!(
+                    "\nquantization speedups vs {baseline} (whole grid):\n"
+                ));
+                for s in &r.quant_speedups {
+                    out.push_str(&format!(
+                        "  {:<10} {:<24} {:5.2}x faster, {:5.2}x less energy\n",
+                        s.model, s.quant, s.speedup, s.energy_ratio
+                    ));
+                }
             }
             if !r.infeasible_sample.is_empty() {
                 out.push_str(&format!(
@@ -193,6 +224,31 @@ pub fn render(response: &Response) -> String {
                 for p in &r.infeasible_sample {
                     out.push_str(&format!("  {} @ {}: {}\n", p.model, p.arch, p.error));
                 }
+            }
+            out.trim_end().to_string()
+        }
+        Response::Quantize(r) => {
+            let mut out = format!(
+                "{} under {}: {:.0}M MACs, {:.2} MB weights, {:.1}% of MACs at <=4 bits\n",
+                r.benchmark,
+                r.quant,
+                r.total_macs as f64 / 1e6,
+                r.weight_bytes as f64 / 1e6,
+                r.share_le_4bit * 100.0
+            );
+            out.push_str(&format!(
+                "  {:<12} {:<6} {:>6} {:>7} {:>10}\n",
+                "layer", "kind", "input", "weight", "MACs(M)"
+            ));
+            for l in &r.layers {
+                out.push_str(&format!(
+                    "  {:<12} {:<6} {:>5}b {:>6}b {:>10.1}\n",
+                    l.name,
+                    l.kind,
+                    l.input_bits,
+                    l.weight_bits,
+                    l.macs as f64 / 1e6
+                ));
             }
             out.trim_end().to_string()
         }

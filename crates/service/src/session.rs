@@ -24,6 +24,9 @@ use bitfusion_baselines::{EyerissSim, GpuMode, GpuModel, StripesSim};
 use bitfusion_compiler::{ArtifactCache, CacheStats};
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_core::grid::ArchGrid;
+use bitfusion_dnn::model::Model;
+use bitfusion_dnn::quantspec::QuantSpec;
+use bitfusion_dnn::stats::BitwidthStats;
 use bitfusion_dnn::zoo::Benchmark;
 use bitfusion_energy::{ChipArea, EnergyBreakdown};
 use bitfusion_isa::asm::format_block;
@@ -35,7 +38,8 @@ use bitfusion_sim::{
 use crate::protocol::{
     ArchInfo, ArchPreset, AsmBlock, AsmReply, BackendChoice, BaselineComparison, BenchmarkInfo,
     CompareReply, DseParams, DseReply, EnergyInfo, FrontierPoint, InfeasibleInfo, LayerInfo,
-    ReportReply, Request, Response, StallInfo, SweepAxis, SweepPointInfo, SweepReply,
+    QuantLayerInfo, QuantSpeedupInfo, QuantizeReply, ReportReply, Request, Response, StallInfo,
+    SweepAxis, SweepPointInfo, SweepReply,
 };
 
 /// Batch sizes the `sweep --batch` axis walks (Figure 16).
@@ -136,12 +140,14 @@ impl Session {
                 bandwidth,
                 arch,
                 backend,
-            } => self.report(benchmark, *batch, *bandwidth, *arch, *backend),
+                quant,
+            } => self.report(benchmark, *batch, *bandwidth, *arch, *backend, quant.as_deref()),
             Request::Compare {
                 benchmark,
                 batch,
                 backend,
-            } => self.compare(benchmark, *batch, *backend),
+                quant,
+            } => self.compare(benchmark, *batch, *backend, quant.as_deref()),
             Request::Asm {
                 benchmark,
                 batch,
@@ -152,8 +158,10 @@ impl Session {
                 benchmark,
                 axis,
                 backend,
-            } => self.sweep(benchmark, *axis, *backend),
+                quant,
+            } => self.sweep(benchmark, *axis, *backend, quant.as_deref()),
             Request::Dse(params) => self.dse(params),
+            Request::Quantize { benchmark, quant } => self.quantize(benchmark, quant.as_deref()),
         };
         result.unwrap_or_else(|message| Response::Error { message })
     }
@@ -190,20 +198,23 @@ impl Session {
         bandwidth: Option<u32>,
         arch: ArchPreset,
         backend: Option<BackendChoice>,
+        quant: Option<&str>,
     ) -> Result<Response, String> {
         let b = find_benchmark(benchmark)?;
         let backend = backend.unwrap_or(self.backend);
+        let (model, quant) = quantized_model(b, quant)?;
         let mut arch = arch_config(arch);
         if let Some(bw) = bandwidth {
             arch = arch.with_bandwidth(bw);
         }
         arch.validate().map_err(|e| e.to_string())?;
-        let report = self.simulate(b, &arch, batch, backend)?;
+        let report = self.simulate(&model, &arch, batch, backend)?;
         let stalls = report.total_stalls();
         Ok(Response::Report(ReportReply {
             benchmark: b.name().to_string(),
             batch,
             backend,
+            quant,
             arch: arch_info(&arch),
             cycles: report.total_cycles(),
             macs: report.total_macs(),
@@ -237,19 +248,25 @@ impl Session {
         benchmark: &str,
         batch: u64,
         backend: Option<BackendChoice>,
+        quant: Option<&str>,
     ) -> Result<Response, String> {
         let b = find_benchmark(benchmark)?;
         let backend = backend.unwrap_or(self.backend);
-        let r = self.simulate(b, &ArchConfig::isca_45nm(), batch, backend)?;
+        // The quantization applies to the precision-sensitive executors
+        // (Bit Fusion, the bit-serial Stripes); Eyeriss and the GPU run
+        // the 16-bit reference model regardless.
+        let (model, quant) = quantized_model(b, quant)?;
+        let r = self.simulate(&model, &ArchConfig::isca_45nm(), batch, backend)?;
         let ey = EyerissSim::default().run(&b.reference_model(), batch);
-        let rs = self.simulate(b, &ArchConfig::stripes_matched(), batch, backend)?;
-        let st = StripesSim::default().run(&b.model(), batch);
-        let r16 = self.simulate(b, &ArchConfig::gpu_16nm(), batch, backend)?;
+        let rs = self.simulate(&model, &ArchConfig::stripes_matched(), batch, backend)?;
+        let st = StripesSim::default().run(&model, batch);
+        let r16 = self.simulate(&model, &ArchConfig::gpu_16nm(), batch, backend)?;
         let tx2 = GpuModel::tegra_x2().run(&b.reference_model(), batch, GpuMode::Fp32);
         Ok(Response::Compare(CompareReply {
             benchmark: b.name().to_string(),
             batch,
             backend,
+            quant,
             latency_ms_per_input: r.latency_ms_per_input(),
             energy_per_input: energy_info(r.energy_per_input()),
             baselines: vec![
@@ -280,7 +297,7 @@ impl Session {
         layer: Option<&str>,
     ) -> Result<Response, String> {
         let b = find_benchmark(benchmark)?;
-        let cached = self.compiled(b, &arch_config(arch), batch)?;
+        let cached = self.compiled(&b.model(), &arch_config(arch), batch)?;
         let plan = cached.as_ref().as_ref().expect("checked by compiled()");
         let blocks: Vec<AsmBlock> = plan
             .layers
@@ -313,11 +330,12 @@ impl Session {
         benchmark: &str,
         axis: SweepAxis,
         backend: Option<BackendChoice>,
+        quant: Option<&str>,
     ) -> Result<Response, String> {
         let b = find_benchmark(benchmark)?;
         let backend = backend.unwrap_or(self.backend);
         let arch = ArchConfig::isca_45nm();
-        let model = b.model();
+        let (model, quant) = quantized_model(b, quant)?;
         let (baseline, points) = match axis {
             SweepAxis::Bandwidth => {
                 let sweep = self
@@ -364,8 +382,36 @@ impl Session {
             benchmark: b.name().to_string(),
             axis,
             backend,
+            quant,
             baseline,
             points,
+        }))
+    }
+
+    fn quantize(&self, benchmark: &str, quant: Option<&str>) -> Result<Response, String> {
+        let b = find_benchmark(benchmark)?;
+        let spec = resolve_quant(quant)?;
+        let model = b.model_with(&spec)?;
+        let stats = BitwidthStats::of(&model);
+        Ok(Response::Quantize(QuantizeReply {
+            benchmark: b.name().to_string(),
+            quant: spec.to_string(),
+            total_macs: model.total_macs(),
+            weight_bytes: model.weight_bytes(),
+            share_le_4bit: stats.share_at_or_below(4),
+            layers: model
+                .mac_layers()
+                .map(|l| {
+                    let p = l.layer.precision().expect("mac layers carry precisions");
+                    QuantLayerInfo {
+                        name: l.name.clone(),
+                        kind: l.layer.kind().to_string(),
+                        input_bits: p.input.bits() as u64,
+                        weight_bits: p.weight.bits() as u64,
+                        macs: l.layer.macs(),
+                    }
+                })
+                .collect(),
         }))
     }
 
@@ -410,9 +456,31 @@ impl Session {
             ..ArchGrid::from_base(ArchConfig::isca_45nm())
         };
         let grid_points = grid.len();
+        if params.quants.is_empty() {
+            return Err("quants has no candidates".to_string());
+        }
+        let quant_specs: Vec<QuantSpec> = params
+            .quants
+            .iter()
+            .map(|q| QuantSpec::parse(q))
+            .collect::<Result<_, _>>()?;
+        let quant_names: Vec<String> = quant_specs.iter().map(QuantSpec::to_string).collect();
+        // Candidate identity is the canonical spelling: two entries that
+        // canonicalize alike (e.g. `uniform8` and `default=8/8`) would
+        // merge into one over-counted summary and silently empty the
+        // frontier, so reject them up front.
+        for (i, name) in quant_names.iter().enumerate() {
+            if quant_names[..i].contains(name) {
+                return Err(format!(
+                    "duplicate quantization `{}` (canonicalizes to `{name}`)",
+                    params.quants[i]
+                ));
+            }
+        }
         let spec = DseSpec {
             grid,
             models: networks.iter().map(|b| b.model()).collect(),
+            quant_specs,
             batches: params.batches.clone(),
             options: self.options,
         };
@@ -428,18 +496,23 @@ impl Session {
                 explore_with_cache(&spec, &EventBackend, workers, &self.cache)
             }
         };
-        Ok(Response::Dse(dse_reply(&result, grid_points, backend)))
+        Ok(Response::Dse(dse_reply(
+            &result,
+            grid_points,
+            backend,
+            quant_names,
+        )))
     }
 
     /// Compiles through the shared cache (or reports the compile failure).
     fn compiled(
         &self,
-        b: Benchmark,
+        model: &Model,
         arch: &ArchConfig,
         batch: u64,
     ) -> Result<bitfusion_compiler::CachedPlan, String> {
         arch.validate().map_err(|e| e.to_string())?;
-        let cached = self.cache.get_or_compile(&b.model(), arch, batch);
+        let cached = self.cache.get_or_compile(model, arch, batch);
         match cached.as_ref() {
             Ok(_) => Ok(cached),
             Err(e) => Err(e.to_string()),
@@ -451,12 +524,12 @@ impl Session {
     /// diverge from the library path.
     fn simulate(
         &self,
-        b: Benchmark,
+        model: &Model,
         arch: &ArchConfig,
         batch: u64,
         backend: BackendChoice,
     ) -> Result<PerfReport, String> {
-        let cached = self.compiled(b, arch, batch)?;
+        let cached = self.compiled(model, arch, batch)?;
         let plan = cached.as_ref().as_ref().expect("checked by compiled()");
         Ok(match backend {
             BackendChoice::Analytic => BitFusionSim::with_backend(arch.clone(), AnalyticBackend)
@@ -523,6 +596,31 @@ impl Session {
     }
 }
 
+/// Parses an optional quantization override (`None` = the paper
+/// assignment).
+///
+/// # Errors
+///
+/// Propagates [`QuantSpec::parse`] errors.
+pub fn resolve_quant(quant: Option<&str>) -> Result<QuantSpec, String> {
+    match quant {
+        None => Ok(QuantSpec::paper()),
+        Some(q) => QuantSpec::parse(q),
+    }
+}
+
+/// The benchmark's model under an optional quantization override, plus
+/// the canonical spelling to echo in the reply (absent when the request
+/// named none).
+fn quantized_model(
+    b: Benchmark,
+    quant: Option<&str>,
+) -> Result<(Model, Option<String>), String> {
+    let spec = resolve_quant(quant)?;
+    let model = b.model_with(&spec)?;
+    Ok((model, quant.map(|_| spec.to_string())))
+}
+
 /// Resolves a benchmark name case-insensitively, or names every valid
 /// choice in the error.
 pub fn find_benchmark(name: &str) -> Result<Benchmark, String> {
@@ -570,9 +668,40 @@ fn energy_info(e: EnergyBreakdown) -> EnergyInfo {
     }
 }
 
-fn dse_reply(result: &DseResult, grid_points: usize, backend: BackendChoice) -> DseReply {
+fn dse_reply(
+    result: &DseResult,
+    grid_points: usize,
+    backend: BackendChoice,
+    quants: Vec<String>,
+) -> DseReply {
+    // The comparison baseline: the fixed 8-bit datapath when explored
+    // (the paper's heterogeneous-vs-uniform-8 headline), the first policy
+    // otherwise. One policy alone has nothing to compare against.
+    let speedup_baseline = if quants.len() < 2 {
+        None
+    } else if quants.iter().any(|q| q == "uniform8") {
+        Some("uniform8".to_string())
+    } else {
+        Some(quants[0].clone())
+    };
+    let quant_speedups = match &speedup_baseline {
+        None => Vec::new(),
+        Some(baseline) => result
+            .quant_speedups_vs(baseline)
+            .into_iter()
+            .map(|s| QuantSpeedupInfo {
+                model: s.model,
+                quant: s.quant,
+                speedup: s.speedup,
+                energy_ratio: s.energy_ratio,
+            })
+            .collect(),
+    };
     DseReply {
         backend,
+        quants,
+        speedup_baseline,
+        quant_speedups,
         grid_points: grid_points as u64,
         points: result.points.len() as u64,
         infeasible: result.infeasible.len() as u64,
@@ -596,6 +725,7 @@ fn dse_reply(result: &DseResult, grid_points: usize, backend: BackendChoice) -> 
             .iter()
             .map(|s| FrontierPoint {
                 arch: arch_info(&s.arch),
+                quant: s.quant.clone(),
                 cycles: s.total_cycles,
                 energy_pj: s.total_energy_pj,
                 area_mm2: s.area_mm2,
@@ -625,6 +755,7 @@ mod tests {
             bandwidth: None,
             arch: ArchPreset::Isca45nm,
             backend: None,
+            quant: None,
         });
         let direct = BitFusionSim::new(ArchConfig::isca_45nm())
             .run(&Benchmark::Lstm.model(), 16)
@@ -656,6 +787,7 @@ mod tests {
             bandwidth: Some(256),
             arch: ArchPreset::Isca45nm,
             backend: Some(BackendChoice::Event),
+            quant: None,
         };
         let first = session.handle(&req).encode();
         let misses_after_first = session.cache_stats().misses;
@@ -675,6 +807,7 @@ mod tests {
             bandwidth: None,
             arch: ArchPreset::Isca45nm,
             backend: None,
+            quant: None,
         });
         assert_eq!(session.cache_stats().misses, 1);
         session.handle(&Request::Asm {
@@ -689,6 +822,7 @@ mod tests {
             benchmark: "rnn".into(),
             axis: SweepAxis::Bandwidth,
             backend: None,
+            quant: None,
         });
         assert_eq!(
             session.cache_stats().misses,
@@ -707,6 +841,7 @@ mod tests {
                 bandwidth: None,
                 arch: ArchPreset::Isca45nm,
                 backend: None,
+                quant: None,
             },
             Request::Asm {
                 benchmark: "rnn".into(),
@@ -731,6 +866,7 @@ mod tests {
             benchmark: "cifar-10".into(),
             batch: 16,
             backend: None,
+            quant: None,
         }) {
             Response::Compare(r) => {
                 assert_eq!(r.baselines.len(), 3);
@@ -806,6 +942,7 @@ mod tests {
             bandwidth: None,
             arch: ArchPreset::Isca45nm,
             backend: None,
+            quant: None,
         };
         let (Response::Report(a), Response::Report(b)) = (slow.handle(&req), fast.handle(&req))
         else {

@@ -3,10 +3,15 @@
 //! `encode → parse → encode` is a fixed point on the wire bytes — the
 //! property the serve loop's byte-identity contract stands on.
 
+use bitfusion_core::bitwidth::PairPrecision;
+use bitfusion_dnn::quantspec::{QuantSpec, QUANT_KINDS};
+use bitfusion_service::json::parse as parse_json;
 use bitfusion_service::protocol::{
-    ArchInfo, ArchPreset, AsmBlock, AsmReply, BackendChoice, BaselineComparison, BenchmarkInfo,
-    CompareReply, DseParams, DseReply, EnergyInfo, FrontierPoint, InfeasibleInfo, LayerInfo,
-    ReportReply, Request, Response, StallInfo, SweepAxis, SweepPointInfo, SweepReply,
+    quant_spec_from_json, quant_spec_to_json, ArchInfo, ArchPreset, AsmBlock, AsmReply,
+    BackendChoice, BaselineComparison, BenchmarkInfo, CompareReply, DseParams, DseReply,
+    EnergyInfo, FrontierPoint, InfeasibleInfo, LayerInfo, QuantLayerInfo, QuantSpeedupInfo,
+    QuantizeReply, ReportReply, Request, Response, StallInfo, SweepAxis, SweepPointInfo,
+    SweepReply,
 };
 use proptest::prelude::*;
 
@@ -42,6 +47,50 @@ fn arb_u64() -> impl Strategy<Value = u64> {
     ]
 }
 
+/// A supported (input, weight) pair in the `from_bits` convention — the
+/// only kind a compact or JSON spec can spell.
+fn arb_pair() -> impl Strategy<Value = PairPrecision> {
+    (
+        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+    )
+        .prop_map(|(i, w)| PairPrecision::from_bits(i, w).expect("supported widths"))
+}
+
+/// Structurally arbitrary quant specs: optional default, kind overrides,
+/// layer overrides (names drawn from zoo-style identifiers).
+fn arb_quant_spec() -> impl Strategy<Value = QuantSpec> {
+    (
+        prop::option::of(arb_pair()),
+        prop::collection::vec(
+            (prop::sample::select(QUANT_KINDS.to_vec()), arb_pair()),
+            0..3,
+        ),
+        prop::collection::vec(
+            (
+                prop::sample::select(vec!["conv1", "fc8", "lstm1", "rnn2", "l4b2c2"]),
+                arb_pair(),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(default, kinds, layers)| QuantSpec {
+            default,
+            kinds: kinds.into_iter().map(|(k, p)| (k.to_string(), p)).collect(),
+            layers: layers.into_iter().map(|(l, p)| (l.to_string(), p)).collect(),
+        })
+}
+
+/// Quant override strings as the protocol carries them (canonical
+/// spellings).
+fn arb_quant_string() -> impl Strategy<Value = String> {
+    arb_quant_spec().prop_map(|s| s.to_string())
+}
+
+fn arb_opt_quant() -> impl Strategy<Value = Option<String>> {
+    prop::option::of(arb_quant_string())
+}
+
 fn arb_backend() -> impl Strategy<Value = BackendChoice> {
     prop::sample::select(vec![BackendChoice::Analytic, BackendChoice::Event])
 }
@@ -69,19 +118,22 @@ fn arb_request() -> impl Strategy<Value = Request> {
         prop::option::of(1u32..4096),
         arb_arch_preset(),
         arb_opt_backend(),
+        arb_opt_quant(),
     )
-        .prop_map(|(benchmark, batch, bandwidth, arch, backend)| Request::Report {
+        .prop_map(|(benchmark, batch, bandwidth, arch, backend, quant)| Request::Report {
             benchmark,
             batch,
             bandwidth,
             arch,
             backend,
+            quant,
         });
-    let compare = (arb_name(), arb_u64(), arb_opt_backend()).prop_map(
-        |(benchmark, batch, backend)| Request::Compare {
+    let compare = (arb_name(), arb_u64(), arb_opt_backend(), arb_opt_quant()).prop_map(
+        |(benchmark, batch, backend, quant)| Request::Compare {
             benchmark,
             batch,
             backend,
+            quant,
         },
     );
     let asm = (
@@ -96,11 +148,12 @@ fn arb_request() -> impl Strategy<Value = Request> {
             arch,
             layer,
         });
-    let sweep = (arb_name(), arb_axis(), arb_opt_backend()).prop_map(
-        |(benchmark, axis, backend)| Request::Sweep {
+    let sweep = (arb_name(), arb_axis(), arb_opt_backend(), arb_opt_quant()).prop_map(
+        |(benchmark, axis, backend, quant)| Request::Sweep {
             benchmark,
             axis,
             backend,
+            quant,
         },
     );
     let dse = (
@@ -113,12 +166,19 @@ fn arb_request() -> impl Strategy<Value = Request> {
             prop::collection::vec(1u64..1024, 1..4),
             prop::collection::vec(1u64..256, 1..3),
         ),
+        prop::collection::vec(arb_quant_string(), 1..4),
         prop::option::of(prop::collection::vec(arb_name(), 1..4)),
         0u64..16,
         arb_opt_backend(),
     )
         .prop_map(
-            |((rows, cols, ibuf_kb, wbuf_kb, obuf_kb, bandwidth, batches), networks, workers, backend)| {
+            |(
+                (rows, cols, ibuf_kb, wbuf_kb, obuf_kb, bandwidth, batches),
+                quants,
+                networks,
+                workers,
+                backend,
+            )| {
                 Request::Dse(DseParams {
                     rows,
                     cols,
@@ -127,12 +187,16 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     obuf_kb,
                     bandwidth,
                     batches,
+                    quants,
                     networks,
                     workers,
                     backend,
                 })
             },
         );
+    let quantize = (arb_name(), arb_opt_quant()).prop_map(|(benchmark, quant)| {
+        Request::Quantize { benchmark, quant }
+    });
     prop_oneof![
         prop::sample::select(vec![Request::List]),
         report,
@@ -140,6 +204,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         asm,
         sweep,
         dse,
+        quantize,
     ]
 }
 
@@ -236,7 +301,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             architectures,
         });
     let report = (
-        (arb_name(), arb_u64(), arb_backend(), arb_arch_info()),
+        (arb_name(), arb_u64(), arb_backend(), arb_opt_quant(), arb_arch_info()),
         (arb_u64(), arb_u64(), arb_u64()),
         (arb_f64(), arb_f64()),
         arb_energy(),
@@ -245,7 +310,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
     )
         .prop_map(
             |(
-                (benchmark, batch, backend, arch),
+                (benchmark, batch, backend, quant, arch),
                 (cycles, macs, dram_bits),
                 (latency_ms_per_input, macs_per_cycle),
                 energy_per_input,
@@ -256,6 +321,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     benchmark,
                     batch,
                     backend,
+                    quant,
                     arch,
                     cycles,
                     macs,
@@ -269,7 +335,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             },
         );
     let compare = (
-        (arb_name(), arb_u64(), arb_backend()),
+        (arb_name(), arb_u64(), arb_backend(), arb_opt_quant()),
         arb_f64(),
         arb_energy(),
         prop::collection::vec(
@@ -284,11 +350,17 @@ fn arb_response() -> impl Strategy<Value = Response> {
         ),
     )
         .prop_map(
-            |((benchmark, batch, backend), latency_ms_per_input, energy_per_input, baselines)| {
+            |(
+                (benchmark, batch, backend, quant),
+                latency_ms_per_input,
+                energy_per_input,
+                baselines,
+            )| {
                 Response::Compare(CompareReply {
                     benchmark,
                     batch,
                     backend,
+                    quant,
                     latency_ms_per_input,
                     energy_per_input,
                     baselines,
@@ -311,7 +383,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             })
         });
     let sweep = (
-        (arb_name(), arb_axis(), arb_backend(), arb_u64()),
+        (arb_name(), arb_axis(), arb_backend(), arb_opt_quant(), arb_u64()),
         prop::collection::vec(
             (arb_u64(), arb_u64(), arb_f64(), arb_f64()).prop_map(
                 |(value, cycles, cycles_per_input, speedup)| SweepPointInfo {
@@ -324,17 +396,33 @@ fn arb_response() -> impl Strategy<Value = Response> {
             0..6,
         ),
     )
-        .prop_map(|((benchmark, axis, backend, baseline), points)| {
+        .prop_map(|((benchmark, axis, backend, quant, baseline), points)| {
             Response::Sweep(SweepReply {
                 benchmark,
                 axis,
                 backend,
+                quant,
                 baseline,
                 points,
             })
         });
     let dse = (
         (arb_backend(), arb_u64(), arb_u64(), arb_u64()),
+        (
+            prop::collection::vec(arb_quant_string(), 1..4),
+            prop::option::of(arb_quant_string()),
+            prop::collection::vec(
+                (arb_name(), arb_quant_string(), arb_f64(), arb_f64()).prop_map(
+                    |(model, quant, speedup, energy_ratio)| QuantSpeedupInfo {
+                        model,
+                        quant,
+                        speedup,
+                        energy_ratio,
+                    },
+                ),
+                0..3,
+            ),
+        ),
         (arb_u64(), arb_u64()),
         prop::collection::vec(
             (arb_name(), arb_name(), arb_name()).prop_map(|(model, arch, error)| {
@@ -345,6 +433,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         prop::collection::vec(
             (
                 arb_arch_info(),
+                arb_quant_string(),
                 arb_u64(),
                 arb_f64(),
                 arb_f64(),
@@ -352,9 +441,18 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 arb_u64(),
             )
                 .prop_map(
-                    |(arch, cycles, energy_pj, area_mm2, bandwidth_starved, compute_starved)| {
+                    |(
+                        arch,
+                        quant,
+                        cycles,
+                        energy_pj,
+                        area_mm2,
+                        bandwidth_starved,
+                        compute_starved,
+                    )| {
                         FrontierPoint {
                             arch,
+                            quant,
                             cycles,
                             energy_pj,
                             area_mm2,
@@ -369,12 +467,16 @@ fn arb_response() -> impl Strategy<Value = Response> {
         .prop_map(
             |(
                 (backend, grid_points, points, infeasible),
+                (quants, speedup_baseline, quant_speedups),
                 (compile_hits, compile_misses),
                 infeasible_sample,
                 frontier,
             )| {
                 Response::Dse(DseReply {
                     backend,
+                    quants,
+                    speedup_baseline,
+                    quant_speedups,
                     grid_points,
                     points,
                     infeasible,
@@ -385,8 +487,41 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 })
             },
         );
+    let quantize = (
+        (arb_name(), arb_quant_string()),
+        (arb_u64(), arb_u64(), arb_f64()),
+        prop::collection::vec(
+            (
+                arb_name(),
+                prop::sample::select(QUANT_KINDS.to_vec()),
+                prop::sample::select(vec![1u64, 2, 4, 8, 16]),
+                prop::sample::select(vec![1u64, 2, 4, 8, 16]),
+                arb_u64(),
+            )
+                .prop_map(|(name, kind, input_bits, weight_bits, macs)| QuantLayerInfo {
+                    name,
+                    kind: kind.to_string(),
+                    input_bits,
+                    weight_bits,
+                    macs,
+                }),
+            0..4,
+        ),
+    )
+        .prop_map(
+            |((benchmark, quant), (total_macs, weight_bytes, share_le_4bit), layers)| {
+                Response::Quantize(QuantizeReply {
+                    benchmark,
+                    quant,
+                    total_macs,
+                    weight_bytes,
+                    share_le_4bit,
+                    layers,
+                })
+            },
+        );
     let error = arb_name().prop_map(|message| Response::Error { message });
-    prop_oneof![benchmarks, report, compare, asm, sweep, dse, error]
+    prop_oneof![benchmarks, report, compare, asm, sweep, dse, quantize, error]
 }
 
 proptest! {
@@ -407,11 +542,31 @@ proptest! {
         // The wire form is one line: serve's framing can never split it.
         prop_assert!(!wire.contains('\n'), "{}", wire);
     }
+
+    #[test]
+    fn quant_spec_compact_display_parse_is_a_fixed_point(spec in arb_quant_spec()) {
+        // The protocol carries specs as their canonical compact spelling,
+        // so Display ∘ parse must be lossless and canonical.
+        let text = spec.to_string();
+        let back = QuantSpec::parse(&text).expect("own spelling parses");
+        prop_assert_eq!(&back, &spec, "{}", text);
+        prop_assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn quant_spec_json_encode_parse_encode_is_a_fixed_point(spec in arb_quant_spec()) {
+        // The `--quant <spec.json>` file format.
+        let wire = quant_spec_to_json(&spec).encode();
+        let doc = parse_json(&wire).expect("own encoding is valid JSON");
+        let back = quant_spec_from_json(&doc).expect("own encoding parses");
+        prop_assert_eq!(&back, &spec, "{}", wire);
+        prop_assert_eq!(quant_spec_to_json(&back).encode(), wire);
+    }
 }
 
 #[test]
 fn every_request_variant_is_exercised() {
-    // The strategies above must cover all six commands; pin the
+    // The strategies above must cover all seven commands; pin the
     // discriminants so a new variant cannot silently skip the round-trip.
     let mut seen = std::collections::BTreeSet::new();
     for req in [
@@ -422,11 +577,13 @@ fn every_request_variant_is_exercised() {
             bandwidth: None,
             arch: ArchPreset::Isca45nm,
             backend: None,
+            quant: Some("uniform8".into()),
         },
         Request::Compare {
             benchmark: "x".into(),
             batch: 1,
             backend: None,
+            quant: None,
         },
         Request::Asm {
             benchmark: "x".into(),
@@ -438,8 +595,13 @@ fn every_request_variant_is_exercised() {
             benchmark: "x".into(),
             axis: SweepAxis::Batch,
             backend: None,
+            quant: None,
         },
         Request::Dse(DseParams::default()),
+        Request::Quantize {
+            benchmark: "x".into(),
+            quant: Some("default=4/1,layer:conv1=8/8".into()),
+        },
     ] {
         seen.insert(req.cmd());
         let wire = req.encode();
@@ -447,6 +609,6 @@ fn every_request_variant_is_exercised() {
     }
     assert_eq!(
         seen.into_iter().collect::<Vec<_>>(),
-        vec!["asm", "compare", "dse", "list", "report", "sweep"]
+        vec!["asm", "compare", "dse", "list", "quantize", "report", "sweep"]
     );
 }

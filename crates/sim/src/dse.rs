@@ -10,10 +10,11 @@
 //! parallel operation:
 //!
 //! * **grid semantics** — a [`DseSpec`] crosses an [`ArchGrid`] (rows ×
-//!   cols × scratchpad capacities × DRAM bandwidth) with a model list and
-//!   batch sizes. Points are enumerated in a deterministic nested order
-//!   (models, then batches, then grid configurations with bandwidth
-//!   innermost);
+//!   cols × scratchpad capacities × DRAM bandwidth) with a model list,
+//!   quantization policies ([`QuantSpec`] — the axis the paper is about),
+//!   and batch sizes. Points are enumerated in a deterministic nested
+//!   order (models, then quant specs, then batches, then grid
+//!   configurations with bandwidth innermost);
 //! * **memoized compilation** — compilation depends only on
 //!   `(model, batch, geometry, buffers)`, *not* on bandwidth or frequency,
 //!   and dominates sweep cost. The engine resolves each unique key through
@@ -43,6 +44,7 @@ use bitfusion_compiler::{ArtifactCache, ArtifactKey, CachedPlan, CompileError};
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_core::grid::ArchGrid;
 use bitfusion_dnn::model::Model;
+use bitfusion_dnn::quantspec::QuantSpec;
 use bitfusion_dnn::zoo::Benchmark;
 use bitfusion_energy::{ChipArea, FusionEnergy};
 
@@ -58,6 +60,9 @@ pub struct DseSpec {
     pub grid: ArchGrid,
     /// Networks to run at every grid point.
     pub models: Vec<Model>,
+    /// Quantization policies each network runs under (applied on top of
+    /// its paper assignment; [`QuantSpec::paper`] keeps it).
+    pub quant_specs: Vec<QuantSpec>,
     /// Batch sizes to run each network at.
     pub batches: Vec<u64>,
     /// Calibration knobs shared by every evaluation.
@@ -65,19 +70,21 @@ pub struct DseSpec {
 }
 
 impl DseSpec {
-    /// A spec covering the full eight-network zoo on `grid` at `batches`.
+    /// A spec covering the full eight-network zoo on `grid` at `batches`,
+    /// at the paper quantization.
     pub fn zoo(grid: ArchGrid, batches: Vec<u64>) -> Self {
         DseSpec {
             grid,
             models: Benchmark::ALL.iter().map(|b| b.model()).collect(),
+            quant_specs: vec![QuantSpec::paper()],
             batches,
             options: SimOptions::default(),
         }
     }
 
-    /// Total points (grid size × models × batches).
+    /// Total points (grid size × models × quant specs × batches).
     pub fn len(&self) -> usize {
-        self.grid.len() * self.models.len() * self.batches.len()
+        self.grid.len() * self.models.len() * self.quant_specs.len() * self.batches.len()
     }
 
     /// Whether the spec enumerates no points.
@@ -85,7 +92,9 @@ impl DseSpec {
         self.len() == 0
     }
 
-    /// Workloads (model × batch combinations) per architecture.
+    /// Workloads (model × batch combinations) per architecture and quant
+    /// spec — the unit over which (architecture, quantization) candidates
+    /// are aggregated and compared.
     pub fn workloads(&self) -> usize {
         self.models.len() * self.batches.len()
     }
@@ -98,6 +107,8 @@ pub struct DsePoint {
     pub arch: ArchConfig,
     /// Network name.
     pub model_name: String,
+    /// Quantization policy the network ran under (canonical spelling).
+    pub quant: String,
     /// Batch size.
     pub batch: u64,
     /// Full simulation result (per-layer detail, stall attribution).
@@ -127,6 +138,8 @@ pub struct InfeasiblePoint {
     pub arch: ArchConfig,
     /// Network name.
     pub model_name: String,
+    /// Quantization policy of the failed point.
+    pub quant: String,
     /// Batch size.
     pub batch: u64,
     /// Why the point is infeasible.
@@ -138,6 +151,9 @@ pub struct InfeasiblePoint {
 pub enum PointError {
     /// The grid point fails [`ArchConfig::validate`].
     InvalidConfig(bitfusion_core::error::CoreError),
+    /// The quant spec does not apply to the network (a layer override
+    /// naming no layer of it).
+    Quant(String),
     /// The network does not compile onto the configuration.
     Compile(CompileError),
 }
@@ -146,16 +162,20 @@ impl std::fmt::Display for PointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PointError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            PointError::Quant(e) => write!(f, "quantization failed: {e}"),
             PointError::Compile(e) => write!(f, "compilation failed: {e}"),
         }
     }
 }
 
-/// Aggregate of one architecture over every workload in the spec.
+/// Aggregate of one (architecture, quantization) candidate over every
+/// workload in the spec.
 #[derive(Debug, Clone)]
 pub struct ArchSummary {
     /// The architecture.
     pub arch: ArchConfig,
+    /// Quantization policy of this candidate (canonical spelling).
+    pub quant: String,
     /// Whole-chip area in mm².
     pub area_mm2: f64,
     /// Cycles summed over all workloads.
@@ -173,6 +193,9 @@ pub struct ArchSummary {
 impl ArchSummary {
     /// Whether `self` Pareto-dominates `other`: no worse on every minimized
     /// axis (cycles, energy, area) and strictly better on at least one.
+    /// Candidates are (architecture, quantization) pairs, so a
+    /// heterogeneous-bitwidth policy can dominate a uniform one on the
+    /// same silicon (same area, fewer cycles, less energy).
     pub fn dominates(&self, other: &ArchSummary) -> bool {
         let no_worse = self.total_cycles <= other.total_cycles
             && self.total_energy_pj <= other.total_energy_pj
@@ -208,15 +231,17 @@ pub struct DseResult {
 }
 
 impl DseResult {
-    /// Per-architecture aggregates over the workload suite, in grid order.
+    /// Per-(architecture, quantization) aggregates over the workload
+    /// suite, in point order (models outermost, bandwidth innermost).
     pub fn arch_summaries(&self) -> Vec<ArchSummary> {
         let mut order: Vec<ArchSummary> = Vec::new();
-        let mut index: HashMap<ArchKey, usize> = HashMap::new();
+        let mut index: HashMap<(ArchKey, String), usize> = HashMap::new();
         for p in &self.points {
-            let key = ArchKey::of(&p.arch);
+            let key = (ArchKey::of(&p.arch), p.quant.clone());
             let i = *index.entry(key).or_insert_with(|| {
                 order.push(ArchSummary {
                     arch: p.arch.clone(),
+                    quant: p.quant.clone(),
                     area_mm2: p.area_mm2,
                     total_cycles: 0,
                     total_energy_pj: 0.0,
@@ -259,8 +284,8 @@ impl DseResult {
     }
 
     /// The Pareto frontier over (total cycles, total energy, area):
-    /// non-dominated architectures that completed the full workload suite,
-    /// in grid order.
+    /// non-dominated (architecture, quantization) candidates that
+    /// completed the full workload suite, in summary order.
     pub fn pareto_frontier(&self) -> Vec<ArchSummary> {
         let complete: Vec<ArchSummary> = self
             .arch_summaries()
@@ -273,15 +298,109 @@ impl DseResult {
             .cloned()
             .collect()
     }
+
+    /// Per-(model, quantization) aggregates over every architecture and
+    /// batch, in point order — the projection that compares quantization
+    /// policies per network.
+    pub fn quant_summaries(&self) -> Vec<QuantSummary> {
+        let mut order: Vec<QuantSummary> = Vec::new();
+        let mut index: HashMap<(String, String), usize> = HashMap::new();
+        for p in &self.points {
+            let key = (p.model_name.clone(), p.quant.clone());
+            let i = *index.entry(key).or_insert_with(|| {
+                order.push(QuantSummary {
+                    model: p.model_name.clone(),
+                    quant: p.quant.clone(),
+                    total_cycles: 0,
+                    total_energy_pj: 0.0,
+                    workloads: 0,
+                });
+                order.len() - 1
+            });
+            let s = &mut order[i];
+            s.total_cycles += p.cycles();
+            s.total_energy_pj += p.energy_pj();
+            s.workloads += 1;
+        }
+        order
+    }
+
+    /// Per-network speedup of every quantization against `baseline`
+    /// (e.g. `uniform8`): `baseline cycles / candidate cycles` summed over
+    /// the same architectures and batches. Entries keep summary order;
+    /// the baseline itself and any (model, quant) pair whose evaluated
+    /// workload set differs from the baseline's (an infeasible corner on
+    /// one side would skew the ratio) are omitted.
+    pub fn quant_speedups_vs(&self, baseline: &str) -> Vec<QuantSpeedup> {
+        let summaries = self.quant_summaries();
+        let mut out = Vec::new();
+        for s in &summaries {
+            if s.quant == baseline {
+                continue;
+            }
+            let Some(base) = summaries
+                .iter()
+                .find(|b| b.quant == baseline && b.model == s.model)
+            else {
+                continue;
+            };
+            if base.workloads != s.workloads || s.total_cycles == 0 {
+                continue;
+            }
+            out.push(QuantSpeedup {
+                model: s.model.clone(),
+                quant: s.quant.clone(),
+                speedup: base.total_cycles as f64 / s.total_cycles as f64,
+                energy_ratio: if s.total_energy_pj > 0.0 {
+                    base.total_energy_pj / s.total_energy_pj
+                } else {
+                    1.0
+                },
+            });
+        }
+        out
+    }
+}
+
+/// Aggregate of one (model, quantization) pair over every architecture
+/// and batch of an exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSummary {
+    /// Network name.
+    pub model: String,
+    /// Quantization policy (canonical spelling).
+    pub quant: String,
+    /// Cycles summed over every evaluated (architecture, batch).
+    pub total_cycles: u64,
+    /// Energy summed over every evaluated (architecture, batch), in pJ.
+    pub total_energy_pj: f64,
+    /// Points aggregated.
+    pub workloads: usize,
+}
+
+/// One entry of [`DseResult::quant_speedups_vs`]: how much faster (and
+/// how much less energy) a quantization policy is than the baseline on
+/// one network — the paper's heterogeneous-vs-fixed-bitwidth benefit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSpeedup {
+    /// Network name.
+    pub model: String,
+    /// The candidate quantization policy.
+    pub quant: String,
+    /// `baseline cycles / candidate cycles` (> 1 means faster).
+    pub speedup: f64,
+    /// `baseline energy / candidate energy` (> 1 means less energy).
+    pub energy_ratio: f64,
 }
 
 /// In-run compile identity: the same fields as
-/// [`ArtifactKey`] but with the model as a spec index, so
-/// per-point dedup never re-fingerprints a model. Only the unique keys are
-/// promoted to full [`ArtifactKey`]s when they touch the shared cache.
+/// [`ArtifactKey`] but with the quantized model variant as a spec index
+/// (model × quant spec), so per-point dedup never re-fingerprints a
+/// model. Only the unique keys are promoted to full [`ArtifactKey`]s when
+/// they touch the shared cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct LocalKey {
-    model: usize,
+    variant: usize,
     batch: u64,
     rows: usize,
     cols: usize,
@@ -292,9 +411,9 @@ struct LocalKey {
 }
 
 impl LocalKey {
-    fn of(model: usize, batch: u64, arch: &ArchConfig) -> Self {
+    fn of(variant: usize, batch: u64, arch: &ArchConfig) -> Self {
         LocalKey {
-            model,
+            variant,
             batch,
             rows: arch.rows,
             cols: arch.cols,
@@ -372,43 +491,66 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
     let energy = FusionEnergy::isca_45nm();
     let opts = spec.options;
 
-    // Point enumeration, deterministic: models → batches → grid order.
+    // Quantized model variants, model-major: variant v = model m under
+    // quant spec q, at index m × |quants| + q. A spec that does not apply
+    // to a model (layer override naming nothing) marks every point of the
+    // variant infeasible rather than aborting the sweep.
+    let nquants = spec.quant_specs.len();
+    let quant_names: Vec<String> = spec.quant_specs.iter().map(QuantSpec::to_string).collect();
+    let variants: Vec<Result<Model, String>> = spec
+        .models
+        .iter()
+        .flat_map(|m| spec.quant_specs.iter().map(|q| q.apply(m)))
+        .collect();
+
+    // Point enumeration, deterministic: models → quant specs → batches →
+    // grid order.
     struct PointRef {
-        model: usize,
+        variant: usize,
         batch: u64,
         arch: usize,
     }
     let mut point_refs: Vec<PointRef> = Vec::with_capacity(spec.len());
-    for model in 0..spec.models.len() {
+    for variant in 0..variants.len() {
         for &batch in &spec.batches {
             for arch in 0..archs.len() {
-                point_refs.push(PointRef { model, batch, arch });
+                point_refs.push(PointRef {
+                    variant,
+                    batch,
+                    arch,
+                });
             }
         }
     }
+    let feasible = |p: &PointRef| {
+        archs[p.arch].validate().is_ok() && variants[p.variant].is_ok()
+    };
 
-    // Phase 1: resolve each unique (model, batch, compile-relevant arch
+    // Phase 1: resolve each unique (variant, batch, compile-relevant arch
     // fields) key — from the shared cache when resident, compiling exactly
-    // once otherwise, sharded across the pool. Invalid configs are filtered
-    // here so compilation never sees them.
+    // once otherwise, sharded across the pool. Invalid configs and failed
+    // quantizations are filtered here so compilation never sees them.
     let mut key_index: HashMap<LocalKey, usize> = HashMap::new();
     let mut unique: Vec<(LocalKey, usize)> = Vec::new(); // key + an arch index
     for p in &point_refs {
-        let arch = &archs[p.arch];
-        if arch.validate().is_err() {
+        if !feasible(p) {
             continue;
         }
-        let key = LocalKey::of(p.model, p.batch, arch);
+        let key = LocalKey::of(p.variant, p.batch, &archs[p.arch]);
         key_index.entry(key).or_insert_with(|| {
             unique.push((key, p.arch));
             unique.len() - 1
         });
     }
-    // One fingerprint per model, not one per (model, geometry) key.
-    let fingerprints: Vec<u64> = spec
-        .models
+    // One fingerprint per variant, not one per (variant, geometry) key.
+    // The fingerprint covers precisions, so two quantizations of the same
+    // network can never alias one artifact.
+    let fingerprints: Vec<u64> = variants
         .iter()
-        .map(bitfusion_compiler::cache::fingerprint)
+        .map(|v| match v {
+            Ok(m) => bitfusion_compiler::cache::fingerprint(m),
+            Err(_) => 0,
+        })
         .collect();
     let mut plans: Vec<Option<CachedPlan>> = vec![None; unique.len()];
     let mut akeys: Vec<ArtifactKey> = Vec::with_capacity(unique.len());
@@ -416,9 +558,10 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
     let mut aliases: Vec<(usize, usize)> = Vec::new(); // (duplicate, canonical)
     let mut missing: Vec<usize> = Vec::new(); // indices into `unique`
     for (i, (key, arch_idx)) in unique.iter().enumerate() {
+        let model = variants[key.variant].as_ref().expect("feasible variant");
         let akey = ArtifactKey::with_fingerprint(
-            &spec.models[key.model].name,
-            fingerprints[key.model],
+            &model.name,
+            fingerprints[key.variant],
             &archs[*arch_idx],
             key.batch,
         );
@@ -426,7 +569,8 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
         match canonical.entry(akey) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 // Two spec entries resolving to one artifact (e.g. the same
-                // model listed twice): alias, never compile it twice.
+                // model listed twice, or two quant specs assigning the same
+                // precisions): alias, never compile it twice.
                 aliases.push((i, *e.get()));
                 continue;
             }
@@ -443,7 +587,7 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
     let compiled: Vec<CachedPlan> = map_indexed(missing.len(), workers, |m| {
         let (key, arch_idx) = unique[missing[m]];
         CachedPlan::new(bitfusion_compiler::compile(
-            &spec.models[key.model],
+            variants[key.variant].as_ref().expect("feasible variant"),
             &archs[arch_idx],
             key.batch,
         ))
@@ -458,11 +602,7 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
     let compile_unique = canonical.len() as u64;
     let plans: Vec<CachedPlan> = plans.into_iter().map(|p| p.expect("resolved")).collect();
     let compile_misses = missing.len() as u64;
-    let compile_hits = point_refs
-        .iter()
-        .filter(|p| archs[p.arch].validate().is_ok())
-        .count() as u64
-        - compile_misses;
+    let compile_hits = point_refs.iter().filter(|p| feasible(p)).count() as u64 - compile_misses;
 
     // Phase 2: evaluate every point against its cached plan.
     enum Outcome {
@@ -472,21 +612,36 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
     let outcomes = map_indexed(point_refs.len(), workers, |i| {
         let p = &point_refs[i];
         let arch = &archs[p.arch];
-        let model = &spec.models[p.model];
+        let base = &spec.models[p.variant / nquants];
+        let quant = &quant_names[p.variant % nquants];
         if let Err(e) = arch.validate() {
             return Outcome::Infeasible(Box::new(InfeasiblePoint {
                 arch: arch.clone(),
-                model_name: model.name.clone(),
+                model_name: base.name.clone(),
+                quant: quant.clone(),
                 batch: p.batch,
                 error: PointError::InvalidConfig(e),
             }));
         }
-        let key = LocalKey::of(p.model, p.batch, arch);
+        let model = match &variants[p.variant] {
+            Ok(m) => m,
+            Err(e) => {
+                return Outcome::Infeasible(Box::new(InfeasiblePoint {
+                    arch: arch.clone(),
+                    model_name: base.name.clone(),
+                    quant: quant.clone(),
+                    batch: p.batch,
+                    error: PointError::Quant(e.clone()),
+                }))
+            }
+        };
+        let key = LocalKey::of(p.variant, p.batch, arch);
         let plan = &plans[key_index[&key]];
         match plan.as_ref() {
             Err(e) => Outcome::Infeasible(Box::new(InfeasiblePoint {
                 arch: arch.clone(),
                 model_name: model.name.clone(),
+                quant: quant.clone(),
                 batch: p.batch,
                 error: PointError::Compile(e.clone()),
             })),
@@ -505,6 +660,7 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
                 Outcome::Ok(Box::new(DsePoint {
                     arch: arch.clone(),
                     model_name: model.name.clone(),
+                    quant: quant.clone(),
                     batch: p.batch,
                     report,
                     area_mm2,
@@ -548,6 +704,7 @@ mod tests {
         DseSpec {
             grid,
             models: vec![Benchmark::Lstm.model(), Benchmark::Rnn.model()],
+            quant_specs: vec![QuantSpec::paper()],
             batches: vec![1, 16],
             options: SimOptions::default(),
         }
@@ -594,6 +751,7 @@ mod tests {
         let spec = DseSpec {
             grid,
             models: vec![Benchmark::Rnn.model(), Benchmark::Rnn.model()],
+            quant_specs: vec![QuantSpec::paper()],
             batches: vec![4],
             options: SimOptions::default(),
         };
@@ -660,6 +818,7 @@ mod tests {
         let spec = DseSpec {
             grid,
             models: vec![Benchmark::Rnn.model()],
+            quant_specs: vec![QuantSpec::paper()],
             batches: vec![1],
             options: SimOptions::default(),
         };
@@ -683,6 +842,7 @@ mod tests {
         let spec = DseSpec {
             grid,
             models: vec![Benchmark::Svhn.model()],
+            quant_specs: vec![QuantSpec::paper()],
             batches: vec![4],
             options: SimOptions::default(),
         };
@@ -706,6 +866,7 @@ mod tests {
         let spec = DseSpec {
             grid,
             models: vec![Benchmark::Lstm.model()],
+            quant_specs: vec![QuantSpec::paper()],
             batches: vec![1],
             options: SimOptions::default(),
         };
@@ -719,6 +880,164 @@ mod tests {
     }
 
     #[test]
+    fn quant_axis_orders_points_and_splits_artifacts() {
+        let spec = DseSpec {
+            grid: ArchGrid::from_base(ArchConfig::isca_45nm()),
+            models: vec![Benchmark::Lstm.model()],
+            quant_specs: vec![
+                QuantSpec::paper(),
+                QuantSpec::parse("uniform8").unwrap(),
+                QuantSpec::parse("uniform16").unwrap(),
+            ],
+            batches: vec![1],
+            options: SimOptions::default(),
+        };
+        assert_eq!(spec.len(), 3);
+        let result = explore(&spec, &AnalyticBackend, 1);
+        assert_eq!(result.points.len(), 3);
+        assert_eq!(
+            result.compile_unique, 3,
+            "each quantization is its own artifact (fingerprint covers precisions)"
+        );
+        let quants: Vec<&str> = result.points.iter().map(|p| p.quant.as_str()).collect();
+        assert_eq!(quants, ["paper", "uniform8", "uniform16"], "spec order");
+        // Fewer bits never cost cycles: paper (4/4) <= uniform8 <= uniform16.
+        let cycles: Vec<u64> = result.points.iter().map(DsePoint::cycles).collect();
+        assert!(cycles[0] <= cycles[1], "{cycles:?}");
+        assert!(cycles[1] < cycles[2], "{cycles:?}");
+    }
+
+    #[test]
+    fn quant_points_are_identical_for_any_worker_count() {
+        let spec = DseSpec {
+            grid: ArchGrid {
+                dram_bits_per_cycle: vec![64, 128],
+                ..ArchGrid::from_base(ArchConfig::isca_45nm())
+            },
+            models: vec![Benchmark::Lstm.model(), Benchmark::Rnn.model()],
+            quant_specs: vec![QuantSpec::paper(), QuantSpec::parse("uniform8").unwrap()],
+            batches: vec![1, 4],
+            options: SimOptions::default(),
+        };
+        let sequential = explore(&spec, &AnalyticBackend, 1);
+        assert_eq!(sequential.points.len(), spec.len());
+        for workers in [2, 5] {
+            let parallel = explore(&spec, &AnalyticBackend, workers);
+            assert_eq!(sequential.points.len(), parallel.points.len());
+            for (a, b) in sequential.points.iter().zip(&parallel.points) {
+                assert_eq!(a.quant, b.quant, "{workers} workers");
+                assert_eq!(a.report, b.report, "{}/{}", a.model_name, a.quant);
+            }
+            assert_eq!(
+                sequential.quant_speedups_vs("uniform8"),
+                parallel.quant_speedups_vs("uniform8")
+            );
+        }
+    }
+
+    #[test]
+    fn quant_speedups_report_the_heterogeneous_benefit() {
+        let spec = DseSpec {
+            grid: ArchGrid::from_base(ArchConfig::isca_45nm()),
+            models: vec![Benchmark::Lstm.model(), Benchmark::Svhn.model()],
+            quant_specs: vec![
+                QuantSpec::paper(),
+                QuantSpec::parse("uniform8").unwrap(),
+                QuantSpec::parse("uniform16").unwrap(),
+            ],
+            batches: vec![4],
+            options: SimOptions::default(),
+        };
+        let result = explore(&spec, &AnalyticBackend, 2);
+        let speedups = result.quant_speedups_vs("uniform8");
+        // Two models × two non-baseline quants, model-major order.
+        let labels: Vec<(&str, &str)> = speedups
+            .iter()
+            .map(|s| (s.model.as_str(), s.quant.as_str()))
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                ("LSTM", "paper"),
+                ("LSTM", "uniform16"),
+                ("SVHN", "paper"),
+                ("SVHN", "uniform16"),
+            ]
+        );
+        for s in &speedups {
+            match s.quant.as_str() {
+                // The paper's point: per-layer bitwidths beat a fixed
+                // 8-bit datapath...
+                "paper" => assert!(s.speedup >= 1.0, "{}: {}", s.model, s.speedup),
+                // ...and a fixed 16-bit datapath is strictly worse.
+                "uniform16" => assert!(s.speedup < 1.0, "{}: {}", s.model, s.speedup),
+                other => panic!("{other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_quant_specs_alias_one_artifact() {
+        // LSTM's paper assignment is uniform 4/4, so spelling it as a
+        // uniform spec resolves to the same fingerprint and artifact.
+        let spec = DseSpec {
+            grid: ArchGrid::from_base(ArchConfig::isca_45nm()),
+            models: vec![Benchmark::Lstm.model()],
+            quant_specs: vec![QuantSpec::paper(), QuantSpec::parse("uniform4").unwrap()],
+            batches: vec![1],
+            options: SimOptions::default(),
+        };
+        let result = explore(&spec, &AnalyticBackend, 1);
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.compile_unique, 1);
+        assert_eq!(result.spec_compile_hits(), 1);
+        assert_eq!(result.points[0].report, result.points[1].report);
+    }
+
+    #[test]
+    fn failed_quant_spec_is_infeasible_not_fatal() {
+        let spec = DseSpec {
+            grid: ArchGrid::from_base(ArchConfig::isca_45nm()),
+            models: vec![Benchmark::Lstm.model(), Benchmark::Rnn.model()],
+            quant_specs: vec![
+                QuantSpec::paper(),
+                // Matches RNN but not LSTM: half the axis fails.
+                QuantSpec::parse("layer:rnn1=8/8").unwrap(),
+            ],
+            batches: vec![1],
+            options: SimOptions::default(),
+        };
+        let result = explore(&spec, &AnalyticBackend, 1);
+        assert_eq!(result.points.len(), 3);
+        assert_eq!(result.infeasible.len(), 1);
+        let bad = &result.infeasible[0];
+        assert_eq!(bad.model_name, "LSTM");
+        assert!(matches!(&bad.error, PointError::Quant(e) if e.contains("rnn1")));
+        // Quant failures never reach the compiler.
+        assert_eq!(result.compilable_points(), 3);
+        assert_eq!(result.compile_unique, 3);
+    }
+
+    #[test]
+    fn frontier_prefers_dominating_quantization_on_the_same_silicon() {
+        let spec = DseSpec {
+            grid: ArchGrid::from_base(ArchConfig::isca_45nm()),
+            models: vec![Benchmark::Lstm.model()],
+            quant_specs: vec![QuantSpec::paper(), QuantSpec::parse("uniform16").unwrap()],
+            batches: vec![4],
+            options: SimOptions::default(),
+        };
+        let result = explore(&spec, &AnalyticBackend, 1);
+        let summaries = result.arch_summaries();
+        assert_eq!(summaries.len(), 2, "one candidate per quantization");
+        let frontier = result.pareto_frontier();
+        // Same chip, but the heterogeneous assignment needs fewer cycles
+        // and less energy: uniform16 is dominated off the frontier.
+        assert_eq!(frontier.len(), 1, "{frontier:?}");
+        assert_eq!(frontier[0].quant, "paper");
+    }
+
+    #[test]
     fn zoo_spec_covers_all_networks() {
         let spec = DseSpec::zoo(
             ArchGrid::from_base(ArchConfig::isca_45nm()),
@@ -729,3 +1048,4 @@ mod tests {
         assert!(!spec.is_empty());
     }
 }
+

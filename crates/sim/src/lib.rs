@@ -52,7 +52,7 @@ pub use event::EventBackend;
 pub use stats::{BufferOccupancy, LayerPerf, PerfReport, StallBreakdown};
 pub use dse::{
     explore, explore_with_cache, ArchSummary, DsePoint, DseResult, DseSpec, InfeasiblePoint,
-    PointError,
+    PointError, QuantSpeedup, QuantSummary,
 };
 pub use sweep::{
     bandwidth_sweep, bandwidth_sweep_cached, bandwidth_sweep_with, batch_sweep,

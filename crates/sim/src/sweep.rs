@@ -18,6 +18,7 @@ use bitfusion_compiler::ArtifactCache;
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_core::grid::ArchGrid;
 use bitfusion_dnn::model::Model;
+use bitfusion_dnn::quantspec::QuantSpec;
 
 use crate::backend::{AnalyticBackend, SimBackend};
 use crate::dse::{explore_with_cache, DseSpec, PointError};
@@ -95,6 +96,9 @@ fn sweep_view<B: SimBackend + Sync, T>(
             PointError::InvalidConfig(e) => {
                 bitfusion_compiler::CompileError::InvalidArch(e.clone())
             }
+            // Sweeps always run at the paper quantization, which applies
+            // to every model.
+            PointError::Quant(e) => unreachable!("paper quantization failed: {e}"),
         });
     }
     Ok(Sweep {
@@ -164,6 +168,7 @@ pub fn bandwidth_sweep_cached<B: SimBackend + Sync>(
             ..ArchGrid::from_base(base_arch.clone())
         },
         models: vec![model.clone()],
+        quant_specs: vec![QuantSpec::paper()],
         batches: vec![batch],
         options,
     };
@@ -223,6 +228,7 @@ pub fn batch_sweep_cached<B: SimBackend + Sync>(
     let spec = DseSpec {
         grid: ArchGrid::from_base(arch.clone()),
         models: vec![model.clone()],
+        quant_specs: vec![QuantSpec::paper()],
         batches: batches.to_vec(),
         options,
     };

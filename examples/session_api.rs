@@ -18,6 +18,7 @@ fn main() {
         bandwidth: None,
         arch: ArchPreset::Isca45nm,
         backend: None,
+        quant: None,
     };
     // ...or parsed from the same wire form `serve` reads from stdin.
     assert_eq!(
@@ -44,6 +45,7 @@ fn main() {
         benchmark: "lstm".into(),
         axis: SweepAxis::Bandwidth,
         backend: None,
+        quant: None,
     }) {
         Response::Sweep(s) => {
             print!("sweep   {} vs {} b/cyc:", s.benchmark, s.baseline);
@@ -52,6 +54,26 @@ fn main() {
             }
             println!();
         }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // A mixed-precision what-if: the same network forced onto a uniform
+    // 8-bit datapath. Its artifact is distinct (precision is part of the
+    // model fingerprint), and it can only be slower.
+    match session.handle(&Request::Report {
+        benchmark: "lstm".into(),
+        batch: 16,
+        bandwidth: None,
+        arch: ArchPreset::Isca45nm,
+        backend: None,
+        quant: Some("uniform8".into()),
+    }) {
+        Response::Report(r) => println!(
+            "quant   {} under {}: {} cycles",
+            r.benchmark,
+            r.quant.as_deref().unwrap_or("paper"),
+            r.cycles
+        ),
         other => panic!("unexpected response: {other:?}"),
     }
 

@@ -23,8 +23,11 @@ use std::env;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use bitfusion::dnn::QuantSpec;
 use bitfusion::energy::TechNode;
-use bitfusion::service::protocol::{ArchPreset, BackendChoice, DseParams, SweepAxis};
+use bitfusion::service::protocol::{
+    quant_spec_from_json, ArchPreset, BackendChoice, DseParams, SweepAxis,
+};
 use bitfusion::service::{render, serve, Request, Response, Session};
 use bitfusion::sim::SimOptions;
 
@@ -32,19 +35,29 @@ fn usage() -> &'static str {
     "bitfusion-cli — Bit Fusion (ISCA 2018) reproduction driver
 
 USAGE:
-  bitfusion-cli list    [--json]
-  bitfusion-cli report  <benchmark> [--batch N] [--bandwidth BITS] [--arch 45nm|16nm|stripes]
-                        [--backend analytic|event] [--json] [calibration]
-  bitfusion-cli compare <benchmark> [--batch N] [--backend analytic|event] [--json] [calibration]
-  bitfusion-cli asm     <benchmark> [--layer NAME] [--batch N] [--arch 45nm|16nm|stripes] [--json]
-  bitfusion-cli sweep   <benchmark> (--batch | --bandwidth) [--backend analytic|event]
-                        [--json] [calibration]
-  bitfusion-cli dse     [--rows LIST] [--cols LIST] [--ibuf-kb LIST] [--wbuf-kb LIST]
-                        [--obuf-kb LIST] [--bandwidth LIST] [--batch LIST]
-                        [--networks all|name,name] [--workers N]
-                        [--backend analytic|event] [--json] [calibration]
-  bitfusion-cli serve   [--workers N] [--cache-capacity N] [--backend analytic|event]
-                        [calibration]
+  bitfusion-cli list     [--json]
+  bitfusion-cli report   <benchmark> [--batch N] [--bandwidth BITS] [--arch 45nm|16nm|stripes]
+                         [--backend analytic|event] [--quant SPEC] [--json] [calibration]
+  bitfusion-cli compare  <benchmark> [--batch N] [--backend analytic|event] [--quant SPEC]
+                         [--json] [calibration]
+  bitfusion-cli asm      <benchmark> [--layer NAME] [--batch N] [--arch 45nm|16nm|stripes] [--json]
+  bitfusion-cli sweep    <benchmark> (--batch | --bandwidth) [--backend analytic|event]
+                         [--quant SPEC] [--json] [calibration]
+  bitfusion-cli quantize <benchmark> [--quant SPEC] [--json]
+  bitfusion-cli dse      [--rows LIST] [--cols LIST] [--ibuf-kb LIST] [--wbuf-kb LIST]
+                         [--obuf-kb LIST] [--bandwidth LIST] [--batch LIST]
+                         [--quant SPEC,SPEC] [--networks all|name,name] [--workers N]
+                         [--backend analytic|event] [--json] [calibration]
+  bitfusion-cli serve    [--workers N] [--cache-capacity N] [--backend analytic|event]
+                         [calibration]
+
+quantization SPEC (per-layer bitwidth policies, applied over the paper's
+Table II assignment):
+  paper | uniform1|2|4|8|16 | a clause list like default=4/1,conv=2/2,layer:fc8=8/8
+  | a path to a .json spec file ({\"preset\":\"uniform8\"} or
+  {\"default\":\"4/1\",\"kinds\":[{\"kind\":\"conv\",\"precision\":\"2/2\"}],...}).
+  `dse --quant` takes a comma list of presets/files and explores them as an
+  axis, reporting per-network speedups vs uniform8.
 
 calibration (threaded through the session's SimOptions):
   --systolic-efficiency F   fraction of peak systolic throughput (default 0.85)
@@ -135,6 +148,22 @@ impl<'a> Flags<'a> {
     fn unknown(&self, flag: &str) -> UsageError {
         self.err(format!("unknown flag `{flag}`"))
     }
+
+    /// Resolves one `--quant` value to its canonical compact spelling: a
+    /// preset/clause-list spelling parsed directly, or a `.json` spec file
+    /// read from disk.
+    fn quant_value(&mut self, value: &str) -> Result<String, UsageError> {
+        let spec = if value.ends_with(".json") {
+            let text = std::fs::read_to_string(value)
+                .map_err(|e| self.err(format!("--quant: cannot read `{value}`: {e}")))?;
+            let doc = bitfusion::service::json::parse(&text)
+                .map_err(|e| self.err(format!("--quant: `{value}` is not valid JSON: {e}")))?;
+            quant_spec_from_json(&doc).map_err(|e| self.err(format!("--quant `{value}`: {e}")))?
+        } else {
+            QuantSpec::parse(value).map_err(|e| self.err(format!("--quant: {e}")))?
+        };
+        Ok(spec.to_string())
+    }
 }
 
 /// Everything a parsed invocation needs to run.
@@ -148,6 +177,8 @@ struct Invocation {
     backend: Option<BackendChoice>,
 }
 
+// One Mode lives per process; the Request-sized variant is not worth a Box.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Mode {
     OneShot(Request),
@@ -219,6 +250,7 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
     let mut arch = ArchPreset::default();
     let mut layer: Option<String> = None;
     let mut sweep_axis: Option<SweepAxis> = None;
+    let mut quant: Option<String> = None;
     let mut dse = DseParams::default();
     let mut workers: usize = 0;
     let mut cache_capacity: Option<usize> = None;
@@ -260,6 +292,27 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
             ("asm", "--layer") => layer = Some(flags.value("--layer")?.to_string()),
             ("sweep", "--batch") => sweep_axis = Some(SweepAxis::Batch),
             ("sweep", "--bandwidth") => sweep_axis = Some(SweepAxis::Bandwidth),
+            ("report", "--quant") | ("compare", "--quant") | ("sweep", "--quant")
+            | ("quantize", "--quant") => {
+                let v = flags.value("--quant")?.to_string();
+                quant = Some(flags.quant_value(&v)?);
+            }
+            ("dse", "--quant") => {
+                let v = flags.value("--quant")?.to_string();
+                let mut quants = Vec::new();
+                for entry in v.split(',') {
+                    if entry.contains('=') {
+                        return Err(flags.err(format!(
+                            "--quant: clause-list specs (`{entry}`) are ambiguous in a comma \
+                             list; put the spec in a .json file instead"
+                        )));
+                    }
+                    quants.push(flags.quant_value(entry.trim())?);
+                }
+                // split(',') always yields at least one entry, and an empty
+                // entry already failed inside quant_value.
+                dse.quants = quants;
+            }
             ("dse", "--rows") => dse.rows = flags.list("--rows")?,
             ("dse", "--cols") => dse.cols = flags.list("--cols")?,
             ("dse", "--ibuf-kb") => dse.ibuf_kb = flags.list("--ibuf-kb")?,
@@ -318,11 +371,13 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
             bandwidth,
             arch,
             backend,
+            quant,
         }),
         "compare" => Mode::OneShot(Request::Compare {
             benchmark: benchmark(&positional)?,
             batch: batch.unwrap_or(16),
             backend,
+            quant,
         }),
         "asm" => Mode::OneShot(Request::Asm {
             benchmark: benchmark(&positional)?,
@@ -336,6 +391,11 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
                 UsageError::new(subcommand, "`sweep` needs an axis: --batch or --bandwidth")
             })?,
             backend,
+            quant,
+        }),
+        "quantize" => Mode::OneShot(Request::Quantize {
+            benchmark: benchmark(&positional)?,
+            quant,
         }),
         "dse" => {
             no_positional(&positional)?;
@@ -464,6 +524,7 @@ mod tests {
             bandwidth,
             arch,
             backend,
+            quant,
         }) = inv.mode
         else {
             panic!("expected report");
@@ -473,6 +534,40 @@ mod tests {
         assert_eq!(bandwidth, Some(256));
         assert_eq!(arch, ArchPreset::Gpu16nm);
         assert_eq!(backend, Some(BackendChoice::Event));
+        assert_eq!(quant, None);
+    }
+
+    #[test]
+    fn quant_flags_canonicalize_and_validate() {
+        let inv = parse_invocation(&argv(&["report", "lstm", "--quant", "default=8/8"])).unwrap();
+        let Mode::OneShot(Request::Report { quant, .. }) = inv.mode else {
+            panic!("expected report");
+        };
+        assert_eq!(quant.as_deref(), Some("uniform8"), "canonical spelling");
+
+        let inv = parse_invocation(&argv(&["quantize", "svhn", "--quant", "uniform16"])).unwrap();
+        let Mode::OneShot(Request::Quantize { benchmark, quant }) = inv.mode else {
+            panic!("expected quantize");
+        };
+        assert_eq!(benchmark, "svhn");
+        assert_eq!(quant.as_deref(), Some("uniform16"));
+
+        let e = parse_invocation(&argv(&["report", "lstm", "--quant", "uniform9"])).unwrap_err();
+        assert!(e.message.contains("uniform9"), "{}", e.message);
+
+        // dse takes a comma list of presets/files...
+        let inv = parse_invocation(&argv(&["dse", "--quant", "paper,uniform8"])).unwrap();
+        let Mode::OneShot(Request::Dse(p)) = inv.mode else {
+            panic!("expected dse");
+        };
+        assert_eq!(p.quants, vec!["paper".to_string(), "uniform8".to_string()]);
+        // ...but rejects ambiguous inline clause lists.
+        let e = parse_invocation(&argv(&["dse", "--quant", "default=4/1,conv=2/2"])).unwrap_err();
+        assert!(e.message.contains(".json"), "{}", e.message);
+
+        // quantize takes no backend/calibration flags.
+        let e = parse_invocation(&argv(&["quantize", "lstm", "--backend", "event"])).unwrap_err();
+        assert!(e.message.contains("--backend"), "{}", e.message);
     }
 
     #[test]

@@ -178,6 +178,103 @@ this is not json\n";
 }
 
 #[test]
+fn quantize_subcommand_and_quant_flags_work() {
+    // quantize --json parses through the protocol.
+    let out = run(&["quantize", "alexnet", "--quant", "uniform8", "--json"]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    match Response::parse(stdout_of(&out).trim()) {
+        Ok(Response::Quantize(r)) => {
+            assert_eq!(r.quant, "uniform8");
+            assert!(r.layers.iter().all(|l| l.weight_bits == 8));
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // --quant changes report results; the echoed spelling is canonical.
+    let paper = run(&["report", "vgg-7", "--batch", "1", "--json"]);
+    let wide = run(&[
+        "report", "vgg-7", "--batch", "1", "--quant", "default=16/16", "--json",
+    ]);
+    let cycles = |out: &Output| match Response::parse(stdout_of(out).trim()).unwrap() {
+        Response::Report(r) => (r.cycles, r.quant),
+        other => panic!("{other:?}"),
+    };
+    let (paper_cycles, paper_quant) = cycles(&paper);
+    let (wide_cycles, wide_quant) = cycles(&wide);
+    assert_eq!(paper_quant, None);
+    assert_eq!(wide_quant.as_deref(), Some("uniform16"));
+    assert!(wide_cycles > paper_cycles);
+
+    // A .json spec file works on the simulating subcommands.
+    let dir = std::env::temp_dir().join("bitfusion-cli-quant-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("edge8.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"default":"4/4","layers":[{"layer":"conv1","precision":"8/8"}]}"#,
+    )
+    .unwrap();
+    let out = run(&[
+        "quantize", "vgg-7", "--quant", spec_path.to_str().unwrap(), "--json",
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    match Response::parse(stdout_of(&out).trim()) {
+        Ok(Response::Quantize(r)) => {
+            assert_eq!(r.quant, "default=4/4,layer:conv1=8/8");
+            assert_eq!((r.layers[0].input_bits, r.layers[0].weight_bits), (8, 8));
+            assert_eq!((r.layers[1].input_bits, r.layers[1].weight_bits), (4, 4));
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // An invalid spec is a usage error naming the problem.
+    let out = run(&["report", "rnn", "--quant", "uniform9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("uniform9"));
+}
+
+#[test]
+fn dse_quant_axis_is_byte_identical_across_worker_counts() {
+    // The acceptance criterion: a dse over ≥2 quant specs emits a
+    // deterministic frontier and quant speedups — byte-identical whatever
+    // the worker count.
+    let dse = |workers: &str| {
+        let out = run(&[
+            "dse", "--rows", "16", "--cols", "16", "--bandwidth", "64,128", "--networks",
+            "lstm,rnn,vgg-7", "--batch", "4", "--quant", "paper,uniform8,uniform16",
+            "--workers", workers, "--json",
+        ]);
+        assert!(out.status.success(), "{}", stderr_of(&out));
+        stdout_of(&out)
+    };
+    let sequential = dse("1");
+    for workers in ["2", "4"] {
+        assert_eq!(dse(workers), sequential, "{workers} workers");
+    }
+    match Response::parse(sequential.trim()).unwrap() {
+        Response::Dse(r) => {
+            assert_eq!(r.quants, ["paper", "uniform8", "uniform16"]);
+            assert_eq!(r.speedup_baseline.as_deref(), Some("uniform8"));
+            // Three networks × (paper, uniform16).
+            assert_eq!(r.quant_speedups.len(), 6);
+            for s in &r.quant_speedups {
+                match s.quant.as_str() {
+                    "paper" => assert!(s.speedup >= 1.0, "{}: {}", s.model, s.speedup),
+                    "uniform16" => assert!(s.speedup < 1.0, "{}: {}", s.model, s.speedup),
+                    other => panic!("{other}"),
+                }
+            }
+            // The frontier names the quantization of each candidate.
+            assert!(!r.frontier.is_empty());
+            for f in &r.frontier {
+                assert!(!f.quant.is_empty());
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
 fn serve_and_one_shot_asm_agree() {
     let one_shot = run(&["asm", "lenet-5", "--batch", "1", "--layer", "conv1", "--json"]);
     assert!(one_shot.status.success(), "{}", stderr_of(&one_shot));

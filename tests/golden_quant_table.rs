@@ -1,0 +1,161 @@
+//! Pins the paper's Table II / Figure 1 per-layer bitwidth assignment for
+//! every multiplying layer of the zoo.
+//!
+//! The zoo is built as *topology + QuantSpec* (PR 5), which makes the
+//! per-layer precisions data that a refactor could silently drift. This
+//! golden table freezes the (input, weight) widths layer by layer: any
+//! change to a zoo topology, a paper spec, or the spec-application
+//! machinery that alters an assignment fails here and must be re-pinned
+//! consciously.
+
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::dnn::QuantSpec;
+
+/// `(benchmark, layer, input_bits, weight_bits)` for every multiplying
+/// layer, in execution order.
+const GOLDEN_QUANT: &[(&str, &str, u32, u32)] = &[
+    ("AlexNet", "conv1", 8, 8),
+    ("AlexNet", "conv2", 4, 1),
+    ("AlexNet", "conv3", 4, 1),
+    ("AlexNet", "conv4", 4, 1),
+    ("AlexNet", "conv5", 4, 1),
+    ("AlexNet", "fc6", 4, 1),
+    ("AlexNet", "fc7", 4, 1),
+    ("AlexNet", "fc8", 8, 8),
+    ("Cifar-10", "conv1", 8, 8),
+    ("Cifar-10", "conv2", 1, 1),
+    ("Cifar-10", "conv3", 1, 1),
+    ("Cifar-10", "conv4", 1, 1),
+    ("Cifar-10", "conv5", 1, 1),
+    ("Cifar-10", "conv6", 1, 1),
+    ("Cifar-10", "fc1", 1, 1),
+    ("Cifar-10", "fc2", 1, 1),
+    ("Cifar-10", "fc3", 8, 8),
+    ("LSTM", "lstm1", 4, 4),
+    ("LSTM", "lstm2", 4, 4),
+    ("LeNet-5", "conv1", 2, 2),
+    ("LeNet-5", "conv2", 2, 2),
+    ("LeNet-5", "fc1", 2, 2),
+    ("LeNet-5", "fc2", 2, 2),
+    ("ResNet-18", "conv1", 2, 2),
+    ("ResNet-18", "l1b1c1", 2, 2),
+    ("ResNet-18", "l1b1c2", 2, 2),
+    ("ResNet-18", "l1b2c1", 2, 2),
+    ("ResNet-18", "l1b2c2", 2, 2),
+    ("ResNet-18", "l2b1c1", 2, 2),
+    ("ResNet-18", "l2b1c2", 2, 2),
+    ("ResNet-18", "l2ds", 2, 2),
+    ("ResNet-18", "l2b2c1", 2, 2),
+    ("ResNet-18", "l2b2c2", 2, 2),
+    ("ResNet-18", "l3b1c1", 2, 2),
+    ("ResNet-18", "l3b1c2", 2, 2),
+    ("ResNet-18", "l3ds", 2, 2),
+    ("ResNet-18", "l3b2c1", 2, 2),
+    ("ResNet-18", "l3b2c2", 2, 2),
+    ("ResNet-18", "l4b1c1", 2, 2),
+    ("ResNet-18", "l4b1c2", 2, 2),
+    ("ResNet-18", "l4ds", 2, 2),
+    ("ResNet-18", "l4b2c1", 2, 2),
+    ("ResNet-18", "l4b2c2", 2, 2),
+    ("ResNet-18", "fc", 2, 2),
+    ("RNN", "rnn1", 4, 4),
+    ("RNN", "rnn2", 4, 4),
+    ("SVHN", "conv1", 8, 8),
+    ("SVHN", "conv2", 1, 1),
+    ("SVHN", "conv3", 1, 1),
+    ("SVHN", "conv4", 1, 1),
+    ("SVHN", "conv5", 1, 1),
+    ("SVHN", "conv6", 1, 1),
+    ("SVHN", "fc1", 1, 1),
+    ("SVHN", "fc2", 1, 1),
+    ("SVHN", "fc3", 8, 8),
+    ("VGG-7", "conv1", 2, 2),
+    ("VGG-7", "conv2", 2, 2),
+    ("VGG-7", "conv3", 2, 2),
+    ("VGG-7", "conv4", 2, 2),
+    ("VGG-7", "conv5", 2, 2),
+    ("VGG-7", "conv6", 2, 2),
+    ("VGG-7", "fc1", 2, 2),
+    ("VGG-7", "fc2", 2, 2),
+];
+
+/// The measured table: every multiplying layer of every zoo model.
+fn measured() -> Vec<(String, String, u32, u32)> {
+    Benchmark::ALL
+        .iter()
+        .flat_map(|b| {
+            b.model()
+                .mac_layers()
+                .map(|l| {
+                    let p = l.layer.precision().expect("mac layers carry precisions");
+                    (
+                        b.name().to_string(),
+                        l.name.clone(),
+                        p.input.bits(),
+                        p.weight.bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn paper_assignment_matches_the_golden_table() {
+    let measured = measured();
+    assert_eq!(
+        measured.len(),
+        GOLDEN_QUANT.len(),
+        "multiplying layer count drifted"
+    );
+    for ((model, layer, i, w), &(gm, gl, gi, gw)) in measured.iter().zip(GOLDEN_QUANT) {
+        assert_eq!(
+            (model.as_str(), layer.as_str(), *i, *w),
+            (gm, gl, gi, gw),
+            "{gm}/{gl}: pinned {gi}/{gw}"
+        );
+    }
+}
+
+#[test]
+fn golden_table_matches_figure_1_dominant_pairs() {
+    // Cross-check against the paper's Figure 1 summary: the per-network
+    // dominant (input, weight) pair implied by the table.
+    let dominant = |name: &str| {
+        let mut macs: std::collections::BTreeMap<(u32, u32), u64> = Default::default();
+        for b in Benchmark::ALL {
+            if b.name() != name {
+                continue;
+            }
+            for l in b.model().mac_layers() {
+                let p = l.layer.precision().unwrap();
+                *macs.entry((p.input.bits(), p.weight.bits())).or_insert(0) += l.layer.macs();
+            }
+        }
+        macs.into_iter().max_by_key(|&(_, m)| m).unwrap().0
+    };
+    assert_eq!(dominant("AlexNet"), (4, 1));
+    assert_eq!(dominant("Cifar-10"), (1, 1));
+    assert_eq!(dominant("LSTM"), (4, 4));
+    assert_eq!(dominant("LeNet-5"), (2, 2));
+    assert_eq!(dominant("ResNet-18"), (2, 2));
+    assert_eq!(dominant("RNN"), (4, 4));
+    assert_eq!(dominant("SVHN"), (1, 1));
+    assert_eq!(dominant("VGG-7"), (2, 2));
+}
+
+#[test]
+fn paper_specs_are_canonical_and_reapplicable() {
+    // The spec that built each model must round-trip through its compact
+    // spelling and reproduce the model when re-applied to the topology.
+    for b in Benchmark::ALL {
+        let spec = b.paper_quant();
+        let respelled = QuantSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(respelled, spec, "{b}");
+        assert_eq!(
+            respelled.apply(&b.topology()).unwrap(),
+            b.model(),
+            "{b}: spec ∘ topology drifted from model()"
+        );
+    }
+}
