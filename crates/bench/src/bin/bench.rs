@@ -1,0 +1,275 @@
+//! The PR 6 bench emitter: measures the two-tier cache (model-level
+//! artifact cache + layer-level result cache) on a whole-zoo quant × arch
+//! DSE sweep plus per-network report workloads, and writes the committed
+//! trajectory file `BENCH_pr6.json`.
+//!
+//! Three modes:
+//!
+//! * `cargo run -p bitfusion-bench --bin bench` — full measurement; writes
+//!   `BENCH_pr6.json` (override with `--out <path>`) and asserts the ≥5×
+//!   warm-sweep speedup on runners with ≥4 cores.
+//! * `-- --test` — shrunken grid for the CI smoke run; all structural
+//!   assertions (byte-determinism, ≥50% per-network layer hit rates) still
+//!   run, only the wall-clock assertion is skipped.
+//! * `-- --check <path>` — no measurement: parses an existing trajectory
+//!   file and fails unless it is well-formed and the ResNet-18 and VGG-7
+//!   layer-cache hit rates are ≥50%. This is the CI gate on the committed
+//!   `BENCH_pr6.json`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bitfusion::compiler::ArtifactCache;
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::grid::ArchGrid;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::dnn::QuantSpec;
+use bitfusion::service::json::{parse, Json};
+use bitfusion::sim::layer_cache::run_cached;
+use bitfusion::sim::pool::default_workers;
+use bitfusion::sim::{
+    explore_with_caches, AnalyticBackend, DseResult, DseSpec, LayerPerfCache, SimOptions,
+};
+
+/// The whole-zoo quant × arch sweep (`--test` shrinks it for CI).
+fn sweep_spec(test_mode: bool) -> DseSpec {
+    let grid = if test_mode {
+        ArchGrid {
+            rows: vec![16, 32],
+            dram_bits_per_cycle: vec![64, 128],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        }
+    } else {
+        ArchGrid {
+            rows: vec![16, 32],
+            cols: vec![8, 16],
+            dram_bits_per_cycle: vec![64, 128, 256],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        }
+    };
+    let models = if test_mode {
+        vec![Benchmark::Lstm, Benchmark::Rnn, Benchmark::ResNet18]
+    } else {
+        Benchmark::ALL.to_vec()
+    };
+    DseSpec {
+        grid,
+        models: models.iter().map(|b| b.model()).collect(),
+        quant_specs: vec![
+            QuantSpec::paper(),
+            QuantSpec::uniform(8).expect("uniform8 is a supported spec"),
+        ],
+        batches: vec![16],
+        options: SimOptions::default(),
+    }
+}
+
+/// Runs the sweep against the given caches and returns (seconds, result).
+fn timed_sweep(
+    spec: &DseSpec,
+    workers: usize,
+    cache: &ArtifactCache,
+    layer_cache: &LayerPerfCache,
+) -> (f64, DseResult) {
+    let start = Instant::now();
+    let result = explore_with_caches(spec, &AnalyticBackend, workers, cache, layer_cache);
+    (start.elapsed().as_secs_f64(), result)
+}
+
+/// One network's layer-cache effectiveness on the session `report` path: a
+/// cold pass fills the cache, a warm pass (the steady state of a serving
+/// session) reuses it. With `U` unique shapes among `L` layers, the
+/// two-pass hit rate is `1 - U/2L ≥ 50%` — strictly above for networks
+/// that repeat shapes (ResNet-18's basic blocks).
+fn network_hit_rate(benchmark: Benchmark) -> (u64, u64, f64) {
+    let arch = ArchConfig::isca_45nm();
+    let model = benchmark.model();
+    let opts = SimOptions::default();
+    let cache = LayerPerfCache::default();
+    let cold = run_cached(&AnalyticBackend, &model, &arch, 16, &opts, &cache)
+        .expect("zoo models compile");
+    let warm = run_cached(&AnalyticBackend, &model, &arch, 16, &opts, &cache)
+        .expect("zoo models compile");
+    assert_eq!(cold, warm, "{benchmark}: warmth must never change results");
+    let stats = cache.stats();
+    let rate = stats
+        .hit_rate()
+        .expect("both passes touched the layer cache");
+    (stats.hits, stats.misses, rate)
+}
+
+/// `--check` mode: validate a committed trajectory file.
+fn check(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: unreadable: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+    let sweep = doc.get("sweep").ok_or("missing field `sweep`")?;
+    for field in ["points", "layer_evals", "layer_unique"] {
+        sweep
+            .get(field)
+            .and_then(Json::as_u64)
+            .ok_or(format!("sweep.{field} missing or not an integer"))?;
+    }
+    for field in ["cold_points_per_sec", "warm_points_per_sec", "warm_speedup"] {
+        let v = sweep
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("sweep.{field} missing or not a number"))?;
+        if v <= 0.0 {
+            return Err(format!("sweep.{field} must be positive, got {v}"));
+        }
+    }
+    let networks = doc
+        .get("networks")
+        .and_then(Json::as_arr)
+        .ok_or("missing `networks` array")?;
+    for required in ["ResNet-18", "VGG-7"] {
+        let entry = networks
+            .iter()
+            .find(|n| n.get("name").and_then(Json::as_str) == Some(required))
+            .ok_or(format!("network `{required}` missing"))?;
+        let rate = entry
+            .get("layer_cache_hit_rate")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{required}: layer_cache_hit_rate missing"))?;
+        if rate < 0.5 {
+            return Err(format!(
+                "{required}: layer-cache hit rate {rate:.3} below the 50% floor"
+            ));
+        }
+    }
+    println!("{path}: OK (per-network layer-cache hit rates >= 50%)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let path = args.get(pos + 1).map_or("BENCH_pr6.json", String::as_str);
+        return match check(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench --check failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let test_mode = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1))
+        .map_or("BENCH_pr6.json", String::as_str);
+    let cores = default_workers();
+    let spec = sweep_spec(test_mode);
+
+    println!(
+        "two-tier cache bench: {} archs x {} networks x {} quants = {} points on {cores} core(s)",
+        spec.grid.len(),
+        spec.models.len(),
+        spec.quant_specs.len(),
+        spec.len()
+    );
+
+    // Cold: empty caches — every point pays compilation and evaluation.
+    // Warm: the same caches again — the steady state of a serving session.
+    let cache = ArtifactCache::default();
+    let layer_cache = LayerPerfCache::default();
+    let (t_cold, r_cold) = timed_sweep(&spec, cores, &cache, &layer_cache);
+    let (t_warm, r_warm) = timed_sweep(&spec, cores, &cache, &layer_cache);
+
+    // Determinism contract: warmth changes wall-clock, never bytes.
+    let f_cold = r_cold.pareto_frontier();
+    let f_warm = r_warm.pareto_frontier();
+    assert_eq!(f_cold.len(), f_warm.len(), "frontier size diverged");
+    for (a, b) in f_cold.iter().zip(&f_warm) {
+        assert_eq!(a.arch, b.arch, "frontier membership diverged");
+        assert_eq!(a.total_cycles, b.total_cycles, "frontier cycles diverged");
+    }
+    assert_eq!(r_cold.layer_evals, r_warm.layer_evals);
+    assert_eq!(r_cold.layer_unique, r_warm.layer_unique);
+
+    let points = spec.len() as f64;
+    let layer_stats = layer_cache.stats();
+    let layer_rate = layer_stats
+        .hit_rate()
+        .expect("the sweep touched the layer cache");
+    let speedup = t_cold / t_warm;
+    println!(
+        "  cold: {:8.1} ms ({:7.1} points/s); {} unique layer evals of {} requested",
+        t_cold * 1e3,
+        points / t_cold,
+        r_cold.layer_unique,
+        r_cold.layer_evals
+    );
+    println!(
+        "  warm: {:8.1} ms ({:7.1} points/s); layer cache {:.1}% hits over both passes",
+        t_warm * 1e3,
+        points / t_warm,
+        layer_rate * 100.0
+    );
+    println!("  warm speedup: {speedup:.2}x");
+
+    let mut networks = Vec::new();
+    println!("\nper-network layer-cache hit rate (cold + warm report, batch 16):");
+    for b in [Benchmark::ResNet18, Benchmark::Vgg7] {
+        let (hits, misses, rate) = network_hit_rate(b);
+        println!(
+            "  {:<10} {:3} hits / {:3} unique: {:5.1}%",
+            b.name(),
+            hits,
+            misses,
+            rate * 100.0
+        );
+        assert!(
+            rate >= 0.5,
+            "{}: layer-cache hit rate {rate:.3} below the 50% floor",
+            b.name()
+        );
+        networks.push(Json::obj(vec![
+            ("name", Json::Str(b.name().to_string())),
+            ("layer_cache_hits", Json::uint(hits)),
+            ("layer_cache_misses", Json::uint(misses)),
+            ("layer_cache_hit_rate", Json::float(rate)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("pr6_two_tier_cache".to_string())),
+        (
+            "mode",
+            Json::Str(if test_mode { "test" } else { "full" }.to_string()),
+        ),
+        ("cores", Json::uint(cores as u64)),
+        (
+            "sweep",
+            Json::obj(vec![
+                ("points", Json::uint(spec.len() as u64)),
+                ("cold_seconds", Json::float(t_cold)),
+                ("warm_seconds", Json::float(t_warm)),
+                ("cold_points_per_sec", Json::float(points / t_cold)),
+                ("warm_points_per_sec", Json::float(points / t_warm)),
+                ("warm_speedup", Json::float(speedup)),
+                ("layer_evals", Json::uint(r_cold.layer_evals)),
+                ("layer_unique", Json::uint(r_cold.layer_unique)),
+                ("layer_cache_hits", Json::uint(layer_stats.hits)),
+                ("layer_cache_misses", Json::uint(layer_stats.misses)),
+                ("layer_cache_hit_rate", Json::float(layer_rate)),
+            ]),
+        ),
+        ("networks", Json::Arr(networks)),
+    ]);
+    std::fs::write(out_path, doc.encode() + "\n").expect("trajectory file writable");
+    println!("\nwrote {out_path}");
+
+    if !test_mode && cores >= 4 {
+        assert!(
+            speedup >= 5.0,
+            "warm sweep must be >=5x the cold one on {cores} cores, got {speedup:.2}x"
+        );
+        println!("PASS: warm sweep >=5x on {cores} cores");
+    } else {
+        println!("(5x warm-speedup assertion requires >=4 cores and a full run; skipped)");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,6 +1,7 @@
 //! The shared compiled-artifact cache: a thread-safe, capacity-bounded
 //! memo of [`compile`] results keyed on exactly the fields compilation
-//! depends on.
+//! depends on — plus the *layer tier* beneath it, a sibling memo of
+//! per-layer evaluation results ([`LayerArtifactCache`]).
 //!
 //! Compilation — the buffer-constrained tile-size search plus block
 //! emission — dominates the cost of every evaluation path (a single
@@ -28,6 +29,15 @@
 //! Failed compilations are cached too, but an eviction pass prefers
 //! evicting failures first: they are cheap to reproduce relative to a
 //! successful plan's tile search.
+//!
+//! The layer tier sits *below* the model tier: once a plan is resolved
+//! (from the model tier or a fresh compilation), each of its layers can be
+//! evaluated at most once per ([`layer_fingerprint`], batch, geometry,
+//! bandwidth, evaluation context) — [`LayerKey`] — however many grid
+//! points, quantizations, or models share that layer. Networks built from
+//! repeated blocks (ResNet-18's basic blocks, VGG's conv stacks) collapse
+//! dramatically under this key; see `DESIGN.md`, "Two-tier compile/sim
+//! cache".
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -36,7 +46,7 @@ use bitfusion_core::arch::ArchConfig;
 use bitfusion_dnn::model::Model;
 
 use crate::error::CompileError;
-use crate::plan::{compile, ExecutionPlan};
+use crate::plan::{compile, ExecutionPlan, PlannedLayer};
 
 /// A cached compile result: the plan, or the error the compiler produced.
 pub type CachedPlan = Arc<Result<ExecutionPlan, CompileError>>;
@@ -95,17 +105,45 @@ impl ArtifactKey {
     }
 }
 
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 /// FNV-1a over the model's debug representation: layer names, shapes, and
 /// precisions all land in the stream, so any structural edit changes the
 /// fingerprint. Cheap relative to a tile search (microseconds vs
 /// milliseconds) and deterministic across runs.
 pub fn fingerprint(model: &Model) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in format!("{model:?}").bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    fnv1a(format!("{model:?}").bytes())
+}
+
+/// FNV-1a over one planned layer's evaluation-relevant structure: the GEMM
+/// view (shape and `PairPrecision`), the chosen tiling, the fused post-ops
+/// (a fused residual stream's extra input bits land here), and the mapping
+/// facts.
+///
+/// The layer's *name* and its position in the plan are excluded on
+/// purpose: two identically shaped groups at different depths share a
+/// fingerprint, which is what lets the layer tier collapse ResNet-style
+/// repeated blocks. The instruction block is excluded too — it is a
+/// deterministic function of the covered fields plus the geometry already
+/// present in [`LayerKey`] (its only position-dependent field, the
+/// next-block link, never affects traffic or timing), and hashing its
+/// debug form per layer would cost a good fraction of the evaluation being
+/// memoized.
+pub fn layer_fingerprint(layer: &PlannedLayer) -> u64 {
+    fnv1a(
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            layer.gemm, layer.tile_plan, layer.postops, layer.mapping
+        )
+        .bytes(),
+    )
 }
 
 /// Snapshot of a cache's counters.
@@ -124,13 +162,16 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit rate over all lookups so far (0 when the cache is untouched).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+    /// Hit rate over all lookups so far, or `None` for a cache that has
+    /// never been looked up — so an untouched cache reads as "n/a", not as
+    /// a suspicious 0%. The sum saturates: pathological counter values can
+    /// never overflow the total.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits.saturating_add(self.misses);
         if total == 0 {
-            0.0
+            None
         } else {
-            self.hits as f64 / total as f64
+            Some(self.hits as f64 / total as f64)
         }
     }
 }
@@ -307,6 +348,208 @@ impl ArtifactCache {
     }
 }
 
+/// The identity of one memoized layer evaluation in the layer tier: the
+/// layer's structural [`layer_fingerprint`] (covering shape,
+/// `PairPrecision`, tiling, and fused post-ops), the batch it was planned
+/// at, the compile-relevant [`ArchConfig`] geometry (the same field set as
+/// [`ArtifactKey`]), plus the off-chip bandwidth — unlike *compilation*,
+/// *evaluation* depends on it — and an opaque caller-supplied `context`
+/// discriminant folding in whatever else the evaluation reads (backend
+/// identity, calibration knobs). Clock frequency stays excluded: cached
+/// results live in the cycle domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerKey {
+    /// Structural layer fingerprint ([`layer_fingerprint`]).
+    pub fingerprint: u64,
+    /// Batch size the layer was planned at.
+    pub batch: u64,
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Input-buffer capacity in bytes.
+    pub ibuf_bytes: usize,
+    /// Weight-buffer capacity in bytes.
+    pub wbuf_bytes: usize,
+    /// Output-buffer capacity in bytes.
+    pub obuf_bytes: usize,
+    /// Bits per SRAM data-array access.
+    pub buffer_access_bits: u32,
+    /// Off-chip bandwidth in bits/cycle (an evaluation input, though not a
+    /// compilation input).
+    pub dram_bits_per_cycle: u32,
+    /// Discriminant for evaluation inputs the key cannot cover
+    /// structurally (backend identity, calibration options).
+    pub context: u64,
+}
+
+impl LayerKey {
+    /// Builds the key for evaluating a layer with `fingerprint` at `batch`
+    /// on `arch` under `context`.
+    pub fn of(fingerprint: u64, arch: &ArchConfig, batch: u64, context: u64) -> Self {
+        LayerKey {
+            fingerprint,
+            batch,
+            rows: arch.rows,
+            cols: arch.cols,
+            ibuf_bytes: arch.ibuf_bytes,
+            wbuf_bytes: arch.wbuf_bytes,
+            obuf_bytes: arch.obuf_bytes,
+            buffer_access_bits: arch.buffer_access_bits,
+            dram_bits_per_cycle: arch.dram_bits_per_cycle,
+            context,
+        }
+    }
+}
+
+/// Default layer-tier capacity. Deep networks on a broad grid produce two
+/// orders of magnitude more unique layer keys than model keys, but each
+/// entry is one small evaluation result rather than a compiled plan, so
+/// the tier is sized accordingly above [`DEFAULT_CACHE_CAPACITY`].
+pub const DEFAULT_LAYER_CACHE_CAPACITY: usize = 16_384;
+
+struct LayerEntry<V> {
+    value: V,
+    last_used: u64,
+}
+
+struct LayerInner<V> {
+    map: HashMap<LayerKey, LayerEntry<V>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The layer tier of the two-tier cache: a thread-safe, capacity-bounded,
+/// least-recently-used memo of per-layer evaluation results, sibling to
+/// the model-level [`ArtifactCache`].
+///
+/// Generic over the cached value so this crate does not depend on the
+/// simulator's result types — `bitfusion-sim` instantiates it with its
+/// `LayerPerf` (as `LayerPerfCache`). Lookup and insert mirror
+/// [`ArtifactCache`]: counters on every lookup, recency refreshed on hits,
+/// LRU eviction at capacity (there is no cheap-to-reproduce failure class
+/// here — evaluation is total — so eviction is recency only).
+pub struct LayerArtifactCache<V> {
+    inner: Mutex<LayerInner<V>>,
+    capacity: usize,
+}
+
+impl<V> Default for LayerArtifactCache<V> {
+    fn default() -> Self {
+        LayerArtifactCache::new(DEFAULT_LAYER_CACHE_CAPACITY)
+    }
+}
+
+impl<V> std::fmt::Debug for LayerArtifactCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("LayerArtifactCache")
+            .field("len", &s.len)
+            .field("capacity", &s.capacity)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+impl<V> LayerArtifactCache<V> {
+    /// Creates a layer cache holding at most `capacity` evaluation results
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        LayerArtifactCache {
+            inner: Mutex::new(LayerInner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Whether `key` is resident, without touching counters or recency.
+    pub fn contains(&self, key: &LayerKey) -> bool {
+        self.inner
+            .lock()
+            .expect("layer cache poisoned")
+            .map
+            .contains_key(key)
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("layer cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("layer cache poisoned")
+            .map
+            .clear();
+    }
+}
+
+impl<V: Clone> LayerArtifactCache<V> {
+    /// Looks `key` up, counting a hit or miss, and refreshing recency on a
+    /// hit.
+    pub fn lookup(&self, key: &LayerKey) -> Option<V> {
+        let mut inner = self.inner.lock().expect("layer cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an evaluation result, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&self, key: LayerKey, value: V) {
+        let mut inner = self.inner.lock().expect("layer cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            LayerEntry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,8 +603,24 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 3);
-        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((stats.hit_rate().unwrap() - 0.75).abs() < 1e-12);
         assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn hit_rate_is_none_until_first_lookup_and_never_overflows() {
+        // An untouched cache has no rate — not a 0% one.
+        assert_eq!(CacheStats::default().hit_rate(), None);
+        assert_eq!(ArtifactCache::default().stats().hit_rate(), None);
+        // Saturating sum: counters at the u64 ceiling still produce a
+        // finite in-range rate instead of overflowing the total.
+        let saturated = CacheStats {
+            hits: u64::MAX,
+            misses: u64::MAX,
+            ..CacheStats::default()
+        };
+        let rate = saturated.hit_rate().unwrap();
+        assert!(rate.is_finite() && rate > 0.0 && rate <= 1.0, "{rate}");
     }
 
     #[test]
@@ -445,6 +704,65 @@ mod tests {
         assert!(!cache.contains(&ArtifactKey::of(&model, &tiny, 4)));
         assert!(cache.contains(&key(7)));
         assert!(cache.contains(&key(8)));
+    }
+
+    #[test]
+    fn layer_fingerprints_collapse_repeated_blocks_but_not_names() {
+        // ResNet-18-style repetition: identically shaped groups at
+        // different depths (different names) share a fingerprint, which is
+        // the whole point of the layer tier.
+        let arch = ArchConfig::isca_45nm();
+        let plan = compile(&Benchmark::ResNet18.model(), &arch, 16).unwrap();
+        let mut unique = std::collections::HashSet::new();
+        for l in &plan.layers {
+            unique.insert(layer_fingerprint(l));
+        }
+        assert!(
+            unique.len() < plan.layers.len(),
+            "{} unique fingerprints across {} layers: repeated basic \
+             blocks must share",
+            unique.len(),
+            plan.layers.len()
+        );
+        // But distinct shapes never collide in practice.
+        assert!(unique.len() > 1);
+    }
+
+    #[test]
+    fn layer_keys_separate_batch_arch_bandwidth_and_context() {
+        let arch = ArchConfig::isca_45nm();
+        let base = LayerKey::of(7, &arch, 16, 0);
+        assert_eq!(base, LayerKey::of(7, &arch, 16, 0));
+        assert_ne!(base, LayerKey::of(8, &arch, 16, 0), "fingerprint");
+        assert_ne!(base, LayerKey::of(7, &arch, 8, 0), "batch");
+        assert_ne!(base, LayerKey::of(7, &arch, 16, 1), "context");
+        // Bandwidth is an evaluation input: unlike ArtifactKey, it splits
+        // layer keys.
+        let wide = arch.clone().with_bandwidth(512);
+        assert_ne!(base, LayerKey::of(7, &wide, 16, 0), "bandwidth");
+        // Frequency stays excluded: results are cycle-domain.
+        let fast = arch.clone().with_frequency(980);
+        assert_eq!(base, LayerKey::of(7, &fast, 16, 0), "frequency excluded");
+    }
+
+    #[test]
+    fn layer_cache_counts_and_evicts_lru() {
+        let arch = ArchConfig::isca_45nm();
+        let key = |fp: u64| LayerKey::of(fp, &arch, 1, 0);
+        let cache: LayerArtifactCache<u64> = LayerArtifactCache::new(2);
+        assert_eq!(cache.lookup(&key(1)), None);
+        cache.insert(key(1), 10);
+        cache.insert(key(2), 20);
+        assert_eq!(cache.lookup(&key(1)), Some(10));
+        cache.insert(key(3), 30);
+        let stats = cache.stats();
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.contains(&key(1)), "recently used survives");
+        assert!(!cache.contains(&key(2)), "LRU entry evicted");
+        assert!(cache.contains(&key(3)));
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
     }
 
     #[test]

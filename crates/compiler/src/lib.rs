@@ -18,7 +18,10 @@
 //! simulator. Compiled plans are memoizable in the shared, thread-safe
 //! [`cache::ArtifactCache`], keyed on exactly the inputs compilation reads
 //! (model, batch, array geometry, buffer capacities — *not* bandwidth or
-//! frequency).
+//! frequency). Below it sits the layer tier
+//! ([`cache::LayerArtifactCache`]): per-layer evaluation results keyed on
+//! a structural [`cache::layer_fingerprint`], so repeated layer shapes are
+//! evaluated once per (arch, quant, batch) however often they recur.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,7 +35,10 @@ pub mod lower;
 pub mod plan;
 pub mod tiling;
 
-pub use cache::{ArtifactCache, ArtifactKey, CacheStats, CachedPlan};
+pub use cache::{
+    layer_fingerprint, ArtifactCache, ArtifactKey, CacheStats, CachedPlan, LayerArtifactCache,
+    LayerKey,
+};
 pub use error::CompileError;
 pub use fuse::{fuse_layers, FusedGroup, PostOp};
 pub use gemm::{layer_to_gemm, GemmLayer, GemmShape};

@@ -846,6 +846,14 @@ pub struct ReportReply {
     pub energy_per_input: EnergyInfo,
     /// Whole-run stall attribution.
     pub stalls: StallInfo,
+    /// Layer evaluations answered by a layer-tier key another layer of the
+    /// same plan also resolves to (repeated shapes — e.g. ResNet basic
+    /// blocks). Spec-level and warmth-independent, like
+    /// [`DseReply::compile_hits`].
+    pub layer_hits: u64,
+    /// Unique layer-tier keys the plan resolves to — the evaluations a
+    /// cold session would perform.
+    pub layer_misses: u64,
     /// Per-layer results in execution order.
     pub layers: Vec<LayerInfo>,
 }
@@ -974,6 +982,12 @@ pub struct SweepReply {
     pub quant: Option<String>,
     /// The baseline value speedups are relative to.
     pub baseline: u64,
+    /// Layer evaluations across the sweep answered by a layer-tier key
+    /// another layer of the same sweep also resolves to. Spec-level and
+    /// warmth-independent, like [`DseReply::compile_hits`].
+    pub layer_hits: u64,
+    /// Unique layer-tier keys the sweep resolves to.
+    pub layer_misses: u64,
     /// Points in sweep order.
     pub points: Vec<SweepPointInfo>,
 }
@@ -1121,6 +1135,14 @@ pub struct DseReply {
     /// session may compile fewer, but the reply does not change (see the
     /// determinism contract in `bitfusion_service::session`).
     pub compile_misses: u64,
+    /// Layer evaluations answered by a layer-tier key another layer of the
+    /// same spec also resolves to — repeated shapes within a network,
+    /// duplicate models, aliasing quant specs. Spec-level and
+    /// warmth-independent, like [`DseReply::compile_hits`].
+    pub layer_hits: u64,
+    /// Unique layer-tier keys the spec resolves to — the per-layer
+    /// evaluations a cold session would perform.
+    pub layer_misses: u64,
     /// The Pareto frontier over (cycles, energy, area), in grid order.
     pub frontier: Vec<FrontierPoint>,
 }
@@ -1264,6 +1286,7 @@ impl Response {
                 pairs.push(("macs_per_cycle", Json::float(r.macs_per_cycle)));
                 pairs.push(("energy_per_input", r.energy_per_input.to_json()));
                 pairs.push(("stalls", r.stalls.to_json()));
+                pairs.push(("layer_cache", layer_cache_json(r.layer_hits, r.layer_misses)));
                 pairs.push((
                     "layers",
                     Json::Arr(r.layers.iter().map(LayerInfo::to_json).collect()),
@@ -1309,6 +1332,7 @@ impl Response {
                     pairs.push(("quant", Json::Str(q.clone())));
                 }
                 pairs.push(("baseline", Json::uint(r.baseline)));
+                pairs.push(("layer_cache", layer_cache_json(r.layer_hits, r.layer_misses)));
                 pairs.push((
                     "points",
                     Json::Arr(r.points.iter().map(|p| p.to_json()).collect()),
@@ -1350,6 +1374,7 @@ impl Response {
                         ("misses", Json::uint(r.compile_misses)),
                     ]),
                 ));
+                pairs.push(("layer_cache", layer_cache_json(r.layer_hits, r.layer_misses)));
                 pairs.push((
                     "frontier",
                     Json::Arr(r.frontier.iter().map(FrontierPoint::to_json).collect()),
@@ -1425,6 +1450,8 @@ impl Response {
                 stalls: StallInfo::from_json(
                     doc.get("stalls").ok_or("missing field `stalls`")?,
                 )?,
+                layer_hits: layer_cache_field(doc, "hits")?,
+                layer_misses: layer_cache_field(doc, "misses")?,
                 layers: doc
                     .get("layers")
                     .and_then(Json::as_arr)
@@ -1473,6 +1500,8 @@ impl Response {
                 backend: BackendChoice::parse(&str_field(doc, "backend")?)?,
                 quant: opt_str_field(doc, "quant")?,
                 baseline: u64_field(doc, "baseline")?,
+                layer_hits: layer_cache_field(doc, "hits")?,
+                layer_misses: layer_cache_field(doc, "misses")?,
                 points: doc
                     .get("points")
                     .and_then(Json::as_arr)
@@ -1520,6 +1549,8 @@ impl Response {
                     },
                     compile_hits: u64_field(compile, "hits")?,
                     compile_misses: u64_field(compile, "misses")?,
+                    layer_hits: layer_cache_field(doc, "hits")?,
+                    layer_misses: layer_cache_field(doc, "misses")?,
                     frontier: doc
                         .get("frontier")
                         .and_then(Json::as_arr)
@@ -1560,6 +1591,22 @@ impl Response {
         let doc = parse_json(text).map_err(|e| format!("invalid JSON: {e}"))?;
         Response::from_json(&doc)
     }
+}
+
+/// The `"layer_cache":{"hits":…,"misses":…}` object `report`, `sweep`,
+/// and `dse` replies carry (spec-level counters, not cache state).
+fn layer_cache_json(hits: u64, misses: u64) -> Json {
+    Json::obj(vec![
+        ("hits", Json::uint(hits)),
+        ("misses", Json::uint(misses)),
+    ])
+}
+
+fn layer_cache_field(doc: &Json, key: &str) -> Result<u64, String> {
+    let obj = doc
+        .get("layer_cache")
+        .ok_or("missing field `layer_cache`")?;
+    u64_field(obj, key)
 }
 
 fn uint_arr(values: &[u64]) -> Json {

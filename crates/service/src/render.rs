@@ -170,6 +170,10 @@ pub fn render(response: &Response) -> String {
                 "compile sharing: {} unique compilations, {} points served from cache\n",
                 r.compile_misses, r.compile_hits
             ));
+            out.push_str(&format!(
+                "layer sharing: {} unique layer evaluations, {} served from the layer cache\n",
+                r.layer_misses, r.layer_hits
+            ));
             if r.quants.len() > 1 {
                 out.push_str(&format!("quantizations: {}\n", r.quants.join(", ")));
             }

@@ -28,11 +28,12 @@ use bitfusion_dnn::model::Model;
 use bitfusion_dnn::quantspec::QuantSpec;
 use bitfusion_dnn::stats::BitwidthStats;
 use bitfusion_dnn::zoo::Benchmark;
-use bitfusion_energy::{ChipArea, EnergyBreakdown};
+use bitfusion_energy::{ChipArea, EnergyBreakdown, FusionEnergy};
 use bitfusion_isa::asm::format_block;
 use bitfusion_sim::{
-    bandwidth_sweep_cached, batch_sweep_cached, explore_with_cache, AnalyticBackend,
-    BitFusionSim, DseResult, DseSpec, EventBackend, PerfReport, SimOptions, Sweep,
+    bandwidth_sweep_tiered, batch_sweep_tiered, explore_with_caches, layer_cache::run_plan_cached,
+    plan_layer_sharing, AnalyticBackend, DseResult, DseSpec, EventBackend, LayerPerfCache,
+    PerfReport, SimOptions, Sweep,
 };
 
 use crate::protocol::{
@@ -76,6 +77,7 @@ pub struct Session {
     options: SimOptions,
     backend: BackendChoice,
     cache: ArtifactCache,
+    layer_cache: LayerPerfCache,
 }
 
 impl Default for Session {
@@ -92,6 +94,7 @@ impl Session {
             options: SimOptions::default(),
             backend: BackendChoice::Analytic,
             cache: ArtifactCache::default(),
+            layer_cache: LayerPerfCache::default(),
         }
     }
 
@@ -114,6 +117,12 @@ impl Session {
         self
     }
 
+    /// Replaces the layer-tier cache with one of the given capacity.
+    pub fn with_layer_cache_capacity(mut self, capacity: usize) -> Self {
+        self.layer_cache = LayerPerfCache::new(capacity);
+        self
+    }
+
     /// The session's calibration knobs.
     pub fn options(&self) -> SimOptions {
         self.options
@@ -127,6 +136,11 @@ impl Session {
     /// Counters of the shared artifact cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Counters of the shared layer-tier cache.
+    pub fn layer_cache_stats(&self) -> CacheStats {
+        self.layer_cache.stats()
     }
 
     /// Serves one request. Never panics on bad input: failures come back
@@ -208,6 +222,11 @@ impl Session {
             arch = arch.with_bandwidth(bw);
         }
         arch.validate().map_err(|e| e.to_string())?;
+        // Spec-level layer sharing within this plan (warmth-independent —
+        // the reply must not change as the session's caches fill).
+        let cached = self.compiled(&model, &arch, batch)?;
+        let (layer_hits, layer_misses) =
+            plan_layer_sharing(cached.as_ref().as_ref().expect("checked by compiled()"));
         let report = self.simulate(&model, &arch, batch, backend)?;
         let stalls = report.total_stalls();
         Ok(Response::Report(ReportReply {
@@ -227,6 +246,8 @@ impl Session {
                 compute_starved: stalls.compute_starved,
                 fill_drain: stalls.fill_drain,
             },
+            layer_hits,
+            layer_misses,
             layers: report
                 .layers
                 .iter()
@@ -336,7 +357,7 @@ impl Session {
         let backend = backend.unwrap_or(self.backend);
         let arch = ArchConfig::isca_45nm();
         let (model, quant) = quantized_model(b, quant)?;
-        let (baseline, points) = match axis {
+        let (baseline, points, layer_hits, layer_misses) = match axis {
             SweepAxis::Bandwidth => {
                 let sweep = self
                     .dispatch_bandwidth_sweep(backend, &arch, &model)
@@ -355,7 +376,12 @@ impl Session {
                         speedup: *s,
                     })
                     .collect();
-                (SWEEP_BANDWIDTH_BASELINE as u64, points)
+                (
+                    SWEEP_BANDWIDTH_BASELINE as u64,
+                    points,
+                    sweep.spec_layer_hits(),
+                    sweep.layer_unique,
+                )
             }
             SweepAxis::Batch => {
                 let sweep = self
@@ -375,7 +401,12 @@ impl Session {
                         speedup: *s,
                     })
                     .collect();
-                (SWEEP_BATCH_BASELINE, points)
+                (
+                    SWEEP_BATCH_BASELINE,
+                    points,
+                    sweep.spec_layer_hits(),
+                    sweep.layer_unique,
+                )
             }
         };
         Ok(Response::Sweep(SweepReply {
@@ -384,6 +415,8 @@ impl Session {
             backend,
             quant,
             baseline,
+            layer_hits,
+            layer_misses,
             points,
         }))
     }
@@ -489,12 +522,20 @@ impl Session {
         }
         let workers = usize::try_from(params.workers).unwrap_or(0);
         let result = match backend {
-            BackendChoice::Analytic => {
-                explore_with_cache(&spec, &AnalyticBackend, workers, &self.cache)
-            }
-            BackendChoice::Event => {
-                explore_with_cache(&spec, &EventBackend, workers, &self.cache)
-            }
+            BackendChoice::Analytic => explore_with_caches(
+                &spec,
+                &AnalyticBackend,
+                workers,
+                &self.cache,
+                &self.layer_cache,
+            ),
+            BackendChoice::Event => explore_with_caches(
+                &spec,
+                &EventBackend,
+                workers,
+                &self.cache,
+                &self.layer_cache,
+            ),
         };
         Ok(Response::Dse(dse_reply(
             &result,
@@ -519,9 +560,11 @@ impl Session {
         }
     }
 
-    /// Compile (via the cache) + evaluate on the chosen backend, reusing
-    /// the simulator's own report assembly so the service path can never
-    /// diverge from the library path.
+    /// Compile (via the artifact cache) + evaluate on the chosen backend
+    /// through the layer-tier cache, reusing the simulator's report
+    /// assembly (`run_plan_cached` builds the same [`PerfReport`] as
+    /// `BitFusionSim::run_plan`) so the service path can never diverge
+    /// from the library path.
     fn simulate(
         &self,
         model: &Model,
@@ -531,13 +574,24 @@ impl Session {
     ) -> Result<PerfReport, String> {
         let cached = self.compiled(model, arch, batch)?;
         let plan = cached.as_ref().as_ref().expect("checked by compiled()");
+        let energy = FusionEnergy::isca_45nm();
         Ok(match backend {
-            BackendChoice::Analytic => BitFusionSim::with_backend(arch.clone(), AnalyticBackend)
-                .with_options(self.options)
-                .run_plan(plan),
-            BackendChoice::Event => BitFusionSim::with_backend(arch.clone(), EventBackend)
-                .with_options(self.options)
-                .run_plan(plan),
+            BackendChoice::Analytic => run_plan_cached(
+                &AnalyticBackend,
+                plan,
+                arch,
+                &energy,
+                &self.options,
+                &self.layer_cache,
+            ),
+            BackendChoice::Event => run_plan_cached(
+                &EventBackend,
+                plan,
+                arch,
+                &energy,
+                &self.options,
+                &self.layer_cache,
+            ),
         })
     }
 
@@ -548,7 +602,7 @@ impl Session {
         model: &bitfusion_dnn::model::Model,
     ) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
         match backend {
-            BackendChoice::Analytic => bandwidth_sweep_cached(
+            BackendChoice::Analytic => bandwidth_sweep_tiered(
                 &AnalyticBackend,
                 arch,
                 model,
@@ -556,8 +610,9 @@ impl Session {
                 &SWEEP_BANDWIDTHS,
                 self.options,
                 &self.cache,
+                &self.layer_cache,
             ),
-            BackendChoice::Event => bandwidth_sweep_cached(
+            BackendChoice::Event => bandwidth_sweep_tiered(
                 &EventBackend,
                 arch,
                 model,
@@ -565,6 +620,7 @@ impl Session {
                 &SWEEP_BANDWIDTHS,
                 self.options,
                 &self.cache,
+                &self.layer_cache,
             ),
         }
     }
@@ -576,21 +632,23 @@ impl Session {
         model: &bitfusion_dnn::model::Model,
     ) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
         match backend {
-            BackendChoice::Analytic => batch_sweep_cached(
+            BackendChoice::Analytic => batch_sweep_tiered(
                 &AnalyticBackend,
                 arch,
                 model,
                 &SWEEP_BATCHES,
                 self.options,
                 &self.cache,
+                &self.layer_cache,
             ),
-            BackendChoice::Event => batch_sweep_cached(
+            BackendChoice::Event => batch_sweep_tiered(
                 &EventBackend,
                 arch,
                 model,
                 &SWEEP_BATCHES,
                 self.options,
                 &self.cache,
+                &self.layer_cache,
             ),
         }
     }
@@ -720,6 +778,8 @@ fn dse_reply(
         // cold one-shot invocation.
         compile_hits: result.spec_compile_hits(),
         compile_misses: result.compile_unique,
+        layer_hits: result.spec_layer_hits(),
+        layer_misses: result.layer_unique,
         frontier: result
             .pareto_frontier()
             .iter()
@@ -745,6 +805,7 @@ pub fn chip_area_mm2(arch: &ArchConfig, options: &SimOptions) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bitfusion_sim::BitFusionSim;
 
     #[test]
     fn report_matches_direct_simulation() {
@@ -829,6 +890,73 @@ mod tests {
             1,
             "bandwidth axis reused the same artifact"
         );
+    }
+
+    #[test]
+    fn layer_tier_warms_across_commands_without_changing_bytes() {
+        let session = Session::new();
+        let req = Request::Report {
+            benchmark: "resnet-18".into(),
+            batch: 16,
+            bandwidth: None,
+            arch: ArchPreset::Isca45nm,
+            backend: None,
+            quant: None,
+        };
+        let first = session.handle(&req).encode();
+        let stats = session.layer_cache_stats();
+        assert!(stats.misses > 0, "cold layer cache must evaluate");
+        assert!(
+            stats.hits > 0,
+            "ResNet-18 repeats basic blocks within one plan: {stats:?}"
+        );
+        // The reply reports spec-level sharing and names the tier.
+        assert!(first.contains(r#""layer_cache":{"hits":"#), "{first}");
+        let second = session.handle(&req).encode();
+        assert_eq!(first, second, "layer-cache warmth must never change bytes");
+        assert_eq!(
+            session.layer_cache_stats().misses,
+            stats.misses,
+            "warm repeat evaluates nothing new"
+        );
+    }
+
+    #[test]
+    fn sweep_and_dse_replies_carry_layer_counters() {
+        let session = Session::new();
+        match session.handle(&Request::Sweep {
+            benchmark: "resnet-18".into(),
+            axis: SweepAxis::Bandwidth,
+            backend: None,
+            quant: None,
+        }) {
+            Response::Sweep(r) => {
+                assert!(r.layer_misses > 0);
+                assert!(
+                    r.layer_hits > 0,
+                    "repeated shapes across the sweep: {} hits / {} misses",
+                    r.layer_hits,
+                    r.layer_misses
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let params = DseParams {
+            rows: vec![16],
+            cols: vec![16],
+            bandwidth: vec![128],
+            batches: vec![16],
+            networks: Some(vec!["resnet-18".into()]),
+            workers: 1,
+            ..DseParams::default()
+        };
+        match session.handle(&Request::Dse(params)) {
+            Response::Dse(r) => {
+                assert!(r.layer_misses > 0);
+                assert!(r.layer_hits > 0, "{r:?}");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

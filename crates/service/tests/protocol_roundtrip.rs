@@ -306,6 +306,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         (arb_f64(), arb_f64()),
         arb_energy(),
         arb_stalls(),
+        (arb_u64(), arb_u64()),
         prop::collection::vec(arb_layer(), 0..4),
     )
         .prop_map(
@@ -315,6 +316,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 (latency_ms_per_input, macs_per_cycle),
                 energy_per_input,
                 stalls,
+                (layer_hits, layer_misses),
                 layers,
             )| {
                 Response::Report(ReportReply {
@@ -330,6 +332,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     macs_per_cycle,
                     energy_per_input,
                     stalls,
+                    layer_hits,
+                    layer_misses,
                     layers,
                 })
             },
@@ -384,6 +388,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         });
     let sweep = (
         (arb_name(), arb_axis(), arb_backend(), arb_opt_quant(), arb_u64()),
+        (arb_u64(), arb_u64()),
         prop::collection::vec(
             (arb_u64(), arb_u64(), arb_f64(), arb_f64()).prop_map(
                 |(value, cycles, cycles_per_input, speedup)| SweepPointInfo {
@@ -396,16 +401,20 @@ fn arb_response() -> impl Strategy<Value = Response> {
             0..6,
         ),
     )
-        .prop_map(|((benchmark, axis, backend, quant, baseline), points)| {
-            Response::Sweep(SweepReply {
-                benchmark,
-                axis,
-                backend,
-                quant,
-                baseline,
-                points,
-            })
-        });
+        .prop_map(
+            |((benchmark, axis, backend, quant, baseline), (layer_hits, layer_misses), points)| {
+                Response::Sweep(SweepReply {
+                    benchmark,
+                    axis,
+                    backend,
+                    quant,
+                    baseline,
+                    layer_hits,
+                    layer_misses,
+                    points,
+                })
+            },
+        );
     let dse = (
         (arb_backend(), arb_u64(), arb_u64(), arb_u64()),
         (
@@ -423,7 +432,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 0..3,
             ),
         ),
-        (arb_u64(), arb_u64()),
+        (arb_u64(), arb_u64(), arb_u64(), arb_u64()),
         prop::collection::vec(
             (arb_name(), arb_name(), arb_name()).prop_map(|(model, arch, error)| {
                 InfeasibleInfo { model, arch, error }
@@ -468,7 +477,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             |(
                 (backend, grid_points, points, infeasible),
                 (quants, speedup_baseline, quant_speedups),
-                (compile_hits, compile_misses),
+                (compile_hits, compile_misses, layer_hits, layer_misses),
                 infeasible_sample,
                 frontier,
             )| {
@@ -483,6 +492,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     infeasible_sample,
                     compile_hits,
                     compile_misses,
+                    layer_hits,
+                    layer_misses,
                     frontier,
                 })
             },

@@ -25,6 +25,14 @@
 //!   the session facade passes its own, so repeated explorations (and
 //!   `report`/`compare`/`sweep` requests touching the same keys) skip
 //!   compilation entirely;
+//! * **memoized evaluation** — below the artifact cache sits the layer
+//!   tier ([`crate::layer_cache`]): per-layer results keyed on structural
+//!   fingerprints, so a repeated layer shape — within a network, across
+//!   duplicate models, or across re-explorations — is evaluated once per
+//!   unique `(layer, batch, geometry, bandwidth, backend/options)` key.
+//!   [`explore_with_caches`] accepts both tiers caller-owned;
+//!   [`DseResult::layer_evals`] / [`DseResult::layer_unique`] report the
+//!   spec-level sharing;
 //! * **worker model** — unique compilations, then per-point evaluations,
 //!   are each sharded across a [`crate::pool`] scoped thread pool. Results
 //!   land in point-index order, so the output — and every Pareto frontier
@@ -38,9 +46,11 @@
 //! The Figure 15/16 sweeps in [`crate::sweep`] are thin views over this
 //! engine. See `DESIGN.md`, "Design-space exploration".
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use bitfusion_compiler::{ArtifactCache, ArtifactKey, CachedPlan, CompileError};
+use bitfusion_compiler::{
+    layer_fingerprint, ArtifactCache, ArtifactKey, CachedPlan, CompileError, LayerKey,
+};
 use bitfusion_core::arch::ArchConfig;
 use bitfusion_core::grid::ArchGrid;
 use bitfusion_dnn::model::Model;
@@ -50,6 +60,7 @@ use bitfusion_energy::{ChipArea, FusionEnergy};
 
 use crate::backend::SimBackend;
 use crate::engine::SimOptions;
+use crate::layer_cache::{eval_context, evaluate_layer_cached, LayerPerfCache};
 use crate::pool::map_indexed;
 use crate::stats::{PerfReport, StallBreakdown};
 
@@ -228,6 +239,15 @@ pub struct DseResult {
     /// cache warms (`compile_misses == compile_unique` on a cold cache) —
     /// so protocol responses report sharing in terms of this.
     pub compile_unique: u64,
+    /// Layer evaluations the run's evaluated points requested (every layer
+    /// of every point that reached a compiled plan).
+    pub layer_evals: u64,
+    /// Unique layer-tier keys those evaluations resolve to — the number of
+    /// backend evaluations actually needed. Deterministic for a given spec
+    /// (unlike the layer cache's own hit/miss counters, which depend on
+    /// warmth), so protocol responses report layer sharing in terms of
+    /// this.
+    pub layer_unique: u64,
 }
 
 impl DseResult {
@@ -281,6 +301,16 @@ impl DseResult {
     /// byte-identical between cold and warm sessions.
     pub fn spec_compile_hits(&self) -> u64 {
         self.compilable_points() - self.compile_unique
+    }
+
+    /// Spec-level layer-tier sharing, independent of cache warmth: layer
+    /// evaluations answered by a key some other layer of the same run also
+    /// resolves to — repeated shapes within a network (ResNet basic
+    /// blocks), duplicate models, and aliasing quant specs. The typed
+    /// protocol reports this for the same reason as
+    /// [`DseResult::spec_compile_hits`].
+    pub fn spec_layer_hits(&self) -> u64 {
+        self.layer_evals - self.layer_unique
     }
 
     /// The Pareto frontier over (total cycles, total energy, area):
@@ -461,26 +491,45 @@ pub fn explore<B: SimBackend + Sync>(spec: &DseSpec, backend: &B, workers: usize
     explore_with_cache(spec, backend, workers, &ArtifactCache::default())
 }
 
-/// Explores the spec on `backend`, sharded across `workers` threads
-/// (`0` = use [`crate::pool::default_workers`]; `1` = the sequential
-/// baseline), resolving compilations through `cache`.
-///
-/// Two sharded phases: every unique compilation not already resident in
-/// `cache` first (each exactly once, whatever the worker count), then every
-/// point evaluation against the resolved plans. Invalid configurations and
-/// compile failures become [`InfeasiblePoint`]s rather than aborting the
-/// sweep — a wide grid is expected to contain corners no tiling fits.
-///
-/// Results do not depend on the cache's warmth: plans are pinned in a local
-/// table for the duration of the run (eviction cannot drop a plan mid-run),
-/// and compilation is deterministic. Only [`DseResult::compile_hits`] /
-/// [`DseResult::compile_misses`] — and wall-clock time — change between a
-/// cold and a warm cache.
+/// Explores the spec on `backend` through a shared artifact (model-tier)
+/// cache and a private, throwaway layer-tier cache — see
+/// [`explore_with_caches`], which this delegates to, for the two-tier
+/// (session-owned) variant.
 pub fn explore_with_cache<B: SimBackend + Sync>(
     spec: &DseSpec,
     backend: &B,
     workers: usize,
     cache: &ArtifactCache,
+) -> DseResult {
+    explore_with_caches(spec, backend, workers, cache, &LayerPerfCache::default())
+}
+
+/// Explores the spec on `backend`, sharded across `workers` threads
+/// (`0` = use [`crate::pool::default_workers`]; `1` = the sequential
+/// baseline), resolving compilations through `cache` and per-layer
+/// evaluations through `layer_cache`.
+///
+/// Two sharded phases: every unique compilation not already resident in
+/// `cache` first (each exactly once, whatever the worker count), then every
+/// point evaluation against the resolved plans — each layer routed through
+/// the layer tier, so a repeated shape is evaluated once per
+/// [`LayerKey`] however many points and layers request it. Invalid
+/// configurations and compile failures become [`InfeasiblePoint`]s rather
+/// than aborting the sweep — a wide grid is expected to contain corners no
+/// tiling fits.
+///
+/// Results do not depend on either cache's warmth: plans are pinned in a
+/// local table for the duration of the run (eviction cannot drop a plan
+/// mid-run), and both compilation and evaluation are deterministic
+/// functions of their keys. Only [`DseResult::compile_hits`] /
+/// [`DseResult::compile_misses`], the caches' own counters, and wall-clock
+/// time change between cold and warm caches.
+pub fn explore_with_caches<B: SimBackend + Sync>(
+    spec: &DseSpec,
+    backend: &B,
+    workers: usize,
+    cache: &ArtifactCache,
+    layer_cache: &LayerPerfCache,
 ) -> DseResult {
     let workers = if workers == 0 {
         crate::pool::default_workers()
@@ -604,6 +653,39 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
     let compile_misses = missing.len() as u64;
     let compile_hits = point_refs.iter().filter(|p| feasible(p)).count() as u64 - compile_misses;
 
+    // Layer fingerprints, hashed once per unique plan (not once per point ×
+    // layer), and the evaluation context shared by every phase-2 lookup.
+    let layer_fps: Vec<Option<Vec<u64>>> = plans
+        .iter()
+        .map(|p| match p.as_ref() {
+            Ok(plan) => Some(plan.layers.iter().map(layer_fingerprint).collect()),
+            Err(_) => None,
+        })
+        .collect();
+    let context = eval_context(backend.name(), &opts);
+
+    // Spec-level layer-tier counters, from the key sets alone: how many
+    // layer evaluations the points request and how many unique keys they
+    // resolve to. Warmth-independent by construction (the cache is never
+    // consulted), so protocol responses built on them stay byte-identical
+    // between cold and warm sessions.
+    let mut layer_evals: u64 = 0;
+    let mut layer_keys: HashSet<LayerKey> = HashSet::new();
+    for p in &point_refs {
+        if !feasible(p) {
+            continue;
+        }
+        let arch = &archs[p.arch];
+        let idx = key_index[&LocalKey::of(p.variant, p.batch, arch)];
+        if let Some(fps) = &layer_fps[idx] {
+            layer_evals += fps.len() as u64;
+            for &fp in fps {
+                layer_keys.insert(LayerKey::of(fp, arch, p.batch, context));
+            }
+        }
+    }
+    let layer_unique = layer_keys.len() as u64;
+
     // Phase 2: evaluate every point against its cached plan.
     enum Outcome {
         Ok(Box<DsePoint>),
@@ -636,7 +718,8 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
             }
         };
         let key = LocalKey::of(p.variant, p.batch, arch);
-        let plan = &plans[key_index[&key]];
+        let idx = key_index[&key];
+        let plan = &plans[idx];
         match plan.as_ref() {
             Err(e) => Outcome::Infeasible(Box::new(InfeasiblePoint {
                 arch: arch.clone(),
@@ -646,6 +729,7 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
                 error: PointError::Compile(e.clone()),
             })),
             Ok(plan) => {
+                let fps = layer_fps[idx].as_ref().expect("Ok plan has fingerprints");
                 let report = PerfReport {
                     model_name: model.name.clone(),
                     batch: p.batch,
@@ -653,7 +737,20 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
                     layers: plan
                         .layers
                         .iter()
-                        .map(|l| backend.evaluate_layer(l, arch, &energy, &opts))
+                        .zip(fps)
+                        .map(|(l, &fp)| {
+                            evaluate_layer_cached(
+                                backend,
+                                l,
+                                fp,
+                                p.batch,
+                                arch,
+                                &energy,
+                                &opts,
+                                context,
+                                layer_cache,
+                            )
+                        })
                         .collect(),
                 };
                 let area_mm2 = ChipArea::of(arch, opts.node).chip_mm2();
@@ -685,6 +782,8 @@ pub fn explore_with_cache<B: SimBackend + Sync>(
         compile_hits,
         compile_misses,
         compile_unique,
+        layer_evals,
+        layer_unique,
     }
 }
 
@@ -743,6 +842,75 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.len, 16);
         assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn layer_tier_collapses_repeated_shapes_and_stays_byte_identical() {
+        let spec = DseSpec {
+            grid: ArchGrid {
+                dram_bits_per_cycle: vec![64, 192],
+                ..ArchGrid::from_base(ArchConfig::isca_45nm())
+            },
+            models: vec![Benchmark::ResNet18.model()],
+            quant_specs: vec![QuantSpec::paper()],
+            batches: vec![16],
+            options: SimOptions::default(),
+        };
+        let cache = ArtifactCache::default();
+        let layer_cache = LayerPerfCache::default();
+        let cold = explore_with_caches(&spec, &AnalyticBackend, 2, &cache, &layer_cache);
+        // ResNet-18's basic blocks repeat shapes: fewer unique keys than
+        // evaluations even though the 2-point bandwidth axis splits keys.
+        assert!(
+            cold.layer_unique < cold.layer_evals,
+            "{} unique / {} evals",
+            cold.layer_unique,
+            cold.layer_evals
+        );
+        assert_eq!(cold.spec_layer_hits(), cold.layer_evals - cold.layer_unique);
+        let cold_stats = layer_cache.stats();
+        assert_eq!(cold_stats.misses, cold.layer_unique, "cold cache evaluates each key once");
+        assert_eq!(
+            cold_stats.hits + cold_stats.misses,
+            cold.layer_evals,
+            "every evaluation goes through the tier"
+        );
+        // Warm re-run: zero new evaluations, identical results and
+        // identical spec-level counters.
+        let warm = explore_with_caches(&spec, &AnalyticBackend, 2, &cache, &layer_cache);
+        assert_eq!(layer_cache.stats().misses, cold_stats.misses);
+        assert_eq!(warm.layer_evals, cold.layer_evals);
+        assert_eq!(warm.layer_unique, cold.layer_unique);
+        for (a, b) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(a.report, b.report, "{}/{}", a.model_name, a.batch);
+        }
+        // And the tiered path matches the untier-ed baseline bit for bit.
+        let direct = explore(&spec, &AnalyticBackend, 1);
+        for (a, b) in direct.points.iter().zip(&cold.points) {
+            assert_eq!(a.report, b.report, "{}/{}", a.model_name, a.batch);
+        }
+    }
+
+    #[test]
+    fn layer_counters_separate_quantizations() {
+        let spec = DseSpec {
+            grid: ArchGrid::from_base(ArchConfig::isca_45nm()),
+            models: vec![Benchmark::Lstm.model()],
+            quant_specs: vec![QuantSpec::paper(), QuantSpec::parse("uniform16").unwrap()],
+            batches: vec![1],
+            options: SimOptions::default(),
+        };
+        let result = explore(&spec, &AnalyticBackend, 1);
+        // LSTM's paper assignment is uniform 4/4; the 16-bit variant tiles
+        // differently, so the two points must not share layer keys beyond
+        // what each shares internally.
+        let per_point: u64 = result.points[0].report.layers.len() as u64;
+        assert_eq!(result.layer_evals, 2 * per_point);
+        assert!(
+            result.layer_unique > per_point,
+            "quantizations must not alias: {} unique",
+            result.layer_unique
+        );
     }
 
     #[test]

@@ -62,6 +62,105 @@ fn postop_cycles(ops: u64, cols: u64) -> u64 {
     ops.div_ceil(cols.max(1))
 }
 
+/// A derated rate (`raw × efficiency` units per cycle) held as an exact
+/// dyadic rational `num / 2^shift`, for overflow- and precision-safe cycle
+/// division.
+///
+/// The product `raw as f64 * efficiency` is computed once in f64 and
+/// decomposed *exactly* into the rational. [`DeratedRate::cycles_for`]
+/// then picks its arithmetic by range:
+///
+/// * while both the amount and the quotient sit inside f64's
+///   integer-exact range (below 2^53), one correctly-rounded f64 division
+///   — bit-identical to the historical
+///   `(amount as f64 / rate).ceil() as u64`, which is also the intended
+///   semantics: `896` bits at a nominal `89.6` bits/cycle is 10 cycles,
+///   not 11 ceiled against the rate's representation error;
+/// * beyond 2^53 — where the old path silently dropped low bits of the
+///   dividend, and a blown-up quotient ceiled to nothing — the division
+///   runs as an integer `div_ceil` against the rational in u128,
+///   saturating at `u64::MAX` instead of wrapping through a cast.
+///
+/// A zero, negative, or non-finite rate yields `u64::MAX` cycles for any
+/// nonzero amount (a dead channel never transfers) rather than a float
+/// `inf` squeezed through a cast. Rates below ~2^-11 clamp the denominator
+/// at 2^63, rounding the mantissa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeratedRate {
+    /// Mantissa of the rate: `rate = num / 2^shift`, `num == 0` meaning a
+    /// dead channel.
+    num: u64,
+    shift: u32,
+}
+
+impl DeratedRate {
+    /// The rate `raw * efficiency`, derived from the f64 product exactly.
+    pub fn new(raw: u64, efficiency: f64) -> Self {
+        let rate = raw as f64 * efficiency;
+        if !rate.is_finite() || rate <= 0.0 {
+            return DeratedRate { num: 0, shift: 0 };
+        }
+        // Decompose the positive finite f64 exactly: rate = m * 2^e.
+        let bits = rate.to_bits();
+        let biased = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mut m, mut e) = if biased == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1u64 << 52), biased - 1075)
+        };
+        // Reduce common powers of two so integer rates get shift 0.
+        let strip = (m.trailing_zeros() as i64).min((-e).max(0));
+        m >>= strip;
+        e += strip;
+        if e >= 0 {
+            // An integer rate; e is small (the mantissa has 53 bits and
+            // the rate came from a u64 product, so m << e fits).
+            let num = m.checked_shl(e as u32).unwrap_or(u64::MAX);
+            DeratedRate { num, shift: 0 }
+        } else if -e <= 63 {
+            DeratedRate {
+                num: m,
+                shift: (-e) as u32,
+            }
+        } else {
+            // Rates below ~2^-11 of a unit/cycle: cap the denominator at
+            // 2^63 (so `amount << shift` fits u128), rounding the mantissa.
+            let extra = ((-e) - 63) as u32;
+            let num = if extra >= 64 { 1 } else { (m >> extra).max(1) };
+            DeratedRate { num, shift: 63 }
+        }
+    }
+
+    /// The rate as the f64 it was built from (the dyadic decomposition is
+    /// exact, so this reconstructs it exactly — `num` never exceeds 53
+    /// significant bits and scaling by a power of two is lossless).
+    fn rate_f64(&self) -> f64 {
+        self.num as f64 * (2.0f64).powi(-(self.shift as i32))
+    }
+
+    /// Ceiling cycles to move `amount` units at this rate, saturating at
+    /// `u64::MAX` (never an f64-precision-corrupted count).
+    pub fn cycles_for(&self, amount: u64) -> u64 {
+        const F64_EXACT: u64 = 1 << 53;
+        if amount == 0 {
+            return 0;
+        }
+        if self.num == 0 {
+            return u64::MAX;
+        }
+        if amount < F64_EXACT {
+            let q = (amount as f64 / self.rate_f64()).ceil();
+            if q < F64_EXACT as f64 {
+                return q as u64;
+            }
+        }
+        let numer = (amount as u128) << self.shift;
+        let cycles = numer.div_ceil(self.num as u128);
+        u64::try_from(cycles).unwrap_or(u64::MAX)
+    }
+}
+
 /// The energy model shared by both simulation backends: datapath + RF from
 /// the mapping facts, buffer traffic from the mapping plus the block's DMA
 /// counts, DRAM from the summary. Backends differ in *timing* only, so the
@@ -127,18 +226,23 @@ pub fn evaluate_layer(
     let summary = summarize(&layer.block);
 
     // --- Compute timing. ---
-    let fill_drain = m.fill_passes * (arch.rows as u64 + arch.cols as u64);
-    let mac_cycles = m.compute_steps * m.temporal_cycles + fill_drain;
+    let systolic = DeratedRate::new(1, opts.systolic_efficiency);
+    let fill_drain = m
+        .fill_passes
+        .saturating_mul(arch.rows as u64 + arch.cols as u64);
+    let mac_cycles = m
+        .compute_steps
+        .saturating_mul(m.temporal_cycles)
+        .saturating_add(fill_drain);
     let post_cycles = postop_cycles(m.postop_ops, m.cols);
     // Post-processing units run concurrently with the array; the layer's
     // compute time is whichever pipe is longer.
-    let compute_cycles =
-        ((mac_cycles.max(post_cycles)) as f64 / opts.systolic_efficiency).ceil() as u64;
+    let compute_cycles = systolic.cycles_for(mac_cycles.max(post_cycles));
 
     // --- DMA timing. ---
     let dram_bits = summary.dram_bits();
-    let effective_bw = arch.dram_bits_per_cycle as f64 * opts.dram_efficiency;
-    let dma_cycles = (dram_bits as f64 / effective_bw).ceil() as u64;
+    let effective_bw = DeratedRate::new(arch.dram_bits_per_cycle as u64, opts.dram_efficiency);
+    let dma_cycles = effective_bw.cycles_for(dram_bits);
 
     // Prologue: the first weight and input tiles (plus any fused residual
     // stream's first slice — it rides IBUF too) cannot overlap with compute
@@ -152,15 +256,17 @@ pub fn evaluate_layer(
         * layer.gemm.pair.weight.bits() as u64
         + layer.tile_plan.tiles.k * layer.tile_plan.tiles.n * layer.gemm.pair.input.bits() as u64
         + residual_tile_bits(&layer.gemm, layer.tile_plan.tiles, residual_bits);
-    let prologue = (first_tiles_bits as f64 / effective_bw).ceil() as u64;
+    let prologue = effective_bw.cycles_for(first_tiles_bits);
     let dma_after_prologue = dma_cycles.saturating_sub(prologue);
 
-    let cycles = prologue + compute_cycles.max(dma_after_prologue);
+    let cycles = prologue.saturating_add(compute_cycles.max(dma_after_prologue));
 
     // Whole-layer stall estimate from the closed form: the slower pipe
     // covers the faster one; the array also idles through the prologue.
     let stalls = StallBreakdown {
-        bandwidth_starved: dma_after_prologue.saturating_sub(compute_cycles) + prologue,
+        bandwidth_starved: dma_after_prologue
+            .saturating_sub(compute_cycles)
+            .saturating_add(prologue),
         compute_starved: compute_cycles.saturating_sub(dma_after_prologue),
         fill_drain,
     };
@@ -306,6 +412,128 @@ mod tests {
             let perf = evaluate_layer(l, &arch, &e, &SimOptions::default());
             assert_eq!(perf.dram_bits, summarize(&l.block).dram_bits(), "{}", l.name);
         }
+    }
+
+    #[test]
+    fn derated_rate_matches_the_f64_path_at_ordinary_sizes() {
+        // Below 2^53 the rational division must reproduce the historical
+        // `(x as f64 / (raw as f64 * eff)).ceil() as u64` bit for bit —
+        // this is what keeps every pinned cycle figure in place.
+        let cases: &[(u64, f64)] = &[
+            (128, 0.70),
+            (128, 0.35),
+            (1, 0.85),
+            (1, 0.5),
+            (512, 0.70),
+            (32, 0.999),
+            (64, 1.0),
+        ];
+        let amounts = [
+            0u64,
+            1,
+            7,
+            896,
+            12_345,
+            1_048_576,
+            999_999_937,
+            (1u64 << 40) + 12_345,
+            (1u64 << 52) - 1,
+        ];
+        for &(raw, eff) in cases {
+            let rate = DeratedRate::new(raw, eff);
+            let legacy_rate = raw as f64 * eff;
+            for &amount in &amounts {
+                let legacy = (amount as f64 / legacy_rate).ceil() as u64;
+                assert_eq!(
+                    rate.cycles_for(amount),
+                    legacy,
+                    "raw={raw} eff={eff} amount={amount}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derated_rate_is_exact_above_f64_integer_range() {
+        // The bug under test: `(x as f64)` drops low bits of any x above
+        // 2^53, so the legacy ceil-divide silently undercounted cycles.
+        // The rational path must not.
+        let unit = DeratedRate::new(1, 1.0);
+        let x = (1u64 << 53) + 1; // not representable in f64
+        assert_eq!(unit.cycles_for(x), x);
+        assert_eq!((x as f64).ceil() as u64, x - 1, "f64 loses the +1");
+
+        // Quarter rate: the exact answer is 4x; the f64 round-trip of x
+        // loses its low bits first.
+        let quarter = DeratedRate::new(1, 0.25);
+        let x = (1u64 << 60) + 7;
+        assert_eq!(quarter.cycles_for(x), 4 * x);
+        assert_ne!((x as f64 / 0.25).ceil() as u64, 4 * x);
+
+        // Ground truth against u128 arithmetic at a messy rate: 89.6
+        // bits/cycle as its exact f64 rational.
+        let bw = DeratedRate::new(128, 0.70);
+        let exact_rate = 128.0f64 * 0.70;
+        let bits = exact_rate.to_bits();
+        let m = (bits & ((1u64 << 52) - 1)) | (1u64 << 52);
+        let e = ((bits >> 52) & 0x7ff) as i64 - 1075; // rate = m * 2^e, e < 0
+        for x in [u64::MAX, (1u64 << 62) + 999_999_937, (1u64 << 54) - 3] {
+            let want = ((x as u128) << (-e) as u32).div_ceil(m as u128);
+            let want = u64::try_from(want).unwrap_or(u64::MAX);
+            assert_eq!(bw.cycles_for(x), want, "x={x}");
+        }
+    }
+
+    #[test]
+    fn derated_rate_saturates_instead_of_overflowing() {
+        // A derated result past u64::MAX saturates...
+        let tiny = DeratedRate::new(1, f64::MIN_POSITIVE);
+        assert_eq!(tiny.cycles_for(u64::MAX), u64::MAX);
+        assert_eq!(tiny.cycles_for(2), u64::MAX);
+        assert!(tiny.cycles_for(1) >= 1 << 63, "clamped rate still enormous");
+        // ...and a dead or nonsensical channel never divides by zero.
+        for rate in [
+            DeratedRate::new(0, 0.7),
+            DeratedRate::new(128, 0.0),
+            DeratedRate::new(128, -1.0),
+            DeratedRate::new(128, f64::NAN),
+            DeratedRate::new(128, f64::INFINITY),
+        ] {
+            assert_eq!(rate.cycles_for(0), 0);
+            assert_eq!(rate.cycles_for(1), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn pathological_derating_keeps_backends_in_agreement() {
+        // Satellite regression: with a derate small enough that per-layer
+        // cycle counts land beyond 2^53, both backends must still agree
+        // within the cross-validation band (the old f64 path made them
+        // drift independently). 1e-11 of 128 bits/cycle pushes RNN's
+        // DMA-dominated layers past 10^16 cycles.
+        use crate::backend::{AnalyticBackend, SimBackend, BACKEND_CYCLE_TOLERANCE};
+        use crate::event::EventBackend;
+        let arch = ArchConfig::isca_45nm();
+        let opts = SimOptions {
+            dram_efficiency: 1e-11,
+            ..SimOptions::default()
+        };
+        let plan = compile(&Benchmark::Rnn.model(), &arch, 1).unwrap();
+        let e = FusionEnergy::isca_45nm();
+        let (mut an_total, mut ev_total) = (0u64, 0u64);
+        for l in &plan.layers {
+            let an = AnalyticBackend.evaluate_layer(l, &arch, &e, &opts);
+            let ev = EventBackend.evaluate_layer(l, &arch, &e, &opts);
+            assert!(an.cycles > 1 << 53, "not pathological: {}", an.cycles);
+            assert_eq!(an.dram_bits, ev.dram_bits, "{}", l.name);
+            an_total += an.cycles;
+            ev_total += ev.cycles;
+        }
+        let rel = (ev_total as f64 - an_total as f64).abs() / an_total as f64;
+        assert!(
+            rel < BACKEND_CYCLE_TOLERANCE,
+            "event {ev_total} vs analytic {an_total}"
+        );
     }
 
     #[test]

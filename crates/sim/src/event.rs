@@ -32,7 +32,7 @@ use bitfusion_isa::walker::{for_each_segment, BlockSummary, Segment};
 use bitfusion_isa::{ComputeFn, Scratchpad};
 
 use crate::backend::SimBackend;
-use crate::engine::{energy_for_layer, SimOptions};
+use crate::engine::{energy_for_layer, DeratedRate, SimOptions};
 use crate::stats::{BufferOccupancy, LayerPerf, StallBreakdown};
 
 /// The trace-driven (segment-timeline) performance model.
@@ -101,22 +101,21 @@ impl Timeline {
     }
 }
 
-/// Static per-layer costs the timeline applies to every segment.
+/// Static per-layer costs the timeline applies to every segment. Both
+/// derates are exact rationals ([`DeratedRate`]): cycle division stays
+/// integer-exact at any segment size instead of round-tripping through
+/// f64 (which silently loses precision above 2^53 bits).
 struct SegmentCosts {
-    effective_bw: f64,
+    effective_bw: DeratedRate,
     temporal_cycles: u64,
     steps_per_pass: u64,
     fill_cost: u64,
-    systolic_efficiency: f64,
+    systolic: DeratedRate,
 }
 
 impl SegmentCosts {
     fn dma_cycles(&self, bits: u64) -> u64 {
-        if bits == 0 {
-            0
-        } else {
-            (bits as f64 / self.effective_bw).ceil() as u64
-        }
+        self.effective_bw.cycles_for(bits)
     }
 
     /// Array cycles for a segment's MAC steps: temporal cycles per step
@@ -127,19 +126,17 @@ impl SegmentCosts {
             return (0, 0);
         }
         let passes = mac_steps.div_ceil(self.steps_per_pass);
-        let fill = passes * self.fill_cost;
-        let raw = mac_steps * self.temporal_cycles + fill;
-        ((raw as f64 / self.systolic_efficiency).ceil() as u64, fill)
+        let fill = passes.saturating_mul(self.fill_cost);
+        let raw = mac_steps
+            .saturating_mul(self.temporal_cycles)
+            .saturating_add(fill);
+        (self.systolic.cycles_for(raw), fill)
     }
 
     /// Post-op pipe cycles: one vector operation per cycle per column unit,
     /// same steady-state derating as the array it is slaved to.
     fn post_cycles(&self, post_steps: u64) -> u64 {
-        if post_steps == 0 {
-            0
-        } else {
-            (post_steps as f64 / self.systolic_efficiency).ceil() as u64
-        }
+        self.systolic.cycles_for(post_steps)
     }
 }
 
@@ -226,11 +223,11 @@ impl SimBackend for EventBackend {
         let m = &layer.mapping;
         let facts = layer.segment_facts();
         let costs = SegmentCosts {
-            effective_bw: arch.dram_bits_per_cycle as f64 * opts.dram_efficiency,
+            effective_bw: DeratedRate::new(arch.dram_bits_per_cycle as u64, opts.dram_efficiency),
             temporal_cycles: m.temporal_cycles,
             steps_per_pass: facts.steps_per_pass.max(1),
             fill_cost: arch.rows as u64 + arch.cols as u64,
-            systolic_efficiency: opts.systolic_efficiency,
+            systolic: DeratedRate::new(1, opts.systolic_efficiency),
         };
 
         let mut timeline = Timeline::new();

@@ -1,0 +1,273 @@
+//! The layer tier of the two-tier cache, instantiated for simulation: a
+//! shared memo of per-layer [`LayerPerf`] results.
+//!
+//! The model tier ([`bitfusion_compiler::ArtifactCache`]) makes *plans*
+//! compile-once; this tier makes *evaluations* run-once. A layer's
+//! performance depends only on its structural fingerprint
+//! ([`bitfusion_compiler::layer_fingerprint`] — shape, `PairPrecision`,
+//! tiling, fused post-ops), the batch, the architecture's geometry and
+//! off-chip bandwidth, and the evaluation context (backend + calibration
+//! knobs, folded into [`eval_context`]). Networks full of repeated layer
+//! shapes — ResNet-18's basic blocks, VGG's conv stacks — and design-space
+//! sweeps that re-visit the same layer at many grid points collapse onto
+//! one evaluation per unique [`LayerKey`].
+//!
+//! Correctness note: cached values are *deterministic* functions of their
+//! key (both backends are pure), so cache warmth can change wall-clock
+//! time but never a result — the service-layer byte-determinism contract
+//! holds whether a result came from the cache or a fresh evaluation. The
+//! one key-exempt field is the layer's *name*: identical twins at
+//! different depths share an entry, so the name is re-stamped from the
+//! requesting layer on every hit.
+
+use bitfusion_compiler::{layer_fingerprint, LayerArtifactCache, LayerKey, PlannedLayer};
+use bitfusion_core::arch::ArchConfig;
+use bitfusion_dnn::model::Model;
+use bitfusion_energy::FusionEnergy;
+
+use crate::backend::SimBackend;
+use crate::engine::SimOptions;
+use crate::stats::{LayerPerf, PerfReport};
+
+/// The layer tier instantiated with simulation results.
+pub type LayerPerfCache = LayerArtifactCache<LayerPerf>;
+
+/// Folds every evaluation input [`LayerKey`] cannot cover structurally
+/// into its `context` discriminant: the backend identity and the exact bit
+/// patterns of the calibration knobs (two [`SimOptions`] differing in the
+/// last ulp of an efficiency are different contexts — never aliased).
+pub fn eval_context(backend_name: &str, opts: &SimOptions) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in backend_name.bytes() {
+        eat(b);
+    }
+    eat(b'|');
+    for bits in [
+        opts.systolic_efficiency.to_bits(),
+        opts.dram_efficiency.to_bits(),
+    ] {
+        for b in bits.to_le_bytes() {
+            eat(b);
+        }
+    }
+    for b in format!("{:?}", opts.node).bytes() {
+        eat(b);
+    }
+    h
+}
+
+/// Evaluates one planned layer through the layer cache: a hit returns the
+/// memoized [`LayerPerf`] (name re-stamped from `layer`), a miss runs the
+/// backend and publishes the result.
+///
+/// `fingerprint` is taken precomputed (see
+/// [`bitfusion_compiler::layer_fingerprint`]) so sweeps hashing a plan's
+/// layers once can reuse them across thousands of points; likewise
+/// `context` (see [`eval_context`]).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_layer_cached<B: SimBackend + ?Sized>(
+    backend: &B,
+    layer: &PlannedLayer,
+    fingerprint: u64,
+    batch: u64,
+    arch: &ArchConfig,
+    energy: &FusionEnergy,
+    opts: &SimOptions,
+    context: u64,
+    cache: &LayerPerfCache,
+) -> LayerPerf {
+    let key = LayerKey::of(fingerprint, arch, batch, context);
+    if let Some(mut perf) = cache.lookup(&key) {
+        // Identical twins at different depths share the entry; only the
+        // name is per-instance.
+        perf.name.clone_from(&layer.name);
+        return perf;
+    }
+    let perf = backend.evaluate_layer(layer, arch, energy, opts);
+    cache.insert(key, perf.clone());
+    perf
+}
+
+/// Evaluates a whole compiled plan through the layer cache, assembling the
+/// same [`PerfReport`] as `BitFusionSim::run_plan` — the session facade's
+/// `report`/`compare` path.
+pub fn run_plan_cached<B: SimBackend + ?Sized>(
+    backend: &B,
+    plan: &bitfusion_compiler::ExecutionPlan,
+    arch: &ArchConfig,
+    energy: &FusionEnergy,
+    opts: &SimOptions,
+    cache: &LayerPerfCache,
+) -> PerfReport {
+    let context = eval_context(backend.name(), opts);
+    PerfReport {
+        model_name: plan.model_name.clone(),
+        batch: plan.batch,
+        freq_mhz: arch.freq_mhz,
+        layers: plan
+            .layers
+            .iter()
+            .map(|l| {
+                evaluate_layer_cached(
+                    backend,
+                    l,
+                    layer_fingerprint(l),
+                    plan.batch,
+                    arch,
+                    energy,
+                    opts,
+                    context,
+                    cache,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Spec-level layer sharing within one plan, independent of cache warmth:
+/// `(hits, misses)` where `misses` is the number of unique layer
+/// fingerprints and `hits` the evaluations they absorb. This is what the
+/// typed protocol reports (warmth-dependent cache counters would break
+/// byte-determinism).
+pub fn plan_layer_sharing(plan: &bitfusion_compiler::ExecutionPlan) -> (u64, u64) {
+    let mut unique = std::collections::HashSet::new();
+    for l in &plan.layers {
+        unique.insert(layer_fingerprint(l));
+    }
+    (
+        plan.layers.len() as u64 - unique.len() as u64,
+        unique.len() as u64,
+    )
+}
+
+/// Compile (direct, uncached model tier) + evaluate through the layer
+/// cache — a convenience mirroring `BitFusionSim::run`.
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn run_cached<B: SimBackend + ?Sized>(
+    backend: &B,
+    model: &Model,
+    arch: &ArchConfig,
+    batch: u64,
+    opts: &SimOptions,
+    cache: &LayerPerfCache,
+) -> Result<PerfReport, bitfusion_compiler::CompileError> {
+    let plan = bitfusion_compiler::compile(model, arch, batch)?;
+    let energy = FusionEnergy::isca_45nm();
+    Ok(run_plan_cached(backend, &plan, arch, &energy, opts, cache))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::BitFusionSim;
+    use crate::backend::AnalyticBackend;
+    use crate::event::EventBackend;
+    use bitfusion_dnn::zoo::Benchmark;
+
+    #[test]
+    fn cached_run_matches_the_direct_path_cold_and_warm() {
+        let arch = ArchConfig::isca_45nm();
+        let model = Benchmark::ResNet18.model();
+        let opts = SimOptions::default();
+        let direct = BitFusionSim::new(arch.clone()).run(&model, 16).unwrap();
+        let cache = LayerPerfCache::default();
+        let cold = run_cached(&AnalyticBackend, &model, &arch, 16, &opts, &cache).unwrap();
+        assert_eq!(cold, direct, "cold cached run must equal the direct path");
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "ResNet-18 repeats basic blocks: {stats:?}");
+        let warm = run_cached(&AnalyticBackend, &model, &arch, 16, &opts, &cache).unwrap();
+        assert_eq!(warm, direct, "warmth must never change bytes");
+        assert_eq!(cache.stats().misses, stats.misses, "no re-evaluation");
+    }
+
+    #[test]
+    fn twin_layers_keep_their_own_names() {
+        let arch = ArchConfig::isca_45nm();
+        let cache = LayerPerfCache::default();
+        let report = run_cached(
+            &AnalyticBackend,
+            &Benchmark::ResNet18.model(),
+            &arch,
+            16,
+            &SimOptions::default(),
+            &cache,
+        )
+        .unwrap();
+        let mut names = std::collections::HashSet::new();
+        for l in &report.layers {
+            assert!(names.insert(l.name.clone()), "duplicate name {}", l.name);
+        }
+    }
+
+    #[test]
+    fn contexts_split_backends_options_and_nodes() {
+        let base = SimOptions::default();
+        let analytic = eval_context("analytic", &base);
+        assert_eq!(analytic, eval_context("analytic", &base));
+        assert_ne!(analytic, eval_context("event", &base));
+        let slow = SimOptions {
+            dram_efficiency: 0.35,
+            ..base
+        };
+        assert_ne!(analytic, eval_context("analytic", &slow));
+        let node16 = SimOptions {
+            node: bitfusion_energy::TechNode::Nm16,
+            ..base
+        };
+        assert_ne!(analytic, eval_context("analytic", &node16));
+    }
+
+    #[test]
+    fn backends_never_share_layer_entries() {
+        // One cache serving both backends: the context discriminant keeps
+        // the event backend's stall-attributed results from answering
+        // analytic requests.
+        let arch = ArchConfig::isca_45nm();
+        let model = Benchmark::Rnn.model();
+        let opts = SimOptions::default();
+        let cache = LayerPerfCache::default();
+        let an = run_cached(&AnalyticBackend, &model, &arch, 1, &opts, &cache).unwrap();
+        let ev = run_cached(&EventBackend, &model, &arch, 1, &opts, &cache).unwrap();
+        assert_eq!(an.total_dram_bits(), ev.total_dram_bits());
+        assert_ne!(
+            an.layers[0].cycles, ev.layers[0].cycles,
+            "backends differ in timing, so entries must not alias"
+        );
+        let direct_ev = BitFusionSim::event(arch).run(&model, 1).unwrap();
+        assert_eq!(ev, direct_ev);
+    }
+
+    #[test]
+    fn bandwidth_splits_layer_entries() {
+        let model = Benchmark::Rnn.model();
+        let opts = SimOptions::default();
+        let cache = LayerPerfCache::default();
+        let narrow = ArchConfig::isca_45nm().with_bandwidth(32);
+        let wide = ArchConfig::isca_45nm().with_bandwidth(512);
+        let slow = run_cached(&AnalyticBackend, &model, &narrow, 16, &opts, &cache).unwrap();
+        let fast = run_cached(&AnalyticBackend, &model, &wide, 16, &opts, &cache).unwrap();
+        assert!(
+            slow.total_cycles() > fast.total_cycles(),
+            "a shared entry across bandwidths would flatten Figure 15"
+        );
+    }
+
+    #[test]
+    fn plan_layer_sharing_is_structural() {
+        let arch = ArchConfig::isca_45nm();
+        let plan =
+            bitfusion_compiler::compile(&Benchmark::ResNet18.model(), &arch, 16).unwrap();
+        let (hits, misses) = plan_layer_sharing(&plan);
+        assert_eq!(hits + misses, plan.layers.len() as u64);
+        assert!(misses >= 1);
+        // ResNet-18 repeats basic-block shapes: some sharing must exist.
+        assert!(hits > 0, "{hits} hits / {misses} unique");
+    }
+}

@@ -19,6 +19,9 @@
 //!   generic over the backend;
 //! * [`stats`] — [`PerfReport`]/[`LayerPerf`] result types plus
 //!   [`StallBreakdown`]/[`BufferOccupancy`];
+//! * [`layer_cache`] — the layer tier of the two-tier cache: memoized
+//!   per-layer evaluation results keyed on structural fingerprints, below
+//!   the model-level artifact cache;
 //! * [`sweep`] — the Figure 15/16 sensitivity sweeps, thin views over the
 //!   DSE engine, generic over the backend;
 //! * [`dse`] — sharded design-space exploration: an
@@ -41,20 +44,24 @@ pub mod backend;
 pub mod dse;
 pub mod engine;
 pub mod event;
+pub mod layer_cache;
 pub mod pool;
 pub mod stats;
 pub mod sweep;
 
 pub use accelerator::BitFusionSim;
 pub use backend::{AnalyticBackend, SimBackend, BACKEND_CYCLE_TOLERANCE};
-pub use engine::{energy_for_layer, evaluate_layer, SimOptions};
+pub use engine::{energy_for_layer, evaluate_layer, DeratedRate, SimOptions};
 pub use event::EventBackend;
+pub use layer_cache::{
+    eval_context, evaluate_layer_cached, plan_layer_sharing, run_plan_cached, LayerPerfCache,
+};
 pub use stats::{BufferOccupancy, LayerPerf, PerfReport, StallBreakdown};
 pub use dse::{
-    explore, explore_with_cache, ArchSummary, DsePoint, DseResult, DseSpec, InfeasiblePoint,
-    PointError, QuantSpeedup, QuantSummary,
+    explore, explore_with_cache, explore_with_caches, ArchSummary, DsePoint, DseResult, DseSpec,
+    InfeasiblePoint, PointError, QuantSpeedup, QuantSummary,
 };
 pub use sweep::{
-    bandwidth_sweep, bandwidth_sweep_cached, bandwidth_sweep_with, batch_sweep,
-    batch_sweep_cached, batch_sweep_with, Sweep, SweepPoint,
+    bandwidth_sweep, bandwidth_sweep_cached, bandwidth_sweep_tiered, bandwidth_sweep_with,
+    batch_sweep, batch_sweep_cached, batch_sweep_tiered, batch_sweep_with, Sweep, SweepPoint,
 };

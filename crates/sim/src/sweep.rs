@@ -21,8 +21,9 @@ use bitfusion_dnn::model::Model;
 use bitfusion_dnn::quantspec::QuantSpec;
 
 use crate::backend::{AnalyticBackend, SimBackend};
-use crate::dse::{explore_with_cache, DseSpec, PointError};
+use crate::dse::{explore_with_caches, DseSpec, PointError};
 use crate::engine::SimOptions;
+use crate::layer_cache::LayerPerfCache;
 use crate::stats::PerfReport;
 
 /// One point of a sweep: the swept value and the resulting report.
@@ -41,6 +42,13 @@ pub struct Sweep<T> {
     pub model_name: String,
     /// Points in sweep order.
     pub points: Vec<SweepPoint<T>>,
+    /// Layer evaluations the sweep's points requested (see
+    /// [`crate::dse::DseResult::layer_evals`]).
+    pub layer_evals: u64,
+    /// Unique layer-tier keys those evaluations resolve to — deterministic
+    /// for the sweep, independent of cache warmth (see
+    /// [`crate::dse::DseResult::layer_unique`]).
+    pub layer_unique: u64,
 }
 
 impl<T: Copy + PartialEq> Sweep<T> {
@@ -78,6 +86,12 @@ impl<T: Copy + PartialEq> Sweep<T> {
                 .collect(),
         )
     }
+
+    /// Spec-level layer-tier sharing within this sweep: evaluations
+    /// answered by a key another layer of the same sweep also resolves to.
+    pub fn spec_layer_hits(&self) -> u64 {
+        self.layer_evals - self.layer_unique
+    }
 }
 
 /// Projects a one-axis exploration back into a sweep, propagating the
@@ -87,9 +101,10 @@ fn sweep_view<B: SimBackend + Sync, T>(
     backend: &B,
     spec: &DseSpec,
     cache: &ArtifactCache,
+    layer_cache: &LayerPerfCache,
     value_of: impl Fn(&crate::dse::DsePoint) -> T,
 ) -> Result<Sweep<T>, bitfusion_compiler::CompileError> {
-    let result = explore_with_cache(spec, backend, 1, cache);
+    let result = explore_with_caches(spec, backend, 1, cache, layer_cache);
     if let Some(bad) = result.infeasible.first() {
         return Err(match &bad.error {
             PointError::Compile(e) => e.clone(),
@@ -103,6 +118,8 @@ fn sweep_view<B: SimBackend + Sync, T>(
     }
     Ok(Sweep {
         model_name: spec.models[0].name.clone(),
+        layer_evals: result.layer_evals,
+        layer_unique: result.layer_unique,
         points: result
             .points
             .into_iter()
@@ -144,9 +161,8 @@ pub fn bandwidth_sweep_with<B: SimBackend + Sync>(
 }
 
 /// [`bandwidth_sweep_with`] with explicit calibration options and a shared
-/// artifact cache — the session facade's path. The whole axis resolves to
-/// one artifact key (tiling ignores bandwidth), so a warm cache makes the
-/// sweep compilation-free.
+/// artifact cache, evaluating through a private layer cache — see
+/// [`bandwidth_sweep_tiered`] for the two-tier (session-owned) variant.
 ///
 /// # Errors
 ///
@@ -162,6 +178,41 @@ pub fn bandwidth_sweep_cached<B: SimBackend + Sync>(
     options: SimOptions,
     cache: &ArtifactCache,
 ) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
+    bandwidth_sweep_tiered(
+        backend,
+        base_arch,
+        model,
+        batch,
+        bandwidths,
+        options,
+        cache,
+        &LayerPerfCache::default(),
+    )
+}
+
+/// [`bandwidth_sweep_cached`] with both cache tiers caller-owned — the
+/// session facade's path. The whole axis resolves to one artifact key
+/// (tiling ignores bandwidth), so a warm cache makes the sweep
+/// compilation-free; per-layer evaluations resolve through `layer_cache`
+/// (bandwidth *is* part of the layer key, so each swept value evaluates
+/// its own layers — sharing comes from repeated shapes and warm sessions).
+///
+/// # Errors
+///
+/// Propagates compilation failures, and rejects invalid swept
+/// configurations (e.g. a zero bandwidth) as
+/// [`CompileError::InvalidArch`](bitfusion_compiler::CompileError).
+#[allow(clippy::too_many_arguments)]
+pub fn bandwidth_sweep_tiered<B: SimBackend + Sync>(
+    backend: &B,
+    base_arch: &ArchConfig,
+    model: &Model,
+    batch: u64,
+    bandwidths: &[u32],
+    options: SimOptions,
+    cache: &ArtifactCache,
+    layer_cache: &LayerPerfCache,
+) -> Result<Sweep<u32>, bitfusion_compiler::CompileError> {
     let spec = DseSpec {
         grid: ArchGrid {
             dram_bits_per_cycle: bandwidths.to_vec(),
@@ -172,7 +223,9 @@ pub fn bandwidth_sweep_cached<B: SimBackend + Sync>(
         batches: vec![batch],
         options,
     };
-    sweep_view(backend, &spec, cache, |p| p.arch.dram_bits_per_cycle)
+    sweep_view(backend, &spec, cache, layer_cache, |p| {
+        p.arch.dram_bits_per_cycle
+    })
 }
 
 /// Sweeps off-chip bandwidth on the analytic backend (the fast default).
@@ -212,7 +265,8 @@ pub fn batch_sweep_with<B: SimBackend + Sync>(
 }
 
 /// [`batch_sweep_with`] with explicit calibration options and a shared
-/// artifact cache — the session facade's path.
+/// artifact cache, evaluating through a private layer cache — see
+/// [`batch_sweep_tiered`] for the two-tier (session-owned) variant.
 ///
 /// # Errors
 ///
@@ -225,6 +279,32 @@ pub fn batch_sweep_cached<B: SimBackend + Sync>(
     options: SimOptions,
     cache: &ArtifactCache,
 ) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
+    batch_sweep_tiered(
+        backend,
+        arch,
+        model,
+        batches,
+        options,
+        cache,
+        &LayerPerfCache::default(),
+    )
+}
+
+/// [`batch_sweep_cached`] with both cache tiers caller-owned — the session
+/// facade's path.
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn batch_sweep_tiered<B: SimBackend + Sync>(
+    backend: &B,
+    arch: &ArchConfig,
+    model: &Model,
+    batches: &[u64],
+    options: SimOptions,
+    cache: &ArtifactCache,
+    layer_cache: &LayerPerfCache,
+) -> Result<Sweep<u64>, bitfusion_compiler::CompileError> {
     let spec = DseSpec {
         grid: ArchGrid::from_base(arch.clone()),
         models: vec![model.clone()],
@@ -232,7 +312,7 @@ pub fn batch_sweep_cached<B: SimBackend + Sync>(
         batches: batches.to_vec(),
         options,
     };
-    sweep_view(backend, &spec, cache, |p| p.batch)
+    sweep_view(backend, &spec, cache, layer_cache, |p| p.batch)
 }
 
 /// Sweeps batch size on the analytic backend (the fast default).
@@ -296,6 +376,46 @@ mod tests {
         let sweep = bandwidth_sweep(&arch, &Benchmark::Lstm.model(), 4, &bws).unwrap();
         let got: Vec<u32> = sweep.points.iter().map(|p| p.value).collect();
         assert_eq!(got, bws);
+    }
+
+    #[test]
+    fn tiered_sweep_reuses_layer_results_across_runs() {
+        let arch = ArchConfig::isca_45nm();
+        let model = Benchmark::ResNet18.model();
+        let cache = ArtifactCache::default();
+        let layer_cache = LayerPerfCache::default();
+        let opts = SimOptions::default();
+        let cold = bandwidth_sweep_tiered(
+            &AnalyticBackend,
+            &arch,
+            &model,
+            16,
+            &[64, 128],
+            opts,
+            &cache,
+            &layer_cache,
+        )
+        .unwrap();
+        assert!(cold.spec_layer_hits() > 0, "ResNet-18 repeats shapes");
+        assert_eq!(layer_cache.stats().misses, cold.layer_unique);
+        let misses_after_cold = layer_cache.stats().misses;
+        let warm = bandwidth_sweep_tiered(
+            &AnalyticBackend,
+            &arch,
+            &model,
+            16,
+            &[64, 128],
+            opts,
+            &cache,
+            &layer_cache,
+        )
+        .unwrap();
+        assert_eq!(layer_cache.stats().misses, misses_after_cold, "no re-evaluation");
+        assert_eq!(warm.layer_evals, cold.layer_evals, "counters are warmth-independent");
+        assert_eq!(warm.layer_unique, cold.layer_unique);
+        for (a, b) in cold.points.iter().zip(&warm.points) {
+            assert_eq!(a.report, b.report, "warmth must never change bytes");
+        }
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn main() {
         "\nartifact cache: {} hits, {} misses ({:.0}% hit rate), {}/{} resident",
         stats.hits,
         stats.misses,
-        stats.hit_rate() * 100.0,
+        stats.hit_rate().unwrap_or(0.0) * 100.0,
         stats.len,
         stats.capacity
     );

@@ -453,16 +453,28 @@ fn run() -> Result<ExitCode, UsageError> {
                     return Ok(ExitCode::FAILURE);
                 }
             };
+            // An untouched tier has no hit rate — print `n/a`, not `0.0%`.
+            let rate = |r: Option<f64>| match r {
+                Some(r) => format!("{:.1}%", r * 100.0),
+                None => "n/a".to_string(),
+            };
             let stats = session.cache_stats();
+            let layers = session.layer_cache_stats();
             eprintln!(
-                "serve: {} responses ({} errors); artifact cache: {} hits, {} misses, {} evictions, {}/{} resident",
+                "serve: {} responses ({} errors); artifact cache: {} hits, {} misses, {} evictions, {}/{} resident, {} hit rate; layer cache: {} hits, {} misses, {}/{} resident, {} hit rate",
                 summary.responses,
                 summary.errors,
                 stats.hits,
                 stats.misses,
                 stats.evictions,
                 stats.len,
-                stats.capacity
+                stats.capacity,
+                rate(stats.hit_rate()),
+                layers.hits,
+                layers.misses,
+                layers.len,
+                layers.capacity,
+                rate(layers.hit_rate())
             );
             Ok(ExitCode::SUCCESS)
         }

@@ -172,9 +172,36 @@ this is not json\n";
         Ok(Response::Error { .. }) => {}
         other => panic!("malformed line must answer an error, got {other:?}"),
     }
-    // The serve summary reports the artifact cache's effectiveness.
+    // The serve summary reports both cache tiers' effectiveness, and this
+    // script touched both — so neither rate may read `n/a`.
     let err = stderr_of(&out);
     assert!(err.contains("artifact cache"), "{err}");
+    assert!(err.contains("layer cache"), "{err}");
+    assert!(!err.contains("n/a"), "both tiers were exercised: {err}");
+}
+
+#[test]
+fn serve_summary_says_na_for_untouched_caches() {
+    // A session that never simulates leaves both tiers untouched; the
+    // summary must say `n/a`, not `0.0%` — there is no rate to report.
+    let mut child = Command::new(BIN)
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"{\"cmd\":\"list\"}\n")
+        .expect("script written");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("n/a"), "{err}");
+    assert!(!err.contains("0.0%"), "{err}");
 }
 
 #[test]
