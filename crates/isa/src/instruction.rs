@@ -127,8 +127,11 @@ pub enum ComputeFn {
 }
 
 impl ComputeFn {
+    /// Number of compute functions (the `fn` field codes are `0..COUNT`).
+    pub const COUNT: usize = 8;
+
     /// All compute functions.
-    pub const ALL: [ComputeFn; 8] = [
+    pub const ALL: [ComputeFn; Self::COUNT] = [
         ComputeFn::Mac,
         ComputeFn::Max,
         ComputeFn::Avg,

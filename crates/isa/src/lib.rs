@@ -20,7 +20,10 @@
 //! * [`asm`] — textual assembly in the style of the paper's Figure 12;
 //! * [`walker`] — execution semantics: the Equation 4 address walker, the
 //!   analytic summarizer, and the tile-segment iterator the simulation
-//!   backends consume.
+//!   backends consume;
+//! * [`program`] — compiled segment programs: a block's segment stream
+//!   flattened once into a reusable, allocation-free op sequence (the event
+//!   backend's cache-miss fast path).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +34,7 @@ pub mod builder;
 pub mod encode;
 pub mod error;
 pub mod instruction;
+pub mod program;
 pub mod walker;
 
 pub use block::{BodyItem, DramBases, InstructionBlock, LoopNode, LoopTree, Program};
@@ -39,7 +43,8 @@ pub use error::IsaError;
 pub use instruction::{
     AddressSpace, ComputeFn, Instruction, LoopId, Scratchpad, TaggedInstruction,
 };
+pub use program::SegmentProgram;
 pub use walker::{
-    dma_loops, for_each_segment, segments, summarize, walk, BlockSummary, BufferCounts, Event,
-    Segment,
+    dma_loops, for_each_segment, segments, summarize, walk, BlockSummary, BufferCounts,
+    ComputeCounts, DmaLoopFacts, Event, Segment,
 };

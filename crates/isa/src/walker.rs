@@ -21,10 +21,11 @@
 //! backend consumes the segment stream to model double-buffered DMA/compute
 //! overlap without enumerating inner-loop iterations.
 
-use std::collections::BTreeMap;
-
 use crate::block::{BodyItem, InstructionBlock, LoopNode, LoopTree};
-use crate::instruction::{AddressSpace, ComputeFn, Instruction, LoopId, Scratchpad};
+use crate::instruction::{
+    AddressSpace, ComputeFn, Instruction, LoopId, Scratchpad, MAX_LOOP_ID,
+};
+use crate::program::SegmentProgram;
 
 /// A dynamic operation produced by walking a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,35 +81,53 @@ pub enum Event {
 /// events use the on-chip stream.
 pub fn walk(block: &InstructionBlock, visit: &mut impl FnMut(Event)) {
     let tree = block.loop_tree();
-    let mut iters: BTreeMap<LoopId, u64> = BTreeMap::new();
-    walk_items(&tree, &tree.body, &mut iters, visit);
+    let strides = StrideIndex::new(&tree);
+    let mut iters = [0u64; (MAX_LOOP_ID as usize) + 1];
+    walk_items(&tree, &strides, &tree.body, &mut iters, visit);
 }
 
-fn address(
-    tree: &LoopTree,
-    iters: &BTreeMap<LoopId, u64>,
-    space: AddressSpace,
-    buffer: Scratchpad,
-) -> u64 {
-    let base = match space {
-        AddressSpace::OffChip => tree.bases.base(buffer),
-        AddressSpace::OnChip => 0,
-    };
-    let mut addr = base;
-    for (&(sp, buf, id), &stride) in &tree.strides {
-        if sp == space.code() && buf == buffer {
-            if let Some(&it) = iters.get(&id) {
-                addr += it * stride;
-            }
+/// Strides pre-indexed per (space, buffer) stream, so per-event address
+/// computation touches only that stream's declared strides instead of
+/// scanning the whole `gen-addr` table (built once per [`walk`]).
+struct StrideIndex {
+    /// `streams[space][buffer.code()]` → `(loop index, stride)` pairs.
+    streams: [[Vec<(usize, u64)>; 3]; 2],
+}
+
+impl StrideIndex {
+    fn new(tree: &LoopTree) -> Self {
+        let mut streams: [[Vec<(usize, u64)>; 3]; 2] = Default::default();
+        for (&(sp, buf, id), &stride) in &tree.strides {
+            streams[sp as usize][buf.code() as usize].push((id.0 as usize, stride));
         }
+        StrideIndex { streams }
     }
-    addr
+
+    /// Equation 4 for one stream: base + Σ loop_iterator × stride. Inactive
+    /// loops hold iterator 0, contributing nothing — identical to skipping
+    /// them.
+    fn address(
+        &self,
+        tree: &LoopTree,
+        iters: &[u64; (MAX_LOOP_ID as usize) + 1],
+        space: AddressSpace,
+        buffer: Scratchpad,
+    ) -> u64 {
+        let base = match space {
+            AddressSpace::OffChip => tree.bases.base(buffer),
+            AddressSpace::OnChip => 0,
+        };
+        self.streams[space.code() as usize][buffer.code() as usize]
+            .iter()
+            .fold(base, |addr, &(id, stride)| addr + iters[id] * stride)
+    }
 }
 
 fn walk_items(
     tree: &LoopTree,
+    strides: &StrideIndex,
     items: &[BodyItem],
-    iters: &mut BTreeMap<LoopId, u64>,
+    iters: &mut [u64; (MAX_LOOP_ID as usize) + 1],
     visit: &mut impl FnMut(Event),
 ) {
     for item in items {
@@ -118,31 +137,31 @@ fn walk_items(
                     buffer,
                     bits,
                     words,
-                    addr: address(tree, iters, AddressSpace::OffChip, buffer),
+                    addr: strides.address(tree, iters, AddressSpace::OffChip, buffer),
                 }),
                 Instruction::StMem { buffer, bits, words } => visit(Event::DmaStore {
                     buffer,
                     bits,
                     words,
-                    addr: address(tree, iters, AddressSpace::OffChip, buffer),
+                    addr: strides.address(tree, iters, AddressSpace::OffChip, buffer),
                 }),
                 Instruction::RdBuf { buffer } => visit(Event::BufRead {
                     buffer,
-                    addr: address(tree, iters, AddressSpace::OnChip, buffer),
+                    addr: strides.address(tree, iters, AddressSpace::OnChip, buffer),
                 }),
                 Instruction::WrBuf { buffer } => visit(Event::BufWrite {
                     buffer,
-                    addr: address(tree, iters, AddressSpace::OnChip, buffer),
+                    addr: strides.address(tree, iters, AddressSpace::OnChip, buffer),
                 }),
                 Instruction::Compute { op } => visit(Event::Compute { op }),
                 _ => {}
             },
             BodyItem::Loop(node) => {
                 for i in 0..node.iterations as u64 {
-                    iters.insert(node.id, i);
-                    walk_items(tree, &node.body, iters, visit);
+                    iters[node.id.0 as usize] = i;
+                    walk_items(tree, strides, &node.body, iters, visit);
                 }
-                iters.remove(&node.id);
+                iters[node.id.0 as usize] = 0;
             }
         }
     }
@@ -161,13 +180,62 @@ pub struct BufferCounts {
     pub dma_store_bits: u64,
 }
 
+/// Dynamic execution counts per compute function, held as a fixed array
+/// indexed by [`ComputeFn::code`].
+///
+/// [`ComputeFn`] is a small closed enum, so a flat array makes merging,
+/// resetting, and lookups branch-free and allocation-free — this is what
+/// lets a [`Segment`] accumulator be reused across millions of tile
+/// iterations without touching the heap (the previous `BTreeMap` paid an
+/// allocation per distinct function per segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComputeCounts([u64; ComputeFn::COUNT]);
+
+impl ComputeCounts {
+    /// Dynamic executions of one compute function.
+    pub fn get(&self, op: ComputeFn) -> u64 {
+        self.0[op.code() as usize]
+    }
+
+    /// Adds `n` executions of `op`.
+    pub fn add(&mut self, op: ComputeFn, n: u64) {
+        self.0[op.code() as usize] += n;
+    }
+
+    /// Total executions across all functions.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Resets every count to zero in place.
+    pub fn clear(&mut self) {
+        self.0 = [0; ComputeFn::COUNT];
+    }
+
+    /// Accumulates another count set into this one.
+    pub fn merge(&mut self, other: &ComputeCounts) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += *b;
+        }
+    }
+
+    /// Iterates the functions with a nonzero count, in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (ComputeFn, u64)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(code, &n)| (ComputeFn::from_code(code as u8).expect("code < COUNT"), n))
+    }
+}
+
 /// Analytic execution summary of one block.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BlockSummary {
     /// Counts per scratchpad, indexed by [`Scratchpad::code`].
     pub buffers: [BufferCounts; 3],
     /// Dynamic executions per compute function.
-    pub compute: BTreeMap<ComputeFn, u64>,
+    pub compute: ComputeCounts,
     /// Total dynamic instructions (all kinds).
     pub dynamic_instructions: u64,
 }
@@ -186,19 +254,36 @@ impl BlockSummary {
             .sum()
     }
 
+    /// Bits loaded from DRAM across all scratchpads.
+    pub fn dma_load_bits(&self) -> u64 {
+        self.buffers.iter().map(|b| b.dma_load_bits).sum()
+    }
+
+    /// Bits stored to DRAM across all scratchpads.
+    pub fn dma_store_bits(&self) -> u64 {
+        self.buffers.iter().map(|b| b.dma_store_bits).sum()
+    }
+
     /// Total dynamic `compute` executions across all functions.
     pub fn compute_steps(&self) -> u64 {
-        self.compute.values().sum()
+        self.compute.total()
     }
 
     /// Dynamic executions of one compute function.
     pub fn compute_count(&self, op: ComputeFn) -> u64 {
-        self.compute.get(&op).copied().unwrap_or(0)
+        self.compute.get(op)
     }
 
     /// Whether the summary records no dynamic instructions.
     pub fn is_empty(&self) -> bool {
         self.dynamic_instructions == 0
+    }
+
+    /// Resets every count to zero in place. With the flat [`ComputeCounts`]
+    /// representation this is a plain memset: a caller-owned accumulator can
+    /// be cleared between segments without dropping or reallocating anything.
+    pub fn clear(&mut self) {
+        *self = BlockSummary::default();
     }
 
     /// Accumulates another summary into this one. Merging every [`Segment`]
@@ -211,9 +296,7 @@ impl BlockSummary {
             a.dma_load_bits += b.dma_load_bits;
             a.dma_store_bits += b.dma_store_bits;
         }
-        for (&op, &n) in &other.compute {
-            *self.compute.entry(op).or_insert(0) += n;
-        }
+        self.compute.merge(&other.compute);
         self.dynamic_instructions += other.dynamic_instructions;
     }
 }
@@ -227,7 +310,7 @@ pub fn summarize(block: &InstructionBlock) -> BlockSummary {
     summary
 }
 
-fn fold_instr(instr: &Instruction, multiplier: u64, summary: &mut BlockSummary) {
+pub(crate) fn fold_instr(instr: &Instruction, multiplier: u64, summary: &mut BlockSummary) {
     summary.dynamic_instructions += multiplier;
     match *instr {
         Instruction::LdMem { buffer, bits, words } => {
@@ -245,13 +328,13 @@ fn fold_instr(instr: &Instruction, multiplier: u64, summary: &mut BlockSummary) 
             summary.buffers[buffer.code() as usize].writes += multiplier;
         }
         Instruction::Compute { op } => {
-            *summary.compute.entry(op).or_insert(0) += multiplier;
+            summary.compute.add(op, multiplier);
         }
         _ => {}
     }
 }
 
-fn fold_items(items: &[BodyItem], multiplier: u64, summary: &mut BlockSummary) {
+pub(crate) fn fold_items(items: &[BodyItem], multiplier: u64, summary: &mut BlockSummary) {
     for item in items {
         match item {
             BodyItem::Instr(instr) => fold_instr(instr, multiplier, summary),
@@ -267,7 +350,7 @@ fn fold_items(items: &[BodyItem], multiplier: u64, summary: &mut BlockSummary) {
 /// [`for_each_segment`]).
 pub type Segment = BlockSummary;
 
-fn subtree_has_dma(items: &[BodyItem]) -> bool {
+pub(crate) fn subtree_has_dma(items: &[BodyItem]) -> bool {
     items.iter().any(|item| match item {
         BodyItem::Instr(instr) => matches!(
             instr,
@@ -277,7 +360,7 @@ fn subtree_has_dma(items: &[BodyItem]) -> bool {
     })
 }
 
-fn collect_segments(
+fn collect_segments_reference(
     items: &[BodyItem],
     cur: &mut Segment,
     visit: &mut impl FnMut(&Segment),
@@ -291,7 +374,7 @@ fn collect_segments(
                 // accumulated into `cur` and ride the iteration's first
                 // segment; post-body stores ride its last).
                 for _ in 0..node.iterations {
-                    collect_segments(&node.body, cur, visit);
+                    collect_segments_reference(&node.body, cur, visit);
                     if !cur.is_empty() {
                         visit(cur);
                         *cur = Segment::default();
@@ -317,16 +400,36 @@ fn collect_segments(
 /// run — outer-tile loads prefetch with the first inner segment of their
 /// iteration, and a tile loop's post-body `st-mem` drains with its last.
 ///
-/// Cost is O(total tile iterations × static block size) — independent of
-/// inner-loop trip counts — and the visitor borrows a reused accumulator, so
-/// arbitrarily long segment streams need no allocation per segment.
+/// The stream is produced by compiling the loop tree once into a
+/// [`SegmentProgram`] and replaying it:
+/// per-segment cost is O(1) array arithmetic (DMA-free subtrees are folded
+/// a single time at build, not once per tile iteration), and replay never
+/// allocates. Compile the program yourself to amortize the build across
+/// replays.
 ///
 /// Invariant: merging every visited segment equals [`summarize`]
-/// (see [`BlockSummary::merge`]); the ISA property tests pin this.
+/// (see [`BlockSummary::merge`]); the ISA property tests pin this, and pin
+/// the stream against [`for_each_segment_reference`].
 pub fn for_each_segment(block: &InstructionBlock, visit: &mut impl FnMut(&Segment)) {
+    SegmentProgram::compile(block).replay(&mut |seg, _, _| visit(seg));
+}
+
+/// The naive per-iteration tree walk [`for_each_segment`] replaced: it
+/// re-decides `subtree_has_dma` on every iteration of every enumerated tile
+/// loop and re-folds each DMA-free compute nest once per segment.
+///
+/// Kept as the executable specification of the segmentation rule: the
+/// property tests replay every [`SegmentProgram`](crate::program) against
+/// it, and the bench trajectory uses it as the cold-path baseline. Not for
+/// production use.
+#[doc(hidden)]
+pub fn for_each_segment_reference(
+    block: &InstructionBlock,
+    visit: &mut impl FnMut(&Segment),
+) {
     let tree = block.loop_tree();
     let mut cur = Segment::default();
-    collect_segments(&tree.body, &mut cur, visit);
+    collect_segments_reference(&tree.body, &mut cur, visit);
     if !cur.is_empty() {
         visit(&cur);
     }
@@ -336,14 +439,38 @@ pub fn for_each_segment(block: &InstructionBlock, visit: &mut impl FnMut(&Segmen
 /// [`for_each_segment`]; prefer the streaming form for large blocks).
 pub fn segments(block: &InstructionBlock) -> Vec<Segment> {
     let mut out = Vec::new();
-    for_each_segment(block, &mut |s| out.push(s.clone()));
+    for_each_segment(block, &mut |s| out.push(*s));
     out
 }
 
+/// Facts about one innermost DMA-issuing tile loop — the loops whose
+/// iterations the performance model double-buffers (see [`dma_loops`]).
+///
+/// Carries what the consumers actually use (identity and trip counts)
+/// instead of a deep clone of the loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaLoopFacts {
+    /// The loop's identifier.
+    pub id: LoopId,
+    /// The loop's own trip count.
+    pub iterations: u32,
+    /// Product of the enclosing loops' trip counts (how many times this
+    /// loop's full iteration space runs).
+    pub outer_trips: u64,
+}
+
+impl DmaLoopFacts {
+    /// Total tile iterations this loop contributes:
+    /// `iterations × outer_trips`.
+    pub fn total_iterations(&self) -> u64 {
+        self.iterations as u64 * self.outer_trips
+    }
+}
+
 /// Finds the innermost loops that directly issue DMA instructions — the tile
-/// loops whose iterations the performance model double-buffers. Returns
-/// `(node, trip_product_of_enclosing_loops)` pairs.
-pub fn dma_loops(block: &InstructionBlock) -> Vec<(LoopNode, u64)> {
+/// loops whose iterations the performance model double-buffers — returning
+/// lightweight [`DmaLoopFacts`] rather than cloned subtrees.
+pub fn dma_loops(block: &InstructionBlock) -> Vec<DmaLoopFacts> {
     let tree = block.loop_tree();
     let mut found = Vec::new();
     collect_dma_loops(&tree.body, 1, &mut found);
@@ -359,14 +486,18 @@ fn has_direct_dma(node: &LoopNode) -> bool {
     })
 }
 
-fn collect_dma_loops(items: &[BodyItem], outer_trips: u64, found: &mut Vec<(LoopNode, u64)>) {
+fn collect_dma_loops(items: &[BodyItem], outer_trips: u64, found: &mut Vec<DmaLoopFacts>) {
     for item in items {
         if let BodyItem::Loop(node) = item {
             // Recurse first: prefer the innermost DMA loop.
             let before = found.len();
             collect_dma_loops(&node.body, outer_trips * node.iterations as u64, found);
             if found.len() == before && has_direct_dma(node) {
-                found.push((node.clone(), outer_trips));
+                found.push(DmaLoopFacts {
+                    id: node.id,
+                    iterations: node.iterations,
+                    outer_trips,
+                });
             }
         }
     }
@@ -457,9 +588,10 @@ mod tests {
         let block = tiled_block();
         let loops = dma_loops(&block);
         assert_eq!(loops.len(), 1);
-        let (node, outer) = &loops[0];
-        assert_eq!(node.iterations, 3);
-        assert_eq!(*outer, 1);
+        let facts = loops[0];
+        assert_eq!(facts.iterations, 3);
+        assert_eq!(facts.outer_trips, 1);
+        assert_eq!(facts.total_iterations(), 3);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use bitfusion_isa::asm::{format_block, parse_block};
 use bitfusion_isa::builder::BlockBuilder;
 use bitfusion_isa::encode::{decode_block, encode_block};
 use bitfusion_isa::instruction::{AddressSpace, ComputeFn, Scratchpad};
-use bitfusion_isa::walker::{for_each_segment, summarize, walk, BlockSummary, Event};
+use bitfusion_isa::program::SegmentProgram;
+use bitfusion_isa::walker::{
+    for_each_segment, for_each_segment_reference, summarize, walk, BlockSummary, Event, Segment,
+};
 use bitfusion_isa::InstructionBlock;
 use proptest::prelude::*;
 
@@ -171,6 +174,33 @@ proptest! {
         prop_assert!(count > 0, "a non-empty block yields at least one segment");
         prop_assert!(all_non_empty, "the iterator never yields empty segments");
         prop_assert_eq!(merged, summary);
+    }
+
+    #[test]
+    fn compiled_program_replays_the_reference_stream(recipe in arb_recipe()) {
+        // The tentpole invariant of the compiled-segment-program path: for
+        // any valid block, `SegmentProgram::compile(..).replay(..)` yields
+        // byte-for-byte the segment stream of the naive reference tree walk
+        // (same segments, same order), with per-segment DMA bit totals that
+        // match re-summing the segment's buffers; and the program's
+        // build-time total equals `summarize`.
+        let block = build(&recipe);
+        let summary = summarize(&block);
+        if summary.dynamic_instructions > 200_000 {
+            return Ok(());
+        }
+        let mut reference: Vec<Segment> = Vec::new();
+        for_each_segment_reference(&block, &mut |seg| reference.push(*seg));
+        let program = SegmentProgram::compile(&block);
+        prop_assert_eq!(*program.total(), summary);
+        let mut replayed: Vec<(Segment, u64, u64)> = Vec::new();
+        program.replay(&mut |seg, load, store| replayed.push((*seg, load, store)));
+        prop_assert_eq!(replayed.len(), reference.len());
+        for (i, ((seg, load, store), want)) in replayed.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(seg, want, "segment {} diverged", i);
+            prop_assert_eq!(*load, want.dma_load_bits(), "segment {} load bits", i);
+            prop_assert_eq!(*store, want.dma_store_bits(), "segment {} store bits", i);
+        }
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub use accelerator::BitFusionSim;
 pub use backend::{AnalyticBackend, SimBackend, BACKEND_CYCLE_TOLERANCE};
 pub use engine::{energy_for_layer, evaluate_layer, DeratedRate, SimOptions};
 pub use event::EventBackend;
+#[doc(hidden)]
+pub use event::evaluate_layer_naive;
 pub use layer_cache::{
     eval_context, evaluate_layer_cached, plan_layer_sharing, run_plan_cached, LayerPerfCache,
 };
