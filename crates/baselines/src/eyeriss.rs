@@ -110,6 +110,15 @@ impl EyerissSim {
                 let replicas = (self.config.pes() / set).max(1);
                 ((set * replicas) as f64 / self.config.pes() as f64).min(1.0)
             }
+            // Depthwise maps like a grouped convolution: the same filter-row
+            // × output-row PE sets, replicated per channel.
+            Layer::DepthwiseConv2d(c) => {
+                let set_rows = c.kernel.0.min(self.config.pe_rows);
+                let set_cols = c.output_hw().0.min(self.config.pe_cols);
+                let set = set_rows * set_cols;
+                let replicas = (self.config.pes() / set).max(1);
+                ((set * replicas) as f64 / self.config.pes() as f64).min(1.0)
+            }
             Layer::Dense(_) | Layer::Recurrent(_) => 0.75,
             _ => 1.0,
         }
@@ -130,6 +139,14 @@ impl EyerissSim {
                 // chunk.
                 let reload_i = (weights.div_ceil(half_glb_bits)).max(1);
                 inputs * reload_i + outputs + weights
+            }
+            Layer::DepthwiseConv2d(c) => {
+                // Per-channel filters are tiny (R·S weights each), so the
+                // working set never forces ifmap re-reads.
+                let inputs = c.input_elems() * batch * ob;
+                let outputs = c.output_elems() * batch * ob;
+                let weights = c.params() * ob;
+                inputs + outputs + weights
             }
             Layer::Dense(d) => {
                 let inputs = d.in_features as u64 * batch * ob;

@@ -92,7 +92,7 @@ impl GpuModel {
 
     fn layer_efficiency(&self, layer: &Layer, batch: u64) -> f64 {
         let base = match layer {
-            Layer::Conv2d(_) => self.conv_peak_fraction,
+            Layer::Conv2d(_) | Layer::DepthwiseConv2d(_) => self.conv_peak_fraction,
             Layer::Dense(_) | Layer::Recurrent(_) => self.fc_peak_fraction,
             _ => return 1.0,
         };

@@ -118,6 +118,9 @@ impl StripesSim {
                 bitfusion_dnn::layer::Layer::Conv2d(c) => {
                     (c.input_elems() * batch, c.output_elems() * batch, c.params())
                 }
+                bitfusion_dnn::layer::Layer::DepthwiseConv2d(c) => {
+                    (c.input_elems() * batch, c.output_elems() * batch, c.params())
+                }
                 bitfusion_dnn::layer::Layer::Dense(d) => (
                     d.in_features as u64 * batch,
                     d.out_features as u64 * batch,

@@ -91,14 +91,25 @@ pub fn traffic(layer: &GemmLayer, tiles: TileSizes, order: LoopOrder) -> Traffic
         * pad_m
         * pad_k) as u64;
 
-    // Inputs [k, n]: charged on unique elements per full traversal (window
-    // reuse is buffered on chip; see `GemmLayer::unique_input_elems`).
-    let i_loads = reload_factor(order, &[TileDim::K, TileDim::N], t);
+    // Inputs: charged on unique elements per full traversal (window reuse
+    // is buffered on chip; see `GemmLayer::unique_input_elems`). An
+    // ordinary GEMM shares one [k, n] input panel across all output rows;
+    // a depthwise layer's rows each read their *own* channel's window, so
+    // its input tensor is indexed by every tile dimension — each (m, k, n)
+    // tile touches distinct inputs, loaded exactly once per traversal but
+    // padded along m as well.
+    let (i_indexed, i_trips, i_pad): (&[TileDim], u64, f64) = if layer.depthwise {
+        (&[TileDim::M, TileDim::K, TileDim::N], tm * tk * tn, pad_m)
+    } else {
+        (&[TileDim::K, TileDim::N], tk * tn, 1.0)
+    };
+    let i_loads = reload_factor(order, i_indexed, t);
     let input_bits = (layer.unique_input_elems as f64
         * layer.pair.input.bits() as f64
-        * (i_loads / (tk * tn)).max(1) as f64
+        * (i_loads / i_trips).max(1) as f64
         * pad_k
-        * pad_n) as u64;
+        * pad_n
+        * i_pad) as u64;
 
     // Outputs [m, n]: stored once at the requantized width; spilled as
     // 32-bit partials whenever the k loop is outside the deepest (m, n)
@@ -142,7 +153,35 @@ mod tests {
             output_elems: m * n,
             weight_elems: m * k,
             output_bits: i_bits,
+            depthwise: false,
         }
+    }
+
+    #[test]
+    fn depthwise_inputs_load_once_regardless_of_order() {
+        // Depthwise inputs are indexed by (m, k, n): every tile reads
+        // distinct elements, so no loop order can force a re-read — unlike
+        // the shared input panel of an ordinary GEMM, which reloads under
+        // an outer m loop.
+        let dw = GemmLayer {
+            unique_input_elems: 64 * 56 * 56,
+            depthwise: true,
+            ..layer(64, 9, 56 * 56, 8, 4)
+        };
+        let tiles = TileSizes { m: 16, k: 9, n: 128 };
+        for order in LoopOrder::ALL {
+            let t = traffic(&dw, tiles, order);
+            let once =
+                (dw.unique_input_elems as f64 * 8.0 * (25.0 * 128.0 / 3136.0)) as u64;
+            assert_eq!(t.input_bits, once, "{order:?}");
+        }
+        // The same shape as a dense GEMM reloads its shared input panel
+        // once per m tile whenever the m loop sits outside the deepest
+        // input loop (m trips = 64/16 = 4); an m-innermost order holds it.
+        let dense = layer(64, 9, 56 * 56, 8, 4);
+        let reloading = traffic(&dense, tiles, LoopOrder::Mkn);
+        let stationary = traffic(&dense, tiles, LoopOrder::Knm);
+        assert_eq!(reloading.input_bits, stationary.input_bits * 4);
     }
 
     #[test]

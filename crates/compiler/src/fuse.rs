@@ -96,7 +96,7 @@ pub fn fuse_layers(model: &Model, batch: u64) -> Vec<FusedGroup> {
     let mut groups: Vec<FusedGroup> = Vec::new();
     for (idx, named) in model.layers.iter().enumerate() {
         match &named.layer {
-            Layer::Conv2d(_) | Layer::Dense(_) => {
+            Layer::Conv2d(_) | Layer::DepthwiseConv2d(_) | Layer::Dense(_) => {
                 groups.push(FusedGroup {
                     name: named.name.clone(),
                     mac_index: idx,

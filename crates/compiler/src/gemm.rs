@@ -46,6 +46,13 @@ pub struct GemmLayer {
     /// Output storage bits per element after requantization (the next
     /// layer's input width, or 32 for raw partial sums).
     pub output_bits: u32,
+    /// Whether the layer is a depthwise convolution: each output channel
+    /// (GEMM row) reduces over its *own* input window, so inputs are
+    /// indexed by all three GEMM dimensions and cannot be broadcast
+    /// across the array columns the way the shared `[K × N]` input panel
+    /// of an ordinary GEMM is. Tiling, the traffic model, and the lowered
+    /// block all branch on this.
+    pub depthwise: bool,
 }
 
 /// Lowers a MAC layer to its GEMM view; returns `None` for non-MAC layers
@@ -75,6 +82,28 @@ pub fn layer_to_gemm(layer: &Layer, batch: u64, output_bits: u32) -> Option<Gemm
                 output_elems: c.output_elems() * batch,
                 weight_elems: c.params(),
                 output_bits,
+                depthwise: false,
+            })
+        }
+        Layer::DepthwiseConv2d(c) => {
+            let (oh, ow) = c.output_hw();
+            // Same line-buffered window reuse as dense convolution, per
+            // channel; the im2col volume here is tiny (`R·S` per output).
+            let unique = c.input_elems() * batch;
+            let im2col = c.reduction_len() * c.output_elems() * batch;
+            let windowed = (unique * c.kernel.0 as u64).div_ceil(c.stride.0 as u64);
+            Some(GemmLayer {
+                shape: GemmShape {
+                    m: c.channels as u64,
+                    k: c.reduction_len(),
+                    n: (oh * ow) as u64 * batch,
+                },
+                pair: c.precision,
+                unique_input_elems: windowed.min(im2col).max(unique),
+                output_elems: c.output_elems() * batch,
+                weight_elems: c.params(),
+                output_bits,
+                depthwise: true,
             })
         }
         Layer::Dense(d) => Some(GemmLayer {
@@ -88,6 +117,7 @@ pub fn layer_to_gemm(layer: &Layer, batch: u64, output_bits: u32) -> Option<Gemm
             output_elems: d.out_features as u64 * batch,
             weight_elems: d.params(),
             output_bits,
+            depthwise: false,
         }),
         Layer::Recurrent(r) => {
             let k = (r.input_size + r.hidden_size) as u64;
@@ -99,6 +129,7 @@ pub fn layer_to_gemm(layer: &Layer, batch: u64, output_bits: u32) -> Option<Gemm
                 output_elems: m * batch,
                 weight_elems: r.params(),
                 output_bits,
+                depthwise: false,
             })
         }
         Layer::Pool2d(_) | Layer::Eltwise(_) | Layer::Activation(_) => None,
@@ -143,6 +174,36 @@ mod tests {
         let g = layer_to_gemm(&Layer::Dense(d), 4, 4).unwrap();
         assert_eq!(g.shape, GemmShape { m: 4096, k: 9216, n: 4 });
         assert_eq!(g.shape.macs(), 4096 * 9216 * 4);
+    }
+
+    #[test]
+    fn depthwise_gemm_has_per_channel_reduction() {
+        use bitfusion_dnn::layer::DepthwiseConv2d;
+        let c = DepthwiseConv2d {
+            channels: 64,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            input_hw: (56, 56),
+            precision: pp(8, 4),
+        };
+        let layer = Layer::DepthwiseConv2d(c.clone());
+        let g = layer_to_gemm(&layer, 4, 8).unwrap();
+        assert!(g.depthwise);
+        assert_eq!(
+            g.shape,
+            GemmShape {
+                m: 64,
+                k: 9,
+                n: 56 * 56 * 4
+            }
+        );
+        assert_eq!(g.shape.macs(), c.macs() * 4);
+        assert_eq!(g.weight_elems, 64 * 9);
+        // Line-buffered window reuse: 3 rows per stride-1 advance, well
+        // below the full im2col volume.
+        assert_eq!(g.unique_input_elems, 64 * 56 * 56 * 4 * 3);
+        assert!(g.unique_input_elems < g.shape.k * g.shape.n * 64);
     }
 
     #[test]

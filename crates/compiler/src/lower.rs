@@ -85,7 +85,15 @@ pub fn lower_gemm(input: &LowerInput<'_>, arch: &ArchConfig) -> Result<Instructi
             .expect("tensor depends on some dim")
     };
     let w_depth = depth_of(&[TileDim::M, TileDim::K]);
-    let i_depth = depth_of(&[TileDim::K, TileDim::N]);
+    // A depthwise layer's inputs are indexed by every tile dimension (each
+    // output channel reads its own window), so its input DMA always lives
+    // in the innermost tile loop.
+    let i_dims: &[TileDim] = if layer.depthwise {
+        &[TileDim::M, TileDim::K, TileDim::N]
+    } else {
+        &[TileDim::K, TileDim::N]
+    };
+    let i_depth = depth_of(i_dims);
     let o_depth = depth_of(&[TileDim::M, TileDim::N]);
     let k_pos = seq
         .iter()
@@ -103,7 +111,8 @@ pub fn lower_gemm(input: &LowerInput<'_>, arch: &ArchConfig) -> Result<Instructi
     let tk = trips[k_pos];
     let tn = trips[seq.iter().position(|d| *d == TileDim::N).expect("n")];
     let w_words = (plan.tiles.m * plan.tiles.k).max(1);
-    let i_words = layer.unique_input_elems.div_ceil(tk * tn).max(1);
+    let i_trips = if layer.depthwise { tm * tk * tn } else { tk * tn };
+    let i_words = layer.unique_input_elems.div_ceil(i_trips).max(1);
     let shrink: u64 = input.postops.iter().map(PostOp::shrink).product::<u64>().max(1);
     let o_store_words = (layer.output_elems / shrink).div_ceil(tm * tn).max(1);
     let residual_bits: u64 = input.postops.iter().map(PostOp::extra_input_bits).sum();
@@ -139,6 +148,11 @@ pub fn lower_gemm(input: &LowerInput<'_>, arch: &ArchConfig) -> Result<Instructi
         let i_stride = match d {
             TileDim::K => plan.tiles.k * layer.shape.n,
             TileDim::N => plan.tiles.n,
+            // Depthwise inputs are laid out [m][k][n]: advancing the m tile
+            // walks to the next channel group's windows.
+            TileDim::M if layer.depthwise => {
+                plan.tiles.m * layer.shape.k * layer.shape.n
+            }
             TileDim::M => 0,
         };
         if i_stride > 0 {
@@ -163,7 +177,7 @@ pub fn lower_gemm(input: &LowerInput<'_>, arch: &ArchConfig) -> Result<Instructi
                 // input precision.
                 let words = residual_bits
                     .div_ceil(pair.input.bits() as u64)
-                    .div_ceil(tk * tn)
+                    .div_ceil(i_trips)
                     .max(1);
                 b.ld_mem(Scratchpad::Ibuf, pair.input.bits(), words)?;
             }
@@ -315,7 +329,13 @@ pub fn mapping_for(input: &LowerInput<'_>, arch: &ArchConfig) -> Mapping {
         fill_passes,
         lanes,
         cols,
-        ibuf_bits_per_step: lanes * pair.input.bits() as u64,
+        // A depthwise step cannot broadcast one input vector across the
+        // columns: each column's channel reads its own window elements.
+        ibuf_bits_per_step: if layer.depthwise {
+            lanes * cols * pair.input.bits() as u64
+        } else {
+            lanes * pair.input.bits() as u64
+        },
         wbuf_bits_per_step: lanes * cols * pair.weight.bits() as u64,
         obuf_write_bits,
         obuf_read_bits,
@@ -346,7 +366,46 @@ mod tests {
             output_elems: m * n,
             weight_elems: m * k,
             output_bits: i,
+            depthwise: false,
         }
+    }
+
+    #[test]
+    fn depthwise_block_stays_consistent_with_cost_model() {
+        let arch = ArchConfig::isca_45nm();
+        let dw = GemmLayer {
+            unique_input_elems: 128 * 58 * 58 * 3,
+            depthwise: true,
+            ..layer(128, 9, 3136, 8, 8)
+        };
+        let plan = choose_tiling(&dw, &arch, 0).unwrap();
+        let input = LowerInput {
+            name: "dw",
+            layer: &dw,
+            plan: &plan,
+            postops: &[],
+            next: 0,
+        };
+        let block = lower_gemm(&input, &arch).unwrap();
+        let summary = walker::summarize(&block);
+        let modelled = plan.traffic.total_bits();
+        let emitted = summary.dram_bits();
+        let rel = (emitted as f64 - modelled as f64).abs() / modelled as f64;
+        assert!(rel < 0.05, "emitted {emitted} vs modelled {modelled}");
+        // Per-column input feed: each reduction lane of each column reads
+        // its own window element every step.
+        let mapping = mapping_for(&input, &arch);
+        assert_eq!(
+            mapping.ibuf_bits_per_step,
+            mapping.lanes * mapping.cols * 8
+        );
+        assert_eq!(
+            walker::segments(&block)
+                .iter()
+                .map(|s| s.compute_count(bitfusion_isa::ComputeFn::Mac))
+                .sum::<u64>(),
+            mapping.compute_steps
+        );
     }
 
     fn lower(

@@ -123,8 +123,16 @@ pub fn residual_tile_bits(layer: &GemmLayer, tiles: TileSizes, residual_bits: u6
 /// double-buffered halves with the regular input tiles.
 pub fn fits(layer: &GemmLayer, tiles: TileSizes, arch: &ArchConfig, residual_bits: u64) -> bool {
     let w_bits = tiles.m * tiles.k * layer.pair.weight.bits() as u64;
-    let i_bits = tiles.k * tiles.n * layer.pair.input.bits() as u64
-        + residual_tile_bits(layer, tiles, residual_bits);
+    // A depthwise tile carries one input panel *per output row* (each
+    // channel reduces over its own window), so the resident input grows
+    // with the m tile instead of being shared across it.
+    let i_elems = if layer.depthwise {
+        tiles.m * tiles.k * tiles.n
+    } else {
+        tiles.k * tiles.n
+    };
+    let i_bits =
+        i_elems * layer.pair.input.bits() as u64 + residual_tile_bits(layer, tiles, residual_bits);
     let o_bits = tiles.m * tiles.n * 32;
     w_bits <= (arch.wbuf_bytes as u64) * 8 / 2
         && i_bits <= (arch.ibuf_bytes as u64) * 8 / 2
@@ -215,7 +223,29 @@ mod tests {
             output_elems: m * n,
             weight_elems: m * k,
             output_bits: i_bits,
+            depthwise: false,
         }
+    }
+
+    #[test]
+    fn depthwise_tiles_budget_inputs_per_row() {
+        let arch = ArchConfig::isca_45nm();
+        // A MobileNet-scale depthwise layer: m = 128 channels, k = 9-tap
+        // window, n = 3136 output pixels.
+        let dw = GemmLayer {
+            unique_input_elems: 128 * 58 * 58,
+            depthwise: true,
+            ..layer(128, 9, 3136, 8, 8)
+        };
+        let p = choose_tiling(&dw, &arch, 0).unwrap();
+        assert!(fits(&dw, p.tiles, &arch, 0));
+        // The per-row input budget binds: a modest all-channels tile needs
+        // m*k*n*8 = 288 Kb of resident inputs, over the 128 Kb IBUF half,
+        // while the dense budget for the same tile is the shared k*n panel
+        // (18 Kb) — well within it.
+        let t = TileSizes { m: 128, k: 9, n: 32 };
+        assert!(!fits(&dw, t, &arch, 0));
+        assert!(fits(&layer(128, 9, 3136, 8, 8), t, &arch, 0));
     }
 
     #[test]

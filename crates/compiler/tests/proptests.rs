@@ -32,6 +32,7 @@ fn arb_layer() -> impl Strategy<Value = GemmLayer> {
                 output_elems: m * n,
                 weight_elems: m * k,
                 output_bits: i_bits,
+                depthwise: false,
             }
         })
 }
@@ -253,6 +254,7 @@ proptest! {
                 output_elems: m * n,
                 weight_elems: m * k,
                 output_bits: i,
+                depthwise: false,
             }
         };
         let ga = mk(a);
@@ -290,6 +292,7 @@ proptest! {
                 output_elems: m * n,
                 weight_elems: m * k,
                 output_bits: 4,
+                depthwise: false,
             }
         };
         let t1 = choose_tiling(&mk(1), &arch, 0).expect("feasible").traffic;

@@ -1,8 +1,10 @@
 //! A hand-rolled JSON document model with a deterministic encoder and a
 //! strict parser.
 //!
-//! The workspace builds offline — no serde — so the service protocol
-//! carries its own minimal JSON layer:
+//! The workspace builds offline — no serde — so it carries its own
+//! minimal JSON layer, shared by every layer that speaks JSON: the
+//! service protocol's wire form and the external model format
+//! (`bitfusion-dnn`'s `bitfusion-model/1` schema):
 //!
 //! * [`Json`] — the document tree. Objects preserve **insertion order**
 //!   (a `Vec` of pairs, not a map), which is what makes encoding

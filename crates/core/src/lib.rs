@@ -17,7 +17,10 @@
 //! * [`arch`] — accelerator configurations (array geometry, buffers,
 //!   bandwidth, frequency) including the paper's 45 nm and 16 nm designs;
 //! * [`grid`] — cartesian grids over those configurations, the
-//!   architecture axis of design-space exploration.
+//!   architecture axis of design-space exploration;
+//! * [`json`] — the deterministic JSON document layer (the workspace is
+//!   offline — no serde) shared by the external model format in
+//!   `bitfusion-dnn` and the service protocol's wire form.
 //!
 //! Everything here is *functional and structural*: numerical results are
 //! bit-exact with respect to the decomposition the hardware performs, and
@@ -49,6 +52,7 @@ pub mod error;
 pub mod fusion;
 pub mod gates;
 pub mod grid;
+pub mod json;
 pub mod lut;
 pub mod postproc;
 pub mod recurrent;
@@ -60,5 +64,6 @@ pub use bitbrick::{BitBrick, BrickOperand, BrickProduct, Crumb};
 pub use bitwidth::{BitWidth, PairPrecision, Precision, Signedness, BRICKS_PER_FUSION_UNIT};
 pub use error::CoreError;
 pub use grid::ArchGrid;
+pub use json::Json;
 pub use fusion::{FusionUnit, MacResult, SpatialStructure, TemporalUnit};
 pub use systolic::{IntMatrix, SystolicArray, SystolicOutput};

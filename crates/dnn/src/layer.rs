@@ -72,6 +72,71 @@ impl Conv2d {
     }
 }
 
+/// A depthwise 2-D convolution: one filter per channel, no cross-channel
+/// reduction — the spatial half of a depthwise-separable convolution
+/// (MobileNet-style; the pointwise half is an ordinary 1×1 [`Conv2d`]).
+///
+/// Distinct from a grouped [`Conv2d`] with `groups == channels` only in
+/// that the compiler lowers it specially: its tiny per-output reduction
+/// (`R·S` instead of `R·S·C`) means inputs cannot be broadcast across the
+/// output-channel dimension of the systolic array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthwiseConv2d {
+    /// Channels (equal in and out; depthwise never mixes them).
+    pub channels: usize,
+    /// Filter height and width `(R, S)`.
+    pub kernel: (usize, usize),
+    /// Stride `(vertical, horizontal)`.
+    pub stride: (usize, usize),
+    /// Zero padding `(vertical, horizontal)` applied on each side.
+    pub padding: (usize, usize),
+    /// Input feature-map height and width `(H, W)`.
+    pub input_hw: (usize, usize),
+    /// Operand precisions.
+    pub precision: PairPrecision,
+}
+
+impl DepthwiseConv2d {
+    /// Output feature-map `(height, width)`.
+    pub fn output_hw(&self) -> (usize, usize) {
+        let (h, w) = self.input_hw;
+        let (r, s) = self.kernel;
+        let (sv, sh) = self.stride;
+        let (pv, ph) = self.padding;
+        ((h + 2 * pv - r) / sv + 1, (w + 2 * ph - s) / sh + 1)
+    }
+
+    /// Multiply-accumulate count for one input image.
+    pub fn macs(&self) -> u64 {
+        let (oh, ow) = self.output_hw();
+        let (r, s) = self.kernel;
+        (oh * ow * self.channels * r * s) as u64
+    }
+
+    /// Weight parameter count (one `R×S` filter per channel).
+    pub fn params(&self) -> u64 {
+        let (r, s) = self.kernel;
+        (self.channels * r * s) as u64
+    }
+
+    /// Input elements for one image.
+    pub fn input_elems(&self) -> u64 {
+        (self.channels * self.input_hw.0 * self.input_hw.1) as u64
+    }
+
+    /// Output elements for one image.
+    pub fn output_elems(&self) -> u64 {
+        let (oh, ow) = self.output_hw();
+        (self.channels * oh * ow) as u64
+    }
+
+    /// Reduction (dot-product) length per output element: just the window.
+    pub fn reduction_len(&self) -> u64 {
+        let (r, s) = self.kernel;
+        (r * s) as u64
+    }
+}
+
 /// A fully-connected (dense) layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dense {
@@ -214,6 +279,8 @@ pub struct ActivationLayer {
 pub enum Layer {
     /// 2-D convolution.
     Conv2d(Conv2d),
+    /// Depthwise 2-D convolution (per-channel filters).
+    DepthwiseConv2d(DepthwiseConv2d),
     /// Fully connected.
     Dense(Dense),
     /// 2-D pooling.
@@ -231,6 +298,7 @@ impl Layer {
     pub fn macs(&self) -> u64 {
         match self {
             Layer::Conv2d(c) => c.macs(),
+            Layer::DepthwiseConv2d(c) => c.macs(),
             Layer::Dense(d) => d.macs(),
             Layer::Recurrent(r) => r.macs(),
             Layer::Pool2d(_) | Layer::Eltwise(_) | Layer::Activation(_) => 0,
@@ -244,7 +312,7 @@ impl Layer {
             Layer::Eltwise(e) => e.elements as u64,
             Layer::Activation(a) => a.elements as u64,
             Layer::Recurrent(r) => r.elementwise_ops(),
-            Layer::Conv2d(_) | Layer::Dense(_) => 0,
+            Layer::Conv2d(_) | Layer::DepthwiseConv2d(_) | Layer::Dense(_) => 0,
         }
     }
 
@@ -252,6 +320,7 @@ impl Layer {
     pub fn params(&self) -> u64 {
         match self {
             Layer::Conv2d(c) => c.params(),
+            Layer::DepthwiseConv2d(c) => c.params(),
             Layer::Dense(d) => d.params(),
             Layer::Recurrent(r) => r.params(),
             Layer::Pool2d(_) | Layer::Eltwise(_) | Layer::Activation(_) => 0,
@@ -267,6 +336,7 @@ impl Layer {
     pub fn precision(&self) -> Option<PairPrecision> {
         match self {
             Layer::Conv2d(c) => Some(c.precision),
+            Layer::DepthwiseConv2d(c) => Some(c.precision),
             Layer::Dense(d) => Some(d.precision),
             Layer::Recurrent(r) => Some(r.precision),
             Layer::Pool2d(_) | Layer::Eltwise(_) | Layer::Activation(_) => None,
@@ -279,6 +349,7 @@ impl Layer {
     pub fn set_precision(&mut self, precision: PairPrecision) -> bool {
         match self {
             Layer::Conv2d(c) => c.precision = precision,
+            Layer::DepthwiseConv2d(c) => c.precision = precision,
             Layer::Dense(d) => d.precision = precision,
             Layer::Recurrent(r) => r.precision = precision,
             Layer::Pool2d(_) | Layer::Eltwise(_) | Layer::Activation(_) => return false,
@@ -290,6 +361,7 @@ impl Layer {
     pub fn kind(&self) -> &'static str {
         match self {
             Layer::Conv2d(_) => "conv",
+            Layer::DepthwiseConv2d(_) => "dwconv",
             Layer::Dense(_) => "fc",
             Layer::Pool2d(_) => "pool",
             Layer::Recurrent(Recurrent { cell: CellKind::Lstm, .. }) => "lstm",
@@ -309,6 +381,15 @@ impl fmt::Display for Layer {
                     f,
                     "conv {}x{}x{} -> {}x{}x{} k{}x{} s{} {}",
                     c.in_channels, c.input_hw.0, c.input_hw.1, c.out_channels, oh, ow,
+                    c.kernel.0, c.kernel.1, c.stride.0, c.precision
+                )
+            }
+            Layer::DepthwiseConv2d(c) => {
+                let (oh, ow) = c.output_hw();
+                write!(
+                    f,
+                    "dwconv {}x{}x{} -> {}x{}x{} k{}x{} s{} {}",
+                    c.channels, c.input_hw.0, c.input_hw.1, c.channels, oh, ow,
                     c.kernel.0, c.kernel.1, c.stride.0, c.precision
                 )
             }
@@ -382,6 +463,32 @@ mod tests {
         c.groups = 2;
         assert_eq!(c.macs(), dense / 2);
         assert_eq!(c.params(), 5 * 5 * 48 * 256);
+    }
+
+    #[test]
+    fn depthwise_macs_scale_with_window_not_channels() {
+        let dw = DepthwiseConv2d {
+            channels: 32,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            input_hw: (112, 112),
+            precision: pp(8, 8),
+        };
+        assert_eq!(dw.output_hw(), (112, 112));
+        assert_eq!(dw.macs(), 112 * 112 * 32 * 9);
+        assert_eq!(dw.params(), 32 * 9);
+        assert_eq!(dw.reduction_len(), 9);
+        // A strided depthwise halves the spatial extent like conv does.
+        let strided = DepthwiseConv2d {
+            stride: (2, 2),
+            ..dw.clone()
+        };
+        assert_eq!(strided.output_hw(), (56, 56));
+        let l = Layer::DepthwiseConv2d(dw);
+        assert_eq!(l.kind(), "dwconv");
+        assert_eq!(l.weight_bits(), 32 * 9 * 8);
+        assert!(l.to_string().contains("dwconv 32x112x112 -> 32x112x112"));
     }
 
     #[test]

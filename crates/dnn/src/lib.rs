@@ -11,6 +11,12 @@
 //!   ResNet-18, RNN, SVHN, VGG-7) reconstructed from the quantization
 //!   literature the paper cites, each module documenting how its shapes
 //!   reproduce the reported op counts;
+//! * [`schema`] — the `bitfusion-model/1` external model format: a
+//!   strict, deterministic JSON schema with an exporter, so models are
+//!   data (`--model model.json`) rather than code;
+//! * [`modern`] — workloads beyond the paper's zoo (a transformer
+//!   attention block, a depthwise-separable network), shipped as example
+//!   model files;
 //! * [`stats`] — the Figure 1 bitwidth histograms;
 //! * [`quant`] — bit-packed tensor storage at minimal bitwidths;
 //! * [`quantspec`] — [`QuantSpec`] precision-assignment policies (paper
@@ -34,16 +40,21 @@
 
 pub mod layer;
 pub mod model;
+pub mod modern;
 pub mod quant;
 pub mod quantspec;
+pub mod schema;
 pub mod stats;
 pub mod synth;
 pub mod zoo;
 
-pub use layer::{ActivationLayer, CellKind, Conv2d, Dense, Eltwise, Layer, Pool2d, Recurrent};
+pub use layer::{
+    ActivationLayer, CellKind, Conv2d, Dense, DepthwiseConv2d, Eltwise, Layer, Pool2d, Recurrent,
+};
 pub use model::{Model, NamedLayer};
 pub use quant::PackedTensor;
 pub use quantspec::QuantSpec;
+pub use schema::{export_model, model_from_json, parse_model, MODEL_FORMAT};
 pub use stats::BitwidthStats;
 pub use synth::{synthesize, SynthConfig};
 pub use zoo::Benchmark;

@@ -103,6 +103,7 @@ impl Model {
         for l in &self.layers {
             let expected_in: Option<u64> = match &l.layer {
                 Layer::Conv2d(c) => Some(c.input_elems()),
+                Layer::DepthwiseConv2d(c) => Some(c.input_elems()),
                 Layer::Dense(d) => Some(d.in_features as u64),
                 Layer::Pool2d(p) => {
                     Some((p.channels * p.input_hw.0 * p.input_hw.1) as u64)
@@ -122,6 +123,7 @@ impl Model {
             }
             let out: Option<u64> = match &l.layer {
                 Layer::Conv2d(c) => Some(c.output_elems()),
+                Layer::DepthwiseConv2d(c) => Some(c.output_elems()),
                 Layer::Dense(d) => Some(d.out_features as u64),
                 Layer::Pool2d(p) => Some(p.output_elems()),
                 Layer::Recurrent(r) => Some(r.hidden_size as u64),

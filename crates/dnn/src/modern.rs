@@ -1,0 +1,197 @@
+//! Modern workloads beyond the paper's zoo, built for the external model
+//! format: a transformer attention block and a depthwise-separable
+//! convolution network.
+//!
+//! Bit Fusion (ISCA 2018) predates both workload families, but its
+//! substrate handles them naturally: attention is pure batched GEMM
+//! (QKV projections plus score/value matmuls — exactly the
+//! [`Dense`](crate::layer::Dense) lowering), and depthwise-separable
+//! convolution splits into a [`DepthwiseConv2d`]
+//! stage (per-channel filters, tiny `R·S` reductions) followed by an
+//! ordinary pointwise 1×1 convolution. Both ship as example model files
+//! under `examples/models/` — exports of [`attention_block_example`] and
+//! [`depthwise_net_example`] — and are cross-validated analytic-vs-event
+//! like the zoo.
+
+use bitfusion_core::bitwidth::PairPrecision;
+use bitfusion_core::postproc::PoolOp;
+
+use crate::layer::{ActivationLayer, DepthwiseConv2d, Eltwise, Layer, Pool2d};
+use crate::model::Model;
+use crate::zoo::{conv, fc, pp};
+
+/// One transformer self-attention block, costed **per token** (the
+/// CLI/protocol `batch` axis is the token axis, the same way recurrent
+/// benchmarks batch timesteps).
+///
+/// For model dimension `D`, context length `L`, and `H` heads
+/// (`D % H == 0`), the per-token layer list is:
+///
+/// * `q_proj`/`k_proj`/`v_proj` — `D → D` projections (`D²` MACs each);
+/// * `scores` — the query against `L` cached keys: `H` heads of
+///   `(D/H)·L` MACs sum to `D·L`, head count cancels — one `D → L` GEMM;
+/// * `softmax` — `L` activation ops;
+/// * `attend` — probability-weighted sum over `L` cached values, again
+///   `L·D` MACs across heads — one `L → D` GEMM;
+/// * `out_proj` — `D → D`;
+/// * `residual` — the skip connection's `D` adds.
+///
+/// Total: `4·D² + 2·D·L` MACs per token, the standard attention cost.
+/// The layer list chains shape-consistently end to end.
+///
+/// # Panics
+///
+/// If `heads` does not divide `d_model`, or a dimension is zero.
+pub fn attention_block(
+    d_model: usize,
+    context: usize,
+    heads: usize,
+    precision: PairPrecision,
+) -> Model {
+    assert!(d_model > 0 && context > 0 && heads > 0, "zero dimension");
+    assert_eq!(
+        d_model % heads,
+        0,
+        "heads ({heads}) must divide d_model ({d_model})"
+    );
+    Model::new(
+        "attention-block",
+        vec![
+            ("q_proj", fc(d_model, d_model, precision)),
+            ("k_proj", fc(d_model, d_model, precision)),
+            ("v_proj", fc(d_model, d_model, precision)),
+            ("scores", fc(d_model, context, precision)),
+            (
+                "softmax",
+                Layer::Activation(ActivationLayer { elements: context }),
+            ),
+            ("attend", fc(context, d_model, precision)),
+            ("out_proj", fc(d_model, d_model, precision)),
+            (
+                "residual",
+                Layer::Eltwise(Eltwise {
+                    elements: d_model,
+                    is_add: true,
+                }),
+            ),
+        ],
+    )
+}
+
+/// The attention block shipped as `examples/models/attention-block.json`:
+/// `D = 512`, `L = 128`, `8` heads, 8-bit operands throughout.
+pub fn attention_block_example() -> Model {
+    attention_block(512, 128, 8, pp(8, 8))
+}
+
+/// Depthwise 3×3 helper (padding 1, the MobileNet convention).
+fn dw(channels: usize, stride: usize, input_hw: usize, precision: PairPrecision) -> Layer {
+    Layer::DepthwiseConv2d(DepthwiseConv2d {
+        channels,
+        kernel: (3, 3),
+        stride: (stride, stride),
+        padding: (1, 1),
+        input_hw: (input_hw, input_hw),
+        precision,
+    })
+}
+
+/// A MobileNet-style depthwise-separable convolution network: a strided
+/// stem convolution, four depthwise + pointwise pairs, global average
+/// pooling, and a classifier — every spatial filter a
+/// [`DepthwiseConv2d`], every channel mix
+/// a 1×1 convolution. The layer list chains shape-consistently end to
+/// end.
+pub fn depthwise_net(precision: PairPrecision) -> Model {
+    // Pointwise 1×1 helper.
+    let pw = |cin: usize, cout: usize, hw: usize| conv(cin, cout, 1, 1, 0, (hw, hw), 1, precision);
+    Model::new(
+        "depthwise-net",
+        vec![
+            ("stem", conv(3, 32, 3, 2, 1, (224, 224), 1, precision)),
+            ("dw1", dw(32, 1, 112, precision)),
+            ("pw1", pw(32, 64, 112)),
+            ("dw2", dw(64, 2, 112, precision)),
+            ("pw2", pw(64, 128, 56)),
+            ("dw3", dw(128, 1, 56, precision)),
+            ("pw3", pw(128, 128, 56)),
+            ("dw4", dw(128, 2, 56, precision)),
+            ("pw4", pw(128, 256, 28)),
+            (
+                "avgpool",
+                Layer::Pool2d(Pool2d {
+                    channels: 256,
+                    input_hw: (28, 28),
+                    window: (28, 28),
+                    stride: (28, 28),
+                    padding: (0, 0),
+                    op: PoolOp::Average,
+                }),
+            ),
+            ("fc", fc(256, 1000, precision)),
+        ],
+    )
+}
+
+/// The depthwise network shipped as `examples/models/depthwise-net.json`:
+/// 8-bit activations, 4-bit weights.
+pub fn depthwise_net_example() -> Model {
+    depthwise_net(pp(8, 4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_macs_follow_the_closed_form() {
+        let (d, l) = (512u64, 128u64);
+        let m = attention_block(512, 128, 8, pp(8, 8));
+        assert_eq!(m.total_macs(), 4 * d * d + 2 * d * l);
+        // Head count cancels out of the cost.
+        assert_eq!(
+            attention_block(512, 128, 1, pp(8, 8)).total_macs(),
+            m.total_macs()
+        );
+        assert!(m.mac_fraction() > 0.99);
+    }
+
+    #[test]
+    fn attention_chains_shape_consistently() {
+        let m = attention_block_example();
+        assert!(m.shape_chain_mismatches().is_empty(), "{m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn attention_rejects_non_dividing_heads() {
+        attention_block(512, 128, 7, pp(8, 8));
+    }
+
+    #[test]
+    fn depthwise_net_chains_shape_consistently() {
+        let m = depthwise_net_example();
+        assert!(m.shape_chain_mismatches().is_empty(), "{m}");
+        // Depthwise stages carry a tiny fraction of the MACs (the whole
+        // point of the factorization): every dw layer is cheaper than the
+        // pointwise layer that follows it.
+        let macs: Vec<(String, u64)> = m
+            .layers
+            .iter()
+            .map(|l| (l.name.clone(), l.layer.macs()))
+            .collect();
+        for pair in 1..=4 {
+            let dw = macs
+                .iter()
+                .find(|(n, _)| n == &format!("dw{pair}"))
+                .unwrap()
+                .1;
+            let pw = macs
+                .iter()
+                .find(|(n, _)| n == &format!("pw{pair}"))
+                .unwrap()
+                .1;
+            assert!(dw < pw / 2, "dw{pair} {dw} vs pw{pair} {pw}");
+        }
+    }
+}

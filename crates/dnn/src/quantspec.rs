@@ -10,7 +10,7 @@
 //!
 //! * **default** — replace every multiplying layer's pair;
 //! * **kind overrides** — replace the pair for one layer kind
-//!   (`conv`, `fc`, `lstm`, `rnn`);
+//!   (`conv`, `dwconv`, `fc`, `lstm`, `rnn`);
 //! * **layer overrides** — replace the pair for one named layer.
 //!
 //! Precedence is specificity, not order: layer > kind > default > the
@@ -35,7 +35,7 @@ use crate::model::Model;
 
 /// Layer kinds a [`QuantSpec`] can override (the multiplying kinds of
 /// [`crate::layer::Layer::kind`]).
-pub const QUANT_KINDS: [&str; 4] = ["conv", "fc", "lstm", "rnn"];
+pub const QUANT_KINDS: [&str; 5] = ["conv", "dwconv", "fc", "lstm", "rnn"];
 
 /// A per-layer precision assignment policy. See the module docs for the
 /// override semantics and the compact spelling.
@@ -61,8 +61,9 @@ pub struct QuantSpec {
     /// [`PairPrecision::from_bits`] (see [`QuantSpec::pair_for`]), which
     /// is all the compact/JSON spellings can express.
     pub default: Option<PairPrecision>,
-    /// Overrides by layer kind (`conv`, `fc`, `lstm`, `rnn`), in spec
-    /// order; within the list, a later entry for the same kind wins.
+    /// Overrides by layer kind (`conv`, `dwconv`, `fc`, `lstm`, `rnn`),
+    /// in spec order; within the list, a later entry for the same kind
+    /// wins.
     pub kinds: Vec<(String, PairPrecision)>,
     /// Overrides by exact layer name, highest precedence; a later entry
     /// for the same name wins.

@@ -1,0 +1,633 @@
+//! The external model format: `bitfusion-model/1`.
+//!
+//! Models are first-class data, not code. A model document is a single
+//! JSON object
+//!
+//! ```json
+//! {"format":"bitfusion-model/1","name":"...","layers":[...]}
+//! ```
+//!
+//! with one object per layer (`{"name":...,"kind":...,<shape fields>}`)
+//! and an optional top-level `"quant"` — a [`QuantSpec`] compact spelling
+//! applied to the layers at load time. Parsing follows the service
+//! protocol's discipline:
+//!
+//! * **strict** — unknown top-level fields, layer fields, and layer kinds
+//!   are rejected by name, with diagnostics that locate the offense
+//!   (`layers[3].kind: unknown layer kind "conv3d"`), never silently
+//!   defaulted;
+//! * **deterministic** — [`export_model`] emits fields in a fixed order
+//!   through the shared deterministic encoder
+//!   ([`bitfusion_core::json`]), so `export ∘ parse ∘ export` is a fixed
+//!   point, and a model that came *from* an export re-parses to exactly
+//!   the [`Model`] it was exported from (precision spellings are
+//!   canonical via [`PairPrecision::from_bits`]);
+//! * **validated** — shapes that would be geometrically impossible
+//!   (zero-size kernels or strides, a window larger than the padded
+//!   input) are parse errors, so anything that parses also compiles
+//!   shape-consistently or fails for model-content reasons the
+//!   simulator reports itself.
+//!
+//! Layer kinds and their fields (all dimensions are positive integers;
+//! `(a, b)` pairs are two-element JSON arrays; precisions are compact
+//! `"input/weight"` bit spellings like `"4/1"`):
+//!
+//! | kind        | fields |
+//! |-------------|--------|
+//! | `"conv"`    | `in_channels`, `out_channels`, `kernel`, `stride`, `padding`, `input_hw`, `groups`, `precision` |
+//! | `"dwconv"`  | `channels`, `kernel`, `stride`, `padding`, `input_hw`, `precision` |
+//! | `"fc"`      | `in_features`, `out_features`, `precision` |
+//! | `"pool"`    | `channels`, `input_hw`, `window`, `stride`, `padding`, `op` (`"max"`/`"avg"`) |
+//! | `"lstm"`/`"rnn"` | `input_size`, `hidden_size`, `precision` |
+//! | `"eltwise"` | `elements`, `op` (`"add"`/`"mul"`) |
+//! | `"act"`     | `elements` |
+
+use bitfusion_core::bitwidth::PairPrecision;
+use bitfusion_core::json::{parse as parse_json, Json};
+use bitfusion_core::postproc::PoolOp;
+
+use crate::layer::{
+    ActivationLayer, CellKind, Conv2d, Dense, DepthwiseConv2d, Eltwise, Layer, Pool2d, Recurrent,
+};
+use crate::model::{Model, NamedLayer};
+use crate::quantspec::QuantSpec;
+
+/// The format discriminant every model document must carry.
+pub const MODEL_FORMAT: &str = "bitfusion-model/1";
+
+/// The layer kinds the format accepts, in the order diagnostics list them.
+pub const LAYER_KINDS: [&str; 8] = [
+    "conv", "dwconv", "fc", "pool", "lstm", "rnn", "eltwise", "act",
+];
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+fn pair_json(p: (usize, usize)) -> Json {
+    Json::Arr(vec![Json::uint(p.0 as u64), Json::uint(p.1 as u64)])
+}
+
+fn layer_to_json(l: &NamedLayer) -> Json {
+    let mut pairs: Vec<(&str, Json)> = vec![("name", Json::Str(l.name.clone()))];
+    match &l.layer {
+        Layer::Conv2d(c) => {
+            pairs.push(("kind", Json::Str("conv".into())));
+            pairs.push(("in_channels", Json::uint(c.in_channels as u64)));
+            pairs.push(("out_channels", Json::uint(c.out_channels as u64)));
+            pairs.push(("kernel", pair_json(c.kernel)));
+            pairs.push(("stride", pair_json(c.stride)));
+            pairs.push(("padding", pair_json(c.padding)));
+            pairs.push(("input_hw", pair_json(c.input_hw)));
+            pairs.push(("groups", Json::uint(c.groups as u64)));
+            pairs.push(("precision", Json::Str(c.precision.compact())));
+        }
+        Layer::DepthwiseConv2d(c) => {
+            pairs.push(("kind", Json::Str("dwconv".into())));
+            pairs.push(("channels", Json::uint(c.channels as u64)));
+            pairs.push(("kernel", pair_json(c.kernel)));
+            pairs.push(("stride", pair_json(c.stride)));
+            pairs.push(("padding", pair_json(c.padding)));
+            pairs.push(("input_hw", pair_json(c.input_hw)));
+            pairs.push(("precision", Json::Str(c.precision.compact())));
+        }
+        Layer::Dense(d) => {
+            pairs.push(("kind", Json::Str("fc".into())));
+            pairs.push(("in_features", Json::uint(d.in_features as u64)));
+            pairs.push(("out_features", Json::uint(d.out_features as u64)));
+            pairs.push(("precision", Json::Str(d.precision.compact())));
+        }
+        Layer::Pool2d(p) => {
+            pairs.push(("kind", Json::Str("pool".into())));
+            pairs.push(("channels", Json::uint(p.channels as u64)));
+            pairs.push(("input_hw", pair_json(p.input_hw)));
+            pairs.push(("window", pair_json(p.window)));
+            pairs.push(("stride", pair_json(p.stride)));
+            pairs.push(("padding", pair_json(p.padding)));
+            pairs.push((
+                "op",
+                Json::Str(match p.op {
+                    PoolOp::Max => "max".into(),
+                    PoolOp::Average => "avg".into(),
+                }),
+            ));
+        }
+        Layer::Recurrent(r) => {
+            pairs.push((
+                "kind",
+                Json::Str(match r.cell {
+                    CellKind::Lstm => "lstm".into(),
+                    CellKind::Rnn => "rnn".into(),
+                }),
+            ));
+            pairs.push(("input_size", Json::uint(r.input_size as u64)));
+            pairs.push(("hidden_size", Json::uint(r.hidden_size as u64)));
+            pairs.push(("precision", Json::Str(r.precision.compact())));
+        }
+        Layer::Eltwise(e) => {
+            pairs.push(("kind", Json::Str("eltwise".into())));
+            pairs.push(("elements", Json::uint(e.elements as u64)));
+            pairs.push((
+                "op",
+                Json::Str(if e.is_add { "add".into() } else { "mul".into() }),
+            ));
+        }
+        Layer::Activation(a) => {
+            pairs.push(("kind", Json::Str("act".into())));
+            pairs.push(("elements", Json::uint(a.elements as u64)));
+        }
+    }
+    Json::obj(pairs)
+}
+
+/// Exports a model as a `bitfusion-model/1` document (the canonical field
+/// order; encode with [`Json::encode`] for the single-line wire form).
+///
+/// The export never carries a `"quant"` key: a [`Model`]'s layers already
+/// hold their final precisions.
+pub fn export_model(model: &Model) -> Json {
+    Json::obj(vec![
+        ("format", Json::Str(MODEL_FORMAT.into())),
+        ("name", Json::Str(model.name.clone())),
+        (
+            "layers",
+            Json::Arr(model.layers.iter().map(layer_to_json).collect()),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Parse
+// ---------------------------------------------------------------------------
+
+fn fields<'a>(doc: &'a Json, path: &str) -> Result<&'a [(String, Json)], String> {
+    match doc {
+        Json::Obj(pairs) => Ok(pairs),
+        _ => Err(format!("{path}: expected an object")),
+    }
+}
+
+/// Rejects fields outside `allowed`, naming the first offender and the
+/// accepted set (the protocol's typo'd-field discipline).
+fn check_fields(pairs: &[(String, Json)], path: &str, allowed: &[&str]) -> Result<(), String> {
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!(
+                "{path}.{k}: unknown field (expected {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn get<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a Json, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{path}.{key}: missing required field"))
+}
+
+fn str_field(doc: &Json, path: &str, key: &str) -> Result<String, String> {
+    get(doc, path, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{path}.{key}: expected a string"))
+}
+
+/// A dimension field: a positive integer that fits `usize`.
+fn dim_field(doc: &Json, path: &str, key: &str) -> Result<usize, String> {
+    let v = get(doc, path, key)?
+        .as_u64()
+        .ok_or_else(|| format!("{path}.{key}: expected a non-negative integer"))?;
+    let v = usize::try_from(v).map_err(|_| format!("{path}.{key}: {v} does not fit usize"))?;
+    if v == 0 {
+        return Err(format!("{path}.{key}: must be positive"));
+    }
+    Ok(v)
+}
+
+/// A `(a, b)` pair field: a two-element array of non-negative integers.
+/// `min` is the smallest value each element may take (0 for padding,
+/// 1 for everything else).
+fn pair_field(doc: &Json, path: &str, key: &str, min: usize) -> Result<(usize, usize), String> {
+    let arr = get(doc, path, key)?
+        .as_arr()
+        .ok_or_else(|| format!("{path}.{key}: expected a two-element array"))?;
+    if arr.len() != 2 {
+        return Err(format!(
+            "{path}.{key}: expected exactly 2 elements, got {}",
+            arr.len()
+        ));
+    }
+    let side = |i: usize| -> Result<usize, String> {
+        let v = arr[i]
+            .as_u64()
+            .ok_or_else(|| format!("{path}.{key}[{i}]: expected a non-negative integer"))?;
+        let v =
+            usize::try_from(v).map_err(|_| format!("{path}.{key}[{i}]: {v} does not fit usize"))?;
+        if v < min {
+            return Err(format!("{path}.{key}[{i}]: must be at least {min}"));
+        }
+        Ok(v)
+    };
+    Ok((side(0)?, side(1)?))
+}
+
+fn precision_field(doc: &Json, path: &str) -> Result<PairPrecision, String> {
+    let text = str_field(doc, path, "precision")?;
+    text.parse().map_err(|_| {
+        format!("{path}.precision: bad precision `{text}` (compact `input/weight` bits, e.g. `4/1`)")
+    })
+}
+
+/// Checks that a sliding window fits its padded input, so `output_hw()`
+/// can never underflow downstream.
+fn check_window(
+    path: &str,
+    input_hw: (usize, usize),
+    padding: (usize, usize),
+    window: (usize, usize),
+    what: &str,
+) -> Result<(), String> {
+    if input_hw.0 + 2 * padding.0 < window.0 || input_hw.1 + 2 * padding.1 < window.1 {
+        return Err(format!(
+            "{path}: {what} {}x{} exceeds padded input {}x{}",
+            window.0,
+            window.1,
+            input_hw.0 + 2 * padding.0,
+            input_hw.1 + 2 * padding.1
+        ));
+    }
+    Ok(())
+}
+
+fn layer_from_json(doc: &Json, index: usize) -> Result<NamedLayer, String> {
+    let path = format!("layers[{index}]");
+    let pairs = fields(doc, &path)?;
+    let name = str_field(doc, &path, "name")?;
+    if name.is_empty() {
+        return Err(format!("{path}.name: must not be empty"));
+    }
+    let kind = str_field(doc, &path, "kind")?;
+    let layer = match kind.as_str() {
+        "conv" => {
+            check_fields(
+                pairs,
+                &path,
+                &[
+                    "name",
+                    "kind",
+                    "in_channels",
+                    "out_channels",
+                    "kernel",
+                    "stride",
+                    "padding",
+                    "input_hw",
+                    "groups",
+                    "precision",
+                ],
+            )?;
+            let c = Conv2d {
+                in_channels: dim_field(doc, &path, "in_channels")?,
+                out_channels: dim_field(doc, &path, "out_channels")?,
+                kernel: pair_field(doc, &path, "kernel", 1)?,
+                stride: pair_field(doc, &path, "stride", 1)?,
+                padding: pair_field(doc, &path, "padding", 0)?,
+                input_hw: pair_field(doc, &path, "input_hw", 1)?,
+                groups: dim_field(doc, &path, "groups")?,
+                precision: precision_field(doc, &path)?,
+            };
+            check_window(&path, c.input_hw, c.padding, c.kernel, "kernel")?;
+            if !c.in_channels.is_multiple_of(c.groups) || !c.out_channels.is_multiple_of(c.groups) {
+                return Err(format!(
+                    "{path}.groups: {} does not divide channels {}->{}",
+                    c.groups, c.in_channels, c.out_channels
+                ));
+            }
+            Layer::Conv2d(c)
+        }
+        "dwconv" => {
+            check_fields(
+                pairs,
+                &path,
+                &[
+                    "name",
+                    "kind",
+                    "channels",
+                    "kernel",
+                    "stride",
+                    "padding",
+                    "input_hw",
+                    "precision",
+                ],
+            )?;
+            let c = DepthwiseConv2d {
+                channels: dim_field(doc, &path, "channels")?,
+                kernel: pair_field(doc, &path, "kernel", 1)?,
+                stride: pair_field(doc, &path, "stride", 1)?,
+                padding: pair_field(doc, &path, "padding", 0)?,
+                input_hw: pair_field(doc, &path, "input_hw", 1)?,
+                precision: precision_field(doc, &path)?,
+            };
+            check_window(&path, c.input_hw, c.padding, c.kernel, "kernel")?;
+            Layer::DepthwiseConv2d(c)
+        }
+        "fc" => {
+            check_fields(
+                pairs,
+                &path,
+                &["name", "kind", "in_features", "out_features", "precision"],
+            )?;
+            Layer::Dense(Dense {
+                in_features: dim_field(doc, &path, "in_features")?,
+                out_features: dim_field(doc, &path, "out_features")?,
+                precision: precision_field(doc, &path)?,
+            })
+        }
+        "pool" => {
+            check_fields(
+                pairs,
+                &path,
+                &[
+                    "name", "kind", "channels", "input_hw", "window", "stride", "padding", "op",
+                ],
+            )?;
+            let op = match str_field(doc, &path, "op")?.as_str() {
+                "max" => PoolOp::Max,
+                "avg" => PoolOp::Average,
+                other => {
+                    return Err(format!(
+                        "{path}.op: unknown pooling op \"{other}\" (max, avg)"
+                    ))
+                }
+            };
+            let p = Pool2d {
+                channels: dim_field(doc, &path, "channels")?,
+                input_hw: pair_field(doc, &path, "input_hw", 1)?,
+                window: pair_field(doc, &path, "window", 1)?,
+                stride: pair_field(doc, &path, "stride", 1)?,
+                padding: pair_field(doc, &path, "padding", 0)?,
+                op,
+            };
+            check_window(&path, p.input_hw, p.padding, p.window, "window")?;
+            Layer::Pool2d(p)
+        }
+        cell @ ("lstm" | "rnn") => {
+            check_fields(
+                pairs,
+                &path,
+                &["name", "kind", "input_size", "hidden_size", "precision"],
+            )?;
+            Layer::Recurrent(Recurrent {
+                cell: if cell == "lstm" {
+                    CellKind::Lstm
+                } else {
+                    CellKind::Rnn
+                },
+                input_size: dim_field(doc, &path, "input_size")?,
+                hidden_size: dim_field(doc, &path, "hidden_size")?,
+                precision: precision_field(doc, &path)?,
+            })
+        }
+        "eltwise" => {
+            check_fields(pairs, &path, &["name", "kind", "elements", "op"])?;
+            let is_add = match str_field(doc, &path, "op")?.as_str() {
+                "add" => true,
+                "mul" => false,
+                other => {
+                    return Err(format!(
+                        "{path}.op: unknown eltwise op \"{other}\" (add, mul)"
+                    ))
+                }
+            };
+            Layer::Eltwise(Eltwise {
+                elements: dim_field(doc, &path, "elements")?,
+                is_add,
+            })
+        }
+        "act" => {
+            check_fields(pairs, &path, &["name", "kind", "elements"])?;
+            Layer::Activation(ActivationLayer {
+                elements: dim_field(doc, &path, "elements")?,
+            })
+        }
+        other => {
+            return Err(format!(
+                "{path}.kind: unknown layer kind \"{other}\" ({})",
+                LAYER_KINDS.join(", ")
+            ))
+        }
+    };
+    Ok(NamedLayer { name, layer })
+}
+
+/// Builds a [`Model`] from a parsed `bitfusion-model/1` document.
+///
+/// # Errors
+///
+/// Returns a message locating the offense (`layers[3].kind: ...`) for a
+/// wrong format discriminant, unknown or missing fields, unknown layer
+/// kinds, malformed values, geometrically impossible shapes, or a
+/// `"quant"` spec that fails to parse or apply.
+pub fn model_from_json(doc: &Json) -> Result<Model, String> {
+    let pairs = fields(doc, "model")?;
+    check_fields(pairs, "model", &["format", "name", "layers", "quant"])?;
+    let format = str_field(doc, "model", "format")?;
+    if format != MODEL_FORMAT {
+        return Err(format!(
+            "model.format: unsupported format \"{format}\" (expected \"{MODEL_FORMAT}\")"
+        ));
+    }
+    let name = str_field(doc, "model", "name")?;
+    if name.is_empty() {
+        return Err("model.name: must not be empty".to_string());
+    }
+    let layer_docs = get(doc, "model", "layers")?
+        .as_arr()
+        .ok_or_else(|| "model.layers: expected an array".to_string())?;
+    if layer_docs.is_empty() {
+        return Err("model.layers: must not be empty".to_string());
+    }
+    let mut layers = Vec::with_capacity(layer_docs.len());
+    for (i, l) in layer_docs.iter().enumerate() {
+        layers.push(layer_from_json(l, i)?);
+    }
+    let model = Model { name, layers };
+    match doc.get("quant") {
+        None => Ok(model),
+        Some(q) => {
+            let text = q
+                .as_str()
+                .ok_or_else(|| "model.quant: expected a quant-spec string".to_string())?;
+            let spec = QuantSpec::parse(text).map_err(|e| format!("model.quant: {e}"))?;
+            spec.apply(&model).map_err(|e| format!("model.quant: {e}"))
+        }
+    }
+}
+
+/// Parses a `bitfusion-model/1` document from JSON text.
+///
+/// # Errors
+///
+/// As [`model_from_json`], plus JSON syntax errors with their byte offset.
+pub fn parse_model(text: &str) -> Result<Model, String> {
+    let doc = parse_json(text).map_err(|e| format!("model: {e}"))?;
+    model_from_json(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::Benchmark;
+
+    #[test]
+    fn zoo_round_trips_exactly() {
+        // Every zoo network — quantized, topology, and reference variants —
+        // survives export ∘ parse as the *same* Model value, and the
+        // re-export is byte-identical (the encode∘parse∘encode fixed point).
+        for b in Benchmark::ALL {
+            for model in [b.model(), b.topology(), b.reference_model()] {
+                let text = export_model(&model).encode();
+                let parsed = parse_model(&text).unwrap_or_else(|e| panic!("{b}: {e}"));
+                assert_eq!(parsed, model, "{b}/{}", model.name);
+                assert_eq!(export_model(&parsed).encode(), text, "{b}/{}", model.name);
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_layers_round_trip() {
+        use bitfusion_core::bitwidth::PairPrecision;
+        let model = Model::new(
+            "dw",
+            vec![
+                (
+                    "dw1",
+                    Layer::DepthwiseConv2d(DepthwiseConv2d {
+                        channels: 32,
+                        kernel: (3, 3),
+                        stride: (2, 2),
+                        padding: (1, 1),
+                        input_hw: (112, 112),
+                        precision: PairPrecision::from_bits(8, 4).unwrap(),
+                    }),
+                ),
+                (
+                    "pw1",
+                    Layer::Conv2d(Conv2d {
+                        in_channels: 32,
+                        out_channels: 64,
+                        kernel: (1, 1),
+                        stride: (1, 1),
+                        padding: (0, 0),
+                        input_hw: (56, 56),
+                        groups: 1,
+                        precision: PairPrecision::from_bits(8, 8).unwrap(),
+                    }),
+                ),
+            ],
+        );
+        let text = export_model(&model).encode();
+        assert!(text.contains(r#""kind":"dwconv""#), "{text}");
+        assert_eq!(parse_model(&text).unwrap(), model);
+    }
+
+    #[test]
+    fn diagnostics_name_the_layer_and_field() {
+        let base = r#"{"format":"bitfusion-model/1","name":"m","layers":[
+            {"name":"fc1","kind":"fc","in_features":10,"out_features":5,"precision":"8/8"},
+            {"name":"bad","kind":"conv3d"}]}"#;
+        let e = parse_model(base).unwrap_err();
+        assert_eq!(
+            e,
+            "layers[1].kind: unknown layer kind \"conv3d\" (conv, dwconv, fc, pool, lstm, rnn, eltwise, act)"
+        );
+
+        let cases: &[(&str, &str)] = &[
+            // Unknown field on a layer, protocol-style.
+            (
+                r#"{"format":"bitfusion-model/1","name":"m","layers":[
+                    {"name":"fc1","kind":"fc","in_features":10,"out_features":5,"precision":"8/8","bias":true}]}"#,
+                "layers[0].bias: unknown field",
+            ),
+            // Missing required field.
+            (
+                r#"{"format":"bitfusion-model/1","name":"m","layers":[
+                    {"name":"fc1","kind":"fc","out_features":5,"precision":"8/8"}]}"#,
+                "layers[0].in_features: missing required field",
+            ),
+            // Bad precision spelling.
+            (
+                r#"{"format":"bitfusion-model/1","name":"m","layers":[
+                    {"name":"fc1","kind":"fc","in_features":10,"out_features":5,"precision":"9/9"}]}"#,
+                "layers[0].precision: bad precision `9/9`",
+            ),
+            // Zero dimension.
+            (
+                r#"{"format":"bitfusion-model/1","name":"m","layers":[
+                    {"name":"fc1","kind":"fc","in_features":0,"out_features":5,"precision":"8/8"}]}"#,
+                "layers[0].in_features: must be positive",
+            ),
+            // Wrong-arity pair.
+            (
+                r#"{"format":"bitfusion-model/1","name":"m","layers":[
+                    {"name":"c","kind":"dwconv","channels":8,"kernel":[3],"stride":[1,1],"padding":[1,1],"input_hw":[8,8],"precision":"8/8"}]}"#,
+                "layers[0].kernel: expected exactly 2 elements",
+            ),
+            // Geometrically impossible window.
+            (
+                r#"{"format":"bitfusion-model/1","name":"m","layers":[
+                    {"name":"c","kind":"dwconv","channels":8,"kernel":[9,9],"stride":[1,1],"padding":[0,0],"input_hw":[4,4],"precision":"8/8"}]}"#,
+                "layers[0]: kernel 9x9 exceeds padded input 4x4",
+            ),
+            // Unknown top-level field.
+            (
+                r#"{"format":"bitfusion-model/1","name":"m","version":2,"layers":[]}"#,
+                "model.version: unknown field",
+            ),
+            // Wrong format string.
+            (
+                r#"{"format":"bitfusion-model/2","name":"m","layers":[]}"#,
+                "model.format: unsupported format \"bitfusion-model/2\"",
+            ),
+            // Unknown pool op.
+            (
+                r#"{"format":"bitfusion-model/1","name":"m","layers":[
+                    {"name":"p","kind":"pool","channels":8,"input_hw":[8,8],"window":[2,2],"stride":[2,2],"padding":[0,0],"op":"median"}]}"#,
+                "layers[0].op: unknown pooling op \"median\"",
+            ),
+        ];
+        for (text, needle) in cases {
+            let e = parse_model(text).unwrap_err();
+            assert!(e.contains(needle), "wanted `{needle}`, got `{e}`");
+        }
+    }
+
+    #[test]
+    fn quant_key_applies_at_load() {
+        let text = r#"{"format":"bitfusion-model/1","name":"m","quant":"uniform8","layers":[
+            {"name":"fc1","kind":"fc","in_features":10,"out_features":5,"precision":"2/2"}]}"#;
+        let m = parse_model(text).unwrap();
+        assert_eq!(
+            m.layers[0].layer.precision().unwrap().compact(),
+            "8/8",
+            "quant key overrides the layer precision"
+        );
+        // A bad spec, and a layer override that misses, both locate "quant".
+        let bad = text.replace("uniform8", "uniform9");
+        assert!(parse_model(&bad).unwrap_err().starts_with("model.quant:"));
+        let miss = text.replace("uniform8", "layer:conv9=4/4");
+        assert!(parse_model(&miss).unwrap_err().starts_with("model.quant:"));
+    }
+
+    #[test]
+    fn empty_and_malformed_documents_are_rejected() {
+        assert!(parse_model("").unwrap_err().contains("model:"));
+        assert!(parse_model("[]").unwrap_err().contains("expected an object"));
+        assert!(parse_model(r#"{"format":"bitfusion-model/1","name":"m","layers":[]}"#)
+            .unwrap_err()
+            .contains("layers: must not be empty"));
+        assert!(parse_model(r#"{"format":"bitfusion-model/1","name":"","layers":[1]}"#)
+            .unwrap_err()
+            .contains("model.name: must not be empty"));
+    }
+}

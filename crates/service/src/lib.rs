@@ -17,7 +17,8 @@
 //!   and `dse` carry optional quantization overrides
 //!   ([`QuantSpec`](bitfusion_dnn::quantspec::QuantSpec) spellings), and
 //!   `dse` explores lists of them as a design-space axis;
-//! * [`json`] — the hand-rolled JSON layer beneath it (the workspace is
+//! * [`json`] — the hand-rolled JSON layer beneath it (re-exported from
+//!   `bitfusion-core`, where the model format shares it; the workspace is
 //!   offline — no serde);
 //! * [`session`] — the facade: owns the calibration knobs
 //!   ([`SimOptions`](bitfusion_sim::SimOptions)), the default backend, and
@@ -40,13 +41,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod json;
+pub use bitfusion_core::json;
 pub mod protocol;
 pub mod render;
 pub mod serve;
 pub mod session;
 
-pub use json::Json;
+pub use bitfusion_core::json::Json;
 pub use protocol::{BackendChoice, DseParams, Request, Response};
 pub use render::render;
 pub use serve::{serve, ServeSummary};

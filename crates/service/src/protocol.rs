@@ -16,7 +16,9 @@
 //! omitted when absent; absent fields parse to their documented defaults,
 //! so hand-written requests can stay terse.
 
+use bitfusion_dnn::model::Model;
 use bitfusion_dnn::quantspec::QuantSpec;
+use bitfusion_dnn::schema::{export_model, model_from_json};
 
 use crate::json::{parse as parse_json, Json};
 
@@ -240,6 +242,66 @@ impl SweepAxis {
     }
 }
 
+/// What a simulating request runs: a zoo benchmark by name, or an
+/// external model carried inline as its `bitfusion-model/1` document.
+///
+/// On the wire the two spellings are mutually exclusive fields of the
+/// request object — `"benchmark":"lstm"` names a zoo network,
+/// `"model":{"format":"bitfusion-model/1",...}` embeds an external one
+/// (the same document `--model model.json` reads from disk). A request
+/// carrying both, or neither, is rejected by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSource {
+    /// A benchmark of the built-in zoo, resolved case-insensitively.
+    Zoo(String),
+    /// A parsed external model (the `--model model.json` path). External
+    /// models flow through the same caches as zoo networks, keyed by
+    /// structural fingerprint — never by display name.
+    External(Model),
+}
+
+impl ModelSource {
+    /// A zoo source by name.
+    pub fn zoo(name: impl Into<String>) -> Self {
+        ModelSource::Zoo(name.into())
+    }
+
+    /// The name shown in replies and error messages (the zoo name as
+    /// given, or the external model's own `name`).
+    pub fn display_name(&self) -> &str {
+        match self {
+            ModelSource::Zoo(name) => name,
+            ModelSource::External(m) => &m.name,
+        }
+    }
+
+    /// Pushes the wire field: `"benchmark":"name"` for zoo sources, or
+    /// `"model":{…}` (the full model document) for external ones.
+    fn push_wire_field(&self, pairs: &mut Vec<(&str, Json)>) {
+        match self {
+            ModelSource::Zoo(name) => pairs.push(("benchmark", Json::Str(name.clone()))),
+            ModelSource::External(m) => pairs.push(("model", export_model(m))),
+        }
+    }
+
+    /// Reads the source from a request document: exactly one of
+    /// `benchmark` (a zoo name) or `model` (an inline model document).
+    fn from_doc(doc: &Json) -> Result<Self, String> {
+        match (doc.get("benchmark"), doc.get("model")) {
+            (Some(_), Some(_)) => {
+                Err("give either `benchmark` or `model`, not both".to_string())
+            }
+            (None, None) => Err("missing field `benchmark` (or an inline `model`)".to_string()),
+            (Some(b), None) => Ok(ModelSource::Zoo(
+                b.as_str()
+                    .map(str::to_string)
+                    .ok_or("field `benchmark` must be a string")?,
+            )),
+            (None, Some(m)) => Ok(ModelSource::External(model_from_json(m)?)),
+        }
+    }
+}
+
 /// Parameters of a `dse` request: the architecture grid (comma lists on
 /// the CLI, arrays on the wire) crossed with networks and batch sizes.
 #[derive(Debug, Clone, PartialEq)]
@@ -261,8 +323,12 @@ pub struct DseParams {
     /// Quantization policies (compact spellings: presets or clause
     /// lists), crossed with every network.
     pub quants: Vec<String>,
-    /// Benchmark names, or `None` for the whole zoo.
+    /// Benchmark names, or `None` for the whole zoo (or, when external
+    /// `models` are given and no networks are named, none of the zoo).
     pub networks: Option<Vec<String>>,
+    /// External models explored alongside the named networks (wire:
+    /// `"models":[{model doc},...]`, CLI: repeated `--model` flags).
+    pub models: Vec<Model>,
     /// Worker threads (0 = all cores).
     pub workers: u64,
     /// Backend override (session default when absent).
@@ -281,6 +347,7 @@ impl Default for DseParams {
             batches: vec![16],
             quants: vec!["paper".to_string()],
             networks: None,
+            models: Vec::new(),
             workers: 0,
             backend: None,
         }
@@ -292,10 +359,10 @@ impl Default for DseParams {
 pub enum Request {
     /// Enumerate the benchmark zoo and preset architectures.
     List,
-    /// Simulate one benchmark on one architecture.
+    /// Simulate one model on one architecture.
     Report {
-        /// Benchmark name (case-insensitive).
-        benchmark: String,
+        /// What to run: a zoo benchmark or an external model.
+        model: ModelSource,
         /// Batch size.
         batch: u64,
         /// Off-chip bandwidth override in bits/cycle.
@@ -308,10 +375,10 @@ pub enum Request {
         /// absent).
         quant: Option<String>,
     },
-    /// Compare one benchmark against the Eyeriss/Stripes/GPU baselines.
+    /// Compare one model against the Eyeriss/Stripes/GPU baselines.
     Compare {
-        /// Benchmark name (case-insensitive).
-        benchmark: String,
+        /// What to run: a zoo benchmark or an external model.
+        model: ModelSource,
         /// Batch size.
         batch: u64,
         /// Backend override (session default when absent).
@@ -322,8 +389,8 @@ pub enum Request {
     },
     /// Dump the compiled Fusion-ISA assembly.
     Asm {
-        /// Benchmark name (case-insensitive).
-        benchmark: String,
+        /// What to compile: a zoo benchmark or an external model.
+        model: ModelSource,
         /// Batch size.
         batch: u64,
         /// Preset architecture the code is compiled for.
@@ -333,8 +400,8 @@ pub enum Request {
     },
     /// Walk one sensitivity axis (Figure 15/16).
     Sweep {
-        /// Benchmark name (case-insensitive).
-        benchmark: String,
+        /// What to run: a zoo benchmark or an external model.
+        model: ModelSource,
         /// The swept axis.
         axis: SweepAxis,
         /// Backend override (session default when absent).
@@ -344,10 +411,10 @@ pub enum Request {
     },
     /// Explore an architecture grid and reduce to a Pareto frontier.
     Dse(DseParams),
-    /// Show what a quantization policy assigns to one benchmark's layers.
+    /// Show what a quantization policy assigns to one model's layers.
     Quantize {
-        /// Benchmark name (case-insensitive).
-        benchmark: String,
+        /// What to quantize: a zoo benchmark or an external model.
+        model: ModelSource,
         /// Quantization policy (compact spelling; paper assignment when
         /// absent).
         quant: Option<String>,
@@ -374,14 +441,14 @@ impl Request {
         match self {
             Request::List => {}
             Request::Report {
-                benchmark,
+                model,
                 batch,
                 bandwidth,
                 arch,
                 backend,
                 quant,
             } => {
-                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+                model.push_wire_field(&mut pairs);
                 pairs.push(("batch", Json::uint(*batch)));
                 if let Some(bw) = bandwidth {
                     pairs.push(("bandwidth", Json::uint(*bw as u64)));
@@ -395,12 +462,12 @@ impl Request {
                 }
             }
             Request::Compare {
-                benchmark,
+                model,
                 batch,
                 backend,
                 quant,
             } => {
-                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+                model.push_wire_field(&mut pairs);
                 pairs.push(("batch", Json::uint(*batch)));
                 if let Some(b) = backend {
                     pairs.push(("backend", Json::Str(b.as_str().to_string())));
@@ -410,12 +477,12 @@ impl Request {
                 }
             }
             Request::Asm {
-                benchmark,
+                model,
                 batch,
                 arch,
                 layer,
             } => {
-                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+                model.push_wire_field(&mut pairs);
                 pairs.push(("batch", Json::uint(*batch)));
                 pairs.push(("arch", Json::Str(arch.as_str().to_string())));
                 if let Some(l) = layer {
@@ -423,12 +490,12 @@ impl Request {
                 }
             }
             Request::Sweep {
-                benchmark,
+                model,
                 axis,
                 backend,
                 quant,
             } => {
-                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+                model.push_wire_field(&mut pairs);
                 pairs.push(("axis", Json::Str(axis.as_str().to_string())));
                 if let Some(b) = backend {
                     pairs.push(("backend", Json::Str(b.as_str().to_string())));
@@ -455,13 +522,19 @@ impl Request {
                         Json::Arr(networks.iter().map(|n| Json::Str(n.clone())).collect()),
                     ));
                 }
+                if !p.models.is_empty() {
+                    pairs.push((
+                        "models",
+                        Json::Arr(p.models.iter().map(export_model).collect()),
+                    ));
+                }
                 pairs.push(("workers", Json::uint(p.workers)));
                 if let Some(b) = p.backend {
                     pairs.push(("backend", Json::Str(b.as_str().to_string())));
                 }
             }
-            Request::Quantize { benchmark, quant } => {
-                pairs.push(("benchmark", Json::Str(benchmark.clone())));
+            Request::Quantize { model, quant } => {
+                model.push_wire_field(&mut pairs);
                 if let Some(q) = quant {
                     pairs.push(("quant", Json::Str(q.clone())));
                 }
@@ -487,15 +560,17 @@ impl Request {
         // unknown-flag behaviour.
         let allowed: &[&str] = match cmd.as_str() {
             "list" => &[],
-            "report" => &["benchmark", "batch", "bandwidth", "arch", "backend", "quant"],
-            "compare" => &["benchmark", "batch", "backend", "quant"],
-            "asm" => &["benchmark", "batch", "arch", "layer"],
-            "sweep" => &["benchmark", "axis", "backend", "quant"],
+            "report" => &[
+                "benchmark", "model", "batch", "bandwidth", "arch", "backend", "quant",
+            ],
+            "compare" => &["benchmark", "model", "batch", "backend", "quant"],
+            "asm" => &["benchmark", "model", "batch", "arch", "layer"],
+            "sweep" => &["benchmark", "model", "axis", "backend", "quant"],
             "dse" => &[
                 "rows", "cols", "ibuf_kb", "wbuf_kb", "obuf_kb", "bandwidth", "batches",
-                "quants", "networks", "workers", "backend",
+                "quants", "networks", "models", "workers", "backend",
             ],
-            "quantize" => &["benchmark", "quant"],
+            "quantize" => &["benchmark", "model", "quant"],
             other => {
                 return Err(format!(
                     "unknown cmd `{other}` (list|report|compare|asm|sweep|dse|quantize)"
@@ -519,7 +594,7 @@ impl Request {
         match cmd.as_str() {
             "list" => Ok(Request::List),
             "report" => Ok(Request::Report {
-                benchmark: str_field(doc, "benchmark")?,
+                model: ModelSource::from_doc(doc)?,
                 batch: opt_u64_field(doc, "batch")?.unwrap_or(16),
                 bandwidth: match opt_u64_field(doc, "bandwidth")? {
                     Some(bw) => Some(
@@ -535,13 +610,13 @@ impl Request {
                 quant: opt_str_field(doc, "quant")?,
             }),
             "compare" => Ok(Request::Compare {
-                benchmark: str_field(doc, "benchmark")?,
+                model: ModelSource::from_doc(doc)?,
                 batch: opt_u64_field(doc, "batch")?.unwrap_or(16),
                 backend: opt_backend(doc)?,
                 quant: opt_str_field(doc, "quant")?,
             }),
             "asm" => Ok(Request::Asm {
-                benchmark: str_field(doc, "benchmark")?,
+                model: ModelSource::from_doc(doc)?,
                 batch: opt_u64_field(doc, "batch")?.unwrap_or(16),
                 arch: match opt_str_field(doc, "arch")? {
                     Some(s) => ArchPreset::parse(&s)?,
@@ -550,7 +625,7 @@ impl Request {
                 layer: opt_str_field(doc, "layer")?,
             }),
             "sweep" => Ok(Request::Sweep {
-                benchmark: str_field(doc, "benchmark")?,
+                model: ModelSource::from_doc(doc)?,
                 axis: SweepAxis::parse(&str_field(doc, "axis")?)?,
                 backend: opt_backend(doc)?,
                 quant: opt_str_field(doc, "quant")?,
@@ -592,12 +667,21 @@ impl Request {
                                 .collect::<Result<_, _>>()?,
                         ),
                     },
+                    models: match doc.get("models") {
+                        None => Vec::new(),
+                        Some(v) => v
+                            .as_arr()
+                            .ok_or("models must be an array")?
+                            .iter()
+                            .map(model_from_json)
+                            .collect::<Result<_, _>>()?,
+                    },
                     workers: opt_u64_field(doc, "workers")?.unwrap_or(0),
                     backend: opt_backend(doc)?,
                 }))
             }
             "quantize" => Ok(Request::Quantize {
-                benchmark: str_field(doc, "benchmark")?,
+                model: ModelSource::from_doc(doc)?,
                 quant: opt_str_field(doc, "quant")?,
             }),
             other => Err(format!(
@@ -1678,40 +1762,53 @@ mod tests {
 
     #[test]
     fn request_wire_round_trip() {
+        let external = bitfusion_dnn::schema::parse_model(
+            r#"{"format":"bitfusion-model/1","name":"tiny","layers":[{"name":"fc1","kind":"fc","in_features":64,"out_features":32,"precision":"4/1"}]}"#,
+        )
+        .unwrap();
         let requests = vec![
             Request::List,
             Request::Report {
-                benchmark: "LSTM".into(),
+                model: ModelSource::zoo("LSTM"),
                 batch: 16,
                 bandwidth: Some(256),
                 arch: ArchPreset::Isca45nm,
                 backend: Some(BackendChoice::Event),
                 quant: Some("uniform8".into()),
             },
+            Request::Report {
+                model: ModelSource::External(external.clone()),
+                batch: 16,
+                bandwidth: None,
+                arch: ArchPreset::Isca45nm,
+                backend: None,
+                quant: None,
+            },
             Request::Compare {
-                benchmark: "AlexNet".into(),
+                model: ModelSource::zoo("AlexNet"),
                 batch: 4,
                 backend: None,
                 quant: None,
             },
             Request::Asm {
-                benchmark: "RNN".into(),
+                model: ModelSource::zoo("RNN"),
                 batch: 1,
                 arch: ArchPreset::StripesMatched,
                 layer: Some("fc1".into()),
             },
             Request::Sweep {
-                benchmark: "VGG-7".into(),
+                model: ModelSource::External(external.clone()),
                 axis: SweepAxis::Bandwidth,
                 backend: None,
                 quant: Some("default=4/1,conv=2/2".into()),
             },
             Request::Dse(DseParams {
                 quants: vec!["paper".into(), "uniform8".into(), "uniform16".into()],
+                models: vec![external],
                 ..DseParams::default()
             }),
             Request::Quantize {
-                benchmark: "Cifar-10".into(),
+                model: ModelSource::zoo("Cifar-10"),
                 quant: Some("uniform16".into()),
             },
         ];
@@ -1729,7 +1826,7 @@ mod tests {
         assert_eq!(
             req,
             Request::Report {
-                benchmark: "lstm".into(),
+                model: ModelSource::zoo("lstm"),
                 batch: 16,
                 bandwidth: None,
                 arch: ArchPreset::Isca45nm,
@@ -1744,10 +1841,33 @@ mod tests {
         assert_eq!(
             Request::parse(r#"{"cmd":"quantize","benchmark":"svhn"}"#).unwrap(),
             Request::Quantize {
-                benchmark: "svhn".into(),
+                model: ModelSource::zoo("svhn"),
                 quant: None,
             }
         );
+    }
+
+    #[test]
+    fn model_and_benchmark_are_mutually_exclusive() {
+        let model = r#"{"format":"bitfusion-model/1","name":"net","layers":[{"name":"fc1","kind":"fc","in_features":8,"out_features":4,"precision":"8/8"}]}"#;
+        let e = Request::parse(&format!(
+            r#"{{"cmd":"report","benchmark":"lstm","model":{model}}}"#
+        ))
+        .unwrap_err();
+        assert!(e.contains("not both"), "{e}");
+        // An inline model alone parses to the external source.
+        let req =
+            Request::parse(&format!(r#"{{"cmd":"report","model":{model}}}"#)).unwrap();
+        let Request::Report { model: ModelSource::External(m), .. } = req else {
+            panic!("expected an external report");
+        };
+        assert_eq!(m.name, "net");
+        // A malformed inline model reports the schema's located diagnostic.
+        let e = Request::parse(
+            r#"{"cmd":"report","model":{"format":"bitfusion-model/1","name":"net","layers":[{"name":"x","kind":"conv3d"}]}}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("layers[0].kind"), "{e}");
     }
 
     #[test]

@@ -39,8 +39,8 @@ use bitfusion_sim::{
 use crate::protocol::{
     ArchInfo, ArchPreset, AsmBlock, AsmReply, BackendChoice, BaselineComparison, BenchmarkInfo,
     CompareReply, DseParams, DseReply, EnergyInfo, FrontierPoint, InfeasibleInfo, LayerInfo,
-    QuantLayerInfo, QuantSpeedupInfo, QuantizeReply, ReportReply, Request, Response, StallInfo,
-    SweepAxis, SweepPointInfo, SweepReply,
+    ModelSource, QuantLayerInfo, QuantSpeedupInfo, QuantizeReply, ReportReply, Request, Response,
+    StallInfo, SweepAxis, SweepPointInfo, SweepReply,
 };
 
 /// Batch sizes the `sweep --batch` axis walks (Figure 16).
@@ -149,33 +149,33 @@ impl Session {
         let result = match request {
             Request::List => Ok(self.list()),
             Request::Report {
-                benchmark,
+                model,
                 batch,
                 bandwidth,
                 arch,
                 backend,
                 quant,
-            } => self.report(benchmark, *batch, *bandwidth, *arch, *backend, quant.as_deref()),
+            } => self.report(model, *batch, *bandwidth, *arch, *backend, quant.as_deref()),
             Request::Compare {
-                benchmark,
+                model,
                 batch,
                 backend,
                 quant,
-            } => self.compare(benchmark, *batch, *backend, quant.as_deref()),
+            } => self.compare(model, *batch, *backend, quant.as_deref()),
             Request::Asm {
-                benchmark,
+                model,
                 batch,
                 arch,
                 layer,
-            } => self.asm(benchmark, *batch, *arch, layer.as_deref()),
+            } => self.asm(model, *batch, *arch, layer.as_deref()),
             Request::Sweep {
-                benchmark,
+                model,
                 axis,
                 backend,
                 quant,
-            } => self.sweep(benchmark, *axis, *backend, quant.as_deref()),
+            } => self.sweep(model, *axis, *backend, quant.as_deref()),
             Request::Dse(params) => self.dse(params),
-            Request::Quantize { benchmark, quant } => self.quantize(benchmark, quant.as_deref()),
+            Request::Quantize { model, quant } => self.quantize(model, quant.as_deref()),
         };
         result.unwrap_or_else(|message| Response::Error { message })
     }
@@ -207,16 +207,16 @@ impl Session {
 
     fn report(
         &self,
-        benchmark: &str,
+        source: &ModelSource,
         batch: u64,
         bandwidth: Option<u32>,
         arch: ArchPreset,
         backend: Option<BackendChoice>,
         quant: Option<&str>,
     ) -> Result<Response, String> {
-        let b = find_benchmark(benchmark)?;
+        let resolved = resolve_model(source, quant)?;
         let backend = backend.unwrap_or(self.backend);
-        let (model, quant) = quantized_model(b, quant)?;
+        let (model, quant) = (resolved.model, resolved.quant);
         let mut arch = arch_config(arch);
         if let Some(bw) = bandwidth {
             arch = arch.with_bandwidth(bw);
@@ -230,7 +230,7 @@ impl Session {
         let report = self.simulate(&model, &arch, batch, backend)?;
         let stalls = report.total_stalls();
         Ok(Response::Report(ReportReply {
-            benchmark: b.name().to_string(),
+            benchmark: resolved.name,
             batch,
             backend,
             quant,
@@ -266,25 +266,25 @@ impl Session {
 
     fn compare(
         &self,
-        benchmark: &str,
+        source: &ModelSource,
         batch: u64,
         backend: Option<BackendChoice>,
         quant: Option<&str>,
     ) -> Result<Response, String> {
-        let b = find_benchmark(benchmark)?;
+        let resolved = resolve_model(source, quant)?;
         let backend = backend.unwrap_or(self.backend);
         // The quantization applies to the precision-sensitive executors
         // (Bit Fusion, the bit-serial Stripes); Eyeriss and the GPU run
         // the 16-bit reference model regardless.
-        let (model, quant) = quantized_model(b, quant)?;
+        let (model, quant) = (resolved.model, resolved.quant);
         let r = self.simulate(&model, &ArchConfig::isca_45nm(), batch, backend)?;
-        let ey = EyerissSim::default().run(&b.reference_model(), batch);
+        let ey = EyerissSim::default().run(&resolved.reference, batch);
         let rs = self.simulate(&model, &ArchConfig::stripes_matched(), batch, backend)?;
         let st = StripesSim::default().run(&model, batch);
         let r16 = self.simulate(&model, &ArchConfig::gpu_16nm(), batch, backend)?;
-        let tx2 = GpuModel::tegra_x2().run(&b.reference_model(), batch, GpuMode::Fp32);
+        let tx2 = GpuModel::tegra_x2().run(&resolved.reference, batch, GpuMode::Fp32);
         Ok(Response::Compare(CompareReply {
-            benchmark: b.name().to_string(),
+            benchmark: resolved.name,
             batch,
             backend,
             quant,
@@ -312,13 +312,13 @@ impl Session {
 
     fn asm(
         &self,
-        benchmark: &str,
+        source: &ModelSource,
         batch: u64,
         arch: ArchPreset,
         layer: Option<&str>,
     ) -> Result<Response, String> {
-        let b = find_benchmark(benchmark)?;
-        let cached = self.compiled(&b.model(), &arch_config(arch), batch)?;
+        let resolved = resolve_model(source, None)?;
+        let cached = self.compiled(&resolved.model, &arch_config(arch), batch)?;
         let plan = cached.as_ref().as_ref().expect("checked by compiled()");
         let blocks: Vec<AsmBlock> = plan
             .layers
@@ -334,13 +334,13 @@ impl Session {
                 let names: Vec<&str> = plan.layers.iter().map(|l| l.name.as_str()).collect();
                 return Err(format!(
                     "unknown layer `{want}` in {} (layers: {})",
-                    b.name(),
+                    resolved.name,
                     names.join(", ")
                 ));
             }
         }
         Ok(Response::Asm(AsmReply {
-            benchmark: b.name().to_string(),
+            benchmark: resolved.name,
             batch,
             blocks,
         }))
@@ -348,15 +348,15 @@ impl Session {
 
     fn sweep(
         &self,
-        benchmark: &str,
+        source: &ModelSource,
         axis: SweepAxis,
         backend: Option<BackendChoice>,
         quant: Option<&str>,
     ) -> Result<Response, String> {
-        let b = find_benchmark(benchmark)?;
+        let resolved = resolve_model(source, quant)?;
         let backend = backend.unwrap_or(self.backend);
         let arch = ArchConfig::isca_45nm();
-        let (model, quant) = quantized_model(b, quant)?;
+        let (model, quant) = (resolved.model, resolved.quant);
         let (baseline, points, layer_hits, layer_misses) = match axis {
             SweepAxis::Bandwidth => {
                 let sweep = self
@@ -410,7 +410,7 @@ impl Session {
             }
         };
         Ok(Response::Sweep(SweepReply {
-            benchmark: b.name().to_string(),
+            benchmark: resolved.name,
             axis,
             backend,
             quant,
@@ -421,13 +421,13 @@ impl Session {
         }))
     }
 
-    fn quantize(&self, benchmark: &str, quant: Option<&str>) -> Result<Response, String> {
-        let b = find_benchmark(benchmark)?;
+    fn quantize(&self, source: &ModelSource, quant: Option<&str>) -> Result<Response, String> {
         let spec = resolve_quant(quant)?;
-        let model = b.model_with(&spec)?;
+        let resolved = resolve_model(source, quant)?;
+        let model = resolved.model;
         let stats = BitwidthStats::of(&model);
         Ok(Response::Quantize(QuantizeReply {
-            benchmark: b.name().to_string(),
+            benchmark: resolved.name,
             quant: spec.to_string(),
             total_macs: model.total_macs(),
             weight_bytes: model.weight_bytes(),
@@ -450,7 +450,11 @@ impl Session {
 
     fn dse(&self, params: &DseParams) -> Result<Response, String> {
         let backend = params.backend.unwrap_or(self.backend);
+        // `networks: None` means the whole zoo — unless the request brings
+        // its own external models, in which case an unnamed zoo would be a
+        // surprising 8-network tax on a `--model` exploration.
         let networks: Vec<Benchmark> = match &params.networks {
+            None if !params.models.is_empty() => Vec::new(),
             None => Benchmark::ALL.to_vec(),
             Some(names) => names
                 .iter()
@@ -512,7 +516,11 @@ impl Session {
         }
         let spec = DseSpec {
             grid,
-            models: networks.iter().map(|b| b.model()).collect(),
+            models: networks
+                .iter()
+                .map(|b| b.model())
+                .chain(params.models.iter().cloned())
+                .collect(),
             quant_specs,
             batches: params.batches.clone(),
             options: self.options,
@@ -667,16 +675,67 @@ pub fn resolve_quant(quant: Option<&str>) -> Result<QuantSpec, String> {
     }
 }
 
-/// The benchmark's model under an optional quantization override, plus
-/// the canonical spelling to echo in the reply (absent when the request
-/// named none).
-fn quantized_model(
-    b: Benchmark,
-    quant: Option<&str>,
-) -> Result<(Model, Option<String>), String> {
+/// A [`ModelSource`] resolved for evaluation: the concrete models the
+/// executors run plus the canonical reply strings.
+struct ResolvedModel {
+    /// The (possibly re-quantized) model Bit Fusion and Stripes execute.
+    model: Model,
+    /// The 16-bit model the precision-blind baselines (Eyeriss, GPU) run
+    /// in `compare`: the zoo's curated reference topology, or an external
+    /// model forced to uniform 16-bit.
+    reference: Model,
+    /// The display name echoed in replies.
+    name: String,
+    /// The canonical quant spelling, when the request named one.
+    quant: Option<String>,
+}
+
+/// Resolves a request's model source under an optional quantization
+/// override. External models take exactly the same path as zoo networks
+/// from here on — compilation, simulation, and both cache tiers key on
+/// the model's structural fingerprint, never on this display name.
+fn resolve_model(source: &ModelSource, quant: Option<&str>) -> Result<ResolvedModel, String> {
     let spec = resolve_quant(quant)?;
-    let model = b.model_with(&spec)?;
-    Ok((model, quant.map(|_| spec.to_string())))
+    let (base, reference, name) = match source {
+        ModelSource::Zoo(n) => {
+            let b = find_benchmark(n)?;
+            (b.model(), b.reference_model(), b.name().to_string())
+        }
+        ModelSource::External(m) => {
+            let reference = QuantSpec::parse("uniform16")
+                .expect("uniform16 is a preset")
+                .apply(m)?;
+            (m.clone(), reference, m.name.clone())
+        }
+    };
+    Ok(ResolvedModel {
+        model: spec.apply(&base)?,
+        reference,
+        name,
+        quant: quant.map(|_| spec.to_string()),
+    })
+}
+
+/// Resolves a model name for `export-model`: a zoo benchmark
+/// (case-insensitive) or one of the shipped modern workloads
+/// (`attention-block`, `depthwise-net`).
+///
+/// # Errors
+///
+/// Names every valid choice.
+pub fn find_model(name: &str) -> Result<Model, String> {
+    match name.to_lowercase().as_str() {
+        "attention-block" => Ok(bitfusion_dnn::modern::attention_block_example()),
+        "depthwise-net" => Ok(bitfusion_dnn::modern::depthwise_net_example()),
+        _ => find_benchmark(name).map(|b| b.model()).map_err(|_| {
+            let names: Vec<String> = Benchmark::ALL
+                .iter()
+                .map(|b| b.name().to_lowercase())
+                .chain(["attention-block".to_string(), "depthwise-net".to_string()])
+                .collect();
+            format!("unknown model `{name}` (expected one of: {})", names.join(", "))
+        }),
+    }
 }
 
 /// Resolves a benchmark name case-insensitively, or names every valid
@@ -811,7 +870,7 @@ mod tests {
     fn report_matches_direct_simulation() {
         let session = Session::new();
         let resp = session.handle(&Request::Report {
-            benchmark: "lstm".into(),
+            model: ModelSource::zoo("lstm"),
             batch: 16,
             bandwidth: None,
             arch: ArchPreset::Isca45nm,
@@ -843,7 +902,7 @@ mod tests {
     fn repeated_requests_are_byte_identical_and_warm() {
         let session = Session::new();
         let req = Request::Report {
-            benchmark: "rnn".into(),
+            model: ModelSource::zoo("rnn"),
             batch: 4,
             bandwidth: Some(256),
             arch: ArchPreset::Isca45nm,
@@ -863,7 +922,7 @@ mod tests {
         // report, asm, and the dse corner at the same key compile once.
         let session = Session::new();
         session.handle(&Request::Report {
-            benchmark: "rnn".into(),
+            model: ModelSource::zoo("rnn"),
             batch: 16,
             bandwidth: None,
             arch: ArchPreset::Isca45nm,
@@ -872,7 +931,7 @@ mod tests {
         });
         assert_eq!(session.cache_stats().misses, 1);
         session.handle(&Request::Asm {
-            benchmark: "rnn".into(),
+            model: ModelSource::zoo("rnn"),
             batch: 16,
             arch: ArchPreset::Isca45nm,
             layer: None,
@@ -880,7 +939,7 @@ mod tests {
         assert_eq!(session.cache_stats().misses, 1, "asm reused the report's plan");
         // The bandwidth sweep shares the same geometry key too.
         session.handle(&Request::Sweep {
-            benchmark: "rnn".into(),
+            model: ModelSource::zoo("rnn"),
             axis: SweepAxis::Bandwidth,
             backend: None,
             quant: None,
@@ -896,7 +955,7 @@ mod tests {
     fn layer_tier_warms_across_commands_without_changing_bytes() {
         let session = Session::new();
         let req = Request::Report {
-            benchmark: "resnet-18".into(),
+            model: ModelSource::zoo("resnet-18"),
             batch: 16,
             bandwidth: None,
             arch: ArchPreset::Isca45nm,
@@ -925,7 +984,7 @@ mod tests {
     fn sweep_and_dse_replies_carry_layer_counters() {
         let session = Session::new();
         match session.handle(&Request::Sweep {
-            benchmark: "resnet-18".into(),
+            model: ModelSource::zoo("resnet-18"),
             axis: SweepAxis::Bandwidth,
             backend: None,
             quant: None,
@@ -964,7 +1023,7 @@ mod tests {
         let session = Session::new();
         for req in [
             Request::Report {
-                benchmark: "nope".into(),
+                model: ModelSource::zoo("nope"),
                 batch: 16,
                 bandwidth: None,
                 arch: ArchPreset::Isca45nm,
@@ -972,7 +1031,7 @@ mod tests {
                 quant: None,
             },
             Request::Asm {
-                benchmark: "rnn".into(),
+                model: ModelSource::zoo("rnn"),
                 batch: 1,
                 arch: ArchPreset::Isca45nm,
                 layer: Some("no-such-layer".into()),
@@ -991,7 +1050,7 @@ mod tests {
     fn compare_beats_the_baselines() {
         let session = Session::new();
         match session.handle(&Request::Compare {
-            benchmark: "cifar-10".into(),
+            model: ModelSource::zoo("cifar-10"),
             batch: 16,
             backend: None,
             quant: None,
@@ -1065,7 +1124,7 @@ mod tests {
         });
         let fast = Session::new();
         let req = Request::Report {
-            benchmark: "vgg-7".into(),
+            model: ModelSource::zoo("vgg-7"),
             batch: 4,
             bandwidth: None,
             arch: ArchPreset::Isca45nm,

@@ -4,14 +4,20 @@
 //! property the serve loop's byte-identity contract stands on.
 
 use bitfusion_core::bitwidth::PairPrecision;
+use bitfusion_core::postproc::PoolOp;
+use bitfusion_dnn::layer::{
+    ActivationLayer, CellKind, Conv2d, Dense, DepthwiseConv2d, Eltwise, Layer, Pool2d, Recurrent,
+};
+use bitfusion_dnn::model::{Model, NamedLayer};
 use bitfusion_dnn::quantspec::{QuantSpec, QUANT_KINDS};
+use bitfusion_dnn::schema::{export_model, parse_model};
 use bitfusion_service::json::parse as parse_json;
 use bitfusion_service::protocol::{
     quant_spec_from_json, quant_spec_to_json, ArchInfo, ArchPreset, AsmBlock, AsmReply,
     BackendChoice, BaselineComparison, BenchmarkInfo, CompareReply, DseParams, DseReply,
-    EnergyInfo, FrontierPoint, InfeasibleInfo, LayerInfo, QuantLayerInfo, QuantSpeedupInfo,
-    QuantizeReply, ReportReply, Request, Response, StallInfo, SweepAxis, SweepPointInfo,
-    SweepReply,
+    EnergyInfo, FrontierPoint, InfeasibleInfo, LayerInfo, ModelSource, QuantLayerInfo,
+    QuantSpeedupInfo, QuantizeReply, ReportReply, Request, Response, StallInfo, SweepAxis,
+    SweepPointInfo, SweepReply,
 };
 use proptest::prelude::*;
 
@@ -111,46 +117,143 @@ fn arb_arch_preset() -> impl Strategy<Value = ArchPreset> {
     ])
 }
 
+/// Arbitrary valid layers covering every `bitfusion-model/1` kind, with
+/// geometry constrained so sliding windows always fit their padded input
+/// (anything looser is a schema parse error, not a round-trip case).
+fn arb_model_layer() -> impl Strategy<Value = Layer> {
+    let geom = || (4usize..32, 4usize..32, 1usize..4, 1usize..3, 0usize..2);
+    let conv = (geom(), 1usize..4, 1usize..8, 1usize..8, arb_pair()).prop_map(
+        |((h, w, k, s, p), groups, in_c, out_c, precision)| {
+            Layer::Conv2d(Conv2d {
+                in_channels: groups * in_c,
+                out_channels: groups * out_c,
+                kernel: (k, k),
+                stride: (s, s),
+                padding: (p, p),
+                input_hw: (h, w),
+                groups,
+                precision,
+            })
+        },
+    );
+    let dwconv = (geom(), 1usize..32, arb_pair()).prop_map(|((h, w, k, s, p), channels, precision)| {
+        Layer::DepthwiseConv2d(DepthwiseConv2d {
+            channels,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+            input_hw: (h, w),
+            precision,
+        })
+    });
+    let fc = (1usize..256, 1usize..256, arb_pair()).prop_map(|(i, o, precision)| {
+        Layer::Dense(Dense {
+            in_features: i,
+            out_features: o,
+            precision,
+        })
+    });
+    let pool = (
+        geom(),
+        1usize..32,
+        prop::sample::select(vec![PoolOp::Max, PoolOp::Average]),
+    )
+        .prop_map(|((h, w, k, s, p), channels, op)| {
+            Layer::Pool2d(Pool2d {
+                channels,
+                input_hw: (h, w),
+                window: (k, k),
+                stride: (s, s),
+                padding: (p, p),
+                op,
+            })
+        });
+    let recurrent = (
+        prop::sample::select(vec![CellKind::Lstm, CellKind::Rnn]),
+        1usize..256,
+        1usize..256,
+        arb_pair(),
+    )
+        .prop_map(|(cell, input_size, hidden_size, precision)| {
+            Layer::Recurrent(Recurrent {
+                cell,
+                input_size,
+                hidden_size,
+                precision,
+            })
+        });
+    let eltwise = (1usize..4096, any::<bool>())
+        .prop_map(|(elements, is_add)| Layer::Eltwise(Eltwise { elements, is_add }));
+    let act =
+        (1usize..4096).prop_map(|elements| Layer::Activation(ActivationLayer { elements }));
+    prop_oneof![conv, dwconv, fc, pool, recurrent, eltwise, act]
+}
+
+/// Arbitrary external models as the `"model"` wire field carries them.
+fn arb_model() -> impl Strategy<Value = Model> {
+    (arb_name(), prop::collection::vec(arb_model_layer(), 1..4)).prop_map(|(name, layers)| {
+        Model {
+            name,
+            layers: layers
+                .into_iter()
+                .enumerate()
+                .map(|(i, layer)| NamedLayer {
+                    name: format!("l{i}"),
+                    layer,
+                })
+                .collect(),
+        }
+    })
+}
+
+/// Either side of the `benchmark` XOR `model` wire convention.
+fn arb_source() -> impl Strategy<Value = ModelSource> {
+    prop_oneof![
+        arb_name().prop_map(ModelSource::Zoo),
+        arb_model().prop_map(ModelSource::External),
+    ]
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     let report = (
-        arb_name(),
+        arb_source(),
         arb_u64(),
         prop::option::of(1u32..4096),
         arb_arch_preset(),
         arb_opt_backend(),
         arb_opt_quant(),
     )
-        .prop_map(|(benchmark, batch, bandwidth, arch, backend, quant)| Request::Report {
-            benchmark,
+        .prop_map(|(model, batch, bandwidth, arch, backend, quant)| Request::Report {
+            model,
             batch,
             bandwidth,
             arch,
             backend,
             quant,
         });
-    let compare = (arb_name(), arb_u64(), arb_opt_backend(), arb_opt_quant()).prop_map(
-        |(benchmark, batch, backend, quant)| Request::Compare {
-            benchmark,
+    let compare = (arb_source(), arb_u64(), arb_opt_backend(), arb_opt_quant()).prop_map(
+        |(model, batch, backend, quant)| Request::Compare {
+            model,
             batch,
             backend,
             quant,
         },
     );
     let asm = (
-        arb_name(),
+        arb_source(),
         arb_u64(),
         arb_arch_preset(),
         prop::option::of(arb_name()),
     )
-        .prop_map(|(benchmark, batch, arch, layer)| Request::Asm {
-            benchmark,
+        .prop_map(|(model, batch, arch, layer)| Request::Asm {
+            model,
             batch,
             arch,
             layer,
         });
-    let sweep = (arb_name(), arb_axis(), arb_opt_backend(), arb_opt_quant()).prop_map(
-        |(benchmark, axis, backend, quant)| Request::Sweep {
-            benchmark,
+    let sweep = (arb_source(), arb_axis(), arb_opt_backend(), arb_opt_quant()).prop_map(
+        |(model, axis, backend, quant)| Request::Sweep {
+            model,
             axis,
             backend,
             quant,
@@ -168,6 +271,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         ),
         prop::collection::vec(arb_quant_string(), 1..4),
         prop::option::of(prop::collection::vec(arb_name(), 1..4)),
+        prop::collection::vec(arb_model(), 0..3),
         0u64..16,
         arb_opt_backend(),
     )
@@ -176,6 +280,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 (rows, cols, ibuf_kb, wbuf_kb, obuf_kb, bandwidth, batches),
                 quants,
                 networks,
+                models,
                 workers,
                 backend,
             )| {
@@ -189,14 +294,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     batches,
                     quants,
                     networks,
+                    models,
                     workers,
                     backend,
                 })
             },
         );
-    let quantize = (arb_name(), arb_opt_quant()).prop_map(|(benchmark, quant)| {
-        Request::Quantize { benchmark, quant }
-    });
+    let quantize = (arb_source(), arb_opt_quant())
+        .prop_map(|(model, quant)| Request::Quantize { model, quant });
     prop_oneof![
         prop::sample::select(vec![Request::List]),
         report,
@@ -555,6 +660,16 @@ proptest! {
     }
 
     #[test]
+    fn model_export_parse_export_is_a_fixed_point(model in arb_model()) {
+        // The `bitfusion-model/1` document format the wire embeds: parsing
+        // an export reconstructs the model, and re-export is byte-identical.
+        let doc = export_model(&model).encode();
+        let back = parse_model(&doc).expect("own export parses");
+        prop_assert_eq!(&back, &model, "{}", doc);
+        prop_assert_eq!(export_model(&back).encode(), doc);
+    }
+
+    #[test]
     fn quant_spec_compact_display_parse_is_a_fixed_point(spec in arb_quant_spec()) {
         // The protocol carries specs as their canonical compact spelling,
         // so Display ∘ parse must be lossless and canonical.
@@ -579,11 +694,22 @@ proptest! {
 fn every_request_variant_is_exercised() {
     // The strategies above must cover all seven commands; pin the
     // discriminants so a new variant cannot silently skip the round-trip.
+    let external = ModelSource::External(Model::new(
+        "tiny",
+        vec![(
+            "fc1",
+            Layer::Dense(Dense {
+                in_features: 64,
+                out_features: 32,
+                precision: PairPrecision::from_bits(4, 1).unwrap(),
+            }),
+        )],
+    ));
     let mut seen = std::collections::BTreeSet::new();
     for req in [
         Request::List,
         Request::Report {
-            benchmark: "x".into(),
+            model: external.clone(),
             batch: 1,
             bandwidth: None,
             arch: ArchPreset::Isca45nm,
@@ -591,26 +717,26 @@ fn every_request_variant_is_exercised() {
             quant: Some("uniform8".into()),
         },
         Request::Compare {
-            benchmark: "x".into(),
+            model: ModelSource::zoo("x"),
             batch: 1,
             backend: None,
             quant: None,
         },
         Request::Asm {
-            benchmark: "x".into(),
+            model: ModelSource::zoo("x"),
             batch: 1,
             arch: ArchPreset::Isca45nm,
             layer: None,
         },
         Request::Sweep {
-            benchmark: "x".into(),
+            model: external,
             axis: SweepAxis::Batch,
             backend: None,
             quant: None,
         },
         Request::Dse(DseParams::default()),
         Request::Quantize {
-            benchmark: "x".into(),
+            model: ModelSource::zoo("x"),
             quant: Some("default=4/1,layer:conv1=8/8".into()),
         },
     ] {

@@ -252,22 +252,45 @@ pub fn evaluate_layer(
     // double-buffers against compute. (A one-tile layer thus costs plain
     // `load + compute + store`, matching the event backend.)
     let residual_bits: u64 = layer.postops.iter().map(PostOp::extra_input_bits).sum();
+    // Depthwise input tiles span all three dimensions (one window per
+    // output row); ordinary GEMMs share one `[k × n]` panel.
+    let i_tile_elems = layer.tile_plan.tiles.k
+        * layer.tile_plan.tiles.n
+        * if layer.gemm.depthwise { layer.tile_plan.tiles.m } else { 1 };
     let first_tiles_bits = layer.tile_plan.tiles.m * layer.tile_plan.tiles.k
         * layer.gemm.pair.weight.bits() as u64
-        + layer.tile_plan.tiles.k * layer.tile_plan.tiles.n * layer.gemm.pair.input.bits() as u64
+        + i_tile_elems * layer.gemm.pair.input.bits() as u64
         + residual_tile_bits(&layer.gemm, layer.tile_plan.tiles, residual_bits);
     let prologue = effective_bw.cycles_for(first_tiles_bits);
     let dma_after_prologue = dma_cycles.saturating_sub(prologue);
 
-    let cycles = prologue.saturating_add(compute_cycles.max(dma_after_prologue));
+    // Epilogue: the last tile's compute starts only after its own load —
+    // there is no later DMA left to overlap it, so in a bandwidth-bound
+    // layer it serializes at the end, exactly as the event timeline plays
+    // it (`T·L + C` for T uniform tiles of load L and compute C < L). A
+    // compute-bound layer absorbs it inside `compute_cycles`, and a
+    // one-tile layer is fully serial through the prologue term already.
+    let epilogue = if m.per_tile.tiles > 1 {
+        let last_tile_macs = m
+            .per_tile
+            .compute_steps
+            .saturating_mul(m.temporal_cycles)
+            .saturating_add(m.per_tile.fill_passes * (arch.rows as u64 + arch.cols as u64));
+        systolic.cycles_for(last_tile_macs)
+    } else {
+        0
+    };
+    let dma_and_tail = dma_after_prologue.saturating_add(epilogue);
+
+    let cycles = prologue.saturating_add(compute_cycles.max(dma_and_tail));
 
     // Whole-layer stall estimate from the closed form: the slower pipe
     // covers the faster one; the array also idles through the prologue.
     let stalls = StallBreakdown {
-        bandwidth_starved: dma_after_prologue
+        bandwidth_starved: dma_and_tail
             .saturating_sub(compute_cycles)
             .saturating_add(prologue),
-        compute_starved: compute_cycles.saturating_sub(dma_after_prologue),
+        compute_starved: compute_cycles.saturating_sub(dma_and_tail),
         fill_drain,
     };
 

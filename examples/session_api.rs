@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example session_api`
 
-use bitfusion::service::protocol::{ArchPreset, SweepAxis};
+use bitfusion::service::protocol::{ArchPreset, ModelSource, SweepAxis};
 use bitfusion::service::{Request, Response, Session};
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
 
     // A typed request, built directly...
     let report = Request::Report {
-        benchmark: "lstm".into(),
+        model: ModelSource::zoo("lstm"),
         batch: 16,
         bandwidth: None,
         arch: ArchPreset::Isca45nm,
@@ -42,7 +42,7 @@ fn main() {
     // The bandwidth sweep reuses the report's compiled artifact: tiling
     // does not depend on bandwidth, so the whole axis is compilation-free.
     match session.handle(&Request::Sweep {
-        benchmark: "lstm".into(),
+        model: ModelSource::zoo("lstm"),
         axis: SweepAxis::Bandwidth,
         backend: None,
         quant: None,
@@ -61,7 +61,7 @@ fn main() {
     // 8-bit datapath. Its artifact is distinct (precision is part of the
     // model fingerprint), and it can only be slower.
     match session.handle(&Request::Report {
-        benchmark: "lstm".into(),
+        model: ModelSource::zoo("lstm"),
         batch: 16,
         bandwidth: None,
         arch: ArchPreset::Isca45nm,

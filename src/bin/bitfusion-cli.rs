@@ -23,11 +23,12 @@ use std::env;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use bitfusion::dnn::QuantSpec;
+use bitfusion::dnn::{export_model, parse_model, Model, QuantSpec};
 use bitfusion::energy::TechNode;
 use bitfusion::service::protocol::{
-    quant_spec_from_json, ArchPreset, BackendChoice, DseParams, SweepAxis,
+    quant_spec_from_json, ArchPreset, BackendChoice, DseParams, ModelSource, SweepAxis,
 };
+use bitfusion::service::session::find_model;
 use bitfusion::service::{render, serve, Request, Response, Session};
 use bitfusion::sim::SimOptions;
 
@@ -36,20 +37,31 @@ fn usage() -> &'static str {
 
 USAGE:
   bitfusion-cli list     [--json]
-  bitfusion-cli report   <benchmark> [--batch N] [--bandwidth BITS] [--arch 45nm|16nm|stripes]
-                         [--backend analytic|event] [--quant SPEC] [--json] [calibration]
-  bitfusion-cli compare  <benchmark> [--batch N] [--backend analytic|event] [--quant SPEC]
+  bitfusion-cli report   <benchmark | --model FILE> [--batch N] [--bandwidth BITS]
+                         [--arch 45nm|16nm|stripes] [--backend analytic|event] [--quant SPEC]
                          [--json] [calibration]
-  bitfusion-cli asm      <benchmark> [--layer NAME] [--batch N] [--arch 45nm|16nm|stripes] [--json]
-  bitfusion-cli sweep    <benchmark> (--batch | --bandwidth) [--backend analytic|event]
+  bitfusion-cli compare  <benchmark | --model FILE> [--batch N] [--backend analytic|event]
                          [--quant SPEC] [--json] [calibration]
-  bitfusion-cli quantize <benchmark> [--quant SPEC] [--json]
+  bitfusion-cli asm      <benchmark | --model FILE> [--layer NAME] [--batch N]
+                         [--arch 45nm|16nm|stripes] [--json]
+  bitfusion-cli sweep    <benchmark | --model FILE> (--batch | --bandwidth)
+                         [--backend analytic|event] [--quant SPEC] [--json] [calibration]
+  bitfusion-cli quantize <benchmark | --model FILE> [--quant SPEC] [--json]
   bitfusion-cli dse      [--rows LIST] [--cols LIST] [--ibuf-kb LIST] [--wbuf-kb LIST]
                          [--obuf-kb LIST] [--bandwidth LIST] [--batch LIST]
-                         [--quant SPEC,SPEC] [--networks all|name,name] [--workers N]
-                         [--backend analytic|event] [--json] [calibration]
+                         [--quant SPEC,SPEC] [--networks all|name,name] [--model FILE]...
+                         [--workers N] [--backend analytic|event] [--json] [calibration]
+  bitfusion-cli export-model <benchmark|attention-block|depthwise-net>
   bitfusion-cli serve    [--workers N] [--cache-capacity N] [--backend analytic|event]
                          [calibration]
+
+external models (`bitfusion-model/1` JSON documents):
+  `--model FILE` simulates a model file instead of a zoo benchmark; the
+  simulating subcommands take a benchmark name or --model, never both.
+  `dse --model` may repeat to add external networks to the explored set
+  (combine with `--networks` to keep zoo networks too). `export-model`
+  prints a zoo network — or the attention-block / depthwise-net example —
+  as a model document to edit and feed back through --model.
 
 quantization SPEC (per-layer bitwidth policies, applied over the paper's
 Table II assignment):
@@ -164,6 +176,15 @@ impl<'a> Flags<'a> {
         };
         Ok(spec.to_string())
     }
+
+    /// Reads `--model`'s file and parses it as a `bitfusion-model/1`
+    /// document, with the path in every diagnostic.
+    fn model_value(&mut self) -> Result<Model, UsageError> {
+        let path = self.value("--model")?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| self.err(format!("--model: cannot read `{path}`: {e}")))?;
+        parse_model(&text).map_err(|e| self.err(format!("--model `{path}`: {e}")))
+    }
 }
 
 /// Everything a parsed invocation needs to run.
@@ -182,6 +203,7 @@ struct Invocation {
 #[derive(Debug)]
 enum Mode {
     OneShot(Request),
+    ExportModel(String),
     Serve { workers: usize, cache_capacity: Option<usize> },
 }
 
@@ -251,6 +273,7 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
     let mut layer: Option<String> = None;
     let mut sweep_axis: Option<SweepAxis> = None;
     let mut quant: Option<String> = None;
+    let mut model: Option<Model> = None;
     let mut dse = DseParams::default();
     let mut workers: usize = 0;
     let mut cache_capacity: Option<usize> = None;
@@ -313,6 +336,14 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
                 // entry already failed inside quant_value.
                 dse.quants = quants;
             }
+            ("report", "--model") | ("compare", "--model") | ("asm", "--model")
+            | ("sweep", "--model") | ("quantize", "--model") => {
+                if model.is_some() {
+                    return Err(flags.err("--model given twice"));
+                }
+                model = Some(flags.model_value()?);
+            }
+            ("dse", "--model") => dse.models.push(flags.model_value()?),
             ("dse", "--rows") => dse.rows = flags.list("--rows")?,
             ("dse", "--cols") => dse.cols = flags.list("--cols")?,
             ("dse", "--ibuf-kb") => dse.ibuf_kb = flags.list("--ibuf-kb")?,
@@ -350,6 +381,26 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
             )),
         }
     };
+    // The simulating subcommands name their workload either way — a zoo
+    // benchmark positional XOR an external `--model` file.
+    let source = |positional: &[&str], model: Option<Model>| -> Result<ModelSource, UsageError> {
+        match (positional, model) {
+            ([name], None) => Ok(ModelSource::zoo(*name)),
+            ([], Some(m)) => Ok(ModelSource::External(m)),
+            ([_], Some(_)) => Err(UsageError::new(
+                subcommand,
+                "give either a benchmark name or --model, not both",
+            )),
+            ([], None) => Err(UsageError::new(
+                subcommand,
+                format!("`{subcommand}` needs a benchmark name or --model FILE"),
+            )),
+            (more, _) => Err(UsageError::new(
+                subcommand,
+                format!("unexpected argument `{}`", more[1]),
+            )),
+        }
+    };
     let no_positional = |positional: &[&str]| -> Result<(), UsageError> {
         match positional.first() {
             None => Ok(()),
@@ -366,7 +417,7 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
             Mode::OneShot(Request::List)
         }
         "report" => Mode::OneShot(Request::Report {
-            benchmark: benchmark(&positional)?,
+            model: source(&positional, model)?,
             batch: batch.unwrap_or(16),
             bandwidth,
             arch,
@@ -374,19 +425,19 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
             quant,
         }),
         "compare" => Mode::OneShot(Request::Compare {
-            benchmark: benchmark(&positional)?,
+            model: source(&positional, model)?,
             batch: batch.unwrap_or(16),
             backend,
             quant,
         }),
         "asm" => Mode::OneShot(Request::Asm {
-            benchmark: benchmark(&positional)?,
+            model: source(&positional, model)?,
             batch: batch.unwrap_or(16),
             arch,
             layer,
         }),
         "sweep" => Mode::OneShot(Request::Sweep {
-            benchmark: benchmark(&positional)?,
+            model: source(&positional, model)?,
             axis: sweep_axis.ok_or_else(|| {
                 UsageError::new(subcommand, "`sweep` needs an axis: --batch or --bandwidth")
             })?,
@@ -394,9 +445,10 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
             quant,
         }),
         "quantize" => Mode::OneShot(Request::Quantize {
-            benchmark: benchmark(&positional)?,
+            model: source(&positional, model)?,
             quant,
         }),
+        "export-model" => Mode::ExportModel(benchmark(&positional)?),
         "dse" => {
             no_positional(&positional)?;
             dse.backend = backend;
@@ -478,6 +530,18 @@ fn run() -> Result<ExitCode, UsageError> {
             );
             Ok(ExitCode::SUCCESS)
         }
+        Mode::ExportModel(name) => match find_model(&name) {
+            Ok(m) => {
+                // A `bitfusion-model/1` document: already JSON, byte-stable,
+                // and re-importable through `--model`.
+                println!("{}", export_model(&m).encode());
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => {
+                eprintln!("export-model: {e}");
+                Ok(ExitCode::FAILURE)
+            }
+        },
         Mode::OneShot(request) => {
             let session = Session::new().with_options(inv.options);
             let response = session.handle(&request);
@@ -531,7 +595,7 @@ mod tests {
         .unwrap();
         assert!(inv.json);
         let Mode::OneShot(Request::Report {
-            benchmark,
+            model,
             batch,
             bandwidth,
             arch,
@@ -541,7 +605,7 @@ mod tests {
         else {
             panic!("expected report");
         };
-        assert_eq!(benchmark, "lstm");
+        assert_eq!(model, ModelSource::zoo("lstm"));
         assert_eq!(batch, 4);
         assert_eq!(bandwidth, Some(256));
         assert_eq!(arch, ArchPreset::Gpu16nm);
@@ -558,10 +622,10 @@ mod tests {
         assert_eq!(quant.as_deref(), Some("uniform8"), "canonical spelling");
 
         let inv = parse_invocation(&argv(&["quantize", "svhn", "--quant", "uniform16"])).unwrap();
-        let Mode::OneShot(Request::Quantize { benchmark, quant }) = inv.mode else {
+        let Mode::OneShot(Request::Quantize { model, quant }) = inv.mode else {
             panic!("expected quantize");
         };
-        assert_eq!(benchmark, "svhn");
+        assert_eq!(model, ModelSource::zoo("svhn"));
         assert_eq!(quant.as_deref(), Some("uniform16"));
 
         let e = parse_invocation(&argv(&["report", "lstm", "--quant", "uniform9"])).unwrap_err();
@@ -650,6 +714,79 @@ mod tests {
         assert_eq!(p.networks, Some(vec!["lstm".to_string(), "rnn".to_string()]));
         assert_eq!(p.workers, 2);
         assert_eq!(p.backend, Some(BackendChoice::Event));
+    }
+
+    /// Writes a valid model document to a temp path for `--model` tests.
+    fn temp_model(tag: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("bitfusion-cli-test-{tag}.json"));
+        std::fs::write(
+            &path,
+            r#"{"format":"bitfusion-model/1","name":"tiny","layers":[{"name":"fc1","kind":"fc","in_features":64,"out_features":32,"precision":"4/1"}]}"#,
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn model_flag_loads_an_external_model() {
+        let path = temp_model("report");
+        let inv =
+            parse_invocation(&argv(&["report", "--model", path.to_str().unwrap()])).unwrap();
+        let Mode::OneShot(Request::Report { model, .. }) = inv.mode else {
+            panic!("expected report");
+        };
+        let ModelSource::External(m) = model else {
+            panic!("expected an external model, got {model:?}");
+        };
+        assert_eq!(m.name, "tiny");
+        assert_eq!(m.layers.len(), 1);
+
+        // The workload is the benchmark positional XOR --model.
+        let e = parse_invocation(&argv(&["report", "lstm", "--model", path.to_str().unwrap()]))
+            .unwrap_err();
+        assert!(e.message.contains("not both"), "{}", e.message);
+        let e = parse_invocation(&argv(&["report"])).unwrap_err();
+        assert!(e.message.contains("--model"), "{}", e.message);
+
+        // Diagnostics carry the path: unreadable file, invalid document.
+        let e = parse_invocation(&argv(&["report", "--model", "/nonexistent/m.json"]))
+            .unwrap_err();
+        assert!(e.message.contains("/nonexistent/m.json"), "{}", e.message);
+        let bad = std::env::temp_dir().join("bitfusion-cli-test-bad.json");
+        std::fs::write(&bad, r#"{"format":"bitfusion-model/1"}"#).unwrap();
+        let e = parse_invocation(&argv(&["report", "--model", bad.to_str().unwrap()]))
+            .unwrap_err();
+        assert!(
+            e.message.contains("model.name") && e.message.contains("bad.json"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn dse_model_flag_repeats() {
+        let path = temp_model("dse");
+        let p = path.to_str().unwrap();
+        let inv =
+            parse_invocation(&argv(&["dse", "--model", p, "--model", p, "--workers", "1"]))
+                .unwrap();
+        let Mode::OneShot(Request::Dse(params)) = inv.mode else {
+            panic!("expected dse");
+        };
+        assert_eq!(params.models.len(), 2);
+        assert_eq!(params.models[0].name, "tiny");
+        assert_eq!(params.networks, None);
+    }
+
+    #[test]
+    fn export_model_takes_one_name() {
+        let inv = parse_invocation(&argv(&["export-model", "lstm"])).unwrap();
+        let Mode::ExportModel(name) = inv.mode else {
+            panic!("expected export-model, got {:?}", inv.mode);
+        };
+        assert_eq!(name, "lstm");
+        let e = parse_invocation(&argv(&["export-model"])).unwrap_err();
+        assert_eq!(e.subcommand, "export-model");
     }
 
     #[test]

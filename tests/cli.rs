@@ -302,6 +302,76 @@ fn dse_quant_axis_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn export_model_round_trips_through_model_flag() {
+    // Satellite scenario: export a zoo network, feed the file back through
+    // `--model`, and the report must be byte-identical to the zoo-name
+    // path — external ingestion adds no drift.
+    let exported = run(&["export-model", "resnet-18"]);
+    assert!(exported.status.success(), "{}", stderr_of(&exported));
+    let doc = stdout_of(&exported);
+    let line = doc.trim_end();
+    assert!(!line.contains('\n'), "one JSON document per export");
+    assert!(line.starts_with(r#"{"format":"bitfusion-model/1""#), "{line}");
+
+    // The export is a fixed point of the codec: parse + re-export is
+    // byte-identical.
+    let model = bitfusion::dnn::parse_model(line).expect("export parses");
+    assert_eq!(bitfusion::dnn::export_model(&model).encode(), line);
+
+    let dir = std::env::temp_dir().join("bitfusion-cli-export-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resnet-18.json");
+    std::fs::write(&path, &doc).unwrap();
+
+    let by_name = run(&["report", "resnet-18", "--batch", "16", "--json"]);
+    let by_file = run(&[
+        "report", "--model", path.to_str().unwrap(), "--batch", "16", "--json",
+    ]);
+    assert!(by_file.status.success(), "{}", stderr_of(&by_file));
+    assert_eq!(stdout_of(&by_file), stdout_of(&by_name));
+
+    // Unknown names fail at runtime (exit 1) listing what exists.
+    let out = run(&["export-model", "resnet-99"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_of(&out);
+    assert!(err.contains("resnet-99"), "{err}");
+    assert!(err.contains("attention-block"), "{err}");
+}
+
+#[test]
+fn example_model_files_simulate_and_match_their_builders() {
+    // The shipped example documents stay in lockstep with the in-tree
+    // builders (export-model is the regeneration path), and both simulate
+    // through `--model` under either backend.
+    for (file, name) in [
+        ("examples/models/attention-block.json", "attention-block"),
+        ("examples/models/depthwise-net.json", "depthwise-net"),
+    ] {
+        let on_disk = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let exported = run(&["export-model", name]);
+        assert!(exported.status.success(), "{}", stderr_of(&exported));
+        assert_eq!(
+            stdout_of(&exported),
+            on_disk,
+            "{file} is stale; regenerate with `bitfusion-cli export-model {name}`"
+        );
+        for backend in ["analytic", "event"] {
+            let out = run(&[
+                "report", "--model", file, "--batch", "16", "--backend", backend, "--json",
+            ]);
+            assert!(out.status.success(), "{file} ({backend}): {}", stderr_of(&out));
+            match Response::parse(stdout_of(&out).trim()).unwrap() {
+                Response::Report(r) => {
+                    assert_eq!(r.benchmark, name);
+                    assert!(r.cycles > 0);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
 fn serve_and_one_shot_asm_agree() {
     let one_shot = run(&["asm", "lenet-5", "--batch", "1", "--layer", "conv1", "--json"]);
     assert!(one_shot.status.success(), "{}", stderr_of(&one_shot));

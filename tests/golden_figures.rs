@@ -72,7 +72,7 @@ const GOLDEN: [Golden; 8] = [
         dynamic_instructions: 55412613,
         buf_reads: 34444800,
         buf_writes: 2637760,
-        cycles: 30874266,
+        cycles: 30882928,
         event_cycles: 30912032,
         macs: 42857677824,
         dram_bits: 1756654904,
@@ -85,7 +85,7 @@ const GOLDEN: [Golden; 8] = [
         dynamic_instructions: 5275261,
         buf_reads: 3052544,
         buf_writes: 460816,
-        cycles: 2764282,
+        cycles: 2766504,
         event_cycles: 2798654,
         macs: 9871458304,
         dram_bits: 73789696,
@@ -98,7 +98,7 @@ const GOLDEN: [Golden; 8] = [
         dynamic_instructions: 360902,
         buf_reads: 216000,
         buf_writes: 7200,
-        cycles: 588858,
+        cycles: 589536,
         event_cycles: 589942,
         macs: 207360000,
         dram_bits: 52761600,
@@ -111,7 +111,7 @@ const GOLDEN: [Golden; 8] = [
         dynamic_instructions: 248796,
         buf_reads: 114752,
         buf_writes: 38672,
-        cycles: 157400,
+        cycles: 157777,
         event_cycles: 157600,
         macs: 222142464,
         dram_bits: 8144192,
@@ -124,7 +124,7 @@ const GOLDEN: [Golden; 8] = [
         dynamic_instructions: 37248487,
         buf_reads: 19923904,
         buf_writes: 4905712,
-        cycles: 25145611,
+        cycles: 25149062,
         event_cycles: 25195738,
         macs: 63884328960,
         dram_bits: 1455440016,
@@ -137,7 +137,7 @@ const GOLDEN: [Golden; 8] = [
         dynamic_instructions: 721424,
         buf_reads: 262144,
         buf_writes: 65536,
-        cycles: 800183,
+        cycles: 803195,
         event_cycles: 805718,
         macs: 268435456,
         dram_bits: 71696384,
@@ -150,7 +150,7 @@ const GOLDEN: [Golden; 8] = [
         dynamic_instructions: 1854919,
         buf_reads: 1004544,
         buf_writes: 231440,
-        cycles: 940250,
+        cycles: 942585,
         event_cycles: 946023,
         macs: 2528280576,
         dram_bits: 19753728,
@@ -163,7 +163,7 @@ const GOLDEN: [Golden; 8] = [
         dynamic_instructions: 3250455,
         buf_reads: 1769536,
         buf_writes: 360464,
-        cycles: 1872476,
+        cycles: 1873983,
         event_cycles: 1920124,
         macs: 4994531328,
         dram_bits: 91202176,

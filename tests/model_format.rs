@@ -1,0 +1,124 @@
+//! The `bitfusion-model/1` external-model contract (the DESIGN.md
+//! "External models" section):
+//!
+//! * **byte-identical round trips** — exporting any zoo network, parsing it
+//!   back, and re-exporting must reproduce the original document byte for
+//!   byte, and the re-parsed model must simulate identically to the zoo
+//!   path (same golden-figure numbers, since it is the *same* model);
+//! * **no cache aliasing** — two different external models that happen to
+//!   share a `name` must never share an [`ArtifactKey`] or a [`LayerKey`]:
+//!   keys carry a structural fingerprint, not the display name;
+//! * **example workloads cross-validate** — the shipped attention-block and
+//!   depthwise-net example models compile and agree across both simulation
+//!   backends within the zoo's cycle band.
+
+use bitfusion::compiler::cache::{fingerprint, layer_fingerprint, ArtifactKey, LayerKey};
+use bitfusion::compiler::compile;
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::dnn::modern::{attention_block_example, depthwise_net_example};
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::dnn::{export_model, parse_model, Model};
+use bitfusion::energy::FusionEnergy;
+use bitfusion::sim::{
+    AnalyticBackend, EventBackend, SimBackend, SimOptions, BACKEND_CYCLE_TOLERANCE,
+};
+
+#[test]
+fn every_zoo_network_round_trips_byte_identically() {
+    for b in Benchmark::ALL {
+        for model in [b.model(), b.reference_model()] {
+            let doc = export_model(&model).encode();
+            let parsed = parse_model(&doc).expect("exported documents parse");
+            assert_eq!(parsed, model, "{b}: parse must reconstruct the model");
+            assert_eq!(
+                export_model(&parsed).encode(),
+                doc,
+                "{b}: re-export must be byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn parsed_external_model_simulates_identically_to_the_zoo_path() {
+    // The round trip preserves golden-figure numbers: compiling the
+    // re-parsed document yields the same cycles/energy as the zoo model.
+    let arch = ArchConfig::isca_45nm();
+    let energy = FusionEnergy::isca_45nm();
+    let opts = SimOptions::default();
+    for b in [Benchmark::AlexNet, Benchmark::Lstm, Benchmark::Cifar10] {
+        let zoo = b.model();
+        let external = parse_model(&export_model(&zoo).encode()).expect("parses");
+        let zp = compile(&zoo, &arch, 16).expect("compiles");
+        let ep = compile(&external, &arch, 16).expect("compiles");
+        for (zl, el) in zp.layers.iter().zip(&ep.layers) {
+            let z = AnalyticBackend.evaluate_layer(zl, &arch, &energy, &opts);
+            let e = AnalyticBackend.evaluate_layer(el, &arch, &energy, &opts);
+            assert_eq!(z.cycles, e.cycles, "{b}/{}", zl.name);
+            assert_eq!(z.dram_bits, e.dram_bits, "{b}/{}", zl.name);
+            assert_eq!(z.energy, e.energy, "{b}/{}", zl.name);
+        }
+    }
+}
+
+#[test]
+fn external_models_sharing_a_name_never_share_cache_keys() {
+    // Both documents are named "net", but their shapes differ: the plan
+    // cache and the layer-result cache must key on structure.
+    let arch = ArchConfig::isca_45nm();
+    let a: Model = parse_model(
+        r#"{"format":"bitfusion-model/1","name":"net","layers":[{"name":"fc1","kind":"fc","in_features":128,"out_features":64,"precision":"8/8"}]}"#,
+    )
+    .expect("parses");
+    let b: Model = parse_model(
+        r#"{"format":"bitfusion-model/1","name":"net","layers":[{"name":"fc1","kind":"fc","in_features":256,"out_features":64,"precision":"8/8"}]}"#,
+    )
+    .expect("parses");
+    assert_eq!(a.name, b.name);
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+    assert_ne!(
+        ArtifactKey::of(&a, &arch, 16),
+        ArtifactKey::of(&b, &arch, 16),
+        "plan-cache keys must not alias on the display name"
+    );
+    let pa = compile(&a, &arch, 16).expect("compiles");
+    let pb = compile(&b, &arch, 16).expect("compiles");
+    assert_ne!(
+        LayerKey::of(layer_fingerprint(&pa.layers[0]), &arch, 16, 0),
+        LayerKey::of(layer_fingerprint(&pb.layers[0]), &arch, 16, 0),
+        "layer-cache keys must not alias on the display name"
+    );
+}
+
+#[test]
+fn example_models_cross_validate_under_both_backends() {
+    // The shipped modern workloads obey the same backend-agreement contract
+    // as the zoo (tests/backend_cross_validation.rs).
+    let arch = ArchConfig::isca_45nm();
+    let energy = FusionEnergy::isca_45nm();
+    let opts = SimOptions::default();
+    for model in [attention_block_example(), depthwise_net_example()] {
+        // Each example also round-trips through its JSON document.
+        let parsed = parse_model(&export_model(&model).encode()).expect("parses");
+        assert_eq!(parsed, model);
+        let plan = compile(&model, &arch, 16).expect("compiles");
+        let mut event_cycles = 0u64;
+        let mut analytic_cycles = 0u64;
+        for layer in &plan.layers {
+            let ev = EventBackend.evaluate_layer(layer, &arch, &energy, &opts);
+            let an = AnalyticBackend.evaluate_layer(layer, &arch, &energy, &opts);
+            assert_eq!(ev.dram_bits, an.dram_bits, "{}/{}", model.name, layer.name);
+            assert_eq!(ev.macs, an.macs, "{}/{}", model.name, layer.name);
+            assert_eq!(ev.energy, an.energy, "{}/{}", model.name, layer.name);
+            event_cycles += ev.cycles;
+            analytic_cycles += an.cycles;
+        }
+        let rel = (event_cycles as f64 - analytic_cycles as f64).abs() / analytic_cycles as f64;
+        assert!(
+            rel <= BACKEND_CYCLE_TOLERANCE,
+            "{}: cycle models diverge {:.1}% (event {event_cycles}, analytic {analytic_cycles})",
+            model.name,
+            rel * 100.0
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! heterogeneous-vs-uniform-8 benefit, and show uniform-16 slower-or-equal
 //! on every network.
 
-use bitfusion::service::protocol::DseParams;
+use bitfusion::service::protocol::{DseParams, ModelSource};
 use bitfusion::service::{Request, Response, Session};
 
 fn zoo_quant_params(workers: u64) -> DseParams {
@@ -22,6 +22,7 @@ fn zoo_quant_params(workers: u64) -> DseParams {
             "uniform16".to_string(),
         ],
         networks: None, // the whole eight-network zoo
+        models: Vec::new(),
         workers,
         backend: None,
     }
@@ -112,7 +113,7 @@ fn report_quant_overrides_change_cycles_monotonically() {
     let session = Session::new();
     let cycles = |quant: Option<&str>| {
         let resp = session.handle(&Request::Report {
-            benchmark: "vgg-7".into(),
+            model: ModelSource::zoo("vgg-7"),
             batch: 1,
             bandwidth: None,
             arch: Default::default(),
@@ -139,7 +140,7 @@ fn report_quant_overrides_change_cycles_monotonically() {
 fn quantize_request_reports_the_assignment() {
     let session = Session::new();
     match session.handle(&Request::Quantize {
-        benchmark: "alexnet".into(),
+        model: ModelSource::zoo("alexnet"),
         quant: None,
     }) {
         Response::Quantize(r) => {
@@ -154,7 +155,7 @@ fn quantize_request_reports_the_assignment() {
     }
     // Overrides act on top of the paper assignment.
     match session.handle(&Request::Quantize {
-        benchmark: "alexnet".into(),
+        model: ModelSource::zoo("alexnet"),
         quant: Some("fc=8/8".into()),
     }) {
         Response::Quantize(r) => {
@@ -171,7 +172,7 @@ fn quantize_request_reports_the_assignment() {
     }
     // A bad override is an error response naming the problem.
     match session.handle(&Request::Quantize {
-        benchmark: "lstm".into(),
+        model: ModelSource::zoo("lstm"),
         quant: Some("layer:nope=4/4".into()),
     }) {
         Response::Error { message } => assert!(message.contains("nope"), "{message}"),
