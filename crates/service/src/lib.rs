@@ -42,13 +42,15 @@
 #![warn(rust_2018_idioms)]
 
 pub use bitfusion_core::json;
+pub mod net;
 pub mod protocol;
 pub mod render;
 pub mod serve;
 pub mod session;
 
 pub use bitfusion_core::json::Json;
-pub use protocol::{BackendChoice, DseParams, Request, Response};
+pub use protocol::{BackendChoice, DseParams, Request, Response, StatsReply};
 pub use render::render;
+pub use net::{NetConfig, NetListener, NetSummary};
 pub use serve::{serve, ServeSummary};
 pub use session::Session;

@@ -1,0 +1,253 @@
+//! Cross-connection request coalescing.
+//!
+//! Identical in-flight requests — keyed by their canonical wire bytes,
+//! i.e. [`crate::protocol::Request::encode`] of the *parsed* request, so
+//! field order and whitespace in the client's spelling don't matter —
+//! evaluate once. The first arrival becomes the **leader** and computes;
+//! later arrivals become **followers** and block until the leader
+//! publishes, then fan the byte-identical response line out. This is
+//! sound because of the session determinism contract: for a fixed server
+//! config the response bytes are a pure function of the request bytes,
+//! so sharing the leader's bytes is indistinguishable from evaluating
+//! again (`stats` never reaches the coalescer — the server answers it
+//! directly).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight evaluation that followers can wait on.
+#[derive(Debug, Default)]
+struct Flight {
+    /// The published response line, once the leader finishes.
+    done: Mutex<Option<String>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn publish(&self, response: String) {
+        *self.done.lock().unwrap() = Some(response);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> String {
+        let mut done = self.done.lock().unwrap();
+        while done.is_none() {
+            done = self.ready.wait(done).unwrap();
+        }
+        done.clone().unwrap()
+    }
+}
+
+/// What [`Coalescer::join`] decided for one request.
+#[derive(Debug)]
+pub enum Joined<'a> {
+    /// This caller evaluates; complete the guard with the response line.
+    Leader(LeaderGuard<'a>),
+    /// An identical request is already evaluating; the byte-identical
+    /// response it produced.
+    Follower(String),
+}
+
+/// Deduplicates identical in-flight requests across connections.
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    in_flight: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl Coalescer {
+    /// An empty coalescer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Joins the evaluation of `key` (the request's canonical bytes).
+    ///
+    /// The first caller for a key becomes the leader and must call
+    /// [`LeaderGuard::publish`] with the response line (dropping the
+    /// guard without publishing — e.g. on panic — publishes a fallback
+    /// error so followers never hang). Concurrent callers with the same
+    /// key block until then and receive the same bytes.
+    pub fn join(&self, key: &str) -> Joined<'_> {
+        let flight = {
+            let mut map = self.in_flight.lock().unwrap();
+            if let Some(flight) = map.get(key) {
+                Arc::clone(flight)
+            } else {
+                let flight = Arc::new(Flight::default());
+                map.insert(key.to_string(), Arc::clone(&flight));
+                return Joined::Leader(LeaderGuard {
+                    coalescer: self,
+                    key: key.to_string(),
+                    published: false,
+                });
+            }
+        };
+        Joined::Follower(flight.wait())
+    }
+
+    /// Keys currently evaluating (for tests and stats).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.lock().unwrap().len()
+    }
+
+    /// Followers currently holding `key`'s flight (joined and waiting, or
+    /// about to wait). Lets a test or the server observe that waiters are
+    /// queued before the leader publishes.
+    pub fn waiters(&self, key: &str) -> usize {
+        self.in_flight
+            .lock()
+            .unwrap()
+            .get(key)
+            // One strong count is the map's own reference.
+            .map_or(0, |f| Arc::strong_count(f) - 1)
+    }
+
+    fn finish(&self, key: &str, response: String) {
+        // Remove BEFORE publishing: a request arriving after removal
+        // starts a fresh flight (correct — the result may no longer be
+        // in-flight), while one that joined earlier still holds its Arc
+        // and wakes on publish.
+        let flight = self.in_flight.lock().unwrap().remove(key);
+        if let Some(flight) = flight {
+            flight.publish(response);
+        }
+    }
+}
+
+/// Obligation to publish the leader's response; see [`Coalescer::join`].
+#[derive(Debug)]
+pub struct LeaderGuard<'a> {
+    coalescer: &'a Coalescer,
+    key: String,
+    published: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// Publishes the response line to every follower and retires the
+    /// flight.
+    pub fn publish(mut self, response: String) {
+        self.published = true;
+        self.coalescer.finish(&self.key, response);
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            // Leader panicked (or was otherwise abandoned): wake the
+            // followers with a well-formed error instead of hanging them.
+            self.coalescer.finish(
+                &self.key,
+                crate::protocol::Response::Error {
+                    message: "internal: evaluation abandoned".to_string(),
+                }
+                .encode(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::thread;
+
+    #[test]
+    fn sequential_requests_each_lead() {
+        let c = Coalescer::new();
+        for _ in 0..3 {
+            match c.join("k") {
+                Joined::Leader(guard) => guard.publish("r".to_string()),
+                Joined::Follower(_) => panic!("nothing in flight"),
+            }
+        }
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_evaluate_once() {
+        const WAITERS: usize = 8;
+        let c = Coalescer::new();
+        let evaluations = AtomicUsize::new(0);
+        let (c, evaluations) = (&c, &evaluations);
+        thread::scope(|scope| {
+            // Take the lead deterministically, then release it only after
+            // every follower holds the flight.
+            let Joined::Leader(guard) = c.join("k") else {
+                panic!("first join must lead");
+            };
+            evaluations.fetch_add(1, Ordering::SeqCst);
+            let handles: Vec<_> = (0..WAITERS)
+                .map(|_| {
+                    scope.spawn(move || match c.join("k") {
+                        Joined::Leader(_) => {
+                            evaluations.fetch_add(1, Ordering::SeqCst);
+                            panic!("leader still holds the flight");
+                        }
+                        Joined::Follower(r) => r,
+                    })
+                })
+                .collect();
+            // Every follower clones the flight Arc before waiting, so the
+            // waiter count reaching WAITERS proves they have all joined.
+            while c.waiters("k") < WAITERS {
+                thread::yield_now();
+            }
+            guard.publish("answer".to_string());
+            for h in handles {
+                assert_eq!(h.join().unwrap(), "answer");
+            }
+        });
+        assert_eq!(evaluations.load(Ordering::SeqCst), 1);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let c = Coalescer::new();
+        let Joined::Leader(a) = c.join("a") else {
+            panic!()
+        };
+        let Joined::Leader(b) = c.join("b") else {
+            panic!()
+        };
+        assert_eq!(c.in_flight(), 2);
+        a.publish("ra".into());
+        b.publish("rb".into());
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn abandoned_leader_frees_followers_with_an_error() {
+        let c = Coalescer::new();
+        let barrier = Barrier::new(2);
+        let (c, barrier) = (&c, &barrier);
+        thread::scope(|scope| {
+            let Joined::Leader(guard) = c.join("k") else {
+                panic!()
+            };
+            let follower = scope.spawn(move || {
+                barrier.wait();
+                match c.join("k") {
+                    Joined::Follower(r) => r,
+                    Joined::Leader(g) => {
+                        // Raced past the drop; lead a fresh flight.
+                        g.publish("fresh".into());
+                        "fresh".to_string()
+                    }
+                }
+            });
+            barrier.wait();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(guard); // no publish: simulates a panicking evaluation
+            let got = follower.join().unwrap();
+            assert!(
+                got == "fresh" || got.contains("evaluation abandoned"),
+                "{got}"
+            );
+        });
+        assert_eq!(c.in_flight(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Fixed-bucket latency histogram behind the `stats` reply.
+//!
+//! Buckets are powers of two in microseconds: bucket `i` counts samples
+//! in `[2^i, 2^(i+1))` µs (bucket 0 also absorbs sub-microsecond
+//! samples). Percentile queries answer the upper bound of the first
+//! bucket whose cumulative count reaches the rank, so a reported pNN is
+//! conservative — never below the true pNN — while recording stays a
+//! single relaxed atomic increment with no allocation and no locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets. The last bucket's lower bound is
+/// `2^31` µs ≈ 36 minutes; anything slower lands there.
+const BUCKETS: usize = 32;
+
+/// Lock-free power-of-two latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    /// Exact slowest sample, for the `max_us` stat (a pure bucket
+    /// histogram would round it up to a power of two).
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(us: u64) -> usize {
+        // floor(log2(us)) clamped to the bucket range; 0 and 1 µs share
+        // bucket 0.
+        (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Exact slowest sample in microseconds (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile's bucket upper bound in microseconds (0 when
+    /// empty). `q` is in `[0, 1]`; e.g. `0.5` for p50.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the sample that answers the quantile, 1-based. ceil via
+        // float is fine: total fits f64 exactly for any realistic count.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(c);
+            if cumulative >= rank {
+                // Upper bound of bucket i is 2^(i+1) µs; the last bucket
+                // is unbounded, so answer the exact observed max instead.
+                if i + 1 >= BUCKETS {
+                    return self.max_us();
+                }
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (~100 µs), 10 slow (~5000 µs).
+        for _ in 0..90 {
+            h.record_us(100);
+        }
+        for _ in 0..10 {
+            h.record_us(5_000);
+        }
+        assert_eq!(h.count(), 100);
+        // 100 µs lands in [64, 128): upper bound 128.
+        assert_eq!(h.quantile_us(0.5), 128);
+        assert_eq!(h.quantile_us(0.9), 128);
+        // 5000 µs lands in [4096, 8192): upper bound 8192.
+        assert_eq!(h.quantile_us(0.99), 8192);
+        assert!(h.quantile_us(0.99) >= 5_000);
+        assert_eq!(h.max_us(), 5_000);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let h = LatencyHistogram::new();
+        h.record_us(300);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            // 300 µs lands in [256, 512).
+            assert_eq!(h.quantile_us(q), 512, "q={q}");
+        }
+        assert_eq!(h.max_us(), 300);
+    }
+
+    #[test]
+    fn overflow_bucket_answers_exact_max() {
+        let h = LatencyHistogram::new();
+        h.record_us(u64::MAX);
+        assert_eq!(h.quantile_us(0.5), u64::MAX);
+    }
+}

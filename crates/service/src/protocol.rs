@@ -419,6 +419,17 @@ pub enum Request {
         /// absent).
         quant: Option<String>,
     },
+    /// Live server counters: cache tiers, admission queue, coalescing,
+    /// latency percentiles. Answered by the network server
+    /// (`serve --listen`/`--unix`); a plain [`crate::Session`] has no
+    /// server counters and answers with an error. The reply is the one
+    /// deliberate exception to the byte-determinism contract — it reports
+    /// live state, so identical `stats` requests may differ.
+    Stats,
+    /// Admin request: stop accepting connections, drain in-flight work,
+    /// exit. Only honoured over a unix socket (a remote TCP client must
+    /// not be able to stop the server); elsewhere it answers an error.
+    Shutdown,
 }
 
 impl Request {
@@ -432,6 +443,8 @@ impl Request {
             Request::Sweep { .. } => "sweep",
             Request::Dse(_) => "dse",
             Request::Quantize { .. } => "quantize",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
         }
     }
 
@@ -539,6 +552,7 @@ impl Request {
                     pairs.push(("quant", Json::Str(q.clone())));
                 }
             }
+            Request::Stats | Request::Shutdown => {}
         }
         Json::obj(pairs)
     }
@@ -571,9 +585,11 @@ impl Request {
                 "quants", "networks", "models", "workers", "backend",
             ],
             "quantize" => &["benchmark", "model", "quant"],
+            "stats" => &[],
+            "shutdown" => &[],
             other => {
                 return Err(format!(
-                    "unknown cmd `{other}` (list|report|compare|asm|sweep|dse|quantize)"
+                    "unknown cmd `{other}` (list|report|compare|asm|sweep|dse|quantize|stats|shutdown)"
                 ))
             }
         };
@@ -684,8 +700,10 @@ impl Request {
                 model: ModelSource::from_doc(doc)?,
                 quant: opt_str_field(doc, "quant")?,
             }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown cmd `{other}` (list|report|compare|asm|sweep|dse|quantize)"
+                "unknown cmd `{other}` (list|report|compare|asm|sweep|dse|quantize|stats|shutdown)"
             )),
         }
     }
@@ -1289,6 +1307,133 @@ pub struct QuantizeReply {
     pub layers: Vec<QuantLayerInfo>,
 }
 
+/// One cache tier's live counters inside a [`Response::Stats`].
+///
+/// Unlike the spec-level `layer_cache` counters on `report`/`sweep`/`dse`
+/// replies, these are the process-global cache's actual state and depend
+/// on everything the server has evaluated so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheTierInfo {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: u64,
+    /// Maximum resident entries.
+    pub capacity: u64,
+}
+
+impl CacheTierInfo {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("hits", Json::uint(self.hits)),
+            ("misses", Json::uint(self.misses)),
+            ("evictions", Json::uint(self.evictions)),
+            ("len", Json::uint(self.len)),
+            ("capacity", Json::uint(self.capacity)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(CacheTierInfo {
+            hits: u64_field(doc, "hits")?,
+            misses: u64_field(doc, "misses")?,
+            evictions: u64_field(doc, "evictions")?,
+            len: u64_field(doc, "len")?,
+            capacity: u64_field(doc, "capacity")?,
+        })
+    }
+}
+
+/// Request-latency percentiles inside a [`Response::Stats`], derived from
+/// the server's fixed-bucket histogram.
+///
+/// Percentiles are bucket upper bounds (powers of two in microseconds),
+/// so they are conservative: the reported pNN is ≥ the true pNN. All
+/// zeros when no request has completed yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyInfo {
+    /// Requests recorded (admitted requests only; shed requests are not
+    /// timed).
+    pub count: u64,
+    /// 50th-percentile latency upper bound, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency upper bound, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency upper bound, microseconds.
+    pub p99_us: u64,
+    /// Exact slowest observed request, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyInfo {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("count", Json::uint(self.count)),
+            ("p50_us", Json::uint(self.p50_us)),
+            ("p90_us", Json::uint(self.p90_us)),
+            ("p99_us", Json::uint(self.p99_us)),
+            ("max_us", Json::uint(self.max_us)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(LatencyInfo {
+            count: u64_field(doc, "count")?,
+            p50_us: u64_field(doc, "p50_us")?,
+            p90_us: u64_field(doc, "p90_us")?,
+            p99_us: u64_field(doc, "p99_us")?,
+            max_us: u64_field(doc, "max_us")?,
+        })
+    }
+}
+
+/// The full result of a `stats` request: the network server's live
+/// counters.
+///
+/// This reply is the deliberate exception to the byte-determinism
+/// contract — it reports live process state and two identical `stats`
+/// requests may answer differently. It still carries no timestamps, so a
+/// quiesced server answers reproducibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Connections accepted since startup.
+    pub connections_total: u64,
+    /// Workload requests received (parse failures included; server-level
+    /// `stats`/`shutdown` requests are answered but not counted, so
+    /// polling `stats` never perturbs what it reports).
+    pub received: u64,
+    /// Requests answered with a non-`error` reply.
+    pub ok: u64,
+    /// Requests answered with an `error` reply (parse failures, shed
+    /// requests, and evaluation errors).
+    pub errors: u64,
+    /// Requests refused by admission control (a subset of `errors`).
+    pub shed: u64,
+    /// Requests that rode an identical in-flight evaluation instead of
+    /// evaluating themselves.
+    pub coalesced: u64,
+    /// Admissions currently waiting for a slot.
+    pub queue_depth: u64,
+    /// Maximum admissions that may wait before shedding starts.
+    pub queue_capacity: u64,
+    /// Requests currently evaluating.
+    pub in_flight: u64,
+    /// Evaluation slots (the admission gate's concurrency bound).
+    pub workers: u64,
+    /// The compiled-plan cache tier (live counters).
+    pub artifact_cache: CacheTierInfo,
+    /// The layer-result cache tier (live counters).
+    pub layer_cache: CacheTierInfo,
+    /// Request-latency percentiles.
+    pub latency: LatencyInfo,
+}
+
 /// The result of one [`Request`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -1311,6 +1456,11 @@ pub enum Response {
     Dse(DseReply),
     /// Answer to `quantize`.
     Quantize(QuantizeReply),
+    /// Answer to `stats` (network server only).
+    Stats(StatsReply),
+    /// Answer to `shutdown` (network server, unix socket only): the
+    /// server acknowledged and is draining.
+    Shutdown,
     /// The request could not be served.
     Error {
         /// What went wrong.
@@ -1329,6 +1479,8 @@ impl Response {
             Response::Sweep(_) => "sweep",
             Response::Dse(_) => "dse",
             Response::Quantize(_) => "quantize",
+            Response::Stats(_) => "stats",
+            Response::Shutdown => "shutdown",
             Response::Error { .. } => "error",
         }
     }
@@ -1475,6 +1627,38 @@ impl Response {
                     Json::Arr(r.layers.iter().map(QuantLayerInfo::to_json).collect()),
                 ));
             }
+            Response::Stats(r) => {
+                pairs.push((
+                    "connections",
+                    Json::obj(vec![
+                        ("active", Json::uint(r.connections_active)),
+                        ("total", Json::uint(r.connections_total)),
+                    ]),
+                ));
+                pairs.push((
+                    "requests",
+                    Json::obj(vec![
+                        ("received", Json::uint(r.received)),
+                        ("ok", Json::uint(r.ok)),
+                        ("errors", Json::uint(r.errors)),
+                        ("shed", Json::uint(r.shed)),
+                        ("coalesced", Json::uint(r.coalesced)),
+                    ]),
+                ));
+                pairs.push((
+                    "queue",
+                    Json::obj(vec![
+                        ("depth", Json::uint(r.queue_depth)),
+                        ("capacity", Json::uint(r.queue_capacity)),
+                        ("in_flight", Json::uint(r.in_flight)),
+                        ("workers", Json::uint(r.workers)),
+                    ]),
+                ));
+                pairs.push(("artifact_cache", r.artifact_cache.to_json()));
+                pairs.push(("layer_cache", r.layer_cache.to_json()));
+                pairs.push(("latency_us", r.latency.to_json()));
+            }
+            Response::Shutdown => {}
             Response::Error { message } => {
                 pairs.push(("message", Json::Str(message.clone())));
             }
@@ -1658,6 +1842,37 @@ impl Response {
                     .map(QuantLayerInfo::from_json)
                     .collect::<Result<_, _>>()?,
             })),
+            "stats" => {
+                let connections = doc
+                    .get("connections")
+                    .ok_or("missing field `connections`")?;
+                let requests = doc.get("requests").ok_or("missing field `requests`")?;
+                let queue = doc.get("queue").ok_or("missing field `queue`")?;
+                Ok(Response::Stats(StatsReply {
+                    connections_active: u64_field(connections, "active")?,
+                    connections_total: u64_field(connections, "total")?,
+                    received: u64_field(requests, "received")?,
+                    ok: u64_field(requests, "ok")?,
+                    errors: u64_field(requests, "errors")?,
+                    shed: u64_field(requests, "shed")?,
+                    coalesced: u64_field(requests, "coalesced")?,
+                    queue_depth: u64_field(queue, "depth")?,
+                    queue_capacity: u64_field(queue, "capacity")?,
+                    in_flight: u64_field(queue, "in_flight")?,
+                    workers: u64_field(queue, "workers")?,
+                    artifact_cache: CacheTierInfo::from_json(
+                        doc.get("artifact_cache")
+                            .ok_or("missing field `artifact_cache`")?,
+                    )?,
+                    layer_cache: CacheTierInfo::from_json(
+                        doc.get("layer_cache").ok_or("missing field `layer_cache`")?,
+                    )?,
+                    latency: LatencyInfo::from_json(
+                        doc.get("latency_us").ok_or("missing field `latency_us`")?,
+                    )?,
+                }))
+            }
+            "shutdown" => Ok(Response::Shutdown),
             "error" => Ok(Response::Error {
                 message: str_field(doc, "message")?,
             }),
@@ -1930,5 +2145,72 @@ mod tests {
         let wire = resp.encode();
         assert_eq!(Response::parse(&wire).unwrap(), resp);
         assert!(wire.starts_with(r#"{"reply":"error""#));
+    }
+
+    #[test]
+    fn stats_and_shutdown_requests_round_trip() {
+        assert_eq!(Request::Stats.encode(), r#"{"cmd":"stats"}"#);
+        assert_eq!(Request::parse(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(Request::Shutdown.encode(), r#"{"cmd":"shutdown"}"#);
+        assert_eq!(
+            Request::parse(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        // Both take no fields.
+        assert!(Request::parse(r#"{"cmd":"stats","extra":1}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"shutdown","force":true}"#).is_err());
+    }
+
+    #[test]
+    fn stats_response_round_trip() {
+        let resp = Response::Stats(StatsReply {
+            connections_active: 2,
+            connections_total: 17,
+            received: 120,
+            ok: 110,
+            errors: 10,
+            shed: 4,
+            coalesced: 6,
+            queue_depth: 1,
+            queue_capacity: 64,
+            in_flight: 3,
+            workers: 4,
+            artifact_cache: CacheTierInfo {
+                hits: 80,
+                misses: 20,
+                evictions: 5,
+                len: 15,
+                capacity: 32,
+            },
+            layer_cache: CacheTierInfo {
+                hits: 400,
+                misses: 100,
+                evictions: 0,
+                len: 100,
+                capacity: 4096,
+            },
+            latency: LatencyInfo {
+                count: 110,
+                p50_us: 512,
+                p90_us: 2048,
+                p99_us: 8192,
+                max_us: 7311,
+            },
+        });
+        let wire = resp.encode();
+        assert_eq!(Response::parse(&wire).unwrap(), resp);
+        assert!(wire.starts_with(r#"{"reply":"stats","connections":"#), "{wire}");
+        // No timestamps on the wire: a quiesced server answers
+        // reproducibly.
+        assert!(!wire.contains("time"), "{wire}");
+    }
+
+    #[test]
+    fn shutdown_response_round_trip() {
+        assert_eq!(Response::Shutdown.encode(), r#"{"reply":"shutdown"}"#);
+        assert_eq!(
+            Response::parse(r#"{"reply":"shutdown"}"#).unwrap(),
+            Response::Shutdown
+        );
     }
 }

@@ -256,6 +256,43 @@ pub fn render(response: &Response) -> String {
             }
             out.trim_end().to_string()
         }
+        Response::Stats(r) => {
+            let mut out = format!(
+                "connections: {} active, {} total\n",
+                r.connections_active, r.connections_total
+            );
+            out.push_str(&format!(
+                "requests: {} received, {} ok, {} errors ({} shed), {} coalesced\n",
+                r.received, r.ok, r.errors, r.shed, r.coalesced
+            ));
+            out.push_str(&format!(
+                "queue: {}/{} waiting, {}/{} in flight\n",
+                r.queue_depth, r.queue_capacity, r.in_flight, r.workers
+            ));
+            for (name, tier) in [
+                ("artifact cache", &r.artifact_cache),
+                ("layer cache", &r.layer_cache),
+            ] {
+                let rate = match tier.hits.saturating_add(tier.misses) {
+                    0 => "n/a".to_string(),
+                    total => format!("{:.1}%", tier.hits as f64 / total as f64 * 100.0),
+                };
+                out.push_str(&format!(
+                    "{name}: {} hits, {} misses ({rate}), {} evictions, {}/{} entries\n",
+                    tier.hits, tier.misses, tier.evictions, tier.len, tier.capacity
+                ));
+            }
+            out.push_str(&format!(
+                "latency: {} timed, p50 {}us, p90 {}us, p99 {}us, max {}us",
+                r.latency.count,
+                r.latency.p50_us,
+                r.latency.p90_us,
+                r.latency.p99_us,
+                r.latency.max_us
+            ));
+            out
+        }
+        Response::Shutdown => "shutdown: server draining".to_string(),
         Response::Error { message } => format!("error: {message}"),
     }
 }

@@ -21,6 +21,22 @@ use bitfusion_sim::pool::for_each_ordered;
 use crate::protocol::{Request, Response};
 use crate::session::Session;
 
+/// Clamps a nested `dse` request's "all cores" default to sequential.
+///
+/// Both the stdin serve pool and the network server's connection threads
+/// already use the cores; a `dse` defaulting to `workers = 0` (all cores)
+/// on top would oversubscribe by up to cores². Results are
+/// worker-count-independent (the engine's determinism contract), so the
+/// clamp never changes response bytes. An explicit worker count is
+/// honoured as given.
+pub fn clamp_nested_workers(request: &mut Request) {
+    if let Request::Dse(p) = request {
+        if p.workers == 0 {
+            p.workers = 1;
+        }
+    }
+}
+
 /// What one [`serve`] run processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeSummary {
@@ -67,16 +83,7 @@ pub fn serve<R: BufRead + Send, W: Write>(
             }),
             Ok(text) => Ok(match Request::parse(text.trim()) {
                 Ok(mut request) => {
-                    // The serve pool already uses the cores; a dse request
-                    // defaulting to "all cores" on top would oversubscribe
-                    // by up to cores². Results are worker-count-independent
-                    // (the engine's determinism contract), so clamping the
-                    // default to sequential never changes response bytes.
-                    if let Request::Dse(p) = &mut request {
-                        if p.workers == 0 {
-                            p.workers = 1;
-                        }
-                    }
+                    clamp_nested_workers(&mut request);
                     session.handle(&request)
                 }
                 Err(message) => Response::Error { message },

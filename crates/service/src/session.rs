@@ -176,6 +176,16 @@ impl Session {
             } => self.sweep(model, *axis, *backend, quant.as_deref()),
             Request::Dse(params) => self.dse(params),
             Request::Quantize { model, quant } => self.quantize(model, quant.as_deref()),
+            // Server-level requests: a bare session has no admission
+            // queue, connection counters, or latency histogram to report,
+            // and nothing to shut down. The network server intercepts
+            // these before they reach `handle`.
+            Request::Stats => Err(
+                "`stats` is answered by the network server (serve --listen/--unix)".to_string(),
+            ),
+            Request::Shutdown => Err(
+                "`shutdown` is answered by the network server (serve --unix)".to_string(),
+            ),
         };
         result.unwrap_or_else(|message| Response::Error { message })
     }

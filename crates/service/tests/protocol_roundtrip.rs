@@ -14,10 +14,10 @@ use bitfusion_dnn::schema::{export_model, parse_model};
 use bitfusion_service::json::parse as parse_json;
 use bitfusion_service::protocol::{
     quant_spec_from_json, quant_spec_to_json, ArchInfo, ArchPreset, AsmBlock, AsmReply,
-    BackendChoice, BaselineComparison, BenchmarkInfo, CompareReply, DseParams, DseReply,
-    EnergyInfo, FrontierPoint, InfeasibleInfo, LayerInfo, ModelSource, QuantLayerInfo,
-    QuantSpeedupInfo, QuantizeReply, ReportReply, Request, Response, StallInfo, SweepAxis,
-    SweepPointInfo, SweepReply,
+    BackendChoice, BaselineComparison, BenchmarkInfo, CacheTierInfo, CompareReply, DseParams,
+    DseReply, EnergyInfo, FrontierPoint, InfeasibleInfo, LatencyInfo, LayerInfo, ModelSource,
+    QuantLayerInfo, QuantSpeedupInfo, QuantizeReply, ReportReply, Request, Response, StallInfo,
+    StatsReply, SweepAxis, SweepPointInfo, SweepReply,
 };
 use proptest::prelude::*;
 
@@ -303,7 +303,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
     let quantize = (arb_source(), arb_opt_quant())
         .prop_map(|(model, quant)| Request::Quantize { model, quant });
     prop_oneof![
-        prop::sample::select(vec![Request::List]),
+        prop::sample::select(vec![Request::List, Request::Stats, Request::Shutdown]),
         report,
         compare,
         asm,
@@ -311,6 +311,18 @@ fn arb_request() -> impl Strategy<Value = Request> {
         dse,
         quantize,
     ]
+}
+
+fn arb_cache_tier() -> impl Strategy<Value = CacheTierInfo> {
+    (arb_u64(), arb_u64(), arb_u64(), arb_u64(), arb_u64()).prop_map(
+        |(hits, misses, evictions, len, capacity)| CacheTierInfo {
+            hits,
+            misses,
+            evictions,
+            len,
+            capacity,
+        },
+    )
 }
 
 fn arb_arch_info() -> impl Strategy<Value = ArchInfo> {
@@ -637,7 +649,57 @@ fn arb_response() -> impl Strategy<Value = Response> {
             },
         );
     let error = arb_name().prop_map(|message| Response::Error { message });
-    prop_oneof![benchmarks, report, compare, asm, sweep, dse, quantize, error]
+    let stats = (
+        (arb_u64(), arb_u64()),
+        (arb_u64(), arb_u64(), arb_u64(), arb_u64(), arb_u64()),
+        (arb_u64(), arb_u64(), arb_u64(), arb_u64()),
+        (arb_cache_tier(), arb_cache_tier()),
+        (arb_u64(), arb_u64(), arb_u64(), arb_u64(), arb_u64()),
+    )
+        .prop_map(
+            |(
+                (connections_active, connections_total),
+                (received, ok, errors, shed, coalesced),
+                (queue_depth, queue_capacity, in_flight, workers),
+                (artifact_cache, layer_cache),
+                (count, p50_us, p90_us, p99_us, max_us),
+            )| {
+                Response::Stats(StatsReply {
+                    connections_active,
+                    connections_total,
+                    received,
+                    ok,
+                    errors,
+                    shed,
+                    coalesced,
+                    queue_depth,
+                    queue_capacity,
+                    in_flight,
+                    workers,
+                    artifact_cache,
+                    layer_cache,
+                    latency: LatencyInfo {
+                        count,
+                        p50_us,
+                        p90_us,
+                        p99_us,
+                        max_us,
+                    },
+                })
+            },
+        );
+    prop_oneof![
+        benchmarks,
+        report,
+        compare,
+        asm,
+        sweep,
+        dse,
+        quantize,
+        stats,
+        prop::sample::select(vec![Response::Shutdown]),
+        error,
+    ]
 }
 
 proptest! {
@@ -692,7 +754,7 @@ proptest! {
 
 #[test]
 fn every_request_variant_is_exercised() {
-    // The strategies above must cover all seven commands; pin the
+    // The strategies above must cover all nine commands; pin the
     // discriminants so a new variant cannot silently skip the round-trip.
     let external = ModelSource::External(Model::new(
         "tiny",
@@ -739,6 +801,8 @@ fn every_request_variant_is_exercised() {
             model: ModelSource::zoo("x"),
             quant: Some("default=4/1,layer:conv1=8/8".into()),
         },
+        Request::Stats,
+        Request::Shutdown,
     ] {
         seen.insert(req.cmd());
         let wire = req.encode();
@@ -746,6 +810,8 @@ fn every_request_variant_is_exercised() {
     }
     assert_eq!(
         seen.into_iter().collect::<Vec<_>>(),
-        vec!["asm", "compare", "dse", "list", "quantize", "report", "sweep"]
+        vec![
+            "asm", "compare", "dse", "list", "quantize", "report", "shutdown", "stats", "sweep"
+        ]
     );
 }

@@ -15,6 +15,13 @@
 //!   Workers process items concurrently, a reorder buffer hands results
 //!   to the sink strictly in input order, and backpressure bounds how far
 //!   the pipeline reads ahead of the sink.
+//!
+//! It also provides [`Gate`], the bounded-admission primitive behind the
+//! network server: at most `slots` callers hold a permit concurrently, at
+//! most `queue` more wait for one, and any caller beyond that is shed
+//! immediately instead of blocking — load shedding as a return value, so
+//! the service layer can answer overflow with a well-formed error instead
+//! of an unbounded thread pile-up.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -239,6 +246,125 @@ where
     });
 }
 
+/// A bounded admission gate: `slots` concurrent permit holders, a wait
+/// queue of at most `queue` callers, and immediate shedding beyond that.
+///
+/// [`Gate::admit`] either returns a [`Permit`] (possibly after waiting in
+/// the bounded queue for a slot) or [`Shed`](Admission::Shed) when the
+/// queue is already full — it never blocks an over-limit caller. Dropping
+/// the permit releases the slot and wakes one waiter. Waiters are woken in
+/// arrival order (ticketed FIFO), so a queued caller cannot be starved by
+/// later arrivals.
+#[derive(Debug)]
+pub struct Gate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    slots: usize,
+    queue: usize,
+}
+
+#[derive(Debug)]
+struct GateState {
+    in_flight: usize,
+    queued: usize,
+    /// Next ticket to hand to a waiter.
+    next_ticket: u64,
+    /// The ticket currently allowed to take a freed slot.
+    serving: u64,
+}
+
+/// The outcome of [`Gate::admit`].
+#[derive(Debug)]
+pub enum Admission<'a> {
+    /// A slot was acquired (immediately or after queueing); work may run.
+    Admitted(Permit<'a>),
+    /// Both the slots and the wait queue were full; the caller must not
+    /// run the work.
+    Shed,
+}
+
+/// An acquired slot; dropping it releases the slot and wakes one waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Gate {
+    /// A gate with `slots` concurrent permits (min 1) and room for
+    /// `queue` waiting callers.
+    pub fn new(slots: usize, queue: usize) -> Self {
+        Gate {
+            state: Mutex::new(GateState {
+                in_flight: 0,
+                queued: 0,
+                next_ticket: 0,
+                serving: 0,
+            }),
+            freed: Condvar::new(),
+            slots: slots.max(1),
+            queue,
+        }
+    }
+
+    /// Maximum concurrent permit holders.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Maximum waiting callers before shedding.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue
+    }
+
+    /// Permits currently held.
+    pub fn in_flight(&self) -> usize {
+        self.lock().in_flight
+    }
+
+    /// Callers currently waiting for a slot.
+    pub fn queue_depth(&self) -> usize {
+        self.lock().queued
+    }
+
+    /// Acquires a slot, waiting in the bounded queue if necessary, or
+    /// sheds the caller when the queue is full.
+    pub fn admit(&self) -> Admission<'_> {
+        let mut st = self.lock();
+        if st.in_flight < self.slots && st.queued == 0 {
+            st.in_flight += 1;
+            return Admission::Admitted(Permit { gate: self });
+        }
+        if st.queued >= self.queue {
+            return Admission::Shed;
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queued += 1;
+        while st.in_flight >= self.slots || st.serving != ticket {
+            st = self.freed.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.queued -= 1;
+        st.serving += 1;
+        st.in_flight += 1;
+        // The freed slot this waiter just took may not be the only one:
+        // wake the next ticket too in case slots opened while it queued.
+        self.freed.notify_all();
+        Admission::Admitted(Permit { gate: self })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.lock();
+        st.in_flight -= 1;
+        self.gate.freed.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +483,104 @@ mod tests {
             );
         }));
         assert!(result.is_err(), "the sink panic must propagate");
+    }
+
+    #[test]
+    fn gate_admits_up_to_slots_immediately() {
+        let gate = Gate::new(2, 4);
+        let a = gate.admit();
+        let b = gate.admit();
+        assert!(matches!(a, Admission::Admitted(_)));
+        assert!(matches!(b, Admission::Admitted(_)));
+        assert_eq!(gate.in_flight(), 2);
+        assert_eq!(gate.queue_depth(), 0);
+        drop(a);
+        assert_eq!(gate.in_flight(), 1);
+    }
+
+    #[test]
+    fn gate_sheds_beyond_slots_plus_queue() {
+        // 1 slot, 0 queue: the second concurrent caller is shed, never
+        // blocked.
+        let gate = Gate::new(1, 0);
+        let held = gate.admit();
+        assert!(matches!(held, Admission::Admitted(_)));
+        assert!(matches!(gate.admit(), Admission::Shed));
+        drop(held);
+        assert!(matches!(gate.admit(), Admission::Admitted(_)));
+    }
+
+    #[test]
+    fn gate_queued_caller_runs_after_a_release() {
+        let gate = Gate::new(1, 2);
+        let ran = AtomicU64::new(0);
+        thread::scope(|scope| {
+            let held = gate.admit();
+            assert!(matches!(held, Admission::Admitted(_)));
+            let waiter = scope.spawn(|| match gate.admit() {
+                Admission::Admitted(_) => ran.fetch_add(1, Ordering::Relaxed),
+                Admission::Shed => panic!("queue had room"),
+            });
+            // Wait until the waiter is actually queued, then release.
+            while gate.queue_depth() == 0 {
+                thread::yield_now();
+            }
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "queued, not running");
+            drop(held);
+            waiter.join().unwrap();
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        assert_eq!(gate.in_flight(), 0);
+        assert_eq!(gate.queue_depth(), 0);
+    }
+
+    #[test]
+    fn gate_queue_is_fifo() {
+        // Two waiters queue in order; releasing slots serves them in
+        // arrival order (tickets), not wakeup-race order.
+        let gate = Gate::new(1, 4);
+        let order = Mutex::new(Vec::new());
+        let (gate, order) = (&gate, &order);
+        thread::scope(|scope| {
+            let held = gate.admit();
+            for tag in 0..3u32 {
+                scope.spawn(move || {
+                    // Stagger arrivals so tickets are issued in tag order.
+                    while gate.queue_depth() < tag as usize {
+                        thread::yield_now();
+                    }
+                    let permit = gate.admit();
+                    order.lock().unwrap().push(tag);
+                    drop(permit);
+                });
+                while gate.queue_depth() < (tag + 1) as usize {
+                    thread::yield_now();
+                }
+            }
+            drop(held);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn gate_never_exceeds_slots_under_contention() {
+        let gate = Gate::new(3, 64);
+        let peak = AtomicU64::new(0);
+        let live = AtomicU64::new(0);
+        thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        if let Admission::Admitted(_p) = gate.admit() {
+                            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            live.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "{}", peak.load(Ordering::SeqCst));
     }
 
     #[test]

@@ -17,17 +17,23 @@
 //! bitfusion-cli sweep vgg-7 --bandwidth
 //! bitfusion-cli dse --rows 16,32 --cols 8,16 --bandwidth 64,128,256 --json
 //! echo '{"cmd":"report","benchmark":"lstm"}' | bitfusion-cli serve
+//! bitfusion-cli serve --unix /tmp/bitfusion.sock &
+//! bitfusion-cli client --unix /tmp/bitfusion.sock report lstm --batch 4
 //! ```
 
 use std::env;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use bitfusion::dnn::{export_model, parse_model, Model, QuantSpec};
 use bitfusion::energy::TechNode;
 use bitfusion::service::protocol::{
     quant_spec_from_json, ArchPreset, BackendChoice, DseParams, ModelSource, SweepAxis,
 };
+use bitfusion::service::net::{self, NetConfig, NetListener};
 use bitfusion::service::session::find_model;
 use bitfusion::service::{render, serve, Request, Response, Session};
 use bitfusion::sim::SimOptions;
@@ -52,8 +58,10 @@ USAGE:
                          [--quant SPEC,SPEC] [--networks all|name,name] [--model FILE]...
                          [--workers N] [--backend analytic|event] [--json] [calibration]
   bitfusion-cli export-model <benchmark|attention-block|depthwise-net>
-  bitfusion-cli serve    [--workers N] [--cache-capacity N] [--backend analytic|event]
-                         [calibration]
+  bitfusion-cli serve    [--listen ADDR | --unix PATH] [--workers N] [--cache-capacity N]
+                         [--max-queue N] [--idle-timeout SECS]
+                         [--backend analytic|event] [calibration]
+  bitfusion-cli client   (--connect ADDR | --unix PATH) [REQUEST-JSON | SUBCOMMAND ARGS...]
 
 external models (`bitfusion-model/1` JSON documents):
   `--model FILE` simulates a model file instead of a zoo benchmark; the
@@ -80,6 +88,17 @@ calibration (threaded through the session's SimOptions):
 writes for the equivalent request. `serve` reads one JSON request per stdin
 line ({\"cmd\":\"report\",\"benchmark\":\"lstm\",...}) and writes one
 response per stdout line, in request order, dispatching concurrently.
+
+network serve: `serve --listen 127.0.0.1:7040` or `serve --unix PATH` runs
+a concurrent server instead of the stdin loop — thread per connection, one
+shared cache, identical in-flight requests coalesced to one evaluation, a
+bounded admission queue (`--max-queue`, default 64) that answers overflow
+with an error response, and an idle-connection timeout (`--idle-timeout`
+seconds, default 300, 0 disables). `{\"cmd\":\"stats\"}` reports live
+counters; `{\"cmd\":\"shutdown\"}` (unix socket only) or SIGINT drains and
+exits. `client` sends one request to a running server and prints the
+response: give it a raw JSON request line, a normal subcommand spelling
+(e.g. `client --unix P report lstm --json`), or pipe the request on stdin.
 
 BENCHMARKS:
   alexnet cifar-10 lstm lenet-5 resnet-18 rnn svhn vgg-7 (case-insensitive)"
@@ -204,7 +223,35 @@ struct Invocation {
 enum Mode {
     OneShot(Request),
     ExportModel(String),
-    Serve { workers: usize, cache_capacity: Option<usize> },
+    Serve {
+        workers: usize,
+        cache_capacity: Option<usize>,
+        listen: Option<String>,
+        unix: Option<String>,
+        max_queue: usize,
+        /// `--idle-timeout` in seconds; `0` disables. Only meaningful
+        /// with `--listen`/`--unix` (the stdin loop reads until EOF).
+        idle_timeout: u64,
+    },
+    Client {
+        connect: Option<String>,
+        unix: Option<String>,
+        payload: ClientPayload,
+    },
+}
+
+/// What `client` sends: a raw request line, a parsed subcommand, or
+/// whatever stdin provides.
+#[derive(Debug)]
+enum ClientPayload {
+    /// A raw `{"cmd":...}` line, forwarded verbatim; the response prints
+    /// verbatim too.
+    Raw(String),
+    /// A normal subcommand spelling, rendered like the one-shot command
+    /// would be (`--json` for wire bytes).
+    Request { request: Box<Request>, json: bool },
+    /// Read one request line from stdin, print the response verbatim.
+    Stdin,
 }
 
 /// Tries to consume one shared flag (`--json`, `--backend`, calibration
@@ -254,12 +301,78 @@ fn shared_flag(
     Ok(true)
 }
 
+/// Parses `client`'s argv: extracts the target address, treats everything
+/// else as the payload — a raw JSON request or a nested subcommand
+/// spelling (parsed through [`parse_invocation`] so it accepts exactly
+/// the one-shot syntax).
+fn parse_client(rest: &[String]) -> Result<Invocation, UsageError> {
+    let mut flags = Flags::new("client", rest);
+    let mut connect: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut payload_args: Vec<String> = Vec::new();
+    while let Some(arg) = flags.next() {
+        match arg {
+            "--connect" => connect = Some(flags.value("--connect")?.to_string()),
+            "--unix" => unix = Some(flags.value("--unix")?.to_string()),
+            // Everything else — flags included — belongs to the nested
+            // subcommand spelling.
+            other => payload_args.push(other.to_string()),
+        }
+    }
+    if connect.is_some() == unix.is_some() {
+        return Err(UsageError::new(
+            "client",
+            "`client` needs exactly one of --connect ADDR or --unix PATH",
+        ));
+    }
+    let payload = match payload_args.as_slice() {
+        [] => ClientPayload::Stdin,
+        [raw] if raw.trim_start().starts_with('{') => ClientPayload::Raw(raw.clone()),
+        _ => {
+            let inner = parse_invocation(&payload_args)?;
+            let Mode::OneShot(request) = inner.mode else {
+                return Err(UsageError::new(
+                    "client",
+                    format!(
+                        "`client` sends one-shot requests; `{}` is not one",
+                        payload_args[0]
+                    ),
+                ));
+            };
+            if inner.options != SimOptions::default() {
+                return Err(UsageError::new(
+                    "client",
+                    "calibration flags configure the server's session; \
+                     set them on `serve`, not `client`",
+                ));
+            }
+            ClientPayload::Request {
+                request: Box::new(request),
+                json: inner.json,
+            }
+        }
+    };
+    Ok(Invocation {
+        mode: Mode::Client {
+            connect,
+            unix,
+            payload,
+        },
+        json: false,
+        options: SimOptions::default(),
+        backend: None,
+    })
+}
+
 fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
     let Some(subcommand) = argv.first() else {
         return Err(UsageError::new("", usage()));
     };
     let subcommand = subcommand.as_str();
     let rest = &argv[1..];
+    if subcommand == "client" {
+        return parse_client(rest);
+    }
     let mut flags = Flags::new(subcommand, rest);
     let mut json = false;
     let mut backend: Option<BackendChoice> = None;
@@ -277,6 +390,11 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
     let mut dse = DseParams::default();
     let mut workers: usize = 0;
     let mut cache_capacity: Option<usize> = None;
+    let mut listen: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut max_queue: usize = 64;
+    let mut idle_timeout: u64 = 300;
+    let mut net_only_flag: Option<&str> = None;
 
     while let Some(arg) = flags.next() {
         if !arg.starts_with("--") {
@@ -363,6 +481,16 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
             ("serve", "--workers") => workers = flags.parse("--workers")?,
             ("serve", "--cache-capacity") => {
                 cache_capacity = Some(flags.parse("--cache-capacity")?)
+            }
+            ("serve", "--listen") => listen = Some(flags.value("--listen")?.to_string()),
+            ("serve", "--unix") => unix = Some(flags.value("--unix")?.to_string()),
+            ("serve", "--max-queue") => {
+                max_queue = flags.parse("--max-queue")?;
+                net_only_flag.get_or_insert("--max-queue");
+            }
+            ("serve", "--idle-timeout") => {
+                idle_timeout = flags.parse("--idle-timeout")?;
+                net_only_flag.get_or_insert("--idle-timeout");
             }
             _ => return Err(flags.unknown(arg)),
         }
@@ -456,9 +584,25 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
         }
         "serve" => {
             no_positional(&positional)?;
+            if listen.is_some() && unix.is_some() {
+                return Err(UsageError::new(
+                    subcommand,
+                    "give --listen or --unix, not both",
+                ));
+            }
+            if let (None, None, Some(flag)) = (&listen, &unix, net_only_flag) {
+                return Err(UsageError::new(
+                    subcommand,
+                    format!("{flag} needs --listen or --unix (stdin serve reads until EOF)"),
+                ));
+            }
             Mode::Serve {
                 workers,
                 cache_capacity,
+                listen,
+                unix,
+                max_queue,
+                idle_timeout,
             }
         }
         other => {
@@ -476,6 +620,217 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
     })
 }
 
+/// The final two-tier cache summary every serve flavour prints on exit.
+/// An untouched tier has no hit rate — print `n/a`, not `0.0%`.
+fn print_cache_summary(session: &Session, responses: u64, errors: u64) {
+    let rate = |r: Option<f64>| match r {
+        Some(r) => format!("{:.1}%", r * 100.0),
+        None => "n/a".to_string(),
+    };
+    let stats = session.cache_stats();
+    let layers = session.layer_cache_stats();
+    eprintln!(
+        "serve: {} responses ({} errors); artifact cache: {} hits, {} misses, {} evictions, {}/{} resident, {} hit rate; layer cache: {} hits, {} misses, {}/{} resident, {} hit rate",
+        responses,
+        errors,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.len,
+        stats.capacity,
+        rate(stats.hit_rate()),
+        layers.hits,
+        layers.misses,
+        layers.len,
+        layers.capacity,
+        rate(layers.hit_rate())
+    );
+}
+
+/// The stop flag SIGINT flips, shared with the running server. A
+/// `OnceLock` because a signal handler cannot capture state: it must
+/// reach the flag through a process global.
+static SIGINT_STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+/// Routes SIGINT (ctrl-c) to `stop` so the server drains instead of
+/// dying mid-request. Raw `signal(2)` FFI — the store below is
+/// async-signal-safe, and the default disposition is restored semantics
+/// we don't need (a second ctrl-c during a long drain still kills via
+/// SIGQUIT/SIGTERM).
+#[cfg(unix)]
+fn install_sigint(stop: Arc<AtomicBool>) {
+    extern "C" fn on_sigint(_: i32) {
+        if let Some(stop) = SIGINT_STOP.get() {
+            stop.store(true, Ordering::SeqCst);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let _ = SIGINT_STOP.set(stop);
+    const SIGINT: i32 = 2;
+    let handler = on_sigint as extern "C" fn(i32);
+    unsafe {
+        signal(SIGINT, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint(_stop: Arc<AtomicBool>) {}
+
+/// Runs the network server on the parsed listen target; returns the exit
+/// code (never a usage error — the flags were validated already).
+fn run_net_serve(
+    session: &Session,
+    listen: Option<&str>,
+    unix: Option<&str>,
+    max_queue: usize,
+    idle_timeout: u64,
+    workers: usize,
+) -> ExitCode {
+    let bound = match (listen, unix) {
+        (Some(addr), None) => NetListener::bind_tcp(addr),
+        #[cfg(unix)]
+        (None, Some(path)) => NetListener::bind_unix(path),
+        #[cfg(not(unix))]
+        (None, Some(_)) => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "unix sockets are not available on this platform",
+        )),
+        _ => unreachable!("parse_invocation enforces --listen XOR --unix"),
+    };
+    let listener = match bound {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = NetConfig {
+        workers,
+        max_queue,
+        idle_timeout: (idle_timeout > 0).then(|| Duration::from_secs(idle_timeout)),
+        // Only a local unix-socket client may stop the server.
+        allow_shutdown: unix.is_some(),
+        ..NetConfig::default()
+    };
+    install_sigint(Arc::clone(&config.stop));
+    eprintln!("serve: listening on {}", listener.local_display());
+    let result = net::run(session, &listener, &config);
+    // Remove the socket file so the next start binds cleanly; the
+    // listener must drop first on some platforms, but unlinking while
+    // open is fine on unix.
+    if let Some(path) = unix {
+        let _ = std::fs::remove_file(path);
+    }
+    match result {
+        Ok(summary) => {
+            print_cache_summary(session, summary.responses, summary.errors);
+            eprintln!(
+                "serve: {} connections, {} coalesced requests",
+                summary.connections, summary.coalesced
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Connects to a server, sends one request line, prints the response.
+fn run_client(
+    connect: Option<&str>,
+    unix: Option<&str>,
+    payload: &ClientPayload,
+) -> ExitCode {
+    let line = match payload {
+        ClientPayload::Raw(raw) => raw.trim().to_string(),
+        ClientPayload::Request { request, .. } => request.encode(),
+        ClientPayload::Stdin => {
+            let mut line = String::new();
+            match std::io::stdin().lock().read_line(&mut line) {
+                Ok(0) => {
+                    eprintln!("client: no request on stdin");
+                    return ExitCode::FAILURE;
+                }
+                Ok(_) => line.trim().to_string(),
+                Err(e) => {
+                    eprintln!("client: cannot read stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let exchange = || -> std::io::Result<String> {
+        // One request, one response line: the tiny protocol needs no
+        // transport abstraction here, just two stream flavours.
+        let mut reply = String::new();
+        match (connect, unix) {
+            (Some(addr), None) => {
+                let mut stream = std::net::TcpStream::connect(addr)?;
+                stream.write_all(line.as_bytes())?;
+                stream.write_all(b"\n")?;
+                stream.flush()?;
+                BufReader::new(stream).read_line(&mut reply)?;
+            }
+            #[cfg(unix)]
+            (None, Some(path)) => {
+                let mut stream = std::os::unix::net::UnixStream::connect(path)?;
+                stream.write_all(line.as_bytes())?;
+                stream.write_all(b"\n")?;
+                stream.flush()?;
+                BufReader::new(stream).read_line(&mut reply)?;
+            }
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "no usable target",
+                ))
+            }
+        }
+        if reply.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection without answering",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    };
+    let reply = match exchange() {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failed = reply.starts_with(r#"{"reply":"error""#);
+    match payload {
+        // Raw in, raw out: scripted callers correlate bytes.
+        ClientPayload::Raw(_) | ClientPayload::Stdin => println!("{reply}"),
+        ClientPayload::Request { json: true, .. } => println!("{reply}"),
+        ClientPayload::Request { json: false, .. } => match Response::parse(&reply) {
+            Ok(response) => {
+                if failed {
+                    eprintln!("{}", render(&response));
+                } else {
+                    println!("{}", render(&response));
+                }
+            }
+            Err(e) => {
+                eprintln!("client: unparseable response ({e}): {reply}");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn run() -> Result<ExitCode, UsageError> {
     let argv: Vec<String> = env::args().skip(1).collect();
     let inv = parse_invocation(&argv)?;
@@ -483,12 +838,26 @@ fn run() -> Result<ExitCode, UsageError> {
         Mode::Serve {
             workers,
             cache_capacity,
+            listen,
+            unix,
+            max_queue,
+            idle_timeout,
         } => {
             let mut session = Session::new()
                 .with_options(inv.options)
                 .with_backend(inv.backend.unwrap_or(BackendChoice::Analytic));
             if let Some(capacity) = cache_capacity {
                 session = session.with_cache_capacity(capacity);
+            }
+            if listen.is_some() || unix.is_some() {
+                return Ok(run_net_serve(
+                    &session,
+                    listen.as_deref(),
+                    unix.as_deref(),
+                    max_queue,
+                    idle_timeout,
+                    workers,
+                ));
             }
             let stdout = std::io::stdout();
             let summary = match serve(
@@ -505,31 +874,14 @@ fn run() -> Result<ExitCode, UsageError> {
                     return Ok(ExitCode::FAILURE);
                 }
             };
-            // An untouched tier has no hit rate — print `n/a`, not `0.0%`.
-            let rate = |r: Option<f64>| match r {
-                Some(r) => format!("{:.1}%", r * 100.0),
-                None => "n/a".to_string(),
-            };
-            let stats = session.cache_stats();
-            let layers = session.layer_cache_stats();
-            eprintln!(
-                "serve: {} responses ({} errors); artifact cache: {} hits, {} misses, {} evictions, {}/{} resident, {} hit rate; layer cache: {} hits, {} misses, {}/{} resident, {} hit rate",
-                summary.responses,
-                summary.errors,
-                stats.hits,
-                stats.misses,
-                stats.evictions,
-                stats.len,
-                stats.capacity,
-                rate(stats.hit_rate()),
-                layers.hits,
-                layers.misses,
-                layers.len,
-                layers.capacity,
-                rate(layers.hit_rate())
-            );
+            print_cache_summary(&session, summary.responses, summary.errors);
             Ok(ExitCode::SUCCESS)
         }
+        Mode::Client {
+            connect,
+            unix,
+            payload,
+        } => Ok(run_client(connect.as_deref(), unix.as_deref(), &payload)),
         Mode::ExportModel(name) => match find_model(&name) {
             Ok(m) => {
                 // A `bitfusion-model/1` document: already JSON, byte-stable,
@@ -804,6 +1156,9 @@ mod tests {
         let Mode::Serve {
             workers,
             cache_capacity,
+            listen,
+            unix,
+            ..
         } = inv.mode
         else {
             panic!("expected serve");
@@ -811,5 +1166,113 @@ mod tests {
         assert_eq!(workers, 3);
         assert_eq!(cache_capacity, Some(64));
         assert_eq!(inv.options.dram_efficiency, 0.6);
+        assert_eq!(listen, None);
+        assert_eq!(unix, None);
+    }
+
+    #[test]
+    fn serve_network_flags() {
+        let inv = parse_invocation(&argv(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--max-queue",
+            "8",
+            "--idle-timeout",
+            "30",
+        ]))
+        .unwrap();
+        let Mode::Serve {
+            listen,
+            unix,
+            max_queue,
+            idle_timeout,
+            ..
+        } = inv.mode
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(unix, None);
+        assert_eq!(max_queue, 8);
+        assert_eq!(idle_timeout, 30);
+
+        // --listen XOR --unix.
+        let e = parse_invocation(&argv(&[
+            "serve", "--listen", "127.0.0.1:0", "--unix", "/tmp/x.sock",
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("not both"), "{}", e.message);
+
+        // Net-only knobs require a net listener; the stdin loop has no
+        // idle connections or admission queue.
+        let e = parse_invocation(&argv(&["serve", "--idle-timeout", "5"])).unwrap_err();
+        assert!(e.message.contains("--idle-timeout"), "{}", e.message);
+        let e = parse_invocation(&argv(&["serve", "--max-queue", "4"])).unwrap_err();
+        assert!(e.message.contains("--max-queue"), "{}", e.message);
+    }
+
+    #[test]
+    fn client_parses_its_payload_forms() {
+        // Nested subcommand spelling, with --json riding along.
+        let inv = parse_invocation(&argv(&[
+            "client", "--unix", "/tmp/s.sock", "report", "lstm", "--batch", "4", "--json",
+        ]))
+        .unwrap();
+        let Mode::Client {
+            connect,
+            unix,
+            payload,
+        } = inv.mode
+        else {
+            panic!("expected client");
+        };
+        assert_eq!(connect, None);
+        assert_eq!(unix.as_deref(), Some("/tmp/s.sock"));
+        let ClientPayload::Request { request, json } = payload else {
+            panic!("expected a parsed request, got {payload:?}");
+        };
+        assert!(json);
+        assert!(matches!(*request, Request::Report { batch: 4, .. }));
+
+        // Raw JSON positional.
+        let inv = parse_invocation(&argv(&[
+            "client",
+            "--connect",
+            "127.0.0.1:7040",
+            r#"{"cmd":"stats"}"#,
+        ]))
+        .unwrap();
+        let Mode::Client { payload, .. } = inv.mode else {
+            panic!("expected client");
+        };
+        assert!(matches!(payload, ClientPayload::Raw(raw) if raw.contains("stats")));
+
+        // No payload: read stdin.
+        let inv =
+            parse_invocation(&argv(&["client", "--connect", "127.0.0.1:7040"])).unwrap();
+        let Mode::Client { payload, .. } = inv.mode else {
+            panic!("expected client");
+        };
+        assert!(matches!(payload, ClientPayload::Stdin));
+
+        // Exactly one target.
+        let e = parse_invocation(&argv(&["client", "report", "lstm"])).unwrap_err();
+        assert!(e.message.contains("--connect"), "{}", e.message);
+        let e = parse_invocation(&argv(&[
+            "client", "--connect", "a:1", "--unix", "/tmp/s", "report", "lstm",
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("exactly one"), "{}", e.message);
+
+        // The payload must be a one-shot subcommand...
+        let e = parse_invocation(&argv(&["client", "--connect", "a:1", "serve"])).unwrap_err();
+        assert!(e.message.contains("one-shot"), "{}", e.message);
+        // ...and calibration is server-side.
+        let e = parse_invocation(&argv(&[
+            "client", "--connect", "a:1", "report", "lstm", "--node", "16nm",
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("serve"), "{}", e.message);
     }
 }

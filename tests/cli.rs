@@ -394,3 +394,178 @@ fn serve_and_one_shot_asm_agree() {
         stdout_of(&one_shot).trim_end()
     );
 }
+
+// ---------------------------------------------------------------------------
+// Network serve: child-process tests over real sockets. The in-process
+// protocol mechanics (coalescing, shedding, idle reaping) live in
+// crates/service/tests/net_serve.rs; these pin the CLI surface: flag
+// parsing, the client subcommand, the determinism contract across the
+// whole binary, and clean shutdown.
+
+#[cfg(unix)]
+fn wait_for_socket(path: &std::path::Path) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !path.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never bound {}",
+            path.display()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn network_serve_over_unix_socket_matches_one_shot() {
+    let sock = std::env::temp_dir().join(format!(
+        "bitfusion-cli-net-{}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&sock);
+    let sock_str = sock.to_str().unwrap().to_string();
+    let child = Command::new(BIN)
+        .args(["serve", "--unix", &sock_str, "--workers", "2"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    wait_for_socket(&sock);
+
+    // Every response over the socket is byte-identical to the same
+    // subcommand run as a fresh one-shot `--json` invocation.
+    let scripts: &[&[&str]] = &[
+        &["report", "rnn", "--batch", "1"],
+        &["sweep", "lstm", "--bandwidth"],
+        &["dse", "--rows", "16,32", "--cols", "16,32", "--networks", "rnn"],
+        &["quantize", "svhn"],
+    ];
+    for script in scripts {
+        let mut one_shot_args: Vec<&str> = script.to_vec();
+        one_shot_args.push("--json");
+        let one_shot = run(&one_shot_args);
+        assert!(one_shot.status.success(), "{}", stderr_of(&one_shot));
+
+        let mut client_args = vec!["client", "--unix", &sock_str];
+        client_args.extend(one_shot_args.iter().copied());
+        let via_net = run(&client_args);
+        assert!(via_net.status.success(), "{}", stderr_of(&via_net));
+        assert_eq!(
+            stdout_of(&via_net),
+            stdout_of(&one_shot),
+            "socket and one-shot bytes diverge for {script:?}"
+        );
+    }
+
+    // The client also renders human output (no --json) without failing.
+    let human = run(&["client", "--unix", &sock_str, "report", "rnn", "--batch", "1"]);
+    assert!(human.status.success(), "{}", stderr_of(&human));
+    assert!(stdout_of(&human).contains("rnn"), "{}", stdout_of(&human));
+
+    // Raw-JSON payload form + the live stats endpoint.
+    let stats = run(&["client", "--unix", &sock_str, r#"{"cmd":"stats"}"#]);
+    assert!(stats.status.success(), "{}", stderr_of(&stats));
+    let stats_line = stdout_of(&stats);
+    for field in ["\"reply\":\"stats\"", "\"coalesced\"", "\"latency_us\"", "\"layer_cache\""] {
+        assert!(stats_line.contains(field), "{field} missing from {stats_line}");
+    }
+    assert!(!stats_line.contains("time\""), "no timestamps: {stats_line}");
+
+    // Admin shutdown over the unix socket: acknowledged, then the server
+    // drains, prints its two-tier cache summary, and exits cleanly.
+    let bye = run(&["client", "--unix", &sock_str, r#"{"cmd":"shutdown"}"#]);
+    assert!(bye.status.success(), "{}", stderr_of(&bye));
+    assert_eq!(stdout_of(&bye).trim_end(), r#"{"reply":"shutdown"}"#);
+    let out = child.wait_with_output().expect("server exits");
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("listening on"), "{err}");
+    assert!(err.contains("artifact cache:"), "{err}");
+    assert!(err.contains("layer cache:"), "{err}");
+    assert!(err.contains("connections"), "{err}");
+    assert!(!sock.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn network_serve_over_tcp_answers_and_drains_on_sigint() {
+    use std::io::{BufRead, BufReader};
+
+    let mut child = Command::new(BIN)
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    // The startup line names the resolved ephemeral port.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line}"))
+        .to_string();
+
+    let one_shot = run(&["list", "--json"]);
+    let via_net = run(&["client", "--connect", &addr, "list", "--json"]);
+    assert!(via_net.status.success(), "{}", stderr_of(&via_net));
+    assert_eq!(stdout_of(&via_net), stdout_of(&one_shot));
+
+    // `shutdown` is an admin request, honoured on unix sockets only.
+    let refused = run(&["client", "--connect", &addr, r#"{"cmd":"shutdown"}"#]);
+    assert_eq!(refused.status.code(), Some(1), "refusal is an error reply");
+    assert!(stdout_of(&refused).contains("unix"), "{}", stdout_of(&refused));
+
+    // SIGINT drains the server: clean exit plus the cache summary.
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let status = child.wait().expect("server exits");
+    assert!(status.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stderr, &mut rest).unwrap();
+    assert!(rest.contains("artifact cache:"), "{rest}");
+    assert!(rest.contains("connections"), "{rest}");
+}
+
+#[test]
+fn client_and_serve_flag_validation() {
+    // client needs exactly one transport.
+    let out = run(&["client", "report", "rnn"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--connect"), "{}", stderr_of(&out));
+
+    let out = run(&["client", "--connect", "a", "--unix", "b", r#"{"cmd":"list"}"#]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Calibration belongs to the server's session, not the client.
+    let out = run(&[
+        "client", "--unix", "/tmp/nope.sock",
+        "report", "rnn", "--systolic-efficiency", "0.9",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("serve"), "{}", stderr_of(&out));
+
+    // Net-only serve flags require a listener.
+    let out = run(&["serve", "--max-queue", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--max-queue"), "{}", stderr_of(&out));
+
+    let out = run(&["serve", "--listen", "a", "--unix", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("not both"), "{}", stderr_of(&out));
+
+    // A dead endpoint is a runtime error (exit 1), not a usage error.
+    let port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+        // dropped here, so the port is free (and connecting is refused)
+    };
+    let out = run(&["client", "--connect", &format!("127.0.0.1:{port}"), r#"{"cmd":"list"}"#]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("client:"), "{}", stderr_of(&out));
+}
