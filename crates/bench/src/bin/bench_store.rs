@@ -1,0 +1,334 @@
+//! The PR 10 bench emitter: the disk-artifact-store restart trajectory.
+//! It measures the whole-zoo quant × arch DSE sweep twice per series —
+//! once in a cold process against an empty `--cache-dir` (every point
+//! pays compilation, evaluation, and write-behind), once in a simulated
+//! restarted process (fresh in-memory caches, same directory) — and
+//! writes the committed trajectory file `BENCH_pr10.json`.
+//!
+//! Two series:
+//!
+//! * `sweep` — the plan and layer tiers only: the restarted sweep loads
+//!   compiled plans and layer results from disk instead of recomputing.
+//! * `resume` — the `dse --resume` path on top: completed design points
+//!   checkpoint to disk, and the restarted sweep restores each point
+//!   wholesale. This is the headline restart number.
+//!
+//! Both series assert the byte-determinism contract: the restarted run's
+//! evaluated points, infeasible list, and Pareto frontier are exactly the
+//! cold run's (`Debug` equality, which is injective on `f64`), so the
+//! serving tier is unobservable in the results.
+//!
+//! Three modes:
+//!
+//! * `cargo run -p bitfusion-bench --bin bench_store` — full measurement;
+//!   writes `BENCH_pr10.json` (override with `--out <path>`), asserts the
+//!   resume-restart speedup is ≥3× the cold run.
+//! * `-- --test` — shrunken grid for the CI smoke run; the structural and
+//!   byte-identity assertions still run, the wall-clock floor is skipped.
+//! * `-- --check <path>` — no measurement: parses an existing trajectory
+//!   file and fails unless it is well-formed, corruption-free, fully
+//!   restored, and (for full-mode files) the resume restart cleared the
+//!   3× floor. This is the CI gate on the committed `BENCH_pr10.json`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bitfusion::compiler::{ArtifactCache, DiskArtifactStore};
+use bitfusion::core::arch::ArchConfig;
+use bitfusion::core::grid::ArchGrid;
+use bitfusion::dnn::zoo::Benchmark;
+use bitfusion::dnn::QuantSpec;
+use bitfusion::service::json::{parse, Json};
+use bitfusion::sim::pool::default_workers;
+use bitfusion::sim::{explore_checkpointed, DseResult, DseSpec, EventBackend, SimOptions};
+use bitfusion::sim::LayerPerfCache;
+
+/// The whole-zoo quant × arch sweep (`--test` shrinks it for CI).
+fn sweep_spec(test_mode: bool) -> DseSpec {
+    let grid = if test_mode {
+        ArchGrid {
+            rows: vec![16, 32],
+            dram_bits_per_cycle: vec![64, 128],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        }
+    } else {
+        ArchGrid {
+            rows: vec![16, 32],
+            cols: vec![8, 16],
+            dram_bits_per_cycle: vec![64, 128, 256],
+            ..ArchGrid::from_base(ArchConfig::isca_45nm())
+        }
+    };
+    let models = if test_mode {
+        vec![Benchmark::Lstm, Benchmark::Rnn]
+    } else {
+        Benchmark::ALL.to_vec()
+    };
+    DseSpec {
+        grid,
+        models: models.iter().map(|b| b.model()).collect(),
+        quant_specs: vec![
+            QuantSpec::paper(),
+            QuantSpec::uniform(8).expect("uniform8 is a supported spec"),
+        ],
+        batches: vec![16],
+        options: SimOptions::default(),
+    }
+}
+
+/// One cold-vs-restarted measurement of one series.
+struct RestartSeries {
+    cold_seconds: f64,
+    warm_seconds: f64,
+    feasible: u64,
+    plan_hits: u64,
+    layer_hits: u64,
+    point_hits: u64,
+    writes: u64,
+    corrupt: u64,
+}
+
+/// The deterministic content of a DSE result — everything except the
+/// run-level cache counters, which legitimately depend on warmth.
+fn result_bytes(r: &DseResult) -> String {
+    format!("{:?}|{:?}|{:?}", r.points, r.infeasible, r.pareto_frontier())
+}
+
+/// Runs one series: a cold process on an empty directory, then a
+/// restarted process (fresh memory tiers, same directory), asserting the
+/// restarted results are byte-identical to the cold ones.
+fn restart_series(
+    label: &str,
+    spec: &DseSpec,
+    workers: usize,
+    dir: &std::path::Path,
+    checkpoint: bool,
+) -> RestartSeries {
+    let _ = std::fs::remove_dir_all(dir);
+
+    // Cold process: empty store, everything computes, write-behind fills
+    // the directory. The store's lock releases when the caches drop their
+    // handles at the end of the scope.
+    let (t_cold, r_cold, cold_writes) = {
+        let store = Arc::new(DiskArtifactStore::open(dir).expect("open a fresh store"));
+        let cache = ArtifactCache::default();
+        let layer_cache = LayerPerfCache::default();
+        cache.attach_store(store.clone());
+        layer_cache.attach_store(store.clone());
+        let start = Instant::now();
+        let result = explore_checkpointed(
+            spec,
+            &EventBackend,
+            workers,
+            &cache,
+            &layer_cache,
+            checkpoint.then_some(store.as_ref()),
+        );
+        let t = start.elapsed().as_secs_f64();
+        let writes = store.stats().writes;
+        assert!(writes > 0, "{label}: write-behind must persist");
+        (t, result, writes)
+    };
+
+    // Restarted process: fresh memory tiers, the populated directory.
+    let store = Arc::new(DiskArtifactStore::open(dir).expect("reopen the store"));
+    let cache = ArtifactCache::default();
+    let layer_cache = LayerPerfCache::default();
+    cache.attach_store(store.clone());
+    layer_cache.attach_store(store.clone());
+    let start = Instant::now();
+    let r_warm = explore_checkpointed(
+        spec,
+        &EventBackend,
+        workers,
+        &cache,
+        &layer_cache,
+        checkpoint.then_some(store.as_ref()),
+    );
+    let t_warm = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        result_bytes(&r_cold),
+        result_bytes(&r_warm),
+        "{label}: the serving tier must never change results"
+    );
+    let stats = store.stats();
+    assert_eq!(stats.corrupt, 0, "{label}: clean store reads");
+    assert!(stats.plan_hits > 0, "{label}: plans must load from disk");
+    if checkpoint {
+        assert_eq!(
+            stats.point_hits,
+            r_cold.points.len() as u64,
+            "{label}: every completed point must restore from its checkpoint"
+        );
+    } else {
+        assert!(stats.layer_hits > 0, "{label}: layers must load from disk");
+    }
+
+    println!(
+        "  {label:<7} cold: {:8.1} ms; restarted: {:8.1} ms ({:5.2}x); \
+         {} plan hits, {} layer hits, {} point hits",
+        t_cold * 1e3,
+        t_warm * 1e3,
+        t_cold / t_warm,
+        stats.plan_hits,
+        stats.layer_hits,
+        stats.point_hits
+    );
+    RestartSeries {
+        cold_seconds: t_cold,
+        warm_seconds: t_warm,
+        feasible: r_cold.points.len() as u64,
+        plan_hits: stats.plan_hits,
+        layer_hits: stats.layer_hits,
+        point_hits: stats.point_hits,
+        // The cold process's write-behind count — the restarted store
+        // writes nothing, everything already exists.
+        writes: cold_writes,
+        corrupt: stats.corrupt,
+    }
+}
+
+/// Serializes one series.
+fn series_json(spec: &DseSpec, s: &RestartSeries) -> Json {
+    Json::obj(vec![
+        ("points", Json::uint(spec.len() as u64)),
+        ("feasible", Json::uint(s.feasible)),
+        ("cold_seconds", Json::float(s.cold_seconds)),
+        ("warm_seconds", Json::float(s.warm_seconds)),
+        (
+            "warm_speedup",
+            Json::float(s.cold_seconds / s.warm_seconds),
+        ),
+        ("plan_hits", Json::uint(s.plan_hits)),
+        ("layer_hits", Json::uint(s.layer_hits)),
+        ("point_hits", Json::uint(s.point_hits)),
+        ("writes", Json::uint(s.writes)),
+        ("corrupt", Json::uint(s.corrupt)),
+    ])
+}
+
+/// Validates one series object inside a trajectory file; returns its
+/// recorded speedup.
+fn check_series(doc: &Json, name: &str) -> Result<f64, String> {
+    let series = doc
+        .get(name)
+        .ok_or(format!("missing field `{name}`"))?;
+    for field in ["points", "feasible", "plan_hits", "point_hits", "writes"] {
+        series
+            .get(field)
+            .and_then(Json::as_u64)
+            .ok_or(format!("{name}.{field} missing or not an integer"))?;
+    }
+    let corrupt = series
+        .get("corrupt")
+        .and_then(Json::as_u64)
+        .ok_or(format!("{name}.corrupt missing or not an integer"))?;
+    if corrupt != 0 {
+        return Err(format!("{name}.corrupt must be 0, got {corrupt}"));
+    }
+    for field in ["cold_seconds", "warm_seconds", "warm_speedup"] {
+        let v = series
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("{name}.{field} missing or not a number"))?;
+        if v <= 0.0 {
+            return Err(format!("{name}.{field} must be positive, got {v}"));
+        }
+    }
+    Ok(series.get("warm_speedup").and_then(Json::as_f64).unwrap())
+}
+
+/// `--check` mode: validate a committed trajectory file.
+fn check(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: unreadable: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+    check_series(&doc, "sweep")?;
+    let resume_speedup = check_series(&doc, "resume")?;
+    let resume = doc.get("resume").expect("checked above");
+    let feasible = resume.get("feasible").and_then(Json::as_u64).unwrap();
+    let point_hits = resume.get("point_hits").and_then(Json::as_u64).unwrap();
+    if point_hits != feasible {
+        return Err(format!(
+            "resume.point_hits {point_hits} != resume.feasible {feasible}: \
+             the restarted sweep must restore every completed point"
+        ));
+    }
+    // Test-mode files come from shrunken smoke runs whose wall clock is
+    // noise; only full measurements gate the 3x floor.
+    let full = doc.get("mode").and_then(Json::as_str) != Some("test");
+    if full && resume_speedup < 3.0 {
+        return Err(format!(
+            "resume.warm_speedup {resume_speedup:.2} below the 3x floor a \
+             populated --cache-dir must clear on restart"
+        ));
+    }
+    println!(
+        "{path}: OK (both series clean, every point restored, resume restart \
+         {resume_speedup:.2}x)"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let path = args.get(pos + 1).map_or("BENCH_pr10.json", String::as_str);
+        return match check(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench_store --check failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let test_mode = args.iter().any(|a| a == "--test");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1))
+        .map_or("BENCH_pr10.json", String::as_str);
+    let cores = default_workers();
+    let spec = sweep_spec(test_mode);
+    let dir = std::env::temp_dir().join(format!("bitfusion-bench-store-{}", std::process::id()));
+
+    println!(
+        "disk-store restart bench: {} archs x {} networks x {} quants = {} points on {cores} core(s)",
+        spec.grid.len(),
+        spec.models.len(),
+        spec.quant_specs.len(),
+        spec.len()
+    );
+
+    let sweep = restart_series("sweep", &spec, cores, &dir, false);
+    let resume = restart_series("resume", &spec, cores, &dir, true);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("pr10_disk_artifact_store".to_string())),
+        (
+            "mode",
+            Json::Str(if test_mode { "test" } else { "full" }.to_string()),
+        ),
+        ("cores", Json::uint(cores as u64)),
+        ("sweep", series_json(&spec, &sweep)),
+        ("resume", series_json(&spec, &resume)),
+    ]);
+    std::fs::write(out_path, doc.encode() + "\n").expect("trajectory file writable");
+    println!("\nwrote {out_path}");
+
+    if test_mode {
+        println!("(wall-clock assertions require a full run; skipped)");
+        return ExitCode::SUCCESS;
+    }
+    let speedup = resume.cold_seconds / resume.warm_seconds;
+    assert!(
+        speedup >= 3.0,
+        "a restarted whole-zoo sweep on a populated --cache-dir must be >=3x \
+         the cold run, got {speedup:.2}x"
+    );
+    println!("PASS: resume restart >=3x the cold sweep");
+    ExitCode::SUCCESS
+}

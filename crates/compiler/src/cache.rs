@@ -47,6 +47,7 @@ use bitfusion_dnn::model::Model;
 
 use crate::error::CompileError;
 use crate::plan::{compile, ExecutionPlan, PlannedLayer};
+use crate::store::DiskArtifactStore;
 
 /// A cached compile result: the plan, or the error the compiler produced.
 pub type CachedPlan = Arc<Result<ExecutionPlan, CompileError>>;
@@ -211,6 +212,7 @@ struct Inner {
 pub struct ArtifactCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    store: Mutex<Option<Arc<DiskArtifactStore>>>,
 }
 
 /// Default capacity: comfortably holds the whole zoo at several batch
@@ -249,12 +251,41 @@ impl ArtifactCache {
                 evictions: 0,
             }),
             capacity: capacity.max(1),
+            store: Mutex::new(None),
         }
     }
 
-    /// Looks `key` up, counting a hit or miss, and refreshing recency on a
-    /// hit.
+    /// Attaches a persistent disk tier beneath this cache: [`Self::lookup`]
+    /// falls through to it on a memory miss (read-through) and
+    /// [`Self::insert`] persists successful plans to it (write-behind).
+    /// Memory-tier [`CacheStats`] semantics are unchanged — a disk-served
+    /// plan still counts as a memory miss; the disk traffic shows up in
+    /// [`DiskArtifactStore::stats`].
+    pub fn attach_store(&self, store: Arc<DiskArtifactStore>) {
+        *self.store.lock().expect("artifact cache store poisoned") = Some(store);
+    }
+
+    fn disk(&self) -> Option<Arc<DiskArtifactStore>> {
+        self.store
+            .lock()
+            .expect("artifact cache store poisoned")
+            .clone()
+    }
+
+    /// Looks `key` up — memory tier first, then the attached disk tier (if
+    /// any) — counting a memory hit or miss and refreshing recency on a
+    /// hit. A disk-served plan is promoted into the memory tier.
     pub fn lookup(&self, key: &ArtifactKey) -> Option<CachedPlan> {
+        if let Some(plan) = self.lookup_memory(key) {
+            return Some(plan);
+        }
+        let store = self.disk()?;
+        let plan: CachedPlan = Arc::new(Ok(store.load_plan(key)?));
+        self.insert_memory(key.clone(), plan.clone());
+        Some(plan)
+    }
+
+    fn lookup_memory(&self, key: &ArtifactKey) -> Option<CachedPlan> {
         let mut inner = self.inner.lock().expect("artifact cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -283,8 +314,20 @@ impl ArtifactCache {
 
     /// Inserts a compile result, evicting the least-recently-used entry
     /// when full (failed plans are evicted before successful ones — they
-    /// are cheap to reproduce).
+    /// are cheap to reproduce). Successful plans are also written behind
+    /// to the attached disk tier, if any; failures stay memory-only (they
+    /// are cheap to reproduce and a persisted failure could outlive the
+    /// bug that caused it).
     pub fn insert(&self, key: ArtifactKey, plan: CachedPlan) {
+        if let Ok(ok) = plan.as_ref() {
+            if let Some(store) = self.disk() {
+                store.store_plan(&key, ok);
+            }
+        }
+        self.insert_memory(key, plan);
+    }
+
+    fn insert_memory(&self, key: ArtifactKey, plan: CachedPlan) {
         let mut inner = self.inner.lock().expect("artifact cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -434,6 +477,7 @@ struct LayerInner<V> {
 pub struct LayerArtifactCache<V> {
     inner: Mutex<LayerInner<V>>,
     capacity: usize,
+    store: Mutex<Option<Arc<DiskArtifactStore>>>,
 }
 
 impl<V> Default for LayerArtifactCache<V> {
@@ -468,7 +512,25 @@ impl<V> LayerArtifactCache<V> {
                 evictions: 0,
             }),
             capacity: capacity.max(1),
+            store: Mutex::new(None),
         }
+    }
+
+    /// Attaches a persistent disk tier. The value codec lives with the
+    /// instantiating crate (the simulator, for `LayerPerf`), so this tier
+    /// is consulted by the caller via [`Self::disk`] rather than inside
+    /// [`Self::lookup`]; memory-tier [`CacheStats`] semantics are
+    /// unchanged.
+    pub fn attach_store(&self, store: Arc<DiskArtifactStore>) {
+        *self.store.lock().expect("layer cache store poisoned") = Some(store);
+    }
+
+    /// The attached disk tier, if any.
+    pub fn disk(&self) -> Option<Arc<DiskArtifactStore>> {
+        self.store
+            .lock()
+            .expect("layer cache store poisoned")
+            .clone()
     }
 
     /// Whether `key` is resident, without touching counters or recency.

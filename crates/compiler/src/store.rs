@@ -1,0 +1,1242 @@
+//! The disk tier beneath both in-memory caches: a persistent, versioned,
+//! checksummed store of compiled plans, layer evaluations, and DSE point
+//! checkpoints.
+//!
+//! Every process start used to recompute every compiled plan and layer
+//! evaluation from scratch — `serve` restarted cold under traffic and a
+//! DSE sweep could never outlive one process. [`DiskArtifactStore`] makes
+//! the artifact caches three-tier: **memory → disk → compute**. The
+//! in-memory tiers ([`crate::ArtifactCache`], the layer tier) stay the
+//! fast path; on a memory miss they consult the store, and on a compute
+//! they write behind to it, so a restarted process warms from disk
+//! instead of from the compiler.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/LOCK                      single-writer advisory lock (flock)
+//! <dir>/plans/<keyhash>.json      one compiled ExecutionPlan per line
+//! <dir>/layers/<keyhash>.json     one layer evaluation per line
+//! <dir>/dse/<spec>-<point>.json   one DSE point checkpoint per line
+//! ```
+//!
+//! Every entry is a single JSON line in the deterministic `core::json`
+//! encoding:
+//!
+//! ```text
+//! {"format":"bitfusion-store/1","kind":…,"key":{…},"check":"<fnv1a>","payload":{…}}
+//! ```
+//!
+//! * `format` versions the schema — any other value is quarantined and
+//!   treated as a miss, never an error, so a future format bump degrades
+//!   to a cold start rather than a crash;
+//! * `key` is the full cache key, re-compared on load so a filename-hash
+//!   collision can never alias two artifacts (it reads as a plain miss);
+//! * `check` is an FNV-1a hash of the encoded payload bytes — truncation
+//!   or bit flips are detected, the file is **quarantined** (renamed
+//!   aside as `*.corrupt-N`) and counted, and the caller recomputes.
+//!
+//! # Determinism contract
+//!
+//! The PR 4 byte-determinism contract must hold regardless of which tier
+//! serves a hit. Two defenses layer here: payloads that do not round-trip
+//! exactly (a `u64` beyond `i64::MAX`) are simply never persisted, and
+//! plan payloads carry a fingerprint of the plan's full debug form that is
+//! re-verified after decode — a codec bug degrades to a quarantined miss
+//! and a byte-identical recompute, never to wrong bytes.
+//!
+//! Writes are atomic (unique temp file + `rename`) and the whole
+//! directory is guarded by an advisory `flock`: a second opener gets a
+//! [`StoreError::Locked`] naming the lock path instead of interleaved
+//! writes. Compilation is deterministic, so the last writer winning a
+//! rename race is harmless — both wrote the same bytes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bitfusion_core::bitwidth::{BitWidth, PairPrecision, Precision, Signedness};
+use bitfusion_core::json::{parse as parse_json, Json};
+use bitfusion_core::postproc::PoolOp;
+use bitfusion_isa::block::{DramBases, InstructionBlock};
+use bitfusion_isa::instruction::{
+    AddressSpace, ComputeFn, Instruction, LoopId, Scratchpad, TaggedInstruction,
+};
+
+use crate::cache::{ArtifactKey, LayerKey};
+use crate::cost::Traffic;
+use crate::fuse::PostOp;
+use crate::gemm::{GemmLayer, GemmShape};
+use crate::lower::{Mapping, SegmentFacts};
+use crate::plan::{ExecutionPlan, PlannedLayer};
+use crate::tiling::{LoopOrder, TilePlan, TileSizes};
+
+/// The on-disk entry schema version. Entries with any other `format` are
+/// quarantined and treated as misses.
+pub const STORE_FORMAT: &str = "bitfusion-store/1";
+
+/// FNV-1a over a byte slice — the store's checksum and fingerprint hash
+/// (the same function the in-memory cache keys use).
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Canonical 16-hex-digit spelling of a hash, used for checksums, stored
+/// fingerprints, and entry file names.
+pub fn hash_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// A `u64` as a JSON integer, or `None` when it cannot round-trip through
+/// `i64` — the caller aborts persisting that entry rather than storing a
+/// saturated value that would decode differently.
+pub fn json_u64(v: u64) -> Option<Json> {
+    i64::try_from(v).ok().map(Json::Int)
+}
+
+/// Fingerprint of a plan's full debug form, stored inside every plan
+/// entry and re-verified after decode: the guarantee that a disk-served
+/// plan is indistinguishable from a freshly compiled one.
+pub fn plan_fingerprint(plan: &ExecutionPlan) -> u64 {
+    content_hash(format!("{plan:?}").as_bytes())
+}
+
+/// Why a [`DiskArtifactStore`] could not open.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Another process (or another store in this one) holds the cache
+    /// directory's lock.
+    Locked {
+        /// The lock file that is held.
+        lock_path: PathBuf,
+    },
+    /// The directory could not be created or the lock file could not be
+    /// opened.
+    Io {
+        /// The path the operation failed on.
+        path: PathBuf,
+        /// The OS error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Locked { lock_path } => write!(
+                f,
+                "cache directory is already in use by another process \
+                 (lock file held: {}); stop that process or use a \
+                 different --cache-dir",
+                lock_path.display()
+            ),
+            StoreError::Io { path, message } => {
+                write!(f, "cannot open cache directory at {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Snapshot of a store's counters. Disk hits are *memory-tier misses*
+/// that were answered without recomputing; `corrupt` counts entries
+/// quarantined after failing validation (each also reads as a miss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Plan lookups served from disk.
+    pub plan_hits: u64,
+    /// Plan lookups not on disk (or quarantined).
+    pub plan_misses: u64,
+    /// Layer-evaluation lookups served from disk.
+    pub layer_hits: u64,
+    /// Layer-evaluation lookups not on disk (or quarantined).
+    pub layer_misses: u64,
+    /// DSE point-checkpoint lookups served from disk.
+    pub point_hits: u64,
+    /// DSE point-checkpoint lookups not on disk (or quarantined).
+    pub point_misses: u64,
+    /// Entries written (atomic temp + rename completions).
+    pub writes: u64,
+    /// Entries quarantined: failed parse, version, checksum, or
+    /// fingerprint verification.
+    pub corrupt: u64,
+}
+
+#[cfg(unix)]
+mod filelock {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+
+    /// Takes an exclusive, non-blocking advisory lock on `file`. The lock
+    /// lives as long as the file description: dropping the `File` (or the
+    /// process exiting, however abruptly) releases it, which is what makes
+    /// resume-after-crash work without stale-lock cleanup.
+    pub fn try_exclusive(file: &File) -> bool {
+        // SAFETY: `file` owns a valid open descriptor for the duration of
+        // the call; flock has no memory-safety preconditions beyond that.
+        unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) == 0 }
+    }
+}
+
+#[cfg(not(unix))]
+mod filelock {
+    /// Non-unix fallback: no advisory locking, every open succeeds. The
+    /// store still behaves correctly (atomic renames of deterministic
+    /// content), it just loses the two-writer diagnostic.
+    pub fn try_exclusive(_file: &std::fs::File) -> bool {
+        true
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    layer_hits: AtomicU64,
+    layer_misses: AtomicU64,
+    point_hits: AtomicU64,
+    point_misses: AtomicU64,
+    writes: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// The persistent disk tier. See the module docs for layout and
+/// guarantees.
+///
+/// # Examples
+///
+/// ```
+/// use bitfusion_compiler::store::DiskArtifactStore;
+/// use bitfusion_compiler::{compile, ArtifactKey};
+/// use bitfusion_core::arch::ArchConfig;
+/// use bitfusion_dnn::zoo::Benchmark;
+///
+/// let dir = std::env::temp_dir().join(format!("bf-store-doc-{}", std::process::id()));
+/// let store = DiskArtifactStore::open(&dir).unwrap();
+/// let arch = ArchConfig::isca_45nm();
+/// let model = Benchmark::Rnn.model();
+/// let key = ArtifactKey::of(&model, &arch, 4);
+/// let plan = compile(&model, &arch, 4).unwrap();
+/// store.store_plan(&key, &plan);
+/// let reloaded = store.load_plan(&key).unwrap();
+/// assert_eq!(format!("{reloaded:?}"), format!("{plan:?}"));
+/// # drop(store);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct DiskArtifactStore {
+    root: PathBuf,
+    lock_path: PathBuf,
+    // Held for the store's lifetime; dropping releases the flock.
+    _lock: fs::File,
+    unique: AtomicU64,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for DiskArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskArtifactStore")
+            .field("root", &self.root)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl DiskArtifactStore {
+    /// Opens (creating if necessary) the store at `dir` and takes its
+    /// single-writer lock.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when another opener holds the directory,
+    /// [`StoreError::Io`] when it cannot be created or opened.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = dir.as_ref().to_path_buf();
+        for sub in ["plans", "layers", "dse"] {
+            let p = root.join(sub);
+            fs::create_dir_all(&p).map_err(|e| StoreError::Io {
+                path: p.clone(),
+                message: e.to_string(),
+            })?;
+        }
+        let lock_path = root.join("LOCK");
+        let lock = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&lock_path)
+            .map_err(|e| StoreError::Io {
+                path: lock_path.clone(),
+                message: e.to_string(),
+            })?;
+        if !filelock::try_exclusive(&lock) {
+            return Err(StoreError::Locked { lock_path });
+        }
+        Ok(DiskArtifactStore {
+            root,
+            lock_path,
+            _lock: lock,
+            unique: AtomicU64::new(0),
+            counters: Counters::default(),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The lock file guarding the directory.
+    pub fn lock_path(&self) -> &Path {
+        &self.lock_path
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        let c = &self.counters;
+        StoreStats {
+            plan_hits: c.plan_hits.load(Ordering::Relaxed),
+            plan_misses: c.plan_misses.load(Ordering::Relaxed),
+            layer_hits: c.layer_hits.load(Ordering::Relaxed),
+            layer_misses: c.layer_misses.load(Ordering::Relaxed),
+            point_hits: c.point_hits.load(Ordering::Relaxed),
+            point_misses: c.point_misses.load(Ordering::Relaxed),
+            writes: c.writes.load(Ordering::Relaxed),
+            corrupt: c.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Loads a compiled plan, verifying checksum, key, and the stored
+    /// plan fingerprint. Any validation failure quarantines the entry and
+    /// reads as a miss.
+    pub fn load_plan(&self, key: &ArtifactKey) -> Option<ExecutionPlan> {
+        let key_json = artifact_key_json(key);
+        let got = self.load_entry("plans", "plan", &key_json, |payload| {
+            let plan = plan_from_json(payload.get("plan")?)?;
+            let fp = payload.get("fp")?.as_str()?;
+            // The exactness safety net: a decoded plan whose debug form
+            // differs from the one compiled is never served.
+            (fp == hash_hex(plan_fingerprint(&plan))).then_some(plan)
+        });
+        match got {
+            Some(plan) => {
+                self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            None => {
+                self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a compiled plan (write-behind). Plans that cannot
+    /// round-trip exactly are skipped; existing entries are not
+    /// rewritten (content is deterministic per key).
+    pub fn store_plan(&self, key: &ArtifactKey, plan: &ExecutionPlan) {
+        let Some(encoded) = plan_to_json(plan) else {
+            return;
+        };
+        let payload = Json::obj(vec![
+            ("fp", Json::Str(hash_hex(plan_fingerprint(plan)))),
+            ("plan", encoded),
+        ]);
+        self.write_entry("plans", "plan", &artifact_key_json(key), payload);
+    }
+
+    /// Loads a layer-tier entry, handing the verified payload to `decode`
+    /// (which returns `None` to reject it — e.g. on a value-fingerprint
+    /// mismatch — quarantining the entry).
+    pub fn load_layer_with<V>(
+        &self,
+        key: &LayerKey,
+        decode: impl FnOnce(&Json) -> Option<V>,
+    ) -> Option<V> {
+        let key_json = layer_key_json(key);
+        match self.load_entry("layers", "layer", &key_json, decode) {
+            Some(v) => {
+                self.counters.layer_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.counters.layer_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a layer-tier payload (write-behind).
+    pub fn store_layer(&self, key: &LayerKey, payload: Json) {
+        self.write_entry("layers", "layer", &layer_key_json(key), payload);
+    }
+
+    /// Loads a DSE point checkpoint for `(spec, point)`, handing the
+    /// verified payload to `decode` as in [`Self::load_layer_with`].
+    pub fn load_point_with<V>(
+        &self,
+        spec: u64,
+        point: u64,
+        decode: impl FnOnce(&Json) -> Option<V>,
+    ) -> Option<V> {
+        let key_json = point_key_json(spec, point);
+        match self.load_entry("dse", "point", &key_json, decode) {
+            Some(v) => {
+                self.counters.point_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.counters.point_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a DSE point checkpoint.
+    pub fn store_point(&self, spec: u64, point: u64, payload: Json) {
+        self.write_entry("dse", "point", &point_key_json(spec, point), payload);
+    }
+
+    fn entry_path(&self, dir: &str, key_json: &Json) -> PathBuf {
+        let name = hash_hex(content_hash(key_json.encode().as_bytes()));
+        self.root.join(dir).join(format!("{name}.json"))
+    }
+
+    /// Validates one entry file: parse, format, kind, checksum, key
+    /// equality, then `decode`. Parse/format/checksum/decode failures
+    /// quarantine the file; a key mismatch (filename-hash collision) is a
+    /// plain miss.
+    fn load_entry<V>(
+        &self,
+        dir: &str,
+        kind: &str,
+        key_json: &Json,
+        decode: impl FnOnce(&Json) -> Option<V>,
+    ) -> Option<V> {
+        let path = self.entry_path(dir, key_json);
+        let text = fs::read_to_string(&path).ok()?;
+        let validated = (|| {
+            let doc = parse_json(text.trim_end()).ok()?;
+            if doc.get("format")?.as_str()? != STORE_FORMAT {
+                return None;
+            }
+            if doc.get("kind")?.as_str()? != kind {
+                return None;
+            }
+            let payload = doc.get("payload")?;
+            let check = doc.get("check")?.as_str()?;
+            if check != hash_hex(content_hash(payload.encode().as_bytes())) {
+                return None;
+            }
+            Some((doc.get("key")?.clone(), payload.clone()))
+        })();
+        let Some((stored_key, payload)) = validated else {
+            self.quarantine(&path);
+            return None;
+        };
+        if stored_key != *key_json {
+            // A different key hashed to this filename: not corruption,
+            // just not our entry.
+            return None;
+        }
+        match decode(&payload) {
+            Some(v) => Some(v),
+            None => {
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    /// Writes one entry atomically: unique temp file in the same
+    /// directory, then `rename` (atomic on POSIX). Best-effort — an IO
+    /// failure silently skips the write-behind; nothing downstream
+    /// depends on it succeeding.
+    fn write_entry(&self, dir: &str, kind: &str, key_json: &Json, payload: Json) {
+        let path = self.entry_path(dir, key_json);
+        if path.exists() {
+            return;
+        }
+        let check = hash_hex(content_hash(payload.encode().as_bytes()));
+        let line = Json::obj(vec![
+            ("format", Json::Str(STORE_FORMAT.to_string())),
+            ("kind", Json::Str(kind.to_string())),
+            ("key", key_json.clone()),
+            ("check", Json::Str(check)),
+            ("payload", payload),
+        ])
+        .encode()
+            + "\n";
+        let n = self.unique.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .root
+            .join(dir)
+            .join(format!(".tmp-{}-{n}", std::process::id()));
+        if fs::write(&tmp, line).is_ok() && fs::rename(&tmp, &path).is_ok() {
+            self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Renames a failed entry aside (`*.corrupt-N`) so it stops shadowing
+    /// the key, and counts it. Falls back to deletion if the rename
+    /// fails.
+    fn quarantine(&self, path: &Path) {
+        self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+        let n = self.unique.fetch_add(1, Ordering::Relaxed);
+        let aside = path.with_extension(format!("corrupt-{n}"));
+        if fs::rename(path, &aside).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-key documents (stored in full and re-compared on load).
+
+fn artifact_key_json(key: &ArtifactKey) -> Json {
+    Json::obj(vec![
+        ("model", Json::Str(key.model.clone())),
+        ("fingerprint", Json::Str(hash_hex(key.fingerprint))),
+        ("batch", Json::uint(key.batch)),
+        ("rows", Json::uint(key.rows as u64)),
+        ("cols", Json::uint(key.cols as u64)),
+        ("ibuf_bytes", Json::uint(key.ibuf_bytes as u64)),
+        ("wbuf_bytes", Json::uint(key.wbuf_bytes as u64)),
+        ("obuf_bytes", Json::uint(key.obuf_bytes as u64)),
+        ("buffer_access_bits", Json::uint(key.buffer_access_bits as u64)),
+    ])
+}
+
+fn layer_key_json(key: &LayerKey) -> Json {
+    Json::obj(vec![
+        ("fingerprint", Json::Str(hash_hex(key.fingerprint))),
+        ("batch", Json::uint(key.batch)),
+        ("rows", Json::uint(key.rows as u64)),
+        ("cols", Json::uint(key.cols as u64)),
+        ("ibuf_bytes", Json::uint(key.ibuf_bytes as u64)),
+        ("wbuf_bytes", Json::uint(key.wbuf_bytes as u64)),
+        ("obuf_bytes", Json::uint(key.obuf_bytes as u64)),
+        ("buffer_access_bits", Json::uint(key.buffer_access_bits as u64)),
+        (
+            "dram_bits_per_cycle",
+            Json::uint(key.dram_bits_per_cycle as u64),
+        ),
+        ("context", Json::Str(hash_hex(key.context))),
+    ])
+}
+
+fn point_key_json(spec: u64, point: u64) -> Json {
+    Json::obj(vec![
+        ("spec", Json::Str(hash_hex(spec))),
+        ("point", Json::uint(point)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// The exact plan codec. Every field of every layer round-trips precisely;
+// anything that cannot (a u64 beyond i64::MAX) aborts the encode, which
+// skips persistence for that plan.
+
+fn plan_to_json(plan: &ExecutionPlan) -> Option<Json> {
+    let layers = plan
+        .layers
+        .iter()
+        .map(layer_to_json)
+        .collect::<Option<Vec<_>>>()?;
+    Some(Json::obj(vec![
+        ("model", Json::Str(plan.model_name.clone())),
+        ("batch", json_u64(plan.batch)?),
+        ("layers", Json::Arr(layers)),
+    ]))
+}
+
+fn plan_from_json(doc: &Json) -> Option<ExecutionPlan> {
+    Some(ExecutionPlan {
+        model_name: doc.get("model")?.as_str()?.to_string(),
+        batch: doc.get("batch")?.as_u64()?,
+        layers: doc
+            .get("layers")?
+            .as_arr()?
+            .iter()
+            .map(layer_from_json)
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn layer_to_json(layer: &PlannedLayer) -> Option<Json> {
+    Some(Json::obj(vec![
+        ("name", Json::Str(layer.name.clone())),
+        ("block", block_to_json(&layer.block)?),
+        ("mapping", mapping_to_json(&layer.mapping)?),
+        ("gemm", gemm_to_json(&layer.gemm)?),
+        ("tiling", tile_plan_to_json(&layer.tile_plan)?),
+        (
+            "postops",
+            Json::Arr(
+                layer
+                    .postops
+                    .iter()
+                    .map(postop_to_json)
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+        ),
+    ]))
+}
+
+fn layer_from_json(doc: &Json) -> Option<PlannedLayer> {
+    Some(PlannedLayer {
+        name: doc.get("name")?.as_str()?.to_string(),
+        block: block_from_json(doc.get("block")?)?,
+        mapping: mapping_from_json(doc.get("mapping")?)?,
+        gemm: gemm_from_json(doc.get("gemm")?)?,
+        tile_plan: tile_plan_from_json(doc.get("tiling")?)?,
+        postops: doc
+            .get("postops")?
+            .as_arr()?
+            .iter()
+            .map(postop_from_json)
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn precision_to_json(p: Precision) -> Json {
+    Json::Arr(vec![
+        Json::Int(p.bits() as i64),
+        Json::Bool(p.signedness.is_signed()),
+    ])
+}
+
+fn precision_from_json(doc: &Json) -> Option<Precision> {
+    let a = doc.as_arr()?;
+    if a.len() != 2 {
+        return None;
+    }
+    let width = BitWidth::from_bits(u32::try_from(a[0].as_u64()?).ok()?).ok()?;
+    let signedness = if a[1].as_bool()? {
+        Signedness::Signed
+    } else {
+        Signedness::Unsigned
+    };
+    Some(Precision::new(width, signedness))
+}
+
+fn gemm_to_json(g: &GemmLayer) -> Option<Json> {
+    Some(Json::obj(vec![
+        ("m", json_u64(g.shape.m)?),
+        ("k", json_u64(g.shape.k)?),
+        ("n", json_u64(g.shape.n)?),
+        ("input", precision_to_json(g.pair.input)),
+        ("weight", precision_to_json(g.pair.weight)),
+        ("unique_input_elems", json_u64(g.unique_input_elems)?),
+        ("output_elems", json_u64(g.output_elems)?),
+        ("weight_elems", json_u64(g.weight_elems)?),
+        ("output_bits", Json::Int(g.output_bits as i64)),
+        ("depthwise", Json::Bool(g.depthwise)),
+    ]))
+}
+
+fn gemm_from_json(doc: &Json) -> Option<GemmLayer> {
+    Some(GemmLayer {
+        shape: GemmShape {
+            m: doc.get("m")?.as_u64()?,
+            k: doc.get("k")?.as_u64()?,
+            n: doc.get("n")?.as_u64()?,
+        },
+        pair: PairPrecision::new(
+            precision_from_json(doc.get("input")?)?,
+            precision_from_json(doc.get("weight")?)?,
+        ),
+        unique_input_elems: doc.get("unique_input_elems")?.as_u64()?,
+        output_elems: doc.get("output_elems")?.as_u64()?,
+        weight_elems: doc.get("weight_elems")?.as_u64()?,
+        output_bits: u32::try_from(doc.get("output_bits")?.as_u64()?).ok()?,
+        depthwise: doc.get("depthwise")?.as_bool()?,
+    })
+}
+
+fn order_str(order: LoopOrder) -> &'static str {
+    match order {
+        LoopOrder::Nmk => "nmk",
+        LoopOrder::Nkm => "nkm",
+        LoopOrder::Mnk => "mnk",
+        LoopOrder::Mkn => "mkn",
+        LoopOrder::Kmn => "kmn",
+        LoopOrder::Knm => "knm",
+    }
+}
+
+fn order_from_str(s: &str) -> Option<LoopOrder> {
+    Some(match s {
+        "nmk" => LoopOrder::Nmk,
+        "nkm" => LoopOrder::Nkm,
+        "mnk" => LoopOrder::Mnk,
+        "mkn" => LoopOrder::Mkn,
+        "kmn" => LoopOrder::Kmn,
+        "knm" => LoopOrder::Knm,
+        _ => return None,
+    })
+}
+
+fn tile_plan_to_json(t: &TilePlan) -> Option<Json> {
+    Some(Json::obj(vec![
+        ("m", json_u64(t.tiles.m)?),
+        ("k", json_u64(t.tiles.k)?),
+        ("n", json_u64(t.tiles.n)?),
+        ("order", Json::Str(order_str(t.order).to_string())),
+        (
+            "traffic",
+            Json::Arr(vec![
+                json_u64(t.traffic.weight_bits)?,
+                json_u64(t.traffic.input_bits)?,
+                json_u64(t.traffic.output_bits)?,
+                json_u64(t.traffic.spill_bits)?,
+            ]),
+        ),
+    ]))
+}
+
+fn tile_plan_from_json(doc: &Json) -> Option<TilePlan> {
+    let traffic = doc.get("traffic")?.as_arr()?;
+    if traffic.len() != 4 {
+        return None;
+    }
+    Some(TilePlan {
+        tiles: TileSizes {
+            m: doc.get("m")?.as_u64()?,
+            k: doc.get("k")?.as_u64()?,
+            n: doc.get("n")?.as_u64()?,
+        },
+        order: order_from_str(doc.get("order")?.as_str()?)?,
+        traffic: Traffic {
+            weight_bits: traffic[0].as_u64()?,
+            input_bits: traffic[1].as_u64()?,
+            output_bits: traffic[2].as_u64()?,
+            spill_bits: traffic[3].as_u64()?,
+        },
+    })
+}
+
+fn mapping_to_json(m: &Mapping) -> Option<Json> {
+    // A flat array in declaration order — the mapping is eleven counters
+    // plus the per-tile segment facts.
+    Some(Json::Arr(vec![
+        json_u64(m.compute_steps)?,
+        json_u64(m.temporal_cycles)?,
+        json_u64(m.fill_passes)?,
+        json_u64(m.lanes)?,
+        json_u64(m.cols)?,
+        json_u64(m.ibuf_bits_per_step)?,
+        json_u64(m.wbuf_bits_per_step)?,
+        json_u64(m.obuf_write_bits)?,
+        json_u64(m.obuf_read_bits)?,
+        json_u64(m.postop_ops)?,
+        json_u64(m.macs)?,
+        json_u64(m.per_tile.tiles)?,
+        json_u64(m.per_tile.compute_steps)?,
+        json_u64(m.per_tile.fill_passes)?,
+        json_u64(m.per_tile.steps_per_pass)?,
+    ]))
+}
+
+fn mapping_from_json(doc: &Json) -> Option<Mapping> {
+    let a = doc.as_arr()?;
+    if a.len() != 15 {
+        return None;
+    }
+    let mut it = a.iter().map(Json::as_u64);
+    let mut next = || it.next().flatten();
+    Some(Mapping {
+        compute_steps: next()?,
+        temporal_cycles: next()?,
+        fill_passes: next()?,
+        lanes: next()?,
+        cols: next()?,
+        ibuf_bits_per_step: next()?,
+        wbuf_bits_per_step: next()?,
+        obuf_write_bits: next()?,
+        obuf_read_bits: next()?,
+        postop_ops: next()?,
+        macs: next()?,
+        per_tile: SegmentFacts {
+            tiles: next()?,
+            compute_steps: next()?,
+            fill_passes: next()?,
+            steps_per_pass: next()?,
+        },
+    })
+}
+
+fn postop_to_json(p: &PostOp) -> Option<Json> {
+    Some(Json::Arr(match *p {
+        PostOp::Relu => vec![Json::Str("relu".to_string())],
+        PostOp::Pool { window, shrink, op } => vec![
+            Json::Str("pool".to_string()),
+            json_u64(window)?,
+            json_u64(shrink)?,
+            Json::Str(
+                match op {
+                    PoolOp::Max => "max",
+                    PoolOp::Average => "avg",
+                }
+                .to_string(),
+            ),
+        ],
+        PostOp::Residual { elems, bits } => vec![
+            Json::Str("residual".to_string()),
+            json_u64(elems)?,
+            Json::Int(bits as i64),
+        ],
+        PostOp::RecurrentCell { ops } => {
+            vec![Json::Str("recurrent".to_string()), json_u64(ops)?]
+        }
+    }))
+}
+
+fn postop_from_json(doc: &Json) -> Option<PostOp> {
+    let a = doc.as_arr()?;
+    Some(match a.first()?.as_str()? {
+        "relu" if a.len() == 1 => PostOp::Relu,
+        "pool" if a.len() == 4 => PostOp::Pool {
+            window: a[1].as_u64()?,
+            shrink: a[2].as_u64()?,
+            op: match a[3].as_str()? {
+                "max" => PoolOp::Max,
+                "avg" => PoolOp::Average,
+                _ => return None,
+            },
+        },
+        "residual" if a.len() == 3 => PostOp::Residual {
+            elems: a[1].as_u64()?,
+            bits: u32::try_from(a[2].as_u64()?).ok()?,
+        },
+        "recurrent" if a.len() == 2 => PostOp::RecurrentCell { ops: a[1].as_u64()? },
+        _ => return None,
+    })
+}
+
+fn block_to_json(block: &InstructionBlock) -> Option<Json> {
+    Some(Json::obj(vec![
+        ("name", Json::Str(block.name.clone())),
+        (
+            "bases",
+            Json::Arr(vec![
+                json_u64(block.bases.ibuf)?,
+                json_u64(block.bases.wbuf)?,
+                json_u64(block.bases.obuf)?,
+            ]),
+        ),
+        (
+            "ins",
+            Json::Arr(
+                block
+                    .instructions()
+                    .iter()
+                    .map(instruction_to_json)
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+        ),
+    ]))
+}
+
+fn block_from_json(doc: &Json) -> Option<InstructionBlock> {
+    let bases = doc.get("bases")?.as_arr()?;
+    if bases.len() != 3 {
+        return None;
+    }
+    let instructions = doc
+        .get("ins")?
+        .as_arr()?
+        .iter()
+        .map(instruction_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    // `InstructionBlock::new` re-runs the full structural validation
+    // (setup first, block-end last, loop rules), so a tampered entry can
+    // never materialize an invalid block.
+    InstructionBlock::new(
+        doc.get("name")?.as_str()?,
+        DramBases {
+            ibuf: bases[0].as_u64()?,
+            wbuf: bases[1].as_u64()?,
+            obuf: bases[2].as_u64()?,
+        },
+        instructions,
+    )
+    .ok()
+}
+
+fn instruction_to_json(t: &TaggedInstruction) -> Option<Json> {
+    let level = Json::Int(t.level as i64);
+    let code = |c: u8| Json::Int(c as i64);
+    Some(Json::Arr(match t.instruction {
+        Instruction::Setup { input, weight } => vec![
+            Json::Int(0),
+            level,
+            precision_to_json(input),
+            precision_to_json(weight),
+        ],
+        Instruction::Loop { id, iterations } => vec![
+            Json::Int(1),
+            level,
+            code(id.0),
+            Json::Int(iterations as i64),
+        ],
+        Instruction::GenAddr {
+            loop_id,
+            space,
+            buffer,
+            stride,
+        } => vec![
+            Json::Int(2),
+            level,
+            code(loop_id.0),
+            code(space.code()),
+            code(buffer.code()),
+            json_u64(stride)?,
+        ],
+        Instruction::LdMem { buffer, bits, words } => vec![
+            Json::Int(3),
+            level,
+            code(buffer.code()),
+            Json::Int(bits as i64),
+            json_u64(words)?,
+        ],
+        Instruction::StMem { buffer, bits, words } => vec![
+            Json::Int(4),
+            level,
+            code(buffer.code()),
+            Json::Int(bits as i64),
+            json_u64(words)?,
+        ],
+        Instruction::RdBuf { buffer } => vec![Json::Int(5), level, code(buffer.code())],
+        Instruction::WrBuf { buffer } => vec![Json::Int(6), level, code(buffer.code())],
+        Instruction::Compute { op } => vec![Json::Int(7), level, code(op.code())],
+        Instruction::BlockEnd { next } => vec![Json::Int(8), level, Json::Int(next as i64)],
+    }))
+}
+
+fn instruction_from_json(doc: &Json) -> Option<TaggedInstruction> {
+    let a = doc.as_arr()?;
+    let opcode = a.first()?.as_u64()?;
+    let level = u8::try_from(a.get(1)?.as_u64()?).ok()?;
+    let byte = |j: &Json| u8::try_from(j.as_u64()?).ok();
+    let instruction = match (opcode, a.len()) {
+        (0, 4) => Instruction::Setup {
+            input: precision_from_json(&a[2])?,
+            weight: precision_from_json(&a[3])?,
+        },
+        (1, 4) => Instruction::Loop {
+            id: LoopId(byte(&a[2])?),
+            iterations: u32::try_from(a[3].as_u64()?).ok()?,
+        },
+        (2, 6) => Instruction::GenAddr {
+            loop_id: LoopId(byte(&a[2])?),
+            space: AddressSpace::from_code(byte(&a[3])?)?,
+            buffer: Scratchpad::from_code(byte(&a[4])?)?,
+            stride: a[5].as_u64()?,
+        },
+        (3, 5) => Instruction::LdMem {
+            buffer: Scratchpad::from_code(byte(&a[2])?)?,
+            bits: u32::try_from(a[3].as_u64()?).ok()?,
+            words: a[4].as_u64()?,
+        },
+        (4, 5) => Instruction::StMem {
+            buffer: Scratchpad::from_code(byte(&a[2])?)?,
+            bits: u32::try_from(a[3].as_u64()?).ok()?,
+            words: a[4].as_u64()?,
+        },
+        (5, 3) => Instruction::RdBuf {
+            buffer: Scratchpad::from_code(byte(&a[2])?)?,
+        },
+        (6, 3) => Instruction::WrBuf {
+            buffer: Scratchpad::from_code(byte(&a[2])?)?,
+        },
+        (7, 3) => Instruction::Compute {
+            op: ComputeFn::from_code(byte(&a[2])?)?,
+        },
+        (8, 3) => Instruction::BlockEnd {
+            next: u16::try_from(a[2].as_u64()?).ok()?,
+        },
+        _ => return None,
+    };
+    Some(TaggedInstruction::new(instruction, level))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::compile;
+    use bitfusion_core::arch::ArchConfig;
+    use bitfusion_dnn::zoo::Benchmark;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "bf-store-test-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn compiled(benchmark: Benchmark, batch: u64) -> (ArtifactKey, ExecutionPlan) {
+        let arch = ArchConfig::isca_45nm();
+        let model = benchmark.model();
+        let key = ArtifactKey::of(&model, &arch, batch);
+        let plan = compile(&model, &arch, batch).unwrap();
+        (key, plan)
+    }
+
+    fn plan_file(store: &DiskArtifactStore) -> PathBuf {
+        let dir = store.root().join("plans");
+        let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        assert_eq!(files.len(), 1, "{files:?}");
+        files.pop().unwrap()
+    }
+
+    #[test]
+    fn plans_round_trip_debug_identically() {
+        // The whole-zoo exactness check: every layer kind, fused post-op,
+        // and instruction shape in the zoo must survive the codec with a
+        // byte-identical debug form (the same form the fingerprint and
+        // the in-memory cache key hash).
+        let dir = TempDir::new("roundtrip");
+        let store = DiskArtifactStore::open(&dir.0).unwrap();
+        for benchmark in Benchmark::ALL {
+            let (key, plan) = compiled(benchmark, 16);
+            store.store_plan(&key, &plan);
+            let reloaded = store.load_plan(&key).expect("stored plan loads");
+            assert_eq!(
+                format!("{reloaded:?}"),
+                format!("{plan:?}"),
+                "{benchmark:?}"
+            );
+        }
+        let stats = store.stats();
+        assert_eq!(stats.plan_hits, Benchmark::ALL.len() as u64);
+        assert_eq!(stats.corrupt, 0);
+        assert_eq!(stats.writes, Benchmark::ALL.len() as u64);
+    }
+
+    #[test]
+    fn entries_survive_a_reopen() {
+        let dir = TempDir::new("reopen");
+        let (key, plan) = compiled(Benchmark::Rnn, 4);
+        {
+            let store = DiskArtifactStore::open(&dir.0).unwrap();
+            store.store_plan(&key, &plan);
+        }
+        // A fresh open (a "restarted process") serves the same plan.
+        let store = DiskArtifactStore::open(&dir.0).unwrap();
+        let reloaded = store.load_plan(&key).expect("persisted across reopen");
+        assert_eq!(format!("{reloaded:?}"), format!("{plan:?}"));
+        assert_eq!(store.stats().plan_hits, 1);
+    }
+
+    #[test]
+    fn second_opener_is_refused_with_the_lock_path() {
+        let dir = TempDir::new("lock");
+        let first = DiskArtifactStore::open(&dir.0).unwrap();
+        let second = DiskArtifactStore::open(&dir.0);
+        let err = second.expect_err("second opener must be refused");
+        let message = err.to_string();
+        assert!(
+            message.contains("LOCK") && message.contains("already in use"),
+            "diagnostic must name the lock path: {message}"
+        );
+        drop(first);
+        // Releasing the first opener frees the directory.
+        assert!(DiskArtifactStore::open(&dir.0).is_ok());
+    }
+
+    #[test]
+    fn truncation_is_quarantined_and_recomputed() {
+        let dir = TempDir::new("truncate");
+        let store = DiskArtifactStore::open(&dir.0).unwrap();
+        let (key, plan) = compiled(Benchmark::Rnn, 4);
+        store.store_plan(&key, &plan);
+        let path = plan_file(&store);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(store.load_plan(&key).is_none(), "truncated entry is a miss");
+        let stats = store.stats();
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(stats.plan_misses, 1);
+        assert!(!path.exists(), "quarantine renames the entry aside");
+        let quarantined: Vec<_> = fs::read_dir(store.root().join("plans"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.extension()
+                    .is_some_and(|e| e.to_string_lossy().starts_with("corrupt"))
+            })
+            .collect();
+        assert_eq!(quarantined.len(), 1, "{quarantined:?}");
+        // The store recovers: a rewrite serves byte-identically again.
+        store.store_plan(&key, &plan);
+        let reloaded = store.load_plan(&key).unwrap();
+        assert_eq!(format!("{reloaded:?}"), format!("{plan:?}"));
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let dir = TempDir::new("bitflip");
+        let store = DiskArtifactStore::open(&dir.0).unwrap();
+        let (key, plan) = compiled(Benchmark::Rnn, 4);
+        store.store_plan(&key, &plan);
+        let path = plan_file(&store);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one bit inside a payload digit (scan from the end, past
+        // the trailing `}}\n`, to land inside the payload object).
+        let target = bytes
+            .iter()
+            .rposition(|b| b.is_ascii_digit())
+            .expect("payload contains a digit");
+        bytes[target] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        assert!(store.load_plan(&key).is_none(), "bit flip is a miss");
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(!path.exists(), "flipped entry quarantined");
+    }
+
+    #[test]
+    fn version_mismatch_is_quarantined_not_an_error() {
+        let dir = TempDir::new("version");
+        let store = DiskArtifactStore::open(&dir.0).unwrap();
+        let (key, plan) = compiled(Benchmark::Rnn, 4);
+        store.store_plan(&key, &plan);
+        let path = plan_file(&store);
+        let text = fs::read_to_string(&path)
+            .unwrap()
+            .replace("bitfusion-store/1", "bitfusion-store/0");
+        fs::write(&path, text).unwrap();
+        assert!(store.load_plan(&key).is_none());
+        assert_eq!(store.stats().corrupt, 1);
+    }
+
+    #[test]
+    fn key_collisions_read_as_plain_misses() {
+        // Same filename, different stored key: not corruption — the entry
+        // belongs to another key and must be left alone.
+        let dir = TempDir::new("collision");
+        let store = DiskArtifactStore::open(&dir.0).unwrap();
+        let (key, plan) = compiled(Benchmark::Rnn, 4);
+        store.store_plan(&key, &plan);
+        let path = plan_file(&store);
+        // The key object precedes the payload on the line, so replacing
+        // only the first occurrence edits the stored key and leaves the
+        // checksummed payload intact.
+        let text = fs::read_to_string(&path)
+            .unwrap()
+            .replacen(&format!("\"batch\":{}", key.batch), "\"batch\":999", 1);
+        fs::write(&path, &text).unwrap();
+        assert!(store.load_plan(&key).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.corrupt, 0, "a foreign key is not corruption");
+        assert!(path.exists(), "foreign entries are not quarantined");
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_quarantined() {
+        // The exactness safety net: an entry whose stored fingerprint
+        // does not match the decoded plan's debug form is never served.
+        let dir = TempDir::new("fingerprint");
+        let store = DiskArtifactStore::open(&dir.0).unwrap();
+        let (key, plan) = compiled(Benchmark::Rnn, 4);
+        // Persist with a deliberately wrong fingerprint but a correct
+        // checksum, simulating a codec bug rather than disk damage.
+        let payload = Json::obj(vec![
+            ("fp", Json::Str(hash_hex(0xdead_beef))),
+            ("plan", plan_to_json(&plan).unwrap()),
+        ]);
+        store.write_entry("plans", "plan", &artifact_key_json(&key), payload);
+        assert!(store.load_plan(&key).is_none());
+        assert_eq!(store.stats().corrupt, 1);
+    }
+
+    #[test]
+    fn layer_and_point_entries_round_trip_raw_payloads() {
+        let dir = TempDir::new("layer-point");
+        let store = DiskArtifactStore::open(&dir.0).unwrap();
+        let arch = ArchConfig::isca_45nm();
+        let key = LayerKey::of(7, &arch, 16, 42);
+        let payload = Json::obj(vec![("cycles", Json::Int(123))]);
+        assert!(store
+            .load_layer_with(&key, |p| p.get("cycles")?.as_u64())
+            .is_none());
+        store.store_layer(&key, payload.clone());
+        assert_eq!(
+            store.load_layer_with(&key, |p| p.get("cycles")?.as_u64()),
+            Some(123)
+        );
+        // A decode rejection quarantines (the value-fingerprint path).
+        store.store_point(9, 0, payload.clone());
+        assert_eq!(
+            store.load_point_with(9, 0, |_| None::<u64>),
+            None,
+            "decoder rejection reads as a miss"
+        );
+        assert!(
+            store.load_point_with(9, 0, |p| p.get("cycles")?.as_u64()).is_none(),
+            "rejected entry was quarantined"
+        );
+        let stats = store.stats();
+        assert_eq!(stats.layer_hits, 1);
+        assert_eq!(stats.layer_misses, 1);
+        assert_eq!(stats.point_misses, 2);
+        assert_eq!(stats.corrupt, 1);
+    }
+
+    #[test]
+    fn overflowing_values_are_never_persisted() {
+        assert!(json_u64(u64::MAX).is_none());
+        assert!(json_u64(i64::MAX as u64).is_some());
+        let mut mapping = Mapping {
+            compute_steps: 1,
+            temporal_cycles: 1,
+            fill_passes: 1,
+            lanes: 1,
+            cols: 1,
+            ibuf_bits_per_step: 1,
+            wbuf_bits_per_step: 1,
+            obuf_write_bits: 1,
+            obuf_read_bits: 1,
+            postop_ops: 1,
+            macs: 1,
+            per_tile: SegmentFacts {
+                tiles: 1,
+                compute_steps: 1,
+                fill_passes: 1,
+                steps_per_pass: 1,
+            },
+        };
+        assert!(mapping_to_json(&mapping).is_some());
+        mapping.macs = u64::MAX;
+        assert!(mapping_to_json(&mapping).is_none(), "encode aborts, not saturates");
+    }
+}

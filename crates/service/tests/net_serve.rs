@@ -318,6 +318,100 @@ fn shutdown_request_drains_a_unix_server() {
     let _ = std::fs::remove_dir(&dir);
 }
 
+/// One keep-alive connection pipelining `script` in lockstep — exactly
+/// what `bitfusion-cli client --keep-alive` does.
+fn pipeline(addr: SocketAddr, script: &[&str]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    script
+        .iter()
+        .map(|line| {
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            stream.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn keep_alive_pipelining_matches_one_shot_bytes() {
+    let session = Session::new();
+    let (listener, addr) = bind_tcp();
+    let config = NetConfig {
+        workers: 2,
+        ..NetConfig::default()
+    };
+    let script = [
+        r#"{"cmd":"list"}"#,
+        r#"{"cmd":"report","benchmark":"rnn","batch":1}"#,
+        r#"{"cmd":"quantize","benchmark":"svhn"}"#,
+        r#"{"cmd":"report","benchmark":"rnn","batch":1}"#,
+    ];
+    let (session, config) = (&session, &config);
+    thread::scope(|scope| {
+        let server = scope.spawn(move || net::run(session, &listener, config));
+        let piped = pipeline(addr, &script);
+        for (line, reply) in script.iter().zip(&piped) {
+            // Same bytes as a fresh one-shot connection per request...
+            assert_eq!(*reply, exchange(addr, line), "request {line}");
+            // ...and as a fresh one-shot session.
+            assert_eq!(*reply, one_shot(line), "request {line}");
+        }
+        config.stop.store(true, Ordering::SeqCst);
+        let summary = server.join().unwrap().expect("server runs");
+        // 4 pipelined + 4 one-shot verification requests.
+        assert_eq!(summary.responses, 8);
+        assert_eq!(summary.connections, 5, "one keep-alive + 4 one-shot");
+    });
+}
+
+#[test]
+fn warm_cache_dir_restart_serves_identical_bytes_from_disk() {
+    let dir = std::env::temp_dir().join(format!(
+        "bitfusion-net-disk-test-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let script = [
+        r#"{"cmd":"report","benchmark":"rnn","batch":4,"backend":"event"}"#,
+        r#"{"cmd":"sweep","benchmark":"lstm","axis":"bandwidth"}"#,
+    ];
+    let run_server = |expect_disk_hits: bool| -> Vec<String> {
+        let session = Session::new().with_cache_dir(&dir).expect("open store");
+        let (listener, addr) = bind_tcp();
+        let config = NetConfig {
+            workers: 2,
+            ..NetConfig::default()
+        };
+        let (session, config) = (&session, &config);
+        thread::scope(|scope| {
+            let server = scope.spawn(move || net::run(session, &listener, config));
+            let replies = pipeline(addr, &script);
+            let disk = stats(addr).disk.expect("--cache-dir servers report disk");
+            if expect_disk_hits {
+                assert!(disk.plan_hits > 0, "{disk:?}");
+                assert!(disk.layer_hits > 0, "{disk:?}");
+            } else {
+                assert_eq!(disk.plan_hits, 0, "{disk:?}");
+                assert!(disk.writes > 0, "{disk:?}");
+            }
+            assert_eq!(disk.corrupt, 0, "{disk:?}");
+            config.stop.store(true, Ordering::SeqCst);
+            server.join().unwrap().expect("server runs");
+            replies
+        })
+    };
+    let cold = run_server(false);
+    // The restarted server's memory tiers are empty; the disk tier warms
+    // them, and the response bytes cannot tell which tier answered.
+    let warm = run_server(true);
+    assert_eq!(cold, warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn tcp_shutdown_is_refused() {
     let session = Session::new();

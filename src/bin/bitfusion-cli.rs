@@ -51,17 +51,20 @@ USAGE:
   bitfusion-cli asm      <benchmark | --model FILE> [--layer NAME] [--batch N]
                          [--arch 45nm|16nm|stripes] [--json]
   bitfusion-cli sweep    <benchmark | --model FILE> (--batch | --bandwidth)
-                         [--backend analytic|event] [--quant SPEC] [--json] [calibration]
+                         [--backend analytic|event] [--quant SPEC] [--cache-dir DIR]
+                         [--json] [calibration]
   bitfusion-cli quantize <benchmark | --model FILE> [--quant SPEC] [--json]
   bitfusion-cli dse      [--rows LIST] [--cols LIST] [--ibuf-kb LIST] [--wbuf-kb LIST]
                          [--obuf-kb LIST] [--bandwidth LIST] [--batch LIST]
                          [--quant SPEC,SPEC] [--networks all|name,name] [--model FILE]...
-                         [--workers N] [--backend analytic|event] [--json] [calibration]
+                         [--workers N] [--backend analytic|event] [--cache-dir DIR]
+                         [--resume] [--json] [calibration]
   bitfusion-cli export-model <benchmark|attention-block|depthwise-net>
   bitfusion-cli serve    [--listen ADDR | --unix PATH] [--workers N] [--cache-capacity N]
-                         [--max-queue N] [--idle-timeout SECS]
+                         [--max-queue N] [--idle-timeout SECS] [--cache-dir DIR]
                          [--backend analytic|event] [calibration]
-  bitfusion-cli client   (--connect ADDR | --unix PATH) [REQUEST-JSON | SUBCOMMAND ARGS...]
+  bitfusion-cli client   (--connect ADDR | --unix PATH) [--keep-alive]
+                         [REQUEST-JSON | SUBCOMMAND ARGS...]
 
 external models (`bitfusion-model/1` JSON documents):
   `--model FILE` simulates a model file instead of a zoo benchmark; the
@@ -89,6 +92,16 @@ writes for the equivalent request. `serve` reads one JSON request per stdin
 line ({\"cmd\":\"report\",\"benchmark\":\"lstm\",...}) and writes one
 response per stdout line, in request order, dispatching concurrently.
 
+persistent cache: `--cache-dir DIR` (on serve, dse, sweep) backs the
+in-memory caches with a disk tier: compiled plans, layer results, and dse
+checkpoints persist across restarts, so a warm directory answers without
+recompiling — responses stay byte-identical regardless of which tier
+serves them. The directory is single-writer (a lock file guards it; a
+second process gets a diagnostic naming the lock). Corrupt entries are
+quarantined and recomputed, never an error. `dse --resume` additionally
+checkpoints each completed design point and, after an interruption, skips
+the finished points while reproducing the exact frontier bytes.
+
 network serve: `serve --listen 127.0.0.1:7040` or `serve --unix PATH` runs
 a concurrent server instead of the stdin loop — thread per connection, one
 shared cache, identical in-flight requests coalesced to one evaluation, a
@@ -99,6 +112,10 @@ counters; `{\"cmd\":\"shutdown\"}` (unix socket only) or SIGINT drains and
 exits. `client` sends one request to a running server and prints the
 response: give it a raw JSON request line, a normal subcommand spelling
 (e.g. `client --unix P report lstm --json`), or pipe the request on stdin.
+`client --keep-alive` pipelines instead: it holds one connection open and
+sends every stdin line as a request, printing one response line per
+request in order — same bytes as one-shot clients, without the
+per-request reconnect.
 
 BENCHMARKS:
   alexnet cifar-10 lstm lenet-5 resnet-18 rnn svhn vgg-7 (case-insensitive)"
@@ -215,6 +232,9 @@ struct Invocation {
     /// `--backend`: a per-request override for one-shot commands, the
     /// session default for `serve`.
     backend: Option<BackendChoice>,
+    /// `--cache-dir`: back the session's caches with a persistent disk
+    /// tier (serve, dse, sweep).
+    cache_dir: Option<String>,
 }
 
 // One Mode lives per process; the Request-sized variant is not worth a Box.
@@ -252,6 +272,9 @@ enum ClientPayload {
     Request { request: Box<Request>, json: bool },
     /// Read one request line from stdin, print the response verbatim.
     Stdin,
+    /// `--keep-alive`: hold one connection open and pipeline every stdin
+    /// line as a request, one response line per request, in order.
+    Pipeline,
 }
 
 /// Tries to consume one shared flag (`--json`, `--backend`, calibration
@@ -309,11 +332,13 @@ fn parse_client(rest: &[String]) -> Result<Invocation, UsageError> {
     let mut flags = Flags::new("client", rest);
     let mut connect: Option<String> = None;
     let mut unix: Option<String> = None;
+    let mut keep_alive = false;
     let mut payload_args: Vec<String> = Vec::new();
     while let Some(arg) = flags.next() {
         match arg {
             "--connect" => connect = Some(flags.value("--connect")?.to_string()),
             "--unix" => unix = Some(flags.value("--unix")?.to_string()),
+            "--keep-alive" => keep_alive = true,
             // Everything else — flags included — belongs to the nested
             // subcommand spelling.
             other => payload_args.push(other.to_string()),
@@ -325,7 +350,14 @@ fn parse_client(rest: &[String]) -> Result<Invocation, UsageError> {
             "`client` needs exactly one of --connect ADDR or --unix PATH",
         ));
     }
+    if keep_alive && !payload_args.is_empty() {
+        return Err(UsageError::new(
+            "client",
+            "--keep-alive reads its requests from stdin; drop the inline request",
+        ));
+    }
     let payload = match payload_args.as_slice() {
+        [] if keep_alive => ClientPayload::Pipeline,
         [] => ClientPayload::Stdin,
         [raw] if raw.trim_start().starts_with('{') => ClientPayload::Raw(raw.clone()),
         _ => {
@@ -361,6 +393,7 @@ fn parse_client(rest: &[String]) -> Result<Invocation, UsageError> {
         json: false,
         options: SimOptions::default(),
         backend: None,
+        cache_dir: None,
     })
 }
 
@@ -395,6 +428,7 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
     let mut max_queue: usize = 64;
     let mut idle_timeout: u64 = 300;
     let mut net_only_flag: Option<&str> = None;
+    let mut cache_dir: Option<String> = None;
 
     while let Some(arg) = flags.next() {
         if !arg.starts_with("--") {
@@ -492,6 +526,10 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
                 idle_timeout = flags.parse("--idle-timeout")?;
                 net_only_flag.get_or_insert("--idle-timeout");
             }
+            ("serve", "--cache-dir") | ("dse", "--cache-dir") | ("sweep", "--cache-dir") => {
+                cache_dir = Some(flags.value("--cache-dir")?.to_string());
+            }
+            ("dse", "--resume") => dse.resume = true,
             _ => return Err(flags.unknown(arg)),
         }
     }
@@ -579,6 +617,12 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
         "export-model" => Mode::ExportModel(benchmark(&positional)?),
         "dse" => {
             no_positional(&positional)?;
+            if dse.resume && cache_dir.is_none() {
+                return Err(UsageError::new(
+                    subcommand,
+                    "--resume needs --cache-dir DIR (the checkpoints live there)",
+                ));
+            }
             dse.backend = backend;
             Mode::OneShot(Request::Dse(dse))
         }
@@ -617,6 +661,7 @@ fn parse_invocation(argv: &[String]) -> Result<Invocation, UsageError> {
         json,
         options,
         backend,
+        cache_dir,
     })
 }
 
@@ -645,6 +690,17 @@ fn print_cache_summary(session: &Session, responses: u64, errors: u64) {
         layers.capacity,
         rate(layers.hit_rate())
     );
+    if let Some(disk) = session.store_stats() {
+        eprintln!(
+            "serve: disk store: {} plan hits, {} plan misses, {} layer hits, {} layer misses, {} writes, {} corrupt",
+            disk.plan_hits,
+            disk.plan_misses,
+            disk.layer_hits,
+            disk.layer_misses,
+            disk.writes,
+            disk.corrupt
+        );
+    }
 }
 
 /// The stop flag SIGINT flips, shared with the running server. A
@@ -739,13 +795,83 @@ fn run_net_serve(
     }
 }
 
+/// `client --keep-alive`: holds one connection open and sends every stdin
+/// line as a request, printing one response line per request, in order.
+/// The response bytes are identical to what the same requests would get
+/// from separate one-shot connections — the server answers per line and
+/// does not care about connection reuse — so scripted callers can batch
+/// without re-dialing.
+fn run_client_pipeline(connect: Option<&str>, unix: Option<&str>) -> ExitCode {
+    // Lockstep request/response over one connection: write a line, read a
+    // line. Responses come back in request order, so interleaving with
+    // stdin is safe and the output lines correlate 1:1 with input lines.
+    let exchange_all = |mut writer: Box<dyn Write>,
+                        reader: Box<dyn std::io::Read>|
+     -> std::io::Result<u64> {
+        let mut responses = BufReader::new(reader);
+        let mut errors = 0u64;
+        for line in std::io::stdin().lock().lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            let mut reply = String::new();
+            if responses.read_line(&mut reply)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-stream",
+                ));
+            }
+            let reply = reply.trim_end();
+            if reply.starts_with(r#"{"reply":"error""#) {
+                errors += 1;
+            }
+            println!("{reply}");
+        }
+        Ok(errors)
+    };
+    let result = match (connect, unix) {
+        (Some(addr), None) => std::net::TcpStream::connect(addr).and_then(|s| {
+            let reader = s.try_clone()?;
+            exchange_all(Box::new(s), Box::new(reader))
+        }),
+        #[cfg(unix)]
+        (None, Some(path)) => std::os::unix::net::UnixStream::connect(path).and_then(|s| {
+            let reader = s.try_clone()?;
+            exchange_all(Box::new(s), Box::new(reader))
+        }),
+        #[cfg(not(unix))]
+        (None, Some(_)) => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "unix sockets are not available on this platform",
+        )),
+        _ => unreachable!("parse_client enforces --connect XOR --unix"),
+    };
+    match result {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Connects to a server, sends one request line, prints the response.
 fn run_client(
     connect: Option<&str>,
     unix: Option<&str>,
     payload: &ClientPayload,
 ) -> ExitCode {
+    if matches!(payload, ClientPayload::Pipeline) {
+        return run_client_pipeline(connect, unix);
+    }
     let line = match payload {
+        ClientPayload::Pipeline => unreachable!("handled above"),
         ClientPayload::Raw(raw) => raw.trim().to_string(),
         ClientPayload::Request { request, .. } => request.encode(),
         ClientPayload::Stdin => {
@@ -808,7 +934,9 @@ fn run_client(
     let failed = reply.starts_with(r#"{"reply":"error""#);
     match payload {
         // Raw in, raw out: scripted callers correlate bytes.
-        ClientPayload::Raw(_) | ClientPayload::Stdin => println!("{reply}"),
+        ClientPayload::Raw(_) | ClientPayload::Stdin | ClientPayload::Pipeline => {
+            println!("{reply}")
+        }
         ClientPayload::Request { json: true, .. } => println!("{reply}"),
         ClientPayload::Request { json: false, .. } => match Response::parse(&reply) {
             Ok(response) => {
@@ -848,6 +976,15 @@ fn run() -> Result<ExitCode, UsageError> {
                 .with_backend(inv.backend.unwrap_or(BackendChoice::Analytic));
             if let Some(capacity) = cache_capacity {
                 session = session.with_cache_capacity(capacity);
+            }
+            if let Some(dir) = &inv.cache_dir {
+                session = match session.with_cache_dir(dir) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("serve: {e}");
+                        return Ok(ExitCode::FAILURE);
+                    }
+                };
             }
             if listen.is_some() || unix.is_some() {
                 return Ok(run_net_serve(
@@ -895,7 +1032,16 @@ fn run() -> Result<ExitCode, UsageError> {
             }
         },
         Mode::OneShot(request) => {
-            let session = Session::new().with_options(inv.options);
+            let mut session = Session::new().with_options(inv.options);
+            if let Some(dir) = &inv.cache_dir {
+                session = match session.with_cache_dir(dir) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("bitfusion-cli: {e}");
+                        return Ok(ExitCode::FAILURE);
+                    }
+                };
+            }
             let response = session.handle(&request);
             let failed = matches!(response, Response::Error { .. });
             if inv.json {
@@ -1210,6 +1356,51 @@ mod tests {
         assert!(e.message.contains("--idle-timeout"), "{}", e.message);
         let e = parse_invocation(&argv(&["serve", "--max-queue", "4"])).unwrap_err();
         assert!(e.message.contains("--max-queue"), "{}", e.message);
+    }
+
+    #[test]
+    fn cache_dir_and_resume_flags_parse() {
+        // serve/dse/sweep take --cache-dir; it lands on the invocation.
+        let inv = parse_invocation(&argv(&["serve", "--cache-dir", "/tmp/bf-cache"])).unwrap();
+        assert_eq!(inv.cache_dir.as_deref(), Some("/tmp/bf-cache"));
+        let inv = parse_invocation(&argv(&["sweep", "rnn", "--batch", "--cache-dir", "/tmp/c"]))
+            .unwrap();
+        assert_eq!(inv.cache_dir.as_deref(), Some("/tmp/c"));
+
+        // dse --resume rides on --cache-dir and sets the request flag.
+        let inv = parse_invocation(&argv(&["dse", "--cache-dir", "/tmp/c", "--resume"])).unwrap();
+        assert_eq!(inv.cache_dir.as_deref(), Some("/tmp/c"));
+        let Mode::OneShot(Request::Dse(p)) = inv.mode else {
+            panic!("expected dse");
+        };
+        assert!(p.resume);
+
+        // --resume without a directory to checkpoint into is a usage error.
+        let e = parse_invocation(&argv(&["dse", "--resume"])).unwrap_err();
+        assert!(e.message.contains("--cache-dir"), "{}", e.message);
+
+        // Other subcommands do not take --cache-dir.
+        let e = parse_invocation(&argv(&["report", "lstm", "--cache-dir", "/tmp/c"]))
+            .unwrap_err();
+        assert!(e.message.contains("--cache-dir"), "{}", e.message);
+    }
+
+    #[test]
+    fn keep_alive_client_parses() {
+        let inv =
+            parse_invocation(&argv(&["client", "--unix", "/tmp/s.sock", "--keep-alive"]))
+                .unwrap();
+        let Mode::Client { payload, .. } = inv.mode else {
+            panic!("expected client");
+        };
+        assert!(matches!(payload, ClientPayload::Pipeline));
+
+        // Keep-alive requests come from stdin, never inline.
+        let e = parse_invocation(&argv(&[
+            "client", "--unix", "/tmp/s.sock", "--keep-alive", "report", "lstm",
+        ]))
+        .unwrap_err();
+        assert!(e.message.contains("stdin"), "{}", e.message);
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn zoo_quant_params(workers: u64) -> DseParams {
         models: Vec::new(),
         workers,
         backend: None,
+        resume: false,
     }
 }
 
